@@ -1,0 +1,582 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per artifact — run any of them to re-derive
+// the corresponding result), the ablations DESIGN.md calls out, and
+// micro-benchmarks of the runtime's hot paths.
+package powerstruggle
+
+import (
+	"io"
+	"testing"
+
+	"powerstruggle/internal/allocator"
+	"powerstruggle/internal/cf"
+	"powerstruggle/internal/cluster"
+	"powerstruggle/internal/coordinator"
+	"powerstruggle/internal/esd"
+	"powerstruggle/internal/exp"
+	"powerstruggle/internal/policy"
+	"powerstruggle/internal/simhw"
+	"powerstruggle/internal/trace"
+	"powerstruggle/internal/workload"
+)
+
+func benchEnv(b *testing.B) *exp.Env {
+	b.Helper()
+	env, err := exp.NewEnv()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env
+}
+
+// BenchmarkTableI regenerates Table I (server configuration).
+func BenchmarkTableI(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		r := exp.TableI(env)
+		if _, err := r.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableII regenerates Table II (application mixes).
+func BenchmarkTableII(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		r := exp.TableII(env)
+		if _, err := r.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates Fig. 2 (application-level utility curves).
+func BenchmarkFig2(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig2(env, "", ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates Fig. 3 (resource-level utilities).
+func BenchmarkFig3(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		_ = exp.Fig3(env)
+	}
+}
+
+// BenchmarkFig4 regenerates Fig. 4 (space vs time coordination).
+func BenchmarkFig4(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig4(env, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates Fig. 5 (ESD duty cycling, alternate vs
+// consolidated).
+func BenchmarkFig5(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig5(env, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Fig. 7 (online sampling calibration) at a
+// reduced sweep so the benchmark stays tractable.
+func BenchmarkFig7(b *testing.B) {
+	env := benchEnv(b)
+	cfg := exp.Fig7Config{
+		Fractions: []float64{0.10},
+		Model:     cf.ModelConfig{Factors: 4, Epochs: 60, LearnRate: 0.03, Reg: 0.01, Seed: 1},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig7(env, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Fig. 8 (the four policies at 100 W across
+// the fifteen mixes, measured on the simulator).
+func BenchmarkFig8(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig8(env, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates Fig. 9 (utility-difference case studies).
+func BenchmarkFig9(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig9(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10 regenerates Fig. 10 (the stringent 80 W cap with ESD).
+func BenchmarkFig10(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig10(env, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11 regenerates Fig. 11 (arrival/departure dynamics).
+func BenchmarkFig11(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig11(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12 regenerates Fig. 12 (cluster peak shaving).
+func BenchmarkFig12(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig12(env, exp.Fig12Config{StepSeconds: 900}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAllocGranularity sweeps the allocator's DP step: the
+// marginal-utility apportioning degrades gracefully as the grid
+// coarsens (design choice 1 in DESIGN.md).
+func BenchmarkAblationAllocGranularity(b *testing.B) {
+	env := benchEnv(b)
+	a := env.Lib.MustApp("STREAM")
+	k := env.Lib.MustApp("kmeans")
+	curves := []*workload.Curve{
+		workload.OptimalCurve(env.HW, a),
+		workload.OptimalCurve(env.HW, k),
+	}
+	budget := env.HW.DynamicBudget(100)
+	for _, step := range []struct {
+		name string
+		w    float64
+	}{{"0.25W", 0.25}, {"0.5W", 0.5}, {"1W", 1}, {"2W", 2}} {
+		b.Run(step.name, func(b *testing.B) {
+			var perf float64
+			for i := 0; i < b.N; i++ {
+				plan, err := allocator.Apportion(curves, budget, step.w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				perf = plan.TotalPerf
+			}
+			b.ReportMetric(perf, "totalPerf")
+		})
+	}
+}
+
+// BenchmarkAblationKnobSet restricts the knob space: frequency-only
+// curves collapse App+Res-Aware onto App-Aware (design choice 2).
+func BenchmarkAblationKnobSet(b *testing.B) {
+	env := benchEnv(b)
+	a := env.Lib.MustApp("STREAM")
+	k := env.Lib.MustApp("kmeans")
+	budget := env.HW.DynamicBudget(100)
+	cases := []struct {
+		name   string
+		curves []*workload.Curve
+	}{
+		{"freq-only", []*workload.Curve{workload.RAPLCurve(env.HW, a), workload.RAPLCurve(env.HW, k)}},
+		{"full-fnm", []*workload.Curve{workload.OptimalCurve(env.HW, a), workload.OptimalCurve(env.HW, k)}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			var perf float64
+			for i := 0; i < b.N; i++ {
+				plan, err := allocator.Apportion(tc.curves, budget, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				perf = plan.TotalPerf
+			}
+			b.ReportMetric(perf, "totalPerf")
+		})
+	}
+}
+
+// BenchmarkAblationDutyCycle compares alternate and consolidated ESD
+// duty cycling at the 70 W cap (design choice 3: amortizing P_cm).
+func BenchmarkAblationDutyCycle(b *testing.B) {
+	env := benchEnv(b)
+	a := env.Lib.MustApp("STREAM")
+	k := env.Lib.MustApp("kmeans")
+	curves := []*workload.Curve{
+		workload.OptimalCurve(env.HW, a),
+		workload.OptimalCurve(env.HW, k),
+	}
+	cc := coordinator.Config{HW: env.HW, CapW: 70}
+	for _, tc := range []struct {
+		name string
+		mk   func(dev *esd.Device) (coordinator.Schedule, error)
+	}{
+		{"alternate", func(dev *esd.Device) (coordinator.Schedule, error) {
+			return coordinator.AlternateESD(cc, curves, dev)
+		}},
+		{"consolidated", func(dev *esd.Device) (coordinator.Schedule, error) {
+			return coordinator.ESD(cc, curves, dev)
+		}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var perf float64
+			for i := 0; i < b.N; i++ {
+				dev, err := esd.NewDevice(esd.LeadAcid(300e3), 0.6)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sched, err := tc.mk(dev)
+				if err != nil {
+					b.Fatal(err)
+				}
+				perf = sched.TotalPerf
+			}
+			b.ReportMetric(perf, "totalPerf")
+		})
+	}
+}
+
+// BenchmarkAblationSampling sweeps the CF sampling fraction (design
+// choice 4, Fig 7's operating point).
+func BenchmarkAblationSampling(b *testing.B) {
+	env := benchEnv(b)
+	model := cf.ModelConfig{Factors: 4, Epochs: 60, LearnRate: 0.03, Reg: 0.01, Seed: 1}
+	for _, frac := range []struct {
+		name string
+		f    float64
+	}{{"2pct", 0.02}, {"10pct", 0.10}, {"40pct", 0.40}} {
+		b.Run(frac.name, func(b *testing.B) {
+			var overshoot float64
+			for i := 0; i < b.N; i++ {
+				res, err := exp.Fig7(env, exp.Fig7Config{Fractions: []float64{frac.f}, Model: model})
+				if err != nil {
+					b.Fatal(err)
+				}
+				overshoot = res.Points[0].OvershootPct
+			}
+			b.ReportMetric(overshoot, "overshoot%")
+		})
+	}
+}
+
+// BenchmarkAblationESD compares the lead-acid profile against an ideal
+// store at the 80 W cap, bounding the R4 benefit (design choice 5).
+func BenchmarkAblationESD(b *testing.B) {
+	env := benchEnv(b)
+	a := env.Lib.MustApp("X264")
+	k := env.Lib.MustApp("SSSP")
+	curves := []*workload.Curve{
+		workload.OptimalCurve(env.HW, a),
+		workload.OptimalCurve(env.HW, k),
+	}
+	cc := coordinator.Config{HW: env.HW, CapW: 80}
+	for _, tc := range []struct {
+		name string
+		spec esd.Spec
+	}{
+		{"lead-acid", esd.LeadAcid(300e3)},
+		{"li-ion", esd.LiIon(300e3)},
+		{"ideal", esd.Ideal(300e3)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var perf float64
+			for i := 0; i < b.N; i++ {
+				dev, err := esd.NewDevice(tc.spec, 0.6)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sched, err := coordinator.ESD(cc, curves, dev)
+				if err != nil {
+					b.Fatal(err)
+				}
+				perf = sched.TotalPerf
+			}
+			b.ReportMetric(perf, "totalPerf")
+		})
+	}
+}
+
+// BenchmarkPolicyPlan measures one full policy planning pass (curve
+// construction + DP apportioning + coordination).
+func BenchmarkPolicyPlan(b *testing.B) {
+	env := benchEnv(b)
+	a := env.Lib.MustApp("STREAM")
+	k := env.Lib.MustApp("kmeans")
+	for i := 0; i < b.N; i++ {
+		if _, err := policy.Plan(policy.AppResAware, policy.Context{
+			HW: env.HW, CapW: 100,
+			Profiles: []*workload.Profile{a, k},
+			Library:  env.Lib,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimalCurve measures the 432-setting Pareto construction.
+func BenchmarkOptimalCurve(b *testing.B) {
+	env := benchEnv(b)
+	p := env.Lib.MustApp("facesim")
+	for i := 0; i < b.N; i++ {
+		_ = workload.OptimalCurve(env.HW, p)
+	}
+}
+
+// BenchmarkAllocatorDP measures the budget DP for two applications.
+func BenchmarkAllocatorDP(b *testing.B) {
+	env := benchEnv(b)
+	curves := []*workload.Curve{
+		workload.OptimalCurve(env.HW, env.Lib.MustApp("STREAM")),
+		workload.OptimalCurve(env.HW, env.Lib.MustApp("kmeans")),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := allocator.Apportion(curves, 30, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorStep measures the simulated server's step rate with
+// two running applications.
+func BenchmarkSimulatorStep(b *testing.B) {
+	hw := simhw.DefaultConfig()
+	srv, err := simhw.NewServer(hw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		id, err := srv.Claim(6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := srv.SetKnobs(id, 1.8, 6, 8); err != nil {
+			b.Fatal(err)
+		}
+		if err := srv.SetRunning(id, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.Step(0.01)
+	}
+}
+
+// BenchmarkMediatedSecond measures one simulated second of the full
+// public-API loop (plan + execute).
+func BenchmarkMediatedSecond(b *testing.B) {
+	srv, err := NewServer(Defaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.SetCap(100); err != nil {
+		b.Fatal(err)
+	}
+	for _, a := range []string{"STREAM", "kmeans"} {
+		if err := srv.Admit(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Run(AppResAware, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBatterySize sweeps the ESD nameplate capacity at the
+// 80 W cap: small banks force short periods (more restore overhead),
+// large banks change nothing past the point where the period is
+// restore-amortized — the "how much storage" question of the energy
+// storage literature the paper builds on.
+func BenchmarkAblationBatterySize(b *testing.B) {
+	env := benchEnv(b)
+	a := env.Lib.MustApp("STREAM")
+	k := env.Lib.MustApp("kmeans")
+	curves := []*workload.Curve{
+		workload.OptimalCurve(env.HW, a),
+		workload.OptimalCurve(env.HW, k),
+	}
+	cc := coordinator.Config{HW: env.HW, CapW: 80}
+	for _, tc := range []struct {
+		name string
+		capJ float64
+	}{{"3kJ", 3e3}, {"30kJ", 30e3}, {"300kJ", 300e3}, {"3MJ", 3e6}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var perf float64
+			for i := 0; i < b.N; i++ {
+				dev, err := esd.NewDevice(esd.LeadAcid(tc.capJ), 0.6)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sched, err := coordinator.ESD(cc, curves, dev)
+				if err != nil {
+					b.Fatal(err)
+				}
+				perf = sched.TotalPerf
+			}
+			b.ReportMetric(perf, "totalPerf")
+		})
+	}
+}
+
+// BenchmarkExtClusterApportion compares the equal cluster-cap split with
+// utility-aware apportioning (the UtilityOurs extension) at 30% shaving.
+func BenchmarkExtClusterApportion(b *testing.B) {
+	env := benchEnv(b)
+	mixes := workload.Mixes()[:10]
+	ev, err := cluster.NewEvaluator(cluster.Config{HW: env.HW, Library: env.Lib, Mixes: mixes})
+	if err != nil {
+		b.Fatal(err)
+	}
+	uc, err := ev.UncappedClusterW()
+	if err != nil {
+		b.Fatal(err)
+	}
+	load, err := trace.DiurnalLoad(trace.Config{Seed: 7, StepSeconds: 1800})
+	if err != nil {
+		b.Fatal(err)
+	}
+	demand := make([]trace.Point, len(load))
+	for i, p := range load {
+		demand[i] = trace.Point{T: p.T, V: p.V * uc}
+	}
+	caps, err := trace.PeakShaveCaps(demand, 0.30, uc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name  string
+		strat cluster.Strategy
+	}{{"equal", cluster.EqualOurs}, {"utility", cluster.UtilityOurs}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var perf float64
+			for i := 0; i < b.N; i++ {
+				r, err := ev.Evaluate(caps, tc.strat)
+				if err != nil {
+					b.Fatal(err)
+				}
+				perf = r.AvgPerfFrac * 100
+			}
+			b.ReportMetric(perf, "perf%")
+		})
+	}
+}
+
+// BenchmarkExtChurn runs the sustained-churn study (Poisson arrivals,
+// cap swings) for two simulated minutes.
+func BenchmarkExtChurn(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Churn(env, exp.ChurnConfig{Seconds: 120, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Violations != 0 {
+			b.Fatalf("%d cap violations under churn", res.Violations)
+		}
+	}
+}
+
+// BenchmarkExtOnline measures one full oracle-vs-learned-utilities sweep
+// (the "sampling overheads included" configuration).
+func BenchmarkExtOnline(b *testing.B) {
+	env := benchEnv(b)
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Online(env, 100, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Ratio < 0.8 {
+			b.Fatalf("online ratio %.3f", res.Ratio)
+		}
+	}
+}
+
+// BenchmarkExtPlacement brackets how much power-aware job pairing
+// matters: exact max-matching vs naive order vs adversarial pairing at
+// the binding reference cap.
+func BenchmarkExtPlacement(b *testing.B) {
+	env := benchEnv(b)
+	ev, err := cluster.NewEvaluator(cluster.Config{
+		HW: env.HW, Library: env.Lib, Mixes: workload.Mixes()[:6],
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	apps := env.Lib.Apps()
+	for _, tc := range []struct {
+		name  string
+		place func() (*cluster.Placement, error)
+	}{
+		{"optimal", func() (*cluster.Placement, error) { return ev.PlaceOptimal(apps, cluster.PlacementConfig{}) }},
+		{"naive", func() (*cluster.Placement, error) { return ev.PlaceNaive(apps, cluster.PlacementConfig{}) }},
+		{"worst", func() (*cluster.Placement, error) { return ev.PlaceWorst(apps, cluster.PlacementConfig{}) }},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var perf float64
+			for i := 0; i < b.N; i++ {
+				p, err := tc.place()
+				if err != nil {
+					b.Fatal(err)
+				}
+				perf = p.PredictedPerf
+			}
+			b.ReportMetric(perf, "totalPerf")
+		})
+	}
+}
+
+// BenchmarkAblationPerCoreDVFS quantifies what true per-core DVFS buys
+// over the uniform-per-application enforcement the paper's prototype
+// used (its Section II-B lists the per-core knob; its conclusion asks
+// for finer-grained hardware control): apportion the 100 W budget over
+// uniform vs heterogeneous utility curves.
+func BenchmarkAblationPerCoreDVFS(b *testing.B) {
+	env := benchEnv(b)
+	a := env.Lib.MustApp("SSSP") // serial-limited: boosting one core pays
+	k := env.Lib.MustApp("BFS")
+	budget := env.HW.DynamicBudget(100)
+	cases := []struct {
+		name   string
+		curves []*workload.Curve
+	}{
+		{"uniform", []*workload.Curve{workload.OptimalCurve(env.HW, a), workload.OptimalCurve(env.HW, k)}},
+		{"per-core", []*workload.Curve{a.HeteroCurve(env.HW), k.HeteroCurve(env.HW)}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			var perf float64
+			for i := 0; i < b.N; i++ {
+				plan, err := allocator.Apportion(tc.curves, budget, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				perf = plan.TotalPerf
+			}
+			b.ReportMetric(perf, "totalPerf")
+		})
+	}
+}

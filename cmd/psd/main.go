@@ -1,0 +1,92 @@
+// Command psd runs the power-struggle mediator as a daemon: the
+// simulated platform advances in wall-clock time and an HTTP API drives
+// it — the paper's Accountant with curl as the cluster manager.
+//
+//	psd -listen :8080 -cap 100 -policy app+res+esd &
+//	curl -s localhost:8080/apps
+//	curl -s -X POST localhost:8080/admit -d '{"app":"STREAM"}'
+//	curl -s -X POST localhost:8080/admit -d '{"app":"kmeans","seconds":120}'
+//	curl -s -X POST localhost:8080/admit -d '{"app":"ferret","weight":2,"floorPerf":0.8}'
+//	curl -s -X POST localhost:8080/cap -d '{"watts":80}'
+//	curl -s localhost:8080/status
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"powerstruggle/internal/daemon"
+	"powerstruggle/internal/policy"
+)
+
+var policies = map[string]policy.Kind{
+	"util-unaware": policy.UtilUnaware,
+	"server+res":   policy.ServerResAware,
+	"app":          policy.AppAware,
+	"app+res":      policy.AppResAware,
+	"app+res+esd":  policy.AppResESDAware,
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("psd: ")
+	var (
+		listen  = flag.String("listen", "127.0.0.1:8080", "HTTP listen address")
+		capW    = flag.Float64("cap", 100, "initial power cap in watts")
+		polName = flag.String("policy", "app+res", "mediation policy")
+		battery = flag.Float64("battery", 300e3, "lead-acid battery capacity in joules (0 for none)")
+		tick    = flag.Duration("tick", 50*time.Millisecond, "simulation tick")
+		speed   = flag.Float64("speed", 1, "simulated seconds per wall-clock second")
+	)
+	flag.Parse()
+
+	pol, ok := policies[strings.ToLower(*polName)]
+	if !ok {
+		log.Fatalf("unknown policy %q", *polName)
+	}
+	d, err := daemon.New(daemon.Config{
+		Policy: pol, InitialCapW: *capW, BatteryJ: *battery,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	go func() {
+		ticker := time.NewTicker(*tick)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				if err := d.Advance(tick.Seconds() * *speed); err != nil {
+					log.Fatalf("simulation: %v", err)
+				}
+			}
+		}
+	}()
+
+	srv := &http.Server{Addr: *listen, Handler: d.Handler()}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+	log.Printf("mediating on %s (policy %v, cap %.0f W)", *listen, pol, *capW)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Printf("shut down cleanly")
+}

@@ -1,0 +1,151 @@
+// Command psmediate runs one mediated-server experiment: admit a set of
+// the paper's benchmark applications onto the simulated shared server,
+// impose a power cap, pick a policy, and report measured normalized
+// performance, power splits and cap adherence.
+//
+// Usage:
+//
+//	psmediate -cap 100 -apps STREAM,kmeans -policy app+res -seconds 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"powerstruggle"
+	"powerstruggle/internal/workload"
+)
+
+// sweepCaps runs the admitted mix across a cap range.
+func sweepCaps(srv *powerstruggle.Server, pol powerstruggle.Policy, spec string, seconds float64) error {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("sweep spec %q, want lo:hi:step", spec)
+	}
+	var lo, hi, step float64
+	if _, err := fmt.Sscanf(spec, "%f:%f:%f", &lo, &hi, &step); err != nil {
+		return fmt.Errorf("sweep spec %q: %v", spec, err)
+	}
+	if step <= 0 || hi < lo {
+		return fmt.Errorf("sweep spec %q: empty range", spec)
+	}
+	fmt.Printf("%-8s %12s %8s %10s\n", "cap(W)", "total perf", "mode", "peak(W)")
+	for capW := lo; capW <= hi+1e-9; capW += step {
+		if err := srv.SetCap(capW); err != nil {
+			return err
+		}
+		res, err := srv.Run(pol, seconds)
+		if err != nil {
+			fmt.Printf("%-8.0f %12s\n", capW, "infeasible")
+			continue
+		}
+		fmt.Printf("%-8.0f %12.3f %8s %10.2f\n", capW, res.TotalPerf, res.Mode, res.MaxGridW)
+	}
+	return nil
+}
+
+var policies = map[string]powerstruggle.Policy{
+	"util-unaware": powerstruggle.UtilUnaware,
+	"server+res":   powerstruggle.ServerResAware,
+	"app":          powerstruggle.AppAware,
+	"app+res":      powerstruggle.AppResAware,
+	"app+res+esd":  powerstruggle.AppResESDAware,
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("psmediate: ")
+	var (
+		capW     = flag.Float64("cap", 100, "server power cap in watts (P_cap)")
+		apps     = flag.String("apps", "STREAM,kmeans", "comma-separated applications to co-locate")
+		polName  = flag.String("policy", "app+res", "policy: util-unaware, server+res, app, app+res, app+res+esd")
+		seconds  = flag.Float64("seconds", 30, "simulated seconds to run")
+		battery  = flag.Float64("battery", 300e3, "lead-acid battery capacity in joules (0 for none)")
+		timeline = flag.Bool("timeline", false, "print the power timeline")
+		list     = flag.Bool("list", false, "list available applications and exit")
+		sweep    = flag.String("sweep", "", "sweep caps lo:hi:step and print total perf per cap (e.g. 75:120:5)")
+		profiles = flag.String("profiles", "", "JSON file of custom application profiles; -apps then names profiles from it")
+	)
+	flag.Parse()
+
+	pol, ok := policies[strings.ToLower(*polName)]
+	if !ok {
+		log.Fatalf("unknown policy %q (want one of util-unaware, server+res, app, app+res, app+res+esd)", *polName)
+	}
+	cfg := powerstruggle.Defaults()
+	cfg.BatteryJ = *battery
+	srv, err := powerstruggle.NewServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *list {
+		for _, a := range srv.Apps() {
+			fmt.Println(a)
+		}
+		os.Exit(0)
+	}
+	if err := srv.SetCap(*capW); err != nil {
+		log.Fatal(err)
+	}
+	names := strings.Split(*apps, ",")
+	custom := map[string]*workload.Profile{}
+	if *profiles != "" {
+		f, err := os.Open(*profiles)
+		if err != nil {
+			log.Fatal(err)
+		}
+		loaded, err := workload.LoadProfiles(cfg.Platform, f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range loaded {
+			custom[p.Name] = p
+		}
+	}
+	for _, n := range names {
+		name := strings.TrimSpace(n)
+		if p, ok := custom[name]; ok {
+			if err := srv.AdmitProfile(p); err != nil {
+				log.Fatal(err)
+			}
+			continue
+		}
+		if err := srv.Admit(name); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *sweep != "" {
+		if err := sweepCaps(srv, pol, *sweep, *seconds); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	res, err := srv.Run(pol, *seconds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("policy        %v (%s coordination)\n", res.Policy, res.Mode)
+	fmt.Printf("cap           %.1f W\n", *capW)
+	fmt.Printf("total perf    %.3f (of %d.000 uncapped)\n", res.TotalPerf, len(names))
+	for i, n := range names {
+		fmt.Printf("  %-14s perf %.3f  budget %.1f W\n", strings.TrimSpace(n), res.AppPerf[i], res.AppBudgetW[i])
+	}
+	fmt.Printf("peak grid     %.2f W (violations: %d)\n", res.MaxGridW, res.CapViolations)
+	if *timeline {
+		for _, s := range res.Samples {
+			line := fmt.Sprintf("t=%7.2fs server=%7.2fW grid=%7.2fW", s.T, s.ServerW, s.GridW)
+			for j, w := range s.AppW {
+				line += fmt.Sprintf(" app%d=%6.2fW", j+1, w)
+			}
+			if s.SoC > 0 {
+				line += fmt.Sprintf(" soc=%.3f", s.SoC)
+			}
+			fmt.Println(line)
+		}
+	}
+}

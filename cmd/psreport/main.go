@@ -1,0 +1,59 @@
+// Command psreport regenerates every table and figure of the paper's
+// evaluation section and writes the formatted series to stdout or a
+// file. This is the one-command reproduction entry point.
+//
+// Usage:
+//
+//	psreport [-out report.txt] [-seconds 30] [-quick]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"log"
+	"os"
+
+	"powerstruggle/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("psreport: ")
+	var (
+		out     = flag.String("out", "", "write the report to this file (default stdout)")
+		seconds = flag.Float64("seconds", 30, "simulated seconds per policy measurement")
+		quick   = flag.Bool("quick", false, "shrink the collaborative-filtering study for a fast run")
+		format  = flag.String("format", "text", "output format: text (full report) or json (headline summary)")
+	)
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	switch *format {
+	case "text":
+		if err := exp.WriteAll(bw, exp.Options{Seconds: *seconds, Quick: *quick}); err != nil {
+			log.Fatal(err)
+		}
+	case "json":
+		if err := exp.WriteJSON(bw, *seconds); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown format %q (want text or json)", *format)
+	}
+	if err := bw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package powerstruggle_test
+
+import (
+	"fmt"
+
+	"powerstruggle"
+)
+
+// Example reproduces the paper's headline scenario: a memory-bound and a
+// compute-bound application sharing a 100 W server, mediated by the
+// App+Res-Aware policy.
+func Example() {
+	srv, err := powerstruggle.NewServer(powerstruggle.Defaults())
+	if err != nil {
+		panic(err)
+	}
+	if err := srv.SetCap(100); err != nil {
+		panic(err)
+	}
+	for _, app := range []string{"STREAM", "kmeans"} {
+		if err := srv.Admit(app); err != nil {
+			panic(err)
+		}
+	}
+	res, err := srv.Run(powerstruggle.AppResAware, 30)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("mode=%s violations=%d unequal-split=%v\n",
+		res.Mode, res.CapViolations, res.AppBudgetW[0] != res.AppBudgetW[1])
+	// Output: mode=space violations=0 unequal-split=true
+}
+
+// ExampleServer_AdmitCritical shows the latency-critical extension: an
+// SLO floor reserves watts for the critical application before the
+// best-effort job gets any.
+func ExampleServer_AdmitCritical() {
+	cfg := powerstruggle.Defaults()
+	cfg.BatteryJ = 0
+	srv, err := powerstruggle.NewServer(cfg)
+	if err != nil {
+		panic(err)
+	}
+	if err := srv.SetCap(95); err != nil {
+		panic(err)
+	}
+	if err := srv.AdmitCritical("ferret", 1, 0.9); err != nil {
+		panic(err)
+	}
+	if err := srv.Admit("BFS"); err != nil {
+		panic(err)
+	}
+	res, err := srv.Run(powerstruggle.AppResAware, 20)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("critical meets floor: %v\n", res.AppPerf[0] >= 0.88)
+	// Output: critical meets floor: true
+}
+
+// ExampleServer_Plan inspects a schedule without executing it.
+func ExampleServer_Plan() {
+	srv, err := powerstruggle.NewServer(powerstruggle.Defaults())
+	if err != nil {
+		panic(err)
+	}
+	if err := srv.SetCap(80); err != nil {
+		panic(err)
+	}
+	for _, app := range []string{"X264", "SSSP"} {
+		if err := srv.Admit(app); err != nil {
+			panic(err)
+		}
+	}
+	sched, err := srv.Plan(powerstruggle.AppResESDAware)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("coordination=%s segments=%d\n", sched.Mode, len(sched.Segments))
+	// Output: coordination=esd segments=2
+}

@@ -1,0 +1,73 @@
+// Colocation: sweep the server power cap for every Table II mix and
+// watch the "power struggle" emerge — at loose caps all policies agree,
+// and the tighter the cap, the more it pays to apportion power by
+// utility (the paper's Fig. 8/10 arc in one run).
+//
+// Run with:
+//
+//	go run ./examples/colocation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"powerstruggle"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("Average normalized server throughput across the 15 mixes")
+	fmt.Printf("%-8s %14s %14s %14s\n", "cap(W)", "Util-Unaware", "App+Res-Aware", "gain")
+	for _, capW := range []float64{120, 110, 100, 95, 90, 85, 80} {
+		uu, err := averageAcrossMixes(powerstruggle.UtilUnaware, capW)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ar, err := averageAcrossMixes(powerstruggle.AppResAware, capW)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gain := 0.0
+		if uu > 0 {
+			gain = (ar/uu - 1) * 100
+		}
+		fmt.Printf("%-8.0f %14.3f %14.3f %+13.1f%%\n", capW, uu, ar, gain)
+	}
+	fmt.Println()
+	fmt.Println("The tighter the cap, the more the mediation matters — the")
+	fmt.Println("paper's central observation.")
+}
+
+// averageAcrossMixes measures one policy at one cap over all mixes.
+func averageAcrossMixes(p powerstruggle.Policy, capW float64) (float64, error) {
+	cfg := powerstruggle.Defaults()
+	cfg.BatteryJ = 0 // no storage in this comparison
+	var sum float64
+	mixes := powerstruggle.Mixes()
+	for _, m := range mixes {
+		srv, err := powerstruggle.NewServer(cfg)
+		if err != nil {
+			return 0, err
+		}
+		if err := srv.SetCap(capW); err != nil {
+			return 0, err
+		}
+		if err := srv.Admit(m.App1); err != nil {
+			return 0, err
+		}
+		if err := srv.Admit(m.App2); err != nil {
+			return 0, err
+		}
+		res, err := srv.Run(p, 20)
+		if err != nil {
+			return 0, fmt.Errorf("mix %d: %w", m.ID, err)
+		}
+		if res.CapViolations > 0 {
+			return 0, fmt.Errorf("mix %d violated the %g W cap %d times", m.ID, capW, res.CapViolations)
+		}
+		sum += res.TotalPerf
+	}
+	return sum / float64(len(mixes)), nil
+}

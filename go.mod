@@ -1,0 +1,3 @@
+module powerstruggle
+
+go 1.22

@@ -1,0 +1,495 @@
+// Package accountant implements the paper's Accountant (Section III-C):
+// the component that keeps track of the server power cap, the scheduled
+// applications and their status, polls application power draw, and
+// triggers power re-allocation and utility re-calibration on the four
+// dynamic events — E1 cap change, E2 application arrival, E3 application
+// departure, E4 significant drift between an application's draw and its
+// allocated budget (load variation or phase change).
+package accountant
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"powerstruggle/internal/allocator"
+	"powerstruggle/internal/coordinator"
+	"powerstruggle/internal/esd"
+	"powerstruggle/internal/policy"
+	"powerstruggle/internal/simhw"
+	"powerstruggle/internal/workload"
+)
+
+// EventKind enumerates the paper's re-allocation triggers.
+type EventKind int
+
+// The events of Section III-C.
+const (
+	// EvCapChange is E1: the datacenter changed this server's budget.
+	EvCapChange EventKind = iota
+	// EvArrival is E2: a new application was scheduled here.
+	EvArrival
+	// EvDeparture is E3: an application finished and exited.
+	EvDeparture
+	// EvPhaseChange is E4: an application's draw drifted from its
+	// allocation (load variation or phase change).
+	EvPhaseChange
+	// EvSLODegraded is an extension event: the admitted SLO floors
+	// became infeasible under the current cap and the mediator fell
+	// back to best-effort apportioning.
+	EvSLODegraded
+)
+
+// String names the event as the paper does.
+func (k EventKind) String() string {
+	switch k {
+	case EvCapChange:
+		return "E1-cap-change"
+	case EvArrival:
+		return "E2-arrival"
+	case EvDeparture:
+		return "E3-departure"
+	case EvPhaseChange:
+		return "E4-phase-change"
+	case EvSLODegraded:
+		return "slo-degraded"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one logged trigger with its re-allocation outcome.
+type Event struct {
+	T    float64
+	Kind EventKind
+	// App names the application involved (empty for cap changes).
+	App string
+	// CapW is the cap in force after the event.
+	CapW float64
+	// Detail is a human-readable description.
+	Detail string
+}
+
+// arrival is a scheduled application admission.
+type arrival struct {
+	at      float64
+	profile *workload.Profile
+	beats   float64
+	obj     allocator.Objective
+}
+
+// capChange is a scheduled cap update.
+type capChange struct {
+	at   float64
+	capW float64
+}
+
+// Config parameterizes the accountant simulation.
+type Config struct {
+	// HW is the platform.
+	HW simhw.Config
+	// Policy is the power-management scheme in force.
+	Policy policy.Kind
+	// Library backs Server+Res-Aware averaging and profile lookups.
+	Library *workload.Library
+	// InitialCapW is the cap before any scheduled change.
+	InitialCapW float64
+	// Device is the server's ESD, if any.
+	Device *esd.Device
+	// Coord carries coordinator tunables.
+	Coord coordinator.Config
+	// PollSeconds is the status-poll period (the paper polls on the
+	// order of microseconds; the default here is one integration step).
+	PollSeconds float64
+	// ReallocSeconds is the latency of a full re-allocation (sampling,
+	// estimation, actuation): the paper measures ~800 ms on its server.
+	// Applications run under the previous plan (arrivals stay
+	// suspended) until it elapses.
+	ReallocSeconds float64
+	// DriftFrac is the relative draw-vs-budget divergence that triggers
+	// E4; 0 means 0.25.
+	DriftFrac float64
+	// StepSeconds is the integration step; 0 means 10 ms.
+	StepSeconds float64
+	// SampleEvery decimates the recorded series; 0 means 0.1 s.
+	SampleEvery float64
+	// Estimator, when non-nil, supplies learned utility curves at every
+	// re-allocation (the paper's online calibration); nil plans from
+	// the oracle model.
+	Estimator CurveEstimator
+}
+
+// CurveEstimator produces a utility curve for an application from
+// online measurements — the Accountant-facing face of the
+// collaborative-filtering pipeline.
+type CurveEstimator interface {
+	Curve(p *workload.Profile) (*workload.Curve, error)
+}
+
+func (c Config) driftFrac() float64 {
+	if c.DriftFrac > 0 {
+		return c.DriftFrac
+	}
+	return 0.25
+}
+
+// Sim is a scriptable accountant-driven server simulation.
+type Sim struct {
+	cfg      Config
+	ex       *coordinator.Executor
+	names    []string
+	objs     []allocator.Objective
+	anySLO   bool
+	arrivals []arrival
+	caps     []capChange
+	// waiting holds admitted-but-unplaceable applications (direct
+	// resources exhausted); they enter as earlier tenants depart.
+	waiting []arrival
+
+	events  []Event
+	samples []AppSample
+
+	pendingRealloc float64 // seconds left before the next plan lands
+	reallocQueued  bool
+	lastPoll       float64
+}
+
+// AppSample extends the executor sample with per-application identity and
+// knob state, for Fig 11-style timelines.
+type AppSample struct {
+	T     float64
+	CapW  float64
+	GridW float64
+	SoC   float64
+	// Apps carries one entry per active application.
+	Apps []AppState
+}
+
+// AppState is one application's observable state at a sample.
+type AppState struct {
+	Name    string
+	PowerW  float64
+	BudgetW float64
+	Knobs   workload.Knobs
+	Perf    float64 // schedule-predicted normalized perf
+	// RateHz is the measured heartbeat rate over the monitor window.
+	RateHz float64
+}
+
+// NewSim builds an accountant simulation.
+func NewSim(cfg Config) (*Sim, error) {
+	if cfg.Library == nil {
+		return nil, fmt.Errorf("accountant: config needs the application library")
+	}
+	if cfg.InitialCapW <= 0 {
+		return nil, fmt.Errorf("accountant: initial cap %.1f W is invalid", cfg.InitialCapW)
+	}
+	cc := cfg.Coord
+	cc.HW = cfg.HW
+	cc.CapW = cfg.InitialCapW
+	ex, err := coordinator.NewExecutor(cc, cfg.Device)
+	if err != nil {
+		return nil, err
+	}
+	return &Sim{cfg: cfg, ex: ex}, nil
+}
+
+// AddArrival schedules an application to arrive at time at with beats of
+// work (0 for endless), best-effort with unit weight.
+func (s *Sim) AddArrival(at float64, p *workload.Profile, beats float64) error {
+	return s.AddArrivalCritical(at, p, beats, 1, 0)
+}
+
+// AddArrivalCritical schedules an application with a weighted objective
+// term and an SLO floor (the latency-critical admission of the
+// weighted-objective extension).
+func (s *Sim) AddArrivalCritical(at float64, p *workload.Profile, beats, weight, floorPerf float64) error {
+	if p == nil {
+		return fmt.Errorf("accountant: arrival needs a profile")
+	}
+	if at < 0 {
+		return fmt.Errorf("accountant: arrival at %g s", at)
+	}
+	if weight <= 0 {
+		return fmt.Errorf("accountant: %s: weight %g must be positive", p.Name, weight)
+	}
+	if floorPerf < 0 || floorPerf > 1 {
+		return fmt.Errorf("accountant: %s: floor %g outside [0, 1]", p.Name, floorPerf)
+	}
+	s.arrivals = append(s.arrivals, arrival{
+		at: at, profile: p, beats: beats,
+		obj: allocator.Objective{Weight: weight, FloorPerf: floorPerf},
+	})
+	return nil
+}
+
+// AddCapChange schedules the server cap to become capW at time at (E1).
+func (s *Sim) AddCapChange(at, capW float64) error {
+	if capW <= 0 {
+		return fmt.Errorf("accountant: cap change to %.1f W is invalid", capW)
+	}
+	s.caps = append(s.caps, capChange{at: at, capW: capW})
+	return nil
+}
+
+// Events returns the logged events in time order.
+func (s *Sim) Events() []Event { return append([]Event(nil), s.events...) }
+
+// Samples returns the recorded timeline.
+func (s *Sim) Samples() []AppSample { return append([]AppSample(nil), s.samples...) }
+
+// replan runs the policy over the active applications and installs the
+// new schedule. It plans against each application's *effective*
+// (phase-resolved) profile — the re-calibration of utility curves the
+// paper's E4 path performs — so a phase change converges to a matching
+// allocation instead of re-triggering forever.
+func (s *Sim) replan() error {
+	if s.ex.Apps() == 0 {
+		return nil
+	}
+	profiles := make([]*workload.Profile, s.ex.Apps())
+	for i := range profiles {
+		profiles[i] = s.ex.Instance(i).Effective()
+	}
+	ctx := policy.Context{
+		HW:       s.cfg.HW,
+		CapW:     s.ex.Cap(),
+		Profiles: profiles,
+		Library:  s.cfg.Library,
+		Device:   s.ex.Device(),
+		Coord:    s.cfg.Coord,
+	}
+	if s.anySLO {
+		ctx.Objectives = append([]allocator.Objective(nil), s.objs...)
+	}
+	if s.cfg.Estimator != nil {
+		ctx.CurveOverride = func(i int, p *workload.Profile) *workload.Curve {
+			// Estimation failures fall back (nil) to the policy's own
+			// curve construction; they are not fatal.
+			c, err := s.cfg.Estimator.Curve(p)
+			if err != nil {
+				return nil
+			}
+			return c
+		}
+	}
+	dec, err := policy.Plan(s.cfg.Policy, ctx)
+	if err != nil && ctx.Objectives != nil && errors.Is(err, allocator.ErrInfeasible) {
+		// The floors no longer fit (typically after a cap drop):
+		// degrade to best-effort rather than stalling the server.
+		s.logEvent(EvSLODegraded, "", "SLO floors infeasible under the current cap; best-effort apportioning")
+		ctx.Objectives = nil
+		dec, err = policy.Plan(s.cfg.Policy, ctx)
+	}
+	if err != nil {
+		return err
+	}
+	return s.ex.SetSchedule(dec.Schedule)
+}
+
+// tryAdmit places an arrival or, when the direct resources are
+// exhausted, parks it on the waiting queue (the paper assumes sufficient
+// direct resources; a real cluster scheduler would route elsewhere).
+func (s *Sim) tryAdmit(a arrival) error {
+	inst, err := workload.NewInstance(a.profile, a.beats)
+	if err != nil {
+		return err
+	}
+	if _, err := s.ex.AddApp(a.profile, inst); err != nil {
+		s.waiting = append(s.waiting, a)
+		s.logEvent(EvArrival, a.profile.Name, "no free direct resources; queued")
+		return nil
+	}
+	s.names = append(s.names, a.profile.Name)
+	s.objs = append(s.objs, a.obj)
+	if a.obj.Weight != 1 || a.obj.FloorPerf > 0 {
+		s.anySLO = true
+	}
+	s.logEvent(EvArrival, a.profile.Name, "calibrating utilities and re-allocating")
+	s.queueRealloc()
+	return nil
+}
+
+// Waiting returns the number of admitted-but-unplaced applications.
+func (s *Sim) Waiting() int { return len(s.waiting) }
+
+// queueRealloc starts (or restarts) the re-allocation latency window.
+func (s *Sim) queueRealloc() {
+	s.pendingRealloc = s.cfg.ReallocSeconds
+	s.reallocQueued = true
+}
+
+// logEvent records a trigger.
+func (s *Sim) logEvent(kind EventKind, app, detail string) {
+	s.events = append(s.events, Event{T: s.ex.Now(), Kind: kind, App: app, CapW: s.ex.Cap(), Detail: detail})
+}
+
+// Run advances the simulation for seconds of simulated time.
+func (s *Sim) Run(seconds float64) error {
+	dt := s.cfg.StepSeconds
+	if dt <= 0 {
+		dt = 0.01
+	}
+	sampleEvery := s.cfg.SampleEvery
+	if sampleEvery <= 0 {
+		sampleEvery = 0.1
+	}
+	poll := s.cfg.PollSeconds
+	if poll <= 0 {
+		poll = dt
+	}
+	end := s.ex.Now() + seconds
+	lastSample := math.Inf(-1)
+
+	for s.ex.Now() < end-dt/2 {
+		now := s.ex.Now()
+
+		// E1: cap schedule.
+		for i := 0; i < len(s.caps); i++ {
+			if s.caps[i].at <= now+1e-12 {
+				s.ex.SetCap(s.caps[i].capW)
+				s.logEvent(EvCapChange, "", fmt.Sprintf("cap -> %.1f W", s.caps[i].capW))
+				s.caps = append(s.caps[:i], s.caps[i+1:]...)
+				i--
+				s.queueRealloc()
+			}
+		}
+		// E2: arrivals. Applications that cannot be placed (direct
+		// resources exhausted) wait for a departure.
+		for i := 0; i < len(s.arrivals); i++ {
+			if s.arrivals[i].at <= now+1e-12 {
+				a := s.arrivals[i]
+				s.arrivals = append(s.arrivals[:i], s.arrivals[i+1:]...)
+				i--
+				if err := s.tryAdmit(a); err != nil {
+					return err
+				}
+			}
+		}
+		// E3: departures.
+		for i := 0; i < s.ex.Apps(); i++ {
+			if s.ex.Instance(i).Done() {
+				name := s.names[i]
+				if err := s.ex.RemoveApp(i); err != nil {
+					return err
+				}
+				s.names = append(s.names[:i], s.names[i+1:]...)
+				s.objs = append(s.objs[:i], s.objs[i+1:]...)
+				s.logEvent(EvDeparture, name, "re-apportioning available power")
+				i--
+				s.queueRealloc()
+				// Departures re-plan immediately: freeing power needs
+				// no calibration.
+				s.pendingRealloc = 0
+				// A freed slot may admit a waiting application.
+				if len(s.waiting) > 0 {
+					a := s.waiting[0]
+					s.waiting = s.waiting[1:]
+					if err := s.tryAdmit(a); err != nil {
+						return err
+					}
+				}
+			}
+		}
+
+		// Serve the re-allocation latency, then install the new plan.
+		if s.reallocQueued {
+			s.pendingRealloc -= dt
+			if s.pendingRealloc <= 0 {
+				s.reallocQueued = false
+				if err := s.replan(); err != nil {
+					return err
+				}
+			}
+		}
+
+		// Advance one step.
+		var (
+			sample coordinator.Sample
+			err    error
+		)
+		if _, ok := s.ex.Schedule(); ok && !s.reallocQueued {
+			sample, err = s.ex.Step(dt)
+		} else if _, ok := s.ex.Schedule(); ok {
+			// Existing applications keep running under the old plan
+			// during re-allocation; a schedule that no longer matches
+			// the application set cannot, so the server idles.
+			if s.scheduleMatches() {
+				sample, err = s.ex.Step(dt)
+			} else {
+				sample, err = s.ex.Idle(dt)
+			}
+		} else {
+			sample, err = s.ex.Idle(dt)
+		}
+		if err != nil {
+			return err
+		}
+
+		// E4: poll draw vs budget.
+		if now-s.lastPoll >= poll-1e-12 && !s.reallocQueued {
+			s.lastPoll = now
+			if sched, ok := s.ex.Schedule(); ok && len(sched.AppBudgetW) == s.ex.Apps() {
+				for i := 0; i < s.ex.Apps(); i++ {
+					budget := sched.AppBudgetW[i]
+					if budget <= 0 {
+						continue
+					}
+					if math.Abs(sample.AppW[i]-budget) > s.cfg.driftFrac()*budget {
+						s.logEvent(EvPhaseChange, s.names[i],
+							fmt.Sprintf("draw %.1f W vs budget %.1f W", sample.AppW[i], budget))
+						s.queueRealloc()
+						break
+					}
+				}
+			}
+		}
+
+		// Record.
+		if s.ex.Now()-lastSample >= sampleEvery-1e-12 {
+			lastSample = s.ex.Now()
+			s.samples = append(s.samples, s.appSample(sample))
+		}
+	}
+	return nil
+}
+
+// scheduleMatches reports whether the installed schedule's application
+// indexing still matches the active set.
+func (s *Sim) scheduleMatches() bool {
+	sched, ok := s.ex.Schedule()
+	if !ok {
+		return false
+	}
+	// A schedule planned before an arrival still indexes correctly
+	// (newcomers append at the end and stay suspended); one planned
+	// before a departure does not, but departures re-plan immediately.
+	return len(sched.AppBudgetW) <= s.ex.Apps()
+}
+
+// appSample dresses an executor sample with identity and knob state.
+func (s *Sim) appSample(c coordinator.Sample) AppSample {
+	out := AppSample{T: c.T, CapW: s.ex.Cap(), GridW: c.GridW, SoC: c.SoC}
+	sched, haveSched := s.ex.Schedule()
+	for i := 0; i < s.ex.Apps(); i++ {
+		st := AppState{Name: s.names[i]}
+		if i < len(c.AppW) {
+			st.PowerW = c.AppW[i]
+		}
+		if r, err := s.ex.HeartbeatRate(i); err == nil {
+			st.RateHz = r
+		}
+		if haveSched && i < len(sched.AppBudgetW) {
+			st.BudgetW = sched.AppBudgetW[i]
+			st.Perf = sched.AppPerf[i]
+			for _, seg := range sched.Segments {
+				if sk, ok := seg.Run[i]; ok {
+					st.Knobs = sk.Knobs
+					break
+				}
+			}
+		}
+		out.Apps = append(out.Apps, st)
+	}
+	return out
+}

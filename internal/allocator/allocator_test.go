@@ -1,0 +1,197 @@
+package allocator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"powerstruggle/internal/simhw"
+	"powerstruggle/internal/workload"
+)
+
+func testCurves(t *testing.T, names ...string) (simhw.Config, []*workload.Curve, []*workload.Profile) {
+	t.Helper()
+	cfg := simhw.DefaultConfig()
+	lib, err := workload.NewLibrary(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var curves []*workload.Curve
+	var profs []*workload.Profile
+	for _, n := range names {
+		p := lib.MustApp(n)
+		profs = append(profs, p)
+		curves = append(curves, workload.OptimalCurve(cfg, p))
+	}
+	return cfg, curves, profs
+}
+
+func TestApportionValidation(t *testing.T) {
+	if _, err := Apportion(nil, 10, 0); err == nil {
+		t.Error("empty curve list accepted")
+	}
+	if _, err := EqualSplit(nil, 10); err == nil {
+		t.Error("empty curve list accepted by EqualSplit")
+	}
+}
+
+func TestApportionSpendsWithinBudget(t *testing.T) {
+	_, curves, _ := testCurves(t, "STREAM", "kmeans")
+	for _, budget := range []float64{0, 5, 10, 20, 30, 50} {
+		plan, err := Apportion(curves, budget, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var budgets float64
+		for _, a := range plan.Allocs {
+			budgets += a.BudgetW
+			if a.Runnable && a.Point.PowerW > a.BudgetW+1e-9 {
+				t.Fatalf("budget %g: point draws %g over share %g", budget, a.Point.PowerW, a.BudgetW)
+			}
+		}
+		if budgets > budget+1e-9 {
+			t.Fatalf("budget %g: shares sum to %g", budget, budgets)
+		}
+		if plan.SpentW > budget+1e-9 {
+			t.Fatalf("budget %g: spent %g", budget, plan.SpentW)
+		}
+	}
+}
+
+func TestApportionMatchesBruteForceOnTwoApps(t *testing.T) {
+	_, curves, _ := testCurves(t, "STREAM", "kmeans")
+	const step = 0.5
+	for _, budget := range []float64{10, 20, 30} {
+		plan, err := Apportion(curves, budget, step)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute-force the split on the same grid.
+		best := -1.0
+		for b0 := 0.0; b0 <= budget+1e-9; b0 += step {
+			v := curves[0].PerfAt(b0) + curves[1].PerfAt(budget-b0)
+			if v > best {
+				best = v
+			}
+		}
+		if math.Abs(plan.TotalPerf-best) > 1e-9 {
+			t.Errorf("budget %g: DP total %g, brute force %g", budget, plan.TotalPerf, best)
+		}
+	}
+}
+
+func TestApportionBeatsOrMatchesEqualSplit(t *testing.T) {
+	cfg, _, _ := testCurves(t, "STREAM")
+	lib, _ := workload.NewLibrary(cfg)
+	rng := rand.New(rand.NewSource(8))
+	apps := lib.Apps()
+	for trial := 0; trial < 40; trial++ {
+		a := apps[rng.Intn(len(apps))]
+		b := apps[rng.Intn(len(apps))]
+		curves := []*workload.Curve{workload.OptimalCurve(cfg, a), workload.OptimalCurve(cfg, b)}
+		budget := 6 + rng.Float64()*40
+		dp, err := Apportion(curves, budget, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq, err := EqualSplit(curves, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The DP is exact on its budget grid; a continuous equal split
+		// can land between grid levels, so allow one grid step's worth
+		// of slack (step x a generous slope bound).
+		const quantSlack = 0.03
+		if dp.TotalPerf+quantSlack < eq.TotalPerf {
+			t.Fatalf("%s+%s at %g W: DP %g worse than equal split %g",
+				a.Name, b.Name, budget, dp.TotalPerf, eq.TotalPerf)
+		}
+	}
+}
+
+func TestEqualSplitShares(t *testing.T) {
+	_, curves, _ := testCurves(t, "STREAM", "kmeans")
+	plan, err := EqualSplit(curves, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range plan.Allocs {
+		if a.BudgetW != 15 {
+			t.Errorf("alloc %d share = %g, want 15", i, a.BudgetW)
+		}
+		if !a.Runnable {
+			t.Errorf("alloc %d not runnable at 15 W", i)
+		}
+	}
+}
+
+func TestShapedSplit(t *testing.T) {
+	cfg, _, profs := testCurves(t, "STREAM", "kmeans")
+	lib, _ := workload.NewLibrary(cfg)
+	shape := workload.AverageCurve(cfg, lib.Apps())
+	plan, err := ShapedSplit(ShapeConfig{HW: cfg, Profiles: profs, Shape: shape}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Allocs) != 2 {
+		t.Fatalf("%d allocations, want 2", len(plan.Allocs))
+	}
+	for i, a := range plan.Allocs {
+		if !a.Runnable {
+			t.Errorf("alloc %d not runnable", i)
+		}
+		if a.Point.PowerW > a.BudgetW+1e-9 {
+			t.Errorf("alloc %d draws %g over share %g", i, a.Point.PowerW, a.BudgetW)
+		}
+	}
+	if _, err := ShapedSplit(ShapeConfig{HW: cfg, Shape: shape}, 30); err == nil {
+		t.Error("empty profile list accepted")
+	}
+}
+
+func TestApportionThreeApps(t *testing.T) {
+	_, curves, _ := testCurves(t, "STREAM", "kmeans", "X264")
+	plan, err := Apportion(curves, 30, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Allocs) != 3 {
+		t.Fatalf("%d allocations, want 3", len(plan.Allocs))
+	}
+	eq, _ := EqualSplit(curves, 30)
+	if plan.TotalPerf+1e-9 < eq.TotalPerf {
+		t.Errorf("DP (%g) worse than equal split (%g) with 3 applications", plan.TotalPerf, eq.TotalPerf)
+	}
+}
+
+func TestQuickApportionNeverOverspends(t *testing.T) {
+	cfg := simhw.DefaultConfig()
+	lib, err := workload.NewLibrary(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := lib.Apps()
+	curveCache := make(map[string]*workload.Curve)
+	curveFor := func(name string) *workload.Curve {
+		if c, ok := curveCache[name]; ok {
+			return c
+		}
+		c := workload.OptimalCurve(cfg, lib.MustApp(name))
+		curveCache[name] = c
+		return c
+	}
+	prop := func(ai, bi uint8, bud uint16) bool {
+		a := apps[int(ai)%len(apps)]
+		b := apps[int(bi)%len(apps)]
+		budget := float64(bud%600) / 10 // 0..60 W
+		plan, err := Apportion([]*workload.Curve{curveFor(a.Name), curveFor(b.Name)}, budget, 0)
+		if err != nil {
+			return false
+		}
+		return plan.SpentW <= budget+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,312 @@
+package cf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"powerstruggle/internal/simhw"
+	"powerstruggle/internal/workload"
+)
+
+func smallModel() ModelConfig {
+	return ModelConfig{Factors: 4, Epochs: 80, LearnRate: 0.03, Reg: 0.01, Seed: 1}
+}
+
+func TestFitValidation(t *testing.T) {
+	obs := []Observation{{Row: 0, Col: 0, Value: 1}}
+	if _, err := Fit(0, 1, obs, smallModel()); err == nil {
+		t.Error("zero rows accepted")
+	}
+	if _, err := Fit(1, 1, nil, smallModel()); err == nil {
+		t.Error("no observations accepted")
+	}
+	if _, err := Fit(1, 1, []Observation{{Row: 2, Col: 0, Value: 1}}, smallModel()); err == nil {
+		t.Error("out-of-range observation accepted")
+	}
+	if _, err := Fit(1, 1, []Observation{{Row: 0, Col: 0, Value: math.NaN()}}, smallModel()); err == nil {
+		t.Error("NaN observation accepted")
+	}
+	bad := smallModel()
+	bad.Factors = 0
+	if _, err := Fit(1, 1, obs, bad); err == nil {
+		t.Error("zero factors accepted")
+	}
+}
+
+// syntheticLowRank builds a rows x cols rank-2 matrix with biases.
+func syntheticLowRank(rows, cols int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	u := make([][2]float64, rows)
+	v := make([][2]float64, cols)
+	rb := make([]float64, rows)
+	cb := make([]float64, cols)
+	for i := range u {
+		u[i] = [2]float64{rng.NormFloat64(), rng.NormFloat64()}
+		rb[i] = rng.NormFloat64()
+	}
+	for j := range v {
+		v[j] = [2]float64{rng.NormFloat64(), rng.NormFloat64()}
+		cb[j] = rng.NormFloat64()
+	}
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = make([]float64, cols)
+		for j := range m[i] {
+			m[i][j] = 5 + rb[i] + cb[j] + u[i][0]*v[j][0] + u[i][1]*v[j][1]
+		}
+	}
+	return m
+}
+
+func TestFitRecoversLowRankMatrix(t *testing.T) {
+	const rows, cols = 12, 60
+	m := syntheticLowRank(rows, cols, 9)
+	rng := rand.New(rand.NewSource(10))
+	var train, test []Observation
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			o := Observation{Row: i, Col: j, Value: m[i][j]}
+			if rng.Float64() < 0.6 {
+				train = append(train, o)
+			} else {
+				test = append(test, o)
+			}
+		}
+	}
+	cfg := ModelConfig{Factors: 4, Epochs: 300, LearnRate: 0.02, Reg: 0.005, Seed: 2}
+	model, err := Fit(rows, cols, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse := model.RMSE(test); rmse > 0.35 {
+		t.Errorf("held-out RMSE = %g on a rank-2 matrix, want < 0.35", rmse)
+	}
+	if model.RMSE(nil) != 0 {
+		t.Error("RMSE of no observations should be 0")
+	}
+}
+
+func TestFitDeterministicForSeed(t *testing.T) {
+	m := syntheticLowRank(6, 30, 3)
+	var obs []Observation
+	for i := range m {
+		for j := range m[i] {
+			obs = append(obs, Observation{Row: i, Col: j, Value: m[i][j]})
+		}
+	}
+	a, err := Fit(6, 30, obs, smallModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(6, 30, obs, smallModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 30; j++ {
+			if a.Predict(i, j) != b.Predict(i, j) {
+				t.Fatalf("same seed produced different predictions at (%d, %d)", i, j)
+			}
+		}
+	}
+}
+
+func buildTestDataset(t *testing.T) (*Dataset, *workload.Library, simhw.Config) {
+	t.Helper()
+	cfg := simhw.DefaultConfig()
+	lib, err := workload.NewLibrary(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := BuildDataset(cfg, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, lib, cfg
+}
+
+func TestDatasetShape(t *testing.T) {
+	ds, lib, cfg := buildTestDataset(t)
+	if len(ds.Rows) != len(lib.Apps()) {
+		t.Fatalf("dataset has %d rows, want %d", len(ds.Rows), len(lib.Apps()))
+	}
+	if want := len(workload.EnumKnobs(cfg, cfg.CoresPerSocket)); len(ds.Cols) != want {
+		t.Fatalf("dataset has %d columns, want %d", len(ds.Cols), want)
+	}
+	for i := range ds.Rows {
+		if len(ds.PowerW[i]) != len(ds.Cols) || len(ds.LogRate[i]) != len(ds.Cols) {
+			t.Fatalf("row %d has ragged data", i)
+		}
+	}
+}
+
+func TestSampleColsProperties(t *testing.T) {
+	ds, _, _ := buildTestDataset(t)
+	s := ds.SampleCols(0.1, 42)
+	want := int(math.Ceil(0.1 * float64(len(ds.Cols))))
+	if len(s) != want {
+		t.Fatalf("sampled %d columns, want %d", len(s), want)
+	}
+	// The anchor (max setting) is always included.
+	found := false
+	seen := make(map[int]bool)
+	for _, j := range s {
+		if j == len(ds.Cols)-1 {
+			found = true
+		}
+		if seen[j] {
+			t.Fatalf("duplicate sample %d", j)
+		}
+		seen[j] = true
+	}
+	if !found {
+		t.Error("anchor column not sampled")
+	}
+	// Deterministic for a seed.
+	s2 := ds.SampleCols(0.1, 42)
+	for i := range s {
+		if s[i] != s2[i] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+	// A tiny fraction still yields at least two samples.
+	if got := ds.SampleCols(0.0001, 1); len(got) < 2 {
+		t.Errorf("tiny fraction sampled %d columns, want >= 2", len(got))
+	}
+}
+
+func TestEstimateKeepsMeasuredCellsExact(t *testing.T) {
+	ds, lib, cfg := buildTestDataset(t)
+	target := lib.MustApp("BFS")
+	ti := indexOf(ds.Rows, "BFS")
+	var train []int
+	for i := range ds.Rows {
+		if i != ti {
+			train = append(train, i)
+		}
+	}
+	sampled := ds.SampleCols(0.1, 5)
+	est, err := ds.EstimateApp(train, sampled,
+		func(j int) float64 { return target.Power(cfg, ds.Cols[j]) },
+		func(j int) float64 { return target.Rate(cfg, ds.Cols[j]) },
+		smallModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range sampled {
+		if !est.Measured(j) {
+			t.Fatalf("sampled column %d not marked measured", j)
+		}
+		if est.PowerW(j) != target.Power(cfg, ds.Cols[j]) {
+			t.Fatalf("measured power at %d was altered", j)
+		}
+		if est.Rate(j) != target.Rate(cfg, ds.Cols[j]) {
+			t.Fatalf("measured rate at %d was altered", j)
+		}
+	}
+}
+
+func TestEstimateAccuracyAtTenPercent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CF training is slow")
+	}
+	ds, lib, cfg := buildTestDataset(t)
+	target := lib.MustApp("facesim")
+	ti := indexOf(ds.Rows, "facesim")
+	var train []int
+	for i := range ds.Rows {
+		if i != ti {
+			train = append(train, i)
+		}
+	}
+	sampled := ds.SampleCols(0.10, 7)
+	est, err := ds.EstimateApp(train, sampled,
+		func(j int) float64 { return target.Power(cfg, ds.Cols[j]) },
+		func(j int) float64 { return target.Rate(cfg, ds.Cols[j]) },
+		DefaultModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sqPow, sqRate float64
+	n := 0
+	for j := range ds.Cols {
+		if est.Measured(j) {
+			continue
+		}
+		dp := est.PowerW(j) - target.Power(cfg, ds.Cols[j])
+		dr := (est.Rate(j) - target.Rate(cfg, ds.Cols[j])) / target.Rate(cfg, ds.Cols[j])
+		sqPow += dp * dp
+		sqRate += dr * dr
+		n++
+	}
+	if rmse := math.Sqrt(sqPow / float64(n)); rmse > 1.0 {
+		t.Errorf("power RMSE at 10%% sampling = %.2f W, want < 1 W", rmse)
+	}
+	if rmse := math.Sqrt(sqRate / float64(n)); rmse > 0.08 {
+		t.Errorf("rate relative RMSE at 10%% sampling = %.3f, want < 8%%", rmse)
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	ds, _, _ := buildTestDataset(t)
+	if _, err := ds.EstimateApp(nil, nil, nil, nil, smallModel()); err == nil {
+		t.Error("estimate without samples accepted")
+	}
+	if _, err := ds.EstimateApp(nil, []int{-1},
+		func(int) float64 { return 1 },
+		func(int) float64 { return 1 }, smallModel()); err == nil {
+		t.Error("negative sample column accepted")
+	}
+	if _, err := ds.EstimateApp(nil, []int{0},
+		func(int) float64 { return 1 },
+		func(int) float64 { return 0 }, smallModel()); err == nil {
+		t.Error("non-positive measured rate accepted")
+	}
+}
+
+func TestEstimatedCurveIsUsable(t *testing.T) {
+	ds, lib, cfg := buildTestDataset(t)
+	target := lib.MustApp("kmeans")
+	ti := indexOf(ds.Rows, "kmeans")
+	var train []int
+	for i := range ds.Rows {
+		if i != ti {
+			train = append(train, i)
+		}
+	}
+	sampled := ds.SampleCols(0.10, 11)
+	est, err := ds.EstimateApp(train, sampled,
+		func(j int) float64 { return target.Power(cfg, ds.Cols[j]) },
+		func(j int) float64 { return target.Rate(cfg, ds.Cols[j]) },
+		smallModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := est.Curve(target.MaxCores)
+	if curve.Len() == 0 {
+		t.Fatal("estimated curve is empty")
+	}
+	pt, ok := curve.At(15)
+	if !ok {
+		t.Fatal("estimated curve unrunnable at 15 W")
+	}
+	// The believed point must be near-feasible in reality.
+	truePower := target.Power(cfg, pt.Knobs) * pt.DutyFrac
+	if truePower > 15*1.25 {
+		t.Errorf("estimated 15 W point truly draws %.1f W", truePower)
+	}
+	// The anchor normalization keeps perf near [0, 1].
+	if pt.Perf < 0 || pt.Perf > 1.2 {
+		t.Errorf("estimated perf %g out of range", pt.Perf)
+	}
+}
+
+func indexOf(rows []string, name string) int {
+	for i, r := range rows {
+		if r == name {
+			return i
+		}
+	}
+	return -1
+}

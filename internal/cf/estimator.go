@@ -1,0 +1,218 @@
+package cf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"powerstruggle/internal/simhw"
+	"powerstruggle/internal/workload"
+)
+
+// Dataset is the application x knob-setting preference matrix the paper's
+// framework accumulates: one row per previously-seen application, one
+// column per (f, n, m) setting, and two values per cell — measured power
+// and measured heartbeat rate.
+type Dataset struct {
+	// HW is the platform the measurements were taken on.
+	HW simhw.Config
+	// Cols is the canonical knob-setting order shared by all rows.
+	Cols []workload.Knobs
+	// Rows names the seen applications.
+	Rows []string
+	// PowerW[i][j] is application i's measured draw at setting j.
+	PowerW [][]float64
+	// LogRate[i][j] is log(measured heartbeat rate) at setting j; rates
+	// live in log space because they vary multiplicatively across
+	// applications.
+	LogRate [][]float64
+}
+
+// BuildDataset measures every application in the library at every knob
+// setting — the exhaustive profiling the online system cannot afford for
+// a *new* application but accumulates over time for past ones.
+func BuildDataset(cfg simhw.Config, lib *workload.Library) (*Dataset, error) {
+	if lib == nil {
+		return nil, fmt.Errorf("cf: nil library")
+	}
+	ds := &Dataset{HW: cfg, Cols: workload.EnumKnobs(cfg, cfg.CoresPerSocket)}
+	for _, p := range lib.Apps() {
+		row := make([]float64, len(ds.Cols))
+		lrow := make([]float64, len(ds.Cols))
+		for j, k := range ds.Cols {
+			row[j] = p.Power(cfg, k)
+			r := p.Rate(cfg, k)
+			if r <= 0 {
+				return nil, fmt.Errorf("cf: %s has non-positive rate at %v", p.Name, k)
+			}
+			lrow[j] = math.Log(r)
+		}
+		ds.Rows = append(ds.Rows, p.Name)
+		ds.PowerW = append(ds.PowerW, row)
+		ds.LogRate = append(ds.LogRate, lrow)
+	}
+	return ds, nil
+}
+
+// SampleCols draws a deterministic sample of ceil(frac*len(cols)) column
+// indices for online measurement of a new application. The sample is
+// stratified across the knob space (every k-th setting of a shuffled
+// order) and always includes the unconstrained setting, so the
+// normalization anchor is measured rather than estimated.
+func (ds *Dataset) SampleCols(frac float64, seed int64) []int {
+	n := len(ds.Cols)
+	if n == 0 {
+		return nil
+	}
+	want := int(math.Ceil(frac * float64(n)))
+	if want < 2 {
+		want = 2
+	}
+	if want > n {
+		want = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	out := make([]int, 0, want)
+	seen := make(map[int]bool, want)
+	// Anchor: the maximal setting (last in EnumKnobs order).
+	out = append(out, n-1)
+	seen[n-1] = true
+	for _, j := range perm {
+		if len(out) >= want {
+			break
+		}
+		if !seen[j] {
+			out = append(out, j)
+			seen[j] = true
+		}
+	}
+	return out
+}
+
+// Estimate is the collaborative-filtering picture of one new application:
+// predicted power and heartbeat rate at every knob setting, with measured
+// cells kept exact.
+type Estimate struct {
+	ds *Dataset
+	// powerW and rate are the fused (measured-or-predicted) values per
+	// column.
+	powerW []float64
+	rate   []float64
+	// measured marks exactly-known columns.
+	measured []bool
+}
+
+// EstimateApp fits CF models from the dataset's seen applications plus
+// the sparse online measurements of a new application, and returns the
+// completed row. trainRows selects which dataset rows may be learned
+// from (the cross-validation hook); nil means all. sampled lists the
+// column indices measured online for the new application, and
+// measurePower/measureRate supply those measurements.
+func (ds *Dataset) EstimateApp(trainRows []int, sampled []int, measurePower, measureRate func(j int) float64, mc ModelConfig) (*Estimate, error) {
+	if len(sampled) == 0 {
+		return nil, fmt.Errorf("cf: new application needs at least one online sample")
+	}
+	if trainRows == nil {
+		trainRows = make([]int, len(ds.Rows))
+		for i := range trainRows {
+			trainRows[i] = i
+		}
+	}
+	nCols := len(ds.Cols)
+	newRow := len(trainRows) // the new application's row index in the model
+
+	var powerObs, rateObs []Observation
+	for ri, i := range trainRows {
+		for j := 0; j < nCols; j++ {
+			powerObs = append(powerObs, Observation{Row: ri, Col: j, Value: ds.PowerW[i][j]})
+			rateObs = append(rateObs, Observation{Row: ri, Col: j, Value: ds.LogRate[i][j]})
+		}
+	}
+	est := &Estimate{
+		ds:       ds,
+		powerW:   make([]float64, nCols),
+		rate:     make([]float64, nCols),
+		measured: make([]bool, nCols),
+	}
+	for _, j := range sampled {
+		if j < 0 || j >= nCols {
+			return nil, fmt.Errorf("cf: sampled column %d outside %d settings", j, nCols)
+		}
+		pw, rt := measurePower(j), measureRate(j)
+		if rt <= 0 {
+			return nil, fmt.Errorf("cf: measured rate at column %d must be positive, got %g", j, rt)
+		}
+		est.powerW[j] = pw
+		est.rate[j] = rt
+		est.measured[j] = true
+		powerObs = append(powerObs, Observation{Row: newRow, Col: j, Value: pw})
+		rateObs = append(rateObs, Observation{Row: newRow, Col: j, Value: math.Log(rt)})
+	}
+
+	pm, err := Fit(newRow+1, nCols, powerObs, mc)
+	if err != nil {
+		return nil, fmt.Errorf("cf: power model: %w", err)
+	}
+	rm, err := Fit(newRow+1, nCols, rateObs, mc)
+	if err != nil {
+		return nil, fmt.Errorf("cf: rate model: %w", err)
+	}
+	for j := 0; j < nCols; j++ {
+		if est.measured[j] {
+			continue
+		}
+		est.powerW[j] = math.Max(0, pm.Predict(newRow, j))
+		est.rate[j] = math.Exp(rm.Predict(newRow, j))
+	}
+	return est, nil
+}
+
+// PowerW returns the estimated (or measured) power at column j.
+func (e *Estimate) PowerW(j int) float64 { return e.powerW[j] }
+
+// Rate returns the estimated (or measured) heartbeat rate at column j.
+func (e *Estimate) Rate(j int) float64 { return e.rate[j] }
+
+// Measured reports whether column j was measured online.
+func (e *Estimate) Measured(j int) bool { return e.measured[j] }
+
+// Curve builds a utility curve from the estimate for an application
+// entitled to maxCores cores: settings beyond the entitlement are
+// dropped, performance is normalized to the estimated unconstrained
+// rate, and the Pareto frontier is taken over estimated power. This is
+// what the PowerAllocator consumes in place of the oracle curve.
+func (e *Estimate) Curve(maxCores int) *workload.Curve {
+	return e.CurveMargin(maxCores, 0)
+}
+
+// CurveMargin is Curve with a power safety margin: every setting's
+// believed draw is inflated by the given fraction before the frontier is
+// taken. Allocating against noisy estimates suffers a winner's curse —
+// settings whose power was under-read look attractive — and a margin of
+// about the measurement noise restores cap adherence (the knob Fig. 7's
+// calibration turns).
+func (e *Estimate) CurveMargin(maxCores int, margin float64) *workload.Curve {
+	// Normalization anchor: the best estimated rate across settings the
+	// application can actually use.
+	var anchor float64
+	for j, k := range e.ds.Cols {
+		if k.Cores <= maxCores && e.rate[j] > anchor {
+			anchor = e.rate[j]
+		}
+	}
+	if anchor <= 0 {
+		return workload.CurveFromEval(e.ds.HW, maxCores, func(workload.Knobs) (float64, float64) { return -1, -1 })
+	}
+	byKnobs := make(map[workload.Knobs]int, len(e.ds.Cols))
+	for j, k := range e.ds.Cols {
+		byKnobs[k] = j
+	}
+	return workload.CurveFromEval(e.ds.HW, maxCores, func(k workload.Knobs) (float64, float64) {
+		j, ok := byKnobs[k]
+		if !ok {
+			return -1, -1
+		}
+		return e.powerW[j] * (1 + margin), e.rate[j] / anchor
+	})
+}

@@ -1,0 +1,148 @@
+// Package cf implements the paper's online utility learning (Section
+// III-A): the power and performance of an application at every (f, n, m)
+// knob setting are estimated from a few online samples by collaborative
+// filtering against previously-seen applications, exactly as a
+// recommender predicts a new user's preferences from the population.
+//
+// The estimator is a biased matrix factorization (global mean + row and
+// column biases + latent factors) trained by SGD on the observed cells —
+// the de-facto standard model the paper's R implementation provides. Two
+// independent models are fit, one for power draw (watts, linear space)
+// and one for heartbeat rate (log space, since rates vary multiplicatively
+// across applications).
+package cf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Observation is one measured cell of the application x knob-setting
+// matrix.
+type Observation struct {
+	Row, Col int
+	Value    float64
+}
+
+// ModelConfig holds the matrix-factorization hyperparameters.
+type ModelConfig struct {
+	// Factors is the latent dimension.
+	Factors int
+	// Epochs is the number of SGD sweeps over the observations.
+	Epochs int
+	// LearnRate is the SGD step size.
+	LearnRate float64
+	// Reg is the L2 regularization weight on biases and factors.
+	Reg float64
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+// DefaultModelConfig returns hyperparameters that reconstruct the paper's
+// utility matrices well at 10% sampling.
+func DefaultModelConfig() ModelConfig {
+	return ModelConfig{Factors: 6, Epochs: 220, LearnRate: 0.02, Reg: 0.015, Seed: 1}
+}
+
+// Model is a trained biased matrix factorization.
+type Model struct {
+	mu       float64
+	rowBias  []float64
+	colBias  []float64
+	rowFac   [][]float64
+	colFac   [][]float64
+	nFactors int
+}
+
+// Fit trains a model for a rows x cols matrix from the observed cells.
+func Fit(rows, cols int, obs []Observation, cfg ModelConfig) (*Model, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("cf: matrix %dx%d is invalid", rows, cols)
+	}
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("cf: no observations")
+	}
+	if cfg.Factors <= 0 || cfg.Epochs <= 0 || cfg.LearnRate <= 0 {
+		return nil, fmt.Errorf("cf: invalid hyperparameters %+v", cfg)
+	}
+	for _, o := range obs {
+		if o.Row < 0 || o.Row >= rows || o.Col < 0 || o.Col >= cols {
+			return nil, fmt.Errorf("cf: observation (%d, %d) outside %dx%d", o.Row, o.Col, rows, cols)
+		}
+		if math.IsNaN(o.Value) || math.IsInf(o.Value, 0) {
+			return nil, fmt.Errorf("cf: observation (%d, %d) is not finite", o.Row, o.Col)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{
+		rowBias:  make([]float64, rows),
+		colBias:  make([]float64, cols),
+		rowFac:   make([][]float64, rows),
+		colFac:   make([][]float64, cols),
+		nFactors: cfg.Factors,
+	}
+	const initScale = 0.05
+	for i := range m.rowFac {
+		m.rowFac[i] = make([]float64, cfg.Factors)
+		for f := range m.rowFac[i] {
+			m.rowFac[i][f] = initScale * (rng.Float64() - 0.5)
+		}
+	}
+	for j := range m.colFac {
+		m.colFac[j] = make([]float64, cfg.Factors)
+		for f := range m.colFac[j] {
+			m.colFac[j][f] = initScale * (rng.Float64() - 0.5)
+		}
+	}
+	for _, o := range obs {
+		m.mu += o.Value
+	}
+	m.mu /= float64(len(obs))
+
+	order := rng.Perm(len(obs))
+	lr, reg := cfg.LearnRate, cfg.Reg
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			o := obs[idx]
+			pred := m.Predict(o.Row, o.Col)
+			err := o.Value - pred
+			rb, cb := m.rowBias[o.Row], m.colBias[o.Col]
+			m.rowBias[o.Row] += lr * (err - reg*rb)
+			m.colBias[o.Col] += lr * (err - reg*cb)
+			rf, cfv := m.rowFac[o.Row], m.colFac[o.Col]
+			for f := 0; f < cfg.Factors; f++ {
+				ru, cv := rf[f], cfv[f]
+				rf[f] += lr * (err*cv - reg*ru)
+				cfv[f] += lr * (err*ru - reg*cv)
+			}
+		}
+	}
+	return m, nil
+}
+
+// Predict returns the model's estimate for cell (row, col).
+func (m *Model) Predict(row, col int) float64 {
+	v := m.mu + m.rowBias[row] + m.colBias[col]
+	rf, cf := m.rowFac[row], m.colFac[col]
+	for f := 0; f < m.nFactors; f++ {
+		v += rf[f] * cf[f]
+	}
+	return v
+}
+
+// RMSE returns the root-mean-square error of the model on a set of
+// held-out cells.
+func (m *Model) RMSE(obs []Observation) float64 {
+	if len(obs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, o := range obs {
+		d := o.Value - m.Predict(o.Row, o.Col)
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(obs)))
+}

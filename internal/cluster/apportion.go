@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"math"
+
+	"powerstruggle/internal/policy"
+)
+
+// UtilityOurs is the extension the paper's conclusion points at
+// ("integration with cluster/datacenter level scheduling"): instead of
+// splitting the cluster cap evenly, the cluster manager apportions it
+// across servers by the marginal utility of each watt — the paper's R1
+// applied one level up the power hierarchy — with App+Res+ESD-Aware
+// mediating inside each server. Under deep shaving it concentrates
+// power on fewer servers (amortizing their P_idle + P_cm) without any
+// migration, capping the rest at their idle floor.
+const UtilityOurs Strategy = ConsolidateMigrate + 1
+
+// serverCapStepW is the grid on which per-server cap-utility curves are
+// sampled and the cluster DP runs.
+const serverCapStepW = 2.0
+
+// capPoint is one sample of a server's cap-utility curve.
+type capPoint struct {
+	capW  float64
+	perf  float64
+	gridW float64
+}
+
+// serverCapCurve samples one server's performance as a function of its
+// cap, from the idle floor (nothing can cap below it without shutting
+// the server down) to the nameplate.
+func (e *Evaluator) serverCapCurve(mixIdx int) ([]capPoint, error) {
+	mix := e.cfg.Mixes[mixIdx]
+	var out []capPoint
+	nameplate := e.cfg.HW.MaxServerWatts()
+	for cap := e.cfg.HW.PIdleWatts; cap <= nameplate+serverCapStepW; cap += serverCapStepW {
+		p, err := e.planServer(mix, policy.AppResESDAware, math.Min(cap, nameplate), e.cfg.hasBattery(mixIdx))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, capPoint{capW: math.Min(cap, nameplate), perf: p.perf, gridW: p.gridW})
+	}
+	return out, nil
+}
+
+// utilityStep apportions one instant's cluster cap across the servers by
+// dynamic programming over their cap-utility curves.
+func (e *Evaluator) utilityStep(clusterCapW float64) (perf, grid float64, err error) {
+	n := len(e.cfg.Mixes)
+	floor := e.cfg.HW.PIdleWatts
+	if clusterCapW < floor*float64(n) {
+		// Not even the idle floors fit; the fleet draws what it may.
+		return 0, clusterCapW, nil
+	}
+	curves := make([][]capPoint, n)
+	for i := range curves {
+		c, err := e.serverCapCurve(i)
+		if err != nil {
+			return 0, 0, err
+		}
+		curves[i] = c
+	}
+	// DP over the budget above the idle floors, in curve-index units
+	// (curve point k costs k*serverCapStepW above the floor).
+	spare := clusterCapW - floor*float64(n)
+	levels := int(spare/serverCapStepW) + 1
+	best := make([]float64, levels)
+	choice := make([][]int, n)
+	for i := 0; i < n; i++ {
+		choice[i] = make([]int, levels)
+		next := make([]float64, levels)
+		for l := 0; l < levels; l++ {
+			bestV, bestK := math.Inf(-1), 0
+			kMax := l
+			if kMax >= len(curves[i]) {
+				kMax = len(curves[i]) - 1
+			}
+			for k := 0; k <= kMax; k++ {
+				if v := best[l-k] + curves[i][k].perf; v > bestV {
+					bestV, bestK = v, k
+				}
+			}
+			next[l] = bestV
+			choice[i][l] = bestK
+		}
+		best = next
+	}
+	l := levels - 1
+	for i := n - 1; i >= 0; i-- {
+		k := choice[i][l]
+		perf += curves[i][k].perf
+		grid += curves[i][k].gridW
+		l -= k
+	}
+	return perf, grid, nil
+}
+
+// utilityCache memoizes utilityStep on the quantized cluster cap.
+type utilityCacheEntry struct {
+	perf, grid float64
+}
+
+// utilityCachedStep is utilityStep with memoization on the quantized
+// cluster cap (caps repeat across a shaving event).
+func (e *Evaluator) utilityCachedStep(clusterCapW float64) (float64, float64, error) {
+	key := math.Floor(clusterCapW / serverCapStepW)
+	if e.utilCache == nil {
+		e.utilCache = make(map[float64]utilityCacheEntry)
+	}
+	if ent, ok := e.utilCache[key]; ok {
+		return ent.perf, ent.grid, nil
+	}
+	perf, grid, err := e.utilityStep(key * serverCapStepW)
+	if err != nil {
+		return 0, 0, err
+	}
+	e.utilCache[key] = utilityCacheEntry{perf: perf, grid: grid}
+	return perf, grid, nil
+}

@@ -1,0 +1,355 @@
+// Package cluster evaluates the paper's Section IV-D: a cluster manager
+// replaying peak-shaving power caps over a fleet of shared servers, under
+// three strategies — Equal(RAPL), the state-of-the-art that evenly splits
+// the cluster cap and enforces each server's share with RAPL; Equal(Ours),
+// the same split with the paper's App+Res+ESD-Aware policy inside each
+// server; and Consolidation+Migration(no cap), which powers only as many
+// servers as the budget allows and migrates applications onto them
+// without capping any active server.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"powerstruggle/internal/esd"
+	"powerstruggle/internal/policy"
+	"powerstruggle/internal/simhw"
+	"powerstruggle/internal/trace"
+	"powerstruggle/internal/workload"
+)
+
+// Strategy enumerates the cluster power-management strategies of Fig 12.
+type Strategy int
+
+// The strategies of Section IV-D.
+const (
+	// EqualRAPL evenly apportions the cluster cap and caps each server
+	// with RAPL (the Dynamo-style state of the art).
+	EqualRAPL Strategy = iota
+	// EqualOurs evenly apportions the cluster cap and mediates each
+	// server's power struggle with App+Res+ESD-Aware.
+	EqualOurs
+	// ConsolidateMigrate powers only as many servers as the budget
+	// allows, migrating applications onto them, and caps none of them.
+	ConsolidateMigrate
+)
+
+// String names the strategy as Fig. 12 does.
+func (s Strategy) String() string {
+	switch s {
+	case EqualRAPL:
+		return "Equal(RAPL)"
+	case EqualOurs:
+		return "Equal(Ours)"
+	case ConsolidateMigrate:
+		return "Consolidation+Migration(no cap)"
+	case UtilityOurs:
+		return "Utility(Ours)"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Config describes the evaluated cluster.
+type Config struct {
+	// HW is the per-server platform.
+	HW simhw.Config
+	// Library resolves application profiles.
+	Library *workload.Library
+	// Mixes assigns one two-application mix per server; its length is
+	// the cluster size.
+	Mixes []workload.Mix
+	// ESDSpec equips every server with a battery for EqualOurs (zero
+	// value: the paper's lead-acid at 300 kJ).
+	ESDSpec esd.Spec
+	// CapQuantW rounds per-server caps for plan memoization (default
+	// 0.5 W).
+	CapQuantW float64
+	// InterferencePenalty is the per-co-runner slowdown consolidation
+	// pays for every application packed beyond one per socket (default
+	// 0.15, the range hardware co-location studies report for
+	// cache-sensitive pairs).
+	InterferencePenalty float64
+	// BatteryServers, when non-nil, marks which servers carry an ESD
+	// (length must match Mixes). nil means every server has one — the
+	// paper's setup.
+	BatteryServers []bool
+}
+
+// hasBattery reports whether server i carries an ESD.
+func (c Config) hasBattery(i int) bool {
+	if c.BatteryServers == nil {
+		return true
+	}
+	if i < 0 || i >= len(c.BatteryServers) {
+		return false
+	}
+	return c.BatteryServers[i]
+}
+
+func (c Config) capQuant() float64 {
+	if c.CapQuantW > 0 {
+		return c.CapQuantW
+	}
+	return 0.5
+}
+
+// Result is one strategy's outcome over a cap schedule.
+type Result struct {
+	Strategy Strategy
+	// PerfSeries is the aggregate normalized performance over time
+	// (sum over servers of the objective (1), so "all applications
+	// uncapped everywhere" scores 2 x servers).
+	PerfSeries []trace.Point
+	// GridSeries is the cluster grid draw over time.
+	GridSeries []trace.Point
+	// AvgPerfFrac is mean aggregate performance normalized to the
+	// uncapped cluster (1.0 = no caps, Fig. 12b's y-axis).
+	AvgPerfFrac float64
+	// EnergyJ is total grid energy over the schedule.
+	EnergyJ float64
+	// Efficiency is normalized performance delivered per kilojoule of
+	// granted cap energy — the paper's "performance per available
+	// watt". Strategies share the cap schedule, so this ranks exactly
+	// as AvgPerfFrac but is the quantity the efficiency claims quote.
+	Efficiency float64
+	// EnergyEfficiency is normalized performance per kilojoule of
+	// energy actually consumed; consolidation shines here because it
+	// sheds whole idle floors.
+	EnergyEfficiency float64
+	// CapViolations counts steps where cluster draw exceeded the cap.
+	CapViolations int
+}
+
+// serverPlanKey memoizes per-server policy planning.
+type serverPlanKey struct {
+	mixID   int
+	kind    policy.Kind
+	capW    float64
+	battery bool
+}
+
+type serverPlan struct {
+	perf  float64
+	gridW float64
+	ok    bool
+}
+
+// Evaluator replays cap schedules against the configured cluster.
+type Evaluator struct {
+	cfg       Config
+	cache     map[serverPlanKey]serverPlan
+	utilCache map[float64]utilityCacheEntry
+}
+
+// NewEvaluator builds an evaluator, validating the configuration.
+func NewEvaluator(cfg Config) (*Evaluator, error) {
+	if cfg.Library == nil {
+		return nil, fmt.Errorf("cluster: config needs the application library")
+	}
+	if len(cfg.Mixes) == 0 {
+		return nil, fmt.Errorf("cluster: no servers (empty mix assignment)")
+	}
+	if cfg.BatteryServers != nil && len(cfg.BatteryServers) != len(cfg.Mixes) {
+		return nil, fmt.Errorf("cluster: %d battery flags for %d servers", len(cfg.BatteryServers), len(cfg.Mixes))
+	}
+	if cfg.ESDSpec.CapacityJ == 0 {
+		cfg.ESDSpec = esd.LeadAcid(300e3)
+	}
+	if err := cfg.ESDSpec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Evaluator{cfg: cfg, cache: make(map[serverPlanKey]serverPlan)}, nil
+}
+
+// Servers returns the cluster size.
+func (e *Evaluator) Servers() int { return len(e.cfg.Mixes) }
+
+// UncappedServerW returns one server's draw with its mix running
+// unconstrained.
+func (e *Evaluator) UncappedServerW(mix workload.Mix) (float64, error) {
+	a, b, err := e.cfg.Library.MixProfiles(mix)
+	if err != nil {
+		return 0, err
+	}
+	return e.cfg.HW.ServerPowerWatts([]float64{a.NoCapPower(e.cfg.HW), b.NoCapPower(e.cfg.HW)}), nil
+}
+
+// UncappedClusterW returns the fleet's unconstrained draw, the reference
+// peak Fig. 12a shaves.
+func (e *Evaluator) UncappedClusterW() (float64, error) {
+	var total float64
+	for _, m := range e.cfg.Mixes {
+		w, err := e.UncappedServerW(m)
+		if err != nil {
+			return 0, err
+		}
+		total += w
+	}
+	return total, nil
+}
+
+// planServer plans one server under one cap with one per-server policy,
+// memoized on the quantized cap.
+func (e *Evaluator) planServer(mix workload.Mix, kind policy.Kind, capW float64, battery bool) (serverPlan, error) {
+	// Quantize the cap downward (never plan for more power than granted)
+	// and bound it at the nameplate: higher caps cannot bind.
+	if nameplate := e.cfg.HW.MaxServerWatts(); capW > nameplate {
+		capW = nameplate
+	}
+	q := e.cfg.capQuant()
+	key := serverPlanKey{mixID: mix.ID, kind: kind, capW: math.Floor(capW/q) * q, battery: battery}
+	if p, ok := e.cache[key]; ok {
+		return p, nil
+	}
+	a, b, err := e.cfg.Library.MixProfiles(mix)
+	if err != nil {
+		return serverPlan{}, err
+	}
+	var dev *esd.Device
+	if kind == policy.AppResESDAware && battery {
+		// Steady-state planning: the schedule is energy-balanced per
+		// period, so a mid-charge device characterizes sustained
+		// operation.
+		dev, err = esd.NewDevice(e.cfg.ESDSpec, 0.6)
+		if err != nil {
+			return serverPlan{}, err
+		}
+	}
+	dec, err := policy.Plan(kind, policy.Context{
+		HW:       e.cfg.HW,
+		CapW:     key.capW,
+		Profiles: []*workload.Profile{a, b},
+		Library:  e.cfg.Library,
+		Device:   dev,
+	})
+	if err != nil {
+		// Caps below the idle floor (or otherwise infeasible) deliver
+		// nothing but still draw the idle floor.
+		// Using key.capW (not the raw cap) keeps the memoized draw
+		// valid for every cap that quantizes to this entry.
+		p := serverPlan{perf: 0, gridW: math.Min(key.capW, e.cfg.HW.PIdleWatts), ok: false}
+		e.cache[key] = p
+		return p, nil
+	}
+	grid := gridDraw(e.cfg.HW, dec)
+	p := serverPlan{perf: dec.Schedule.TotalPerf, gridW: grid, ok: true}
+	e.cache[key] = p
+	return p, nil
+}
+
+// gridDraw estimates a schedule's time-averaged grid draw.
+func gridDraw(hw simhw.Config, dec policy.Decision) float64 {
+	s := dec.Schedule
+	if s.PeriodS <= 0 {
+		return hw.PIdleWatts
+	}
+	var energy float64
+	for _, seg := range s.Segments {
+		w := hw.PIdleWatts
+		if !seg.Sleep && len(seg.Run) > 0 {
+			w += hw.PCmWatts
+		}
+		if seg.ChargeW > 0 {
+			w += seg.ChargeW
+		}
+		if seg.DischargeW > 0 {
+			w -= seg.DischargeW
+		}
+		energy += w * seg.Seconds
+	}
+	// Application dynamic draw is already time-averaged in AppBudgetW.
+	for _, b := range s.AppBudgetW {
+		energy += b * s.PeriodS
+	}
+	return energy / s.PeriodS
+}
+
+// Evaluate replays a cluster cap schedule under one strategy.
+func (e *Evaluator) Evaluate(caps []trace.Point, strat Strategy) (Result, error) {
+	if len(caps) == 0 {
+		return Result{}, fmt.Errorf("cluster: empty cap schedule")
+	}
+	res := Result{Strategy: strat}
+	uncapped := 2 * float64(len(e.cfg.Mixes)) // objective (1) with all apps at 1.0
+
+	var perfSum float64
+	for i, cp := range caps {
+		var perf, grid float64
+		var err error
+		switch strat {
+		case EqualRAPL:
+			perf, grid, err = e.equalStep(cp.V, policy.UtilUnaware)
+		case EqualOurs:
+			perf, grid, err = e.equalStep(cp.V, policy.AppResESDAware)
+		case ConsolidateMigrate:
+			perf, grid, err = e.consolidateStep(cp.V)
+		case UtilityOurs:
+			perf, grid, err = e.utilityCachedStep(cp.V)
+		default:
+			err = fmt.Errorf("cluster: unknown strategy %v", strat)
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		res.PerfSeries = append(res.PerfSeries, trace.Point{T: cp.T, V: perf})
+		res.GridSeries = append(res.GridSeries, trace.Point{T: cp.T, V: grid})
+		if grid > cp.V+1e-6 {
+			res.CapViolations++
+		}
+		perfSum += perf
+		var dt float64
+		if i+1 < len(caps) {
+			dt = caps[i+1].T - cp.T
+		} else if i > 0 {
+			dt = cp.T - caps[i-1].T
+		}
+		res.EnergyJ += grid * dt
+	}
+	res.AvgPerfFrac = perfSum / float64(len(caps)) / uncapped
+	dur := caps[len(caps)-1].T - caps[0].T
+	var capEnergy float64
+	for i, cp := range caps {
+		var dt float64
+		if i+1 < len(caps) {
+			dt = caps[i+1].T - cp.T
+		} else if i > 0 {
+			dt = cp.T - caps[i-1].T
+		}
+		capEnergy += math.Min(cp.V, uncappedDrawGuard(e)) * dt
+	}
+	if capEnergy > 0 {
+		res.Efficiency = (perfSum / float64(len(caps)) * dur) / (capEnergy / 1000)
+	}
+	if res.EnergyJ > 0 {
+		res.EnergyEfficiency = (perfSum / float64(len(caps)) * dur) / (res.EnergyJ / 1000)
+	}
+	return res, nil
+}
+
+// equalStep evenly splits the cluster cap and plans every server with the
+// given per-server policy.
+func (e *Evaluator) equalStep(clusterCapW float64, kind policy.Kind) (perf, grid float64, err error) {
+	per := clusterCapW / float64(len(e.cfg.Mixes))
+	for i, m := range e.cfg.Mixes {
+		p, err := e.planServer(m, kind, per, e.cfg.hasBattery(i))
+		if err != nil {
+			return 0, 0, err
+		}
+		perf += p.perf
+		grid += p.gridW
+	}
+	return perf, grid, nil
+}
+
+// uncappedDrawGuard bounds cap energy accounting at the fleet's
+// unconstrained draw: power granted beyond what the fleet can use is not
+// "available" in any meaningful sense.
+func uncappedDrawGuard(e *Evaluator) float64 {
+	w, err := e.UncappedClusterW()
+	if err != nil {
+		return math.Inf(1)
+	}
+	return w
+}

@@ -1,0 +1,338 @@
+package cluster
+
+import (
+	"testing"
+
+	"powerstruggle/internal/simhw"
+	"powerstruggle/internal/trace"
+	"powerstruggle/internal/workload"
+)
+
+func newEval(t *testing.T, servers int) (*Evaluator, float64) {
+	t.Helper()
+	hw := simhw.DefaultConfig()
+	lib, err := workload.NewLibrary(hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixes := workload.Mixes()
+	assign := make([]workload.Mix, servers)
+	for i := range assign {
+		assign[i] = mixes[i%len(mixes)]
+	}
+	ev, err := NewEvaluator(Config{HW: hw, Library: lib, Mixes: assign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uc, err := ev.UncappedClusterW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev, uc
+}
+
+func testCaps(t *testing.T, uc float64, shave float64) []trace.Point {
+	t.Helper()
+	load, err := trace.DiurnalLoad(trace.Config{Seed: 5, StepSeconds: 1800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand := make([]trace.Point, len(load))
+	for i, p := range load {
+		demand[i] = trace.Point{T: p.T, V: p.V * uc}
+	}
+	caps, err := trace.PeakShaveCaps(demand, shave, uc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return caps
+}
+
+func TestEvaluatorValidation(t *testing.T) {
+	hw := simhw.DefaultConfig()
+	lib, _ := workload.NewLibrary(hw)
+	if _, err := NewEvaluator(Config{HW: hw, Mixes: workload.Mixes()[:1]}); err == nil {
+		t.Error("evaluator without a library accepted")
+	}
+	if _, err := NewEvaluator(Config{HW: hw, Library: lib}); err == nil {
+		t.Error("evaluator without servers accepted")
+	}
+}
+
+func TestUncappedClusterScale(t *testing.T) {
+	ev, uc := newEval(t, 10)
+	if ev.Servers() != 10 {
+		t.Fatalf("Servers = %d", ev.Servers())
+	}
+	// Ten servers near the paper's ~110 W co-located draw.
+	if uc < 1000 || uc > 1250 {
+		t.Errorf("uncapped cluster %g W, want ~1100", uc)
+	}
+}
+
+func TestEvaluateEmptyCaps(t *testing.T) {
+	ev, _ := newEval(t, 2)
+	if _, err := ev.Evaluate(nil, EqualRAPL); err == nil {
+		t.Error("empty cap schedule accepted")
+	}
+}
+
+func TestStrategiesNeverViolateCaps(t *testing.T) {
+	ev, uc := newEval(t, 10)
+	caps := testCaps(t, uc, 0.30)
+	for _, s := range []Strategy{EqualRAPL, EqualOurs, ConsolidateMigrate} {
+		r, err := ev.Evaluate(caps, s)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if r.CapViolations != 0 {
+			t.Errorf("%v: %d cap violations", s, r.CapViolations)
+		}
+		if len(r.PerfSeries) != len(caps) || len(r.GridSeries) != len(caps) {
+			t.Errorf("%v: ragged series", s)
+		}
+	}
+}
+
+func TestFig12Ordering(t *testing.T) {
+	ev, uc := newEval(t, 10)
+	for _, shave := range []float64{0.15, 0.30, 0.45} {
+		caps := testCaps(t, uc, shave)
+		rapl, err := ev.Evaluate(caps, EqualRAPL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ours, err := ev.Evaluate(caps, EqualOurs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cons, err := ev.Evaluate(caps, ConsolidateMigrate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ours.AvgPerfFrac <= rapl.AvgPerfFrac {
+			t.Errorf("shave %.0f%%: Ours (%.3f) does not beat RAPL (%.3f)",
+				shave*100, ours.AvgPerfFrac, rapl.AvgPerfFrac)
+		}
+		// The paper: Ours is equivalent or better than consolidation.
+		if ours.AvgPerfFrac < cons.AvgPerfFrac-0.02 {
+			t.Errorf("shave %.0f%%: Ours (%.3f) well below consolidation (%.3f)",
+				shave*100, ours.AvgPerfFrac, cons.AvgPerfFrac)
+		}
+		if ours.Efficiency <= rapl.Efficiency {
+			t.Errorf("shave %.0f%%: Ours efficiency (%.3f) does not beat RAPL (%.3f)",
+				shave*100, ours.Efficiency, rapl.Efficiency)
+		}
+	}
+}
+
+func TestDeeperShavingHurtsEveryStrategy(t *testing.T) {
+	ev, uc := newEval(t, 10)
+	for _, s := range []Strategy{EqualRAPL, EqualOurs, ConsolidateMigrate} {
+		prev := 2.0
+		for _, shave := range []float64{0.15, 0.30, 0.45} {
+			r, err := ev.Evaluate(testCaps(t, uc, shave), s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.AvgPerfFrac > prev+1e-9 {
+				t.Errorf("%v: perf rose from %.3f to %.3f as shaving deepened",
+					s, prev, r.AvgPerfFrac)
+			}
+			prev = r.AvgPerfFrac
+		}
+	}
+}
+
+func TestConsolidationInfeasibility(t *testing.T) {
+	ev, _ := newEval(t, 10)
+	// 20 applications on 1 server would need 20 > 12 cores.
+	infeasible, err := ev.ConsolidationInfeasible(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !infeasible {
+		t.Error("packing 20 applications on one 12-core server deemed feasible")
+	}
+	feasible, err := ev.ConsolidationInfeasible(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if feasible {
+		t.Error("baseline placement deemed infeasible")
+	}
+	if _, err := ev.ConsolidationInfeasible(0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	if EqualRAPL.String() != "Equal(RAPL)" ||
+		EqualOurs.String() != "Equal(Ours)" ||
+		ConsolidateMigrate.String() != "Consolidation+Migration(no cap)" {
+		t.Error("strategy names changed")
+	}
+}
+
+func TestUtilityApportioningBeatsEqualSplit(t *testing.T) {
+	ev, uc := newEval(t, 10)
+	for _, shave := range []float64{0.30, 0.45} {
+		caps := testCaps(t, uc, shave)
+		equal, err := ev.Evaluate(caps, EqualOurs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		util, err := ev.Evaluate(caps, UtilityOurs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if util.CapViolations != 0 {
+			t.Fatalf("shave %.0f%%: Utility(Ours) violated the cap %d times", shave*100, util.CapViolations)
+		}
+		// Apportioning the cluster cap by marginal utility must not lose
+		// to the equal split it generalizes.
+		if util.AvgPerfFrac+1e-6 < equal.AvgPerfFrac {
+			t.Errorf("shave %.0f%%: Utility(Ours) %.3f below Equal(Ours) %.3f",
+				shave*100, util.AvgPerfFrac, equal.AvgPerfFrac)
+		}
+	}
+}
+
+func TestUtilityOursName(t *testing.T) {
+	if UtilityOurs.String() != "Utility(Ours)" {
+		t.Errorf("name %q", UtilityOurs.String())
+	}
+}
+
+func TestPowerAwarePlacement(t *testing.T) {
+	ev, _ := newEval(t, 6)
+	lib := ev.cfg.Library
+	apps := lib.Apps() // 12 applications -> 6 servers
+	cfg := PlacementConfig{}
+	best, err := ev.PlaceOptimal(apps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := ev.PlaceNaive(apps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := ev.PlaceWorst(apps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(best.Pairs) != 6 || len(naive.Pairs) != 6 || len(worst.Pairs) != 6 {
+		t.Fatalf("pair counts: %d/%d/%d", len(best.Pairs), len(naive.Pairs), len(worst.Pairs))
+	}
+	if best.PredictedPerf+1e-9 < naive.PredictedPerf {
+		t.Errorf("optimal placement (%.3f) below the naive baseline (%.3f)",
+			best.PredictedPerf, naive.PredictedPerf)
+	}
+	if best.PredictedPerf+1e-9 < worst.PredictedPerf {
+		t.Errorf("optimal placement (%.3f) below the adversarial pairing (%.3f)",
+			best.PredictedPerf, worst.PredictedPerf)
+	}
+	// The bracket should be non-degenerate: placement must matter.
+	if spread := best.PredictedPerf - worst.PredictedPerf; spread < 0.05 {
+		t.Errorf("placement spread only %.3f: pairing does not matter in this model?", spread)
+	}
+	// Every application placed exactly once.
+	seen := map[string]int{}
+	for _, p := range best.Pairs {
+		seen[p[0]]++
+		seen[p[1]]++
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Errorf("%s placed %d times", name, n)
+		}
+	}
+}
+
+func TestPlacementValidation(t *testing.T) {
+	ev, _ := newEval(t, 2)
+	apps := ev.cfg.Library.Apps()
+	if _, err := ev.PlaceOptimal(apps[:3], PlacementConfig{}); err == nil {
+		t.Error("odd application count accepted")
+	}
+	if _, err := ev.PlaceNaive(nil, PlacementConfig{}); err == nil {
+		t.Error("empty population accepted")
+	}
+}
+
+func TestHeterogeneousBatteryFleet(t *testing.T) {
+	hw := simhw.DefaultConfig()
+	lib, _ := workload.NewLibrary(hw)
+	mixes := workload.Mixes()[:10]
+
+	build := func(batteries []bool) *Evaluator {
+		ev, err := NewEvaluator(Config{HW: hw, Library: lib, Mixes: mixes, BatteryServers: batteries})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev
+	}
+	half := make([]bool, 10)
+	for i := range half {
+		half[i] = i%2 == 0
+	}
+	none := make([]bool, 10)
+
+	full, _ := newEval(t, 10)
+	uc, err := full.UncappedClusterW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := testCaps(t, uc, 0.45) // deep shaving: only batteries help
+
+	perfOf := func(ev *Evaluator, strat Strategy) float64 {
+		r, err := ev.Evaluate(caps, strat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.CapViolations != 0 {
+			t.Fatalf("%v: %d violations", strat, r.CapViolations)
+		}
+		return r.AvgPerfFrac
+	}
+
+	allB := perfOf(full, EqualOurs)
+	halfB := perfOf(build(half), EqualOurs)
+	noneB := perfOf(build(none), EqualOurs)
+	// Monotone in battery coverage.
+	if !(allB >= halfB && halfB >= noneB) {
+		t.Errorf("battery coverage not monotone: all %.3f, half %.3f, none %.3f", allB, halfB, noneB)
+	}
+	if allB <= noneB {
+		t.Errorf("batteries buy nothing at deep shaving: %.3f vs %.3f", allB, noneB)
+	}
+
+	// Utility-aware apportioning exploits the mixed fleet: it can route
+	// the stringent budgets toward the battery servers, so it must beat
+	// the equal split on the same half-battery fleet.
+	halfUtil := perfOf(build(half), UtilityOurs)
+	if halfUtil+1e-6 < halfB {
+		t.Errorf("Utility(Ours) %.3f below Equal(Ours) %.3f on the mixed fleet", halfUtil, halfB)
+	}
+}
+
+func TestBatteryFlagValidation(t *testing.T) {
+	hw := simhw.DefaultConfig()
+	lib, _ := workload.NewLibrary(hw)
+	if _, err := NewEvaluator(Config{
+		HW: hw, Library: lib, Mixes: workload.Mixes()[:4], BatteryServers: []bool{true},
+	}); err == nil {
+		t.Error("mismatched battery flags accepted")
+	}
+}
+
+func TestEvaluateRejectsUnknownStrategy(t *testing.T) {
+	ev, uc := newEval(t, 2)
+	caps := testCaps(t, uc, 0.15)
+	if _, err := ev.Evaluate(caps, Strategy(99)); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if Strategy(99).String() == "" {
+		t.Error("unknown strategy has empty name")
+	}
+}

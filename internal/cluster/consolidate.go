@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"powerstruggle/internal/workload"
+)
+
+// consolidateStep implements Consolidation+Migration(no cap): power the
+// largest number of servers whose unconstrained draw fits the cluster
+// cap, migrate every application onto them (deepening consolidation),
+// and run uncapped. Powered-off servers draw nothing, which is the
+// strategy's efficiency edge — it sheds whole P_idle + P_cm lumps — at
+// the cost of direct-resource interference and migration feasibility
+// the paper cautions about.
+func (e *Evaluator) consolidateStep(clusterCapW float64) (perf, grid float64, err error) {
+	n := len(e.cfg.Mixes)
+	apps, err := e.allApps()
+	if err != nil {
+		return 0, 0, err
+	}
+	// With no cap enforced on active servers, the manager must budget
+	// each one at nameplate: nothing stops an uncapped server from
+	// spiking there, and the cluster cap is a hard (breaker/contract)
+	// limit. This conservative sizing is the strategy's inherent cost.
+	nameplate := e.cfg.HW.MaxServerWatts()
+	kMax := int(clusterCapW / nameplate)
+	if kMax > n {
+		kMax = n
+	}
+	for k := kMax; k >= 1; k-- {
+		p, g, ok := e.consolidateOnto(apps, k)
+		if !ok {
+			continue
+		}
+		if g <= clusterCapW {
+			return p, g, nil
+		}
+	}
+	// Even one active server exceeds the cap: the whole fleet idles off
+	// (the strategy has no throttling knob).
+	return 0, 0, nil
+}
+
+// allApps flattens the cluster's application population.
+func (e *Evaluator) allApps() ([]*workload.Profile, error) {
+	var out []*workload.Profile
+	for _, m := range e.cfg.Mixes {
+		a, b, err := e.cfg.Library.MixProfiles(m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a, b)
+	}
+	return out, nil
+}
+
+// consolidateOnto packs the application population onto k servers and
+// returns the aggregate normalized performance and grid draw. ok is
+// false when the packing is infeasible (more applications per server
+// than cores).
+func (e *Evaluator) consolidateOnto(apps []*workload.Profile, k int) (perf, grid float64, ok bool) {
+	hw := e.cfg.HW
+	perServer := int(math.Ceil(float64(len(apps)) / float64(k)))
+	if perServer > hw.TotalCores() {
+		return 0, 0, false
+	}
+	// Round-robin placement keeps mixes' diversity spread.
+	for s := 0; s < k; s++ {
+		var hosted []*workload.Profile
+		for i := s; i < len(apps); i += k {
+			hosted = append(hosted, apps[i])
+		}
+		if len(hosted) == 0 {
+			continue
+		}
+		p, g := e.serverUnderConsolidation(hosted)
+		perf += p
+		grid += g
+	}
+	return perf, grid, true
+}
+
+// serverUnderConsolidation evaluates one uncapped server hosting an
+// arbitrary number of applications: cores are divided evenly, DRAM
+// channels are shared by the applications mapped to each, and every
+// application runs at top frequency.
+func (e *Evaluator) serverUnderConsolidation(hosted []*workload.Profile) (perf, grid float64) {
+	hw := e.cfg.HW
+	coresEach := hw.TotalCores() / len(hosted)
+	if coresEach < 1 {
+		coresEach = 1
+	}
+	appsPerChannel := float64(len(hosted)) / float64(hw.MemChannels)
+	if appsPerChannel < 1 {
+		appsPerChannel = 1
+	}
+	// Co-location beyond the one-application-per-socket baseline adds
+	// direct-resource interference (LLC thrash, scheduler and prefetcher
+	// contention) the analytic rooflines do not see; each extra
+	// co-runner compounds a slowdown.
+	interference := 1.0
+	if extra := len(hosted) - hw.Sockets; extra > 0 {
+		interference = math.Pow(1-e.interferencePenalty(), float64(extra))
+	}
+	var appW []float64
+	for _, p := range hosted {
+		shrunk := *p
+		if coresEach < shrunk.MaxCores {
+			shrunk.MaxCores = coresEach
+		}
+		// Sharing a channel divides the per-application memory
+		// roofline: the same effect as proportionally heavier traffic.
+		shrunk.MemBytesPerBeat = p.MemBytesPerBeat * appsPerChannel
+		k := shrunk.NoCapKnobs(hw)
+		rate := shrunk.Rate(hw, k) * interference
+		if nc := p.NoCapRate(hw); nc > 0 {
+			perf += rate / nc
+		}
+		// Power: the shrunk configuration's draw, with the channel
+		// draw de-duplicated across its sharers.
+		w := float64(k.Cores)*hw.CoreWatts(k.FreqGHz, shrunk.CPUActivity) +
+			shrunk.MemDrawWatts(hw, k)/appsPerChannel
+		appW = append(appW, w)
+	}
+	return perf, hw.ServerPowerWatts(appW)
+}
+
+// interferencePenalty returns the per-co-runner slowdown applied beyond
+// the baseline placement.
+func (e *Evaluator) interferencePenalty() float64 {
+	if e.cfg.InterferencePenalty > 0 {
+		return e.cfg.InterferencePenalty
+	}
+	return 0.15
+}
+
+// ConsolidationInfeasible reports whether packing the population onto k
+// servers violates the core budget — exported for tests and ablations.
+func (e *Evaluator) ConsolidationInfeasible(k int) (bool, error) {
+	if k <= 0 {
+		return true, fmt.Errorf("cluster: %d servers", k)
+	}
+	apps, err := e.allApps()
+	if err != nil {
+		return true, err
+	}
+	perServer := int(math.Ceil(float64(len(apps)) / float64(k)))
+	return perServer > e.cfg.HW.TotalCores(), nil
+}

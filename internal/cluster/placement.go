@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"powerstruggle/internal/policy"
+	"powerstruggle/internal/workload"
+)
+
+// Placement pairs an application population onto servers. It is the
+// other half of the paper's future-work item (i): before any watts are
+// apportioned, *which* applications share a server decides how much a
+// mediator can recover — complementary pairs (compute-bound with
+// memory-bound) leave the allocator slack to shift, twin pairs fight
+// over the same resource.
+type Placement struct {
+	// Pairs lists the two application names placed on each server.
+	Pairs [][2]string
+	// PredictedPerf is the summed mediated objective across servers at
+	// the reference cap.
+	PredictedPerf float64
+}
+
+// PlacementConfig parameterizes power-aware placement.
+type PlacementConfig struct {
+	// ReferenceCapW is the per-server cap the pairing optimizes for
+	// (default 85: pairing only matters where the cap binds hard
+	// enough that the utility curves are in their steep region).
+	ReferenceCapW float64
+	// Policy mediates inside each server (default App+Res-Aware).
+	Policy policy.Kind
+}
+
+func (c PlacementConfig) withDefaults() PlacementConfig {
+	if c.ReferenceCapW <= 0 {
+		c.ReferenceCapW = 85
+	}
+	if c.Policy == 0 {
+		c.Policy = policy.AppResAware
+	}
+	return c
+}
+
+// maxMatchApps bounds the exact matching DP (2^n states).
+const maxMatchApps = 20
+
+// pairScore predicts one pair's mediated objective under the reference
+// cap.
+func (e *Evaluator) pairScore(a, b *workload.Profile, cfg PlacementConfig) (float64, error) {
+	dec, err := policy.Plan(cfg.Policy, policy.Context{
+		HW:       e.cfg.HW,
+		CapW:     cfg.ReferenceCapW,
+		Profiles: []*workload.Profile{a, b},
+		Library:  e.cfg.Library,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return dec.Schedule.TotalPerf, nil
+}
+
+// scoreMatrix evaluates every pair once.
+func (e *Evaluator) scoreMatrix(apps []*workload.Profile, cfg PlacementConfig) ([][]float64, error) {
+	n := len(apps)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s, err := e.pairScore(apps[i], apps[j], cfg)
+			if err != nil {
+				return nil, err
+			}
+			m[i][j], m[j][i] = s, s
+		}
+	}
+	return m, nil
+}
+
+// matchDP solves minimum/maximum-weight perfect matching exactly by
+// dynamic programming over application subsets.
+func matchDP(score [][]float64, maximize bool) ([][2]int, float64) {
+	n := len(score)
+	full := 1 << n
+	worst := math.Inf(-1)
+	if !maximize {
+		worst = math.Inf(1)
+	}
+	better := func(a, b float64) bool {
+		if maximize {
+			return a > b
+		}
+		return a < b
+	}
+	dp := make([]float64, full)
+	from := make([][2]int, full)
+	for m := 1; m < full; m++ {
+		dp[m] = worst
+		from[m] = [2]int{-1, -1}
+	}
+	for mask := 0; mask < full; mask++ {
+		if math.IsInf(dp[mask], 0) {
+			continue
+		}
+		// The lowest unpaired application must pair with someone.
+		i := 0
+		for ; i < n; i++ {
+			if mask&(1<<i) == 0 {
+				break
+			}
+		}
+		if i == n {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			if mask&(1<<j) != 0 {
+				continue
+			}
+			next := mask | 1<<i | 1<<j
+			if v := dp[mask] + score[i][j]; better(v, dp[next]) {
+				dp[next] = v
+				from[next] = [2]int{i, j}
+			}
+		}
+	}
+	var pairs [][2]int
+	mask := full - 1
+	for mask != 0 {
+		p := from[mask]
+		pairs = append(pairs, p)
+		mask &^= 1<<p[0] | 1<<p[1]
+	}
+	return pairs, dp[full-1]
+}
+
+// placeMatched runs the exact matching and dresses the result.
+func (e *Evaluator) placeMatched(apps []*workload.Profile, cfg PlacementConfig, maximize bool) (*Placement, error) {
+	cfg = cfg.withDefaults()
+	n := len(apps)
+	if n == 0 || n%2 != 0 {
+		return nil, fmt.Errorf("cluster: placement needs an even number of applications, got %d", n)
+	}
+	if n > maxMatchApps {
+		return nil, fmt.Errorf("cluster: exact placement supports up to %d applications, got %d", maxMatchApps, n)
+	}
+	score, err := e.scoreMatrix(apps, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pairs, total := matchDP(score, maximize)
+	out := &Placement{PredictedPerf: total}
+	for _, p := range pairs {
+		out.Pairs = append(out.Pairs, [2]string{apps[p[0]].Name, apps[p[1]].Name})
+	}
+	return out, nil
+}
+
+// PlaceOptimal pairs the applications by exact maximum-weight matching
+// on mediated pair scores — the best the cluster scheduler can do with
+// this population.
+func (e *Evaluator) PlaceOptimal(apps []*workload.Profile, cfg PlacementConfig) (*Placement, error) {
+	return e.placeMatched(apps, cfg, true)
+}
+
+// PlaceWorst pairs for minimum predicted performance — the adversarial
+// bound that brackets how much placement can matter.
+func (e *Evaluator) PlaceWorst(apps []*workload.Profile, cfg PlacementConfig) (*Placement, error) {
+	return e.placeMatched(apps, cfg, false)
+}
+
+// PlaceNaive pairs the applications in the order given (the
+// power-oblivious baseline a conventional scheduler produces).
+func (e *Evaluator) PlaceNaive(apps []*workload.Profile, cfg PlacementConfig) (*Placement, error) {
+	cfg = cfg.withDefaults()
+	n := len(apps)
+	if n == 0 || n%2 != 0 {
+		return nil, fmt.Errorf("cluster: placement needs an even number of applications, got %d", n)
+	}
+	out := &Placement{}
+	for i := 0; i < n; i += 2 {
+		s, err := e.pairScore(apps[i], apps[i+1], cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Pairs = append(out.Pairs, [2]string{apps[i].Name, apps[i+1].Name})
+		out.PredictedPerf += s
+	}
+	return out, nil
+}

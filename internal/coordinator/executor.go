@@ -1,0 +1,320 @@
+package coordinator
+
+import (
+	"fmt"
+	"math"
+
+	"powerstruggle/internal/esd"
+	"powerstruggle/internal/heartbeat"
+	"powerstruggle/internal/simhw"
+	"powerstruggle/internal/workload"
+)
+
+// Executor drives one simulated server through coordinator schedules over
+// continuous time, across application arrivals and departures and
+// schedule changes — the execution half of the paper's runtime that the
+// Accountant steers.
+type Executor struct {
+	cfg Config
+	srv *simhw.Server
+	dev *esd.Device
+	hb  *heartbeat.Monitor
+
+	profiles  []*workload.Profile
+	instances []*workload.Instance
+	slots     []simhw.SlotID
+
+	sched       Schedule
+	haveSched   bool
+	pos         float64 // position within the schedule period
+	bounds      []float64
+	restoreLeft []float64
+	prevRunning []bool
+
+	now float64
+}
+
+// NewExecutor builds an executor for one server. dev may be nil. Every
+// application's delivered work is published to the executor's heartbeat
+// monitor under "<name>#<index>", the measurement interface the paper's
+// runtime reads performance from.
+func NewExecutor(cfg Config, dev *esd.Device) (*Executor, error) {
+	srv, err := simhw.NewServer(cfg.HW)
+	if err != nil {
+		return nil, err
+	}
+	return &Executor{cfg: cfg, srv: srv, dev: dev, hb: heartbeat.NewMonitor()}, nil
+}
+
+// Heartbeats exposes the executor's heartbeat monitor.
+func (e *Executor) Heartbeats() *heartbeat.Monitor { return e.hb }
+
+// HeartbeatRate returns application i's windowed heartbeat rate
+// (beats/second) as of now.
+func (e *Executor) HeartbeatRate(i int) (float64, error) {
+	if i < 0 || i >= len(e.profiles) {
+		return 0, fmt.Errorf("coordinator: HeartbeatRate(%d) with %d applications", i, len(e.profiles))
+	}
+	return e.hb.Rate(e.hbName(i), e.now)
+}
+
+// hbName is application i's heartbeat producer name.
+func (e *Executor) hbName(i int) string {
+	return fmt.Sprintf("%s#%d", e.profiles[i].Name, i)
+}
+
+// SetCap updates the server power cap (the paper's event E1 actuation).
+func (e *Executor) SetCap(w float64) { e.cfg.CapW = w }
+
+// Cap returns the current power cap.
+func (e *Executor) Cap() float64 { return e.cfg.CapW }
+
+// Config returns the executor's coordinator configuration.
+func (e *Executor) Config() Config { return e.cfg }
+
+// Device returns the attached ESD, or nil.
+func (e *Executor) Device() *esd.Device { return e.dev }
+
+// Now returns seconds of simulated time.
+func (e *Executor) Now() float64 { return e.now }
+
+// AddApp places an application on the server and returns its index.
+// The caller must install a fresh schedule before the next Step.
+func (e *Executor) AddApp(p *workload.Profile, inst *workload.Instance) (int, error) {
+	if p == nil || inst == nil {
+		return 0, fmt.Errorf("coordinator: AddApp needs a profile and an instance")
+	}
+	id, err := e.srv.Claim(p.MaxCores)
+	if err != nil {
+		return 0, fmt.Errorf("coordinator: placing %s: %w", p.Name, err)
+	}
+	e.profiles = append(e.profiles, p)
+	e.instances = append(e.instances, inst)
+	e.slots = append(e.slots, id)
+	e.restoreLeft = append(e.restoreLeft, 0)
+	e.prevRunning = append(e.prevRunning, false)
+	idx := len(e.profiles) - 1
+	if err := e.hb.Register(e.hbName(idx), hbWindowS); err != nil {
+		return 0, err
+	}
+	// An installed schedule stays valid: it references only the older
+	// indices, so the newcomer simply stays suspended until the next
+	// plan — exactly the paper's behaviour during re-allocation.
+	return idx, nil
+}
+
+// RemoveApp releases an application's resources. Remaining applications'
+// indices compact down; the caller must install a fresh schedule before
+// the next Step.
+func (e *Executor) RemoveApp(i int) error {
+	if i < 0 || i >= len(e.profiles) {
+		return fmt.Errorf("coordinator: RemoveApp(%d) with %d applications", i, len(e.profiles))
+	}
+	if err := e.srv.Release(e.slots[i]); err != nil {
+		return err
+	}
+	// Heartbeat producers are index-suffixed; drop them all and
+	// re-register under the compacted indices.
+	for j := range e.profiles {
+		e.hb.Unregister(e.hbName(j))
+	}
+	e.profiles = append(e.profiles[:i], e.profiles[i+1:]...)
+	e.instances = append(e.instances[:i], e.instances[i+1:]...)
+	e.slots = append(e.slots[:i], e.slots[i+1:]...)
+	e.restoreLeft = append(e.restoreLeft[:i], e.restoreLeft[i+1:]...)
+	e.prevRunning = append(e.prevRunning[:i], e.prevRunning[i+1:]...)
+	for j := range e.profiles {
+		if err := e.hb.Register(e.hbName(j), hbWindowS); err != nil {
+			return err
+		}
+	}
+	e.haveSched = false
+	return nil
+}
+
+// hbWindowS is the heartbeat rate-averaging window.
+const hbWindowS = 2.0
+
+// Apps returns the active application count.
+func (e *Executor) Apps() int { return len(e.profiles) }
+
+// Profile returns the i-th application's profile.
+func (e *Executor) Profile(i int) *workload.Profile { return e.profiles[i] }
+
+// Instance returns the i-th application's instance.
+func (e *Executor) Instance(i int) *workload.Instance { return e.instances[i] }
+
+// SetSchedule installs a schedule. Segment Run maps index the current
+// application order.
+func (e *Executor) SetSchedule(s Schedule) error {
+	if len(s.Segments) == 0 {
+		return fmt.Errorf("coordinator: empty schedule")
+	}
+	period := s.PeriodS
+	if period <= 0 {
+		for _, seg := range s.Segments {
+			period += seg.Seconds
+		}
+		s.PeriodS = period
+	}
+	if period <= 0 {
+		return fmt.Errorf("coordinator: schedule has zero period")
+	}
+	for _, seg := range s.Segments {
+		for i := range seg.Run {
+			if i < 0 || i >= len(e.profiles) {
+				return fmt.Errorf("coordinator: schedule references application %d of %d", i, len(e.profiles))
+			}
+		}
+	}
+	e.sched = s
+	e.haveSched = true
+	e.pos = 0
+	e.bounds = make([]float64, len(s.Segments)+1)
+	for i, seg := range s.Segments {
+		e.bounds[i+1] = e.bounds[i] + seg.Seconds
+	}
+	return nil
+}
+
+// Schedule returns the installed schedule (zero value if none).
+func (e *Executor) Schedule() (Schedule, bool) { return e.sched, e.haveSched }
+
+// Idle advances time with every application suspended and no ESD
+// activity — the state between an arrival and the first plan.
+func (e *Executor) Idle(dt float64) (Sample, error) {
+	for i := range e.profiles {
+		if err := e.srv.SetRunning(e.slots[i], false); err != nil {
+			return Sample{}, err
+		}
+		e.prevRunning[i] = false
+	}
+	e.srv.Step(dt)
+	if e.dev != nil {
+		e.dev.Idle(dt)
+	}
+	e.now += dt
+	s := Sample{T: e.now, ServerW: e.cfg.HW.PIdleWatts, GridW: e.cfg.HW.PIdleWatts, AppW: make([]float64, len(e.profiles))}
+	if e.dev != nil {
+		s.SoC = e.dev.SoC()
+	}
+	return s, nil
+}
+
+// Step advances the installed schedule by dt seconds and returns the
+// step's sample. Applications with finite work may complete during the
+// step; the caller detects that via their instances.
+func (e *Executor) Step(dt float64) (Sample, error) {
+	if !e.haveSched {
+		return Sample{}, fmt.Errorf("coordinator: no schedule installed")
+	}
+	if dt <= 0 {
+		return Sample{}, fmt.Errorf("coordinator: step of %g s", dt)
+	}
+	seg := e.segmentAt(e.pos)
+
+	// Brownout guard: an ON phase that banks on discharge power the
+	// device cannot deliver would push the grid over the cap. When the
+	// store cannot cover this step, the applications stay suspended and
+	// the step charges instead — the emergency clamp a RAPL hard limit
+	// provides on real hardware.
+	if seg.DischargeW > 0 && e.dev != nil && e.dev.AvailableJ() < seg.DischargeW*dt {
+		charge := e.cfg.HW.ChargeHeadroom(e.cfg.CapW)
+		seg = Segment{Seconds: seg.Seconds, Sleep: true, ChargeW: charge}
+	}
+
+	// Actuate every application for this segment.
+	for i := range e.profiles {
+		sk, running := seg.Run[i]
+		if running {
+			if !e.prevRunning[i] && seg.Restore[i] {
+				e.restoreLeft[i] = e.cfg.restore()
+			}
+			eff := e.instances[i].Effective()
+			k := sk.Knobs.Clamp(e.cfg.HW, eff.MaxCores)
+			if err := e.srv.SetKnobs(e.slots[i], k.FreqGHz, k.Cores, k.MemWatts); err != nil {
+				return Sample{}, err
+			}
+			if err := e.srv.SetLoad(e.slots[i], eff.CPUActivity, eff.MemDrawWatts(e.cfg.HW, k)); err != nil {
+				return Sample{}, err
+			}
+		}
+		if err := e.srv.SetRunning(e.slots[i], running); err != nil {
+			return Sample{}, err
+		}
+		e.prevRunning[i] = running
+	}
+	if seg.Sleep {
+		if err := e.srv.Sleep(); err != nil {
+			return Sample{}, err
+		}
+	}
+
+	// Advance applications and compose duty-averaged power.
+	appW := make([]float64, len(e.profiles))
+	serverW := e.cfg.HW.PIdleWatts
+	anyRun := false
+	for i := range e.profiles {
+		sk, running := seg.Run[i]
+		duty := 1.0
+		if running && sk.Duty > 0 && sk.Duty < 1 {
+			duty = sk.Duty
+		}
+		progressDt := dt * duty
+		if e.restoreLeft[i] > 0 {
+			burn := math.Min(e.restoreLeft[i], progressDt)
+			e.restoreLeft[i] -= burn
+			progressDt -= burn
+		}
+		if running && !e.srv.Waking() {
+			k := sk.Knobs.Clamp(e.cfg.HW, e.instances[i].Effective().MaxCores)
+			delivered := e.instances[i].Advance(e.cfg.HW, k, true, progressDt)
+			if delivered > 0 {
+				if err := e.hb.Beat(e.hbName(i), e.now+dt, delivered); err != nil {
+					return Sample{}, err
+				}
+			}
+		}
+		w, err := e.srv.AppPowerWatts(e.slots[i])
+		if err != nil {
+			return Sample{}, err
+		}
+		appW[i] = w * duty
+		if running && !seg.Sleep {
+			anyRun = true
+			serverW += appW[i]
+		}
+	}
+	if anyRun {
+		serverW += e.cfg.HW.PCmWatts
+	}
+	e.srv.Step(dt)
+
+	gridW := serverW
+	soc := 0.0
+	if e.dev != nil {
+		switch {
+		case seg.ChargeW > 0:
+			gridW += e.dev.Charge(seg.ChargeW, dt)
+		case seg.DischargeW > 0:
+			gridW -= e.dev.Discharge(seg.DischargeW, dt)
+		default:
+			e.dev.Idle(dt)
+		}
+		soc = e.dev.SoC()
+	}
+
+	e.pos = math.Mod(e.pos+dt, e.sched.PeriodS)
+	e.now += dt
+	return Sample{T: e.now, ServerW: serverW, GridW: gridW, SoC: soc, AppW: appW}, nil
+}
+
+// segmentAt locates the segment containing period position pos.
+func (e *Executor) segmentAt(pos float64) Segment {
+	for i := range e.sched.Segments {
+		if pos < e.bounds[i+1]-1e-12 {
+			return e.sched.Segments[i]
+		}
+	}
+	return e.sched.Segments[len(e.sched.Segments)-1]
+}

@@ -1,0 +1,285 @@
+// Package daemon wraps the mediated server in a long-running service
+// with an HTTP control surface: admit applications, change the power cap
+// (the messages the paper's Accountant receives for events E1 and E2),
+// and observe budgets, knob settings, battery state and the event log.
+// The simulated platform advances in wall-clock time, so the daemon
+// behaves like the paper's prototype did on its Xeon — watched live
+// through curl instead of IPMI.
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"powerstruggle/internal/accountant"
+	"powerstruggle/internal/esd"
+	"powerstruggle/internal/policy"
+	"powerstruggle/internal/simhw"
+	"powerstruggle/internal/workload"
+)
+
+// Config parameterizes the daemon.
+type Config struct {
+	// HW is the platform (zero value: the paper's Table I machine).
+	HW simhw.Config
+	// Policy is the mediation scheme (default App+Res-Aware).
+	Policy policy.Kind
+	// InitialCapW is the cap at boot (default: the platform nameplate).
+	InitialCapW float64
+	// BatteryJ, when positive, attaches a lead-acid ESD.
+	BatteryJ float64
+}
+
+// Daemon is the running service.
+type Daemon struct {
+	mu  sync.Mutex
+	sim *accountant.Sim
+	lib *workload.Library
+	hw  simhw.Config
+	// simTime tracks how much simulated time has been consumed.
+	simTime float64
+}
+
+// New builds a daemon.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.HW.Sockets == 0 {
+		cfg.HW = simhw.DefaultConfig()
+	}
+	if cfg.Policy == 0 {
+		cfg.Policy = policy.AppResAware
+	}
+	if cfg.InitialCapW <= 0 {
+		cfg.InitialCapW = cfg.HW.MaxServerWatts()
+	}
+	lib, err := workload.NewLibrary(cfg.HW)
+	if err != nil {
+		return nil, err
+	}
+	var dev *esd.Device
+	if cfg.BatteryJ > 0 {
+		dev, err = esd.NewDevice(esd.LeadAcid(cfg.BatteryJ), 0.6)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sim, err := accountant.NewSim(accountant.Config{
+		HW: cfg.HW, Policy: cfg.Policy, Library: lib,
+		InitialCapW: cfg.InitialCapW, Device: dev,
+		ReallocSeconds: 0.8, SampleEvery: 0.25,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Daemon{sim: sim, lib: lib, hw: cfg.HW}, nil
+}
+
+// Advance runs the mediated server forward by dt simulated seconds. The
+// command loop calls this from a wall-clock ticker; tests call it
+// directly.
+func (d *Daemon) Advance(dt float64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if dt <= 0 {
+		return fmt.Errorf("daemon: advance of %g s", dt)
+	}
+	if err := d.sim.Run(dt); err != nil {
+		return err
+	}
+	d.simTime += dt
+	return nil
+}
+
+// AdmitRequest is the POST /admit body.
+type AdmitRequest struct {
+	// App names one of the library benchmarks.
+	App string `json:"app"`
+	// Seconds of uncapped busy time the job carries (0: endless).
+	Seconds float64 `json:"seconds"`
+	// Weight scales the application's objective term (0 means 1).
+	Weight float64 `json:"weight,omitempty"`
+	// FloorPerf is an SLO floor on normalized performance (0 means
+	// best-effort).
+	FloorPerf float64 `json:"floorPerf,omitempty"`
+}
+
+// CapRequest is the POST /cap body.
+type CapRequest struct {
+	Watts float64 `json:"watts"`
+}
+
+// Status is the GET /status response.
+type Status struct {
+	SimSeconds float64     `json:"simSeconds"`
+	CapW       float64     `json:"capW"`
+	GridW      float64     `json:"gridW"`
+	SoC        float64     `json:"soc"`
+	Apps       []StatusApp `json:"apps"`
+	Waiting    int         `json:"waiting"`
+}
+
+// StatusApp is one application's live state.
+type StatusApp struct {
+	Name    string  `json:"name"`
+	PowerW  float64 `json:"powerW"`
+	BudgetW float64 `json:"budgetW"`
+	Knobs   string  `json:"knobs"`
+}
+
+// status snapshots the latest sample.
+func (d *Daemon) status() Status {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := Status{SimSeconds: d.simTime}
+	samples := d.sim.Samples()
+	if len(samples) == 0 {
+		return st
+	}
+	last := samples[len(samples)-1]
+	st.CapW = last.CapW
+	st.GridW = last.GridW
+	st.SoC = last.SoC
+	st.Waiting = d.sim.Waiting()
+	for _, a := range last.Apps {
+		st.Apps = append(st.Apps, StatusApp{
+			Name: a.Name, PowerW: a.PowerW, BudgetW: a.BudgetW, Knobs: a.Knobs.String(),
+		})
+	}
+	return st
+}
+
+// Handler returns the daemon's HTTP API.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, d.status())
+	})
+	mux.HandleFunc("/apps", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, d.lib.Names())
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		d.mu.Lock()
+		events := d.sim.Events()
+		d.mu.Unlock()
+		type ev struct {
+			T      float64 `json:"t"`
+			Kind   string  `json:"kind"`
+			App    string  `json:"app,omitempty"`
+			CapW   float64 `json:"capW"`
+			Detail string  `json:"detail"`
+		}
+		out := make([]ev, 0, len(events))
+		for _, e := range events {
+			out = append(out, ev{T: e.T, Kind: e.Kind.String(), App: e.App, CapW: e.CapW, Detail: e.Detail})
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("/admit", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req AdmitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := d.Admit(req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	})
+	mux.HandleFunc("/cap", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req CapRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := d.SetCap(req.Watts); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		st := d.status()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprintf(w, "# HELP powerstruggle_grid_watts Current grid draw.\n")
+		fmt.Fprintf(w, "# TYPE powerstruggle_grid_watts gauge\n")
+		fmt.Fprintf(w, "powerstruggle_grid_watts %g\n", st.GridW)
+		fmt.Fprintf(w, "# HELP powerstruggle_cap_watts Current power cap.\n")
+		fmt.Fprintf(w, "# TYPE powerstruggle_cap_watts gauge\n")
+		fmt.Fprintf(w, "powerstruggle_cap_watts %g\n", st.CapW)
+		fmt.Fprintf(w, "# HELP powerstruggle_battery_soc Battery state of charge.\n")
+		fmt.Fprintf(w, "# TYPE powerstruggle_battery_soc gauge\n")
+		fmt.Fprintf(w, "powerstruggle_battery_soc %g\n", st.SoC)
+		fmt.Fprintf(w, "# HELP powerstruggle_apps Co-located applications.\n")
+		fmt.Fprintf(w, "# TYPE powerstruggle_apps gauge\n")
+		fmt.Fprintf(w, "powerstruggle_apps %d\n", len(st.Apps))
+		for _, a := range st.Apps {
+			fmt.Fprintf(w, "powerstruggle_app_watts{app=%q} %g\n", a.Name, a.PowerW)
+			fmt.Fprintf(w, "powerstruggle_app_budget_watts{app=%q} %g\n", a.Name, a.BudgetW)
+		}
+	})
+	return mux
+}
+
+// Admit schedules an application now (event E2).
+func (d *Daemon) Admit(req AdmitRequest) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p, err := d.lib.App(req.App)
+	if err != nil {
+		return err
+	}
+	if req.Seconds < 0 {
+		return fmt.Errorf("daemon: negative job length %g", req.Seconds)
+	}
+	beats := 0.0
+	if req.Seconds > 0 {
+		beats = p.NoCapRate(d.hw) * req.Seconds
+	}
+	weight := req.Weight
+	if weight == 0 {
+		weight = 1
+	}
+	return d.sim.AddArrivalCritical(d.simTime, p, beats, weight, req.FloorPerf)
+}
+
+// SetCap changes the power cap now (event E1).
+func (d *Daemon) SetCap(watts float64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sim.AddCapChange(d.simTime, watts)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,224 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"powerstruggle/internal/policy"
+)
+
+func newTestDaemon(t *testing.T) (*Daemon, *httptest.Server) {
+	t.Helper()
+	d, err := New(Config{Policy: policy.AppResAware, InitialCapW: 100, BatteryJ: 300e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(srv.Close)
+	return d, srv
+}
+
+func post(t *testing.T, url string, body interface{}) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func get(t *testing.T, url string, out interface{}) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDaemonLifecycleOverHTTP(t *testing.T) {
+	d, srv := newTestDaemon(t)
+
+	var apps []string
+	get(t, srv.URL+"/apps", &apps)
+	if len(apps) != 12 {
+		t.Fatalf("%d applications listed", len(apps))
+	}
+
+	if resp := post(t, srv.URL+"/admit", AdmitRequest{App: "STREAM"}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("admit: %d", resp.StatusCode)
+	}
+	if resp := post(t, srv.URL+"/admit", AdmitRequest{App: "kmeans", Seconds: 2}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("admit: %d", resp.StatusCode)
+	}
+	// Advance past the calibration window.
+	if err := d.Advance(3); err != nil {
+		t.Fatal(err)
+	}
+
+	var st Status
+	get(t, srv.URL+"/status", &st)
+	if len(st.Apps) != 2 {
+		t.Fatalf("status lists %d applications", len(st.Apps))
+	}
+	if st.GridW <= 50 || st.GridW > 100 {
+		t.Errorf("grid draw %.1f W", st.GridW)
+	}
+	if st.CapW != 100 {
+		t.Errorf("cap %.1f W", st.CapW)
+	}
+
+	// Drop the cap (E1) and check adherence after re-allocation.
+	if resp := post(t, srv.URL+"/cap", CapRequest{Watts: 80}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cap: %d", resp.StatusCode)
+	}
+	if err := d.Advance(3); err != nil {
+		t.Fatal(err)
+	}
+	get(t, srv.URL+"/status", &st)
+	if st.CapW != 80 {
+		t.Errorf("cap after change: %.1f W", st.CapW)
+	}
+	if st.GridW > 80+1e-6 {
+		t.Errorf("grid %.2f W over the new cap", st.GridW)
+	}
+
+	// The finite kmeans job departs eventually (it runs slowly under
+	// the tight cap, so give it time).
+	if err := d.Advance(60); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	get(t, srv.URL+"/events", &events)
+	var sawDeparture bool
+	for _, e := range events {
+		if e["kind"] == "E3-departure" {
+			sawDeparture = true
+		}
+	}
+	if !sawDeparture {
+		t.Error("no departure event after the finite job's work")
+	}
+}
+
+func TestDaemonValidation(t *testing.T) {
+	d, srv := newTestDaemon(t)
+	if resp := post(t, srv.URL+"/admit", AdmitRequest{App: "nope"}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown app: %d", resp.StatusCode)
+	}
+	if resp := post(t, srv.URL+"/cap", CapRequest{Watts: -5}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative cap: %d", resp.StatusCode)
+	}
+	if err := d.Advance(0); err == nil {
+		t.Error("zero advance accepted")
+	}
+	resp, err := http.Get(srv.URL + "/admit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /admit: %d", resp.StatusCode)
+	}
+}
+
+func TestDaemonMetrics(t *testing.T) {
+	d, srv := newTestDaemon(t)
+	if err := d.Admit(AdmitRequest{App: "X264"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Advance(2); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := new(bytes.Buffer)
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{
+		"powerstruggle_grid_watts", "powerstruggle_cap_watts",
+		"powerstruggle_battery_soc", `powerstruggle_app_watts{app="X264"}`,
+	} {
+		if !bytes.Contains([]byte(body), []byte(want)) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+}
+
+func TestDaemonConcurrentRequestsWhileAdvancing(t *testing.T) {
+	d, srv := newTestDaemon(t)
+	if err := d.Admit(AdmitRequest{App: "STREAM"}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			if err := d.Advance(0.05); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				var st Status
+				get(t, srv.URL+"/status", &st)
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+}
+
+func TestDaemonCriticalAdmission(t *testing.T) {
+	d, srv := newTestDaemon(t)
+	if resp := post(t, srv.URL+"/admit", AdmitRequest{App: "ferret", Weight: 2, FloorPerf: 0.8}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("critical admit: %d", resp.StatusCode)
+	}
+	if resp := post(t, srv.URL+"/admit", AdmitRequest{App: "BFS"}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("admit: %d", resp.StatusCode)
+	}
+	if resp := post(t, srv.URL+"/admit", AdmitRequest{App: "BFS", FloorPerf: 2}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad floor accepted: %d", resp.StatusCode)
+	}
+	if err := d.Advance(3); err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	get(t, srv.URL+"/status", &st)
+	if len(st.Apps) != 2 {
+		t.Fatalf("%d applications", len(st.Apps))
+	}
+	// The critical application's budget exceeds the best-effort one's.
+	if st.Apps[0].BudgetW <= st.Apps[1].BudgetW {
+		t.Errorf("critical ferret budget %.1f W not above BFS %.1f W",
+			st.Apps[0].BudgetW, st.Apps[1].BudgetW)
+	}
+}

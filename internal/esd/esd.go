@@ -1,0 +1,227 @@
+// Package esd models the server-local energy storage device (the paper's
+// R4 knob): a battery that banks energy while the power cap has headroom
+// and discharges to let applications exceed the cap later, time-shifting
+// power the way no direct resource can be shifted.
+//
+// The model tracks state of charge under charge/discharge power limits,
+// a round-trip efficiency split between the two directions, usable
+// depth-of-discharge bounds, self-discharge, and cycle accounting — the
+// characteristics the Coordinator's duty-cycle equation (paper eq. 5)
+// needs, parameterized for the paper's lead-acid UPS.
+package esd
+
+import (
+	"fmt"
+	"math"
+)
+
+// Spec describes an energy storage device.
+type Spec struct {
+	// Name identifies the chemistry/profile.
+	Name string
+	// CapacityJ is the nameplate energy capacity in joules.
+	CapacityJ float64
+	// MaxChargeW and MaxDischargeW bound charge and discharge power.
+	MaxChargeW    float64
+	MaxDischargeW float64
+	// ChargeEff and DischargeEff split the round-trip efficiency: of P
+	// watts pushed in, ChargeEff*P reaches the store; of E joules
+	// drawn from the store, DischargeEff*E reaches the rails.
+	ChargeEff    float64
+	DischargeEff float64
+	// MinSoC and MaxSoC bound the usable state-of-charge window as
+	// fractions of CapacityJ (lead-acid should not be deep-cycled).
+	MinSoC float64
+	MaxSoC float64
+	// SelfDischargePerSec is the fractional stored-energy loss per
+	// second while idle.
+	SelfDischargePerSec float64
+}
+
+// LeadAcid returns the paper's lead-acid UPS profile scaled to capacityJ
+// joules of nameplate energy. Its round-trip efficiency of 0.75
+// reproduces the paper's 60-40 OFF-ON duty cycle at the 80 W cap.
+func LeadAcid(capacityJ float64) Spec {
+	return Spec{
+		Name:                "lead-acid",
+		CapacityJ:           capacityJ,
+		MaxChargeW:          40,
+		MaxDischargeW:       80,
+		ChargeEff:           0.85,
+		DischargeEff:        0.88, // 0.85*0.88 ~ 0.75 round trip
+		MinSoC:              0.20,
+		MaxSoC:              0.95,
+		SelfDischargePerSec: 1e-7, // ~0.9%/day shelf loss
+	}
+}
+
+// LiIon returns a lithium-ion profile scaled to capacityJ joules: higher
+// round-trip efficiency, deeper usable depth-of-discharge and higher
+// power limits than lead-acid, at the cycle-life sensitivity the wear
+// accounting tracks — the main alternative the datacenter storage
+// literature weighs against lead-acid.
+func LiIon(capacityJ float64) Spec {
+	return Spec{
+		Name:                "li-ion",
+		CapacityJ:           capacityJ,
+		MaxChargeW:          80,
+		MaxDischargeW:       160,
+		ChargeEff:           0.95,
+		DischargeEff:        0.96, // ~0.91 round trip
+		MinSoC:              0.10,
+		MaxSoC:              0.95,
+		SelfDischargePerSec: 2e-8, // ~0.2%/day
+	}
+}
+
+// Ideal returns a lossless, power-unbounded store of the given capacity,
+// used by ablations to bound the R4 benefit.
+func Ideal(capacityJ float64) Spec {
+	return Spec{
+		Name:          "ideal",
+		CapacityJ:     capacityJ,
+		MaxChargeW:    math.Inf(1),
+		MaxDischargeW: math.Inf(1),
+		ChargeEff:     1,
+		DischargeEff:  1,
+		MinSoC:        0,
+		MaxSoC:        1,
+	}
+}
+
+// Validate reports whether the spec is internally consistent.
+func (s Spec) Validate() error {
+	switch {
+	case s.CapacityJ <= 0:
+		return fmt.Errorf("esd: %s: capacity must be positive, got %g J", s.Name, s.CapacityJ)
+	case s.MaxChargeW <= 0 || s.MaxDischargeW <= 0:
+		return fmt.Errorf("esd: %s: power limits must be positive (%g, %g)", s.Name, s.MaxChargeW, s.MaxDischargeW)
+	case s.ChargeEff <= 0 || s.ChargeEff > 1 || s.DischargeEff <= 0 || s.DischargeEff > 1:
+		return fmt.Errorf("esd: %s: efficiencies must be in (0, 1] (%g, %g)", s.Name, s.ChargeEff, s.DischargeEff)
+	case s.MinSoC < 0 || s.MaxSoC > 1 || s.MinSoC >= s.MaxSoC:
+		return fmt.Errorf("esd: %s: SoC window [%g, %g] is invalid", s.Name, s.MinSoC, s.MaxSoC)
+	case s.SelfDischargePerSec < 0:
+		return fmt.Errorf("esd: %s: self-discharge must be non-negative, got %g", s.Name, s.SelfDischargePerSec)
+	}
+	return nil
+}
+
+// RoundTripEff returns the charge*discharge efficiency product, the η of
+// the paper's equation (5).
+func (s Spec) RoundTripEff() float64 { return s.ChargeEff * s.DischargeEff }
+
+// UsableJ returns the energy available between the SoC bounds.
+func (s Spec) UsableJ() float64 { return s.CapacityJ * (s.MaxSoC - s.MinSoC) }
+
+// Device is a stateful instance of a Spec.
+type Device struct {
+	spec    Spec
+	storedJ float64
+
+	chargedJ    float64 // lifetime energy accepted into the store
+	dischargedJ float64 // lifetime energy drawn from the store
+}
+
+// NewDevice builds a device starting at the given state of charge
+// (fraction of nameplate capacity, clamped into the usable window).
+func NewDevice(spec Spec, soc float64) (*Device, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if soc < spec.MinSoC {
+		soc = spec.MinSoC
+	}
+	if soc > spec.MaxSoC {
+		soc = spec.MaxSoC
+	}
+	return &Device{spec: spec, storedJ: soc * spec.CapacityJ}, nil
+}
+
+// Spec returns the device's specification.
+func (d *Device) Spec() Spec { return d.spec }
+
+// SoC returns the state of charge as a fraction of nameplate capacity.
+func (d *Device) SoC() float64 { return d.storedJ / d.spec.CapacityJ }
+
+// StoredJ returns the energy currently in the store.
+func (d *Device) StoredJ() float64 { return d.storedJ }
+
+// AvailableJ returns the deliverable energy: what discharging down to
+// MinSoC would put on the rails after discharge losses.
+func (d *Device) AvailableJ() float64 {
+	usable := d.storedJ - d.spec.MinSoC*d.spec.CapacityJ
+	if usable < 0 {
+		return 0
+	}
+	return usable * d.spec.DischargeEff
+}
+
+// HeadroomJ returns how much more energy the store can accept (measured
+// at the store, after charge losses).
+func (d *Device) HeadroomJ() float64 {
+	h := d.spec.MaxSoC*d.spec.CapacityJ - d.storedJ
+	if h < 0 {
+		return 0
+	}
+	return h
+}
+
+// Charge pushes up to watts of rail power into the device for dt
+// seconds and returns the rail power actually accepted (limited by the
+// charge power bound and the SoC ceiling).
+func (d *Device) Charge(watts, dt float64) float64 {
+	if watts <= 0 || dt <= 0 {
+		return 0
+	}
+	if watts > d.spec.MaxChargeW {
+		watts = d.spec.MaxChargeW
+	}
+	// Rail power needed to fill remaining headroom exactly.
+	maxRail := d.HeadroomJ() / (d.spec.ChargeEff * dt)
+	if watts > maxRail {
+		watts = maxRail
+	}
+	stored := watts * d.spec.ChargeEff * dt
+	d.storedJ += stored
+	d.chargedJ += stored
+	return watts
+}
+
+// Discharge draws up to watts of rail power from the device for dt
+// seconds and returns the rail power actually delivered (limited by the
+// discharge power bound and the SoC floor).
+func (d *Device) Discharge(watts, dt float64) float64 {
+	if watts <= 0 || dt <= 0 {
+		return 0
+	}
+	if watts > d.spec.MaxDischargeW {
+		watts = d.spec.MaxDischargeW
+	}
+	maxRail := d.AvailableJ() / dt
+	if watts > maxRail {
+		watts = maxRail
+	}
+	fromStore := watts * dt / d.spec.DischargeEff
+	d.storedJ -= fromStore
+	d.dischargedJ += fromStore
+	return watts
+}
+
+// Idle applies self-discharge over dt seconds.
+func (d *Device) Idle(dt float64) {
+	if dt <= 0 || d.spec.SelfDischargePerSec == 0 {
+		return
+	}
+	d.storedJ *= math.Exp(-d.spec.SelfDischargePerSec * dt)
+	if floor := 0.0; d.storedJ < floor {
+		d.storedJ = floor
+	}
+}
+
+// EquivalentFullCycles returns lifetime throughput in full-capacity
+// cycle equivalents, the quantity battery wear models consume. The paper
+// notes its stringent-cap-only usage leaves lead-acid life dominated by
+// shelf life rather than cycling.
+func (d *Device) EquivalentFullCycles() float64 {
+	return d.dischargedJ / d.spec.CapacityJ
+}

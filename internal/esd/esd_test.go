@@ -1,0 +1,231 @@
+package esd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpecValidation(t *testing.T) {
+	good := LeadAcid(1000)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("lead-acid spec invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"capacity", func(s *Spec) { s.CapacityJ = 0 }},
+		{"charge-power", func(s *Spec) { s.MaxChargeW = 0 }},
+		{"discharge-power", func(s *Spec) { s.MaxDischargeW = -1 }},
+		{"charge-eff", func(s *Spec) { s.ChargeEff = 1.2 }},
+		{"discharge-eff", func(s *Spec) { s.DischargeEff = 0 }},
+		{"soc-window", func(s *Spec) { s.MinSoC = 0.9; s.MaxSoC = 0.5 }},
+		{"self-discharge", func(s *Spec) { s.SelfDischargePerSec = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := LeadAcid(1000)
+			tc.mutate(&s)
+			if err := s.Validate(); err == nil {
+				t.Errorf("Validate accepted bad %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestLeadAcidRoundTripMatchesEq5(t *testing.T) {
+	s := LeadAcid(1000)
+	// The paper's eq. (5) 60-40 OFF-ON split at the 80 W cap needs a
+	// round-trip efficiency near 0.75.
+	if eta := s.RoundTripEff(); math.Abs(eta-0.748) > 0.01 {
+		t.Errorf("lead-acid round trip = %g, want ~0.75", eta)
+	}
+}
+
+func TestChargeRespectsLimitsAndCeiling(t *testing.T) {
+	dev, err := NewDevice(LeadAcid(1000), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offered power above the charge limit is clipped.
+	accepted := dev.Charge(1000, 1)
+	if accepted > dev.Spec().MaxChargeW+1e-9 {
+		t.Errorf("accepted %g W over the %g W charge limit", accepted, dev.Spec().MaxChargeW)
+	}
+	// Filling to the ceiling stops accepting.
+	for i := 0; i < 10000; i++ {
+		if dev.Charge(40, 1) == 0 {
+			break
+		}
+	}
+	if soc := dev.SoC(); math.Abs(soc-dev.Spec().MaxSoC) > 1e-6 {
+		t.Errorf("SoC after saturation = %g, want ceiling %g", soc, dev.Spec().MaxSoC)
+	}
+	if dev.Charge(40, 1) > 1e-9 {
+		t.Error("full device still accepts charge")
+	}
+}
+
+func TestDischargeRespectsLimitsAndFloor(t *testing.T) {
+	dev, err := NewDevice(LeadAcid(1000), 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := dev.Discharge(1000, 0.1)
+	if delivered > dev.Spec().MaxDischargeW+1e-9 {
+		t.Errorf("delivered %g W over the %g W discharge limit", delivered, dev.Spec().MaxDischargeW)
+	}
+	for i := 0; i < 10000; i++ {
+		if dev.Discharge(80, 1) == 0 {
+			break
+		}
+	}
+	if soc := dev.SoC(); math.Abs(soc-dev.Spec().MinSoC) > 1e-6 {
+		t.Errorf("SoC after depletion = %g, want floor %g", soc, dev.Spec().MinSoC)
+	}
+	if dev.Discharge(10, 1) > 1e-9 {
+		t.Error("empty device still delivers")
+	}
+}
+
+func TestEnergyConservationRoundTrip(t *testing.T) {
+	spec := LeadAcid(100000)
+	dev, err := NewDevice(spec, spec.MinSoC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push a known rail energy in, then drain fully; delivered rail
+	// energy must equal input times the round-trip efficiency.
+	var inJ float64
+	for i := 0; i < 100; i++ {
+		inJ += dev.Charge(30, 1) * 1
+	}
+	var outJ float64
+	for i := 0; i < 10000; i++ {
+		got := dev.Discharge(50, 0.1) * 0.1
+		if got == 0 {
+			break
+		}
+		outJ += got
+	}
+	want := inJ * spec.RoundTripEff()
+	if math.Abs(outJ-want) > 1e-6*want+1e-9 {
+		t.Errorf("round trip: in %g J -> out %g J, want %g", inJ, outJ, want)
+	}
+	if cycles := dev.EquivalentFullCycles(); cycles <= 0 {
+		t.Error("no cycle accounting after a full round trip")
+	}
+}
+
+func TestSoCBoundsInvariant(t *testing.T) {
+	spec := LeadAcid(5000)
+	prop := func(ops []int8) bool {
+		dev, err := NewDevice(spec, 0.5)
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			switch {
+			case op > 40:
+				dev.Charge(float64(op), 0.5)
+			case op < -40:
+				dev.Discharge(float64(-op), 0.5)
+			default:
+				dev.Idle(1)
+			}
+			if soc := dev.SoC(); soc < spec.MinSoC-1e-9 || soc > spec.MaxSoC+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelfDischargeDecays(t *testing.T) {
+	dev, err := NewDevice(LeadAcid(1000), 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := dev.StoredJ()
+	dev.Idle(86400) // one day
+	after := dev.StoredJ()
+	if after >= before {
+		t.Error("no self-discharge over a day")
+	}
+	if loss := 1 - after/before; loss > 0.05 {
+		t.Errorf("lost %.1f%% in a day, want under ~1%%", loss*100)
+	}
+}
+
+func TestIdealStore(t *testing.T) {
+	spec := Ideal(1000)
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if spec.RoundTripEff() != 1 {
+		t.Error("ideal store has losses")
+	}
+	dev, err := NewDevice(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := dev.Charge(500, 1)
+	if in != 500 {
+		t.Errorf("ideal accepted %g of 500 W", in)
+	}
+	out := dev.Discharge(500, 1)
+	if math.Abs(out-500) > 1e-9 {
+		t.Errorf("ideal delivered %g of 500 W", out)
+	}
+}
+
+func TestInitialSoCClamped(t *testing.T) {
+	dev, err := NewDevice(LeadAcid(1000), 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if soc := dev.SoC(); soc > dev.Spec().MaxSoC {
+		t.Errorf("initial SoC %g above ceiling", soc)
+	}
+	dev, err = NewDevice(LeadAcid(1000), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if soc := dev.SoC(); soc < dev.Spec().MinSoC {
+		t.Errorf("initial SoC %g below floor", soc)
+	}
+}
+
+func TestZeroAndNegativeOpsAreNoOps(t *testing.T) {
+	dev, _ := NewDevice(LeadAcid(1000), 0.5)
+	before := dev.StoredJ()
+	if dev.Charge(-5, 1) != 0 || dev.Charge(5, -1) != 0 {
+		t.Error("invalid charge moved energy")
+	}
+	if dev.Discharge(-5, 1) != 0 || dev.Discharge(5, 0) != 0 {
+		t.Error("invalid discharge moved energy")
+	}
+	if dev.StoredJ() != before {
+		t.Error("no-op operations changed stored energy")
+	}
+}
+
+func TestLiIonBeatsLeadAcidCharacteristics(t *testing.T) {
+	la, li := LeadAcid(1000), LiIon(1000)
+	if err := li.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if li.RoundTripEff() <= la.RoundTripEff() {
+		t.Errorf("li-ion round trip %.3f not above lead-acid %.3f", li.RoundTripEff(), la.RoundTripEff())
+	}
+	if li.UsableJ() <= la.UsableJ() {
+		t.Errorf("li-ion usable window %.0f J not above lead-acid %.0f J", li.UsableJ(), la.UsableJ())
+	}
+	if li.MaxDischargeW <= la.MaxDischargeW {
+		t.Error("li-ion discharge power not above lead-acid")
+	}
+}

@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+)
+
+// Options tunes the full-report run.
+type Options struct {
+	// Seconds of simulated time per Fig 8/10 measurement (default 30).
+	Seconds float64
+	// Quick shrinks the CF study for fast runs.
+	Quick bool
+}
+
+// WriteAll regenerates every table and figure and writes the reports to
+// w, in the paper's order.
+func WriteAll(w io.Writer, opts Options) error {
+	if opts.Seconds <= 0 {
+		opts.Seconds = 30
+	}
+	env, err := NewEnv()
+	if err != nil {
+		return err
+	}
+	emit := func(r *Report) error {
+		if _, err := r.WriteTo(w); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+
+	steps := []func() (*Report, error){
+		func() (*Report, error) { return TableI(env), nil },
+		func() (*Report, error) { return TableII(env), nil },
+		func() (*Report, error) {
+			r, err := Fig2(env, "", "")
+			if err != nil {
+				return nil, err
+			}
+			return r.Report, nil
+		},
+		func() (*Report, error) { return Fig3(env).Report, nil },
+		func() (*Report, error) {
+			r, err := Fig4(env, 1)
+			if err != nil {
+				return nil, err
+			}
+			return r.Report, nil
+		},
+		func() (*Report, error) {
+			r, err := Fig5(env, 1)
+			if err != nil {
+				return nil, err
+			}
+			return r.Report, nil
+		},
+		func() (*Report, error) {
+			cfg := Fig7Config{}
+			if opts.Quick {
+				cfg.Fractions = []float64{0.05, 0.10}
+			}
+			r, err := Fig7(env, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r.Report, nil
+		},
+		func() (*Report, error) {
+			r, err := Fig8(env, opts.Seconds)
+			if err != nil {
+				return nil, err
+			}
+			return r.Report, nil
+		},
+		func() (*Report, error) {
+			r, err := Fig9(env)
+			if err != nil {
+				return nil, err
+			}
+			return r.Report, nil
+		},
+		func() (*Report, error) {
+			r, err := Fig10(env, opts.Seconds)
+			if err != nil {
+				return nil, err
+			}
+			return r.Report, nil
+		},
+		func() (*Report, error) {
+			r, err := Fig11(env)
+			if err != nil {
+				return nil, err
+			}
+			return r.Report, nil
+		},
+		func() (*Report, error) {
+			r, err := Fig12(env, Fig12Config{})
+			if err != nil {
+				return nil, err
+			}
+			return r.Report, nil
+		},
+		// Extensions beyond the paper's evaluation (see DESIGN.md).
+		func() (*Report, error) {
+			r, err := Online(env, 100, opts.Seconds)
+			if err != nil {
+				return nil, err
+			}
+			return r.Report, nil
+		},
+		func() (*Report, error) {
+			r, err := Churn(env, ChurnConfig{})
+			if err != nil {
+				return nil, err
+			}
+			return r.Report, nil
+		},
+		func() (*Report, error) {
+			r, err := MultiApp(env, MultiAppConfig{Seconds: opts.Seconds})
+			if err != nil {
+				return nil, err
+			}
+			return r.Report, nil
+		},
+	}
+	for _, step := range steps {
+		r, err := step()
+		if err != nil {
+			return err
+		}
+		if err := emit(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

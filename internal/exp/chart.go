@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Terminal rendering for the regenerated figures: horizontal bars for
+// policy comparisons and sparklines for time series, so psreport output
+// reads like the paper's plots without leaving the terminal.
+
+// barChart renders labeled horizontal bars scaled to width columns.
+func barChart(labels []string, values []float64, width int) []string {
+	if width <= 0 {
+		width = 40
+	}
+	maxV := 0.0
+	maxLabel := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	out := make([]string, 0, len(values))
+	for i, v := range values {
+		n := int(math.Round(v / maxV * float64(width)))
+		if n < 0 {
+			n = 0
+		}
+		out = append(out, fmt.Sprintf("  %-*s %7.3f |%s", maxLabel, labels[i], v, strings.Repeat("#", n)))
+	}
+	return out
+}
+
+// sparkline renders a series as one line of block characters.
+func sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(ramp)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ramp) {
+			idx = len(ramp) - 1
+		}
+		b.WriteRune(ramp[idx])
+	}
+	return b.String()
+}
+
+// downsample thins a series to at most n points by striding.
+func downsample(values []float64, n int) []float64 {
+	if n <= 0 || len(values) <= n {
+		return values
+	}
+	out := make([]float64, 0, n)
+	stride := float64(len(values)) / float64(n)
+	for i := 0; i < n; i++ {
+		out = append(out, values[int(float64(i)*stride)])
+	}
+	return out
+}

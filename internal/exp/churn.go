@@ -1,0 +1,195 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"powerstruggle/internal/accountant"
+	"powerstruggle/internal/policy"
+)
+
+// ChurnConfig parameterizes the sustained-churn stress study: Poisson
+// job arrivals, exponentially-sized jobs, and periodic cap swings — the
+// paper's events E1-E3 at steady state rather than as isolated case
+// studies.
+type ChurnConfig struct {
+	// Seconds of simulated time (default 600).
+	Seconds float64
+	// ArrivalsPerMinute is the Poisson arrival rate (default 2,
+	// three-quarters of the two-slot server's service capacity).
+	ArrivalsPerMinute float64
+	// MeanJobSeconds is the mean busy time of a job at uncapped speed
+	// (default 30; exponentially distributed).
+	MeanJobSeconds float64
+	// CapHighW and CapLowW are the two cap levels the datacenter swings
+	// between (defaults 100 and 85), toggling every CapPeriodSeconds
+	// (default 120).
+	CapHighW, CapLowW float64
+	CapPeriodSeconds  float64
+	// Policy is the mediation scheme (default App+Res-Aware).
+	Policy policy.Kind
+	// Seed drives the arrival process.
+	Seed int64
+}
+
+func (c ChurnConfig) withDefaults() ChurnConfig {
+	if c.Seconds <= 0 {
+		c.Seconds = 600
+	}
+	if c.ArrivalsPerMinute <= 0 {
+		c.ArrivalsPerMinute = 2
+	}
+	if c.MeanJobSeconds <= 0 {
+		c.MeanJobSeconds = 30
+	}
+	if c.CapHighW <= 0 {
+		c.CapHighW = 100
+	}
+	if c.CapLowW <= 0 {
+		c.CapLowW = 85
+	}
+	if c.CapPeriodSeconds <= 0 {
+		c.CapPeriodSeconds = 120
+	}
+	if c.Policy == 0 {
+		c.Policy = policy.AppResAware
+	}
+	if c.Seed == 0 {
+		c.Seed = 23
+	}
+	return c
+}
+
+// ChurnResult summarizes a churn run.
+type ChurnResult struct {
+	// Arrivals, Departures, CapChanges and PhaseEvents count the logged
+	// accountant events.
+	Arrivals, Departures, CapChanges, PhaseEvents int
+	// Queued counts arrivals that had to wait for direct resources.
+	Queued int
+	// MaxGridW is the worst observed grid draw outside re-allocation
+	// transition windows; Violations counts samples above the cap in
+	// force at the time (outside those windows).
+	MaxGridW   float64
+	Violations int
+	// MeanUtilFrac is the average of (grid draw - idle floor) over
+	// (cap - idle floor): how much of the granted dynamic power the
+	// mediator converts into draw.
+	MeanUtilFrac float64
+	Report       *Report
+}
+
+// transitionGraceS excuses adherence accounting for this long after a
+// cap change or membership event: the paper's runtime needs ~800 ms to
+// land a new plan, during which the old plan may exceed a freshly
+// lowered cap.
+const transitionGraceS = 1.5
+
+// Churn runs the sustained-churn study on one mediated server.
+func Churn(env *Env, cfg ChurnConfig) (*ChurnResult, error) {
+	cfg = cfg.withDefaults()
+	sim, err := accountant.NewSim(accountant.Config{
+		HW: env.HW, Policy: cfg.Policy, Library: env.Lib,
+		InitialCapW: cfg.CapHighW, ReallocSeconds: 0.8, SampleEvery: 0.25,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Poisson arrivals of random applications with exponential work.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	apps := env.Lib.Apps()
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() * 60 / cfg.ArrivalsPerMinute
+		if t >= cfg.Seconds {
+			break
+		}
+		p := apps[rng.Intn(len(apps))]
+		beats := p.NoCapRate(env.HW) * rng.ExpFloat64() * cfg.MeanJobSeconds
+		if beats < 1e-6 {
+			beats = 1e-6
+		}
+		if err := sim.AddArrival(t, p, beats); err != nil {
+			return nil, err
+		}
+	}
+	// Cap swings (E1).
+	lo := true
+	for ct := cfg.CapPeriodSeconds; ct < cfg.Seconds; ct += cfg.CapPeriodSeconds {
+		capW := cfg.CapHighW
+		if lo {
+			capW = cfg.CapLowW
+		}
+		lo = !lo
+		if err := sim.AddCapChange(ct, capW); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := sim.Run(cfg.Seconds); err != nil {
+		return nil, err
+	}
+
+	res := &ChurnResult{Report: &Report{
+		ID:    "Churn",
+		Title: fmt.Sprintf("sustained churn: %.0f arrivals/min, caps %g/%g W, %s", cfg.ArrivalsPerMinute, cfg.CapHighW, cfg.CapLowW, cfg.Policy),
+	}}
+	events := sim.Events()
+	transitions := make([]float64, 0, len(events))
+	for _, e := range events {
+		switch e.Kind {
+		case accountant.EvArrival:
+			res.Arrivals++
+			if e.Detail == "no free direct resources; queued" {
+				res.Queued++
+			}
+		case accountant.EvDeparture:
+			res.Departures++
+		case accountant.EvCapChange:
+			res.CapChanges++
+		case accountant.EvPhaseChange:
+			res.PhaseEvents++
+		}
+		transitions = append(transitions, e.T)
+	}
+
+	inGrace := func(t float64) bool {
+		for _, tt := range transitions {
+			if t >= tt && t < tt+transitionGraceS {
+				return true
+			}
+		}
+		return false
+	}
+	var utilSum float64
+	var utilN int
+	for _, s := range sim.Samples() {
+		if inGrace(s.T) {
+			continue
+		}
+		if s.GridW > res.MaxGridW {
+			res.MaxGridW = s.GridW
+		}
+		if s.GridW > s.CapW+1e-6 {
+			res.Violations++
+		}
+		if len(s.Apps) > 0 {
+			denom := s.CapW - env.HW.PIdleWatts
+			if denom > 0 {
+				utilSum += math.Max(0, s.GridW-env.HW.PIdleWatts) / denom
+				utilN++
+			}
+		}
+	}
+	if utilN > 0 {
+		res.MeanUtilFrac = utilSum / float64(utilN)
+	}
+
+	res.Report.addf("arrivals %d (queued %d), departures %d, cap changes %d, phase events %d",
+		res.Arrivals, res.Queued, res.Departures, res.CapChanges, res.PhaseEvents)
+	res.Report.addf("max grid %.1f W, violations outside transitions: %d", res.MaxGridW, res.Violations)
+	res.Report.addf("mean dynamic-power utilization while occupied: %.0f%%", res.MeanUtilFrac*100)
+	return res, nil
+}

@@ -1,0 +1,191 @@
+package exp
+
+import (
+	"fmt"
+
+	"powerstruggle/internal/allocator"
+	"powerstruggle/internal/coordinator"
+	"powerstruggle/internal/esd"
+	"powerstruggle/internal/workload"
+)
+
+// runSchedule executes a schedule for seconds on fresh instances and
+// returns the measured result.
+func runSchedule(env *Env, capW float64, profs []*workload.Profile, sched coordinator.Schedule, dev *esd.Device, seconds float64) (coordinator.RunResult, error) {
+	insts := make([]*workload.Instance, len(profs))
+	for i, p := range profs {
+		inst, err := workload.NewInstance(p, 0)
+		if err != nil {
+			return coordinator.RunResult{}, err
+		}
+		insts[i] = inst
+	}
+	r := coordinator.Runner{
+		Config:      coordinator.Config{HW: env.HW, CapW: capW},
+		Profiles:    profs,
+		Instances:   insts,
+		Device:      dev,
+		SampleEvery: 0.25,
+	}
+	return r.Run(sched, seconds)
+}
+
+// Fig4Result carries Fig. 4's data: server power timelines under space
+// coordination (both applications throttled simultaneously) and time
+// coordination (alternate duty cycling).
+type Fig4Result struct {
+	SpaceSeries []coordinator.Sample
+	TimeSeries  []coordinator.Sample
+	SpacePerf   float64
+	TimePerf    float64
+	Report      *Report
+}
+
+// Fig4 regenerates Fig. 4 on a two-application mix: space coordination
+// at a 90 W cap, time coordination at 80 W (where simultaneous
+// execution no longer fits).
+func Fig4(env *Env, mixID int) (*Fig4Result, error) {
+	a, b, err := mixProfiles(env, mixID)
+	if err != nil {
+		return nil, err
+	}
+	profs := []*workload.Profile{a, b}
+	curves := []*workload.Curve{
+		workload.OptimalCurve(env.HW, a),
+		workload.OptimalCurve(env.HW, b),
+	}
+	res := &Fig4Result{Report: &Report{ID: "Fig 4", Title: "Coordinating power use between applications"}}
+
+	// (a) space coordination at 90 W.
+	const spaceCap = 90.0
+	plan, err := allocator.Apportion(curves, env.HW.DynamicBudget(spaceCap), 0)
+	if err != nil {
+		return nil, err
+	}
+	spaceSched, err := coordinator.Space(coordinator.Config{HW: env.HW, CapW: spaceCap}, plan)
+	if err != nil {
+		return nil, err
+	}
+	spaceRun, err := runSchedule(env, spaceCap, profs, spaceSched, nil, 10)
+	if err != nil {
+		return nil, err
+	}
+	res.SpaceSeries = spaceRun.Samples
+	res.SpacePerf = spaceRun.TotalPerf
+
+	// (b) time coordination at 80 W.
+	const timeCap = 80.0
+	timeSched, err := coordinator.Time(coordinator.Config{HW: env.HW, CapW: timeCap}, curves, true)
+	if err != nil {
+		return nil, err
+	}
+	timeRun, err := runSchedule(env, timeCap, profs, timeSched, nil, 10)
+	if err != nil {
+		return nil, err
+	}
+	res.TimeSeries = timeRun.Samples
+	res.TimePerf = timeRun.TotalPerf
+
+	res.Report.addf("(a) space coordination, P_cap=%.0f W, total perf %.3f:", spaceCap, res.SpacePerf)
+	appendSeries(res.Report, spaceRun.Samples, 8)
+	res.Report.addf("(b) time coordination, P_cap=%.0f W, total perf %.3f:", timeCap, res.TimePerf)
+	appendSeries(res.Report, timeRun.Samples, 16)
+	return res, nil
+}
+
+// appendSeries formats up to n leading samples of a power timeline.
+func appendSeries(r *Report, samples []coordinator.Sample, n int) {
+	for i, s := range samples {
+		if i >= n {
+			break
+		}
+		line := fmt.Sprintf("  t=%5.2fs server=%6.2fW grid=%6.2fW", s.T, s.ServerW, s.GridW)
+		for j, w := range s.AppW {
+			line += fmt.Sprintf(" app%d=%5.2fW", j+1, w)
+		}
+		if s.SoC > 0 {
+			line += fmt.Sprintf(" soc=%.3f", s.SoC)
+		}
+		r.Lines = append(r.Lines, line)
+	}
+}
+
+// Fig5Result carries Fig. 5's data: ESD-assisted duty cycling at a cap
+// below even one application's needs, alternate vs consolidated.
+type Fig5Result struct {
+	AlternatePerf    float64
+	ConsolidatedPerf float64
+	// Gain is consolidated/alternate - 1 (the paper's ~30%: P_cm is
+	// amortized when applications run together).
+	Gain              float64
+	AlternateSeries   []coordinator.Sample
+	ConsolidateSeries []coordinator.Sample
+	Report            *Report
+}
+
+// Fig5 regenerates Fig. 5 at a 70 W cap (insufficient to run even one
+// application steadily) with the paper's lead-acid ESD.
+func Fig5(env *Env, mixID int) (*Fig5Result, error) {
+	a, b, err := mixProfiles(env, mixID)
+	if err != nil {
+		return nil, err
+	}
+	profs := []*workload.Profile{a, b}
+	curves := []*workload.Curve{
+		workload.OptimalCurve(env.HW, a),
+		workload.OptimalCurve(env.HW, b),
+	}
+	const capW = 70.0
+	cc := coordinator.Config{HW: env.HW, CapW: capW}
+	res := &Fig5Result{Report: &Report{ID: "Fig 5", Title: "Addressing non-convexity of P_cm using ESD"}}
+
+	devA, err := esd.NewDevice(esd.LeadAcid(300e3), 0.6)
+	if err != nil {
+		return nil, err
+	}
+	alt, err := coordinator.AlternateESD(cc, curves, devA)
+	if err != nil {
+		return nil, err
+	}
+	altRun, err := runSchedule(env, capW, profs, alt, devA, 60)
+	if err != nil {
+		return nil, err
+	}
+
+	devC, err := esd.NewDevice(esd.LeadAcid(300e3), 0.6)
+	if err != nil {
+		return nil, err
+	}
+	cons, err := coordinator.ESD(cc, curves, devC)
+	if err != nil {
+		return nil, err
+	}
+	consRun, err := runSchedule(env, capW, profs, cons, devC, 60)
+	if err != nil {
+		return nil, err
+	}
+
+	res.AlternatePerf = altRun.TotalPerf
+	res.ConsolidatedPerf = consRun.TotalPerf
+	if res.AlternatePerf > 0 {
+		res.Gain = res.ConsolidatedPerf/res.AlternatePerf - 1
+	}
+	res.AlternateSeries = altRun.Samples
+	res.ConsolidateSeries = consRun.Samples
+	res.Report.addf("(a) alternate duty cycling with ESD:    total perf %.3f", res.AlternatePerf)
+	appendSeries(res.Report, altRun.Samples, 12)
+	res.Report.addf("(b) consolidated duty cycling with ESD: total perf %.3f", res.ConsolidatedPerf)
+	appendSeries(res.Report, consRun.Samples, 12)
+	res.Report.addf("consolidation gain from amortizing P_cm: %.1f%%", res.Gain*100)
+	return res, nil
+}
+
+// mixProfiles resolves a mix ID.
+func mixProfiles(env *Env, mixID int) (*workload.Profile, *workload.Profile, error) {
+	for _, m := range workload.Mixes() {
+		if m.ID == mixID {
+			return env.Lib.MixProfiles(m)
+		}
+	}
+	return nil, nil, fmt.Errorf("exp: unknown mix %d", mixID)
+}

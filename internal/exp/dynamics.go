@@ -1,0 +1,111 @@
+package exp
+
+import (
+	"fmt"
+
+	"powerstruggle/internal/accountant"
+	"powerstruggle/internal/policy"
+)
+
+// Fig11Result carries the arrival/departure case studies.
+type Fig11Result struct {
+	// ArrivalSamples is the mix-14 timeline: SSSP alone, X264 arriving
+	// at t=20 s under a 100 W cap.
+	ArrivalSamples []accountant.AppSample
+	ArrivalEvents  []accountant.Event
+	// DepartureSamples is the mix-10 timeline: PageRank finishing and
+	// kmeans being uncapped.
+	DepartureSamples []accountant.AppSample
+	DepartureEvents  []accountant.Event
+	Report           *Report
+}
+
+// Fig11 regenerates Fig. 11: power re-allocation on an application's
+// arrival (11a, mix-14) and departure (11b, mix-10), with the paper's
+// ~800 ms re-allocation latency.
+func Fig11(env *Env) (*Fig11Result, error) {
+	res := &Fig11Result{Report: &Report{ID: "Fig 11", Title: "Impact of application arrival/departure"}}
+
+	// (a) Arrival: SSSP runs alone; X264 arrives at t = 20 s.
+	simA, err := accountant.NewSim(accountant.Config{
+		HW: env.HW, Policy: policy.AppResAware, Library: env.Lib,
+		InitialCapW: 100, ReallocSeconds: 0.8, SampleEvery: 0.5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := simA.AddArrival(0, env.Lib.MustApp("SSSP"), 0); err != nil {
+		return nil, err
+	}
+	if err := simA.AddArrival(20, env.Lib.MustApp("X264"), 0); err != nil {
+		return nil, err
+	}
+	if err := simA.Run(40); err != nil {
+		return nil, err
+	}
+	res.ArrivalSamples = simA.Samples()
+	res.ArrivalEvents = simA.Events()
+
+	// (b) Departure: mix-10 runs under 100 W; PageRank's work is finite
+	// and it departs, after which kmeans is uncapped.
+	simB, err := accountant.NewSim(accountant.Config{
+		HW: env.HW, Policy: policy.AppResAware, Library: env.Lib,
+		InitialCapW: 100, ReallocSeconds: 0.8, SampleEvery: 0.5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pr := env.Lib.MustApp("PageRank")
+	if err := simB.AddArrival(0, pr, pr.NoCapRate(env.HW)*14); err != nil {
+		return nil, err
+	}
+	if err := simB.AddArrival(0, env.Lib.MustApp("kmeans"), 0); err != nil {
+		return nil, err
+	}
+	if err := simB.Run(40); err != nil {
+		return nil, err
+	}
+	res.DepartureSamples = simB.Samples()
+	res.DepartureEvents = simB.Events()
+
+	res.Report.addf("(a) arrival (mix-14: X264 joins SSSP at t=20 s, P_cap=100 W):")
+	appendEvents(res.Report, res.ArrivalEvents)
+	appendAppSamples(res.Report, res.ArrivalSamples, 17, 25)
+	res.Report.addf("(b) departure (mix-10: PageRank finishes, kmeans uncapped):")
+	appendEvents(res.Report, res.DepartureEvents)
+	appendAppSamples(res.Report, res.DepartureSamples, 0, 40)
+	return res, nil
+}
+
+func appendEvents(r *Report, events []accountant.Event) {
+	for _, e := range events {
+		r.addf("  t=%6.2fs %-16s %-10s %s", e.T, e.Kind, e.App, e.Detail)
+	}
+}
+
+// appendAppSamples formats the samples in [from, to) seconds, decimated
+// to roughly 12 lines.
+func appendAppSamples(r *Report, samples []accountant.AppSample, from, to float64) {
+	var window []accountant.AppSample
+	for _, s := range samples {
+		if s.T >= from && s.T < to {
+			window = append(window, s)
+		}
+	}
+	step := len(window)/12 + 1
+	for i := 0; i < len(window); i += step {
+		s := window[i]
+		line := ""
+		for _, a := range s.Apps {
+			line += " " + a.Name + "=" + formatApp(a)
+		}
+		r.addf("  t=%6.2fs grid=%6.1fW%s", s.T, s.GridW, line)
+	}
+}
+
+func formatApp(a accountant.AppState) string {
+	if a.BudgetW <= 0 {
+		return "(pending)"
+	}
+	return fmt.Sprintf("%v@%.1fW", a.Knobs, a.PowerW)
+}

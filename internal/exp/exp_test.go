@@ -1,0 +1,478 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"powerstruggle/internal/accountant"
+	"powerstruggle/internal/cluster"
+	"powerstruggle/internal/policy"
+)
+
+func newTestEnv(t *testing.T) *Env {
+	t.Helper()
+	env, err := NewEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestTables(t *testing.T) {
+	env := newTestEnv(t)
+	t1 := TableI(env)
+	if len(t1.Lines) < 8 {
+		t.Errorf("Table I has %d rows", len(t1.Lines))
+	}
+	joined := strings.Join(t1.Lines, "\n")
+	for _, want := range []string{"P_idle", "50 W", "P_cm", "20 W", "1.2-2.0 GHz"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+	t2 := TableII(env)
+	if len(t2.Lines) != 16 { // header + 15 mixes
+		t.Errorf("Table II has %d rows, want 16", len(t2.Lines))
+	}
+	if !strings.Contains(strings.Join(t2.Lines, "\n"), "STREAM (memory)") {
+		t.Error("Table II missing STREAM's type annotation")
+	}
+}
+
+func TestFig2CurvesDifferAndAreMonotone(t *testing.T) {
+	env := newTestEnv(t)
+	res, err := Fig2(env, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 2; a++ {
+		prev := -1.0
+		for _, v := range res.Perf[a] {
+			if v < prev-1e-9 {
+				t.Fatalf("%s: perf not monotone in cap", res.Apps[a])
+			}
+			prev = v
+		}
+	}
+	// The paper's point: the two slopes differ. At a mid cap STREAM is
+	// nearly saturated while kmeans is far from it.
+	mid := len(res.CapsW) / 2
+	if res.Perf[0][mid] <= res.Perf[1][mid] {
+		t.Errorf("STREAM (%.3f) not ahead of kmeans (%.3f) at %g W: utility asymmetry lost",
+			res.Perf[0][mid], res.Perf[1][mid], res.CapsW[mid])
+	}
+	if _, err := Fig2(env, "nope", ""); err == nil {
+		t.Error("unknown application accepted")
+	}
+}
+
+func TestFig3ResourceUtilitiesShape(t *testing.T) {
+	env := newTestEnv(t)
+	res := Fig3(env)
+	if len(res.Utilities) != 12 {
+		t.Fatalf("%d utility rows, want 12", len(res.Utilities))
+	}
+	byName := make(map[string]ResourceUtility)
+	for _, u := range res.Utilities {
+		byName[u.App] = u
+		if u.CorePerW < 0 || u.FreqPerW < 0 || u.MemPerW < 0 {
+			t.Errorf("%s: negative utility %+v", u.App, u)
+		}
+	}
+	// STREAM buys performance with DRAM watts, kmeans with core watts —
+	// the Fig 3/9d asymmetry.
+	if s := byName["STREAM"]; s.MemPerW <= s.CorePerW || s.MemPerW <= s.FreqPerW {
+		t.Errorf("STREAM: DRAM watt not dominant: %+v", s)
+	}
+	if k := byName["kmeans"]; k.MemPerW >= k.CorePerW {
+		t.Errorf("kmeans: DRAM watt dominant: %+v", k)
+	}
+}
+
+func TestFig4SpaceVsTime(t *testing.T) {
+	env := newTestEnv(t)
+	res, err := Fig4(env, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpacePerf <= res.TimePerf {
+		t.Errorf("space at 90 W (%.3f) not ahead of time at 80 W (%.3f)", res.SpacePerf, res.TimePerf)
+	}
+	// Space coordination: both applications draw simultaneously.
+	s := res.SpaceSeries[len(res.SpaceSeries)/2]
+	if s.AppW[0] <= 0 || s.AppW[1] <= 0 {
+		t.Errorf("space sample has an idle application: %v", s.AppW)
+	}
+	// Time coordination: at most one application draws at any sample.
+	for _, ts := range res.TimeSeries {
+		if ts.AppW[0] > 0 && ts.AppW[1] > 0 {
+			t.Fatalf("time coordination ran both applications at t=%g", ts.T)
+		}
+	}
+	if _, err := Fig4(env, 99); err == nil {
+		t.Error("unknown mix accepted")
+	}
+}
+
+func TestFig5ConsolidationGain(t *testing.T) {
+	env := newTestEnv(t)
+	res, err := Fig5(env, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gain < 0.15 {
+		t.Errorf("consolidated ESD gain %.1f%%, want >= 15%% (paper: ~30%%)", res.Gain*100)
+	}
+}
+
+func TestFig7OvershootShrinksWithSampling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CF sweep is slow")
+	}
+	env := newTestEnv(t)
+	res, err := Fig7(env, Fig7Config{Fractions: []float64{0.02, 0.10, 0.40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("%d sweep points", len(res.Points))
+	}
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if last.OvershootPct > first.OvershootPct+1e-9 {
+		t.Errorf("overshoot rose with sampling: %.2f%% -> %.2f%%",
+			first.OvershootPct, last.OvershootPct)
+	}
+	if last.PerfPct < 90 {
+		t.Errorf("dense sampling achieves only %.1f%% of optimal", last.PerfPct)
+	}
+	if res.ChosenFraction <= 0 {
+		t.Error("no operating fraction chosen")
+	}
+}
+
+func TestFig8And10Comparisons(t *testing.T) {
+	env := newTestEnv(t)
+	f8, err := Fig8(env, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f8.Rows) != 15*4 {
+		t.Fatalf("Fig 8 has %d rows, want 60", len(f8.Rows))
+	}
+	for _, r := range f8.Rows {
+		if r.CapViolations != 0 {
+			t.Errorf("mix %d %v violated the cap %d times", r.MixID, r.Policy, r.CapViolations)
+		}
+	}
+	if f8.Avg[policy.AppResAware] <= f8.Avg[policy.UtilUnaware] {
+		t.Error("App+Res-Aware not ahead at 100 W")
+	}
+	// The paper's average split is 46-54; ours must be clearly unequal
+	// but not extreme.
+	if f8.AvgSplit < 0.51 || f8.AvgSplit > 0.65 {
+		t.Errorf("average larger-share split %.2f outside [0.51, 0.65]", f8.AvgSplit)
+	}
+
+	f10, err := Fig10(env, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f10.Avg[policy.AppResESDAware] <= f10.Avg[policy.AppResAware] {
+		t.Error("ESD awareness does not pay at 80 W")
+	}
+	gain8 := f8.Avg[policy.AppResAware]/f8.Avg[policy.UtilUnaware] - 1
+	gain10 := f10.Avg[policy.AppResAware]/f10.Avg[policy.UtilUnaware] - 1
+	if gain10 <= gain8 {
+		t.Errorf("stringent-cap gain %.1f%% not above loose-cap gain %.1f%%", gain10*100, gain8*100)
+	}
+}
+
+func TestFig9CaseStudies(t *testing.T) {
+	env := newTestEnv(t)
+	res, err := Fig9(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{1, 10, 14} {
+		if res.InterApp[id] == nil {
+			t.Errorf("mix-%d case study missing", id)
+		}
+	}
+	if len(res.IntraApp) != 4 {
+		t.Errorf("%d resource-utility rows, want 4", len(res.IntraApp))
+	}
+}
+
+func TestFig11EventSequences(t *testing.T) {
+	env := newTestEnv(t)
+	res, err := Fig11(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrivals int
+	for _, e := range res.ArrivalEvents {
+		if e.Kind.String() == "E2-arrival" {
+			arrivals++
+		}
+	}
+	if arrivals != 2 {
+		t.Errorf("arrival study logged %d arrivals, want 2", arrivals)
+	}
+	var departed bool
+	for _, e := range res.DepartureEvents {
+		if e.Kind.String() == "E3-departure" {
+			departed = true
+		}
+	}
+	if !departed {
+		t.Error("departure study logged no departure")
+	}
+	// After the departure the survivor's budget grows.
+	samples := res.DepartureSamples
+	var during, after float64
+	for _, s := range samples {
+		if len(s.Apps) == 2 && s.Apps[1].Name == "kmeans" && s.Apps[1].PowerW > 0 {
+			during = s.Apps[1].PowerW
+		}
+		if len(s.Apps) == 1 && s.Apps[0].Name == "kmeans" {
+			after = s.Apps[0].PowerW
+		}
+	}
+	if after <= during {
+		t.Errorf("kmeans draw did not grow after the departure: %.1f -> %.1f", during, after)
+	}
+}
+
+func TestFig12ShapeAndClaims(t *testing.T) {
+	env := newTestEnv(t)
+	res, err := Fig12(env, Fig12Config{StepSeconds: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) != 3 {
+		t.Fatalf("%d shaving levels", len(res.Levels))
+	}
+	for _, lv := range res.Levels {
+		rapl := lv.Results[cluster.EqualRAPL]
+		ours := lv.Results[cluster.EqualOurs]
+		if ours.AvgPerfFrac <= rapl.AvgPerfFrac {
+			t.Errorf("shave %.0f%%: Ours %.3f vs RAPL %.3f", lv.ShaveFrac*100,
+				ours.AvgPerfFrac, rapl.AvgPerfFrac)
+		}
+		if lv.EventFraction <= 0 || lv.EventFraction >= 1 {
+			t.Errorf("shave %.0f%%: event fraction %.2f", lv.ShaveFrac*100, lv.EventFraction)
+		}
+	}
+}
+
+func TestWriteAllProducesEveryReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report is slow")
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, Options{Seconds: 5, Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table I", "Table II", "Fig 2", "Fig 3", "Fig 4", "Fig 5",
+		"Fig 7", "Fig 8", "Fig 9", "Fig 10", "Fig 11", "Fig 12",
+	} {
+		if !strings.Contains(out, "== "+want) {
+			t.Errorf("report missing %s", want)
+		}
+	}
+}
+
+func TestChurnStaysWithinCaps(t *testing.T) {
+	env := newTestEnv(t)
+	res, err := Churn(env, ChurnConfig{Seconds: 240})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrivals == 0 || res.Departures == 0 {
+		t.Fatalf("no churn: %d arrivals, %d departures", res.Arrivals, res.Departures)
+	}
+	if res.CapChanges == 0 {
+		t.Error("no cap swings occurred")
+	}
+	if res.Violations != 0 {
+		t.Errorf("%d cap violations outside transition windows (max grid %.1f W)",
+			res.Violations, res.MaxGridW)
+	}
+	if res.MeanUtilFrac <= 0.3 {
+		t.Errorf("mean dynamic-power utilization %.0f%% suspiciously low", res.MeanUtilFrac*100)
+	}
+}
+
+func TestChurnAcrossPolicies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-policy churn is slow")
+	}
+	env := newTestEnv(t)
+	for _, kind := range []policy.Kind{policy.UtilUnaware, policy.AppResAware} {
+		res, err := Churn(env, ChurnConfig{Seconds: 180, Policy: kind, Seed: 31})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if res.Violations != 0 {
+			t.Errorf("%v: %d violations under churn", kind, res.Violations)
+		}
+	}
+}
+
+func TestOnlineUtilitiesNearOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CF training sweep is slow")
+	}
+	env := newTestEnv(t)
+	res, err := Online(env, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Errorf("%d cap violations planning from learned utilities", res.Violations)
+	}
+	if res.Ratio < 0.85 {
+		t.Errorf("learned utilities deliver only %.1f%% of oracle", res.Ratio*100)
+	}
+	if res.Ratio > 1.001 {
+		t.Errorf("learned utilities beat the oracle (%.3f): estimator leaking truth?", res.Ratio)
+	}
+}
+
+func TestMultiAppColocation(t *testing.T) {
+	env := newTestEnv(t)
+	res, err := MultiApp(env, MultiAppConfig{Seconds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Violations != 0 {
+			t.Errorf("cap %g: %d violations with four applications", row.CapW, row.Violations)
+		}
+		if row.Perf[policy.AppResAware] <= row.Perf[policy.UtilUnaware] {
+			t.Errorf("cap %g: mediation does not pay with four applications (%.3f vs %.3f)",
+				row.CapW, row.Perf[policy.AppResAware], row.Perf[policy.UtilUnaware])
+		}
+	}
+	// ESD awareness should win at the tightest cap.
+	last := res.Rows[len(res.Rows)-1]
+	if last.Perf[policy.AppResESDAware] < last.Perf[policy.AppResAware] {
+		t.Errorf("ESD awareness loses at the tight cap: %.3f vs %.3f",
+			last.Perf[policy.AppResESDAware], last.Perf[policy.AppResAware])
+	}
+}
+
+func TestSummaryJSONRoundTrips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("summary runs the headline experiments")
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	var got Summary
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("summary is not valid JSON: %v", err)
+	}
+	if got.Platform.Cores != 12 || got.Platform.PIdleWatts != 50 {
+		t.Errorf("platform constants wrong: %+v", got.Platform)
+	}
+	if got.Fig8.CapViolations != 0 || got.Fig10.CapViolations != 0 {
+		t.Error("summary records cap violations")
+	}
+	if got.Fig8.AvgPerf["App+Res-Aware"] <= got.Fig8.AvgPerf["Util-Unaware"] {
+		t.Error("summary lost the Fig 8 ordering")
+	}
+	if len(got.Fig12) != 3 {
+		t.Errorf("%d cluster levels in summary", len(got.Fig12))
+	}
+}
+
+func TestChartPrimitives(t *testing.T) {
+	bars := barChart([]string{"a", "bb"}, []float64{1, 2}, 10)
+	if len(bars) != 2 {
+		t.Fatalf("%d bars", len(bars))
+	}
+	if !strings.Contains(bars[1], strings.Repeat("#", 10)) {
+		t.Errorf("max bar not full width: %q", bars[1])
+	}
+	if strings.Count(bars[0], "#") != 5 {
+		t.Errorf("half bar wrong: %q", bars[0])
+	}
+	if s := sparkline([]float64{0, 1, 2, 3}); len([]rune(s)) != 4 {
+		t.Errorf("sparkline %q", s)
+	}
+	if s := sparkline(nil); s != "" {
+		t.Errorf("empty sparkline %q", s)
+	}
+	if got := downsample(make([]float64, 100), 10); len(got) != 10 {
+		t.Errorf("downsample kept %d", len(got))
+	}
+	flat := sparkline([]float64{5, 5, 5})
+	for _, r := range flat {
+		if r != []rune("▁")[0] {
+			t.Errorf("flat series rendered %q", flat)
+		}
+	}
+}
+
+func TestSoakTwoSimulatedHours(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	env := newTestEnv(t)
+	res, err := Churn(env, ChurnConfig{
+		Seconds: 7200, ArrivalsPerMinute: 1.5, MeanJobSeconds: 40,
+		CapPeriodSeconds: 300, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("%d cap violations over two simulated hours (max grid %.1f W)",
+			res.Violations, res.MaxGridW)
+	}
+	if res.Departures < 50 {
+		t.Errorf("only %d jobs completed over two hours", res.Departures)
+	}
+}
+
+func TestAccountantWithLiveEstimator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CF calibration is slow")
+	}
+	env := newTestEnv(t)
+	est, err := NewOnlineEstimator(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := accountant.NewSim(accountant.Config{
+		HW: env.HW, Policy: policy.AppResAware, Library: env.Lib,
+		InitialCapW: 100, ReallocSeconds: 0.8, SampleEvery: 0.25,
+		Estimator: est,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sim.AddArrival(0, env.Lib.MustApp("SSSP"), 0)
+	_ = sim.AddArrival(5, env.Lib.MustApp("X264"), 0)
+	if err := sim.Run(15); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sim.Samples() {
+		if s.GridW > 100+1e-6 {
+			t.Fatalf("grid %.2f W over the cap with learned utilities at t=%.1f", s.GridW, s.T)
+		}
+	}
+	last := sim.Samples()[len(sim.Samples())-1]
+	if len(last.Apps) != 2 || last.Apps[0].PowerW <= 0 || last.Apps[1].PowerW <= 0 {
+		t.Fatalf("applications not both running under learned utilities: %+v", last.Apps)
+	}
+}

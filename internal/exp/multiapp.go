@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"fmt"
+
+	"powerstruggle/internal/esd"
+	"powerstruggle/internal/policy"
+	"powerstruggle/internal/simhw"
+	"powerstruggle/internal/workload"
+)
+
+// MultiAppConfig parameterizes the deeper-consolidation study: four
+// applications on one server, two per socket, sharing the DRAM channels.
+// The paper evaluates pairs; its framework ("multiple applications on
+// each server") is N-way, and this experiment exercises the allocator,
+// duty cycling and ESD coordination at N = 4.
+type MultiAppConfig struct {
+	// Apps are the four applications (default: STREAM, kmeans, X264,
+	// BFS — two compute-leaning, two memory-leaning).
+	Apps []string
+	// CapsW are the server caps to sweep (default 110, 100, 90).
+	CapsW []float64
+	// Seconds of simulated time per measurement (default 20).
+	Seconds float64
+}
+
+func (c MultiAppConfig) withDefaults() MultiAppConfig {
+	if len(c.Apps) == 0 {
+		c.Apps = []string{"STREAM", "kmeans", "X264", "BFS"}
+	}
+	if len(c.CapsW) == 0 {
+		c.CapsW = []float64{110, 100, 90}
+	}
+	if c.Seconds <= 0 {
+		c.Seconds = 20
+	}
+	return c
+}
+
+// MultiAppRow is one cap's outcome.
+type MultiAppRow struct {
+	CapW float64
+	// Perf maps policy to the measured objective (of len(Apps) max).
+	Perf map[policy.Kind]float64
+	// Violations sums cap violations across policies.
+	Violations int
+}
+
+// MultiAppResult carries the 4-way study.
+type MultiAppResult struct {
+	Apps   []string
+	Rows   []MultiAppRow
+	Report *Report
+}
+
+// multiAppEnv builds the shared-channel platform and the shrunken
+// profiles: each application cedes cores (3 per application on 12
+// cores) and sees half its channel bandwidth (two sharers per channel).
+func multiAppEnv(env *Env, names []string) (simhw.Config, []*workload.Profile, error) {
+	hw := env.HW
+	hw.ChannelSharing = 2
+	profs := make([]*workload.Profile, len(names))
+	for i, n := range names {
+		base, err := env.Lib.App(n)
+		if err != nil {
+			return simhw.Config{}, nil, err
+		}
+		p := *base
+		if p.MaxCores > 3 {
+			p.MaxCores = 3
+		}
+		// Two sharers per channel halve the per-application memory
+		// roofline.
+		p.MemBytesPerBeat *= 2
+		profs[i] = &p
+	}
+	return hw, profs, nil
+}
+
+// MultiApp runs the 4-way co-location sweep.
+func MultiApp(env *Env, cfg MultiAppConfig) (*MultiAppResult, error) {
+	cfg = cfg.withDefaults()
+	hw, profs, err := multiAppEnv(env, cfg.Apps)
+	if err != nil {
+		return nil, err
+	}
+	shared := &Env{HW: hw, Lib: env.Lib}
+	kinds := []policy.Kind{policy.UtilUnaware, policy.AppResAware, policy.AppResESDAware}
+
+	res := &MultiAppResult{
+		Apps: cfg.Apps,
+		Report: &Report{
+			ID:    "MultiApp",
+			Title: fmt.Sprintf("four-way co-location (%v), two applications per channel", cfg.Apps),
+		},
+	}
+	header := fmt.Sprintf("%-8s", "cap(W)")
+	for _, k := range kinds {
+		header += fmt.Sprintf(" %20s", k)
+	}
+	res.Report.Lines = append(res.Report.Lines, header)
+
+	for _, capW := range cfg.CapsW {
+		row := MultiAppRow{CapW: capW, Perf: make(map[policy.Kind]float64)}
+		line := fmt.Sprintf("%-8.0f", capW)
+		for _, k := range kinds {
+			var dev *esd.Device
+			if k == policy.AppResESDAware {
+				dev, err = esd.NewDevice(esd.LeadAcid(300e3), 0.6)
+				if err != nil {
+					return nil, err
+				}
+			}
+			dec, err := policy.Plan(k, policy.Context{
+				HW: hw, CapW: capW, Profiles: profs, Library: env.Lib, Device: dev,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("cap %g, %v: %w", capW, k, err)
+			}
+			run, err := runSchedule(shared, capW, profs, dec.Schedule, dev, cfg.Seconds)
+			if err != nil {
+				return nil, fmt.Errorf("cap %g, %v: %w", capW, k, err)
+			}
+			row.Perf[k] = run.TotalPerf
+			row.Violations += run.CapViolations
+			line += fmt.Sprintf(" %14.3f(%-4s)", run.TotalPerf, dec.Schedule.Mode)
+		}
+		res.Rows = append(res.Rows, row)
+		res.Report.Lines = append(res.Report.Lines, line)
+	}
+	return res, nil
+}

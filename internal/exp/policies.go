@@ -1,0 +1,222 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"powerstruggle/internal/esd"
+	"powerstruggle/internal/policy"
+	"powerstruggle/internal/workload"
+)
+
+// MixPolicyRow is one mix's measured outcome under one policy.
+type MixPolicyRow struct {
+	MixID  int
+	Policy policy.Kind
+	// TotalPerf is the measured objective (1): sum of the two
+	// applications' normalized performances.
+	TotalPerf float64
+	// AppPerf and AppBudgetW are per-application outcomes.
+	AppPerf    []float64
+	AppBudgetW []float64
+	// Mode names the coordination mode the policy chose.
+	Mode string
+	// MaxGridW and CapViolations audit cap adherence.
+	MaxGridW      float64
+	CapViolations int
+}
+
+// PolicyComparison carries a Fig 8a/Fig 10-style sweep: all mixes
+// crossed with a policy list at one cap.
+type PolicyComparison struct {
+	CapW     float64
+	Policies []policy.Kind
+	Rows     []MixPolicyRow
+	// Avg[kind] is the mean TotalPerf across mixes.
+	Avg map[policy.Kind]float64
+	// AvgSplit is the mean fraction of inter-application power given to
+	// the larger-share application under the last (most aware) policy —
+	// the paper's "46%-54% split on average".
+	AvgSplit float64
+	Report   *Report
+}
+
+// comparePolicies measures every Table II mix under every given policy
+// at one cap, by planning and then executing the plan on the simulated
+// server for seconds of simulated time.
+func comparePolicies(env *Env, capW float64, kinds []policy.Kind, seconds float64, id, title string) (*PolicyComparison, error) {
+	res := &PolicyComparison{
+		CapW:     capW,
+		Policies: kinds,
+		Avg:      make(map[policy.Kind]float64),
+		Report:   &Report{ID: id, Title: title},
+	}
+	header := fmt.Sprintf("%-6s", "mix")
+	for _, k := range kinds {
+		header += fmt.Sprintf(" %20s", k)
+	}
+	res.Report.Lines = append(res.Report.Lines, header)
+
+	// Each (mix, policy) cell is independent: measure them in parallel
+	// and assemble deterministically by index.
+	mixes := workload.Mixes()
+	type cell struct {
+		row MixPolicyRow
+		err error
+	}
+	cells := make([][]cell, len(mixes))
+	var wg sync.WaitGroup
+	for mi, m := range mixes {
+		mi, m := mi, m
+		cells[mi] = make([]cell, len(kinds))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a, b, err := env.Lib.MixProfiles(m)
+			if err != nil {
+				cells[mi][0].err = err
+				return
+			}
+			profs := []*workload.Profile{a, b}
+			for ki, k := range kinds {
+				var dev *esd.Device
+				if k == policy.AppResESDAware {
+					dev, err = esd.NewDevice(esd.LeadAcid(300e3), 0.6)
+					if err != nil {
+						cells[mi][ki].err = err
+						continue
+					}
+				}
+				dec, err := policy.Plan(k, policy.Context{
+					HW: env.HW, CapW: capW, Profiles: profs, Library: env.Lib, Device: dev,
+				})
+				if err != nil {
+					cells[mi][ki].err = fmt.Errorf("mix %d %v: %w", m.ID, k, err)
+					continue
+				}
+				run, err := runSchedule(env, capW, profs, dec.Schedule, dev, seconds)
+				if err != nil {
+					cells[mi][ki].err = fmt.Errorf("mix %d %v: %w", m.ID, k, err)
+					continue
+				}
+				cells[mi][ki].row = MixPolicyRow{
+					MixID:         m.ID,
+					Policy:        k,
+					TotalPerf:     run.TotalPerf,
+					AppPerf:       run.AppNormPerf,
+					AppBudgetW:    dec.Schedule.AppBudgetW,
+					Mode:          dec.Schedule.Mode.String(),
+					MaxGridW:      run.MaxGridW,
+					CapViolations: run.CapViolations,
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var splitSum float64
+	var splitN int
+	awareKind := kinds[len(kinds)-1]
+	for mi, m := range mixes {
+		line := fmt.Sprintf("mix-%-2d", m.ID)
+		for ki, k := range kinds {
+			c := cells[mi][ki]
+			if c.err != nil {
+				return nil, c.err
+			}
+			row := c.row
+			res.Rows = append(res.Rows, row)
+			res.Avg[k] += row.TotalPerf / float64(len(mixes))
+			line += fmt.Sprintf(" %14.3f(%-4s)", row.TotalPerf, row.Mode)
+			if k == awareKind {
+				total := row.AppBudgetW[0] + row.AppBudgetW[1]
+				if total > 0 {
+					hi := row.AppBudgetW[0]
+					if row.AppBudgetW[1] > hi {
+						hi = row.AppBudgetW[1]
+					}
+					splitSum += hi / total
+					splitN++
+				}
+			}
+		}
+		res.Report.Lines = append(res.Report.Lines, line)
+	}
+	if splitN > 0 {
+		res.AvgSplit = splitSum / float64(splitN)
+	}
+	avgLine := fmt.Sprintf("%-6s", "AVG")
+	for _, k := range kinds {
+		avgLine += fmt.Sprintf(" %14.3f      ", res.Avg[k])
+	}
+	res.Report.Lines = append(res.Report.Lines, avgLine)
+	base := res.Avg[kinds[0]]
+	for _, k := range kinds[1:] {
+		if base > 0 {
+			res.Report.addf("%s vs %s: %+.1f%%", k, kinds[0], (res.Avg[k]/base-1)*100)
+		}
+	}
+	res.Report.addf("average larger-share split under %s: %.0f%%-%.0f%%", awareKind, res.AvgSplit*100, (1-res.AvgSplit)*100)
+	labels := make([]string, len(kinds))
+	values := make([]float64, len(kinds))
+	for i, k := range kinds {
+		labels[i] = k.String()
+		values[i] = res.Avg[k]
+	}
+	res.Report.addf("average normalized throughput:")
+	res.Report.Lines = append(res.Report.Lines, barChart(labels, values, 40)...)
+	return res, nil
+}
+
+// Fig8 regenerates Fig. 8: the four policies at P_cap = 100 W across all
+// mixes (8a), with per-application power splits (8b) and speedups over
+// Util-Unaware (8c) under App+Res-Aware.
+func Fig8(env *Env, seconds float64) (*PolicyComparison, error) {
+	kinds := []policy.Kind{policy.UtilUnaware, policy.ServerResAware, policy.AppAware, policy.AppResAware}
+	res, err := comparePolicies(env, 100, kinds, seconds, "Fig 8", "Power management at P_cap = 100 W")
+	if err != nil {
+		return nil, err
+	}
+	// 8b/8c: splits and speedups under App+Res-Aware.
+	res.Report.addf("Fig 8b/8c: App+Res-Aware per-application splits and speedups vs Util-Unaware")
+	uu := rowsByPolicy(res.Rows, policy.UtilUnaware)
+	ar := rowsByPolicy(res.Rows, policy.AppResAware)
+	for _, m := range workload.Mixes() {
+		u, a := uu[m.ID], ar[m.ID]
+		if u == nil || a == nil {
+			continue
+		}
+		tot := a.AppBudgetW[0] + a.AppBudgetW[1]
+		s1, s2 := 0.0, 0.0
+		if tot > 0 {
+			s1, s2 = a.AppBudgetW[0]/tot*100, a.AppBudgetW[1]/tot*100
+		}
+		sp1, sp2 := speedup(a.AppPerf[0], u.AppPerf[0]), speedup(a.AppPerf[1], u.AppPerf[1])
+		res.Report.addf("  mix-%-2d split %2.0f%%/%2.0f%%  speedups %.2fx / %.2fx", m.ID, s1, s2, sp1, sp2)
+	}
+	return res, nil
+}
+
+func speedup(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a / b
+}
+
+func rowsByPolicy(rows []MixPolicyRow, k policy.Kind) map[int]*MixPolicyRow {
+	out := make(map[int]*MixPolicyRow)
+	for i := range rows {
+		if rows[i].Policy == k {
+			out[rows[i].MixID] = &rows[i]
+		}
+	}
+	return out
+}
+
+// Fig10 regenerates Fig. 10: the policies at the stringent P_cap = 80 W,
+// including the ESD-aware scheme.
+func Fig10(env *Env, seconds float64) (*PolicyComparison, error) {
+	kinds := []policy.Kind{policy.UtilUnaware, policy.ServerResAware, policy.AppResAware, policy.AppResESDAware}
+	return comparePolicies(env, 80, kinds, seconds, "Fig 10", "Power management at P_cap = 80 W")
+}

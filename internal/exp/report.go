@@ -1,0 +1,91 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation: each experiment returns structured results plus formatted
+// rows matching what the paper reports, so the whole evaluation can be
+// re-derived with one command (cmd/psreport) or one benchmark run each.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"powerstruggle/internal/simhw"
+	"powerstruggle/internal/workload"
+)
+
+// Report is one regenerated table or figure.
+type Report struct {
+	// ID is the paper's label ("Table I", "Fig 8", ...).
+	ID string
+	// Title describes what the experiment shows.
+	Title string
+	// Lines is the formatted output, one row/series point per line.
+	Lines []string
+}
+
+// WriteTo renders the report.
+func (r *Report) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+func (r *Report) addf(format string, args ...interface{}) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// Env bundles the platform and application library every experiment
+// needs.
+type Env struct {
+	HW  simhw.Config
+	Lib *workload.Library
+}
+
+// NewEnv builds the default paper environment (Table I platform, the
+// twelve applications).
+func NewEnv() (*Env, error) {
+	hw := simhw.DefaultConfig()
+	lib, err := workload.NewLibrary(hw)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{HW: hw, Lib: lib}, nil
+}
+
+// TableI regenerates Table I: the server configuration.
+func TableI(env *Env) *Report {
+	hw := env.HW
+	r := &Report{ID: "Table I", Title: "Server configuration"}
+	r.addf("%-14s %v", "Processor", "Xeon-2620 (simulated)")
+	r.addf("%-14s %d", "Cores", hw.TotalCores())
+	r.addf("%-14s %.1f-%.1f GHz", "Freq.", hw.FreqMinGHz, hw.FreqMaxGHz)
+	r.addf("%-14s %d", "Freq. steps", hw.FreqSteps())
+	r.addf("%-14s %d nodes", "NUMA", hw.Sockets)
+	r.addf("%-14s %d channels, %.0f-%.0f W each", "DRAM RAPL", hw.MemChannels, hw.MemMinWatts, hw.MemMaxWatts)
+	r.addf("%-14s %.0f W", "P_idle", hw.PIdleWatts)
+	r.addf("%-14s %.0f W", "P_cm", hw.PCmWatts)
+	r.addf("%-14s %.0f W", "P_dynamic", hw.MaxDynamicWatts())
+	return r
+}
+
+// TableII regenerates Table II: the fifteen application mixes.
+func TableII(env *Env) *Report {
+	r := &Report{ID: "Table II", Title: "Application mixes"}
+	r.addf("%-4s %-22s %-22s", "Mix", "App1 (type)", "App2 (type)")
+	for _, m := range workload.Mixes() {
+		a, b, err := env.Lib.MixProfiles(m)
+		if err != nil {
+			r.addf("mix-%d: %v", m.ID, err)
+			continue
+		}
+		r.addf("%-4d %-22s %-22s", m.ID,
+			fmt.Sprintf("%s (%s)", a.Name, a.Class),
+			fmt.Sprintf("%s (%s)", b.Name, b.Class))
+	}
+	return r
+}

@@ -1,0 +1,178 @@
+package exp
+
+import (
+	"encoding/json"
+	"io"
+
+	"powerstruggle/internal/cluster"
+	"powerstruggle/internal/policy"
+)
+
+// Summary is the machine-readable digest of the evaluation: the headline
+// numbers EXPERIMENTS.md quotes, in one JSON document. It deliberately
+// carries aggregates, not raw series — consumers wanting series use the
+// per-experiment APIs.
+type Summary struct {
+	// Platform constants (Table I).
+	Platform struct {
+		Cores         int     `json:"cores"`
+		FreqMinGHz    float64 `json:"freqMinGHz"`
+		FreqMaxGHz    float64 `json:"freqMaxGHz"`
+		PIdleWatts    float64 `json:"pIdleWatts"`
+		PCmWatts      float64 `json:"pCmWatts"`
+		PDynamicWatts float64 `json:"pDynamicWatts"`
+	} `json:"platform"`
+
+	// Fig8 and Fig10 carry per-policy averages across the mixes.
+	Fig8  PolicySummary `json:"fig8_cap100W"`
+	Fig10 PolicySummary `json:"fig10_cap80W"`
+
+	// Fig5 is the ESD consolidation study.
+	Fig5 struct {
+		AlternatePerf    float64 `json:"alternatePerf"`
+		ConsolidatedPerf float64 `json:"consolidatedPerf"`
+		GainPct          float64 `json:"gainPct"`
+	} `json:"fig5_cap70W"`
+
+	// Fig7 is the calibration sweep.
+	Fig7 struct {
+		Points         []Fig7Point `json:"points"`
+		ChosenFraction float64     `json:"chosenFraction"`
+	} `json:"fig7_sampling"`
+
+	// Fig12 carries the cluster study per shaving level.
+	Fig12 []ClusterSummary `json:"fig12_cluster"`
+
+	// Extensions carries the beyond-the-paper studies' headlines.
+	Extensions struct {
+		// OnlineRatio is learned-utilities performance over oracle at
+		// 100 W.
+		OnlineRatio float64 `json:"onlineRatioCap100"`
+		// ChurnViolations counts cap violations in the sustained-churn
+		// study (outside transition windows).
+		ChurnViolations int `json:"churnViolations"`
+		// ChurnDepartures counts completed jobs in the churn study.
+		ChurnDepartures int `json:"churnDepartures"`
+	} `json:"extensions"`
+}
+
+// PolicySummary is one cap's policy comparison.
+type PolicySummary struct {
+	CapW          float64            `json:"capW"`
+	AvgPerf       map[string]float64 `json:"avgPerf"`
+	AvgSplitPct   float64            `json:"avgLargerSharePct"`
+	CapViolations int                `json:"capViolations"`
+}
+
+// ClusterSummary is one shaving level of Fig 12.
+type ClusterSummary struct {
+	ShavePct      float64            `json:"shavePct"`
+	EventPct      float64            `json:"eventPct"`
+	AvgPerfPct    map[string]float64 `json:"avgPerfPct"`
+	EfficiencyRel map[string]float64 `json:"efficiencyVsRAPLPct"`
+}
+
+// Summarize runs the headline experiments and returns the digest.
+func Summarize(env *Env, seconds float64) (*Summary, error) {
+	if seconds <= 0 {
+		seconds = 10
+	}
+	s := &Summary{}
+	s.Platform.Cores = env.HW.TotalCores()
+	s.Platform.FreqMinGHz = env.HW.FreqMinGHz
+	s.Platform.FreqMaxGHz = env.HW.FreqMaxGHz
+	s.Platform.PIdleWatts = env.HW.PIdleWatts
+	s.Platform.PCmWatts = env.HW.PCmWatts
+	s.Platform.PDynamicWatts = env.HW.MaxDynamicWatts()
+
+	f8, err := Fig8(env, seconds)
+	if err != nil {
+		return nil, err
+	}
+	s.Fig8 = policySummary(f8)
+
+	f10, err := Fig10(env, seconds)
+	if err != nil {
+		return nil, err
+	}
+	s.Fig10 = policySummary(f10)
+
+	f5, err := Fig5(env, 1)
+	if err != nil {
+		return nil, err
+	}
+	s.Fig5.AlternatePerf = f5.AlternatePerf
+	s.Fig5.ConsolidatedPerf = f5.ConsolidatedPerf
+	s.Fig5.GainPct = f5.Gain * 100
+
+	f7, err := Fig7(env, Fig7Config{})
+	if err != nil {
+		return nil, err
+	}
+	s.Fig7.Points = f7.Points
+	s.Fig7.ChosenFraction = f7.ChosenFraction
+
+	f12, err := Fig12(env, Fig12Config{})
+	if err != nil {
+		return nil, err
+	}
+	online, err := Online(env, 100, seconds)
+	if err != nil {
+		return nil, err
+	}
+	s.Extensions.OnlineRatio = online.Ratio
+	churn, err := Churn(env, ChurnConfig{Seconds: 300})
+	if err != nil {
+		return nil, err
+	}
+	s.Extensions.ChurnViolations = churn.Violations
+	s.Extensions.ChurnDepartures = churn.Departures
+
+	for _, lv := range f12.Levels {
+		cs := ClusterSummary{
+			ShavePct:      lv.ShaveFrac * 100,
+			EventPct:      lv.EventFraction * 100,
+			AvgPerfPct:    make(map[string]float64),
+			EfficiencyRel: make(map[string]float64),
+		}
+		rapl := lv.Results[cluster.EqualRAPL]
+		for strat, r := range lv.Results {
+			cs.AvgPerfPct[strat.String()] = r.AvgPerfFrac * 100
+			if rapl.Efficiency > 0 {
+				cs.EfficiencyRel[strat.String()] = (r.Efficiency/rapl.Efficiency - 1) * 100
+			}
+		}
+		s.Fig12 = append(s.Fig12, cs)
+	}
+	return s, nil
+}
+
+func policySummary(pc *PolicyComparison) PolicySummary {
+	out := PolicySummary{
+		CapW:        pc.CapW,
+		AvgPerf:     make(map[string]float64),
+		AvgSplitPct: pc.AvgSplit * 100,
+	}
+	for k, v := range pc.Avg {
+		out.AvgPerf[policy.Kind(k).String()] = v
+	}
+	for _, r := range pc.Rows {
+		out.CapViolations += r.CapViolations
+	}
+	return out
+}
+
+// WriteJSON runs Summarize and writes the indented JSON document.
+func WriteJSON(w io.Writer, seconds float64) error {
+	env, err := NewEnv()
+	if err != nil {
+		return err
+	}
+	s, err := Summarize(env, seconds)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,175 @@
+package exp
+
+import (
+	"powerstruggle/internal/workload"
+)
+
+// Fig2Result carries Fig. 2's data: application-level utility curves
+// (normalized performance as a function of the application power cap)
+// for a contrasting pair.
+type Fig2Result struct {
+	Apps  []string
+	CapsW []float64
+	// Perf[i][j] is application i's normalized performance at CapsW[j].
+	Perf [][]float64
+	// Report is the formatted figure.
+	Report *Report
+}
+
+// Fig2 regenerates Fig. 2 for two contrasting applications (default:
+// mix-1's STREAM and kmeans, a memory-bound/compute-bound pair whose
+// slopes differ the way the paper's A and B do).
+func Fig2(env *Env, appA, appB string) (*Fig2Result, error) {
+	if appA == "" {
+		appA = "STREAM"
+	}
+	if appB == "" {
+		appB = "kmeans"
+	}
+	a, err := env.Lib.App(appA)
+	if err != nil {
+		return nil, err
+	}
+	b, err := env.Lib.App(appB)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig2Result{
+		Apps:   []string{appA, appB},
+		Report: &Report{ID: "Fig 2", Title: "Application-level power utilities (perf vs per-app cap)"},
+	}
+	curves := []*workload.Curve{
+		workload.OptimalCurve(env.HW, a),
+		workload.OptimalCurve(env.HW, b),
+	}
+	res.Perf = make([][]float64, 2)
+	res.Report.addf("%-8s %10s %10s", "cap(W)", appA, appB)
+	for w := 4.0; w <= 28.0+1e-9; w += 2 {
+		res.CapsW = append(res.CapsW, w)
+		res.Perf[0] = append(res.Perf[0], curves[0].PerfAt(w))
+		res.Perf[1] = append(res.Perf[1], curves[1].PerfAt(w))
+		res.Report.addf("%-8.1f %10.3f %10.3f", w, curves[0].PerfAt(w), curves[1].PerfAt(w))
+	}
+	return res, nil
+}
+
+// ResourceUtility is one application's marginal utility per watt for
+// each direct-resource knob at a reference operating point.
+type ResourceUtility struct {
+	App string
+	// CorePerW is the normalized-perf gain per watt of adding one core.
+	CorePerW float64
+	// FreqPerW is the gain per watt of one DVFS step up on all cores.
+	FreqPerW float64
+	// MemPerW is the gain per watt of one DRAM power step up.
+	MemPerW float64
+}
+
+// resourceUtilities measures the three knobs' marginal utility per watt
+// for one application at a mid-range reference point.
+func resourceUtilities(env *Env, p *workload.Profile) ResourceUtility {
+	hw := env.HW
+	// Reference point: half the cores, mid frequency, mid DRAM — a
+	// setting where every knob has room in both directions.
+	ref := workload.Knobs{
+		FreqGHz:  hw.ClampFreq((hw.FreqMinGHz + hw.FreqMaxGHz) / 2),
+		Cores:    (p.MaxCores + 1) / 2,
+		MemWatts: hw.ClampMem((hw.MemMinWatts + hw.MemMaxWatts) / 2),
+	}
+	base := p.NormRate(hw, ref)
+	basePower := p.Power(hw, ref)
+	perW := func(k workload.Knobs, allocW float64) float64 {
+		dPerf := p.NormRate(hw, k) - base
+		if dPerf < 1e-9 {
+			return 0
+		}
+		// Denominator: the watts the knob change *allocates*. For the
+		// DRAM limit that is the limit step itself — a compute-bound
+		// application barely draws more, but the budget must still
+		// reserve the limit.
+		dPow := p.Power(hw, k) - basePower
+		if allocW > dPow {
+			dPow = allocW
+		}
+		if dPow <= 0 {
+			return 0
+		}
+		return dPerf / dPow
+	}
+	kCore := ref
+	kCore.Cores++
+	kFreq := ref
+	kFreq.FreqGHz = hw.ClampFreq(ref.FreqGHz + hw.FreqStepGHz)
+	kMem := ref
+	kMem.MemWatts = hw.ClampMem(ref.MemWatts + hw.MemStepWatts)
+	return ResourceUtility{
+		App:      p.Name,
+		CorePerW: perW(kCore, 0),
+		FreqPerW: perW(kFreq, 0),
+		MemPerW:  perW(kMem, hw.MemStepWatts),
+	}
+}
+
+// Fig3Result carries Fig. 3's data: per-resource utilities per watt for
+// every application.
+type Fig3Result struct {
+	Utilities []ResourceUtility
+	Report    *Report
+}
+
+// Fig3 regenerates Fig. 3: the utility of a marginal watt differs across
+// direct resources, and differently per application.
+func Fig3(env *Env) *Fig3Result {
+	res := &Fig3Result{Report: &Report{ID: "Fig 3", Title: "Resource-level power utilities (norm-perf gain per watt)"}}
+	res.Report.addf("%-14s %12s %12s %12s", "app", "+core", "+DVFS-step", "+DRAM-watt")
+	for _, p := range env.Lib.Apps() {
+		u := resourceUtilities(env, p)
+		res.Utilities = append(res.Utilities, u)
+		res.Report.addf("%-14s %12.4f %12.4f %12.4f", u.App, u.CorePerW, u.FreqPerW, u.MemPerW)
+	}
+	return res
+}
+
+// Fig9Result carries Fig. 9's case studies: inter-application utility
+// curves for mixes 10, 1 and 14 plus intra-application resource
+// utilities for the mix-1 and mix-14 applications.
+type Fig9Result struct {
+	InterApp map[int]*Fig2Result
+	IntraApp []ResourceUtility
+	Report   *Report
+}
+
+// Fig9 regenerates Fig. 9.
+func Fig9(env *Env) (*Fig9Result, error) {
+	res := &Fig9Result{
+		InterApp: make(map[int]*Fig2Result),
+		Report:   &Report{ID: "Fig 9", Title: "Utility differences across applications and their resources"},
+	}
+	cases := map[int][2]string{
+		10: {"PageRank", "kmeans"},
+		1:  {"STREAM", "kmeans"},
+		14: {"X264", "SSSP"},
+	}
+	for _, id := range []int{10, 1, 14} {
+		pair := cases[id]
+		f, err := Fig2(env, pair[0], pair[1])
+		if err != nil {
+			return nil, err
+		}
+		res.InterApp[id] = f
+		res.Report.addf("mix-%d inter-application utility (%s vs %s):", id, pair[0], pair[1])
+		res.Report.Lines = append(res.Report.Lines, f.Report.Lines...)
+	}
+	res.Report.addf("resource-level utilities (Fig 9d):")
+	res.Report.addf("%-14s %12s %12s %12s", "app", "+core", "+DVFS-step", "+DRAM-watt")
+	for _, name := range []string{"STREAM", "kmeans", "X264", "SSSP"} {
+		p, err := env.Lib.App(name)
+		if err != nil {
+			return nil, err
+		}
+		u := resourceUtilities(env, p)
+		res.IntraApp = append(res.IntraApp, u)
+		res.Report.addf("%-14s %12.4f %12.4f %12.4f", u.App, u.CorePerW, u.FreqPerW, u.MemPerW)
+	}
+	return res, nil
+}

@@ -1,0 +1,200 @@
+// Package kernels provides real, runnable Go implementations of the
+// benchmark applications the paper co-locates: the GAP-style graph
+// kernels (BFS, connected components, SSSP, betweenness centrality,
+// triangle counting, PageRank), MineBench-style k-means, the STREAM
+// bandwidth kernel, and a PARSEC-style media pipeline. Each kernel emits
+// Application Heartbeats per unit of useful work, so the runtime's
+// performance accounting works on them exactly as the paper's prototype
+// worked on the originals.
+//
+// The analytic models in internal/workload stand in for these kernels on
+// the simulated platform; this package exists so examples exercise real
+// computation, and so the models' qualitative shapes (memory-bound
+// STREAM, compute-bound k-means, irregular graph kernels) have a
+// concrete referent.
+package kernels
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Graph is a directed graph in compressed sparse row form.
+type Graph struct {
+	// N is the vertex count.
+	N int
+	// RowPtr has N+1 entries; vertex v's out-neighbors are
+	// Col[RowPtr[v]:RowPtr[v+1]].
+	RowPtr []int32
+	// Col holds the concatenated adjacency lists.
+	Col []int32
+	// Weight holds per-edge weights parallel to Col (nil for
+	// unweighted graphs).
+	Weight []float32
+}
+
+// Edges returns the edge count.
+func (g *Graph) Edges() int { return len(g.Col) }
+
+// OutDegree returns vertex v's out-degree.
+func (g *Graph) OutDegree(v int32) int {
+	return int(g.RowPtr[v+1] - g.RowPtr[v])
+}
+
+// Neighbors returns vertex v's out-neighbor slice (shared storage; do
+// not mutate).
+func (g *Graph) Neighbors(v int32) []int32 {
+	return g.Col[g.RowPtr[v]:g.RowPtr[v+1]]
+}
+
+// Validate checks CSR invariants.
+func (g *Graph) Validate() error {
+	if g.N < 0 {
+		return fmt.Errorf("kernels: negative vertex count %d", g.N)
+	}
+	if len(g.RowPtr) != g.N+1 {
+		return fmt.Errorf("kernels: RowPtr has %d entries for %d vertices", len(g.RowPtr), g.N)
+	}
+	if g.RowPtr[0] != 0 || int(g.RowPtr[g.N]) != len(g.Col) {
+		return fmt.Errorf("kernels: RowPtr endpoints [%d, %d] disagree with %d edges", g.RowPtr[0], g.RowPtr[g.N], len(g.Col))
+	}
+	for v := 0; v < g.N; v++ {
+		if g.RowPtr[v] > g.RowPtr[v+1] {
+			return fmt.Errorf("kernels: RowPtr not monotone at vertex %d", v)
+		}
+	}
+	for _, c := range g.Col {
+		if c < 0 || int(c) >= g.N {
+			return fmt.Errorf("kernels: edge endpoint %d outside %d vertices", c, g.N)
+		}
+	}
+	if g.Weight != nil && len(g.Weight) != len(g.Col) {
+		return fmt.Errorf("kernels: %d weights for %d edges", len(g.Weight), len(g.Col))
+	}
+	return nil
+}
+
+// edgeList builds a CSR graph from an edge list, sorting adjacencies.
+func edgeList(n int, src, dst []int32, w []float32) *Graph {
+	deg := make([]int32, n+1)
+	for _, s := range src {
+		deg[s+1]++
+	}
+	row := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		row[v+1] = row[v] + deg[v+1]
+	}
+	col := make([]int32, len(src))
+	var wt []float32
+	if w != nil {
+		wt = make([]float32, len(src))
+	}
+	next := make([]int32, n)
+	copy(next, row[:n])
+	for i, s := range src {
+		col[next[s]] = dst[i]
+		if w != nil {
+			wt[next[s]] = w[i]
+		}
+		next[s]++
+	}
+	g := &Graph{N: n, RowPtr: row, Col: col, Weight: wt}
+	// Sort each adjacency list (by target) so intersections and scans
+	// are cache-friendly and deterministic.
+	for v := 0; v < n; v++ {
+		lo, hi := row[v], row[v+1]
+		if wt == nil {
+			s := col[lo:hi]
+			sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+			continue
+		}
+		idx := make([]int, hi-lo)
+		for i := range idx {
+			idx[i] = i
+		}
+		c, ww := col[lo:hi], wt[lo:hi]
+		sort.Slice(idx, func(i, j int) bool { return c[idx[i]] < c[idx[j]] })
+		nc := make([]int32, len(idx))
+		nw := make([]float32, len(idx))
+		for i, j := range idx {
+			nc[i], nw[i] = c[j], ww[j]
+		}
+		copy(c, nc)
+		copy(ww, nw)
+	}
+	return g
+}
+
+// UniformRandom generates an Erdos-Renyi-style directed graph with n
+// vertices and approximately degree*n edges, deterministically from
+// seed.
+func UniformRandom(n, degree int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	m := n * degree
+	src := make([]int32, m)
+	dst := make([]int32, m)
+	for i := 0; i < m; i++ {
+		src[i] = int32(rng.Intn(n))
+		dst[i] = int32(rng.Intn(n))
+	}
+	return edgeList(n, src, dst, nil)
+}
+
+// Kronecker generates an RMAT/Kronecker graph (the GAP benchmark's
+// generator family) with 2^scale vertices and degree*2^scale edges, with
+// the usual (0.57, 0.19, 0.19) partition probabilities.
+func Kronecker(scale, degree int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 << scale
+	m := n * degree
+	const a, b, c = 0.57, 0.19, 0.19
+	src := make([]int32, m)
+	dst := make([]int32, m)
+	for i := 0; i < m; i++ {
+		var s, d int32
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: neither bit set
+			case r < a+b:
+				d |= 1 << bit
+			case r < a+b+c:
+				s |= 1 << bit
+			default:
+				s |= 1 << bit
+				d |= 1 << bit
+			}
+		}
+		src[i], dst[i] = s, d
+	}
+	return edgeList(n, src, dst, nil)
+}
+
+// WithUniformWeights returns a copy of g carrying uniform random edge
+// weights in [1, maxW), for SSSP.
+func (g *Graph) WithUniformWeights(maxW float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([]float32, len(g.Col))
+	for i := range w {
+		w[i] = float32(1 + rng.Float64()*(maxW-1))
+	}
+	out := *g
+	out.Weight = w
+	return &out
+}
+
+// Reverse returns the transpose graph (used by PageRank's pull phase and
+// direction-optimizing traversals).
+func (g *Graph) Reverse() *Graph {
+	src := make([]int32, 0, len(g.Col))
+	dst := make([]int32, 0, len(g.Col))
+	for v := int32(0); int(v) < g.N; v++ {
+		for _, u := range g.Neighbors(v) {
+			src = append(src, u)
+			dst = append(dst, v)
+		}
+	}
+	return edgeList(g.N, src, dst, nil)
+}

@@ -1,0 +1,301 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// pathGraph builds the directed path 0 -> 1 -> ... -> n-1.
+func pathGraph(n int) *Graph {
+	src := make([]int32, n-1)
+	dst := make([]int32, n-1)
+	for i := 0; i < n-1; i++ {
+		src[i], dst[i] = int32(i), int32(i+1)
+	}
+	return edgeList(n, src, dst, nil)
+}
+
+// completeGraph builds K_n with both edge directions.
+func completeGraph(n int) *Graph {
+	var src, dst []int32
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				src = append(src, int32(i))
+				dst = append(dst, int32(j))
+			}
+		}
+	}
+	return edgeList(n, src, dst, nil)
+}
+
+func TestGraphValidate(t *testing.T) {
+	g := pathGraph(5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *g
+	bad.RowPtr = bad.RowPtr[:3]
+	if err := bad.Validate(); err == nil {
+		t.Error("truncated RowPtr accepted")
+	}
+	bad2 := *g
+	bad2.Col = append([]int32(nil), g.Col...)
+	bad2.Col[0] = 99
+	if err := bad2.Validate(); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+}
+
+func TestGeneratorsProduceValidGraphs(t *testing.T) {
+	for _, g := range []*Graph{
+		UniformRandom(500, 8, 1),
+		Kronecker(10, 8, 2),
+	} {
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if g.Edges() == 0 {
+			t.Error("generator produced no edges")
+		}
+	}
+	// Determinism.
+	a := UniformRandom(100, 4, 7)
+	b := UniformRandom(100, 4, 7)
+	if a.Edges() != b.Edges() {
+		t.Fatal("generator not deterministic")
+	}
+	for i := range a.Col {
+		if a.Col[i] != b.Col[i] {
+			t.Fatal("generator not deterministic")
+		}
+	}
+}
+
+func TestBFSDistancesOnPath(t *testing.T) {
+	g := pathGraph(10)
+	var visited int
+	parent := BFS(g, 0, func(v int) { visited += v })
+	if visited != 9 {
+		t.Errorf("BFS visited %d vertices beyond the source, want 9", visited)
+	}
+	for v := 1; v < 10; v++ {
+		if parent[v] != int32(v-1) {
+			t.Errorf("parent[%d] = %d, want %d", v, parent[v], v-1)
+		}
+	}
+	if parent[0] != 0 {
+		t.Errorf("source parent = %d", parent[0])
+	}
+}
+
+func TestBFSParentsFormValidTree(t *testing.T) {
+	g := Kronecker(10, 8, 3)
+	parent := BFS(g, 0, nil)
+	// Every reached vertex's parent must be reached and actually have
+	// an edge to it.
+	for v := int32(0); int(v) < g.N; v++ {
+		p := parent[v]
+		if p == -1 || v == 0 {
+			continue
+		}
+		if parent[p] == -1 {
+			t.Fatalf("vertex %d reached via unreached parent %d", v, p)
+		}
+		found := false
+		for _, u := range g.Neighbors(p) {
+			if u == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("no edge %d -> %d despite parent link", p, v)
+		}
+	}
+}
+
+func TestConnectedComponentsOnKnownGraph(t *testing.T) {
+	// Two components: {0, 1, 2} as a path and {3, 4} as an edge.
+	g := edgeList(5, []int32{0, 1, 3}, []int32{1, 2, 4}, nil)
+	labels := ConnectedComponents(g, nil)
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Errorf("component 1 split: %v", labels)
+	}
+	if labels[3] != labels[4] {
+		t.Errorf("component 2 split: %v", labels)
+	}
+	if labels[0] == labels[3] {
+		t.Errorf("components merged: %v", labels)
+	}
+}
+
+func TestSSSPMatchesBFSOnUnitWeights(t *testing.T) {
+	g := Kronecker(9, 6, 4)
+	unit := *g
+	unit.Weight = make([]float32, len(g.Col))
+	for i := range unit.Weight {
+		unit.Weight[i] = 1
+	}
+	dist := SSSP(&unit, 0, 0, nil)
+	// BFS levels give the same distances on unit weights.
+	level := make([]int32, g.N)
+	for i := range level {
+		level[i] = -1
+	}
+	level[0] = 0
+	frontier := []int32{0}
+	for len(frontier) > 0 {
+		var next []int32
+		for _, v := range frontier {
+			for _, u := range g.Neighbors(v) {
+				if level[u] == -1 {
+					level[u] = level[v] + 1
+					next = append(next, u)
+				}
+			}
+		}
+		frontier = next
+	}
+	for v := 0; v < g.N; v++ {
+		switch {
+		case level[v] == -1:
+			if !math.IsInf(float64(dist[v]), 1) {
+				t.Fatalf("vertex %d unreachable by BFS but dist %g", v, dist[v])
+			}
+		case float64(dist[v]) != float64(level[v]):
+			t.Fatalf("vertex %d: dist %g, BFS level %d", v, dist[v], level[v])
+		}
+	}
+}
+
+func TestSSSPTriangleInequality(t *testing.T) {
+	g := Kronecker(9, 6, 5).WithUniformWeights(8, 6)
+	dist := SSSP(g, 0, 0, nil)
+	for v := int32(0); int(v) < g.N; v++ {
+		if math.IsInf(float64(dist[v]), 1) {
+			continue
+		}
+		row := g.RowPtr[v]
+		for i, u := range g.Neighbors(v) {
+			w := g.Weight[int(row)+i]
+			if float64(dist[u]) > float64(dist[v]+w)+1e-4 {
+				t.Fatalf("relaxable edge %d->%d: %g > %g + %g", v, u, dist[u], dist[v], w)
+			}
+		}
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := Kronecker(10, 8, 7)
+	var iters int
+	rank := PageRank(g, 50, 1e-9, func(float64) { iters++ })
+	var sum float64
+	for _, r := range rank {
+		if r < 0 {
+			t.Fatal("negative rank")
+		}
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("ranks sum to %g", sum)
+	}
+	if iters == 0 {
+		t.Error("no iterations reported")
+	}
+}
+
+func TestTriangleCountOnCompleteGraph(t *testing.T) {
+	// K_5 has C(5,3) = 10 triangles.
+	g := completeGraph(5)
+	if got := TriangleCount(g, 0, nil); got != 10 {
+		t.Errorf("K5 triangles = %d, want 10", got)
+	}
+	// A path has none.
+	if got := TriangleCount(pathGraph(10), 0, nil); got != 0 {
+		t.Errorf("path triangles = %d, want 0", got)
+	}
+}
+
+func TestBetweennessPathCenter(t *testing.T) {
+	// On the undirected 3-path 0-1-2 (both directions), vertex 1
+	// carries all shortest paths.
+	g := edgeList(3, []int32{0, 1, 1, 2}, []int32{1, 0, 2, 1}, nil)
+	bc := Betweenness(g, 3, 0, nil)
+	if bc[1] <= bc[0] || bc[1] <= bc[2] {
+		t.Errorf("center not dominant: %v", bc)
+	}
+	for _, v := range bc {
+		if v < 0 {
+			t.Fatal("negative betweenness")
+		}
+	}
+}
+
+func TestQuickReversePreservesEdges(t *testing.T) {
+	prop := func(seed int64) bool {
+		g := UniformRandom(64, 4, seed)
+		r := g.Reverse()
+		if r.Edges() != g.Edges() {
+			return false
+		}
+		// Every edge u->v appears as v->u in the reverse.
+		for v := int32(0); int(v) < g.N; v++ {
+			for _, u := range g.Neighbors(v) {
+				found := false
+				for _, w := range r.Neighbors(u) {
+					if w == v {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectionOptimizingBFSMatchesPlain(t *testing.T) {
+	g := Kronecker(11, 8, 8)
+	rev := g.Reverse()
+	plain := BFS(g, 0, nil)
+	opt := BFSDirectionOpt(g, rev, 0, nil)
+	// Reachability must be identical; levels must match (BFS distance
+	// is unique even when parents differ).
+	levelOf := func(parent []int32) []int {
+		level := make([]int, g.N)
+		for v := range level {
+			level[v] = -1
+		}
+		level[0] = 0
+		changed := true
+		for changed {
+			changed = false
+			for v := int32(0); int(v) < g.N; v++ {
+				p := parent[v]
+				if v == 0 || p == -1 || level[p] == -1 || level[v] != -1 {
+					continue
+				}
+				level[v] = level[p] + 1
+				changed = true
+			}
+		}
+		return level
+	}
+	lp, lo := levelOf(plain), levelOf(opt)
+	for v := 0; v < g.N; v++ {
+		if (plain[v] == -1) != (opt[v] == -1) {
+			t.Fatalf("vertex %d reachability differs", v)
+		}
+		if plain[v] != -1 && lp[v] != lo[v] {
+			t.Fatalf("vertex %d: plain level %d, direction-opt level %d", v, lp[v], lo[v])
+		}
+	}
+}

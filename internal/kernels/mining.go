@@ -1,0 +1,209 @@
+package kernels
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Transaction is one itemset of a market-basket dataset.
+type Transaction []int32
+
+// SyntheticBaskets generates n transactions over an alphabet of items
+// with embedded frequent patterns — the standard synthetic input family
+// for association-rule mining (MineBench's APR workload).
+func SyntheticBaskets(n, items, patterns, patternLen int, seed int64) []Transaction {
+	rng := rand.New(rand.NewSource(seed))
+	// Build the hidden frequent patterns.
+	pats := make([][]int32, patterns)
+	for i := range pats {
+		p := make([]int32, patternLen)
+		for j := range p {
+			p[j] = int32(rng.Intn(items))
+		}
+		pats[i] = dedupSorted(p)
+	}
+	out := make([]Transaction, n)
+	for i := range out {
+		var t []int32
+		// Each basket embeds one pattern with high probability plus
+		// random noise items.
+		if rng.Float64() < 0.7 {
+			t = append(t, pats[rng.Intn(patterns)]...)
+		}
+		for k := rng.Intn(6); k > 0; k-- {
+			t = append(t, int32(rng.Intn(items)))
+		}
+		out[i] = dedupSorted(t)
+	}
+	return out
+}
+
+func dedupSorted(in []int32) []int32 {
+	sort.Slice(in, func(i, j int) bool { return in[i] < in[j] })
+	out := in[:0]
+	var prev int32 = -1
+	for _, v := range in {
+		if v != prev {
+			out = append(out, v)
+			prev = v
+		}
+	}
+	return out
+}
+
+// Itemset is a sorted set of items with its support count.
+type Itemset struct {
+	Items   []int32
+	Support int
+}
+
+// Apriori mines frequent itemsets with at least minSupport occurrences,
+// level-wise (the classic a-priori pruning: every subset of a frequent
+// itemset is frequent). onLevel beats once per level with the number of
+// frequent itemsets found there. maxLen bounds the itemset length (0
+// means unbounded).
+func Apriori(txns []Transaction, minSupport, maxLen int, onLevel func(found int)) ([]Itemset, error) {
+	if minSupport <= 0 {
+		return nil, fmt.Errorf("kernels: apriori needs a positive support, got %d", minSupport)
+	}
+	if len(txns) == 0 {
+		return nil, fmt.Errorf("kernels: apriori needs transactions")
+	}
+	// Level 1: frequent single items.
+	counts := make(map[int32]int)
+	for _, t := range txns {
+		for _, it := range t {
+			counts[it]++
+		}
+	}
+	var frequent []Itemset
+	var current [][]int32
+	for it, c := range counts {
+		if c >= minSupport {
+			frequent = append(frequent, Itemset{Items: []int32{it}, Support: c})
+			current = append(current, []int32{it})
+		}
+	}
+	sortItemsets(current)
+	if onLevel != nil {
+		onLevel(len(current))
+	}
+
+	for level := 2; len(current) > 0 && (maxLen == 0 || level <= maxLen); level++ {
+		candidates := aprioriJoin(current)
+		if len(candidates) == 0 {
+			break
+		}
+		var next [][]int32
+		for _, cand := range candidates {
+			support := 0
+			for _, t := range txns {
+				if containsAll(t, cand) {
+					support++
+				}
+			}
+			if support >= minSupport {
+				frequent = append(frequent, Itemset{Items: append([]int32(nil), cand...), Support: support})
+				next = append(next, cand)
+			}
+		}
+		if onLevel != nil {
+			onLevel(len(next))
+		}
+		current = next
+	}
+	return frequent, nil
+}
+
+// aprioriJoin builds level-k+1 candidates from level-k frequent sets
+// sharing a k-1 prefix, pruning candidates with an infrequent subset.
+func aprioriJoin(level [][]int32) [][]int32 {
+	seen := make(map[string]bool, len(level))
+	for _, s := range level {
+		seen[itemKey(s)] = true
+	}
+	var out [][]int32
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i], level[j]
+			k := len(a)
+			if !samePrefix(a, b, k-1) {
+				continue
+			}
+			cand := make([]int32, k+1)
+			copy(cand, a)
+			last := b[k-1]
+			if last <= a[k-1] {
+				continue
+			}
+			cand[k] = last
+			// Prune: every k-subset must be frequent.
+			if allSubsetsFrequent(cand, seen) {
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+func samePrefix(a, b []int32, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func allSubsetsFrequent(cand []int32, seen map[string]bool) bool {
+	sub := make([]int32, 0, len(cand)-1)
+	for skip := range cand {
+		sub = sub[:0]
+		for i, v := range cand {
+			if i != skip {
+				sub = append(sub, v)
+			}
+		}
+		if !seen[itemKey(sub)] {
+			return false
+		}
+	}
+	return true
+}
+
+func itemKey(items []int32) string {
+	b := make([]byte, 0, len(items)*4)
+	for _, v := range items {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+// containsAll reports whether sorted transaction t contains every item of
+// sorted set s.
+func containsAll(t Transaction, s []int32) bool {
+	i := 0
+	for _, item := range s {
+		for i < len(t) && t[i] < item {
+			i++
+		}
+		if i == len(t) || t[i] != item {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+func sortItemsets(sets [][]int32) {
+	sort.Slice(sets, func(i, j int) bool {
+		a, b := sets[i], sets[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+}

@@ -1,0 +1,204 @@
+package kernels
+
+import (
+	"testing"
+)
+
+func TestAprioriOnKnownBaskets(t *testing.T) {
+	// {1,2} appears 3 times; {1,2,3} twice; 4 once.
+	txns := []Transaction{
+		{1, 2, 3},
+		{1, 2},
+		{1, 2, 3},
+		{4},
+	}
+	sets, err := Apriori(txns, 2, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	support := map[string]int{}
+	for _, s := range sets {
+		support[itemKey(s.Items)] = s.Support
+	}
+	cases := []struct {
+		items []int32
+		want  int
+	}{
+		{[]int32{1}, 3},
+		{[]int32{2}, 3},
+		{[]int32{3}, 2},
+		{[]int32{1, 2}, 3},
+		{[]int32{1, 3}, 2},
+		{[]int32{2, 3}, 2},
+		{[]int32{1, 2, 3}, 2},
+	}
+	for _, tc := range cases {
+		if got := support[itemKey(tc.items)]; got != tc.want {
+			t.Errorf("support(%v) = %d, want %d", tc.items, got, tc.want)
+		}
+	}
+	if _, ok := support[itemKey([]int32{4})]; ok {
+		t.Error("infrequent singleton reported")
+	}
+	if len(sets) != len(cases) {
+		t.Errorf("%d frequent itemsets, want %d", len(sets), len(cases))
+	}
+}
+
+func TestAprioriDownwardClosure(t *testing.T) {
+	txns := SyntheticBaskets(800, 60, 6, 4, 3)
+	sets, err := Apriori(txns, 40, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) == 0 {
+		t.Fatal("no frequent itemsets mined from patterned baskets")
+	}
+	bySupport := map[string]int{}
+	for _, s := range sets {
+		bySupport[itemKey(s.Items)] = s.Support
+	}
+	for _, s := range sets {
+		if s.Support < 40 {
+			t.Fatalf("itemset %v below the support threshold (%d)", s.Items, s.Support)
+		}
+		// Downward closure: every prefix-removed subset is frequent
+		// with at least the superset's support.
+		if len(s.Items) < 2 {
+			continue
+		}
+		sub := make([]int32, 0, len(s.Items)-1)
+		for skip := range s.Items {
+			sub = sub[:0]
+			for i, v := range s.Items {
+				if i != skip {
+					sub = append(sub, v)
+				}
+			}
+			subSupport, ok := bySupport[itemKey(sub)]
+			if !ok {
+				t.Fatalf("subset %v of frequent %v not reported", sub, s.Items)
+			}
+			if subSupport < s.Support {
+				t.Fatalf("subset %v support %d below superset's %d", sub, subSupport, s.Support)
+			}
+		}
+	}
+}
+
+func TestAprioriValidation(t *testing.T) {
+	if _, err := Apriori(nil, 1, 0, nil); err == nil {
+		t.Error("empty transactions accepted")
+	}
+	if _, err := Apriori([]Transaction{{1}}, 0, 0, nil); err == nil {
+		t.Error("zero support accepted")
+	}
+}
+
+func TestAprioriMaxLenBounds(t *testing.T) {
+	txns := SyntheticBaskets(500, 40, 4, 5, 9)
+	sets, err := Apriori(txns, 25, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sets {
+		if len(s.Items) > 2 {
+			t.Fatalf("itemset %v exceeds maxLen 2", s.Items)
+		}
+	}
+}
+
+func TestFaceSimStaysStable(t *testing.T) {
+	g, err := NewMassSpringGrid(24, 24, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevEnergy float64
+	for f := 0; f < 300; f++ {
+		g.StepImplicit(1.0/60, 8)
+		e := g.Energy()
+		if e != e || e > 1e6 { // NaN or blow-up
+			t.Fatalf("solver unstable at frame %d: energy %g", f, e)
+		}
+		prevEnergy = e
+	}
+	// Damped cloth under gravity settles: energy stays bounded.
+	if prevEnergy > 1e4 {
+		t.Errorf("final kinetic energy %g, expected a settled patch", prevEnergy)
+	}
+	// Pinned row never moves.
+	for x := 0; x < g.W; x++ {
+		if g.PosY[x] != 0 {
+			t.Fatalf("pinned node %d moved to y=%g", x, g.PosY[x])
+		}
+	}
+	if _, err := NewMassSpringGrid(1, 5, 0); err == nil {
+		t.Error("degenerate grid accepted")
+	}
+}
+
+func TestKNNReturnsNearest(t *testing.T) {
+	db := NewFeatureDB(2000, 32, 7)
+	query := db.Vecs[123] // a database vector queried against itself
+	nn, err := db.KNN(query, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nn) != 5 {
+		t.Fatalf("%d neighbours", len(nn))
+	}
+	if nn[0] != 123 {
+		t.Errorf("self not the nearest neighbour: %v", nn)
+	}
+	// Results are in descending similarity.
+	sim := func(i int) float32 {
+		var dot float32
+		for d := range query {
+			dot += query[d] * db.Vecs[i][d]
+		}
+		return dot
+	}
+	for i := 1; i < len(nn); i++ {
+		if sim(nn[i]) > sim(nn[i-1])+1e-6 {
+			t.Fatalf("neighbours out of order at %d", i)
+		}
+	}
+	// Brute-force cross-check of the top-1.
+	best, bestSim := -1, float32(-2)
+	for i := range db.Vecs {
+		if s := sim(i); s > bestSim {
+			best, bestSim = i, s
+		}
+	}
+	if best != nn[0] {
+		t.Errorf("top-1 %d, brute force %d", nn[0], best)
+	}
+}
+
+func TestKNNValidation(t *testing.T) {
+	db := NewFeatureDB(10, 8, 1)
+	if _, err := db.KNN(make([]float32, 4), 3); err == nil {
+		t.Error("wrong-dimension query accepted")
+	}
+	if _, err := db.KNN(make([]float32, 8), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := db.KNN(make([]float32, 8), 11); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestFerretDeterministic(t *testing.T) {
+	db := NewFeatureDB(500, 16, 2)
+	a, err := Ferret(db, 5, 4, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Ferret(db, 5, 4, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("ferret checksum not deterministic")
+	}
+}

@@ -1,0 +1,198 @@
+package kernels
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"powerstruggle/internal/heartbeat"
+)
+
+// Runner is a runnable, heartbeat-instrumented benchmark. Run executes
+// one bounded unit of the benchmark (a few hundred milliseconds at
+// default sizes), emitting heartbeats to hb under the registered name.
+type Runner struct {
+	// Name matches the paper application the kernel stands for.
+	Name string
+	// Description says what the kernel computes.
+	Description string
+	// Run executes the kernel; beats receives heartbeat counts as work
+	// completes.
+	Run func(beats func(count float64)) error
+}
+
+// Size scales the default kernel inputs; 1 is the standard size.
+type Size struct {
+	// GraphScale is the Kronecker scale (vertices = 2^scale).
+	GraphScale int
+	// GraphDegree is the average degree.
+	GraphDegree int
+	// Points is the k-means population.
+	Points int
+	// StreamN is the STREAM array length.
+	StreamN int
+	// Frames is the media pipeline's frame count.
+	Frames int
+	// Baskets is the Apriori transaction count.
+	Baskets int
+	// GridW and GridH size the facesim mass-spring patch.
+	GridW, GridH int
+	// DBVectors and QueryCount size the ferret similarity search.
+	DBVectors, QueryCount int
+	// Seed drives all deterministic input generation.
+	Seed int64
+}
+
+// DefaultSize returns inputs sized for sub-second single-shot runs.
+func DefaultSize() Size {
+	return Size{
+		GraphScale: 13, GraphDegree: 8, Points: 20000, StreamN: 1 << 20,
+		Frames: 12, Baskets: 4000, GridW: 48, GridH: 48,
+		DBVectors: 8000, QueryCount: 24, Seed: 42,
+	}
+}
+
+// Registry builds the runnable counterparts of the paper's applications
+// at the given size.
+func Registry(sz Size) map[string]*Runner {
+	g := Kronecker(sz.GraphScale, sz.GraphDegree, sz.Seed)
+	wg := g.WithUniformWeights(8, sz.Seed+1)
+	reg := map[string]*Runner{
+		"BFS": {
+			Name:        "BFS",
+			Description: "breadth-first search on a Kronecker graph",
+			Run: func(beats func(float64)) error {
+				BFS(g, 0, func(v int) { beats(float64(v)) })
+				return nil
+			},
+		},
+		"Connected": {
+			Name:        "Connected",
+			Description: "connected components by label propagation",
+			Run: func(beats func(float64)) error {
+				ConnectedComponents(g, func(int) { beats(1) })
+				return nil
+			},
+		},
+		"SSSP": {
+			Name:        "SSSP",
+			Description: "single-source shortest paths (Dijkstra)",
+			Run: func(beats func(float64)) error {
+				SSSP(wg, 0, 1024, func(settled int) { beats(float64(settled)) })
+				return nil
+			},
+		},
+		"PageRank": {
+			Name:        "PageRank",
+			Description: "PageRank power iteration",
+			Run: func(beats func(float64)) error {
+				PageRank(g, 20, 1e-7, func(float64) { beats(1) })
+				return nil
+			},
+		},
+		"TriangleCount": {
+			Name:        "TriangleCount",
+			Description: "triangle counting by adjacency intersection",
+			Run: func(beats func(float64)) error {
+				TriangleCount(g, 2048, func(done int) { beats(float64(done)) })
+				return nil
+			},
+		},
+		"Betweenness": {
+			Name:        "Betweenness",
+			Description: "Brandes betweenness centrality (sampled sources)",
+			Run: func(beats func(float64)) error {
+				Betweenness(g, 8, sz.Seed, func() { beats(1) })
+				return nil
+			},
+		},
+		"kmeans": {
+			Name:        "kmeans",
+			Description: "Lloyd's k-means on Gaussian clusters",
+			Run: func(beats func(float64)) error {
+				pts := GaussianClusters(sz.Points, 16, 8, 0.6, sz.Seed)
+				_, _, err := KMeans(pts, 16, 25, sz.Seed, func(int) { beats(1) })
+				return err
+			},
+		},
+		"APR": {
+			Name:        "APR",
+			Description: "a-priori frequent-itemset mining over synthetic baskets",
+			Run: func(beats func(float64)) error {
+				txns := SyntheticBaskets(sz.Baskets, 200, 12, 4, sz.Seed+7)
+				_, err := Apriori(txns, sz.Baskets/20, 4, func(found int) { beats(float64(found)) })
+				return err
+			},
+		},
+		"STREAM": {
+			Name:        "STREAM",
+			Description: "STREAM copy/scale/add/triad bandwidth kernels",
+			Run: func(beats func(float64)) error {
+				clock := func() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+				_, err := Stream(sz.StreamN, 5, clock, func() { beats(1) })
+				return err
+			},
+		},
+	}
+	reg["X264"] = &Runner{
+		Name:        "X264",
+		Description: "media encode pipeline (blur + motion + quantize)",
+		Run: func(beats func(float64)) error {
+			frames := make([]Frame, sz.Frames)
+			for i := range frames {
+				frames[i] = RandomFrame(320, 240, sz.Seed+11+int64(i))
+			}
+			_, err := MediaPipeline(frames, func() { beats(1) })
+			return err
+		},
+	}
+	reg["facesim"] = &Runner{
+		Name:        "facesim",
+		Description: "implicit mass-spring physics solve over frames",
+		Run: func(beats func(float64)) error {
+			_, err := FaceSim(sz.GridW, sz.GridH, sz.Frames, 8, sz.Seed+13, func() { beats(1) })
+			return err
+		},
+	}
+	reg["ferret"] = &Runner{
+		Name:        "ferret",
+		Description: "k-NN similarity search over feature vectors",
+		Run: func(beats func(float64)) error {
+			db := NewFeatureDB(sz.DBVectors, 64, sz.Seed+17)
+			_, err := Ferret(db, sz.QueryCount, 10, sz.Seed+19, func() { beats(1) })
+			return err
+		},
+	}
+	return reg
+}
+
+// Names lists the registered kernels in sorted order.
+func Names(reg map[string]*Runner) []string {
+	out := make([]string, 0, len(reg))
+	for n := range reg {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunWithHeartbeats executes a named kernel once, feeding its beats into
+// a heartbeat monitor under the kernel's name with timestamps from the
+// wall clock, and returns the total beat count.
+func RunWithHeartbeats(reg map[string]*Runner, name string, hb *heartbeat.Monitor) (float64, error) {
+	r, ok := reg[name]
+	if !ok {
+		return 0, fmt.Errorf("kernels: unknown kernel %q", name)
+	}
+	if err := hb.Register(name, 10); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	var total float64
+	err := r.Run(func(count float64) {
+		total += count
+		t := time.Since(start).Seconds()
+		_ = hb.Beat(name, t, count)
+	})
+	return total, err
+}

@@ -1,0 +1,134 @@
+package kernels
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// FeatureDB is a ferret-style similarity-search database: feature
+// vectors (image descriptors in the original) queried for their k
+// nearest neighbours.
+type FeatureDB struct {
+	Dim  int
+	Vecs [][]float32
+}
+
+// NewFeatureDB generates n unit-norm feature vectors of dimension dim,
+// clustered around a handful of modes like real descriptor sets.
+func NewFeatureDB(n, dim int, seed int64) *FeatureDB {
+	rng := rand.New(rand.NewSource(seed))
+	const modes = 16
+	centers := make([][]float32, modes)
+	for i := range centers {
+		centers[i] = randomUnit(dim, rng)
+	}
+	db := &FeatureDB{Dim: dim, Vecs: make([][]float32, n)}
+	for i := range db.Vecs {
+		c := centers[rng.Intn(modes)]
+		v := make([]float32, dim)
+		for d := range v {
+			v[d] = c[d] + 0.3*float32(rng.NormFloat64())
+		}
+		normalize(v)
+		db.Vecs[i] = v
+	}
+	return db
+}
+
+func randomUnit(dim int, rng *rand.Rand) []float32 {
+	v := make([]float32, dim)
+	for d := range v {
+		v[d] = float32(rng.NormFloat64())
+	}
+	normalize(v)
+	return v
+}
+
+func normalize(v []float32) {
+	var s float64
+	for _, x := range v {
+		s += float64(x) * float64(x)
+	}
+	n := float32(math.Sqrt(s))
+	if n == 0 {
+		v[0] = 1
+		return
+	}
+	for d := range v {
+		v[d] /= n
+	}
+}
+
+// neighbor is one candidate with its similarity.
+type neighbor struct {
+	idx int
+	sim float32
+}
+
+// neighborHeap is a min-heap by similarity (so the worst of the current
+// top-k sits on top).
+type neighborHeap []neighbor
+
+func (h neighborHeap) Len() int            { return len(h) }
+func (h neighborHeap) Less(i, j int) bool  { return h[i].sim < h[j].sim }
+func (h neighborHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *neighborHeap) Push(x interface{}) { *h = append(*h, x.(neighbor)) }
+func (h *neighborHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// KNN returns the indices of the k most cosine-similar vectors to query,
+// in descending similarity order.
+func (db *FeatureDB) KNN(query []float32, k int) ([]int, error) {
+	if len(query) != db.Dim {
+		return nil, fmt.Errorf("kernels: query dimension %d, database %d", len(query), db.Dim)
+	}
+	if k <= 0 || k > len(db.Vecs) {
+		return nil, fmt.Errorf("kernels: k=%d with %d vectors", k, len(db.Vecs))
+	}
+	h := make(neighborHeap, 0, k)
+	for i, v := range db.Vecs {
+		var dot float32
+		for d := range v {
+			dot += v[d] * query[d]
+		}
+		if len(h) < k {
+			heap.Push(&h, neighbor{idx: i, sim: dot})
+		} else if dot > h[0].sim {
+			h[0] = neighbor{idx: i, sim: dot}
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]int, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(neighbor).idx
+	}
+	return out, nil
+}
+
+// Ferret runs queries random k-NN queries against the database, beating
+// once per query, and returns a checksum of the result ranks.
+func Ferret(db *FeatureDB, queries, k int, seed int64, onQuery func()) (uint64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var checksum uint64
+	for q := 0; q < queries; q++ {
+		query := randomUnit(db.Dim, rng)
+		nn, err := db.KNN(query, k)
+		if err != nil {
+			return 0, err
+		}
+		for rank, idx := range nn {
+			checksum = checksum*31 + uint64(idx) + uint64(rank)
+		}
+		if onQuery != nil {
+			onQuery()
+		}
+	}
+	return checksum, nil
+}

@@ -1,0 +1,363 @@
+package kernels
+
+import (
+	"container/heap"
+	"math"
+)
+
+// BFS runs a breadth-first search from source and returns the parent
+// array (-1 for unreached, source's parent is itself). onLevel, when
+// non-nil, is invoked once per frontier level with the number of
+// vertices visited in it — the kernel's heartbeat hook.
+func BFS(g *Graph, source int32, onLevel func(visited int)) []int32 {
+	parent := make([]int32, g.N)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[source] = source
+	frontier := []int32{source}
+	next := make([]int32, 0, 64)
+	for len(frontier) > 0 {
+		next = next[:0]
+		for _, v := range frontier {
+			for _, u := range g.Neighbors(v) {
+				if parent[u] == -1 {
+					parent[u] = v
+					next = append(next, u)
+				}
+			}
+		}
+		if onLevel != nil {
+			onLevel(len(next))
+		}
+		frontier, next = next, frontier
+	}
+	return parent
+}
+
+// ConnectedComponents labels vertices with Shiloach-Vishkin-style label
+// propagation (treating edges as undirected) and returns the labels.
+// onPass reports label updates per pass.
+func ConnectedComponents(g *Graph, onPass func(updates int)) []int32 {
+	label := make([]int32, g.N)
+	for i := range label {
+		label[i] = int32(i)
+	}
+	for {
+		updates := 0
+		for v := int32(0); int(v) < g.N; v++ {
+			lv := label[v]
+			for _, u := range g.Neighbors(v) {
+				if label[u] < lv {
+					lv = label[u]
+				}
+			}
+			if lv < label[v] {
+				label[v] = lv
+				updates++
+			}
+		}
+		// Propagate backwards too (directed CSR, undirected semantics).
+		for v := int32(g.N - 1); v >= 0; v-- {
+			lv := label[v]
+			for _, u := range g.Neighbors(v) {
+				if lv < label[u] {
+					label[u] = lv
+					updates++
+				}
+			}
+		}
+		if onPass != nil {
+			onPass(updates)
+		}
+		if updates == 0 {
+			return label
+		}
+	}
+}
+
+// distHeap is a min-heap of (vertex, distance) pairs for Dijkstra.
+type distItem struct {
+	v int32
+	d float32
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// SSSP computes single-source shortest paths with Dijkstra's algorithm
+// (lazy deletion) on a weighted graph and returns the distance array
+// (+Inf for unreached). onSettle reports settled vertices in batches of
+// batch.
+func SSSP(g *Graph, source int32, batch int, onSettle func(settled int)) []float32 {
+	if batch <= 0 {
+		batch = 1024
+	}
+	dist := make([]float32, g.N)
+	inf := float32(math.Inf(1))
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[source] = 0
+	h := &distHeap{{v: source, d: 0}}
+	settled := 0
+	for h.Len() > 0 {
+		it := heap.Pop(h).(distItem)
+		if it.d > dist[it.v] {
+			continue // stale entry
+		}
+		settled++
+		if onSettle != nil && settled%batch == 0 {
+			onSettle(batch)
+		}
+		row := g.RowPtr[it.v]
+		for i, u := range g.Neighbors(it.v) {
+			w := float32(1)
+			if g.Weight != nil {
+				w = g.Weight[int(row)+i]
+			}
+			if nd := it.d + w; nd < dist[u] {
+				dist[u] = nd
+				heap.Push(h, distItem{v: u, d: nd})
+			}
+		}
+	}
+	if onSettle != nil && settled%batch != 0 {
+		onSettle(settled % batch)
+	}
+	return dist
+}
+
+// PageRank runs power iteration with the standard 0.85 damping until the
+// L1 delta drops below tol or iters iterations elapse, returning the
+// rank vector. onIter reports each iteration's L1 delta.
+func PageRank(g *Graph, iters int, tol float64, onIter func(delta float64)) []float64 {
+	const damping = 0.85
+	n := g.N
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	outDeg := make([]float64, n)
+	for v := 0; v < n; v++ {
+		outDeg[v] = float64(g.OutDegree(int32(v)))
+	}
+	for it := 0; it < iters; it++ {
+		base := (1 - damping) / float64(n)
+		var dangling float64
+		for v := 0; v < n; v++ {
+			next[v] = base
+			if outDeg[v] == 0 {
+				dangling += rank[v]
+			}
+		}
+		danglingShare := damping * dangling / float64(n)
+		for v := int32(0); int(v) < n; v++ {
+			if outDeg[v] == 0 {
+				continue
+			}
+			share := damping * rank[v] / outDeg[v]
+			for _, u := range g.Neighbors(v) {
+				next[u] += share
+			}
+		}
+		var delta float64
+		for v := 0; v < n; v++ {
+			next[v] += danglingShare
+			delta += math.Abs(next[v] - rank[v])
+		}
+		rank, next = next, rank
+		if onIter != nil {
+			onIter(delta)
+		}
+		if delta < tol {
+			break
+		}
+	}
+	return rank
+}
+
+// TriangleCount counts triangles by sorted-adjacency intersection on the
+// degree-ordered orientation. onVertex reports per-vertex triangle
+// contributions in batches of batch vertices.
+func TriangleCount(g *Graph, batch int, onVertex func(done int)) int64 {
+	if batch <= 0 {
+		batch = 4096
+	}
+	var total int64
+	done := 0
+	for v := int32(0); int(v) < g.N; v++ {
+		nv := g.Neighbors(v)
+		for _, u := range nv {
+			if u <= v {
+				continue
+			}
+			total += intersectGreater(nv, g.Neighbors(u), u)
+		}
+		done++
+		if onVertex != nil && done%batch == 0 {
+			onVertex(batch)
+		}
+	}
+	if onVertex != nil && done%batch != 0 {
+		onVertex(done % batch)
+	}
+	return total
+}
+
+// intersectGreater counts common elements of two sorted lists strictly
+// greater than floor.
+func intersectGreater(a, b []int32, floor int32) int64 {
+	var count int64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			if a[i] > floor {
+				count++
+			}
+			i++
+			j++
+		}
+	}
+	return count
+}
+
+// Betweenness computes approximate betweenness centrality with Brandes'
+// algorithm over sources sampled source vertices. onSource reports each
+// completed source.
+func Betweenness(g *Graph, sources int, seed int64, onSource func()) []float64 {
+	bc := make([]float64, g.N)
+	if g.N == 0 {
+		return bc
+	}
+	step := g.N / sources
+	if step < 1 {
+		step = 1
+	}
+	sigma := make([]float64, g.N)
+	dist := make([]int32, g.N)
+	delta := make([]float64, g.N)
+	order := make([]int32, 0, g.N)
+	for s := int32(int(seed) % g.N); sources > 0; sources-- {
+		// Brandes forward pass.
+		order = order[:0]
+		for i := range sigma {
+			sigma[i], dist[i], delta[i] = 0, -1, 0
+		}
+		sigma[s], dist[s] = 1, 0
+		frontier := []int32{s}
+		for len(frontier) > 0 {
+			var next []int32
+			for _, v := range frontier {
+				order = append(order, v)
+				for _, u := range g.Neighbors(v) {
+					if dist[u] == -1 {
+						dist[u] = dist[v] + 1
+						next = append(next, u)
+					}
+					if dist[u] == dist[v]+1 {
+						sigma[u] += sigma[v]
+					}
+				}
+			}
+			frontier = next
+		}
+		// Dependency accumulation in reverse BFS order.
+		for i := len(order) - 1; i >= 0; i-- {
+			v := order[i]
+			for _, u := range g.Neighbors(v) {
+				if dist[u] == dist[v]+1 && sigma[u] > 0 {
+					delta[v] += sigma[v] / sigma[u] * (1 + delta[u])
+				}
+			}
+			if v != s {
+				bc[v] += delta[v]
+			}
+		}
+		if onSource != nil {
+			onSource()
+		}
+		s = int32((int(s) + step) % g.N)
+	}
+	return bc
+}
+
+// BFSDirectionOpt runs the GAP benchmark's signature direction-optimizing
+// BFS: top-down while the frontier is small, switching to bottom-up
+// (scan unvisited vertices for any visited in-neighbor) once the
+// frontier grows past a fraction of the graph — the optimization that
+// makes BFS bandwidth-bound on low-diameter graphs. rev must be g's
+// transpose. The returned parent array matches a plain BFS's
+// reachability (parents may differ within a level).
+func BFSDirectionOpt(g, rev *Graph, source int32, onLevel func(visited int)) []int32 {
+	parent := make([]int32, g.N)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[source] = source
+	frontier := []int32{source}
+	inFrontier := make([]bool, g.N)
+	inFrontier[source] = true
+	// Switch to bottom-up when the frontier exceeds this share of the
+	// vertices (GAP uses edge-based heuristics; a vertex share keeps
+	// the same behaviour on our synthetic graphs).
+	const bottomUpFrac = 0.05
+
+	for len(frontier) > 0 {
+		var next []int32
+		if float64(len(frontier)) < bottomUpFrac*float64(g.N) {
+			// Top-down step.
+			for _, v := range frontier {
+				for _, u := range g.Neighbors(v) {
+					if parent[u] == -1 {
+						parent[u] = v
+						next = append(next, u)
+					}
+				}
+			}
+		} else {
+			// Bottom-up step: every unvisited vertex looks for any
+			// in-neighbor on the frontier.
+			for v := int32(0); int(v) < g.N; v++ {
+				if parent[v] != -1 {
+					continue
+				}
+				for _, u := range rev.Neighbors(v) {
+					if inFrontier[u] {
+						parent[v] = u
+						next = append(next, v)
+						break
+					}
+				}
+			}
+		}
+		for i := range inFrontier {
+			inFrontier[i] = false
+		}
+		for _, v := range next {
+			inFrontier[v] = true
+		}
+		if onLevel != nil {
+			onLevel(len(next))
+		}
+		frontier = next
+	}
+	return parent
+}

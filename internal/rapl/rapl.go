@@ -1,0 +1,213 @@
+// Package rapl models the Intel RAPL powercap interface the paper's
+// prototype used for socket and DRAM power allocation (refs [33], [40]):
+// a tree of zones, each with a cumulative energy counter and a settable
+// power-limit constraint, mirroring Linux's /sys/class/powercap layout.
+//
+// Two backends are provided: an emulated tree driven by the simhw server
+// model (read-write), and a read-only view of a real /sys/class/powercap
+// directory when one is present — the thin slice of the paper's hardware
+// access that commodity Linux exposes without MSR privileges.
+package rapl
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Zone is one powercap zone: a package, a DRAM domain, or a sub-zone.
+type Zone interface {
+	// Name returns the zone's name (e.g. "package-0", "dram").
+	Name() string
+	// EnergyMicroJoules returns the zone's cumulative energy counter.
+	EnergyMicroJoules() (uint64, error)
+	// PowerLimitMicroWatts returns the long-term constraint's limit, or
+	// 0 if the zone has none.
+	PowerLimitMicroWatts() (uint64, error)
+	// SetPowerLimitMicroWatts updates the long-term constraint.
+	// Read-only backends return an error.
+	SetPowerLimitMicroWatts(uw uint64) error
+	// Children returns sub-zones in stable order.
+	Children() []Zone
+}
+
+// emuZone is an emulated powercap zone.
+type emuZone struct {
+	mu       sync.Mutex
+	name     string
+	energyUJ float64
+	limitUW  uint64
+	children []*emuZone
+	onLimit  func(watts float64) error
+}
+
+var _ Zone = (*emuZone)(nil)
+
+func (z *emuZone) Name() string { return z.name }
+
+func (z *emuZone) EnergyMicroJoules() (uint64, error) {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	return uint64(z.energyUJ), nil
+}
+
+func (z *emuZone) PowerLimitMicroWatts() (uint64, error) {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	return z.limitUW, nil
+}
+
+func (z *emuZone) SetPowerLimitMicroWatts(uw uint64) error {
+	z.mu.Lock()
+	cb := z.onLimit
+	z.limitUW = uw
+	z.mu.Unlock()
+	if cb != nil {
+		return cb(float64(uw) / 1e6)
+	}
+	return nil
+}
+
+func (z *emuZone) Children() []Zone {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	out := make([]Zone, len(z.children))
+	for i, c := range z.children {
+		out[i] = c
+	}
+	return out
+}
+
+// accumulate adds joules to the zone's energy counter.
+func (z *emuZone) accumulate(j float64) {
+	z.mu.Lock()
+	z.energyUJ += j * 1e6
+	z.mu.Unlock()
+}
+
+// EmuTree is an emulated intel-rapl tree: one package zone per socket,
+// each with a dram child, mirroring the paper platform's controllable
+// domains.
+type EmuTree struct {
+	root *emuZone
+	pkgs []*emuZone
+	dram []*emuZone
+}
+
+// NewEmuTree builds an emulated tree with sockets packages. onDRAMLimit,
+// when non-nil, is invoked with (socket, watts) whenever a DRAM limit is
+// written — the hook enforcement uses to actuate the simulated channel.
+func NewEmuTree(sockets int, onDRAMLimit func(socket int, watts float64) error) (*EmuTree, error) {
+	if sockets <= 0 {
+		return nil, fmt.Errorf("rapl: %d sockets", sockets)
+	}
+	t := &EmuTree{root: &emuZone{name: "intel-rapl"}}
+	for s := 0; s < sockets; s++ {
+		s := s
+		pkg := &emuZone{name: fmt.Sprintf("package-%d", s)}
+		dram := &emuZone{name: "dram"}
+		if onDRAMLimit != nil {
+			dram.onLimit = func(w float64) error { return onDRAMLimit(s, w) }
+		}
+		pkg.children = []*emuZone{dram}
+		t.root.children = append(t.root.children, pkg)
+		t.pkgs = append(t.pkgs, pkg)
+		t.dram = append(t.dram, dram)
+	}
+	return t, nil
+}
+
+// Root returns the tree's root zone.
+func (t *EmuTree) Root() Zone { return t.root }
+
+// Package returns socket s's package zone.
+func (t *EmuTree) Package(s int) (Zone, error) {
+	if s < 0 || s >= len(t.pkgs) {
+		return nil, fmt.Errorf("rapl: package %d of %d", s, len(t.pkgs))
+	}
+	return t.pkgs[s], nil
+}
+
+// DRAM returns socket s's dram zone.
+func (t *EmuTree) DRAM(s int) (Zone, error) {
+	if s < 0 || s >= len(t.dram) {
+		return nil, fmt.Errorf("rapl: dram %d of %d", s, len(t.dram))
+	}
+	return t.dram[s], nil
+}
+
+// AccumulatePackage adds joules of socket energy (cores + uncore) to
+// socket s's counter, as one integration step of the simulator reports.
+func (t *EmuTree) AccumulatePackage(s int, joules float64) error {
+	if s < 0 || s >= len(t.pkgs) {
+		return fmt.Errorf("rapl: package %d of %d", s, len(t.pkgs))
+	}
+	t.pkgs[s].accumulate(joules)
+	return nil
+}
+
+// AccumulateDRAM adds joules of DRAM energy to socket s's dram counter.
+func (t *EmuTree) AccumulateDRAM(s int, joules float64) error {
+	if s < 0 || s >= len(t.dram) {
+		return fmt.Errorf("rapl: dram %d of %d", s, len(t.dram))
+	}
+	t.dram[s].accumulate(joules)
+	return nil
+}
+
+// Meter reads windowed average power from a zone's energy counter — the
+// sampling loop the Accountant's poll uses.
+type Meter struct {
+	zone   Zone
+	lastUJ uint64
+	lastT  float64
+	primed bool
+}
+
+// NewMeter builds a meter over a zone.
+func NewMeter(z Zone) *Meter { return &Meter{zone: z} }
+
+// Sample reads the counter at time t (seconds) and returns the average
+// power in watts since the previous sample. The first call primes the
+// meter and returns 0.
+func (m *Meter) Sample(t float64) (float64, error) {
+	uj, err := m.zone.EnergyMicroJoules()
+	if err != nil {
+		return 0, err
+	}
+	if !m.primed {
+		m.primed = true
+		m.lastUJ, m.lastT = uj, t
+		return 0, nil
+	}
+	dt := t - m.lastT
+	if dt <= 0 {
+		return 0, fmt.Errorf("rapl: meter time went backwards (%g after %g)", t, m.lastT)
+	}
+	var dUJ uint64
+	if uj >= m.lastUJ {
+		dUJ = uj - m.lastUJ
+	}
+	m.lastUJ, m.lastT = uj, t
+	return float64(dUJ) / 1e6 / dt, nil
+}
+
+// Walk visits every zone in the tree depth-first, parents before
+// children, in stable name order at each level.
+func Walk(z Zone, visit func(path string, z Zone) error) error {
+	return walk(z, z.Name(), visit)
+}
+
+func walk(z Zone, path string, visit func(string, Zone) error) error {
+	if err := visit(path, z); err != nil {
+		return err
+	}
+	kids := z.Children()
+	sort.Slice(kids, func(i, j int) bool { return kids[i].Name() < kids[j].Name() })
+	for _, c := range kids {
+		if err := walk(c, path+"/"+c.Name(), visit); err != nil {
+			return err
+		}
+	}
+	return nil
+}

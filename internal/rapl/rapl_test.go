@@ -1,0 +1,262 @@
+package rapl
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEmuTreeStructure(t *testing.T) {
+	if _, err := NewEmuTree(0, nil); err == nil {
+		t.Error("zero-socket tree accepted")
+	}
+	tree, err := NewEmuTree(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tree.Root()
+	if root.Name() != "intel-rapl" {
+		t.Errorf("root name %q", root.Name())
+	}
+	kids := root.Children()
+	if len(kids) != 2 {
+		t.Fatalf("%d packages, want 2", len(kids))
+	}
+	for s := 0; s < 2; s++ {
+		pkg, err := tree.Package(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pkg.Children()) != 1 || pkg.Children()[0].Name() != "dram" {
+			t.Errorf("package %d children: %v", s, pkg.Children())
+		}
+	}
+	if _, err := tree.Package(5); err == nil {
+		t.Error("out-of-range package accepted")
+	}
+	if _, err := tree.DRAM(-1); err == nil {
+		t.Error("out-of-range dram accepted")
+	}
+}
+
+func TestEmuEnergyAccumulation(t *testing.T) {
+	tree, _ := NewEmuTree(1, nil)
+	if err := tree.AccumulatePackage(0, 12.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.AccumulateDRAM(0, 3.25); err != nil {
+		t.Fatal(err)
+	}
+	pkg, _ := tree.Package(0)
+	e, err := pkg.EnergyMicroJoules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 12_500_000 {
+		t.Errorf("package energy %d uJ, want 12.5 J", e)
+	}
+	dram, _ := tree.DRAM(0)
+	e, _ = dram.EnergyMicroJoules()
+	if e != 3_250_000 {
+		t.Errorf("dram energy %d uJ, want 3.25 J", e)
+	}
+	if err := tree.AccumulatePackage(9, 1); err == nil {
+		t.Error("accumulate to unknown socket accepted")
+	}
+}
+
+func TestDRAMLimitCallback(t *testing.T) {
+	var gotSocket int
+	var gotWatts float64
+	tree, err := NewEmuTree(2, func(s int, w float64) error {
+		gotSocket, gotWatts = s, w
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dram, _ := tree.DRAM(1)
+	if err := dram.SetPowerLimitMicroWatts(7_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if gotSocket != 1 || gotWatts != 7 {
+		t.Errorf("callback saw socket %d at %g W, want 1 at 7 W", gotSocket, gotWatts)
+	}
+	limit, err := dram.PowerLimitMicroWatts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limit != 7_000_000 {
+		t.Errorf("limit readback %d", limit)
+	}
+}
+
+func TestMeterAveragesPower(t *testing.T) {
+	tree, _ := NewEmuTree(1, nil)
+	pkg, _ := tree.Package(0)
+	m := NewMeter(pkg)
+	if w, err := m.Sample(0); err != nil || w != 0 {
+		t.Fatalf("priming sample = %g, %v", w, err)
+	}
+	// 25 W for 2 seconds.
+	_ = tree.AccumulatePackage(0, 50)
+	w, err := m.Sample(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 25 {
+		t.Errorf("metered %g W, want 25", w)
+	}
+	if _, err := m.Sample(1); err == nil {
+		t.Error("backwards sample accepted")
+	}
+}
+
+func TestWalkVisitsDepthFirst(t *testing.T) {
+	tree, _ := NewEmuTree(2, nil)
+	var paths []string
+	err := Walk(tree.Root(), func(path string, z Zone) error {
+		paths = append(paths, path)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"intel-rapl",
+		"intel-rapl/package-0",
+		"intel-rapl/package-0/dram",
+		"intel-rapl/package-1",
+		"intel-rapl/package-1/dram",
+	}
+	if len(paths) != len(want) {
+		t.Fatalf("walked %v", paths)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("walk order %v, want %v", paths, want)
+		}
+	}
+}
+
+// writeSysfsZone fabricates one powercap zone directory.
+func writeSysfsZone(t *testing.T, root, dir, name string, energyUJ, limitUW string) {
+	t.Helper()
+	full := filepath.Join(root, dir)
+	if err := os.MkdirAll(full, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{"name": name + "\n", "energy_uj": energyUJ + "\n"}
+	if limitUW != "" {
+		files["constraint_0_power_limit_uw"] = limitUW + "\n"
+	}
+	for f, content := range files {
+		if err := os.WriteFile(filepath.Join(full, f), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOpenSysfsReadsFabricatedTree(t *testing.T) {
+	root := t.TempDir()
+	writeSysfsZone(t, root, "intel-rapl:0", "package-0", "123456789", "95000000")
+	writeSysfsZone(t, root, "intel-rapl:0/intel-rapl:0:0", "dram", "4242", "")
+	writeSysfsZone(t, root, "intel-rapl:1", "package-1", "99", "0")
+
+	zones, err := OpenSysfs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zones) != 2 {
+		t.Fatalf("%d top-level zones, want 2", len(zones))
+	}
+	pkg0 := zones[0]
+	if pkg0.Name() != "package-0" {
+		t.Errorf("first zone %q", pkg0.Name())
+	}
+	e, err := pkg0.EnergyMicroJoules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 123456789 {
+		t.Errorf("energy %d", e)
+	}
+	limit, err := pkg0.PowerLimitMicroWatts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limit != 95000000 {
+		t.Errorf("limit %d", limit)
+	}
+	kids := pkg0.Children()
+	if len(kids) != 1 || kids[0].Name() != "dram" {
+		t.Fatalf("package-0 children: %v", kids)
+	}
+	// The dram zone has no constraint file: limit reads as 0.
+	if l, err := kids[0].PowerLimitMicroWatts(); err != nil || l != 0 {
+		t.Errorf("dram limit = %d, %v", l, err)
+	}
+	// The backend is read-only.
+	if err := pkg0.SetPowerLimitMicroWatts(1); err == nil {
+		t.Error("sysfs write accepted")
+	}
+}
+
+func TestOpenSysfsMissingRoot(t *testing.T) {
+	zones, err := OpenSysfs(filepath.Join(t.TempDir(), "nope"))
+	if err != nil {
+		t.Fatalf("missing root errored: %v", err)
+	}
+	if len(zones) != 0 {
+		t.Fatalf("zones from a missing root: %v", zones)
+	}
+}
+
+func TestSysfsRejectsMalformedFiles(t *testing.T) {
+	root := t.TempDir()
+	writeSysfsZone(t, root, "intel-rapl:0", "package-0", "not-a-number", "12")
+	zones, err := OpenSysfs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zones) != 1 {
+		t.Fatalf("%d zones", len(zones))
+	}
+	if _, err := zones[0].EnergyMicroJoules(); err == nil {
+		t.Error("non-numeric energy accepted")
+	}
+}
+
+func TestSysfsSkipsZonesWithoutNames(t *testing.T) {
+	root := t.TempDir()
+	// A directory with the right shape but no "name" file is skipped.
+	if err := os.MkdirAll(filepath.Join(root, "intel-rapl:0"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeSysfsZone(t, root, "intel-rapl:1", "package-1", "5", "")
+	zones, err := OpenSysfs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zones) != 1 || zones[0].Name() != "package-1" {
+		t.Fatalf("zones: %v", zones)
+	}
+}
+
+func TestSysfsIgnoresNonZoneEntries(t *testing.T) {
+	root := t.TempDir()
+	// Files and colon-free directories are not control zones.
+	if err := os.WriteFile(filepath.Join(root, "README"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(root, "dmi"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	zones, err := OpenSysfs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zones) != 0 {
+		t.Fatalf("zones from non-zone entries: %v", zones)
+	}
+}

@@ -1,0 +1,120 @@
+package rapl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefaultSysfsRoot is where Linux exposes the powercap framework.
+const DefaultSysfsRoot = "/sys/class/powercap"
+
+// sysfsZone is a read-only view of one real powercap zone directory.
+type sysfsZone struct {
+	dir  string
+	name string
+}
+
+var _ Zone = (*sysfsZone)(nil)
+
+func (z *sysfsZone) Name() string { return z.name }
+
+// readUint reads a decimal uint64 from a file in the zone directory.
+func (z *sysfsZone) readUint(file string) (uint64, error) {
+	b, err := os.ReadFile(filepath.Join(z.dir, file))
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("rapl: %s/%s: %w", z.dir, file, err)
+	}
+	return v, nil
+}
+
+func (z *sysfsZone) EnergyMicroJoules() (uint64, error) {
+	return z.readUint("energy_uj")
+}
+
+func (z *sysfsZone) PowerLimitMicroWatts() (uint64, error) {
+	v, err := z.readUint("constraint_0_power_limit_uw")
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	return v, nil
+}
+
+// SetPowerLimitMicroWatts is rejected: this backend is deliberately
+// read-only (writing RAPL limits needs privileges this tool does not
+// assume; use the emulated tree to exercise enforcement).
+func (z *sysfsZone) SetPowerLimitMicroWatts(uint64) error {
+	return fmt.Errorf("rapl: sysfs backend is read-only")
+}
+
+func (z *sysfsZone) Children() []Zone {
+	entries, err := os.ReadDir(z.dir)
+	if err != nil {
+		return nil
+	}
+	var out []Zone
+	for _, e := range entries {
+		// Sub-zones are directories named like "intel-rapl:0:0".
+		if !e.IsDir() || !strings.Contains(e.Name(), ":") {
+			continue
+		}
+		sub := filepath.Join(z.dir, e.Name())
+		if name, err := zoneName(sub); err == nil {
+			out = append(out, &sysfsZone{dir: sub, name: name})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// zoneName reads a zone directory's "name" file.
+func zoneName(dir string) (string, error) {
+	b, err := os.ReadFile(filepath.Join(dir, "name"))
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(string(b)), nil
+}
+
+// OpenSysfs enumerates the top-level RAPL control zones of a real
+// /sys/class/powercap tree (root may be "" for the default). It returns
+// an empty slice — not an error — on machines without the powercap
+// framework, so callers can fall back to the emulated tree.
+func OpenSysfs(root string) ([]Zone, error) {
+	if root == "" {
+		root = DefaultSysfsRoot
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []Zone
+	for _, e := range entries {
+		// Top-level control zones are "intel-rapl:N" (one per package);
+		// deeper zones have two colons and surface via Children.
+		if strings.Count(e.Name(), ":") != 1 {
+			continue
+		}
+		dir := filepath.Join(root, e.Name())
+		name, err := zoneName(dir)
+		if err != nil {
+			continue
+		}
+		out = append(out, &sysfsZone{dir: dir, name: name})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out, nil
+}

@@ -1,0 +1,226 @@
+package simhw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigMatchesTableI(t *testing.T) {
+	c := DefaultConfig()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if got := c.TotalCores(); got != 12 {
+		t.Errorf("TotalCores = %d, want 12", got)
+	}
+	if got := c.FreqSteps(); got != 9 {
+		t.Errorf("FreqSteps = %d, want 9", got)
+	}
+	if c.PIdleWatts != 50 || c.PCmWatts != 20 {
+		t.Errorf("P_idle/P_cm = %g/%g, want 50/20", c.PIdleWatts, c.PCmWatts)
+	}
+	if got := c.MaxDynamicWatts(); math.Abs(got-60) > 0.5 {
+		t.Errorf("MaxDynamicWatts = %g, want ~60", got)
+	}
+	if got := c.MaxServerWatts(); math.Abs(got-130) > 0.5 {
+		t.Errorf("MaxServerWatts = %g, want ~130", got)
+	}
+}
+
+func TestConfigValidateRejectsBadFields(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"sockets", func(c *Config) { c.Sockets = 0 }},
+		{"cores", func(c *Config) { c.CoresPerSocket = -1 }},
+		{"freq-range", func(c *Config) { c.FreqMaxGHz = c.FreqMinGHz - 0.1 }},
+		{"freq-step", func(c *Config) { c.FreqStepGHz = 0 }},
+		{"idle", func(c *Config) { c.PIdleWatts = -1 }},
+		{"core-dyn", func(c *Config) { c.CoreDynMaxWatts = 0 }},
+		{"alpha", func(c *Config) { c.DVFSAlpha = 0 }},
+		{"channels", func(c *Config) { c.MemChannels = 0 }},
+		{"mem-range", func(c *Config) { c.MemMaxWatts = c.MemMinWatts - 1 }},
+		{"mem-step", func(c *Config) { c.MemStepWatts = 0 }},
+		{"mem-peak", func(c *Config) { c.MemPeakGBs = 0 }},
+		{"mem-exp", func(c *Config) { c.MemBWExp = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := DefaultConfig()
+			tc.mutate(&c)
+			if err := c.Validate(); err == nil {
+				t.Errorf("Validate accepted bad %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestFreqLadder(t *testing.T) {
+	c := DefaultConfig()
+	ladder := c.FreqLadder()
+	if len(ladder) != c.FreqSteps() {
+		t.Fatalf("ladder has %d steps, want %d", len(ladder), c.FreqSteps())
+	}
+	if ladder[0] != c.FreqMinGHz || ladder[len(ladder)-1] != c.FreqMaxGHz {
+		t.Errorf("ladder endpoints [%g, %g], want [%g, %g]",
+			ladder[0], ladder[len(ladder)-1], c.FreqMinGHz, c.FreqMaxGHz)
+	}
+	for i := 1; i < len(ladder); i++ {
+		if ladder[i] <= ladder[i-1] {
+			t.Errorf("ladder not increasing at %d: %g then %g", i, ladder[i-1], ladder[i])
+		}
+	}
+}
+
+func TestClampFreqSnapsDown(t *testing.T) {
+	c := DefaultConfig()
+	cases := []struct{ in, want float64 }{
+		{0.5, 1.2},
+		{1.2, 1.2},
+		{1.25, 1.2},
+		{1.79, 1.7},
+		{2.0, 2.0},
+		{3.0, 2.0},
+	}
+	for _, tc := range cases {
+		if got := c.ClampFreq(tc.in); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("ClampFreq(%g) = %g, want %g", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestMemStepsAndClamp(t *testing.T) {
+	c := DefaultConfig()
+	steps := c.MemSteps()
+	if len(steps) != 8 {
+		t.Fatalf("MemSteps has %d entries, want 8 (3..10 W)", len(steps))
+	}
+	if steps[0] != 3 || steps[7] != 10 {
+		t.Errorf("MemSteps endpoints [%g, %g], want [3, 10]", steps[0], steps[7])
+	}
+	if got := c.ClampMem(5.7); got != 5 {
+		t.Errorf("ClampMem(5.7) = %g, want 5", got)
+	}
+	if got := c.ClampMem(0); got != 3 {
+		t.Errorf("ClampMem(0) = %g, want 3", got)
+	}
+	if got := c.ClampMem(99); got != 10 {
+		t.Errorf("ClampMem(99) = %g, want 10", got)
+	}
+}
+
+func TestCoreDynWattsMonotoneInFreq(t *testing.T) {
+	c := DefaultConfig()
+	prev := -1.0
+	for _, f := range c.FreqLadder() {
+		w := c.CoreDynWatts(f)
+		if w <= prev {
+			t.Fatalf("CoreDynWatts not increasing at %g GHz: %g then %g", f, prev, w)
+		}
+		prev = w
+	}
+	if got := c.CoreDynWatts(0); got != 0 {
+		t.Errorf("CoreDynWatts(0) = %g, want 0", got)
+	}
+	if got := c.CoreDynWatts(c.FreqMaxGHz); math.Abs(got-c.CoreDynMaxWatts) > 1e-9 {
+		t.Errorf("CoreDynWatts(fmax) = %g, want %g", got, c.CoreDynMaxWatts)
+	}
+}
+
+func TestCoreWattsClampsActivity(t *testing.T) {
+	c := DefaultConfig()
+	lo := c.CoreWatts(2.0, -1)
+	if math.Abs(lo-c.CoreStaticWatts) > 1e-9 {
+		t.Errorf("CoreWatts with negative activity = %g, want static %g", lo, c.CoreStaticWatts)
+	}
+	hi := c.CoreWatts(2.0, 2)
+	want := c.CoreStaticWatts + c.CoreDynMaxWatts
+	if math.Abs(hi-want) > 1e-9 {
+		t.Errorf("CoreWatts with activity 2 = %g, want clamped %g", hi, want)
+	}
+}
+
+func TestMemBandwidthMonotone(t *testing.T) {
+	c := DefaultConfig()
+	prev := -1.0
+	for _, m := range c.MemSteps() {
+		bw := c.MemBandwidthGBs(m)
+		if bw <= prev {
+			t.Fatalf("bandwidth not increasing at %g W: %g then %g", m, prev, bw)
+		}
+		prev = bw
+	}
+	if got := c.MemBandwidthGBs(c.MemMaxWatts); math.Abs(got-c.MemPeakGBs) > 1e-9 {
+		t.Errorf("bandwidth at max limit = %g, want peak %g", got, c.MemPeakGBs)
+	}
+}
+
+func TestServerPowerWattsComposition(t *testing.T) {
+	c := DefaultConfig()
+	if got := c.ServerPowerWatts(nil); got != c.PIdleWatts {
+		t.Errorf("idle server draws %g, want %g", got, c.PIdleWatts)
+	}
+	if got := c.ServerPowerWatts([]float64{0, 0}); got != c.PIdleWatts {
+		t.Errorf("server with suspended apps draws %g, want %g", got, c.PIdleWatts)
+	}
+	// The paper's example: two 20 W applications -> 110 W.
+	if got := c.ServerPowerWatts([]float64{20, 20}); got != 110 {
+		t.Errorf("two 20 W applications draw %g, want 110", got)
+	}
+	// P_cm is paid once, not per application.
+	one := c.ServerPowerWatts([]float64{20})
+	two := c.ServerPowerWatts([]float64{20, 20})
+	if math.Abs((two-one)-20) > 1e-9 {
+		t.Errorf("adding a second 20 W application added %g W, want exactly 20 (P_cm amortized)", two-one)
+	}
+}
+
+func TestBudgetsAndHeadroom(t *testing.T) {
+	c := DefaultConfig()
+	if got := c.DynamicBudget(100); got != 30 {
+		t.Errorf("DynamicBudget(100) = %g, want 30", got)
+	}
+	if got := c.DynamicBudget(60); got != 0 {
+		t.Errorf("DynamicBudget(60) = %g, want 0 (floored)", got)
+	}
+	if got := c.ChargeHeadroom(70); got != 20 {
+		t.Errorf("ChargeHeadroom(70) = %g, want 20", got)
+	}
+	if got := c.ChargeHeadroom(40); got != 0 {
+		t.Errorf("ChargeHeadroom(40) = %g, want 0 (floored)", got)
+	}
+}
+
+func TestQuickCoreWattsMonotone(t *testing.T) {
+	c := DefaultConfig()
+	prop := func(fa, fb, act uint8) bool {
+		f1 := c.FreqMinGHz + float64(fa%9)*c.FreqStepGHz
+		f2 := c.FreqMinGHz + float64(fb%9)*c.FreqStepGHz
+		a := float64(act%101) / 100
+		if f1 > f2 {
+			f1, f2 = f2, f1
+		}
+		return c.CoreWatts(f1, a) <= c.CoreWatts(f2, a)+1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickServerPowerLowerBound(t *testing.T) {
+	c := DefaultConfig()
+	prop := func(ws []float64) bool {
+		for i := range ws {
+			ws[i] = math.Abs(ws[i])
+			if math.IsInf(ws[i], 0) || math.IsNaN(ws[i]) {
+				ws[i] = 1
+			}
+		}
+		return c.ServerPowerWatts(ws) >= c.PIdleWatts
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

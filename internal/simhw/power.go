@@ -1,0 +1,88 @@
+package simhw
+
+import "math"
+
+// CoreDynWatts returns the switching power of one core running fully
+// active at frequency f (GHz). Partially-stalled cores scale this by
+// their activity factor (see workload.Profile.CPUActivity).
+func (c Config) CoreDynWatts(f float64) float64 {
+	if f <= 0 {
+		return 0
+	}
+	return c.CoreDynMaxWatts * math.Pow(f/c.FreqMaxGHz, c.DVFSAlpha)
+}
+
+// CoreWatts returns the total draw of one un-gated core at frequency f
+// with the given activity factor in [0, 1]: static leakage plus scaled
+// switching power.
+func (c Config) CoreWatts(f, activity float64) float64 {
+	if activity < 0 {
+		activity = 0
+	}
+	if activity > 1 {
+		activity = 1
+	}
+	return c.CoreStaticWatts + activity*c.CoreDynWatts(f)
+}
+
+// MemBandwidthGBs returns the bandwidth one DRAM channel delivers under a
+// power limit of m watts. Bandwidth falls sub-linearly as the limit
+// tightens (the controller throttles request scheduling, not refresh).
+func (c Config) MemBandwidthGBs(m float64) float64 {
+	m = c.ClampMem(m)
+	return c.MemPeakGBs * math.Pow(m/c.MemMaxWatts, c.MemBWExp)
+}
+
+// AppPowerWatts returns the dynamic power an application draws when it
+// runs n cores at frequency f with the given core activity factor, plus a
+// DRAM channel draw of memWatts. This is the P_X term of the paper's
+// constraint (2); it excludes P_idle and P_cm, which are shared.
+func (c Config) AppPowerWatts(f float64, n int, memWatts, activity float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if n > c.TotalCores() {
+		n = c.TotalCores()
+	}
+	return float64(n)*c.CoreWatts(f, activity) + memWatts
+}
+
+// ServerPowerWatts composes total server draw from per-application dynamic
+// draws: P_idle + P_cm (paid once if anything is awake) + sum of P_X. It
+// is the left-hand side of the paper's constraint (2) without the ESD
+// terms.
+func (c Config) ServerPowerWatts(appWatts []float64) float64 {
+	total := c.PIdleWatts
+	anyActive := false
+	for _, w := range appWatts {
+		if w > 0 {
+			anyActive = true
+			total += w
+		}
+	}
+	if anyActive {
+		total += c.PCmWatts
+	}
+	return total
+}
+
+// DynamicBudget returns the power left for applications under cap watts
+// when the server is awake: cap - P_idle - P_cm, floored at zero.
+func (c Config) DynamicBudget(cap float64) float64 {
+	b := cap - c.PIdleWatts - c.PCmWatts
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// ChargeHeadroom returns the power available to charge an ESD while the
+// sockets are in deep sleep (P_cm and P_dynamic both zero): cap - P_idle,
+// floored at zero. This is the paper's equation (3) rearranged.
+func (c Config) ChargeHeadroom(cap float64) float64 {
+	h := cap - c.PIdleWatts
+	if h < 0 {
+		return 0
+	}
+	return h
+}

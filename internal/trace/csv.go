@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializes a series as two-column CSV ("seconds,value") with
+// a header row.
+func WriteCSV(w io.Writer, series []Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"seconds", "value"}); err != nil {
+		return err
+	}
+	for _, p := range series {
+		rec := []string{
+			strconv.FormatFloat(p.T, 'g', -1, 64),
+			strconv.FormatFloat(p.V, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a two-column CSV series ("seconds,value"; an optional
+// header row is skipped). Timestamps must be strictly increasing and
+// values finite and non-negative — the validity a cap replay needs.
+func ReadCSV(r io.Reader) ([]Point, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	var out []Point
+	prevT := -1.0
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv: %w", err)
+		}
+		line++
+		t, errT := strconv.ParseFloat(rec[0], 64)
+		v, errV := strconv.ParseFloat(rec[1], 64)
+		if errT != nil || errV != nil {
+			if line == 1 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("trace: csv line %d: non-numeric record %v", line, rec)
+		}
+		if t <= prevT {
+			return nil, fmt.Errorf("trace: csv line %d: timestamps must increase (%g after %g)", line, t, prevT)
+		}
+		if v < 0 || v != v {
+			return nil, fmt.Errorf("trace: csv line %d: invalid value %g", line, v)
+		}
+		prevT = t
+		out = append(out, Point{T: t, V: v})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("trace: csv contains no data rows")
+	}
+	return out, nil
+}

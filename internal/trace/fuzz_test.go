@@ -1,0 +1,35 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV exercises the cap-schedule parser with arbitrary input:
+// it must never panic, and anything it accepts must satisfy the replay
+// invariants (increasing timestamps, finite non-negative values).
+func FuzzReadCSV(f *testing.F) {
+	f.Add("seconds,value\n0,100\n60,90\n")
+	f.Add("0,100\n")
+	f.Add("garbage")
+	f.Add("0,100\n0,100\n")
+	f.Add("0,-1\n")
+	f.Add("0,1e400\n")
+	f.Add(",\n")
+	f.Fuzz(func(t *testing.T, body string) {
+		pts, err := ReadCSV(strings.NewReader(body))
+		if err != nil {
+			return
+		}
+		prev := -1.0
+		for _, p := range pts {
+			if p.T <= prev {
+				t.Fatalf("accepted non-increasing timestamps: %v", pts)
+			}
+			if p.V < 0 || p.V != p.V {
+				t.Fatalf("accepted invalid value %g", p.V)
+			}
+			prev = p.T
+		}
+	})
+}

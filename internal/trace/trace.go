@@ -1,0 +1,215 @@
+// Package trace synthesizes the cluster power demand trace and the
+// peak-shaving cap schedules of the paper's Fig. 12. The paper replays
+// power caps derived from a publicly-available trace of a
+// connection-intensive internet service (ref [49], MSN-style login
+// load); that trace is not redistributable, so this package generates a
+// diurnal load curve with the same qualitative features — a deep
+// overnight trough, a broad daytime plateau with two sub-peaks, and
+// short-term jitter — and derives cap schedules that shave a fraction of
+// its peak.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Point is one step of a time series.
+type Point struct {
+	// T is seconds since the trace start.
+	T float64
+	// V is the value (normalized load, or watts for cap series).
+	V float64
+}
+
+// Config parameterizes trace synthesis.
+type Config struct {
+	// Seconds is the trace length (default: Days x 24 h).
+	Seconds float64
+	// Days sets the default length in days when Seconds is zero
+	// (default 1). Weekends (days 5 and 6 of each week) carry a
+	// dampened daytime load, as connection-intensive services show.
+	Days int
+	// StepSeconds is the sampling period (default: 60 s).
+	StepSeconds float64
+	// MinLoad and MaxLoad bound the normalized diurnal load (defaults:
+	// 0.35 and 1.0) — connection-intensive services never go fully
+	// idle.
+	MinLoad float64
+	MaxLoad float64
+	// JitterFrac is the short-term load noise amplitude (default 0.03).
+	JitterFrac float64
+	// Seed makes synthesis deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Days <= 0 {
+		c.Days = 1
+	}
+	if c.Seconds <= 0 {
+		c.Seconds = float64(c.Days) * 24 * 3600
+	}
+	if c.StepSeconds <= 0 {
+		c.StepSeconds = 60
+	}
+	if c.MaxLoad <= 0 {
+		c.MaxLoad = 1.0
+	}
+	if c.MinLoad <= 0 {
+		c.MinLoad = 0.35
+	}
+	if c.JitterFrac == 0 {
+		c.JitterFrac = 0.03
+	}
+	return c
+}
+
+// DiurnalLoad synthesizes a normalized (0..1) connection-intensive load
+// curve: an overnight trough around 4 am, a morning ramp, a daytime
+// plateau with late-morning and evening sub-peaks, and bounded jitter.
+func DiurnalLoad(cfg Config) ([]Point, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MinLoad >= cfg.MaxLoad {
+		return nil, fmt.Errorf("trace: load bounds [%g, %g] are invalid", cfg.MinLoad, cfg.MaxLoad)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := int(cfg.Seconds/cfg.StepSeconds) + 1
+	out := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		t := float64(i) * cfg.StepSeconds
+		h := math.Mod(t/3600, 24)
+		day := int(t/86400) % 7
+		// Base diurnal: trough at 4 am, peak mid-day.
+		base := 0.5 - 0.5*math.Cos(2*math.Pi*(h-4)/24)
+		// Sub-peaks at ~11 am and ~8 pm.
+		base += 0.12*gauss(h, 11, 2) + 0.18*gauss(h, 20, 1.8)
+		if base > 1 {
+			base = 1
+		}
+		// Weekend dampening of the daytime plateau.
+		if day >= 5 {
+			base *= 0.8
+		}
+		v := cfg.MinLoad + (cfg.MaxLoad-cfg.MinLoad)*base
+		v += cfg.JitterFrac * (2*rng.Float64() - 1) * v
+		if v < cfg.MinLoad {
+			v = cfg.MinLoad
+		}
+		if v > cfg.MaxLoad {
+			v = cfg.MaxLoad
+		}
+		out = append(out, Point{T: t, V: v})
+	}
+	return out, nil
+}
+
+// gauss is an unnormalized bell over the 24-hour circle.
+func gauss(h, mu, sigma float64) float64 {
+	d := math.Abs(h - mu)
+	if d > 12 {
+		d = 24 - d
+	}
+	return math.Exp(-d * d / (2 * sigma * sigma))
+}
+
+// DemandWatts scales a normalized load curve into a cluster power demand
+// series: servers x (idleW + load * dynamicW). This is the uncapped draw
+// the cluster would have, the reference Fig. 12a shaves from.
+func DemandWatts(load []Point, servers int, idleW, dynamicW float64) []Point {
+	out := make([]Point, len(load))
+	for i, p := range load {
+		out[i] = Point{T: p.T, V: float64(servers) * (idleW + p.V*dynamicW)}
+	}
+	return out
+}
+
+// ShaveCaps derives a peak-shaving cap schedule from a demand series:
+// the cap is the demand clipped at (1-shaveFrac) of the demand's peak —
+// binding only around the peaks, exactly the Fig. 12a shape.
+func ShaveCaps(demand []Point, shaveFrac float64) ([]Point, error) {
+	if shaveFrac < 0 || shaveFrac >= 1 {
+		return nil, fmt.Errorf("trace: shave fraction %g outside [0, 1)", shaveFrac)
+	}
+	peak := 0.0
+	for _, p := range demand {
+		if p.V > peak {
+			peak = p.V
+		}
+	}
+	ceiling := (1 - shaveFrac) * peak
+	out := make([]Point, len(demand))
+	for i, p := range demand {
+		v := p.V
+		if v > ceiling {
+			v = ceiling
+		}
+		out[i] = Point{T: p.T, V: v}
+	}
+	return out, nil
+}
+
+// PeakShaveCaps derives the cap schedule the cluster manager actually
+// enforces: during peak-shaving events — steps where demand exceeds
+// (1-shaveFrac) of the demand peak — the cluster is capped at that
+// ceiling; between events no cap binds and the schedule carries openCapW
+// (the fleet's nameplate, or any value at or above what it can draw).
+// This is the replay semantics of the paper's Fig. 12: caps exist to
+// shave peaks, not to track demand.
+func PeakShaveCaps(demand []Point, shaveFrac, openCapW float64) ([]Point, error) {
+	if shaveFrac < 0 || shaveFrac >= 1 {
+		return nil, fmt.Errorf("trace: shave fraction %g outside [0, 1)", shaveFrac)
+	}
+	ceiling := (1 - shaveFrac) * Peak(demand)
+	if openCapW < ceiling {
+		return nil, fmt.Errorf("trace: open cap %.0f W below shaving ceiling %.0f W", openCapW, ceiling)
+	}
+	out := make([]Point, len(demand))
+	for i, p := range demand {
+		v := openCapW
+		if p.V > ceiling {
+			v = ceiling
+		}
+		out[i] = Point{T: p.T, V: v}
+	}
+	return out, nil
+}
+
+// EventFraction returns the fraction of steps where a cap schedule binds
+// below openCapW.
+func EventFraction(caps []Point, openCapW float64) float64 {
+	if len(caps) == 0 {
+		return 0
+	}
+	n := 0
+	for _, p := range caps {
+		if p.V < openCapW {
+			n++
+		}
+	}
+	return float64(n) / float64(len(caps))
+}
+
+// Peak returns the series maximum.
+func Peak(series []Point) float64 {
+	peak := 0.0
+	for _, p := range series {
+		if p.V > peak {
+			peak = p.V
+		}
+	}
+	return peak
+}
+
+// Mean returns the series average.
+func Mean(series []Point) float64 {
+	if len(series) == 0 {
+		return 0
+	}
+	var s float64
+	for _, p := range series {
+		s += p.V
+	}
+	return s / float64(len(series))
+}

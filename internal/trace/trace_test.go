@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDiurnalLoadBoundsAndDeterminism(t *testing.T) {
+	cfg := Config{Seed: 3}
+	a, err := DiurnalLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 24*60+1 {
+		t.Fatalf("%d points for a 24 h / 60 s trace", len(a))
+	}
+	for _, p := range a {
+		if p.V < 0.35-1e-9 || p.V > 1+1e-9 {
+			t.Fatalf("load %g at t=%g outside [0.35, 1]", p.V, p.T)
+		}
+	}
+	b, err := DiurnalLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("trace not deterministic for a seed")
+		}
+	}
+	if _, err := DiurnalLoad(Config{MinLoad: 0.9, MaxLoad: 0.5}); err == nil {
+		t.Error("inverted load bounds accepted")
+	}
+}
+
+func TestDiurnalShapeHasTroughAndPeak(t *testing.T) {
+	load, _ := DiurnalLoad(Config{Seed: 1, JitterFrac: 0.001})
+	atHour := func(h float64) float64 {
+		idx := int(h * 60)
+		return load[idx].V
+	}
+	if night, day := atHour(4), atHour(20); night >= day {
+		t.Errorf("4 am load %g not below 8 pm load %g", night, day)
+	}
+	if atHour(4) > 0.5 {
+		t.Errorf("overnight trough %g too high", atHour(4))
+	}
+	if atHour(20) < 0.85 {
+		t.Errorf("evening peak %g too low", atHour(20))
+	}
+}
+
+func TestDemandWatts(t *testing.T) {
+	load := []Point{{T: 0, V: 0.5}, {T: 60, V: 1.0}}
+	d := DemandWatts(load, 10, 70, 44)
+	if d[0].V != 10*(70+0.5*44) {
+		t.Errorf("demand at half load = %g", d[0].V)
+	}
+	if d[1].V != 10*(70+44) {
+		t.Errorf("demand at full load = %g", d[1].V)
+	}
+}
+
+func TestShaveCapsClipsAtCeiling(t *testing.T) {
+	demand := []Point{{0, 500}, {60, 900}, {120, 1000}}
+	caps, err := ShaveCaps(demand, 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ceiling := 0.7 * 1000
+	for i, c := range caps {
+		if c.V > ceiling+1e-9 {
+			t.Errorf("cap %g over ceiling at %d", c.V, i)
+		}
+		if demand[i].V <= ceiling && c.V != demand[i].V {
+			t.Errorf("cap %g altered below the ceiling at %d", c.V, i)
+		}
+	}
+	if _, err := ShaveCaps(demand, 1.5); err == nil {
+		t.Error("shave fraction over 1 accepted")
+	}
+}
+
+func TestPeakShaveCaps(t *testing.T) {
+	demand := []Point{{0, 400}, {60, 800}, {120, 1000}}
+	const open = 1100
+	caps, err := PeakShaveCaps(demand, 0.30, open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ceiling := 0.7 * 1000
+	// Non-event steps are uncapped (open), event steps capped at the
+	// ceiling.
+	if caps[0].V != open {
+		t.Errorf("non-event step capped at %g", caps[0].V)
+	}
+	if caps[1].V != ceiling || caps[2].V != ceiling {
+		t.Errorf("event steps capped at %g/%g, want %g", caps[1].V, caps[2].V, ceiling)
+	}
+	if frac := EventFraction(caps, open); math.Abs(frac-2.0/3) > 1e-9 {
+		t.Errorf("event fraction %g, want 2/3", frac)
+	}
+	if _, err := PeakShaveCaps(demand, 0.30, 100); err == nil {
+		t.Error("open cap below the ceiling accepted")
+	}
+}
+
+func TestPeakAndMean(t *testing.T) {
+	s := []Point{{0, 1}, {1, 5}, {2, 3}}
+	if Peak(s) != 5 {
+		t.Errorf("Peak = %g", Peak(s))
+	}
+	if Mean(s) != 3 {
+		t.Errorf("Mean = %g", Mean(s))
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean of empty series not 0")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	series := []Point{{0, 100}, {60, 95.5}, {120, 80}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(series) {
+		t.Fatalf("%d points, want %d", len(got), len(series))
+	}
+	for i := range series {
+		if got[i] != series[i] {
+			t.Errorf("point %d: %v vs %v", i, got[i], series[i])
+		}
+	}
+}
+
+func TestReadCSVRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "seconds,value\n",
+		"non-numeric":  "seconds,value\n0,100\nten,90\n",
+		"backwards":    "0,100\n0,90\n",
+		"negative":     "0,100\n60,-5\n",
+		"wrong-fields": "0,100,extra\n",
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(body)); err == nil {
+				t.Errorf("accepted %q", body)
+			}
+		})
+	}
+	// A headerless numeric file is accepted.
+	got, err := ReadCSV(strings.NewReader("0,100\n60,90\n"))
+	if err != nil || len(got) != 2 {
+		t.Fatalf("headerless parse: %v, %v", got, err)
+	}
+}
+
+func TestMultiDayTraceWithWeekends(t *testing.T) {
+	load, err := DiurnalLoad(Config{Days: 7, Seed: 2, JitterFrac: 0.001, StepSeconds: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := load[len(load)-1].T, 7*24*3600.0; math.Abs(got-want) > 600 {
+		t.Fatalf("trace ends at %g s, want ~%g", got, want)
+	}
+	atHour := func(day int, h float64) float64 {
+		idx := int((float64(day)*24 + h) * 6)
+		return load[idx].V
+	}
+	// Saturday's daytime plateau sits below Wednesday's.
+	if sat, wed := atHour(5, 14), atHour(2, 14); sat >= wed {
+		t.Errorf("Saturday 2 pm load %g not below Wednesday's %g", sat, wed)
+	}
+}

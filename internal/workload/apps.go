@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"powerstruggle/internal/simhw"
+)
+
+// appSpec is the compact characterization an application profile is built
+// from. memBoundness is the ratio of the compute roofline to the memory
+// roofline at the uncapped operating point: >1 means the application is
+// memory-bound there (STREAM), <<1 means DRAM watts buy it nothing
+// (kmeans). These relative shapes — not absolute rates — drive every
+// utility difference in the paper.
+type appSpec struct {
+	name         string
+	class        Class
+	parallelFrac float64
+	memBoundness float64
+	activity     float64
+	// maxCores is the application's maximum useful parallelism; STREAM
+	// saturates its channel with fewer threads, X264's pipeline depth
+	// limits it, and so on. It also spreads uncapped power draws the
+	// way real co-located applications differ.
+	maxCores int
+}
+
+// specs characterizes the twelve applications of the paper's evaluation
+// (Section IV): MineBench data analytics, GAP graph kernels, STREAM, and
+// PARSEC media workloads.
+var specs = []appSpec{
+	{"STREAM", ClassMemory, 0.85, 5.00, 0.50, 4},
+	{"kmeans", ClassAnalytics, 0.98, 0.08, 1.00, 6},
+	{"APR", ClassAnalytics, 0.93, 0.35, 0.90, 5},
+	{"BFS", ClassGraph, 0.85, 2.20, 0.62, 5},
+	{"Connected", ClassGraph, 0.88, 1.80, 0.66, 5},
+	{"TriangleCount", ClassGraph, 0.93, 0.50, 0.88, 6},
+	{"SSSP", ClassGraph, 0.82, 1.40, 0.70, 4},
+	{"Betweenness", ClassGraph, 0.88, 0.90, 0.78, 5},
+	{"PageRank", ClassSearch, 0.94, 0.35, 0.80, 6},
+	{"X264", ClassMedia, 0.92, 0.20, 0.95, 4},
+	{"facesim", ClassMedia, 0.94, 0.70, 0.85, 6},
+	{"ferret", ClassMedia, 0.96, 0.30, 0.92, 5},
+}
+
+// buildProfile realizes a spec on a platform: BaseRate is normalized so
+// the uncapped compute roofline is 1 beat/s, and MemBytesPerBeat is set
+// so the uncapped memory roofline sits at 1/memBoundness of it.
+func buildProfile(cfg simhw.Config, s appSpec) *Profile {
+	maxCores := s.maxCores
+	if maxCores <= 0 || maxCores > cfg.CoresPerSocket {
+		maxCores = cfg.CoresPerSocket
+	}
+	p := &Profile{
+		Name:         s.name,
+		Class:        s.class,
+		ParallelFrac: s.parallelFrac,
+		CPUActivity:  s.activity,
+		MaxCores:     maxCores,
+	}
+	p.BaseRate = 1 / (cfg.FreqMaxGHz * p.Speedup(p.MaxCores))
+	if s.memBoundness > 0 {
+		// Uncapped compute roofline is 1 beat/s by construction, so the
+		// memory roofline at m = MemMaxWatts must be 1/memBoundness.
+		p.MemBytesPerBeat = cfg.MemBandwidthGBs(cfg.MemMaxWatts) * s.memBoundness
+	}
+	return p
+}
+
+// Library holds the application profiles realized for one platform.
+type Library struct {
+	cfg      simhw.Config
+	byName   map[string]*Profile
+	ordered  []*Profile
+	specsMap map[string]appSpec
+}
+
+// NewLibrary realizes the paper's twelve applications on cfg.
+func NewLibrary(cfg simhw.Config) (*Library, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	l := &Library{
+		cfg:      cfg,
+		byName:   make(map[string]*Profile, len(specs)),
+		specsMap: make(map[string]appSpec, len(specs)),
+	}
+	for _, s := range specs {
+		p := buildProfile(cfg, s)
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		l.byName[p.Name] = p
+		l.ordered = append(l.ordered, p)
+		l.specsMap[p.Name] = s
+	}
+	return l, nil
+}
+
+// Config returns the platform the library was realized on.
+func (l *Library) Config() simhw.Config { return l.cfg }
+
+// App returns a named application profile.
+func (l *Library) App(name string) (*Profile, error) {
+	p, ok := l.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown application %q", name)
+	}
+	return p, nil
+}
+
+// MustApp is App for names known at compile time; it panics on a typo.
+func (l *Library) MustApp(name string) *Profile {
+	p, err := l.App(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Apps returns all application profiles in declaration order.
+func (l *Library) Apps() []*Profile {
+	out := make([]*Profile, len(l.ordered))
+	copy(out, l.ordered)
+	return out
+}
+
+// Names returns the application names in sorted order.
+func (l *Library) Names() []string {
+	out := make([]string, 0, len(l.byName))
+	for n := range l.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WithPhases returns a copy of a named profile carrying the given phase
+// schedule, for experiments on the paper's event E4 (dynamic changes
+// within an application).
+func (l *Library) WithPhases(name string, phases []Phase) (*Profile, error) {
+	p, err := l.App(name)
+	if err != nil {
+		return nil, err
+	}
+	out := *p
+	out.Phases = append([]Phase(nil), phases...)
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Mix is one of Table II's two-application co-locations.
+type Mix struct {
+	// ID is the mix number (1-15).
+	ID int
+	// App1 and App2 are the co-located application names.
+	App1, App2 string
+}
+
+// String renders the mix as Table II's row.
+func (m Mix) String() string { return fmt.Sprintf("mix-%d: %s + %s", m.ID, m.App1, m.App2) }
+
+// Mixes returns Table II: the fifteen randomly-chosen application pairs
+// the paper evaluates.
+func Mixes() []Mix {
+	return []Mix{
+		{1, "STREAM", "kmeans"},
+		{2, "Connected", "kmeans"},
+		{3, "STREAM", "BFS"},
+		{4, "facesim", "BFS"},
+		{5, "ferret", "Betweenness"},
+		{6, "ferret", "PageRank"},
+		{7, "facesim", "Betweenness"},
+		{8, "X264", "TriangleCount"},
+		{9, "APR", "Connected"},
+		{10, "PageRank", "kmeans"},
+		{11, "ferret", "SSSP"},
+		{12, "facesim", "X264"},
+		{13, "APR", "kmeans"},
+		{14, "X264", "SSSP"},
+		{15, "APR", "X264"},
+	}
+}
+
+// MixProfiles resolves a mix's two applications against the library.
+func (l *Library) MixProfiles(m Mix) (*Profile, *Profile, error) {
+	a, err := l.App(m.App1)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := l.App(m.App2)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, b, nil
+}

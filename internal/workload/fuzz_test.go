@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"powerstruggle/internal/simhw"
+)
+
+// FuzzKnobModel throws arbitrary knob values at the application model:
+// clamping must hold everything inside the hardware envelope and the
+// model must stay finite.
+func FuzzKnobModel(f *testing.F) {
+	f.Add(2.0, 6, 10.0)
+	f.Add(-1.0, 0, -3.0)
+	f.Add(1e308, 1<<30, 1e308)
+	f.Add(math.Pi, 3, 5.5)
+	cfg := simhw.DefaultConfig()
+	lib, err := NewLibrary(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	apps := lib.Apps()
+	f.Fuzz(func(t *testing.T, freq float64, cores int, mem float64) {
+		if math.IsNaN(freq) || math.IsNaN(mem) {
+			return
+		}
+		k := Knobs{FreqGHz: freq, Cores: cores, MemWatts: mem}
+		p := apps[(abs(cores))%len(apps)]
+		c := k.Clamp(cfg, p.MaxCores)
+		if c.FreqGHz < cfg.FreqMinGHz || c.FreqGHz > cfg.FreqMaxGHz {
+			t.Fatalf("clamped frequency %g outside the ladder", c.FreqGHz)
+		}
+		if c.Cores < 1 || c.Cores > p.MaxCores {
+			t.Fatalf("clamped cores %d outside [1, %d]", c.Cores, p.MaxCores)
+		}
+		if c.MemWatts < cfg.MemMinWatts || c.MemWatts > cfg.MemMaxWatts {
+			t.Fatalf("clamped DRAM limit %g outside the range", c.MemWatts)
+		}
+		rate := p.Rate(cfg, k)
+		power := p.Power(cfg, k)
+		if math.IsNaN(rate) || math.IsInf(rate, 0) || rate < 0 {
+			t.Fatalf("rate %g at %v", rate, k)
+		}
+		if math.IsNaN(power) || power < 0 || power > cfg.MaxDynamicWatts()+1 {
+			t.Fatalf("power %g at %v", power, k)
+		}
+	})
+}
+
+func abs(v int) int {
+	if v < 0 {
+		if v == math.MinInt {
+			return math.MaxInt
+		}
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"powerstruggle/internal/simhw"
+)
+
+// HeteroKnobs extends Knobs with per-core DVFS heterogeneity: Boost of
+// the application's cores run at BoostFreqGHz while the rest stay at
+// Base.FreqGHz. The paper's platform supports per-core DVFS (Section
+// II-B); its prototype enforced one frequency per application, which
+// this generalizes — the serial fraction of the application rides the
+// fastest core, so boosting one core buys Amdahl-limited applications
+// disproportionate performance per watt.
+type HeteroKnobs struct {
+	// Base is the uniform setting for the non-boosted cores (and the
+	// DRAM limit).
+	Base Knobs
+	// Boost is how many cores run at BoostFreqGHz (0 disables
+	// heterogeneity; Boost <= Base.Cores).
+	Boost int
+	// BoostFreqGHz is the boosted cores' frequency (clamped to the
+	// ladder, at or above Base.FreqGHz).
+	BoostFreqGHz float64
+}
+
+// clampHetero snaps the heterogeneous setting onto the hardware.
+func (hk HeteroKnobs) clamp(cfg simhw.Config, maxCores int) HeteroKnobs {
+	out := hk
+	out.Base = hk.Base.Clamp(cfg, maxCores)
+	if out.Boost < 0 {
+		out.Boost = 0
+	}
+	if out.Boost > out.Base.Cores {
+		out.Boost = out.Base.Cores
+	}
+	out.BoostFreqGHz = cfg.ClampFreq(hk.BoostFreqGHz)
+	if out.BoostFreqGHz < out.Base.FreqGHz {
+		out.BoostFreqGHz = out.Base.FreqGHz
+	}
+	return out
+}
+
+// RateHetero returns the delivered heartbeat rate under per-core DVFS
+// heterogeneity. The compute roofline generalizes Amdahl's law to
+// heterogeneous cores: the serial fraction runs on the fastest core and
+// the parallel fraction on the aggregate frequency.
+func (p *Profile) RateHetero(cfg simhw.Config, hk HeteroKnobs) float64 {
+	hk = hk.clamp(cfg, p.MaxCores)
+	k := hk.Base
+	fastest := k.FreqGHz
+	aggregate := float64(k.Cores) * k.FreqGHz
+	if hk.Boost > 0 {
+		fastest = hk.BoostFreqGHz
+		aggregate = float64(hk.Boost)*hk.BoostFreqGHz + float64(k.Cores-hk.Boost)*k.FreqGHz
+	}
+	// Time per beat: serial on the fastest core, parallel on the sum.
+	serial := (1 - p.ParallelFrac) / fastest
+	parallel := p.ParallelFrac / aggregate
+	rc := p.BaseRate / (serial + parallel)
+	rm := p.MemRate(cfg, k.MemWatts)
+	return smoothMin(rc, rm)
+}
+
+// PowerHetero returns the dynamic draw under per-core heterogeneity:
+// each boosted core pays its own switching power, and the DRAM draw
+// follows the delivered rate exactly as in the uniform model.
+func (p *Profile) PowerHetero(cfg simhw.Config, hk HeteroKnobs) float64 {
+	hk = hk.clamp(cfg, p.MaxCores)
+	k := hk.Base
+	basePerCore := cfg.CoreWatts(k.FreqGHz, p.CPUActivity)
+	boostPerCore := cfg.CoreWatts(hk.BoostFreqGHz, p.CPUActivity)
+	cores := float64(k.Cores-hk.Boost)*basePerCore + float64(hk.Boost)*boostPerCore
+
+	// DRAM draw at the heterogeneous delivered rate.
+	used := 0.0
+	if p.MemBytesPerBeat > 0 {
+		used = p.RateHetero(cfg, hk) * p.MemBytesPerBeat
+		if capGB := cfg.MemBandwidthGBs(k.MemWatts); used > capGB {
+			used = capGB
+		}
+	}
+	draw := cfg.MemMinWatts + (used/cfg.MemPeakGBs)*(cfg.MemMaxWatts-cfg.MemMinWatts)
+	if draw > k.MemWatts {
+		draw = k.MemWatts
+	}
+	return cores + draw
+}
+
+// HeteroCurve builds the utility curve over the heterogeneous knob
+// space: every uniform setting plus single-step boost variants (one or
+// two cores raised above the pack). It strictly contains the uniform
+// space, so it dominates OptimalCurve; the gap is what per-core DVFS is
+// worth (the paper's future-work item on finer-grained power control).
+func (p *Profile) HeteroCurve(cfg simhw.Config) *Curve {
+	ladder := cfg.FreqLadder()
+	uniform := EnumKnobs(cfg, p.MaxCores)
+	raw := make([]Point, 0, len(uniform)*3)
+	nc := p.NoCapRate(cfg)
+	if nc <= 0 {
+		return &Curve{}
+	}
+	add := func(hk HeteroKnobs) {
+		raw = append(raw, Point{
+			Knobs:    hk.Base,
+			PowerW:   p.PowerHetero(cfg, hk),
+			Perf:     p.RateHetero(cfg, hk) / nc,
+			DutyFrac: 1,
+		})
+	}
+	for _, k := range uniform {
+		add(HeteroKnobs{Base: k})
+		for _, bf := range ladder {
+			if bf <= k.FreqGHz {
+				continue
+			}
+			for _, boost := range []int{1, 2} {
+				if boost > k.Cores {
+					break
+				}
+				add(HeteroKnobs{Base: k, Boost: boost, BoostFreqGHz: bf})
+			}
+		}
+	}
+	return withDutyRays(pareto(raw))
+}

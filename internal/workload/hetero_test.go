@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"powerstruggle/internal/simhw"
+)
+
+func TestHeteroReducesToUniform(t *testing.T) {
+	cfg, lib := testEnv(t)
+	rng := rand.New(rand.NewSource(11))
+	for _, p := range lib.Apps() {
+		for trial := 0; trial < 100; trial++ {
+			k := randomKnobs(cfg, rng, p.MaxCores)
+			// Boost = 0 and boost-at-base-frequency are both uniform.
+			for _, hk := range []HeteroKnobs{
+				{Base: k},
+				{Base: k, Boost: 1, BoostFreqGHz: k.FreqGHz},
+			} {
+				if got, want := p.RateHetero(cfg, hk), p.Rate(cfg, k); math.Abs(got-want) > 1e-9*want {
+					t.Fatalf("%s: hetero rate %g vs uniform %g at %v", p.Name, got, want, k)
+				}
+				if got, want := p.PowerHetero(cfg, hk), p.Power(cfg, k); math.Abs(got-want) > 1e-9*want {
+					t.Fatalf("%s: hetero power %g vs uniform %g at %v", p.Name, got, want, k)
+				}
+			}
+		}
+	}
+}
+
+func TestBoostHelpsAndCosts(t *testing.T) {
+	cfg, lib := testEnv(t)
+	// SSSP has the lowest parallel fraction: boosting one core for its
+	// serial phase must raise both rate and power.
+	p := lib.MustApp("SSSP")
+	base := Knobs{FreqGHz: 1.4, Cores: p.MaxCores, MemWatts: 10}
+	hk := HeteroKnobs{Base: base, Boost: 1, BoostFreqGHz: 2.0}
+	if got, plain := p.RateHetero(cfg, hk), p.Rate(cfg, base); got <= plain {
+		t.Errorf("boost did not raise SSSP's rate: %g vs %g", got, plain)
+	}
+	if got, plain := p.PowerHetero(cfg, hk), p.Power(cfg, base); got <= plain {
+		t.Errorf("boost did not raise power: %g vs %g", got, plain)
+	}
+}
+
+func TestHeteroCurveDominatesUniform(t *testing.T) {
+	cfg, lib := testEnv(t)
+	for _, name := range []string{"SSSP", "BFS", "kmeans"} {
+		p := lib.MustApp(name)
+		uni := OptimalCurve(cfg, p)
+		het := p.HeteroCurve(cfg)
+		for w := 3.0; w <= 26; w += 1 {
+			u, h := uni.PerfAt(w), het.PerfAt(w)
+			if h+1e-9 < u {
+				t.Fatalf("%s: hetero curve below uniform at %g W (%g < %g)", name, w, h, u)
+			}
+		}
+	}
+}
+
+func TestHeteroGainLargestForSerialApps(t *testing.T) {
+	cfg, lib := testEnv(t)
+	gain := func(name string) float64 {
+		p := lib.MustApp(name)
+		uni := OptimalCurve(cfg, p)
+		het := p.HeteroCurve(cfg)
+		best := 0.0
+		for w := 5.0; w <= 20; w += 1 {
+			if u := uni.PerfAt(w); u > 0 {
+				if g := het.PerfAt(w)/u - 1; g > best {
+					best = g
+				}
+			}
+		}
+		return best
+	}
+	// SSSP (p=0.82) must gain more from a boosted serial core than
+	// kmeans (p=0.98).
+	if gSSSP, gKM := gain("SSSP"), gain("kmeans"); gSSSP <= gKM {
+		t.Errorf("per-core DVFS gain: SSSP %.3f vs kmeans %.3f, want SSSP ahead", gSSSP, gKM)
+	}
+}
+
+func TestHeteroClamp(t *testing.T) {
+	cfg := simhw.DefaultConfig()
+	lib, _ := NewLibrary(cfg)
+	p := lib.MustApp("X264")
+	hk := HeteroKnobs{
+		Base:         Knobs{FreqGHz: 1.5, Cores: 99, MemWatts: 50},
+		Boost:        99,
+		BoostFreqGHz: 0.1,
+	}
+	// Clamping happens inside the model calls: they must not panic and
+	// must behave like a sane setting.
+	rate := p.RateHetero(cfg, hk)
+	if rate <= 0 {
+		t.Fatalf("clamped hetero rate %g", rate)
+	}
+	power := p.PowerHetero(cfg, hk)
+	if power <= 0 || power > cfg.MaxDynamicWatts() {
+		t.Fatalf("clamped hetero power %g", power)
+	}
+}

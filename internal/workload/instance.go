@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"fmt"
+
+	"powerstruggle/internal/simhw"
+)
+
+// Instance is one running copy of an application in a time-stepped
+// simulation: it tracks busy time (for phase selection), delivered
+// heartbeats, and optionally a finite amount of work after which the
+// application departs (the paper's event E3).
+type Instance struct {
+	// Profile is the application model. Phase-bearing profiles are
+	// resolved per step through PhaseAt.
+	Profile *Profile
+	// TotalBeats is the finite work of the instance in heartbeats; 0
+	// means the instance runs forever.
+	TotalBeats float64
+
+	busySeconds float64
+	beats       float64
+	done        bool
+}
+
+// NewInstance starts an instance of profile with totalBeats of work (0
+// for endless).
+func NewInstance(p *Profile, totalBeats float64) (*Instance, error) {
+	if p == nil {
+		return nil, fmt.Errorf("workload: instance needs a profile")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if totalBeats < 0 {
+		return nil, fmt.Errorf("workload: %s: negative work %g", p.Name, totalBeats)
+	}
+	return &Instance{Profile: p, TotalBeats: totalBeats}, nil
+}
+
+// Effective returns the phase-resolved profile in force right now.
+func (in *Instance) Effective() *Profile {
+	return in.Profile.PhaseAt(in.busySeconds)
+}
+
+// Advance runs the instance for dt seconds at knob setting k on cfg
+// (running=false models a suspended task: time passes, no progress, no
+// busy time). It returns the heartbeats delivered during the step.
+func (in *Instance) Advance(cfg simhw.Config, k Knobs, running bool, dt float64) float64 {
+	if dt <= 0 || in.done || !running {
+		return 0
+	}
+	eff := in.Effective()
+	rate := eff.Rate(cfg, k)
+	delivered := rate * dt
+	if in.TotalBeats > 0 && in.beats+delivered >= in.TotalBeats {
+		delivered = in.TotalBeats - in.beats
+		in.done = true
+	}
+	in.beats += delivered
+	in.busySeconds += dt
+	return delivered
+}
+
+// Beats returns the heartbeats delivered so far.
+func (in *Instance) Beats() float64 { return in.beats }
+
+// BusySeconds returns accumulated running (non-suspended) time.
+func (in *Instance) BusySeconds() float64 { return in.busySeconds }
+
+// Done reports whether a finite instance has completed its work.
+func (in *Instance) Done() bool { return in.done }
+
+// Remaining returns the heartbeats left for a finite instance, or -1 for
+// an endless one.
+func (in *Instance) Remaining() float64 {
+	if in.TotalBeats == 0 {
+		return -1
+	}
+	r := in.TotalBeats - in.beats
+	if r < 0 {
+		return 0
+	}
+	return r
+}

@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"powerstruggle/internal/simhw"
+)
+
+// ProfileSpec is the JSON-facing description of a custom application:
+// the same compact characterization the built-in library uses, so users
+// model their own services without touching the roofline math.
+type ProfileSpec struct {
+	// Name identifies the application.
+	Name string `json:"name"`
+	// Class is an optional workload family tag.
+	Class string `json:"class,omitempty"`
+	// ParallelFrac is the Amdahl parallel fraction in [0, 1).
+	ParallelFrac float64 `json:"parallelFrac"`
+	// MemBoundness is the compute-to-memory roofline ratio at the
+	// uncapped point: >1 memory-bound, <<1 compute-bound.
+	MemBoundness float64 `json:"memBoundness"`
+	// Activity is the core switching-activity factor in (0, 1].
+	Activity float64 `json:"activity"`
+	// MaxCores is the maximum useful parallelism (0: one socket's
+	// cores).
+	MaxCores int `json:"maxCores,omitempty"`
+}
+
+// buildSpecProfile realizes a ProfileSpec exactly as the built-in
+// library realizes its specs.
+func buildSpecProfile(cfg simhw.Config, s ProfileSpec) (*Profile, error) {
+	if s.Name == "" {
+		return nil, fmt.Errorf("workload: profile spec needs a name")
+	}
+	if s.MemBoundness < 0 {
+		return nil, fmt.Errorf("workload: %s: memBoundness must be non-negative", s.Name)
+	}
+	class := Class(s.Class)
+	if class == "" {
+		class = ClassAnalytics
+	}
+	p := buildProfile(cfg, appSpec{
+		name:         s.Name,
+		class:        class,
+		parallelFrac: s.ParallelFrac,
+		memBoundness: s.MemBoundness,
+		activity:     s.Activity,
+		maxCores:     s.MaxCores,
+	})
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// LoadProfiles parses a JSON array of ProfileSpec and realizes each on
+// cfg. It is the file format psmediate's -profiles flag accepts.
+func LoadProfiles(cfg simhw.Config, r io.Reader) ([]*Profile, error) {
+	var specs []ProfileSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&specs); err != nil {
+		return nil, fmt.Errorf("workload: parsing profile specs: %w", err)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("workload: no profile specs in input")
+	}
+	seen := make(map[string]bool, len(specs))
+	out := make([]*Profile, 0, len(specs))
+	for _, s := range specs {
+		if seen[s.Name] {
+			return nil, fmt.Errorf("workload: duplicate profile %q", s.Name)
+		}
+		seen[s.Name] = true
+		p, err := buildSpecProfile(cfg, s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+// Package workload models the applications the paper co-locates:
+// analytic performance/power response surfaces over the three
+// intra-application knobs (per-core DVFS f, core count n, DRAM power m),
+// the twelve benchmark applications of the evaluation, and Table II's
+// fifteen two-application mixes.
+//
+// The model is a smoothed roofline: an application has a compute rate
+// that scales with frequency and (via Amdahl's law) core count, and a
+// memory rate fixed by the bandwidth its DRAM power limit buys; delivered
+// throughput is a smooth minimum of the two. Power follows the simhw
+// platform model scaled by the application's core activity factor and its
+// actual (demand-limited) DRAM draw. Memory-bound applications therefore
+// buy performance with DRAM watts and compute-bound ones with core watts
+// — exactly the application- and resource-level utility differences
+// (Figs. 2, 3, 9) every result in the paper flows from.
+package workload
+
+import (
+	"fmt"
+
+	"powerstruggle/internal/simhw"
+)
+
+// Knobs is one intra-application power actuation: the paper's (f, n, m)
+// triple.
+type Knobs struct {
+	// FreqGHz is the DVFS setting of the application's cores.
+	FreqGHz float64
+	// Cores is the number of un-gated cores (consolidation knob).
+	Cores int
+	// MemWatts is the DRAM RAPL limit on the application's channel.
+	MemWatts float64
+}
+
+// String renders the knob triple as the paper writes it.
+func (k Knobs) String() string {
+	return fmt.Sprintf("(f=%.1fGHz, n=%d, m=%.0fW)", k.FreqGHz, k.Cores, k.MemWatts)
+}
+
+// MaxKnobs returns the unconstrained setting on cfg for an application
+// entitled to up to maxCores cores: top frequency, all its cores, DRAM
+// uncapped.
+func MaxKnobs(cfg simhw.Config, maxCores int) Knobs {
+	if maxCores <= 0 || maxCores > cfg.CoresPerSocket {
+		maxCores = cfg.CoresPerSocket
+	}
+	return Knobs{FreqGHz: cfg.FreqMaxGHz, Cores: maxCores, MemWatts: cfg.MemMaxWatts}
+}
+
+// MinKnobs returns the lowest-power runnable setting on cfg: one core at
+// minimum frequency with the DRAM channel at its floor.
+func MinKnobs(cfg simhw.Config) Knobs {
+	return Knobs{FreqGHz: cfg.FreqMinGHz, Cores: 1, MemWatts: cfg.MemMinWatts}
+}
+
+// EnumKnobs enumerates the full discrete knob space on cfg for an
+// application entitled to up to maxCores cores: every frequency step x
+// every core count x every DRAM limit. For the paper platform this is
+// 9 x 6 x 8 = 432 settings per application.
+func EnumKnobs(cfg simhw.Config, maxCores int) []Knobs {
+	if maxCores <= 0 || maxCores > cfg.CoresPerSocket {
+		maxCores = cfg.CoresPerSocket
+	}
+	freqs := cfg.FreqLadder()
+	mems := cfg.MemSteps()
+	out := make([]Knobs, 0, len(freqs)*maxCores*len(mems))
+	for _, f := range freqs {
+		for n := 1; n <= maxCores; n++ {
+			for _, m := range mems {
+				out = append(out, Knobs{FreqGHz: f, Cores: n, MemWatts: m})
+			}
+		}
+	}
+	return out
+}
+
+// Clamp snaps the knobs onto cfg's hardware ladders and the application's
+// core entitlement.
+func (k Knobs) Clamp(cfg simhw.Config, maxCores int) Knobs {
+	if maxCores <= 0 || maxCores > cfg.CoresPerSocket {
+		maxCores = cfg.CoresPerSocket
+	}
+	out := k
+	out.FreqGHz = cfg.ClampFreq(k.FreqGHz)
+	out.MemWatts = cfg.ClampMem(k.MemWatts)
+	if out.Cores < 1 {
+		out.Cores = 1
+	}
+	if out.Cores > maxCores {
+		out.Cores = maxCores
+	}
+	return out
+}

@@ -1,0 +1,404 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"powerstruggle/internal/simhw"
+)
+
+func testEnv(t *testing.T) (simhw.Config, *Library) {
+	t.Helper()
+	cfg := simhw.DefaultConfig()
+	lib, err := NewLibrary(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, lib
+}
+
+func TestLibraryHasAllPaperApplications(t *testing.T) {
+	_, lib := testEnv(t)
+	apps := lib.Apps()
+	if len(apps) != 12 {
+		t.Fatalf("library has %d applications, want 12", len(apps))
+	}
+	for _, name := range []string{
+		"STREAM", "kmeans", "APR", "BFS", "Connected", "TriangleCount",
+		"SSSP", "Betweenness", "PageRank", "X264", "facesim", "ferret",
+	} {
+		if _, err := lib.App(name); err != nil {
+			t.Errorf("missing application %s: %v", name, err)
+		}
+	}
+	if _, err := lib.App("nonexistent"); err == nil {
+		t.Error("lookup of unknown application succeeded")
+	}
+}
+
+func TestMixesMatchTableII(t *testing.T) {
+	_, lib := testEnv(t)
+	mixes := Mixes()
+	if len(mixes) != 15 {
+		t.Fatalf("%d mixes, want 15", len(mixes))
+	}
+	for i, m := range mixes {
+		if m.ID != i+1 {
+			t.Errorf("mix %d has ID %d", i, m.ID)
+		}
+		if _, _, err := lib.MixProfiles(m); err != nil {
+			t.Errorf("mix %d: %v", m.ID, err)
+		}
+	}
+	// Spot-check the paper's named case studies.
+	if mixes[0].App1 != "STREAM" || mixes[0].App2 != "kmeans" {
+		t.Errorf("mix-1 = %v, want STREAM + kmeans", mixes[0])
+	}
+	if mixes[9].App1 != "PageRank" || mixes[9].App2 != "kmeans" {
+		t.Errorf("mix-10 = %v, want PageRank + kmeans", mixes[9])
+	}
+	if mixes[13].App1 != "X264" || mixes[13].App2 != "SSSP" {
+		t.Errorf("mix-14 = %v, want X264 + SSSP", mixes[13])
+	}
+}
+
+func TestSpeedupProperties(t *testing.T) {
+	_, lib := testEnv(t)
+	for _, p := range lib.Apps() {
+		if got := p.Speedup(1); got != 1 {
+			t.Errorf("%s: Speedup(1) = %g, want 1", p.Name, got)
+		}
+		prev := 1.0
+		for n := 2; n <= p.MaxCores; n++ {
+			s := p.Speedup(n)
+			if s <= prev {
+				t.Errorf("%s: speedup not increasing at %d cores", p.Name, n)
+			}
+			if s > float64(n) {
+				t.Errorf("%s: superlinear speedup %g on %d cores", p.Name, s, n)
+			}
+			prev = s
+		}
+	}
+}
+
+// randomKnobs draws a uniform random valid knob setting.
+func randomKnobs(cfg simhw.Config, rng *rand.Rand, maxCores int) Knobs {
+	ladder := cfg.FreqLadder()
+	mems := cfg.MemSteps()
+	return Knobs{
+		FreqGHz:  ladder[rng.Intn(len(ladder))],
+		Cores:    1 + rng.Intn(maxCores),
+		MemWatts: mems[rng.Intn(len(mems))],
+	}
+}
+
+func TestRateMonotoneInEachKnob(t *testing.T) {
+	cfg, lib := testEnv(t)
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range lib.Apps() {
+		for trial := 0; trial < 200; trial++ {
+			k := randomKnobs(cfg, rng, p.MaxCores)
+			base := p.Rate(cfg, k)
+			up := k
+			up.FreqGHz = cfg.ClampFreq(k.FreqGHz + cfg.FreqStepGHz)
+			if r := p.Rate(cfg, up); r+1e-12 < base {
+				t.Fatalf("%s: rate fell raising f at %v: %g -> %g", p.Name, k, base, r)
+			}
+			up = k
+			if up.Cores < p.MaxCores {
+				up.Cores++
+				if r := p.Rate(cfg, up); r+1e-12 < base {
+					t.Fatalf("%s: rate fell adding a core at %v", p.Name, k)
+				}
+			}
+			up = k
+			up.MemWatts = cfg.ClampMem(k.MemWatts + cfg.MemStepWatts)
+			if r := p.Rate(cfg, up); r+1e-12 < base {
+				t.Fatalf("%s: rate fell raising m at %v", p.Name, k)
+			}
+		}
+	}
+}
+
+func TestPowerProperties(t *testing.T) {
+	cfg, lib := testEnv(t)
+	rng := rand.New(rand.NewSource(2))
+	for _, p := range lib.Apps() {
+		nocap := p.NoCapRate(cfg)
+		if nocap <= 0 {
+			t.Fatalf("%s: non-positive uncapped rate", p.Name)
+		}
+		for trial := 0; trial < 200; trial++ {
+			k := randomKnobs(cfg, rng, p.MaxCores)
+			w := p.Power(cfg, k)
+			if w <= 0 {
+				t.Fatalf("%s: non-positive power at %v", p.Name, k)
+			}
+			if draw := p.MemDrawWatts(cfg, k); draw > k.MemWatts+1e-9 || draw < cfg.MemMinWatts-1e-9 {
+				t.Fatalf("%s: DRAM draw %g outside [floor, limit %g]", p.Name, draw, k.MemWatts)
+			}
+			if nr := p.NormRate(cfg, k); nr > 1+1e-9 {
+				t.Fatalf("%s: normalized rate %g exceeds 1 at %v", p.Name, nr, k)
+			}
+			if w > p.NoCapPower(cfg)+1e-9 {
+				t.Fatalf("%s: power %g at %v exceeds uncapped draw %g", p.Name, w, k, p.NoCapPower(cfg))
+			}
+		}
+	}
+}
+
+func TestUncappedDrawsMatchPaperScale(t *testing.T) {
+	cfg, lib := testEnv(t)
+	// Per-application uncapped dynamic draws sit near the paper's
+	// ~20 W, and a two-application co-location lands near 110 W.
+	for _, p := range lib.Apps() {
+		w := p.NoCapPower(cfg)
+		if w < 12 || w > 30 {
+			t.Errorf("%s: uncapped draw %g W outside the plausible 12-30 W band", p.Name, w)
+		}
+	}
+	var total float64
+	n := 0
+	for _, m := range Mixes() {
+		a, b, err := lib.MixProfiles(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += cfg.ServerPowerWatts([]float64{a.NoCapPower(cfg), b.NoCapPower(cfg)})
+		n++
+	}
+	avg := total / float64(n)
+	if avg < 100 || avg > 125 {
+		t.Errorf("average uncapped co-located server draw %g W, want near the paper's 110 W", avg)
+	}
+}
+
+func TestClassBoundednessShapes(t *testing.T) {
+	cfg, lib := testEnv(t)
+	// STREAM must be insensitive to frequency and sensitive to DRAM
+	// power; kmeans the opposite — the asymmetry every result needs.
+	stream := lib.MustApp("STREAM")
+	kmeans := lib.MustApp("kmeans")
+	base := Knobs{FreqGHz: 1.6, Cores: 3, MemWatts: 6}
+	fUp := base
+	fUp.FreqGHz = 2.0
+	mUp := base
+	mUp.MemWatts = 10
+
+	sF := stream.Rate(cfg, fUp)/stream.Rate(cfg, base) - 1
+	sM := stream.Rate(cfg, mUp)/stream.Rate(cfg, base) - 1
+	if sM < 4*sF {
+		t.Errorf("STREAM: DRAM gain %.3f not dominant over frequency gain %.3f", sM, sF)
+	}
+	kF := kmeans.Rate(cfg, fUp)/kmeans.Rate(cfg, base) - 1
+	kM := kmeans.Rate(cfg, mUp)/kmeans.Rate(cfg, base) - 1
+	if kF < 4*kM {
+		t.Errorf("kmeans: frequency gain %.3f not dominant over DRAM gain %.3f", kF, kM)
+	}
+}
+
+func TestPhases(t *testing.T) {
+	_, lib := testEnv(t)
+	p, err := lib.WithPhases("X264", []Phase{
+		{Seconds: 2, MemScale: 1, ActivityScale: 1},
+		{Seconds: 3, MemScale: 4, ActivityScale: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff := p.PhaseAt(1); eff.MemBytesPerBeat != p.MemBytesPerBeat {
+		t.Error("phase 0 altered memory intensity")
+	}
+	eff := p.PhaseAt(3)
+	if math.Abs(eff.MemBytesPerBeat-4*p.MemBytesPerBeat) > 1e-12 {
+		t.Errorf("phase 1 memory scale: got %g, want %g", eff.MemBytesPerBeat, 4*p.MemBytesPerBeat)
+	}
+	if math.Abs(eff.CPUActivity-0.5*p.CPUActivity) > 1e-12 {
+		t.Errorf("phase 1 activity scale: got %g", eff.CPUActivity)
+	}
+	// The schedule cycles.
+	if eff := p.PhaseAt(5.5); eff.MemBytesPerBeat != p.MemBytesPerBeat {
+		t.Error("phase schedule did not cycle back to phase 0")
+	}
+	// Phase-free profiles return themselves.
+	base := lib.MustApp("kmeans")
+	if base.PhaseAt(100) != base {
+		t.Error("phase-free profile did not return itself")
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	_, lib := testEnv(t)
+	good := *lib.MustApp("kmeans")
+	bad := good
+	bad.BaseRate = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero BaseRate accepted")
+	}
+	bad = good
+	bad.ParallelFrac = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("ParallelFrac=1 accepted")
+	}
+	bad = good
+	bad.CPUActivity = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero activity accepted")
+	}
+	bad = good
+	bad.MaxCores = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero MaxCores accepted")
+	}
+	bad = good
+	bad.Phases = []Phase{{Seconds: 0, MemScale: 1, ActivityScale: 1}}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero-length phase accepted")
+	}
+}
+
+func TestQuickNormRateBounded(t *testing.T) {
+	cfg, lib := testEnv(t)
+	apps := lib.Apps()
+	prop := func(app, fi, ni, mi uint8) bool {
+		p := apps[int(app)%len(apps)]
+		ladder := cfg.FreqLadder()
+		mems := cfg.MemSteps()
+		k := Knobs{
+			FreqGHz:  ladder[int(fi)%len(ladder)],
+			Cores:    1 + int(ni)%p.MaxCores,
+			MemWatts: mems[int(mi)%len(mems)],
+		}
+		nr := p.NormRate(cfg, k)
+		return nr >= 0 && nr <= 1+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstanceLifecycle(t *testing.T) {
+	cfg, lib := testEnv(t)
+	p := lib.MustApp("kmeans")
+	if _, err := NewInstance(nil, 0); err == nil {
+		t.Error("nil-profile instance accepted")
+	}
+	if _, err := NewInstance(p, -1); err == nil {
+		t.Error("negative work accepted")
+	}
+	rate := p.NoCapRate(cfg)
+	inst, err := NewInstance(p, rate*2) // two seconds of work at full tilt
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := p.NoCapKnobs(cfg)
+	got := inst.Advance(cfg, k, true, 1)
+	if math.Abs(got-rate) > 1e-9 {
+		t.Errorf("1 s advance delivered %g beats, want %g", got, rate)
+	}
+	if inst.Done() {
+		t.Fatal("done after half the work")
+	}
+	// Suspended time makes no progress.
+	if got := inst.Advance(cfg, k, false, 10); got != 0 {
+		t.Errorf("suspended advance delivered %g beats", got)
+	}
+	if inst.BusySeconds() != 1 {
+		t.Errorf("busy seconds %g, want 1 (suspension excluded)", inst.BusySeconds())
+	}
+	// Finish; delivery is capped at remaining work.
+	got = inst.Advance(cfg, k, true, 10)
+	if math.Abs(got-rate) > 1e-9 {
+		t.Errorf("final advance delivered %g, want %g (remaining)", got, rate)
+	}
+	if !inst.Done() {
+		t.Fatal("not done after delivering all work")
+	}
+	if r := inst.Remaining(); r != 0 {
+		t.Errorf("remaining = %g, want 0", r)
+	}
+	endless, _ := NewInstance(p, 0)
+	if endless.Remaining() != -1 {
+		t.Error("endless instance should report -1 remaining")
+	}
+}
+
+// TestPaperSectionIIArithmetic checks the worked example the paper opens
+// with: one application alone pushes the server to ~90 W (P_idle + P_cm
+// + ~20 W dynamic), and a co-located pair lands near 110 W.
+func TestPaperSectionIIArithmetic(t *testing.T) {
+	cfg, lib := testEnv(t)
+	var soloLo, soloHi = math.Inf(1), math.Inf(-1)
+	for _, p := range lib.Apps() {
+		solo := cfg.ServerPowerWatts([]float64{p.NoCapPower(cfg)})
+		soloLo = math.Min(soloLo, solo)
+		soloHi = math.Max(soloHi, solo)
+	}
+	if soloLo < 80 || soloHi > 102 {
+		t.Errorf("solo server draws span [%.1f, %.1f] W, want near the paper's 90 W", soloLo, soloHi)
+	}
+	var pairSum float64
+	for _, m := range Mixes() {
+		a, b, err := lib.MixProfiles(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairSum += cfg.ServerPowerWatts([]float64{a.NoCapPower(cfg), b.NoCapPower(cfg)})
+	}
+	if avg := pairSum / float64(len(Mixes())); avg < 100 || avg > 122 {
+		t.Errorf("average pair draw %.1f W, want near the paper's 110 W", avg)
+	}
+}
+
+func TestLoadProfilesFromJSON(t *testing.T) {
+	cfg, _ := testEnv(t)
+	const body = `[
+	  {"name": "webapp", "parallelFrac": 0.9, "memBoundness": 0.6, "activity": 0.8, "maxCores": 4},
+	  {"name": "batch", "class": "analytics", "parallelFrac": 0.97, "memBoundness": 0.1, "activity": 1.0}
+	]`
+	profs, err := LoadProfiles(cfg, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profs) != 2 {
+		t.Fatalf("%d profiles", len(profs))
+	}
+	if profs[0].Name != "webapp" || profs[0].MaxCores != 4 {
+		t.Errorf("webapp: %+v", profs[0])
+	}
+	if profs[1].MaxCores != cfg.CoresPerSocket {
+		t.Errorf("batch defaulted MaxCores to %d", profs[1].MaxCores)
+	}
+	// Loaded profiles behave like built-ins.
+	if rate := profs[0].NoCapRate(cfg); rate <= 0 {
+		t.Errorf("webapp uncapped rate %g", rate)
+	}
+	if c := OptimalCurve(cfg, profs[0]); c.Len() == 0 {
+		t.Error("webapp has an empty utility curve")
+	}
+}
+
+func TestLoadProfilesRejectsBadInput(t *testing.T) {
+	cfg, _ := testEnv(t)
+	cases := map[string]string{
+		"empty-array":    `[]`,
+		"not-json":       `nope`,
+		"unknown-field":  `[{"name":"x","parallelFrac":0.5,"memBoundness":1,"activity":0.5,"bogus":1}]`,
+		"no-name":        `[{"parallelFrac":0.5,"memBoundness":1,"activity":0.5}]`,
+		"bad-parallel":   `[{"name":"x","parallelFrac":1.5,"memBoundness":1,"activity":0.5}]`,
+		"bad-activity":   `[{"name":"x","parallelFrac":0.5,"memBoundness":1,"activity":0}]`,
+		"negative-bound": `[{"name":"x","parallelFrac":0.5,"memBoundness":-1,"activity":0.5}]`,
+		"duplicate":      `[{"name":"x","parallelFrac":0.5,"memBoundness":1,"activity":0.5},{"name":"x","parallelFrac":0.5,"memBoundness":1,"activity":0.5}]`,
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := LoadProfiles(cfg, strings.NewReader(body)); err == nil {
+				t.Errorf("accepted %s", name)
+			}
+		})
+	}
+}
