@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"powerstruggle/internal/daemon"
+	"powerstruggle/internal/faults"
 	"powerstruggle/internal/policy"
 )
 
@@ -45,6 +46,11 @@ func main() {
 		battery = flag.Float64("battery", 300e3, "lead-acid battery capacity in joules (0 for none)")
 		tick    = flag.Duration("tick", 50*time.Millisecond, "simulation tick")
 		speed   = flag.Float64("speed", 1, "simulated seconds per wall-clock second")
+
+		faultSeed     = flag.Int64("fault-seed", 1, "fault-injection random seed")
+		faultKnobFail = flag.Float64("fault-knob-fail", 0, "probability a knob/suspend write fails transiently")
+		faultStuck    = flag.Float64("fault-stuck-dvfs", 0, "probability a DVFS transition silently sticks")
+		faultBeatDrop = flag.Float64("fault-beat-drop", 0, "probability a heartbeat batch is lost")
 	)
 	flag.Parse()
 
@@ -52,8 +58,17 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown policy %q", *polName)
 	}
+	var fcfg *faults.Config
+	if *faultKnobFail > 0 || *faultStuck > 0 || *faultBeatDrop > 0 {
+		fcfg = &faults.Config{
+			Seed:           *faultSeed,
+			KnobWriteFailP: *faultKnobFail,
+			StuckDVFSP:     *faultStuck,
+			BeatDropP:      *faultBeatDrop,
+		}
+	}
 	d, err := daemon.New(daemon.Config{
-		Policy: pol, InitialCapW: *capW, BatteryJ: *battery,
+		Policy: pol, InitialCapW: *capW, BatteryJ: *battery, Faults: fcfg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -71,13 +86,25 @@ func main() {
 				return
 			case <-ticker.C:
 				if err := d.Advance(tick.Seconds() * *speed); err != nil {
-					log.Fatalf("simulation: %v", err)
+					// Keep the control surface up: /healthz reports the
+					// latched error while telemetry stays queryable.
+					log.Printf("simulation halted: %v", err)
+					return
 				}
 			}
 		}
 	}()
 
-	srv := &http.Server{Addr: *listen, Handler: d.Handler()}
+	// Conservative timeouts keep one stuck or malicious client from
+	// pinning a connection (and its goroutine) forever.
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           d.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	go func() {
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)

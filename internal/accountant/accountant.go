@@ -38,6 +38,14 @@ const (
 	// became infeasible under the current cap and the mediator fell
 	// back to best-effort apportioning.
 	EvSLODegraded
+	// EvHeartbeatLoss is a robustness event: an application's delivered
+	// heartbeat total stagnated past the staleness window, so its
+	// utility measurements can no longer be trusted and the accountant
+	// degrades to fair-share apportioning.
+	EvHeartbeatLoss
+	// EvHeartbeatRecovered marks heartbeats returning after a loss;
+	// utility-aware apportioning resumes.
+	EvHeartbeatRecovered
 )
 
 // String names the event as the paper does.
@@ -53,6 +61,10 @@ func (k EventKind) String() string {
 		return "E4-phase-change"
 	case EvSLODegraded:
 		return "slo-degraded"
+	case EvHeartbeatLoss:
+		return "heartbeat-loss"
+	case EvHeartbeatRecovered:
+		return "heartbeat-recovered"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -117,6 +129,51 @@ type Config struct {
 	// re-allocation (the paper's online calibration); nil plans from
 	// the oracle model.
 	Estimator CurveEstimator
+	// HeartbeatStaleS is how long an application's delivered-beat total
+	// may stagnate before the accountant declares its telemetry lost
+	// and degrades to fair-share apportioning (utility measurements
+	// from a silent application cannot be trusted); 0 means
+	// DefaultHeartbeatStaleS. The check only runs when the coordinator
+	// has fault injection enabled — a fault-free run cannot lose beats.
+	HeartbeatStaleS float64
+	// MaxEvents bounds the in-memory event log; the oldest entries are
+	// evicted past the bound. 0 means DefaultMaxLog; negative means
+	// unbounded.
+	MaxEvents int
+	// MaxSamples bounds the recorded timeline the same way.
+	MaxSamples int
+}
+
+// Defaults for the robustness knobs.
+const (
+	// DefaultHeartbeatStaleS comfortably exceeds the ModeTime duty
+	// period (2 s), so a legitimately OFF application is never declared
+	// lost.
+	DefaultHeartbeatStaleS = 5.0
+	// DefaultMaxLog bounds the event and sample logs of a long-running
+	// daemon.
+	DefaultMaxLog = 4096
+)
+
+func (c Config) heartbeatStale() float64 {
+	if c.HeartbeatStaleS > 0 {
+		return c.HeartbeatStaleS
+	}
+	return DefaultHeartbeatStaleS
+}
+
+func (c Config) maxEvents() int {
+	if c.MaxEvents != 0 {
+		return c.MaxEvents
+	}
+	return DefaultMaxLog
+}
+
+func (c Config) maxSamples() int {
+	if c.MaxSamples != 0 {
+		return c.MaxSamples
+	}
+	return DefaultMaxLog
 }
 
 // CurveEstimator produces a utility curve for an application from
@@ -146,12 +203,23 @@ type Sim struct {
 	// resources exhausted); they enter as earlier tenants depart.
 	waiting []arrival
 
-	events  []Event
-	samples []AppSample
+	events         []Event
+	samples        []AppSample
+	eventsDropped  int
+	samplesDropped int
 
 	pendingRealloc float64 // seconds left before the next plan lands
 	reallocQueued  bool
 	lastPoll       float64
+
+	// Heartbeat-loss tracking (parallel to the active application set):
+	// the last seen delivered-beat total, when it last advanced, and
+	// whether the application is currently declared lost.
+	hbTotal  []float64
+	hbSeenAt []float64
+	hbLost   []bool
+	degraded bool
+	lastHB   float64
 }
 
 // AppSample extends the executor sample with per-application identity and
@@ -259,6 +327,16 @@ func (s *Sim) replan() error {
 		Device:   s.ex.Device(),
 		Coord:    s.cfg.Coord,
 	}
+	if s.degraded {
+		// With telemetry lost the utility measurements backing the
+		// policy are untrustworthy: fall back to the fair equal split
+		// and plan from static models only.
+		dec, err := policy.Plan(policy.UtilUnaware, ctx)
+		if err != nil {
+			return err
+		}
+		return s.ex.SetSchedule(dec.Schedule)
+	}
 	if s.anySLO {
 		ctx.Objectives = append([]allocator.Objective(nil), s.objs...)
 	}
@@ -302,6 +380,9 @@ func (s *Sim) tryAdmit(a arrival) error {
 	}
 	s.names = append(s.names, a.profile.Name)
 	s.objs = append(s.objs, a.obj)
+	s.hbTotal = append(s.hbTotal, 0)
+	s.hbSeenAt = append(s.hbSeenAt, s.ex.Now())
+	s.hbLost = append(s.hbLost, false)
 	if a.obj.Weight != 1 || a.obj.FloorPerf > 0 {
 		s.anySLO = true
 	}
@@ -319,9 +400,77 @@ func (s *Sim) queueRealloc() {
 	s.reallocQueued = true
 }
 
-// logEvent records a trigger.
+// logEvent records a trigger, evicting the oldest entries past the
+// configured bound.
 func (s *Sim) logEvent(kind EventKind, app, detail string) {
 	s.events = append(s.events, Event{T: s.ex.Now(), Kind: kind, App: app, CapW: s.ex.Cap(), Detail: detail})
+	if max := s.cfg.maxEvents(); max > 0 && len(s.events) > max {
+		n := len(s.events) - max
+		s.events = append(s.events[:0], s.events[n:]...)
+		s.eventsDropped += n
+	}
+}
+
+// EventsDropped counts events evicted from the bounded log.
+func (s *Sim) EventsDropped() int { return s.eventsDropped }
+
+// SamplesDropped counts samples evicted from the bounded timeline.
+func (s *Sim) SamplesDropped() int { return s.samplesDropped }
+
+// Degraded reports whether the accountant is currently in fair-share
+// degraded mode because an application's heartbeats went missing.
+func (s *Sim) Degraded() bool { return s.degraded }
+
+// Executor exposes the underlying hardened executor (fault log, watchdog
+// counters).
+func (s *Sim) Executor() *coordinator.Executor { return s.ex }
+
+// faultsEnabled reports whether the coordinator runs with fault
+// injection — the only regime in which heartbeat loss can happen.
+func (s *Sim) faultsEnabled() bool {
+	f := s.cfg.Coord.Faults
+	return f != nil && f.Enabled()
+}
+
+// refreshDegraded recomputes the degraded flag from the per-application
+// loss states.
+func (s *Sim) refreshDegraded() {
+	s.degraded = false
+	for _, lost := range s.hbLost {
+		if lost {
+			s.degraded = true
+			return
+		}
+	}
+}
+
+// checkHeartbeats advances the per-application telemetry-loss state: a
+// delivered-beat total that advanced clears a loss; one stagnant past
+// the staleness window declares it. Either transition re-plans.
+func (s *Sim) checkHeartbeats(now float64) {
+	for i := 0; i < s.ex.Apps() && i < len(s.hbTotal); i++ {
+		tot, err := s.ex.HeartbeatTotal(i)
+		if err != nil {
+			continue
+		}
+		if tot > s.hbTotal[i] {
+			s.hbTotal[i] = tot
+			s.hbSeenAt[i] = now
+			if s.hbLost[i] {
+				s.hbLost[i] = false
+				s.logEvent(EvHeartbeatRecovered, s.names[i], "heartbeats returned; utility-aware apportioning restored")
+				s.queueRealloc()
+			}
+			continue
+		}
+		if !s.hbLost[i] && now-s.hbSeenAt[i] > s.cfg.heartbeatStale() {
+			s.hbLost[i] = true
+			s.logEvent(EvHeartbeatLoss, s.names[i],
+				fmt.Sprintf("no beats for %.1f s; degrading to fair-share apportioning", now-s.hbSeenAt[i]))
+			s.queueRealloc()
+		}
+	}
+	s.refreshDegraded()
 }
 
 // Run advances the simulation for seconds of simulated time.
@@ -375,6 +524,10 @@ func (s *Sim) Run(seconds float64) error {
 				}
 				s.names = append(s.names[:i], s.names[i+1:]...)
 				s.objs = append(s.objs[:i], s.objs[i+1:]...)
+				s.hbTotal = append(s.hbTotal[:i], s.hbTotal[i+1:]...)
+				s.hbSeenAt = append(s.hbSeenAt[:i], s.hbSeenAt[i+1:]...)
+				s.hbLost = append(s.hbLost[:i], s.hbLost[i+1:]...)
+				s.refreshDegraded()
 				s.logEvent(EvDeparture, name, "re-apportioning available power")
 				i--
 				s.queueRealloc()
@@ -426,6 +579,14 @@ func (s *Sim) Run(seconds float64) error {
 			return err
 		}
 
+		// Telemetry-loss watch: runs on its own poll clock so a busy
+		// re-allocation queue cannot starve it, and only under fault
+		// injection so fault-free runs stay untouched.
+		if s.faultsEnabled() && now-s.lastHB >= poll-1e-12 {
+			s.lastHB = now
+			s.checkHeartbeats(now)
+		}
+
 		// E4: poll draw vs budget.
 		if now-s.lastPoll >= poll-1e-12 && !s.reallocQueued {
 			s.lastPoll = now
@@ -449,6 +610,11 @@ func (s *Sim) Run(seconds float64) error {
 		if s.ex.Now()-lastSample >= sampleEvery-1e-12 {
 			lastSample = s.ex.Now()
 			s.samples = append(s.samples, s.appSample(sample))
+			if max := s.cfg.maxSamples(); max > 0 && len(s.samples) > max {
+				n := len(s.samples) - max
+				s.samples = append(s.samples[:0], s.samples[n:]...)
+				s.samplesDropped += n
+			}
 		}
 	}
 	return nil

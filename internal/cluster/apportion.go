@@ -44,22 +44,31 @@ func (e *Evaluator) serverCapCurve(mixIdx int) ([]capPoint, error) {
 	return out, nil
 }
 
-// utilityStep apportions one instant's cluster cap across the servers by
-// dynamic programming over their cap-utility curves.
-func (e *Evaluator) utilityStep(clusterCapW float64) (perf, grid float64, err error) {
-	n := len(e.cfg.Mixes)
+// utilityStep apportions one instant's cluster cap across the live
+// servers by dynamic programming over their cap-utility curves.
+func (e *Evaluator) utilityStep(clusterCapW float64, alive []bool) (perf, grid float64, err error) {
+	n := e.aliveCount(alive)
+	if n == 0 {
+		return 0, 0, nil
+	}
 	floor := e.cfg.HW.PIdleWatts
 	if clusterCapW < floor*float64(n) {
 		// Not even the idle floors fit; the fleet draws what it may.
 		return 0, clusterCapW, nil
 	}
+	var idxs []int
+	for i := range e.cfg.Mixes {
+		if isAlive(alive, i) {
+			idxs = append(idxs, i)
+		}
+	}
 	curves := make([][]capPoint, n)
-	for i := range curves {
+	for j, i := range idxs {
 		c, err := e.serverCapCurve(i)
 		if err != nil {
 			return 0, 0, err
 		}
-		curves[i] = c
+		curves[j] = c
 	}
 	// DP over the budget above the idle floors, in curve-index units
 	// (curve point k costs k*serverCapStepW above the floor).
@@ -101,17 +110,25 @@ type utilityCacheEntry struct {
 	perf, grid float64
 }
 
+// utilKey is the memoization key: the quantized cap plus the liveness
+// mask in force — a dropout changes the apportioning even at the same
+// cap.
+type utilKey struct {
+	level float64
+	mask  string
+}
+
 // utilityCachedStep is utilityStep with memoization on the quantized
-// cluster cap (caps repeat across a shaving event).
-func (e *Evaluator) utilityCachedStep(clusterCapW float64) (float64, float64, error) {
-	key := math.Floor(clusterCapW / serverCapStepW)
+// cluster cap (caps repeat across a shaving event) and the alive set.
+func (e *Evaluator) utilityCachedStep(clusterCapW float64, alive []bool) (float64, float64, error) {
+	key := utilKey{level: math.Floor(clusterCapW / serverCapStepW), mask: maskKey(alive)}
 	if e.utilCache == nil {
-		e.utilCache = make(map[float64]utilityCacheEntry)
+		e.utilCache = make(map[utilKey]utilityCacheEntry)
 	}
 	if ent, ok := e.utilCache[key]; ok {
 		return ent.perf, ent.grid, nil
 	}
-	perf, grid, err := e.utilityStep(key * serverCapStepW)
+	perf, grid, err := e.utilityStep(key.level*serverCapStepW, alive)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"powerstruggle/internal/esd"
+	"powerstruggle/internal/faults"
 	"powerstruggle/internal/policy"
 	"powerstruggle/internal/simhw"
 	"powerstruggle/internal/trace"
@@ -75,6 +76,10 @@ type Config struct {
 	// (length must match Mixes). nil means every server has one — the
 	// paper's setup.
 	BatteryServers []bool
+	// Dropouts schedules mid-trace server losses; the evaluator detects
+	// them at each cap point and re-apportions the budget across the
+	// survivors.
+	Dropouts []Dropout
 }
 
 // hasBattery reports whether server i carries an ESD.
@@ -120,6 +125,9 @@ type Result struct {
 	EnergyEfficiency float64
 	// CapViolations counts steps where cluster draw exceeded the cap.
 	CapViolations int
+	// Reapportions counts the alive-set transitions (server dropouts
+	// and returns) that forced a budget re-apportioning mid-trace.
+	Reapportions int
 }
 
 // serverPlanKey memoizes per-server policy planning.
@@ -140,7 +148,8 @@ type serverPlan struct {
 type Evaluator struct {
 	cfg       Config
 	cache     map[serverPlanKey]serverPlan
-	utilCache map[float64]utilityCacheEntry
+	utilCache map[utilKey]utilityCacheEntry
+	flog      *faults.Log
 }
 
 // NewEvaluator builds an evaluator, validating the configuration.
@@ -158,6 +167,9 @@ func NewEvaluator(cfg Config) (*Evaluator, error) {
 		cfg.ESDSpec = esd.LeadAcid(300e3)
 	}
 	if err := cfg.ESDSpec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateDropouts(cfg); err != nil {
 		return nil, err
 	}
 	return &Evaluator{cfg: cfg, cache: make(map[serverPlanKey]serverPlan)}, nil
@@ -275,18 +287,24 @@ func (e *Evaluator) Evaluate(caps []trace.Point, strat Strategy) (Result, error)
 	uncapped := 2 * float64(len(e.cfg.Mixes)) // objective (1) with all apps at 1.0
 
 	var perfSum float64
+	var prevAlive []bool
 	for i, cp := range caps {
+		alive := e.aliveAt(cp.T)
+		if e.noteTransitions(cp.T, prevAlive, alive) {
+			res.Reapportions++
+		}
+		prevAlive = alive
 		var perf, grid float64
 		var err error
 		switch strat {
 		case EqualRAPL:
-			perf, grid, err = e.equalStep(cp.V, policy.UtilUnaware)
+			perf, grid, err = e.equalStep(cp.V, policy.UtilUnaware, alive)
 		case EqualOurs:
-			perf, grid, err = e.equalStep(cp.V, policy.AppResESDAware)
+			perf, grid, err = e.equalStep(cp.V, policy.AppResESDAware, alive)
 		case ConsolidateMigrate:
-			perf, grid, err = e.consolidateStep(cp.V)
+			perf, grid, err = e.consolidateStep(cp.V, alive)
 		case UtilityOurs:
-			perf, grid, err = e.utilityCachedStep(cp.V)
+			perf, grid, err = e.utilityCachedStep(cp.V, alive)
 		default:
 			err = fmt.Errorf("cluster: unknown strategy %v", strat)
 		}
@@ -328,11 +346,19 @@ func (e *Evaluator) Evaluate(caps []trace.Point, strat Strategy) (Result, error)
 	return res, nil
 }
 
-// equalStep evenly splits the cluster cap and plans every server with the
-// given per-server policy.
-func (e *Evaluator) equalStep(clusterCapW float64, kind policy.Kind) (perf, grid float64, err error) {
-	per := clusterCapW / float64(len(e.cfg.Mixes))
+// equalStep evenly splits the cluster cap across the live servers and
+// plans each with the given per-server policy. Dropped servers host
+// nothing and draw nothing; their share flows to the survivors.
+func (e *Evaluator) equalStep(clusterCapW float64, kind policy.Kind, alive []bool) (perf, grid float64, err error) {
+	n := e.aliveCount(alive)
+	if n == 0 {
+		return 0, 0, nil
+	}
+	per := clusterCapW / float64(n)
 	for i, m := range e.cfg.Mixes {
+		if !isAlive(alive, i) {
+			continue
+		}
 		p, err := e.planServer(m, kind, per, e.cfg.hasBattery(i))
 		if err != nil {
 			return 0, 0, err

@@ -14,9 +14,12 @@ import (
 // strategy's efficiency edge — it sheds whole P_idle + P_cm lumps — at
 // the cost of direct-resource interference and migration feasibility
 // the paper cautions about.
-func (e *Evaluator) consolidateStep(clusterCapW float64) (perf, grid float64, err error) {
-	n := len(e.cfg.Mixes)
-	apps, err := e.allApps()
+func (e *Evaluator) consolidateStep(clusterCapW float64, alive []bool) (perf, grid float64, err error) {
+	n := e.aliveCount(alive)
+	if n == 0 {
+		return 0, 0, nil
+	}
+	apps, err := e.allApps(alive)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -43,10 +46,15 @@ func (e *Evaluator) consolidateStep(clusterCapW float64) (perf, grid float64, er
 	return 0, 0, nil
 }
 
-// allApps flattens the cluster's application population.
-func (e *Evaluator) allApps() ([]*workload.Profile, error) {
+// allApps flattens the live servers' application population: a dropped
+// server's applications went down with it and are not migration
+// candidates.
+func (e *Evaluator) allApps(alive []bool) ([]*workload.Profile, error) {
 	var out []*workload.Profile
-	for _, m := range e.cfg.Mixes {
+	for i, m := range e.cfg.Mixes {
+		if !isAlive(alive, i) {
+			continue
+		}
 		a, b, err := e.cfg.Library.MixProfiles(m)
 		if err != nil {
 			return nil, err
@@ -142,7 +150,7 @@ func (e *Evaluator) ConsolidationInfeasible(k int) (bool, error) {
 	if k <= 0 {
 		return true, fmt.Errorf("cluster: %d servers", k)
 	}
-	apps, err := e.allApps()
+	apps, err := e.allApps(nil)
 	if err != nil {
 		return true, err
 	}

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"powerstruggle/internal/faults"
+)
+
+// Dropout marks one server unreachable for a window of the replayed cap
+// schedule — a crash, a maintenance pull, a network partition. Its
+// applications go down with it (this layer has no migration on failure;
+// Consolidation+Migration replans placement only among the survivors),
+// and the cluster manager re-apportions the budget across the remaining
+// servers for the duration.
+type Dropout struct {
+	// Server indexes Config.Mixes.
+	Server int
+	// FromT and ToT bound the window; the server is out for
+	// FromT <= t < ToT.
+	FromT float64
+	ToT   float64
+}
+
+// validateDropouts checks the windows against the fleet.
+func validateDropouts(cfg Config) error {
+	for i, d := range cfg.Dropouts {
+		if d.Server < 0 || d.Server >= len(cfg.Mixes) {
+			return fmt.Errorf("cluster: dropout %d targets server %d of %d", i, d.Server, len(cfg.Mixes))
+		}
+		if d.ToT <= d.FromT {
+			return fmt.Errorf("cluster: dropout %d window [%g, %g) is empty", i, d.FromT, d.ToT)
+		}
+	}
+	return nil
+}
+
+// aliveAt returns the per-server liveness mask at time t, or nil when
+// every server is up (the fast path the fault-free replay stays on).
+func (e *Evaluator) aliveAt(t float64) []bool {
+	if len(e.cfg.Dropouts) == 0 {
+		return nil
+	}
+	var alive []bool
+	for _, d := range e.cfg.Dropouts {
+		if t >= d.FromT && t < d.ToT {
+			if alive == nil {
+				alive = make([]bool, len(e.cfg.Mixes))
+				for i := range alive {
+					alive[i] = true
+				}
+			}
+			alive[d.Server] = false
+		}
+	}
+	return alive
+}
+
+// maskKey renders a liveness mask as a cache key ("" = all alive).
+func maskKey(alive []bool) string {
+	if alive == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, a := range alive {
+		if a {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// aliveCount counts live servers (nil mask = everyone).
+func (e *Evaluator) aliveCount(alive []bool) int {
+	if alive == nil {
+		return len(e.cfg.Mixes)
+	}
+	n := 0
+	for _, a := range alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// isAlive reads the mask with the nil-means-everyone convention.
+func isAlive(alive []bool, i int) bool { return alive == nil || alive[i] }
+
+// noteTransitions logs dropout/return transitions between consecutive
+// cap points and reports whether the alive set changed (a budget
+// re-apportioning).
+func (e *Evaluator) noteTransitions(t float64, prev, cur []bool) bool {
+	changed := false
+	for i := range e.cfg.Mixes {
+		was, is := isAlive(prev, i), isAlive(cur, i)
+		if was == is {
+			continue
+		}
+		changed = true
+		if e.flog == nil {
+			e.flog = faults.NewLog(0)
+		}
+		if is {
+			e.flog.Append(faults.Event{T: t, Kind: "server-return", Target: fmt.Sprintf("server-%d", i),
+				Detail: "server back; re-apportioning cluster budget"})
+		} else {
+			e.flog.Append(faults.Event{T: t, Kind: "server-dropout", Target: fmt.Sprintf("server-%d", i),
+				Detail: "server lost with its applications; re-apportioning cluster budget across survivors"})
+		}
+	}
+	return changed
+}
+
+// FaultLog exposes the evaluator's dropout event log (nil when no
+// transition happened).
+func (e *Evaluator) FaultLog() *faults.Log { return e.flog }
+
+// FaultEvents returns the logged dropout/return events in order.
+func (e *Evaluator) FaultEvents() []faults.Event {
+	if e.flog == nil {
+		return nil
+	}
+	return e.flog.Events()
+}

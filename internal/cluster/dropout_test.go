@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"testing"
+
+	"powerstruggle/internal/simhw"
+	"powerstruggle/internal/trace"
+	"powerstruggle/internal/workload"
+)
+
+func newEvalWithDropouts(t *testing.T, servers int, drops []Dropout) (*Evaluator, float64) {
+	t.Helper()
+	hw := simhw.DefaultConfig()
+	lib, err := workload.NewLibrary(hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixes := workload.Mixes()
+	assign := make([]workload.Mix, servers)
+	for i := range assign {
+		assign[i] = mixes[i%len(mixes)]
+	}
+	ev, err := NewEvaluator(Config{HW: hw, Library: lib, Mixes: assign, Dropouts: drops})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uc, err := ev.UncappedClusterW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev, uc
+}
+
+func flatCaps(capW float64, n int) []trace.Point {
+	out := make([]trace.Point, n)
+	for i := range out {
+		out[i] = trace.Point{T: float64(i), V: capW}
+	}
+	return out
+}
+
+func TestDropoutValidation(t *testing.T) {
+	hw := simhw.DefaultConfig()
+	lib, _ := workload.NewLibrary(hw)
+	mixes := workload.Mixes()[:2]
+	if _, err := NewEvaluator(Config{HW: hw, Library: lib, Mixes: mixes,
+		Dropouts: []Dropout{{Server: 5, FromT: 0, ToT: 1}}}); err == nil {
+		t.Error("out-of-range dropout server accepted")
+	}
+	if _, err := NewEvaluator(Config{HW: hw, Library: lib, Mixes: mixes,
+		Dropouts: []Dropout{{Server: 0, FromT: 2, ToT: 2}}}); err == nil {
+		t.Error("empty dropout window accepted")
+	}
+}
+
+func TestDropoutReapportionsBudget(t *testing.T) {
+	drop := Dropout{Server: 1, FromT: 1.5, ToT: 3.5}
+	ev, uc := newEvalWithDropouts(t, 4, []Dropout{drop})
+	caps := flatCaps(0.7*uc, 5) // t = 0..4; server 1 out at t = 2, 3
+
+	res, err := ev.Evaluate(caps, EqualRAPL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reapportions != 2 {
+		t.Fatalf("Reapportions = %d, want 2 (one loss, one return)", res.Reapportions)
+	}
+	log := ev.FaultLog()
+	if log.Count("server-dropout") != 1 || log.Count("server-return") != 1 {
+		t.Fatalf("transition events: %v", ev.FaultEvents())
+	}
+	// The survivors split the whole budget: the aggregate moves while
+	// the server is out (under a tight cap it can move either way —
+	// fewer tenants, but each far less constrained) and recovers
+	// exactly when it returns.
+	perfUp := res.PerfSeries[0].V
+	perfDown := res.PerfSeries[2].V
+	if perfDown == perfUp {
+		t.Errorf("aggregate perf unchanged at %.2f with a server down", perfDown)
+	}
+	if res.PerfSeries[3].V != perfDown {
+		t.Errorf("perf unstable within the outage: %v", res.PerfSeries)
+	}
+	if res.PerfSeries[4].V != perfUp {
+		t.Errorf("perf after the return %.2f, want %.2f (full recovery)", res.PerfSeries[4].V, perfUp)
+	}
+	for _, p := range res.GridSeries {
+		if p.V > 0.7*uc+1e-6 {
+			t.Errorf("grid draw %.1f W over the %.1f W cluster cap at t=%g", p.V, 0.7*uc, p.T)
+		}
+	}
+}
+
+func TestDropoutWithUtilityApportioning(t *testing.T) {
+	ev, uc := newEvalWithDropouts(t, 4, []Dropout{{Server: 0, FromT: 0.5, ToT: 2.5}})
+	res, err := ev.Evaluate(flatCaps(0.75*uc, 4), UtilityOurs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reapportions != 2 {
+		t.Fatalf("Reapportions = %d, want 2", res.Reapportions)
+	}
+	// The utility curves are re-derived over the survivors: perf moves
+	// during the outage and recovers after, and the cached curves keyed
+	// on the all-alive mask must not leak into the outage steps.
+	if res.PerfSeries[1].V == res.PerfSeries[0].V {
+		t.Errorf("perf series %v unchanged during the outage", res.PerfSeries)
+	}
+	if res.PerfSeries[3].V != res.PerfSeries[0].V {
+		t.Errorf("perf did not recover after the return: %v", res.PerfSeries)
+	}
+}
+
+// An out-of-window dropout schedule must replay bit-identically to a
+// fleet with no dropouts configured at all.
+func TestIdleDropoutScheduleBitIdentical(t *testing.T) {
+	plain, uc := newEval(t, 4)
+	scheduled, _ := newEvalWithDropouts(t, 4, []Dropout{{Server: 2, FromT: 100, ToT: 200}})
+	caps := flatCaps(0.7*uc, 4)
+	for _, strat := range []Strategy{EqualRAPL, EqualOurs, UtilityOurs} {
+		a, err := plain.Evaluate(caps, strat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := scheduled.Evaluate(caps, strat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Reapportions != 0 {
+			t.Errorf("%v: idle schedule counted %d reapportions", strat, b.Reapportions)
+		}
+		if a.AvgPerfFrac != b.AvgPerfFrac || a.EnergyJ != b.EnergyJ {
+			t.Errorf("%v: idle dropout schedule perturbed the replay: %+v vs %+v", strat, a, b)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"powerstruggle/internal/allocator"
 	"powerstruggle/internal/esd"
+	"powerstruggle/internal/faults"
 	"powerstruggle/internal/simhw"
 	"powerstruggle/internal/workload"
 )
@@ -130,6 +131,28 @@ type Config struct {
 	// utility-weighted duty cycling, as a fraction of the fair share.
 	// 0 means DefaultMinShareFrac.
 	MinShare float64
+	// Faults, when non-nil with any rate enabled, wraps the platform,
+	// heartbeat delivery, and ESD telemetry in the seed-driven fault
+	// injector and arms the retry/watchdog machinery. nil (or an
+	// all-zero config) leaves the fault-free fast path untouched — the
+	// executor then drives the bare simulated server with no wrappers,
+	// no random draws, and bit-identical numerical results.
+	Faults *faults.Config
+	// Watchdog forces the cap-breach watchdog on even without injected
+	// faults (it arms automatically when Faults is enabled).
+	Watchdog bool
+	// WatchdogK is both the number of consecutive over-cap control
+	// intervals tolerated before the emergency clamp engages and the
+	// number of consecutive clean intervals required to release it;
+	// 0 means DefaultWatchdogK.
+	WatchdogK int
+	// WatchdogRecoveryS is the ramp length over which released
+	// applications regain their scheduled frequency after a clamp;
+	// 0 means DefaultWatchdogRecoveryS.
+	WatchdogRecoveryS float64
+	// MaxRetries bounds the immediate same-step retries of a
+	// transiently failed actuation; 0 means DefaultMaxRetries.
+	MaxRetries int
 }
 
 // Defaults for Config.
@@ -137,7 +160,36 @@ const (
 	DefaultPeriodS      = 2.0
 	DefaultRestoreS     = 0.06
 	DefaultMinShareFrac = 0.5
+	// DefaultWatchdogK tolerates this many consecutive over-cap
+	// control intervals before the emergency clamp engages.
+	DefaultWatchdogK = 5
+	// DefaultWatchdogRecoveryS ramps released applications back to
+	// their scheduled frequency over this long.
+	DefaultWatchdogRecoveryS = 2.0
+	// DefaultMaxRetries bounds immediate retries of a failed actuation.
+	DefaultMaxRetries = 3
 )
+
+func (c Config) watchdogK() int {
+	if c.WatchdogK > 0 {
+		return c.WatchdogK
+	}
+	return DefaultWatchdogK
+}
+
+func (c Config) watchdogRecovery() float64 {
+	if c.WatchdogRecoveryS > 0 {
+		return c.WatchdogRecoveryS
+	}
+	return DefaultWatchdogRecoveryS
+}
+
+func (c Config) maxRetries() int {
+	if c.MaxRetries > 0 {
+		return c.MaxRetries
+	}
+	return DefaultMaxRetries
+}
 
 func (c Config) period() float64 {
 	if c.PeriodSeconds > 0 {

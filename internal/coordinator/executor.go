@@ -5,20 +5,65 @@ import (
 	"math"
 
 	"powerstruggle/internal/esd"
+	"powerstruggle/internal/faults"
 	"powerstruggle/internal/heartbeat"
 	"powerstruggle/internal/simhw"
 	"powerstruggle/internal/workload"
 )
 
+// Platform is the slice of the simulated server the executor actuates
+// and observes. Both *simhw.Server (the fault-free fast path) and
+// *faults.Server (the injected-fault wrapper) satisfy it, so the
+// executor's hardening is exercised against real failure modes without
+// the fault-free path paying anything.
+type Platform interface {
+	Claim(cores int) (simhw.SlotID, error)
+	Release(id simhw.SlotID) error
+	SetKnobs(id simhw.SlotID, freqGHz float64, cores int, memWatts float64) error
+	SetLoad(id simhw.SlotID, activity, memDrawWatts float64) error
+	SetRunning(id simhw.SlotID, running bool) error
+	Sleep() error
+	Slot(id simhw.SlotID) (simhw.SlotState, error)
+	AppPowerWatts(id simhw.SlotID) (float64, error)
+	Step(dt float64) float64
+	Waking() bool
+}
+
+// BeatSink is where the executor publishes delivered work. The bare
+// monitor delivers every beat; the fault wrapper loses some.
+type BeatSink interface {
+	Beat(name string, t, count float64) error
+}
+
+// Store is the slice of the ESD the executor drives. Both *esd.Device
+// and *faults.Device satisfy it.
+type Store interface {
+	SoC() float64
+	AvailableJ() float64
+	Charge(watts, dt float64) float64
+	Discharge(watts, dt float64) float64
+	Idle(dt float64)
+}
+
 // Executor drives one simulated server through coordinator schedules over
 // continuous time, across application arrivals and departures and
 // schedule changes — the execution half of the paper's runtime that the
-// Accountant steers.
+// Accountant steers. With fault injection enabled it is also the
+// hardened mediation loop: transient actuation failures are retried with
+// exponential backoff, and a cap-breach watchdog clamps the server to an
+// emergency floor when measured draw stays over the cap.
 type Executor struct {
 	cfg Config
-	srv *simhw.Server
+	srv Platform
+	raw *simhw.Server
 	dev *esd.Device
-	hb  *heartbeat.Monitor
+	// store and beats are the (possibly fault-wrapped) actuation views
+	// of dev and hb; fault-free they alias them exactly.
+	store Store
+	hb    *heartbeat.Monitor
+	beats BeatSink
+	inj   *faults.Injector
+	flog  *faults.Log
 
 	profiles  []*workload.Profile
 	instances []*workload.Instance
@@ -31,6 +76,15 @@ type Executor struct {
 	restoreLeft []float64
 	prevRunning []bool
 
+	// Per-application retry backoff: after retries exhaust, the
+	// actuator is left alone until retryAt, doubling backoffS each
+	// consecutive failure (bounded) — the standard pressure-relief for
+	// a flapping actuator.
+	backoffS []float64
+	retryAt  []float64
+
+	wd watchdog
+
 	now float64
 }
 
@@ -39,11 +93,39 @@ type Executor struct {
 // monitor under "<name>#<index>", the measurement interface the paper's
 // runtime reads performance from.
 func NewExecutor(cfg Config, dev *esd.Device) (*Executor, error) {
-	srv, err := simhw.NewServer(cfg.HW)
+	raw, err := simhw.NewServer(cfg.HW)
 	if err != nil {
 		return nil, err
 	}
-	return &Executor{cfg: cfg, srv: srv, dev: dev, hb: heartbeat.NewMonitor()}, nil
+	e := &Executor{cfg: cfg, raw: raw, dev: dev, hb: heartbeat.NewMonitor()}
+	e.srv = raw
+	e.beats = e.hb
+	if dev != nil {
+		e.store = dev
+	}
+	e.wd.recoverAt = -1
+	if cfg.Faults != nil && cfg.Faults.Enabled() {
+		inj, err := faults.NewInjector(*cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		now := func() float64 { return e.now }
+		e.inj = inj
+		e.flog = inj.Log()
+		e.srv = faults.NewServer(inj, raw)
+		e.beats = faults.NewHeartbeats(inj, e.hb, now)
+		if dev != nil {
+			e.store = faults.NewDevice(inj, dev, now)
+		}
+		e.wd.enabled = true
+	}
+	if cfg.Watchdog {
+		e.wd.enabled = true
+	}
+	if e.wd.enabled && e.flog == nil {
+		e.flog = faults.NewLog(0)
+	}
+	return e, nil
 }
 
 // Heartbeats exposes the executor's heartbeat monitor.
@@ -56,6 +138,16 @@ func (e *Executor) HeartbeatRate(i int) (float64, error) {
 		return 0, fmt.Errorf("coordinator: HeartbeatRate(%d) with %d applications", i, len(e.profiles))
 	}
 	return e.hb.Rate(e.hbName(i), e.now)
+}
+
+// HeartbeatTotal returns application i's lifetime delivered beat count
+// as the monitor received it — the signal the accountant watches for
+// telemetry loss.
+func (e *Executor) HeartbeatTotal(i int) (float64, error) {
+	if i < 0 || i >= len(e.profiles) {
+		return 0, fmt.Errorf("coordinator: HeartbeatTotal(%d) with %d applications", i, len(e.profiles))
+	}
+	return e.hb.Total(e.hbName(i))
 }
 
 // hbName is application i's heartbeat producer name.
@@ -93,6 +185,8 @@ func (e *Executor) AddApp(p *workload.Profile, inst *workload.Instance) (int, er
 	e.slots = append(e.slots, id)
 	e.restoreLeft = append(e.restoreLeft, 0)
 	e.prevRunning = append(e.prevRunning, false)
+	e.backoffS = append(e.backoffS, 0)
+	e.retryAt = append(e.retryAt, 0)
 	idx := len(e.profiles) - 1
 	if err := e.hb.Register(e.hbName(idx), hbWindowS); err != nil {
 		return 0, err
@@ -123,6 +217,8 @@ func (e *Executor) RemoveApp(i int) error {
 	e.slots = append(e.slots[:i], e.slots[i+1:]...)
 	e.restoreLeft = append(e.restoreLeft[:i], e.restoreLeft[i+1:]...)
 	e.prevRunning = append(e.prevRunning[:i], e.prevRunning[i+1:]...)
+	e.backoffS = append(e.backoffS[:i], e.backoffS[i+1:]...)
+	e.retryAt = append(e.retryAt[:i], e.retryAt[i+1:]...)
 	for j := range e.profiles {
 		if err := e.hb.Register(e.hbName(j), hbWindowS); err != nil {
 			return err
@@ -184,19 +280,24 @@ func (e *Executor) Schedule() (Schedule, bool) { return e.sched, e.haveSched }
 // activity — the state between an arrival and the first plan.
 func (e *Executor) Idle(dt float64) (Sample, error) {
 	for i := range e.profiles {
-		if err := e.srv.SetRunning(e.slots[i], false); err != nil {
+		ok, err := e.writeRunning(i, false)
+		if err != nil {
 			return Sample{}, err
 		}
-		e.prevRunning[i] = false
+		if ok {
+			e.prevRunning[i] = false
+		}
+		// A degraded suspend leaves the task running; the next Step's
+		// watchdog accounting sees its draw.
 	}
 	e.srv.Step(dt)
-	if e.dev != nil {
-		e.dev.Idle(dt)
+	if e.store != nil {
+		e.store.Idle(dt)
 	}
 	e.now += dt
 	s := Sample{T: e.now, ServerW: e.cfg.HW.PIdleWatts, GridW: e.cfg.HW.PIdleWatts, AppW: make([]float64, len(e.profiles))}
-	if e.dev != nil {
-		s.SoC = e.dev.SoC()
+	if e.store != nil {
+		s.SoC = e.store.SoC()
 	}
 	return s, nil
 }
@@ -218,46 +319,34 @@ func (e *Executor) Step(dt float64) (Sample, error) {
 	// store cannot cover this step, the applications stay suspended and
 	// the step charges instead — the emergency clamp a RAPL hard limit
 	// provides on real hardware.
-	if seg.DischargeW > 0 && e.dev != nil && e.dev.AvailableJ() < seg.DischargeW*dt {
+	if seg.DischargeW > 0 && e.store != nil && e.store.AvailableJ() < seg.DischargeW*dt {
 		charge := e.cfg.HW.ChargeHeadroom(e.cfg.CapW)
 		seg = Segment{Seconds: seg.Seconds, Sleep: true, ChargeW: charge}
 	}
 
-	// Actuate every application for this segment.
-	for i := range e.profiles {
-		sk, running := seg.Run[i]
-		if running {
-			if !e.prevRunning[i] && seg.Restore[i] {
-				e.restoreLeft[i] = e.cfg.restore()
-			}
-			eff := e.instances[i].Effective()
-			k := sk.Knobs.Clamp(e.cfg.HW, eff.MaxCores)
-			if err := e.srv.SetKnobs(e.slots[i], k.FreqGHz, k.Cores, k.MemWatts); err != nil {
-				return Sample{}, err
-			}
-			if err := e.srv.SetLoad(e.slots[i], eff.CPUActivity, eff.MemDrawWatts(e.cfg.HW, k)); err != nil {
-				return Sample{}, err
-			}
-		}
-		if err := e.srv.SetRunning(e.slots[i], running); err != nil {
-			return Sample{}, err
-		}
-		e.prevRunning[i] = running
-	}
-	if seg.Sleep {
-		if err := e.srv.Sleep(); err != nil {
-			return Sample{}, err
-		}
+	// Watchdog bookkeeping from previous intervals: finish an expired
+	// recovery ramp, engage the clamp when the breach run hit K.
+	if e.wd.enabled {
+		e.watchdogPrepare()
 	}
 
-	// Advance applications and compose duty-averaged power.
+	// Actuate every application for this segment.
+	effRun, err := e.actuateSegment(seg)
+	if err != nil {
+		return Sample{}, err
+	}
+
+	// Advance applications and compose duty-averaged power. Power is
+	// gated on the platform's measured per-slot draw (w > 0), not on
+	// schedule intent: a task whose suspend was lost keeps drawing and
+	// must stay visible to the watchdog.
 	appW := make([]float64, len(e.profiles))
 	serverW := e.cfg.HW.PIdleWatts
 	anyRun := false
 	for i := range e.profiles {
-		sk, running := seg.Run[i]
+		sk, scheduled := seg.Run[i]
 		duty := 1.0
-		if running && sk.Duty > 0 && sk.Duty < 1 {
+		if scheduled && sk.Duty > 0 && sk.Duty < 1 {
 			duty = sk.Duty
 		}
 		progressDt := dt * duty
@@ -266,11 +355,11 @@ func (e *Executor) Step(dt float64) (Sample, error) {
 			e.restoreLeft[i] -= burn
 			progressDt -= burn
 		}
-		if running && !e.srv.Waking() {
-			k := sk.Knobs.Clamp(e.cfg.HW, e.instances[i].Effective().MaxCores)
+		if scheduled && effRun[i] && !e.srv.Waking() {
+			k := e.knobsFor(i, sk)
 			delivered := e.instances[i].Advance(e.cfg.HW, k, true, progressDt)
 			if delivered > 0 {
-				if err := e.hb.Beat(e.hbName(i), e.now+dt, delivered); err != nil {
+				if err := e.beats.Beat(e.hbName(i), e.now+dt, delivered); err != nil {
 					return Sample{}, err
 				}
 			}
@@ -280,7 +369,7 @@ func (e *Executor) Step(dt float64) (Sample, error) {
 			return Sample{}, err
 		}
 		appW[i] = w * duty
-		if running && !seg.Sleep {
+		if w > 0 {
 			anyRun = true
 			serverW += appW[i]
 		}
@@ -292,21 +381,113 @@ func (e *Executor) Step(dt float64) (Sample, error) {
 
 	gridW := serverW
 	soc := 0.0
-	if e.dev != nil {
+	if e.store != nil {
 		switch {
+		case e.wd.engaged && e.wd.suspend:
+			// Emergency suspend: no scheduled ESD activity either.
+			e.store.Idle(dt)
 		case seg.ChargeW > 0:
-			gridW += e.dev.Charge(seg.ChargeW, dt)
+			gridW += e.store.Charge(seg.ChargeW, dt)
 		case seg.DischargeW > 0:
-			gridW -= e.dev.Discharge(seg.DischargeW, dt)
+			gridW -= e.store.Discharge(seg.DischargeW, dt)
 		default:
-			e.dev.Idle(dt)
+			e.store.Idle(dt)
 		}
-		soc = e.dev.SoC()
+		soc = e.store.SoC()
+	}
+
+	// Cap adherence is about grid draw: ESD discharge legitimately lets
+	// the server exceed the cap while the grid stays under it.
+	if e.wd.enabled {
+		e.watchdogObserve(gridW)
 	}
 
 	e.pos = math.Mod(e.pos+dt, e.sched.PeriodS)
 	e.now += dt
 	return Sample{T: e.now, ServerW: serverW, GridW: gridW, SoC: soc, AppW: appW}, nil
+}
+
+// knobsFor resolves application i's knobs for this step: the schedule's
+// knobs clamped to the hardware, overridden to the emergency floor while
+// the watchdog clamp is engaged, and frequency-limited along the
+// recovery ramp after a release.
+func (e *Executor) knobsFor(i int, sk SegKnob) workload.Knobs {
+	k := sk.Knobs.Clamp(e.cfg.HW, e.instances[i].Effective().MaxCores)
+	switch {
+	case e.wd.engaged && !e.wd.suspend:
+		k.FreqGHz = e.cfg.HW.FreqMinGHz
+		k.MemWatts = e.cfg.HW.MemMinWatts
+	case e.wd.recoverAt >= 0:
+		frac := (e.now - e.wd.recoverAt) / e.cfg.watchdogRecovery()
+		f := e.cfg.HW.FreqMinGHz + frac*(k.FreqGHz-e.cfg.HW.FreqMinGHz)
+		k.FreqGHz = e.cfg.HW.ClampFreq(f)
+	}
+	return k
+}
+
+// actuateSegment applies one segment's run/suspend/knob pattern and
+// returns each application's effective running state. While the
+// watchdog clamp is engaged it substitutes the emergency pattern.
+func (e *Executor) actuateSegment(seg Segment) ([]bool, error) {
+	if e.wd.engaged {
+		return e.clampSegment(seg)
+	}
+	n := len(e.profiles)
+	effRun := make([]bool, n)
+	for i := 0; i < n; i++ {
+		sk, running := seg.Run[i]
+		if e.inj != nil && e.now < e.retryAt[i] {
+			// Backing off a flapping actuator: hold the previous state.
+			effRun[i] = e.prevRunning[i]
+			continue
+		}
+		knobsOK := true
+		if running {
+			if !e.prevRunning[i] && seg.Restore[i] {
+				e.restoreLeft[i] = e.cfg.restore()
+			}
+			eff := e.instances[i].Effective()
+			k := e.knobsFor(i, sk)
+			if err := e.writeKnobs(i, k, eff); err != nil {
+				if !faults.IsTransient(err) {
+					return nil, err
+				}
+				// Degraded: the slot runs on with stale knobs.
+				knobsOK = false
+			}
+		}
+		runOK, err := e.writeRunning(i, running)
+		if err != nil {
+			return nil, err
+		}
+		if runOK {
+			effRun[i] = running
+		} else {
+			effRun[i] = e.prevRunning[i]
+		}
+		if knobsOK && runOK && e.backoffS[i] > 0 {
+			e.backoffS[i] = 0
+			e.recordEvent("actuation-recovered", e.hbName(i), "actuator healthy again; backoff cleared")
+		}
+		e.prevRunning[i] = effRun[i]
+	}
+	if seg.Sleep {
+		anyRunning := false
+		for _, r := range effRun {
+			if r {
+				anyRunning = true
+			}
+		}
+		if anyRunning {
+			// Only reachable after a degraded suspend: PC6 entry would
+			// legitimately fail while a task still runs, so stay awake
+			// and let the watchdog see the draw.
+			e.recordEvent("sleep-skip", "", "PC6 entry skipped: a degraded suspend left a task running")
+		} else if err := e.writeSleep(); err != nil {
+			return nil, err
+		}
+	}
+	return effRun, nil
 }
 
 // segmentAt locates the segment containing period position pos.

@@ -12,9 +12,11 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"powerstruggle/internal/accountant"
 	"powerstruggle/internal/esd"
+	"powerstruggle/internal/faults"
 	"powerstruggle/internal/policy"
 	"powerstruggle/internal/simhw"
 	"powerstruggle/internal/workload"
@@ -30,6 +32,14 @@ type Config struct {
 	InitialCapW float64
 	// BatteryJ, when positive, attaches a lead-acid ESD.
 	BatteryJ float64
+	// Faults, when non-nil with any rate enabled, runs the mediated
+	// server under the seed-driven fault injector with the hardened
+	// control loop.
+	Faults *faults.Config
+	// MaxEvents and MaxSamples bound the in-memory logs of a
+	// long-running daemon (0: the accountant default, 4096).
+	MaxEvents  int
+	MaxSamples int
 }
 
 // Daemon is the running service.
@@ -40,6 +50,12 @@ type Daemon struct {
 	hw  simhw.Config
 	// simTime tracks how much simulated time has been consumed.
 	simTime float64
+	// lastAdvance is the wall-clock time the simulation last moved — a
+	// stalled ticker shows up on /healthz.
+	lastAdvance time.Time
+	// advErr latches the first simulation error; a daemon whose sim
+	// died keeps serving telemetry but reports unhealthy.
+	advErr error
 }
 
 // New builds a daemon.
@@ -64,15 +80,18 @@ func New(cfg Config) (*Daemon, error) {
 			return nil, err
 		}
 	}
-	sim, err := accountant.NewSim(accountant.Config{
+	acfg := accountant.Config{
 		HW: cfg.HW, Policy: cfg.Policy, Library: lib,
 		InitialCapW: cfg.InitialCapW, Device: dev,
 		ReallocSeconds: 0.8, SampleEvery: 0.25,
-	})
+		MaxEvents: cfg.MaxEvents, MaxSamples: cfg.MaxSamples,
+	}
+	acfg.Coord.Faults = cfg.Faults
+	sim, err := accountant.NewSim(acfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Daemon{sim: sim, lib: lib, hw: cfg.HW}, nil
+	return &Daemon{sim: sim, lib: lib, hw: cfg.HW, lastAdvance: time.Now()}, nil
 }
 
 // Advance runs the mediated server forward by dt simulated seconds. The
@@ -85,9 +104,13 @@ func (d *Daemon) Advance(dt float64) error {
 		return fmt.Errorf("daemon: advance of %g s", dt)
 	}
 	if err := d.sim.Run(dt); err != nil {
+		if d.advErr == nil {
+			d.advErr = err
+		}
 		return err
 	}
 	d.simTime += dt
+	d.lastAdvance = time.Now()
 	return nil
 }
 
@@ -149,9 +172,104 @@ func (d *Daemon) status() Status {
 	return st
 }
 
-// Handler returns the daemon's HTTP API.
+// Health is the GET /healthz response: liveness of the simulation loop
+// plus the robustness counters of the hardened mediation path.
+type Health struct {
+	OK         bool    `json:"ok"`
+	SimSeconds float64 `json:"simSeconds"`
+	// WallSinceAdvanceS is wall-clock seconds since the simulation last
+	// moved; a stalled or dead ticker grows it without bound.
+	WallSinceAdvanceS float64 `json:"wallSinceAdvanceS"`
+	CapW              float64 `json:"capW"`
+	Apps              int     `json:"apps"`
+	Waiting           int     `json:"waiting"`
+	// Degraded reports the accountant's fair-share fallback (heartbeat
+	// telemetry lost).
+	Degraded bool `json:"degraded"`
+	// Watchdog state of the cap-breach clamp.
+	WatchdogEngaged bool `json:"watchdogEngaged"`
+	WatchdogEngages int  `json:"watchdogEngages"`
+	CapBreachSteps  int  `json:"capBreachSteps"`
+	MaxBreachRun    int  `json:"maxBreachRun"`
+	// FaultEvents counts logged fault/recovery events; DroppedEvents
+	// counts entries evicted from the bounded logs.
+	FaultEvents   int    `json:"faultEvents"`
+	DroppedEvents int    `json:"droppedEvents"`
+	Err           string `json:"err,omitempty"`
+}
+
+// health snapshots liveness and robustness state.
+func (d *Daemon) health() Health {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ex := d.sim.Executor()
+	h := Health{
+		OK:                d.advErr == nil,
+		SimSeconds:        d.simTime,
+		WallSinceAdvanceS: time.Since(d.lastAdvance).Seconds(),
+		CapW:              ex.Cap(),
+		Apps:              ex.Apps(),
+		Waiting:           d.sim.Waiting(),
+		Degraded:          d.sim.Degraded(),
+		WatchdogEngaged:   ex.WatchdogEngaged(),
+		WatchdogEngages:   ex.WatchdogEngages(),
+		CapBreachSteps:    ex.CapBreachSteps(),
+		MaxBreachRun:      ex.MaxBreachRun(),
+		DroppedEvents:     d.sim.EventsDropped(),
+	}
+	if log := ex.FaultLog(); log != nil {
+		h.FaultEvents = log.Total()
+		h.DroppedEvents += log.Dropped()
+	}
+	if d.advErr != nil {
+		h.Err = d.advErr.Error()
+	}
+	return h
+}
+
+// Recover wraps a handler with panic recovery: a handler that panics
+// returns 500 instead of killing the whole control surface.
+func Recover(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				http.Error(w, fmt.Sprintf("internal error: %v", v), http.StatusInternalServerError)
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// Handler returns the daemon's HTTP API, wrapped in panic recovery.
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		h := d.health()
+		w.Header().Set("Content-Type", "application/json")
+		if !h.OK {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(h)
+	})
+	mux.HandleFunc("/faults", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		d.mu.Lock()
+		events := d.sim.Executor().FaultEvents()
+		d.mu.Unlock()
+		if events == nil {
+			events = []faults.Event{}
+		}
+		writeJSON(w, events)
+	})
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "GET only", http.StatusMethodNotAllowed)
@@ -242,8 +360,25 @@ func (d *Daemon) Handler() http.Handler {
 			fmt.Fprintf(w, "powerstruggle_app_watts{app=%q} %g\n", a.Name, a.PowerW)
 			fmt.Fprintf(w, "powerstruggle_app_budget_watts{app=%q} %g\n", a.Name, a.BudgetW)
 		}
+		h := d.health()
+		fmt.Fprintf(w, "# HELP powerstruggle_watchdog_engaged Cap-breach clamp currently engaged.\n")
+		fmt.Fprintf(w, "# TYPE powerstruggle_watchdog_engaged gauge\n")
+		fmt.Fprintf(w, "powerstruggle_watchdog_engaged %d\n", boolToInt(h.WatchdogEngaged))
+		fmt.Fprintf(w, "# HELP powerstruggle_cap_breach_steps_total Control intervals over the cap.\n")
+		fmt.Fprintf(w, "# TYPE powerstruggle_cap_breach_steps_total counter\n")
+		fmt.Fprintf(w, "powerstruggle_cap_breach_steps_total %d\n", h.CapBreachSteps)
+		fmt.Fprintf(w, "# HELP powerstruggle_fault_events_total Logged fault and recovery events.\n")
+		fmt.Fprintf(w, "# TYPE powerstruggle_fault_events_total counter\n")
+		fmt.Fprintf(w, "powerstruggle_fault_events_total %d\n", h.FaultEvents)
 	})
-	return mux
+	return Recover(mux)
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Admit schedules an application now (event E2).

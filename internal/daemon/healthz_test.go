@@ -1,0 +1,105 @@
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"powerstruggle/internal/faults"
+	"powerstruggle/internal/policy"
+)
+
+func TestHealthzHealthy(t *testing.T) {
+	d, srv := newTestDaemon(t)
+	if err := d.Admit(AdmitRequest{App: "STREAM"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Advance(1); err != nil {
+		t.Fatal(err)
+	}
+	var h Health
+	get(t, srv.URL+"/healthz", &h)
+	if !h.OK {
+		t.Fatalf("healthy daemon reports %+v", h)
+	}
+	if h.SimSeconds != 1 || h.Apps != 1 || h.CapW != 100 {
+		t.Errorf("health snapshot %+v", h)
+	}
+	if h.Degraded || h.WatchdogEngaged || h.Err != "" {
+		t.Errorf("fault fields set on a healthy run: %+v", h)
+	}
+}
+
+func TestHealthzReportsLatchedError(t *testing.T) {
+	d, srv := newTestDaemon(t)
+	d.mu.Lock()
+	d.advErr = errors.New("boom")
+	d.mu.Unlock()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy /healthz returned %d, want 503", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type %q on the 503 body", ct)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.OK || h.Err != "boom" {
+		t.Fatalf("latched error not surfaced: %+v", h)
+	}
+}
+
+func TestFaultsEndpoint(t *testing.T) {
+	d, err := New(Config{
+		Policy: policy.AppResAware, InitialCapW: 100,
+		Faults: &faults.Config{Seed: 3, KnobWriteFailP: 0.5, StuckDVFSP: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(srv.Close)
+
+	// Empty but present before anything faults.
+	var evs []faults.Event
+	get(t, srv.URL+"/faults", &evs)
+	if evs == nil || len(evs) != 0 {
+		t.Fatalf("fresh /faults = %v, want []", evs)
+	}
+
+	if err := d.Admit(AdmitRequest{App: "STREAM"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Advance(5); err != nil {
+		t.Fatal(err)
+	}
+	get(t, srv.URL+"/faults", &evs)
+	if len(evs) == 0 {
+		t.Fatal("no fault events after 5 s at 50% failure rates")
+	}
+	var h Health
+	get(t, srv.URL+"/healthz", &h)
+	if h.FaultEvents == 0 {
+		t.Fatalf("health counters missed the faults: %+v", h)
+	}
+}
+
+func TestRecoverTurnsPanicInto500(t *testing.T) {
+	h := Recover(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/status", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler returned %d, want 500", rec.Code)
+	}
+}

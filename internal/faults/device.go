@@ -1,0 +1,56 @@
+package faults
+
+import (
+	"powerstruggle/internal/esd"
+)
+
+// Device wraps an energy storage device with sensor-fault injection: the
+// state-of-charge read sticks at zero with probability SoCMisreadP (a
+// failed fuel gauge). Energy flow itself passes through — the physics
+// does not fault, only the measurement of it — so schedules keep their
+// energy balance while consumers of the SoC telemetry see garbage.
+type Device struct {
+	inj *Injector
+	dev *esd.Device
+	// now supplies simulated time for event stamps.
+	now func() float64
+}
+
+// NewDevice wraps dev. now supplies simulated time for event stamps and
+// may be nil.
+func NewDevice(inj *Injector, dev *esd.Device, now func() float64) *Device {
+	return &Device{inj: inj, dev: dev, now: now}
+}
+
+// Underlying returns the wrapped device.
+func (d *Device) Underlying() *esd.Device { return d.dev }
+
+func (d *Device) at() float64 {
+	if d.now != nil {
+		return d.now()
+	}
+	return 0
+}
+
+// SoC returns the state of charge, or zero on an injected misread.
+func (d *Device) SoC() float64 {
+	if d.inj.hit(d.inj.cfg.SoCMisreadP) {
+		d.inj.record(d.at(), "soc-misread", "battery", "state-of-charge read stuck at zero")
+		return 0
+	}
+	return d.dev.SoC()
+}
+
+// AvailableJ passes through: the brownout guard must see true deliverable
+// energy (it protects the cap; lying to it would make the guard itself a
+// fault amplifier — the SoC telemetry fault above covers misreads).
+func (d *Device) AvailableJ() float64 { return d.dev.AvailableJ() }
+
+// Charge passes through.
+func (d *Device) Charge(watts, dt float64) float64 { return d.dev.Charge(watts, dt) }
+
+// Discharge passes through.
+func (d *Device) Discharge(watts, dt float64) float64 { return d.dev.Discharge(watts, dt) }
+
+// Idle passes through.
+func (d *Device) Idle(dt float64) { d.dev.Idle(dt) }

@@ -1,0 +1,67 @@
+package faults
+
+import (
+	"fmt"
+
+	"powerstruggle/internal/heartbeat"
+)
+
+// Heartbeats wraps a heartbeat monitor with delivery-loss injection:
+// beat batches vanish with probability BeatDropP, and every beat is
+// swallowed during a server dropout window. Rates computed downstream
+// then under-report or flatline — the stale-telemetry condition the
+// accountant's fair-share degradation guards against.
+type Heartbeats struct {
+	inj *Injector
+	mon *heartbeat.Monitor
+	// now returns the current simulated time for dropout-window checks
+	// and event stamps; heartbeat delivery has no clock of its own.
+	now func() float64
+}
+
+// NewHeartbeats wraps mon. now supplies simulated time (may be nil, in
+// which case beat timestamps stamp the events and the dropout window is
+// checked against them).
+func NewHeartbeats(inj *Injector, mon *heartbeat.Monitor, now func() float64) *Heartbeats {
+	return &Heartbeats{inj: inj, mon: mon, now: now}
+}
+
+// Underlying returns the wrapped monitor.
+func (h *Heartbeats) Underlying() *heartbeat.Monitor { return h.mon }
+
+// Register passes through: producer registration is local bookkeeping.
+func (h *Heartbeats) Register(name string, windowSeconds float64) error {
+	return h.mon.Register(name, windowSeconds)
+}
+
+// Unregister passes through.
+func (h *Heartbeats) Unregister(name string) { h.mon.Unregister(name) }
+
+// Beat delivers count heartbeats from name at time t, dropping the
+// batch with probability BeatDropP (and always during a dropout
+// window). A dropped batch is silent — the producer believes it
+// reported.
+func (h *Heartbeats) Beat(name string, t, count float64) error {
+	now := t
+	if h.now != nil {
+		now = h.now()
+	}
+	if h.inj.droppedOut(now) {
+		h.inj.record(now, "beat-drop", name, "heartbeat lost in server dropout")
+		return nil
+	}
+	if h.inj.hit(h.inj.cfg.BeatDropP) {
+		h.inj.record(now, "beat-drop", name, fmt.Sprintf("batch of %.2f beats lost", count))
+		return nil
+	}
+	return h.mon.Beat(name, t, count)
+}
+
+// Rate passes through: the monitor's view is already degraded by
+// whatever deliveries were lost.
+func (h *Heartbeats) Rate(name string, now float64) (float64, error) {
+	return h.mon.Rate(name, now)
+}
+
+// Total passes through.
+func (h *Heartbeats) Total(name string) (float64, error) { return h.mon.Total(name) }

@@ -1,0 +1,108 @@
+package faults
+
+import "sync"
+
+// Event is one injected fault or one recovery action taken in response.
+// Both sides of the story share the log so an operator can line up "what
+// went wrong" with "what the runtime did about it".
+type Event struct {
+	// T is the simulated time of the event in seconds.
+	T float64 `json:"t"`
+	// Kind is the event class, e.g. "knob-write-fail" or
+	// "watchdog-engage". Injected faults and recovery actions use
+	// disjoint kinds.
+	Kind string `json:"kind"`
+	// Target names the entity involved: an application, a heartbeat
+	// producer, a slot — empty for server-wide events.
+	Target string `json:"target,omitempty"`
+	// Detail is a human-readable description.
+	Detail string `json:"detail,omitempty"`
+}
+
+// DefaultMaxEvents bounds a Log when the caller does not choose a limit.
+const DefaultMaxEvents = 4096
+
+// Log is a bounded, concurrency-safe ring of fault and recovery events.
+// When full it drops the oldest entries, so a long-running daemon keeps a
+// recent window instead of growing without limit; per-kind counters and
+// the dropped count survive the eviction.
+type Log struct {
+	mu      sync.Mutex
+	max     int
+	ring    []Event
+	next    int // ring write position
+	full    bool
+	total   int
+	dropped int
+	counts  map[string]int
+}
+
+// NewLog builds a log keeping at most max events (0 means
+// DefaultMaxEvents).
+func NewLog(max int) *Log {
+	if max <= 0 {
+		max = DefaultMaxEvents
+	}
+	return &Log{max: max, counts: make(map[string]int)}
+}
+
+// Append records one event, evicting the oldest if the ring is full.
+func (l *Log) Append(ev Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.ring) < l.max {
+		l.ring = append(l.ring, ev)
+	} else {
+		l.ring[l.next] = ev
+		l.next = (l.next + 1) % l.max
+		l.full = true
+		l.dropped++
+	}
+	l.total++
+	l.counts[ev.Kind]++
+}
+
+// Events returns the retained events in append order.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.full {
+		return append([]Event(nil), l.ring...)
+	}
+	out := make([]Event, 0, len(l.ring))
+	out = append(out, l.ring[l.next:]...)
+	out = append(out, l.ring[:l.next]...)
+	return out
+}
+
+// Total returns the lifetime event count, including evicted entries.
+func (l *Log) Total() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Dropped returns how many events were evicted by the ring bound.
+func (l *Log) Dropped() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Count returns the lifetime count of one event kind.
+func (l *Log) Count(kind string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.counts[kind]
+}
+
+// Counts returns a copy of the per-kind lifetime counters.
+func (l *Log) Counts() map[string]int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]int, len(l.counts))
+	for k, v := range l.counts {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package faults_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"powerstruggle/internal/accountant"
+	"powerstruggle/internal/coordinator"
+	"powerstruggle/internal/faults"
+	"powerstruggle/internal/policy"
+	"powerstruggle/internal/simhw"
+	"powerstruggle/internal/workload"
+)
+
+const soakK = 5 // coordinator.DefaultWatchdogK
+
+// soakConfig is the reference fault mix for the robustness soak: well
+// past the acceptance floor of 10% knob-write failures and 5% heartbeat
+// loss, plus silently-sticking DVFS and delayed memory limits.
+func soakConfig() *faults.Config {
+	return &faults.Config{
+		Seed:           7,
+		KnobWriteFailP: 0.15,
+		StuckDVFSP:     0.20,
+		MemDelayP:      0.10,
+		BeatDropP:      0.08,
+	}
+}
+
+// runSoak drives a full accountant mediation loop — three staggered
+// tenants, four cap changes — under the given fault config and returns
+// everything observable about the run.
+func runSoak(t *testing.T, fc *faults.Config, seconds float64) (*accountant.Sim, []byte) {
+	t.Helper()
+	hw := simhw.DefaultConfig()
+	lib, err := workload.NewLibrary(hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := accountant.NewSim(accountant.Config{
+		HW: hw, Policy: policy.AppResAware, Library: lib,
+		InitialCapW:    100,
+		ReallocSeconds: 0.8,
+		SampleEvery:    0.25,
+		Coord:          coordinator.Config{Faults: fc},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AddArrival(0, lib.MustApp("STREAM"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AddArrival(1, lib.MustApp("kmeans"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AddArrival(2, lib.MustApp("ferret"), 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ at, w float64 }{
+		{20, 85}, {45, 78}, {70, 95}, {95, 82},
+	} {
+		if err := sim.AddCapChange(c.at, c.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sim.Run(seconds); err != nil {
+		t.Fatalf("soak run failed: %v", err)
+	}
+	// Serialize every observable output so callers can compare runs
+	// byte-for-byte.
+	blob, err := json.Marshal(struct {
+		Samples []accountant.AppSample
+		Events  []accountant.Event
+		Faults  []faults.Event
+	}{sim.Samples(), sim.Events(), sim.Executor().FaultEvents()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, blob
+}
+
+// TestFaultSoak is the CI soak gate: a long mediated run under heavy
+// injected faults must not panic, must keep injecting (the harness is
+// live), and must never let the draw sit over the cap for more than K
+// consecutive control intervals — the watchdog's contract.
+func TestFaultSoak(t *testing.T) {
+	sim, _ := runSoak(t, soakConfig(), 120)
+	ex := sim.Executor()
+
+	log := ex.FaultLog()
+	if log == nil || log.Total() == 0 {
+		t.Fatal("soak ran without a single injected fault")
+	}
+	for _, kind := range []string{"knob-write-fail", "stuck-dvfs", "beat-drop"} {
+		if log.Count(kind) == 0 {
+			t.Errorf("no %q faults over a 120 s soak", kind)
+		}
+	}
+	if got := ex.MaxBreachRun(); got > soakK {
+		t.Fatalf("draw stayed over cap for %d consecutive intervals; watchdog K is %d", got, soakK)
+	}
+	if ex.CapBreachSteps() == 0 {
+		t.Error("soak never breached the cap — scenario too gentle to exercise the watchdog")
+	}
+	if ex.WatchdogEngages() == 0 {
+		t.Error("watchdog never engaged despite sustained faults and cap cuts")
+	}
+}
+
+// Two soaks with the same seed must agree byte-for-byte on every sample,
+// accountant event, and fault event.
+func TestFaultSoakDeterministic(t *testing.T) {
+	_, a := runSoak(t, soakConfig(), 40)
+	_, b := runSoak(t, soakConfig(), 40)
+	if string(a) != string(b) {
+		t.Fatal("identical seeds produced different soak outputs")
+	}
+}
+
+// With every fault rate at zero the hardened path must not exist: the
+// run's outputs are bit-identical to a run with no fault config at all.
+func TestZeroFaultRatesBitIdentical(t *testing.T) {
+	_, plain := runSoak(t, nil, 40)
+	_, zero := runSoak(t, &faults.Config{Seed: 7}, 40)
+	if string(plain) != string(zero) {
+		t.Fatal("zero-rate fault config perturbed the simulation")
+	}
+}
+
+// Total heartbeat loss must flip the accountant into degraded fair-share
+// mode, and the event log must say so.
+func TestHeartbeatLossDegrades(t *testing.T) {
+	hw := simhw.DefaultConfig()
+	lib, err := workload.NewLibrary(hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := accountant.NewSim(accountant.Config{
+		HW: hw, Policy: policy.AppResAware, Library: lib,
+		InitialCapW:     100,
+		ReallocSeconds:  0.5,
+		HeartbeatStaleS: 3,
+		Coord:           coordinator.Config{Faults: &faults.Config{Seed: 1, BeatDropP: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.AddArrival(0, lib.MustApp("STREAM"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if !sim.Degraded() {
+		t.Fatal("accountant not degraded after total heartbeat loss")
+	}
+	var lost bool
+	for _, e := range sim.Events() {
+		if e.Kind == accountant.EvHeartbeatLoss {
+			lost = true
+		}
+	}
+	if !lost {
+		t.Fatal("no heartbeat-loss event logged")
+	}
+}

@@ -1,0 +1,53 @@
+package heartbeat
+
+import "testing"
+
+// A producer that has never beaten reports a zero rate, not an error:
+// silence is a legitimate (and, under fault injection, load-bearing)
+// observation.
+func TestRateEmptyWindow(t *testing.T) {
+	m := NewMonitor()
+	if err := m.Register("app", 5); err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Rate("app", 0)
+	if err != nil {
+		t.Fatalf("rate of a silent producer: %v", err)
+	}
+	if r != 0 {
+		t.Fatalf("rate = %g with no beats, want 0", r)
+	}
+	tot, err := m.Total("app")
+	if err != nil || tot != 0 {
+		t.Fatalf("total = (%g, %v), want (0, nil)", tot, err)
+	}
+}
+
+// Once every beat has aged out of the window the rate must decay to
+// exactly zero — a stale burst must not keep reading as activity.
+func TestRateExpiredWindow(t *testing.T) {
+	m := NewMonitor()
+	if err := m.Register("app", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Beat("app", 0, 50); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := m.Rate("app", 1); r != 25 {
+		t.Fatalf("in-window rate = %g, want 25", r)
+	}
+	if r, _ := m.Rate("app", 100); r != 0 {
+		t.Fatalf("rate = %g long after the last beat, want 0", r)
+	}
+	// The lifetime total survives the window expiring.
+	if tot, _ := m.Total("app"); tot != 50 {
+		t.Fatalf("total = %g, want 50", tot)
+	}
+}
+
+func TestRateUnknownProducer(t *testing.T) {
+	m := NewMonitor()
+	if _, err := m.Rate("ghost", 0); err == nil {
+		t.Fatal("rate of an unregistered producer succeeded")
+	}
+}

@@ -1,0 +1,162 @@
+package rapl
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSysfsCounterFaults drives the zone parser over every way a real
+// powercap tree goes bad: the failure must surface as a typed
+// *CounterError naming the file, never as a silent zero-joule reading.
+func TestSysfsCounterFaults(t *testing.T) {
+	cases := []struct {
+		name     string
+		energyUJ string // "" omits the file entirely
+		wantErr  string // substring of the underlying error; "" means ok
+		notExist bool
+	}{
+		{name: "valid", energyUJ: "123456", wantErr: ""},
+		{name: "valid-with-whitespace", energyUJ: "  789\n\n", wantErr: ""},
+		{name: "missing-file", energyUJ: "", wantErr: "no such file", notExist: true},
+		{name: "empty-file", energyUJ: "\n", wantErr: "empty counter file"},
+		{name: "garbage", energyUJ: "not-a-number", wantErr: "invalid syntax"},
+		{name: "negative", energyUJ: "-5", wantErr: "invalid syntax"},
+		{name: "truncated-pair", energyUJ: "12 34", wantErr: "invalid syntax"},
+		{name: "overflow", energyUJ: "99999999999999999999999999", wantErr: "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, "name"), []byte("package-0\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if tc.energyUJ != "" {
+				if err := os.WriteFile(filepath.Join(dir, "energy_uj"), []byte(tc.energyUJ), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			z := &sysfsZone{dir: dir, name: "package-0"}
+			v, err := z.EnergyMicroJoules()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("malformed counter read as %d with no error", v)
+			}
+			var ce *CounterError
+			if !errors.As(err, &ce) {
+				t.Fatalf("error %v is not a *CounterError", err)
+			}
+			if !strings.HasSuffix(ce.Path, "energy_uj") {
+				t.Errorf("CounterError names %q, want the energy_uj path", ce.Path)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+			if tc.notExist && !errors.Is(err, fs.ErrNotExist) {
+				t.Errorf("missing-file error %v does not unwrap to fs.ErrNotExist", err)
+			}
+		})
+	}
+}
+
+func TestSysfsMaxEnergyRange(t *testing.T) {
+	dir := t.TempDir()
+	z := &sysfsZone{dir: dir, name: "package-0"}
+	// Kernel without the attribute: 0, no error — wrap handling is off.
+	r, err := z.MaxEnergyRangeMicroJoules()
+	if err != nil || r != 0 {
+		t.Fatalf("absent range file: got (%d, %v), want (0, nil)", r, err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "max_energy_range_uj"), []byte("262143328850\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err = z.MaxEnergyRangeMicroJoules()
+	if err != nil || r != 262143328850 {
+		t.Fatalf("got (%d, %v), want the advertised modulus", r, err)
+	}
+}
+
+// fakeZone is a scriptable counter for meter tests.
+type fakeZone struct {
+	uj   uint64
+	wrap uint64
+}
+
+func (z *fakeZone) Name() string                          { return "fake" }
+func (z *fakeZone) EnergyMicroJoules() (uint64, error)    { return z.uj, nil }
+func (z *fakeZone) PowerLimitMicroWatts() (uint64, error) { return 0, nil }
+func (z *fakeZone) SetPowerLimitMicroWatts(uint64) error  { return nil }
+func (z *fakeZone) Children() []Zone                      { return nil }
+func (z *fakeZone) MaxEnergyRangeMicroJoules() (uint64, error) {
+	return z.wrap, nil
+}
+
+func TestMeterUnwrapsCounterWraparound(t *testing.T) {
+	const wrap = 1_000_000 // 1 J modulus keeps the arithmetic readable
+	z := &fakeZone{uj: wrap - 100_000, wrap: wrap}
+	m := NewMeter(z) // must auto-detect the modulus via WrapRanger
+	if _, err := m.Sample(0); err != nil {
+		t.Fatal(err)
+	}
+	// The counter wraps: 100 mJ to the modulus plus 200 mJ past it.
+	z.uj = 200_000
+	w, err := m.Sample(1)
+	if err != nil {
+		t.Fatalf("wrapped sample: %v", err)
+	}
+	if want := 0.3; w < want-1e-9 || w > want+1e-9 {
+		t.Fatalf("wrapped delta read %g W, want %g", w, want)
+	}
+	// The stream keeps working after the wrap.
+	z.uj = 500_000
+	if w, err = m.Sample(2); err != nil || w < 0.3-1e-9 || w > 0.3+1e-9 {
+		t.Fatalf("post-wrap sample: (%g, %v)", w, err)
+	}
+}
+
+func TestMeterResetSurfacesError(t *testing.T) {
+	z := &fakeZone{uj: 500_000} // no modulus: a decrease is unexplained
+	m := NewMeter(z)
+	if _, err := m.Sample(0); err != nil {
+		t.Fatal(err)
+	}
+	z.uj = 100_000
+	if _, err := m.Sample(1); !errors.Is(err, ErrCounterReset) {
+		t.Fatalf("backwards counter got %v, want ErrCounterReset", err)
+	}
+	// The meter re-primed at the post-reset value: the next interval is
+	// measured from there, not poisoned by the reset.
+	z.uj = 300_000
+	w, err := m.Sample(2)
+	if err != nil {
+		t.Fatalf("post-reset sample: %v", err)
+	}
+	if want := 0.2; w < want-1e-9 || w > want+1e-9 {
+		t.Fatalf("post-reset power %g W, want %g", w, want)
+	}
+}
+
+func TestMeterSetWrapOverride(t *testing.T) {
+	z := &fakeZone{uj: 900} // WrapRanger reports 0: no modulus known
+	m := NewMeter(z)
+	m.SetWrap(1000)
+	if _, err := m.Sample(0); err != nil {
+		t.Fatal(err)
+	}
+	z.uj = 50
+	w, err := m.Sample(1)
+	if err != nil {
+		t.Fatalf("wrapped sample with manual modulus: %v", err)
+	}
+	if want := 150.0 / 1e6; w < want-1e-12 || w > want+1e-12 {
+		t.Fatalf("got %g W, want %g", w, want)
+	}
+}

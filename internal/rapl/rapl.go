@@ -10,10 +10,44 @@
 package rapl
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 )
+
+// CounterError is a typed read failure of a powercap counter file — a
+// missing, truncated, or garbage energy_uj is surfaced to the caller
+// instead of masquerading as a zero-joule reading.
+type CounterError struct {
+	// Path locates the offending file (or zone, for non-file backends).
+	Path string
+	// Err is the underlying read or parse failure.
+	Err error
+}
+
+// Error describes the failure.
+func (e *CounterError) Error() string {
+	return fmt.Sprintf("rapl: counter %s: %v", e.Path, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *CounterError) Unwrap() error { return e.Err }
+
+// ErrCounterReset marks an energy counter that went backwards without a
+// known wraparound range to explain it — a reset, a hotplug, or a
+// corrupted read. The meter re-primes itself; the caller should discard
+// the interval.
+var ErrCounterReset = errors.New("rapl: energy counter went backwards")
+
+// WrapRanger is implemented by zones that expose their energy counter's
+// wraparound modulus (Linux's max_energy_range_uj). Meters use it to
+// compute correct deltas across a counter wrap.
+type WrapRanger interface {
+	// MaxEnergyRangeMicroJoules returns the counter modulus, or 0 when
+	// unknown.
+	MaxEnergyRangeMicroJoules() (uint64, error)
+}
 
 // Zone is one powercap zone: a package, a DRAM domain, or a sub-zone.
 type Zone interface {
@@ -162,14 +196,33 @@ type Meter struct {
 	lastUJ uint64
 	lastT  float64
 	primed bool
+	// wrapUJ is the counter modulus (0: unknown); deltas across a wrap
+	// are computed as wrap - last + current.
+	wrapUJ uint64
 }
 
-// NewMeter builds a meter over a zone.
-func NewMeter(z Zone) *Meter { return &Meter{zone: z} }
+// NewMeter builds a meter over a zone, auto-detecting the counter's
+// wraparound modulus when the zone exposes one.
+func NewMeter(z Zone) *Meter {
+	m := &Meter{zone: z}
+	if wr, ok := z.(WrapRanger); ok {
+		if r, err := wr.MaxEnergyRangeMicroJoules(); err == nil {
+			m.wrapUJ = r
+		}
+	}
+	return m
+}
+
+// SetWrap overrides the counter's wraparound modulus (0 disables wrap
+// handling).
+func (m *Meter) SetWrap(uj uint64) { m.wrapUJ = uj }
 
 // Sample reads the counter at time t (seconds) and returns the average
 // power in watts since the previous sample. The first call primes the
-// meter and returns 0.
+// meter and returns 0. A counter that wrapped is unwrapped against the
+// zone's modulus; one that went backwards without a modulus to explain
+// it returns ErrCounterReset (and the meter re-primes), never a silent
+// zero.
 func (m *Meter) Sample(t float64) (float64, error) {
 	uj, err := m.zone.EnergyMicroJoules()
 	if err != nil {
@@ -185,8 +238,15 @@ func (m *Meter) Sample(t float64) (float64, error) {
 		return 0, fmt.Errorf("rapl: meter time went backwards (%g after %g)", t, m.lastT)
 	}
 	var dUJ uint64
-	if uj >= m.lastUJ {
+	switch {
+	case uj >= m.lastUJ:
 		dUJ = uj - m.lastUJ
+	case m.wrapUJ > 0 && m.lastUJ <= m.wrapUJ:
+		dUJ = m.wrapUJ - m.lastUJ + uj
+	default:
+		last := m.lastUJ
+		m.lastUJ, m.lastT = uj, t
+		return 0, fmt.Errorf("%w (%d after %d)", ErrCounterReset, uj, last)
 	}
 	m.lastUJ, m.lastT = uj, t
 	return float64(dUJ) / 1e6 / dt, nil

@@ -1,7 +1,9 @@
 package rapl
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -23,14 +25,21 @@ var _ Zone = (*sysfsZone)(nil)
 func (z *sysfsZone) Name() string { return z.name }
 
 // readUint reads a decimal uint64 from a file in the zone directory.
+// Both read and parse failures surface as *CounterError: a truncated or
+// garbage counter file must never read as zero joules.
 func (z *sysfsZone) readUint(file string) (uint64, error) {
-	b, err := os.ReadFile(filepath.Join(z.dir, file))
+	path := filepath.Join(z.dir, file)
+	b, err := os.ReadFile(path)
 	if err != nil {
-		return 0, err
+		return 0, &CounterError{Path: path, Err: err}
 	}
-	v, err := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64)
+	s := strings.TrimSpace(string(b))
+	if s == "" {
+		return 0, &CounterError{Path: path, Err: fmt.Errorf("empty counter file")}
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
 	if err != nil {
-		return 0, fmt.Errorf("rapl: %s/%s: %w", z.dir, file, err)
+		return 0, &CounterError{Path: path, Err: err}
 	}
 	return v, nil
 }
@@ -42,7 +51,23 @@ func (z *sysfsZone) EnergyMicroJoules() (uint64, error) {
 func (z *sysfsZone) PowerLimitMicroWatts() (uint64, error) {
 	v, err := z.readUint("constraint_0_power_limit_uw")
 	if err != nil {
-		if os.IsNotExist(err) {
+		// errors.Is sees through the CounterError wrapper; a zone
+		// without a constraint simply has no limit.
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	return v, nil
+}
+
+// MaxEnergyRangeMicroJoules reports the energy counter's wraparound
+// modulus from max_energy_range_uj (0 when the kernel does not expose
+// it).
+func (z *sysfsZone) MaxEnergyRangeMicroJoules() (uint64, error) {
+	v, err := z.readUint("max_energy_range_uj")
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
 			return 0, nil
 		}
 		return 0, err
