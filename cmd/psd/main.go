@@ -18,6 +18,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os/signal"
 	"strings"
 	"syscall"
@@ -26,6 +27,7 @@ import (
 	"powerstruggle/internal/daemon"
 	"powerstruggle/internal/faults"
 	"powerstruggle/internal/policy"
+	"powerstruggle/internal/telemetry"
 )
 
 var policies = map[string]policy.Kind{
@@ -51,6 +53,10 @@ func main() {
 		faultKnobFail = flag.Float64("fault-knob-fail", 0, "probability a knob/suspend write fails transiently")
 		faultStuck    = flag.Float64("fault-stuck-dvfs", 0, "probability a DVFS transition silently sticks")
 		faultBeatDrop = flag.Float64("fault-beat-drop", 0, "probability a heartbeat batch is lost")
+
+		telemetryOn = flag.Bool("telemetry", true, "instrument the control loop (/metrics registry, /trace spans)")
+		telemRing   = flag.Int("telemetry-ring", 0, "span ring size in events (0: 65536)")
+		pprofOn     = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -67,8 +73,13 @@ func main() {
 			BeatDropP:      *faultBeatDrop,
 		}
 	}
+	var hub *telemetry.Hub
+	if *telemetryOn {
+		hub = telemetry.New(*telemRing)
+	}
 	d, err := daemon.New(daemon.Config{
 		Policy: pol, InitialCapW: *capW, BatteryJ: *battery, Faults: fcfg,
+		Telemetry: hub,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -95,11 +106,21 @@ func main() {
 		}
 	}()
 
+	handler := d.Handler()
+	if *pprofOn {
+		// The pprof import registers on the default mux; mount it beside
+		// the daemon API instead of exposing the whole default mux.
+		outer := http.NewServeMux()
+		outer.Handle("/", handler)
+		outer.Handle("/debug/pprof/", http.DefaultServeMux)
+		handler = outer
+	}
+
 	// Conservative timeouts keep one stuck or malicious client from
 	// pinning a connection (and its goroutine) forever.
 	srv := &http.Server{
 		Addr:              *listen,
-		Handler:           d.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       10 * time.Second,
 		WriteTimeout:      30 * time.Second,

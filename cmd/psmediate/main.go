@@ -6,12 +6,15 @@
 // Usage:
 //
 //	psmediate -cap 100 -apps STREAM,kmeans -policy app+res -seconds 30
+//	psmediate -cap 80 -telemetry-trace out.json   # Perfetto-loadable spans
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
@@ -47,6 +50,38 @@ func sweepCaps(srv *powerstruggle.Server, pol powerstruggle.Policy, spec string,
 	return nil
 }
 
+// dumpTelemetry writes the requested exports after the experiment.
+func dumpTelemetry(hub *powerstruggle.Telemetry, tracePath, jsonlPath string, metrics bool) {
+	if hub == nil {
+		return
+	}
+	writeFile := func(path string, write func(*os.File) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if tracePath != "" {
+		writeFile(tracePath, func(f *os.File) error { return hub.Tracer().WriteChromeTrace(f) })
+		log.Printf("wrote %d trace events to %s (open in ui.perfetto.dev)", hub.Tracer().Written(), tracePath)
+	}
+	if jsonlPath != "" {
+		writeFile(jsonlPath, func(f *os.File) error { return hub.Tracer().WriteJSONL(f) })
+	}
+	if metrics {
+		if err := hub.Registry().WritePrometheus(os.Stderr); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
 var policies = map[string]powerstruggle.Policy{
 	"util-unaware": powerstruggle.UtilUnaware,
 	"server+res":   powerstruggle.ServerResAware,
@@ -68,6 +103,12 @@ func main() {
 		list     = flag.Bool("list", false, "list available applications and exit")
 		sweep    = flag.String("sweep", "", "sweep caps lo:hi:step and print total perf per cap (e.g. 75:120:5)")
 		profiles = flag.String("profiles", "", "JSON file of custom application profiles; -apps then names profiles from it")
+
+		telemetryOn  = flag.Bool("telemetry", false, "instrument the run (implied by the other -telemetry-* flags)")
+		telemTrace   = flag.String("telemetry-trace", "", "write control-loop spans as Chrome trace_event JSON to FILE")
+		telemJSONL   = flag.String("telemetry-jsonl", "", "write control-loop spans as JSON lines to FILE")
+		telemMetrics = flag.Bool("telemetry-metrics", false, "print the Prometheus metrics page to stderr after the run")
+		pprofListen  = flag.String("pprof-listen", "", "serve net/http/pprof on this address for the run's duration")
 	)
 	flag.Parse()
 
@@ -75,8 +116,25 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown policy %q (want one of util-unaware, server+res, app, app+res, app+res+esd)", *polName)
 	}
+	if *telemTrace != "" || *telemJSONL != "" || *telemMetrics {
+		*telemetryOn = true
+	}
 	cfg := powerstruggle.Defaults()
 	cfg.BatteryJ = *battery
+	var hub *powerstruggle.Telemetry
+	if *telemetryOn {
+		hub = powerstruggle.NewTelemetry(0)
+		cfg.Telemetry = hub
+	}
+	if *pprofListen != "" {
+		// The pprof import registers on the default mux; a short
+		// experiment rarely outlives the server, so errors just log.
+		go func() {
+			if err := http.ListenAndServe(*pprofListen, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 	srv, err := powerstruggle.NewServer(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -122,12 +180,14 @@ func main() {
 		if err := sweepCaps(srv, pol, *sweep, *seconds); err != nil {
 			log.Fatal(err)
 		}
+		dumpTelemetry(hub, *telemTrace, *telemJSONL, *telemMetrics)
 		return
 	}
 	res, err := srv.Run(pol, *seconds)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer dumpTelemetry(hub, *telemTrace, *telemJSONL, *telemMetrics)
 
 	fmt.Printf("policy        %v (%s coordination)\n", res.Policy, res.Mode)
 	fmt.Printf("cap           %.1f W\n", *capW)

@@ -5,18 +5,28 @@
 // dynamic events — E1 cap change, E2 application arrival, E3 application
 // departure, E4 significant drift between an application's draw and its
 // allocated budget (load variation or phase change).
+//
+// Each trigger opens a re-allocation window in which the accountant
+// re-calibrates utility curves (internal/cf) and asks the
+// PowerAllocator (R1/R2) for a fresh plan the Coordinator then actuates
+// (R3/R4). With a telemetry.Hub attached, every event, replan, and
+// calibration is counted and the window is drawn as a plan span on the
+// trace timeline (docs/METRICS.md); instrumentation never changes the
+// simulation's outputs.
 package accountant
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"powerstruggle/internal/allocator"
 	"powerstruggle/internal/coordinator"
 	"powerstruggle/internal/esd"
 	"powerstruggle/internal/policy"
 	"powerstruggle/internal/simhw"
+	"powerstruggle/internal/telemetry"
 	"powerstruggle/internal/workload"
 )
 
@@ -210,7 +220,10 @@ type Sim struct {
 
 	pendingRealloc float64 // seconds left before the next plan lands
 	reallocQueued  bool
+	reallocStart   float64 // when the open window's first trigger fired
 	lastPoll       float64
+
+	tel simTel
 
 	// Heartbeat-loss tracking (parallel to the active application set):
 	// the last seen delivered-beat total, when it last advanced, and
@@ -259,7 +272,9 @@ func NewSim(cfg Config) (*Sim, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Sim{cfg: cfg, ex: ex}, nil
+	s := &Sim{cfg: cfg, ex: ex}
+	s.tel = newSimTel(cc.Telemetry)
+	return s, nil
 }
 
 // AddArrival schedules an application to arrive at time at with beats of
@@ -315,6 +330,9 @@ func (s *Sim) replan() error {
 	if s.ex.Apps() == 0 {
 		return nil
 	}
+	if s.tel.enabled {
+		defer s.tel.observeReplan(time.Now())
+	}
 	profiles := make([]*workload.Profile, s.ex.Apps())
 	for i := range profiles {
 		profiles[i] = s.ex.Instance(i).Effective()
@@ -342,9 +360,19 @@ func (s *Sim) replan() error {
 	}
 	if s.cfg.Estimator != nil {
 		ctx.CurveOverride = func(i int, p *workload.Profile) *workload.Curve {
+			var start time.Time
+			if s.tel.enabled {
+				start = time.Now()
+			}
 			// Estimation failures fall back (nil) to the policy's own
 			// curve construction; they are not fatal.
 			c, err := s.cfg.Estimator.Curve(p)
+			if s.tel.enabled {
+				s.tel.observeCalibration(start)
+				s.tel.tracer.Instant("calibrate", telemetry.CatCalibrate,
+					telemetry.TidAccountant, s.ex.Now(),
+					telemetry.A("app", p.Name), telemetry.A("ok", err == nil))
+			}
 			if err != nil {
 				return nil
 			}
@@ -396,6 +424,9 @@ func (s *Sim) Waiting() int { return len(s.waiting) }
 
 // queueRealloc starts (or restarts) the re-allocation latency window.
 func (s *Sim) queueRealloc() {
+	if !s.reallocQueued {
+		s.reallocStart = s.ex.Now()
+	}
 	s.pendingRealloc = s.cfg.ReallocSeconds
 	s.reallocQueued = true
 }
@@ -403,6 +434,11 @@ func (s *Sim) queueRealloc() {
 // logEvent records a trigger, evicting the oldest entries past the
 // configured bound.
 func (s *Sim) logEvent(kind EventKind, app, detail string) {
+	if s.tel.enabled {
+		s.tel.events.With(kind.String()).Inc()
+		s.tel.tracer.Instant(kind.String(), telemetry.CatPlan, telemetry.TidAccountant,
+			s.ex.Now(), telemetry.A("app", app), telemetry.A("detail", detail))
+	}
 	s.events = append(s.events, Event{T: s.ex.Now(), Kind: kind, App: app, CapW: s.ex.Cap(), Detail: detail})
 	if max := s.cfg.maxEvents(); max > 0 && len(s.events) > max {
 		n := len(s.events) - max
@@ -550,8 +586,18 @@ func (s *Sim) Run(seconds float64) error {
 			s.pendingRealloc -= dt
 			if s.pendingRealloc <= 0 {
 				s.reallocQueued = false
+				var prevBudgets []float64
+				if s.tel.enabled {
+					if sched, ok := s.ex.Schedule(); ok {
+						prevBudgets = append(prevBudgets, sched.AppBudgetW...)
+					}
+				}
 				if err := s.replan(); err != nil {
 					return err
+				}
+				if s.tel.enabled {
+					s.emitPlanSpan(s.reallocStart)
+					s.recordApportionDeltas(prevBudgets)
 				}
 			}
 		}
@@ -584,12 +630,14 @@ func (s *Sim) Run(seconds float64) error {
 		// injection so fault-free runs stay untouched.
 		if s.faultsEnabled() && now-s.lastHB >= poll-1e-12 {
 			s.lastHB = now
+			s.tel.hbChecks.Inc()
 			s.checkHeartbeats(now)
 		}
 
 		// E4: poll draw vs budget.
 		if now-s.lastPoll >= poll-1e-12 && !s.reallocQueued {
 			s.lastPoll = now
+			s.tel.polls.Inc()
 			if sched, ok := s.ex.Schedule(); ok && len(sched.AppBudgetW) == s.ex.Apps() {
 				for i := 0; i < s.ex.Apps(); i++ {
 					budget := sched.AppBudgetW[i]
@@ -604,6 +652,10 @@ func (s *Sim) Run(seconds float64) error {
 					}
 				}
 			}
+		}
+
+		if s.tel.enabled {
+			s.setGauges()
 		}
 
 		// Record.

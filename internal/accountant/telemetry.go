@@ -1,0 +1,123 @@
+package accountant
+
+import (
+	"time"
+
+	"powerstruggle/internal/telemetry"
+)
+
+// simTel is the accountant's pre-resolved instrument set, built once in
+// NewSim from the hub the coordinator Config carries. A disabled hub
+// leaves enabled false and every handle nil; all call sites either
+// branch on enabled or hit the handles' nil no-ops, so the
+// uninstrumented run does no extra work and stays bit-identical.
+type simTel struct {
+	enabled bool
+	tracer  *telemetry.Tracer
+
+	events          *telemetry.CounterVec
+	replans         *telemetry.Counter
+	replanSeconds   *telemetry.Histogram
+	calibrations    *telemetry.Counter
+	calibrateSecs   *telemetry.Histogram
+	polls           *telemetry.Counter
+	hbChecks        *telemetry.Counter
+	apportionDeltaW *telemetry.Histogram
+	degraded        *telemetry.Gauge
+	apps            *telemetry.Gauge
+	waitingApps     *telemetry.Gauge
+}
+
+func newSimTel(h *telemetry.Hub) simTel {
+	reg := h.Registry()
+	if reg == nil {
+		return simTel{}
+	}
+	return simTel{
+		enabled: true,
+		tracer:  h.Tracer(),
+		events: reg.CounterVec("ps_accountant_events_total",
+			"Re-allocation triggers logged, by event kind (E1..E4 plus robustness events).", "kind"),
+		replans: reg.Counter("ps_accountant_replans_total",
+			"Plans computed and installed after a re-allocation window elapsed."),
+		replanSeconds: reg.Histogram("ps_accountant_replan_seconds",
+			"Wall-clock cost of one replan (policy solve plus schedule install).",
+			telemetry.LatencyBuckets()),
+		calibrations: reg.Counter("ps_accountant_calibrations_total",
+			"Utility-model refreshes: estimator curve queries during replans."),
+		calibrateSecs: reg.Histogram("ps_accountant_calibration_seconds",
+			"Wall-clock cost of one estimator curve query.",
+			telemetry.LatencyBuckets()),
+		polls: reg.Counter("ps_accountant_polls_total",
+			"E4 status polls comparing per-application draw against budget."),
+		hbChecks: reg.Counter("ps_accountant_heartbeat_checks_total",
+			"Telemetry-loss sweeps over the active applications."),
+		apportionDeltaW: reg.Histogram("ps_accountant_apportion_delta_watts",
+			"Absolute per-application budget change between successive plans.",
+			telemetry.WattBuckets()),
+		degraded: reg.Gauge("ps_accountant_degraded",
+			"1 while the accountant runs fair-share degraded mode after heartbeat loss."),
+		apps: reg.Gauge("ps_accountant_apps",
+			"Applications currently placed on the server."),
+		waitingApps: reg.Gauge("ps_accountant_waiting_apps",
+			"Admitted applications waiting for free direct resources."),
+	}
+}
+
+// observeReplan closes out one replan's wall-clock measurement.
+func (t *simTel) observeReplan(start time.Time) {
+	t.replans.Inc()
+	t.replanSeconds.Observe(time.Since(start).Seconds())
+}
+
+// observeCalibration records one estimator query.
+func (t *simTel) observeCalibration(start time.Time) {
+	t.calibrations.Inc()
+	t.calibrateSecs.Observe(time.Since(start).Seconds())
+}
+
+// emitPlanSpan draws the re-allocation window — trigger to plan install
+// — as a plan span on the accountant track.
+func (s *Sim) emitPlanSpan(startS float64) {
+	if !s.tel.enabled {
+		return
+	}
+	now := s.ex.Now()
+	s.tel.tracer.Span("plan", telemetry.CatPlan, telemetry.TidAccountant,
+		startS, now-startS,
+		telemetry.A("apps", s.ex.Apps()),
+		telemetry.A("cap_w", s.ex.Cap()),
+		telemetry.A("degraded", s.degraded))
+}
+
+// recordApportionDeltas compares the freshly installed plan's budgets
+// against the previous plan's, index-aligned over the common prefix
+// (departures replan immediately, so stale indexings never persist).
+func (s *Sim) recordApportionDeltas(prev []float64) {
+	sched, ok := s.ex.Schedule()
+	if !ok {
+		return
+	}
+	n := len(sched.AppBudgetW)
+	if len(prev) < n {
+		n = len(prev)
+	}
+	for i := 0; i < n; i++ {
+		d := sched.AppBudgetW[i] - prev[i]
+		if d < 0 {
+			d = -d
+		}
+		s.tel.apportionDeltaW.Observe(d)
+	}
+}
+
+// setGauges refreshes the accountant's state gauges once per step.
+func (s *Sim) setGauges() {
+	s.tel.apps.Set(float64(s.ex.Apps()))
+	s.tel.waitingApps.Set(float64(len(s.waiting)))
+	if s.degraded {
+		s.tel.degraded.Set(1)
+	} else {
+		s.tel.degraded.Set(0)
+	}
+}

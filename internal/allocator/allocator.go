@@ -15,6 +15,7 @@ package allocator
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"powerstruggle/internal/simhw"
 	"powerstruggle/internal/workload"
@@ -60,9 +61,13 @@ type Plan struct {
 // curves, maximizing the sum of normalized performances (the paper's
 // objective with all applications weighed evenly). stepW sets the DP
 // resolution; pass 0 for DefaultStepW.
-func Apportion(curves []*workload.Curve, budget, stepW float64) (Plan, error) {
+func Apportion(curves []*workload.Curve, budget, stepW float64) (plan Plan, err error) {
 	if len(curves) == 0 {
 		return Plan{}, fmt.Errorf("allocator: no applications to apportion across")
+	}
+	if h := tel.Load(); h != nil {
+		start := time.Now()
+		defer func() { h.observeSolve("dp", start, budget, plan) }()
 	}
 	if stepW <= 0 {
 		stepW = DefaultStepW
@@ -105,7 +110,7 @@ func Apportion(curves []*workload.Curve, budget, stepW float64) (Plan, error) {
 	}
 
 	// Walk the choices back from the full budget.
-	plan := Plan{Allocs: make([]Allocation, len(curves))}
+	plan = Plan{Allocs: make([]Allocation, len(curves))}
 	l := levels - 1
 	for i := len(curves) - 1; i >= 0; i-- {
 		k := choice[i][l]
@@ -124,15 +129,19 @@ func Apportion(curves []*workload.Curve, budget, stepW float64) (Plan, error) {
 // EqualSplit apportions the budget evenly across all applications — the
 // Util-Unaware baseline's R1 decision — and reads each application's
 // operating point off its curve.
-func EqualSplit(curves []*workload.Curve, budget float64) (Plan, error) {
+func EqualSplit(curves []*workload.Curve, budget float64) (plan Plan, err error) {
 	if len(curves) == 0 {
 		return Plan{}, fmt.Errorf("allocator: no applications to apportion across")
+	}
+	if h := tel.Load(); h != nil {
+		start := time.Now()
+		defer func() { h.observeSolve("equal", start, budget, plan) }()
 	}
 	if budget < 0 {
 		budget = 0
 	}
 	share := budget / float64(len(curves))
-	plan := Plan{Allocs: make([]Allocation, len(curves))}
+	plan = Plan{Allocs: make([]Allocation, len(curves))}
 	for i, c := range curves {
 		pt, ok := c.At(share)
 		plan.Allocs[i] = Allocation{BudgetW: share, Point: pt, Runnable: ok}
@@ -148,15 +157,19 @@ func EqualSplit(curves []*workload.Curve, budget float64) (Plan, error) {
 // operating point by adopting the knob shape a reference curve (the
 // library-average one) chooses at the share — the Server+Res-Aware
 // baseline: resource-utility aware on average, application-unaware.
-func ShapedSplit(cfg ShapeConfig, budget float64) (Plan, error) {
+func ShapedSplit(cfg ShapeConfig, budget float64) (plan Plan, err error) {
 	if len(cfg.Profiles) == 0 {
 		return Plan{}, fmt.Errorf("allocator: no applications to apportion across")
+	}
+	if h := tel.Load(); h != nil {
+		start := time.Now()
+		defer func() { h.observeSolve("shaped", start, budget, plan) }()
 	}
 	if budget < 0 {
 		budget = 0
 	}
 	share := budget / float64(len(cfg.Profiles))
-	plan := Plan{Allocs: make([]Allocation, len(cfg.Profiles))}
+	plan = Plan{Allocs: make([]Allocation, len(cfg.Profiles))}
 	shapePt, shapeOK := cfg.Shape.At(share)
 	for i, p := range cfg.Profiles {
 		var (

@@ -16,6 +16,7 @@ import (
 	"powerstruggle/internal/faults"
 	"powerstruggle/internal/policy"
 	"powerstruggle/internal/simhw"
+	"powerstruggle/internal/telemetry"
 	"powerstruggle/internal/trace"
 	"powerstruggle/internal/workload"
 )
@@ -80,6 +81,11 @@ type Config struct {
 	// them at each cap point and re-apportions the budget across the
 	// survivors.
 	Dropouts []Dropout
+	// Telemetry, when non-nil, instruments the replay: per-server budget
+	// gauges, reapportion and cap-violation counters, and dropout/return
+	// instants on the cluster trace track. nil replays uninstrumented
+	// with identical results.
+	Telemetry *telemetry.Hub
 }
 
 // hasBattery reports whether server i carries an ESD.
@@ -150,6 +156,7 @@ type Evaluator struct {
 	cache     map[serverPlanKey]serverPlan
 	utilCache map[utilKey]utilityCacheEntry
 	flog      *faults.Log
+	tel       clusterTel
 }
 
 // NewEvaluator builds an evaluator, validating the configuration.
@@ -172,7 +179,11 @@ func NewEvaluator(cfg Config) (*Evaluator, error) {
 	if err := validateDropouts(cfg); err != nil {
 		return nil, err
 	}
-	return &Evaluator{cfg: cfg, cache: make(map[serverPlanKey]serverPlan)}, nil
+	return &Evaluator{
+		cfg:   cfg,
+		cache: make(map[serverPlanKey]serverPlan),
+		tel:   newClusterTel(cfg.Telemetry),
+	}, nil
 }
 
 // Servers returns the cluster size.
@@ -292,6 +303,7 @@ func (e *Evaluator) Evaluate(caps []trace.Point, strat Strategy) (Result, error)
 		alive := e.aliveAt(cp.T)
 		if e.noteTransitions(cp.T, prevAlive, alive) {
 			res.Reapportions++
+			e.tel.reapportions.Inc()
 		}
 		prevAlive = alive
 		var perf, grid float64
@@ -313,9 +325,11 @@ func (e *Evaluator) Evaluate(caps []trace.Point, strat Strategy) (Result, error)
 		}
 		res.PerfSeries = append(res.PerfSeries, trace.Point{T: cp.T, V: perf})
 		res.GridSeries = append(res.GridSeries, trace.Point{T: cp.T, V: grid})
-		if grid > cp.V+1e-6 {
+		violated := grid > cp.V+1e-6
+		if violated {
 			res.CapViolations++
 		}
+		e.noteStep(cp.T, cp.V, grid, alive, violated)
 		perfSum += perf
 		var dt float64
 		if i+1 < len(caps) {

@@ -100,6 +100,7 @@ func (e *Evaluator) noteTransitions(t float64, prev, cur []bool) bool {
 			continue
 		}
 		changed = true
+		e.noteTransitionEvent(t, i, is)
 		if e.flog == nil {
 			e.flog = faults.NewLog(0)
 		}

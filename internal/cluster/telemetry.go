@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"strconv"
+
+	"powerstruggle/internal/telemetry"
+)
+
+// clusterTel is the evaluator's pre-resolved instrument set. The
+// evaluator replays cap schedules offline, so the interesting signals
+// are per-server budget grants, alive-set churn, and cap violations —
+// the cluster-level counterparts of Fig. 12's peak-shaving replay.
+type clusterTel struct {
+	enabled bool
+	tracer  *telemetry.Tracer
+
+	steps         *telemetry.Counter
+	reapportions  *telemetry.Counter
+	capViolations *telemetry.Counter
+	aliveServers  *telemetry.Gauge
+	clusterCapW   *telemetry.Gauge
+	clusterGridW  *telemetry.Gauge
+	serverBudgetW *telemetry.GaugeVec
+}
+
+func newClusterTel(h *telemetry.Hub) clusterTel {
+	reg := h.Registry()
+	if reg == nil {
+		return clusterTel{}
+	}
+	return clusterTel{
+		enabled: true,
+		tracer:  h.Tracer(),
+		steps: reg.Counter("ps_cluster_steps_total",
+			"Cap-schedule points replayed."),
+		reapportions: reg.Counter("ps_cluster_reapportions_total",
+			"Alive-set transitions (dropouts and returns) that re-apportioned the cluster budget."),
+		capViolations: reg.Counter("ps_cluster_cap_violations_total",
+			"Replay steps where cluster grid draw exceeded the granted cap."),
+		aliveServers: reg.Gauge("ps_cluster_alive_servers",
+			"Servers currently reachable at the replayed point."),
+		clusterCapW: reg.Gauge("ps_cluster_cap_watts",
+			"Cluster cap at the last replayed point."),
+		clusterGridW: reg.Gauge("ps_cluster_grid_watts",
+			"Cluster grid draw at the last replayed point."),
+		serverBudgetW: reg.GaugeVec("ps_cluster_server_budget_watts",
+			"Per-server budget granted at the last replayed point (0 while dropped out).", "server"),
+	}
+}
+
+// noteStep records one replayed cap point's outcome.
+func (e *Evaluator) noteStep(t, capW, gridW float64, alive []bool, violated bool) {
+	if !e.tel.enabled {
+		return
+	}
+	e.tel.steps.Inc()
+	e.tel.clusterCapW.Set(capW)
+	e.tel.clusterGridW.Set(gridW)
+	n := e.aliveCount(alive)
+	e.tel.aliveServers.Set(float64(n))
+	var per float64
+	if n > 0 {
+		per = capW / float64(n)
+	}
+	for i := range e.cfg.Mixes {
+		if isAlive(alive, i) {
+			e.tel.serverBudgetW.With(strconv.Itoa(i)).Set(per)
+		} else {
+			e.tel.serverBudgetW.With(strconv.Itoa(i)).Set(0)
+		}
+	}
+	if violated {
+		e.tel.capViolations.Inc()
+	}
+}
+
+// noteTransitionEvent mirrors one dropout/return into the trace as an
+// instant on the cluster track.
+func (e *Evaluator) noteTransitionEvent(t float64, server int, returned bool) {
+	if !e.tel.enabled {
+		return
+	}
+	kind := "server-dropout"
+	if returned {
+		kind = "server-return"
+	}
+	e.tel.tracer.Instant(kind, telemetry.CatCluster, telemetry.TidClusterT, t,
+		telemetry.A("server", server))
+}

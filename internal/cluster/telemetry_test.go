@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"powerstruggle/internal/simhw"
+	"powerstruggle/internal/telemetry"
+	"powerstruggle/internal/workload"
+)
+
+func TestClusterTelemetry(t *testing.T) {
+	hw := simhw.DefaultConfig()
+	lib, err := workload.NewLibrary(hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixes := workload.Mixes()
+	assign := make([]workload.Mix, 4)
+	for i := range assign {
+		assign[i] = mixes[i%len(mixes)]
+	}
+	hub := telemetry.New(0)
+	ev, err := NewEvaluator(Config{
+		HW: hw, Library: lib, Mixes: assign,
+		Dropouts:  []Dropout{{Server: 1, FromT: 1.5, ToT: 3.5}},
+		Telemetry: hub,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uc, err := ev.UncappedClusterW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := flatCaps(0.7*uc, 5) // server 1 out at t = 2, 3
+	res, err := ev.Evaluate(caps, EqualOurs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := hub.Registry()
+	if got := reg.Counter("ps_cluster_steps_total", "").Value(); got != uint64(len(caps)) {
+		t.Fatalf("steps counter = %d, want %d", got, len(caps))
+	}
+	if got := reg.Counter("ps_cluster_reapportions_total", "").Value(); got != uint64(res.Reapportions) {
+		t.Fatalf("reapportions counter = %d, result says %d", got, res.Reapportions)
+	}
+	if res.Reapportions != 2 {
+		t.Fatalf("Reapportions = %d, want 2 (one dropout, one return)", res.Reapportions)
+	}
+	if got := reg.Counter("ps_cluster_cap_violations_total", "").Value(); got != uint64(res.CapViolations) {
+		t.Fatalf("violations counter = %d, result says %d", got, res.CapViolations)
+	}
+	// The schedule ends with every server back: 4 alive, equal budgets.
+	if got := reg.Gauge("ps_cluster_alive_servers", "").Value(); got != 4 {
+		t.Fatalf("alive gauge = %g, want 4", got)
+	}
+	per := caps[len(caps)-1].V / 4
+	for _, s := range []string{"0", "1", "2", "3"} {
+		if got := reg.GaugeVec("ps_cluster_server_budget_watts", "", "server").With(s).Value(); got != per {
+			t.Fatalf("server %s budget gauge = %g, want %g", s, got, per)
+		}
+	}
+	// Dropout and return both landed on the cluster trace track.
+	var drops, returns int
+	for _, evn := range hub.Tracer().Events() {
+		if evn.Tid != telemetry.TidClusterT {
+			continue
+		}
+		switch evn.Name {
+		case "server-dropout":
+			drops++
+		case "server-return":
+			returns++
+		}
+	}
+	if drops != 1 || returns != 1 {
+		t.Fatalf("trace has %d dropouts / %d returns, want 1/1", drops, returns)
+	}
+	var prom bytes.Buffer
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(prom.Bytes(), []byte(`ps_cluster_server_budget_watts{server="1"}`)) {
+		t.Fatal("metrics page lacks labeled per-server budget series")
+	}
+}
+
+// Evaluation results must be identical with and without instrumentation.
+func TestClusterTelemetryResultsUnchanged(t *testing.T) {
+	build := func(hub *telemetry.Hub) *Evaluator {
+		hw := simhw.DefaultConfig()
+		lib, err := workload.NewLibrary(hw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mixes := workload.Mixes()
+		assign := make([]workload.Mix, 3)
+		for i := range assign {
+			assign[i] = mixes[i%len(mixes)]
+		}
+		ev, err := NewEvaluator(Config{
+			HW: hw, Library: lib, Mixes: assign,
+			Dropouts:  []Dropout{{Server: 0, FromT: 1, ToT: 2}},
+			Telemetry: hub,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ev
+	}
+	bare := build(nil)
+	inst := build(telemetry.New(0))
+	uc, err := bare.UncappedClusterW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := flatCaps(0.65*uc, 4)
+	a, err := bare.Evaluate(caps, EqualOurs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := inst.Evaluate(caps, EqualOurs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgPerfFrac != b.AvgPerfFrac || a.EnergyJ != b.EnergyJ ||
+		a.CapViolations != b.CapViolations || a.Reapportions != b.Reapportions {
+		t.Fatalf("instrumented replay diverged:\n  bare: %+v\n  inst: %+v", a, b)
+	}
+}

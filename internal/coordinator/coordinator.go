@@ -5,6 +5,14 @@
 // cycling, R3b), or in both by banking energy in an ESD while the sockets
 // deep-sleep and over-drawing the cap from the battery while every
 // application runs at once, amortizing the non-convex P_cm (R4).
+//
+// The Executor drives these schedules on the simulated platform every
+// ~10 ms control interval, hardened against injected faults (bounded
+// retries, the cap-breach watchdog — see internal/faults) and, when a
+// telemetry.Hub is attached, fully instrumented: per-knob actuation
+// latencies, watchdog and retry counters, and one interval span with
+// per-tenant actuate slices on the trace timeline (docs/METRICS.md).
+// Attaching telemetry never changes a run's outputs.
 package coordinator
 
 import (
@@ -15,6 +23,7 @@ import (
 	"powerstruggle/internal/esd"
 	"powerstruggle/internal/faults"
 	"powerstruggle/internal/simhw"
+	"powerstruggle/internal/telemetry"
 	"powerstruggle/internal/workload"
 )
 
@@ -153,6 +162,12 @@ type Config struct {
 	// MaxRetries bounds the immediate same-step retries of a
 	// transiently failed actuation; 0 means DefaultMaxRetries.
 	MaxRetries int
+	// Telemetry, when non-nil, instruments the executor: per-interval
+	// control-loop spans, actuation latency/retry/watchdog metrics, and
+	// injected-vs-observed fault counters all land in the hub. nil runs
+	// the uninstrumented fast path — the numerical results are
+	// bit-identical either way (telemetry only observes, never steers).
+	Telemetry *telemetry.Hub
 }
 
 // Defaults for Config.

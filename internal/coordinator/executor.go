@@ -85,6 +85,8 @@ type Executor struct {
 
 	wd watchdog
 
+	tel execTel
+
 	now float64
 }
 
@@ -103,6 +105,8 @@ func NewExecutor(cfg Config, dev *esd.Device) (*Executor, error) {
 	if dev != nil {
 		e.store = dev
 	}
+	e.tel = newExecTel(cfg.Telemetry)
+	e.nameTenantTracks()
 	e.wd.recoverAt = -1
 	if cfg.Faults != nil && cfg.Faults.Enabled() {
 		inj, err := faults.NewInjector(*cfg.Faults)
@@ -112,6 +116,10 @@ func NewExecutor(cfg Config, dev *esd.Device) (*Executor, error) {
 		now := func() float64 { return e.now }
 		e.inj = inj
 		e.flog = inj.Log()
+		if e.tel.enabled {
+			injected := e.tel.injected
+			inj.SetObserver(func(kind string) { injected.With(kind).Inc() })
+		}
 		e.srv = faults.NewServer(inj, raw)
 		e.beats = faults.NewHeartbeats(inj, e.hb, now)
 		if dev != nil {
@@ -191,6 +199,7 @@ func (e *Executor) AddApp(p *workload.Profile, inst *workload.Instance) (int, er
 	if err := e.hb.Register(e.hbName(idx), hbWindowS); err != nil {
 		return 0, err
 	}
+	e.nameTenantTracks()
 	// An installed schedule stays valid: it references only the older
 	// indices, so the newcomer simply stays suspended until the next
 	// plan — exactly the paper's behaviour during re-allocation.
@@ -224,6 +233,7 @@ func (e *Executor) RemoveApp(i int) error {
 			return err
 		}
 	}
+	e.nameTenantTracks()
 	e.haveSched = false
 	return nil
 }
@@ -400,6 +410,19 @@ func (e *Executor) Step(dt float64) (Sample, error) {
 	// the server exceed the cap while the grid stays under it.
 	if e.wd.enabled {
 		e.watchdogObserve(gridW)
+	}
+
+	if e.tel.enabled {
+		e.tel.intervals.Inc()
+		e.tel.gridW.Set(gridW)
+		e.tel.serverW.Set(serverW)
+		e.tel.capW.Set(e.cfg.CapW)
+		e.tel.soc.Set(soc)
+		if over := gridW - e.cfg.CapW; over > capSlack {
+			e.tel.overshootW.Observe(over)
+			e.tel.breachSteps.Inc()
+		}
+		e.emitStepSpans(e.now, dt, seg, effRun, appW, gridW, serverW, soc)
 	}
 
 	e.pos = math.Mod(e.pos+dt, e.sched.PeriodS)

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"powerstruggle/internal/faults"
+	"powerstruggle/internal/telemetry"
 	"powerstruggle/internal/workload"
 )
 
@@ -43,8 +45,16 @@ type watchdog struct {
 	recoverAt float64
 }
 
-// recordEvent appends a structured event to the fault log, if any.
+// recordEvent appends a structured event to the fault log, if any, and
+// mirrors it into telemetry: an observed-fault counter bump plus an
+// instant event on the control track, so a Perfetto trace lines up
+// degraded-mode transitions with the intervals they happened in.
 func (e *Executor) recordEvent(kind, target, detail string) {
+	if e.tel.enabled {
+		e.tel.observed.With(kind).Inc()
+		e.tel.tracer.Instant(kind, telemetry.CatFault, telemetry.TidControl, e.now,
+			telemetry.A("target", target), telemetry.A("detail", detail))
+	}
 	if e.flog == nil {
 		return
 	}
@@ -89,6 +99,7 @@ func (e *Executor) retry(i int, op func() error) error {
 		if err == nil || !faults.IsTransient(err) {
 			return err
 		}
+		e.tel.retries.Inc()
 		if errors.Is(err, faults.ErrDropout) {
 			break
 		}
@@ -106,6 +117,7 @@ func (e *Executor) noteDegraded(i int, err error) {
 		e.backoffS[i] = math.Min(e.backoffS[i]*2, maxBackoffS)
 	}
 	e.retryAt[i] = e.now + e.backoffS[i]
+	e.tel.backoffs.Inc()
 	e.recordEvent("actuation-degraded", e.hbName(i),
 		fmt.Sprintf("retries exhausted (%v); backing off %.2f s", err, e.backoffS[i]))
 }
@@ -114,6 +126,9 @@ func (e *Executor) noteDegraded(i int, err error) {
 // Transient exhaustion leaves the slot on stale knobs and returns the
 // transient error; the caller degrades rather than aborts.
 func (e *Executor) writeKnobs(i int, k workload.Knobs, eff *workload.Profile) error {
+	if e.tel.enabled {
+		defer e.tel.observeLatency(e.tel.latKnob, time.Now())
+	}
 	if err := e.retry(i, func() error {
 		return e.srv.SetKnobs(e.slots[i], k.FreqGHz, k.Cores, k.MemWatts)
 	}); err != nil {
@@ -128,6 +143,9 @@ func (e *Executor) writeKnobs(i int, k workload.Knobs, eff *workload.Profile) er
 // whether the write took effect; transient exhaustion degrades (false,
 // nil) so the caller holds the previous state, real errors propagate.
 func (e *Executor) writeRunning(i int, running bool) (bool, error) {
+	if e.tel.enabled {
+		defer e.tel.observeLatency(e.tel.latRun, time.Now())
+	}
 	err := e.retry(i, func() error { return e.srv.SetRunning(e.slots[i], running) })
 	if err == nil {
 		return true, nil
@@ -142,6 +160,9 @@ func (e *Executor) writeRunning(i int, running bool) (bool, error) {
 // transiently failed sleep is survivable — the server just idles awake
 // for the step — so transient exhaustion degrades silently.
 func (e *Executor) writeSleep() error {
+	if e.tel.enabled {
+		defer e.tel.observeLatency(e.tel.latSleep, time.Now())
+	}
 	var err error
 	for attempt := 0; attempt <= e.cfg.maxRetries(); attempt++ {
 		err = e.srv.Sleep()
@@ -162,6 +183,10 @@ func (e *Executor) writeSleep() error {
 func (e *Executor) watchdogPrepare() {
 	k := e.cfg.watchdogK()
 	if e.wd.recoverAt >= 0 && e.now-e.wd.recoverAt >= e.cfg.watchdogRecovery() {
+		// The settle span covers the whole recovery ramp: release to
+		// full scheduled frequency.
+		e.tel.tracer.Span("settle", telemetry.CatSettle, telemetry.TidControl,
+			e.wd.recoverAt, e.now-e.wd.recoverAt)
 		e.wd.recoverAt = -1
 		e.recordEvent("watchdog-recovered", "", "recovery ramp complete; scheduled knobs restored")
 	}
@@ -169,6 +194,7 @@ func (e *Executor) watchdogPrepare() {
 		e.wd.engaged = false
 		e.wd.suspend = false
 		e.wd.recoverAt = e.now
+		e.tel.wdReleases.Inc()
 		e.recordEvent("watchdog-release", "",
 			fmt.Sprintf("%d clean intervals; ramping back over %.1f s", k, e.cfg.watchdogRecovery()))
 	}
@@ -182,6 +208,7 @@ func (e *Executor) watchdogPrepare() {
 func (e *Executor) engageWatchdog() {
 	e.wd.engaged = true
 	e.wd.engages++
+	e.tel.wdEngages.Inc()
 	e.wd.cleanRun = 0
 	e.wd.recoverAt = -1
 	floor := e.clampFloorWatts()
@@ -263,6 +290,7 @@ func (e *Executor) clampSegment(seg Segment) ([]bool, error) {
 func (e *Executor) forceKnobs(i int, k workload.Knobs, eff *workload.Profile) error {
 	var lastErr error
 	for attempt := 0; attempt < emergencyRetries; attempt++ {
+		e.tel.emergencyWrites.Inc()
 		if err := e.srv.SetKnobs(e.slots[i], k.FreqGHz, k.Cores, k.MemWatts); err != nil {
 			if !faults.IsTransient(err) {
 				return err
@@ -291,6 +319,7 @@ func (e *Executor) forceKnobs(i int, k workload.Knobs, eff *workload.Profile) er
 // read-back verification, reporting whether the state took effect.
 func (e *Executor) forceRun(i int, running bool) bool {
 	for attempt := 0; attempt < emergencyRetries; attempt++ {
+		e.tel.emergencyWrites.Inc()
 		if err := e.srv.SetRunning(e.slots[i], running); err != nil {
 			if errors.Is(err, faults.ErrDropout) {
 				break

@@ -1,0 +1,166 @@
+package coordinator
+
+import (
+	"time"
+
+	"powerstruggle/internal/telemetry"
+)
+
+// execTel holds the executor's pre-resolved telemetry instruments. All
+// handles come out of the registry once, at construction, so the per-
+// interval hot path performs no lookups and no allocation — just atomic
+// ops on the handles (or nil-check no-ops when telemetry is off).
+type execTel struct {
+	enabled bool
+	tracer  *telemetry.Tracer
+
+	intervals   *telemetry.Counter
+	gridW       *telemetry.Gauge
+	serverW     *telemetry.Gauge
+	capW        *telemetry.Gauge
+	soc         *telemetry.Gauge
+	overshootW  *telemetry.Histogram
+	breachSteps *telemetry.Counter
+
+	wdEngages  *telemetry.Counter
+	wdReleases *telemetry.Counter
+
+	retries         *telemetry.Counter
+	backoffs        *telemetry.Counter
+	emergencyWrites *telemetry.Counter
+
+	latKnob  *telemetry.Histogram
+	latRun   *telemetry.Histogram
+	latSleep *telemetry.Histogram
+
+	observed *telemetry.CounterVec
+	injected *telemetry.CounterVec
+}
+
+// newExecTel resolves the coordinator instrument set against h. A nil
+// hub yields the zero execTel: every handle nil, every record a no-op.
+func newExecTel(h *telemetry.Hub) execTel {
+	if h == nil {
+		return execTel{}
+	}
+	reg := h.Registry()
+	lat := reg.HistogramVec("ps_coordinator_actuation_latency_seconds",
+		"Wall-clock latency of one actuation write, by knob kind.",
+		telemetry.LatencyBuckets(), "knob")
+	return execTel{
+		enabled: true,
+		tracer:  h.Tracer(),
+		intervals: reg.Counter("ps_coordinator_intervals_total",
+			"Control intervals executed."),
+		gridW: reg.Gauge("ps_coordinator_grid_watts",
+			"Grid draw of the last control interval."),
+		serverW: reg.Gauge("ps_coordinator_server_watts",
+			"Server draw of the last control interval."),
+		capW: reg.Gauge("ps_coordinator_cap_watts",
+			"Power cap in force."),
+		soc: reg.Gauge("ps_coordinator_esd_soc",
+			"ESD state of charge (0 when no device)."),
+		overshootW: reg.Histogram("ps_coordinator_overshoot_watts",
+			"Grid draw over the cap, per breaching interval.",
+			telemetry.WattBuckets()),
+		breachSteps: reg.Counter("ps_coordinator_cap_breach_steps_total",
+			"Control intervals whose grid draw exceeded the cap."),
+		wdEngages: reg.Counter("ps_coordinator_watchdog_engages_total",
+			"Cap-breach watchdog clamp engagements."),
+		wdReleases: reg.Counter("ps_coordinator_watchdog_releases_total",
+			"Cap-breach watchdog clamp releases."),
+		retries: reg.Counter("ps_coordinator_actuation_retries_total",
+			"Transient actuation write failures absorbed by retries."),
+		backoffs: reg.Counter("ps_coordinator_actuation_backoffs_total",
+			"Retry budgets exhausted; application moved into backoff."),
+		emergencyWrites: reg.Counter("ps_coordinator_emergency_writes_total",
+			"Read-back-verified emergency writes issued while clamped."),
+		latKnob:  lat.With("knobs"),
+		latRun:   lat.With("run"),
+		latSleep: lat.With("sleep"),
+		observed: reg.CounterVec("ps_faults_observed_total",
+			"Degraded-mode and recovery events the hardened loop recorded, by kind.", "kind"),
+		injected: reg.CounterVec("ps_faults_injected_total",
+			"Faults the injector fired, by kind.", "kind"),
+	}
+}
+
+// observeLatency records a wall-clock actuation latency. The time.Now
+// calls only happen when telemetry is enabled (see callers), so the
+// disabled path stays free of clock reads.
+func (t *execTel) observeLatency(h *telemetry.Histogram, start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// emitStepSpans records the interval span and one run span per executing
+// application — the "actuate" slices of the span model. Called once per
+// Step, only when tracing is on; the allocations here are per interval,
+// not per write.
+func (e *Executor) emitStepSpans(start, dt float64, seg Segment, effRun []bool, appW []float64, gridW, serverW, soc float64) {
+	tr := e.tel.tracer
+	if tr == nil {
+		return
+	}
+	attrs := []telemetry.Attr{
+		telemetry.A("grid_w", gridW),
+		telemetry.A("server_w", serverW),
+		telemetry.A("cap_w", e.cfg.CapW),
+		telemetry.A("soc", soc),
+	}
+	if over := gridW - e.cfg.CapW; over > capSlack {
+		attrs = append(attrs, telemetry.A("overshoot_w", over))
+	}
+	if e.wd.engaged {
+		attrs = append(attrs, telemetry.A("watchdog", "engaged"))
+	}
+	if seg.Sleep {
+		attrs = append(attrs, telemetry.A("sleep", true))
+	}
+	tr.Span("interval", telemetry.CatInterval, telemetry.TidControl, start, dt, attrs...)
+
+	for i := range e.profiles {
+		sk, scheduled := seg.Run[i]
+		if !scheduled || i >= len(effRun) || !effRun[i] {
+			continue
+		}
+		k := e.knobsFor(i, sk)
+		duty := 1.0
+		if sk.Duty > 0 && sk.Duty < 1 {
+			duty = sk.Duty
+		}
+		w := 0.0
+		if i < len(appW) {
+			w = appW[i]
+		}
+		tr.Span(k.String(), telemetry.CatActuate, telemetry.TidTenant0+i, start, dt,
+			telemetry.A("tenant", e.hbName(i)),
+			telemetry.A("freq_ghz", k.FreqGHz),
+			telemetry.A("cores", k.Cores),
+			telemetry.A("mem_w", k.MemWatts),
+			telemetry.A("duty", duty),
+			telemetry.A("power_w", w),
+			telemetry.A("granted_w", e.grantedW(i)),
+		)
+	}
+}
+
+// grantedW is the time-averaged budget the installed schedule grants
+// application i (0 when the schedule predates the application).
+func (e *Executor) grantedW(i int) float64 {
+	if !e.haveSched || i >= len(e.sched.AppBudgetW) {
+		return 0
+	}
+	return e.sched.AppBudgetW[i]
+}
+
+// nameTenantTracks (re)labels the per-tenant trace tracks after an
+// arrival or a departure compacted the indices.
+func (e *Executor) nameTenantTracks() {
+	if e.tel.tracer == nil {
+		return
+	}
+	e.tel.tracer.SetThreadName(telemetry.TidControl, "control")
+	for i := range e.profiles {
+		e.tel.tracer.SetThreadName(telemetry.TidTenant0+i, e.hbName(i))
+	}
+}

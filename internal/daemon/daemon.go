@@ -15,10 +15,12 @@ import (
 	"time"
 
 	"powerstruggle/internal/accountant"
+	"powerstruggle/internal/allocator"
 	"powerstruggle/internal/esd"
 	"powerstruggle/internal/faults"
 	"powerstruggle/internal/policy"
 	"powerstruggle/internal/simhw"
+	"powerstruggle/internal/telemetry"
 	"powerstruggle/internal/workload"
 )
 
@@ -40,6 +42,11 @@ type Config struct {
 	// long-running daemon (0: the accountant default, 4096).
 	MaxEvents  int
 	MaxSamples int
+	// Telemetry, when non-nil, instruments the whole control loop: the
+	// hub's registry is appended to /metrics (after the legacy
+	// powerstruggle_* series) and its trace is served on GET /trace as
+	// Chrome trace_event JSON.
+	Telemetry *telemetry.Hub
 }
 
 // Daemon is the running service.
@@ -56,6 +63,7 @@ type Daemon struct {
 	// advErr latches the first simulation error; a daemon whose sim
 	// died keeps serving telemetry but reports unhealthy.
 	advErr error
+	hub    *telemetry.Hub
 }
 
 // New builds a daemon.
@@ -87,11 +95,13 @@ func New(cfg Config) (*Daemon, error) {
 		MaxEvents: cfg.MaxEvents, MaxSamples: cfg.MaxSamples,
 	}
 	acfg.Coord.Faults = cfg.Faults
+	acfg.Coord.Telemetry = cfg.Telemetry
+	allocator.EnableTelemetry(cfg.Telemetry.Registry())
 	sim, err := accountant.NewSim(acfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Daemon{sim: sim, lib: lib, hw: cfg.HW, lastAdvance: time.Now()}, nil
+	return &Daemon{sim: sim, lib: lib, hw: cfg.HW, hub: cfg.Telemetry, lastAdvance: time.Now()}, nil
 }
 
 // Advance runs the mediated server forward by dt simulated seconds. The
@@ -370,6 +380,24 @@ func (d *Daemon) Handler() http.Handler {
 		fmt.Fprintf(w, "# HELP powerstruggle_fault_events_total Logged fault and recovery events.\n")
 		fmt.Fprintf(w, "# TYPE powerstruggle_fault_events_total counter\n")
 		fmt.Fprintf(w, "powerstruggle_fault_events_total %d\n", h.FaultEvents)
+		// The instrumented control loop's registry follows the legacy
+		// series; scrapers see one page.
+		if reg := d.hub.Registry(); reg != nil {
+			_ = reg.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		tr := d.hub.Tracer()
+		if tr == nil {
+			http.Error(w, "telemetry disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = tr.WriteChromeTrace(w)
 	})
 	return Recover(mux)
 }

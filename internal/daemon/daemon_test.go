@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
 	"powerstruggle/internal/policy"
+	"powerstruggle/internal/telemetry"
 )
 
 func newTestDaemon(t *testing.T) (*Daemon, *httptest.Server) {
@@ -220,5 +222,74 @@ func TestDaemonCriticalAdmission(t *testing.T) {
 	if st.Apps[0].BudgetW <= st.Apps[1].BudgetW {
 		t.Errorf("critical ferret budget %.1f W not above BFS %.1f W",
 			st.Apps[0].BudgetW, st.Apps[1].BudgetW)
+	}
+}
+
+func TestDaemonTelemetryEndpoints(t *testing.T) {
+	hub := telemetry.New(0)
+	d, err := New(Config{Policy: policy.AppResAware, InitialCapW: 100, BatteryJ: 300e3, Telemetry: hub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(srv.Close)
+	if err := d.Admit(AdmitRequest{App: "STREAM"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Advance(3); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := new(bytes.Buffer)
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	// Legacy series stay; the instrumented registry follows, one family
+	// per layer of the control loop.
+	for _, want := range []string{
+		"powerstruggle_grid_watts",
+		"ps_coordinator_intervals_total",
+		"ps_accountant_replans_total",
+		"ps_allocator_solves_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics page missing %s", want)
+		}
+	}
+
+	traceResp, err := http.Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer traceResp.Body.Close()
+	if traceResp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /trace = %d", traceResp.StatusCode)
+	}
+	var parsed struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(traceResp.Body).Decode(&parsed); err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Fatal("daemon trace is empty after 3 s of advancement")
+	}
+}
+
+func TestDaemonTraceDisabled(t *testing.T) {
+	_, srv := newTestDaemon(t)
+	resp, err := http.Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /trace without telemetry = %d, want 404", resp.StatusCode)
 	}
 }

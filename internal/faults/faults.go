@@ -15,6 +15,11 @@
 // every fault disabled makes consumers skip the wrappers entirely — the
 // fault-free path pays nothing and stays bit-identical to the unwrapped
 // runtime.
+//
+// Observability: SetObserver mirrors every injected event into the
+// caller's metrics (the executor wires it to ps_faults_injected_total),
+// so injected-vs-observed fault gaps are queryable without reading the
+// log (docs/METRICS.md).
 package faults
 
 import (
@@ -117,6 +122,7 @@ type Injector struct {
 	cfg Config
 	rng *rand.Rand
 	log *Log
+	obs func(kind string)
 }
 
 // NewInjector builds an injector from cfg.
@@ -148,8 +154,17 @@ func (in *Injector) hit(p float64) bool {
 	return in.rng.Float64() < p
 }
 
+// SetObserver installs a callback fired once per injected fault with the
+// event kind — the hook the telemetry layer uses to count injected (as
+// opposed to observed) faults. The callback runs on the injection path,
+// so it must be cheap and must not call back into the injector.
+func (in *Injector) SetObserver(fn func(kind string)) { in.obs = fn }
+
 // record appends a fault event at simulated time t.
 func (in *Injector) record(t float64, kind, target, detail string) {
+	if in.obs != nil {
+		in.obs(kind)
+	}
 	in.log.Append(Event{T: t, Kind: kind, Target: target, Detail: detail})
 }
 

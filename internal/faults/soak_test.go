@@ -1,6 +1,7 @@
 package faults_test
 
 import (
+	"bytes"
 	"encoding/json"
 	"testing"
 
@@ -9,6 +10,7 @@ import (
 	"powerstruggle/internal/faults"
 	"powerstruggle/internal/policy"
 	"powerstruggle/internal/simhw"
+	"powerstruggle/internal/telemetry"
 	"powerstruggle/internal/workload"
 )
 
@@ -31,6 +33,12 @@ func soakConfig() *faults.Config {
 // tenants, four cap changes — under the given fault config and returns
 // everything observable about the run.
 func runSoak(t *testing.T, fc *faults.Config, seconds float64) (*accountant.Sim, []byte) {
+	return runSoakWith(t, fc, nil, seconds)
+}
+
+// runSoakWith is runSoak with a telemetry hub attached (nil for the
+// bare run).
+func runSoakWith(t *testing.T, fc *faults.Config, hub *telemetry.Hub, seconds float64) (*accountant.Sim, []byte) {
 	t.Helper()
 	hw := simhw.DefaultConfig()
 	lib, err := workload.NewLibrary(hw)
@@ -42,7 +50,7 @@ func runSoak(t *testing.T, fc *faults.Config, seconds float64) (*accountant.Sim,
 		InitialCapW:    100,
 		ReallocSeconds: 0.8,
 		SampleEvery:    0.25,
-		Coord:          coordinator.Config{Faults: fc},
+		Coord:          coordinator.Config{Faults: fc, Telemetry: hub},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -124,6 +132,64 @@ func TestZeroFaultRatesBitIdentical(t *testing.T) {
 	_, zero := runSoak(t, &faults.Config{Seed: 7}, 40)
 	if string(plain) != string(zero) {
 		t.Fatal("zero-rate fault config perturbed the simulation")
+	}
+}
+
+// TestFaultSoakTelemetry re-runs the CI soak with the full telemetry
+// stack attached (the name keeps it inside the CI gate's -run
+// TestFaultSoak pattern). It asserts three things: instrumentation does
+// not change a single byte of the run's outputs, the metrics agree with
+// the simulation's own books, and both exporters produce parseable
+// output after a long faulted run.
+func TestFaultSoakTelemetry(t *testing.T) {
+	_, bare := runSoak(t, soakConfig(), 60)
+	hub := telemetry.New(0)
+	sim, instrumented := runSoakWith(t, soakConfig(), hub, 60)
+
+	if !bytes.Equal(bare, instrumented) {
+		t.Fatal("attaching telemetry changed the soak's observable outputs")
+	}
+
+	reg := hub.Registry()
+	if reg.Counter("ps_coordinator_intervals_total", "").Value() == 0 {
+		t.Fatal("no control intervals counted over a 60 s soak")
+	}
+	// Every accountant event was mirrored: counter total == log total
+	// (the bounded log may have evicted, so count via len + dropped).
+	var mirrored uint64
+	for _, k := range []accountant.EventKind{
+		accountant.EvCapChange, accountant.EvArrival, accountant.EvDeparture,
+		accountant.EvPhaseChange, accountant.EvSLODegraded,
+		accountant.EvHeartbeatLoss, accountant.EvHeartbeatRecovered,
+	} {
+		mirrored += reg.CounterVec("ps_accountant_events_total", "", "kind").With(k.String()).Value()
+	}
+	if want := uint64(len(sim.Events()) + sim.EventsDropped()); mirrored != want {
+		t.Fatalf("event metrics %d != accountant log total %d", mirrored, want)
+	}
+	if reg.CounterVec("ps_faults_injected_total", "", "kind").With("knob-write-fail").Value() == 0 {
+		t.Fatal("injected-fault counter flat under a 15% knob-failure rate")
+	}
+
+	var prom bytes.Buffer
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(prom.Bytes(), []byte("ps_accountant_replans_total")) {
+		t.Fatal("metrics page lacks the accountant series")
+	}
+	var trace bytes.Buffer
+	if err := hub.Tracer().WriteChromeTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace.Bytes(), &parsed); err != nil {
+		t.Fatalf("soak trace does not parse: %v", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Fatal("soak trace is empty")
 	}
 }
 

@@ -1,0 +1,30 @@
+// Package telemetry is the observability substrate of the mediation
+// runtime: a metrics registry and a control-loop span tracer that make
+// every R1–R4 decision measurable without perturbing it.
+//
+// The paper's runtime is a closed control loop — the Accountant (events
+// E1–E4) triggers the PowerAllocator (R1 apportioning over utility
+// curves, R2 resource partitioning), whose plan the Coordinator turns
+// into space/time/ESD schedules (R3, R4) and actuates every interval.
+// This package gives each stage first-class instruments:
+//
+//   - Registry: counters, gauges, and fixed-bucket histograms whose hot
+//     path is a single atomic op — no locks, no allocation — so the
+//     10 ms control interval can afford to observe itself. Handles are
+//     nil-safe: a component built without telemetry carries nil
+//     instruments and every method is a no-op, which keeps the
+//     telemetry-disabled run bit-identical to the uninstrumented one.
+//   - Tracer: per-interval control-loop spans (plan → calibrate →
+//     actuate → settle) with attributes (tenant, knob vector, watts
+//     granted, overshoot), buffered in a lock-free ring sized in
+//     intervals; old intervals are overwritten, never blocked on.
+//   - Exporters: Prometheus text format (served on the daemon's mux),
+//     JSONL event streams for offline analysis, and Chrome trace_event
+//     JSON so a whole psmediate run opens in Perfetto with one track
+//     per tenant.
+//
+// docs/METRICS.md is the reference table of every metric and span this
+// package carries, and DESIGN.md §9 documents the span model and the
+// overhead budget (<1% of interval time, enforced by
+// BenchmarkTelemetryOverhead in internal/coordinator).
+package telemetry

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// jsonlEvent is the offline-analysis shape of one span event: simulated
+// time in seconds, flat attribute object.
+type jsonlEvent struct {
+	T    float64        `json:"t"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	DurS float64        `json:"durS,omitempty"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteJSONL streams the tracer's retained events as one JSON object per
+// line, oldest first — the format the offline-analysis scripts consume
+// (jq-friendly, appendable, resumable).
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range t.Events() {
+		out := jsonlEvent{T: ev.TsS, Name: ev.Name, Cat: ev.Cat, Ph: string(ev.Ph), DurS: ev.DurS, Tid: ev.Tid}
+		if len(ev.Attrs) > 0 {
+			out.Args = make(map[string]any, len(ev.Attrs))
+			for _, a := range ev.Attrs {
+				out.Args[a.Key] = a.Val
+			}
+		}
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one Chrome trace_event entry. Timestamps are in
+// microseconds; we map simulated seconds 1:1 onto trace microseconds
+// via ×1e6, so one second of simulation reads as one second in Perfetto.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the tracer's retained events as Chrome
+// trace_event JSON (the object form, with thread-name metadata), which
+// Perfetto and chrome://tracing open directly: one track per tid, spans
+// nested by containment, attributes in the args pane.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TsS < events[j].TsS })
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(events)+8)}
+
+	names := t.ThreadNames()
+	tids := make([]int, 0, len(names))
+	for tid := range names {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": names[tid]},
+		})
+	}
+
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Name, Cat: ev.Cat, Ph: string(ev.Ph),
+			Ts: ev.TsS * 1e6, Pid: 1, Tid: ev.Tid,
+		}
+		switch ev.Ph {
+		case 'X':
+			ce.Dur = ev.DurS * 1e6
+		case 'i':
+			ce.S = "t"
+		}
+		if len(ev.Attrs) > 0 {
+			ce.Args = make(map[string]any, len(ev.Attrs))
+			for _, a := range ev.Attrs {
+				ce.Args[a.Key] = a.Val
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,33 @@
+package telemetry
+
+// Hub bundles the two instruments a component plumbs: the metrics
+// registry and the span tracer. A nil *Hub means telemetry is off —
+// Registry() and Tracer() then return nil handles whose methods all
+// no-op, so call sites never branch on enablement and the disabled run
+// stays bit-identical to the uninstrumented one.
+type Hub struct {
+	reg    *Registry
+	tracer *Tracer
+}
+
+// New builds an enabled hub. ringSize bounds the span ring in events
+// (0 means the tracer default, 65536).
+func New(ringSize int) *Hub {
+	return &Hub{reg: NewRegistry(), tracer: NewTracer(ringSize)}
+}
+
+// Registry returns the metrics registry (nil when the hub is nil).
+func (h *Hub) Registry() *Registry {
+	if h == nil {
+		return nil
+	}
+	return h.reg
+}
+
+// Tracer returns the span tracer (nil when the hub is nil).
+func (h *Hub) Tracer() *Tracer {
+	if h == nil {
+		return nil
+	}
+	return h.tracer
+}

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, one HELP and TYPE
+// line each, histograms expanded into cumulative _bucket/_sum/_count
+// series. Safe on a nil registry (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	var last string
+	r.visit(func(f *family, values []string, s *series) {
+		if f.name != last {
+			pf("# HELP %s %s\n", f.name, escapeHelp(f.help))
+			pf("# TYPE %s %s\n", f.name, f.kind)
+			last = f.name
+		}
+		lbl := formatLabels(f.labelNames, values, "", "")
+		switch f.kind {
+		case kindCounter:
+			pf("%s%s %d\n", f.name, lbl, s.counter.Value())
+		case kindGauge:
+			pf("%s%s %g\n", f.name, lbl, s.gauge.Value())
+		case kindHistogram:
+			counts := s.hist.snapshot()
+			var cum uint64
+			for i, b := range s.hist.bounds {
+				cum += counts[i]
+				pf("%s_bucket%s %d\n", f.name,
+					formatLabels(f.labelNames, values, "le", fmt.Sprintf("%g", b)), cum)
+			}
+			cum += counts[len(counts)-1]
+			pf("%s_bucket%s %d\n", f.name, formatLabels(f.labelNames, values, "le", "+Inf"), cum)
+			pf("%s_sum%s %g\n", f.name, lbl, s.hist.Sum())
+			pf("%s_count%s %d\n", f.name, lbl, s.hist.Count())
+		}
+	})
+	return err
+}
+
+// formatLabels renders {a="x",b="y"}, optionally appending one extra
+// pair (the histogram le label); empty label sets render as "".
+func formatLabels(names, values []string, extraK, extraV string) string {
+	if len(names) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		fmt.Fprintf(&b, "%s=%q", n, v)
+	}
+	if extraK != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", extraK, extraV)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,209 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// metricKind is the Prometheus family type.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// series is one labeled instance within a family.
+type series struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+}
+
+// family groups every series sharing one metric name.
+type family struct {
+	name       string
+	help       string
+	kind       metricKind
+	labelNames []string
+	bounds     []float64 // histogram families only
+
+	mu     sync.Mutex
+	series map[string]*series // keyed by joined label values
+	order  []string
+}
+
+func (f *family) get(values []string) *series {
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := &series{labelValues: append([]string(nil), values...)}
+	switch f.kind {
+	case kindCounter:
+		s.counter = &Counter{}
+	case kindGauge:
+		s.gauge = &Gauge{}
+	case kindHistogram:
+		s.hist = newHistogram(f.bounds)
+	}
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// Registry holds metric families. Registration is idempotent: asking for
+// an existing name returns the existing handle, so components recreated
+// against one registry (a daemon rebuilding its executor) keep
+// accumulating into the same series. A nil *Registry hands out nil
+// instruments, whose methods all no-op.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register finds or creates a family; a name collision with a different
+// kind panics — that is a programming error, not a runtime condition.
+func (r *Registry) register(name, help string, kind metricKind, labels []string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("telemetry: %s re-registered as %s (was %s)", name, kind, f.kind))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labelNames: append([]string(nil), labels...),
+		bounds:     append([]float64(nil), bounds...),
+		series:     make(map[string]*series),
+	}
+	r.families[name] = f
+	r.order = append(r.order, name)
+	return f
+}
+
+// Counter registers (or finds) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindCounter, nil, nil).get(nil).counter
+}
+
+// Gauge registers (or finds) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindGauge, nil, nil).get(nil).gauge
+}
+
+// Histogram registers (or finds) an unlabeled histogram with the given
+// upper bucket bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindHistogram, nil, bounds).get(nil).hist
+}
+
+// CounterVec is a counter family with labels. A nil vec hands out nil
+// counters.
+type CounterVec struct{ f *family }
+
+// With returns the child for the given label values, creating it on
+// first use. Hot paths should resolve children once and hold them.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(values).counter
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With returns the child gauge for the label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(values).gauge
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// With returns the child histogram for the label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.f.get(values).hist
+}
+
+// CounterVec registers (or finds) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{f: r.register(name, help, kindCounter, labels, nil)}
+}
+
+// GaugeVec registers (or finds) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{f: r.register(name, help, kindGauge, labels, nil)}
+}
+
+// HistogramVec registers (or finds) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labels, bounds)}
+}
+
+// visit walks families sorted by name, series in creation order, under
+// the registry lock — exporters are cold-path and tolerate it.
+func (r *Registry) visit(fn func(f *family, labelValues []string, s *series)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		ss := make([]*series, len(keys))
+		for i, k := range keys {
+			ss[i] = f.series[k]
+		}
+		f.mu.Unlock()
+		for _, s := range ss {
+			fn(f, s.labelValues, s)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package telemetry
+
+import "sync/atomic"
+
+// Ring is a lock-free, fixed-capacity ring buffer of pointers. Writers
+// claim a slot with one atomic add and publish with one atomic pointer
+// store, so concurrent writers never block each other and never block on
+// a reader; when full, the oldest entries are overwritten. It backs the
+// span tracer — sized in control intervals, a long run keeps the most
+// recent window instead of growing without bound.
+type Ring[T any] struct {
+	slots []atomic.Pointer[T]
+	mask  uint64
+	next  atomic.Uint64
+}
+
+// NewRing builds a ring holding at least size entries (rounded up to a
+// power of two; size <= 0 means 1024).
+func NewRing[T any](size int) *Ring[T] {
+	if size <= 0 {
+		size = 1024
+	}
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &Ring[T]{slots: make([]atomic.Pointer[T], n), mask: uint64(n - 1)}
+}
+
+// Cap returns the ring capacity.
+func (r *Ring[T]) Cap() int { return len(r.slots) }
+
+// Put publishes v, overwriting the oldest entry when full. Nil-safe.
+func (r *Ring[T]) Put(v *T) {
+	if r == nil || v == nil {
+		return
+	}
+	i := r.next.Add(1) - 1
+	r.slots[i&r.mask].Store(v)
+}
+
+// Written returns the lifetime number of Put calls.
+func (r *Ring[T]) Written() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.next.Load()
+}
+
+// Dropped returns how many entries have been overwritten.
+func (r *Ring[T]) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	w := r.next.Load()
+	if c := uint64(len(r.slots)); w > c {
+		return w - c
+	}
+	return 0
+}
+
+// Snapshot copies the retained entries, oldest first. Entries being
+// written concurrently may be absent (their slot still holds the value
+// from the previous lap or nil); the snapshot is consistent enough for
+// export, which is the only consumer.
+func (r *Ring[T]) Snapshot() []*T {
+	if r == nil {
+		return nil
+	}
+	w := r.next.Load()
+	c := uint64(len(r.slots))
+	start := uint64(0)
+	if w > c {
+		start = w - c
+	}
+	out := make([]*T, 0, w-start)
+	for i := start; i < w; i++ {
+		if v := r.slots[i&r.mask].Load(); v != nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}

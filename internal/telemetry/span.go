@@ -1,0 +1,140 @@
+package telemetry
+
+import "sync"
+
+// Phase names for span categories: the four stages of one control
+// interval in the R1–R4 loop. "plan" covers the Accountant's
+// re-allocation window (R1/R2 solve), "calibrate" the utility-model
+// refresh feeding it, "actuate" the Coordinator writing knobs and
+// running tenants (R3), and "settle" the recovery tail after an
+// emergency clamp releases.
+const (
+	CatInterval  = "interval"
+	CatPlan      = "plan"
+	CatCalibrate = "calibrate"
+	CatActuate   = "actuate"
+	CatSettle    = "settle"
+	CatFault     = "fault"
+	CatCluster   = "cluster"
+)
+
+// Well-known trace tracks (Chrome trace tids). Tenants occupy
+// TidTenant0 + index.
+const (
+	TidControl    = 0
+	TidAccountant = 90
+	TidClusterT   = 95
+	TidTenant0    = 1
+)
+
+// Attr is one span attribute. Values stay `any` so knob vectors render
+// as strings and watts as numbers; spans are emitted once per control
+// interval, off the per-write hot path, so the boxing cost is accepted.
+type Attr struct {
+	Key string
+	Val any
+}
+
+// A returns an Attr — sugar keeping call sites short.
+func A(key string, val any) Attr { return Attr{Key: key, Val: val} }
+
+// SpanEvent is one trace event in simulated time. Ph follows the Chrome
+// trace_event phases: 'X' complete span, 'i' instant.
+type SpanEvent struct {
+	Name  string
+	Cat   string
+	Ph    byte
+	TsS   float64 // simulated-time start, seconds
+	DurS  float64 // duration, seconds (complete spans)
+	Tid   int
+	Attrs []Attr
+}
+
+// Tracer records control-loop spans into a lock-free ring. A nil Tracer
+// discards everything, so components plumb it unconditionally.
+type Tracer struct {
+	ring *Ring[SpanEvent]
+
+	mu      sync.Mutex
+	threads map[int]string
+}
+
+// NewTracer builds a tracer whose ring retains about ringSize events
+// (0 means 65536 — roughly 20k control intervals of a two-tenant run).
+func NewTracer(ringSize int) *Tracer {
+	if ringSize <= 0 {
+		ringSize = 1 << 16
+	}
+	return &Tracer{ring: NewRing[SpanEvent](ringSize), threads: make(map[int]string)}
+}
+
+// SetThreadName labels a trace track (Perfetto shows it as the thread
+// name; the executor names one track per tenant).
+func (t *Tracer) SetThreadName(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.threads[tid] = name
+	t.mu.Unlock()
+}
+
+// ThreadNames returns a copy of the track-name table.
+func (t *Tracer) ThreadNames() map[int]string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[int]string, len(t.threads))
+	for k, v := range t.threads {
+		out[k] = v
+	}
+	return out
+}
+
+// Span records a complete span [tsS, tsS+durS).
+func (t *Tracer) Span(name, cat string, tid int, tsS, durS float64, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.ring.Put(&SpanEvent{Name: name, Cat: cat, Ph: 'X', TsS: tsS, DurS: durS, Tid: tid, Attrs: attrs})
+}
+
+// Instant records a point event at tsS.
+func (t *Tracer) Instant(name, cat string, tid int, tsS float64, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.ring.Put(&SpanEvent{Name: name, Cat: cat, Ph: 'i', TsS: tsS, Tid: tid, Attrs: attrs})
+}
+
+// Events snapshots the retained events, oldest first.
+func (t *Tracer) Events() []SpanEvent {
+	if t == nil {
+		return nil
+	}
+	ptrs := t.ring.Snapshot()
+	out := make([]SpanEvent, 0, len(ptrs))
+	for _, p := range ptrs {
+		out = append(out, *p)
+	}
+	return out
+}
+
+// Written returns the lifetime event count; Dropped how many the ring
+// has overwritten.
+func (t *Tracer) Written() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.ring.Written()
+}
+
+// Dropped returns the number of events lost to ring wraparound.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.ring.Dropped()
+}

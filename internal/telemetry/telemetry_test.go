@@ -1,0 +1,419 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing[int](8)
+	if r.Cap() != 8 {
+		t.Fatalf("Cap() = %d, want 8", r.Cap())
+	}
+	for i := 0; i < 20; i++ {
+		v := i
+		r.Put(&v)
+	}
+	if r.Written() != 20 {
+		t.Fatalf("Written() = %d, want 20", r.Written())
+	}
+	if r.Dropped() != 12 {
+		t.Fatalf("Dropped() = %d, want 12", r.Dropped())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("Snapshot() has %d entries, want 8", len(snap))
+	}
+	for i, p := range snap {
+		if *p != 12+i {
+			t.Fatalf("Snapshot()[%d] = %d, want %d (oldest-first)", i, *p, 12+i)
+		}
+	}
+}
+
+func TestRingRoundsToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 1024}, {-5, 1024}, {1, 1}, {3, 4}, {1000, 1024}, {1025, 2048},
+	} {
+		if got := NewRing[int](tc.in).Cap(); got != tc.want {
+			t.Errorf("NewRing(%d).Cap() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRingConcurrentWriters(t *testing.T) {
+	const writers, perWriter = 8, 1000
+	r := NewRing[SpanEvent](256)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Put(&SpanEvent{Name: "s", Tid: w, TsS: float64(i)})
+				if i%100 == 0 {
+					_ = r.Snapshot() // readers race with writers
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Written() != writers*perWriter {
+		t.Fatalf("Written() = %d, want %d", r.Written(), writers*perWriter)
+	}
+	if got := len(r.Snapshot()); got != 256 {
+		t.Fatalf("Snapshot() has %d entries, want full ring of 256", got)
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", g.Value())
+	}
+
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("hist count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 105 {
+		t.Fatalf("hist sum = %g, want 105", h.Sum())
+	}
+	want := []uint64{1, 1, 1, 1} // (..1], (1..2], (2..4], (4..+Inf)
+	for i, n := range h.snapshot() {
+		if n != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, n, want[i])
+		}
+	}
+}
+
+func TestNilHandlesNoOp(t *testing.T) {
+	// Every nil handle must be callable: components plumb telemetry
+	// unconditionally and a disabled run exercises exactly these paths.
+	var c *Counter
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram recorded")
+	}
+	var reg *Registry
+	if reg.Counter("x", "") != nil || reg.Gauge("x", "") != nil || reg.Histogram("x", "", nil) != nil {
+		t.Fatal("nil registry handed out a live instrument")
+	}
+	if reg.CounterVec("x", "", "l").With("v") != nil {
+		t.Fatal("nil registry vec handed out a live instrument")
+	}
+	if err := reg.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatalf("nil registry WritePrometheus: %v", err)
+	}
+	var tr *Tracer
+	tr.Span("s", CatActuate, 0, 0, 1)
+	tr.Instant("i", CatFault, 0, 0)
+	tr.SetThreadName(0, "x")
+	if tr.Events() != nil || tr.Written() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer recorded")
+	}
+	if err := tr.WriteChromeTrace(&bytes.Buffer{}); err != nil {
+		t.Fatalf("nil tracer WriteChromeTrace: %v", err)
+	}
+	var hub *Hub
+	if hub.Registry() != nil || hub.Tracer() != nil {
+		t.Fatal("nil hub handed out live instruments")
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("ps_test_total", "help")
+	b := reg.Counter("ps_test_total", "other help")
+	if a != b {
+		t.Fatal("re-registering the same counter returned a different handle")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("handles do not share state")
+	}
+	v1 := reg.CounterVec("ps_test_vec_total", "h", "kind").With("x")
+	v2 := reg.CounterVec("ps_test_vec_total", "h", "kind").With("x")
+	if v1 != v2 {
+		t.Fatal("vec children not shared")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	reg.Gauge("ps_test_total", "now a gauge")
+}
+
+// sampleLine matches one Prometheus text-format sample.
+var sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[-+]?(\d+(\.\d+)?([eE][-+]?\d+)?|Inf))$`)
+
+func TestWritePrometheusParses(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ps_a_total", "counts a\nthings").Add(3)
+	reg.Gauge("ps_b_watts", "watts").Set(12.5)
+	h := reg.Histogram("ps_c_seconds", "latency", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.05, 5} {
+		h.Observe(v)
+	}
+	reg.CounterVec("ps_d_total", "labeled", "kind").With("x").Inc()
+	reg.CounterVec("ps_d_total", "labeled", "kind").With("y").Add(2)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	var (
+		samples  int
+		helpFor  = map[string]bool{}
+		typeFor  = map[string]bool{}
+		lastName string
+	)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 3 {
+				t.Fatalf("malformed HELP line %q", line)
+			}
+			helpFor[parts[2]] = true
+			lastName = parts[2]
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if parts[2] != lastName {
+				t.Fatalf("TYPE for %q does not follow its HELP", parts[2])
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown TYPE %q", parts[3])
+			}
+			typeFor[parts[2]] = true
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Fatalf("sample line %q does not parse", line)
+		}
+		samples++
+	}
+	for _, name := range []string{"ps_a_total", "ps_b_watts", "ps_c_seconds", "ps_d_total"} {
+		if !helpFor[name] || !typeFor[name] {
+			t.Fatalf("family %s missing HELP or TYPE:\n%s", name, text)
+		}
+	}
+	if samples == 0 {
+		t.Fatal("no samples rendered")
+	}
+
+	// Histogram buckets must be cumulative and end at the total count.
+	bucket := regexp.MustCompile(`^ps_c_seconds_bucket\{le="([^"]+)"\} (\d+)$`)
+	var counts []uint64
+	var sawInf bool
+	for _, line := range strings.Split(text, "\n") {
+		if m := bucket.FindStringSubmatch(line); m != nil {
+			n, _ := strconv.ParseUint(m[2], 10, 64)
+			counts = append(counts, n)
+			sawInf = m[1] == "+Inf"
+		}
+	}
+	if len(counts) != 4 || !sawInf {
+		t.Fatalf("histogram buckets = %v (Inf last: %v), want 4 ending at +Inf", counts, sawInf)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] < counts[i-1] {
+			t.Fatalf("bucket counts not cumulative: %v", counts)
+		}
+	}
+	if counts[len(counts)-1] != h.Count() {
+		t.Fatalf("+Inf bucket %d != count %d", counts[len(counts)-1], h.Count())
+	}
+}
+
+func TestChromeTraceLoads(t *testing.T) {
+	tr := NewTracer(64)
+	tr.SetThreadName(TidControl, "control")
+	tr.SetThreadName(TidTenant0, "STREAM")
+	tr.Span("interval", CatInterval, TidControl, 0, 0.01, A("grid_w", 75.5))
+	tr.Span("(f=2.5GHz, n=8, m=20W)", CatActuate, TidTenant0, 0, 0.01, A("tenant", "STREAM"))
+	tr.Instant("knob-write-fail", CatFault, TidControl, 0.005, A("target", "dvfs"))
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  *int           `json:"pid"`
+			Tid  *int           `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("trace does not unmarshal: %v", err)
+	}
+	if len(trace.TraceEvents) != 5 { // 2 thread_name + 2 spans + 1 instant
+		t.Fatalf("got %d events, want 5", len(trace.TraceEvents))
+	}
+	var spans, instants, meta int
+	for _, ev := range trace.TraceEvents {
+		if ev.Pid == nil || ev.Tid == nil {
+			t.Fatalf("event %q lacks pid/tid", ev.Name)
+		}
+		switch ev.Ph {
+		case "X":
+			spans++
+			if ev.Dur <= 0 {
+				t.Fatalf("span %q has dur %g", ev.Name, ev.Dur)
+			}
+		case "i":
+			instants++
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unknown phase %q", ev.Ph)
+		}
+	}
+	if spans != 2 || instants != 1 || meta != 2 {
+		t.Fatalf("spans/instants/meta = %d/%d/%d, want 2/1/2", spans, instants, meta)
+	}
+	// Simulated seconds map to microseconds: the 10 ms interval is
+	// 10000 µs.
+	for _, ev := range trace.TraceEvents {
+		if ev.Name == "interval" && ev.Dur != 10000 {
+			t.Fatalf("interval dur = %g µs, want 10000", ev.Dur)
+		}
+	}
+}
+
+func TestJSONLStreamParses(t *testing.T) {
+	tr := NewTracer(64)
+	for i := 0; i < 10; i++ {
+		tr.Span("interval", CatInterval, TidControl, float64(i)*0.01, 0.01, A("n", i))
+	}
+	tr.Instant("fault", CatFault, TidControl, 0.05)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("got %d lines, want 11", len(lines))
+	}
+	for i, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %d is not JSON: %v", i, err)
+		}
+		if _, ok := obj["t"]; !ok {
+			t.Fatalf("line %d lacks t: %s", i, line)
+		}
+		if _, ok := obj["ph"]; !ok {
+			t.Fatalf("line %d lacks ph: %s", i, line)
+		}
+	}
+}
+
+func TestTracerRingBoundsRetention(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 100; i++ {
+		tr.Span(fmt.Sprintf("s%d", i), CatInterval, TidControl, float64(i), 1)
+	}
+	if tr.Written() != 100 {
+		t.Fatalf("Written() = %d, want 100", tr.Written())
+	}
+	if tr.Dropped() != 84 {
+		t.Fatalf("Dropped() = %d, want 84", tr.Dropped())
+	}
+	evs := tr.Events()
+	if len(evs) != 16 {
+		t.Fatalf("retained %d events, want 16", len(evs))
+	}
+	if evs[0].Name != "s84" || evs[15].Name != "s99" {
+		t.Fatalf("retention window [%s..%s], want [s84..s99]", evs[0].Name, evs[15].Name)
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := reg.Counter("ps_conc_total", "h")
+			h := reg.Histogram("ps_conc_seconds", "h", LatencyBuckets())
+			v := reg.CounterVec("ps_conc_vec_total", "h", "w")
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				h.Observe(float64(i) * 1e-6)
+				v.With(strconv.Itoa(w % 2)).Inc()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			_ = reg.WritePrometheus(&bytes.Buffer{}) // exporter races with writers
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := reg.Counter("ps_conc_total", "h").Value(); got != 4000 {
+		t.Fatalf("counter = %d, want 4000", got)
+	}
+	var vecTotal uint64
+	for _, lv := range []string{"0", "1"} {
+		vecTotal += reg.CounterVec("ps_conc_vec_total", "h", "w").With(lv).Value()
+	}
+	if vecTotal != 4000 {
+		t.Fatalf("vec total = %d, want 4000", vecTotal)
+	}
+}

@@ -38,8 +38,18 @@ import (
 	"powerstruggle/internal/esd"
 	"powerstruggle/internal/policy"
 	"powerstruggle/internal/simhw"
+	"powerstruggle/internal/telemetry"
 	"powerstruggle/internal/workload"
 )
+
+// Telemetry is a metrics registry plus control-loop span tracer; build
+// one with NewTelemetry and attach it via Config. See docs/METRICS.md
+// for the exported series and trace tracks.
+type Telemetry = telemetry.Hub
+
+// NewTelemetry builds an enabled telemetry hub. ringSize bounds the
+// span ring in events (0 means the default, 65536).
+func NewTelemetry(ringSize int) *Telemetry { return telemetry.New(ringSize) }
 
 // Policy selects the power-management scheme, in the order the paper
 // evaluates them.
@@ -74,6 +84,10 @@ type Config struct {
 	// RestoreSeconds is the cold-cache penalty applications pay when
 	// resumed after suspension.
 	RestoreSeconds float64
+	// Telemetry, when non-nil, instruments every Run: interval/actuate
+	// spans, watchdog and retry counters, allocator solve times. nil (the
+	// default) runs uninstrumented with bit-identical results.
+	Telemetry *Telemetry
 }
 
 // Defaults returns the paper's server: the Table I platform with a
@@ -102,6 +116,7 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	allocator.EnableTelemetry(cfg.Telemetry.Registry())
 	return &Server{cfg: cfg, lib: lib, capW: cfg.Platform.MaxServerWatts()}, nil
 }
 
@@ -260,6 +275,7 @@ func (s *Server) Run(p Policy, seconds float64) (*Result, error) {
 		Config: coordinator.Config{
 			HW: s.cfg.Platform, CapW: s.capW,
 			RestoreSeconds: s.cfg.RestoreSeconds,
+			Telemetry:      s.cfg.Telemetry,
 		},
 		Profiles:    s.apps,
 		Instances:   insts,
