@@ -15,6 +15,7 @@ import (
 	"log"
 	"time"
 
+	"powerstruggle/internal/buildinfo"
 	"powerstruggle/internal/rapl"
 	"powerstruggle/internal/simhw"
 )
@@ -26,7 +27,12 @@ func main() {
 		root  = flag.String("root", rapl.DefaultSysfsRoot, "powercap sysfs root to inspect")
 		watch = flag.Int("watch", 0, "sample zone power for this many seconds")
 	)
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version())
+		return
+	}
 
 	zones, err := rapl.OpenSysfs(*root)
 	if err != nil {

@@ -8,14 +8,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"strconv"
 	"strings"
 
+	"powerstruggle/internal/buildinfo"
 	"powerstruggle/internal/cluster"
+	"powerstruggle/internal/ctrlplane"
 	"powerstruggle/internal/exp"
 	"powerstruggle/internal/trace"
 	"powerstruggle/internal/workload"
@@ -33,9 +37,22 @@ func main() {
 		series    = flag.Bool("series", false, "also print the per-step cap and performance series")
 		capFile   = flag.String("capfile", "", "replay a cluster cap schedule from this CSV (seconds,value) instead of synthesizing one")
 		dumpTrace = flag.String("dumptrace", "", "write the synthetic demand trace to this CSV and exit")
+		agents    = flag.Bool("agents", false, "replay through the networked control plane (in-process agents over loopback HTTP) and check budget parity against the pure simulation")
+		strategy  = flag.String("strategy", "utility", "apportioning strategy in -agents mode: equal or utility")
+		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version())
+		return
+	}
 
+	if *agents {
+		if err := runAgents(*servers, *strategy, *capFile, *shave, *step, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *capFile != "" {
 		if err := replayCapFile(*capFile, *servers); err != nil {
 			log.Fatal(err)
@@ -143,6 +160,111 @@ func replayCapFile(path string, servers int) error {
 		}
 		fmt.Printf("  %-32s perf %5.1f%%  efficiency %6.3f  violations %d\n",
 			s, r.AvgPerfFrac*100, r.Efficiency, r.CapViolations)
+	}
+	return nil
+}
+
+// runAgents replays a cap schedule through the networked control plane
+// — a pscoord-style coordinator fanning leased budgets out to one
+// in-process agent per server over loopback HTTP — and checks that the
+// resulting budget sequence matches the pure simulation watt for watt.
+func runAgents(servers int, strategyName, capFile string, shavePcts string, stepS float64, seed int64) error {
+	strat, err := ctrlplane.ParseStrategy(strategyName)
+	if err != nil {
+		return err
+	}
+	ev, uc, err := fleet(servers)
+	if err != nil {
+		return err
+	}
+	var caps []trace.Point
+	if capFile != "" {
+		f, err := os.Open(capFile)
+		if err != nil {
+			return err
+		}
+		caps, err = trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		// Synthesize one peak-shaving schedule at the first -shave level.
+		frac := 0.3
+		if tok := strings.Split(shavePcts, ",")[0]; tok != "" {
+			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				return fmt.Errorf("bad shave level %q: %v", tok, err)
+			}
+			frac = v / 100
+		}
+		load, err := trace.DiurnalLoad(trace.Config{Seed: seed, StepSeconds: stepS})
+		if err != nil {
+			return err
+		}
+		demand := make([]trace.Point, len(load))
+		for i, p := range load {
+			demand[i] = trace.Point{T: p.T, V: p.V * uc}
+		}
+		caps, err = trace.PeakShaveCaps(demand, frac, uc)
+		if err != nil {
+			return err
+		}
+	}
+
+	flt, err := ctrlplane.StartSimFleet(ev, buildinfo.Version())
+	if err != nil {
+		return err
+	}
+	defer flt.Close()
+	interval := stepS
+	if len(caps) > 1 {
+		interval = caps[1].T - caps[0].T
+	}
+	coord, err := ctrlplane.New(ctrlplane.Config{
+		Agents:   flt.Refs(),
+		Strategy: strat,
+		// Half the control interval: every lease is renewed before it
+		// can lapse as long as the coordinator keeps stepping.
+		LeaseS: interval * 0.5,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replaying %d cap steps over %d networked agents (%v)\n", len(caps), servers, strat)
+	var capViolations int
+	results, err := coord.Replay(context.Background(), caps, func(res ctrlplane.StepResult) {
+		if err := flt.Tick(res.T); err == nil {
+			if flt.FleetGridW() > res.CapW+1e-6 {
+				capViolations++
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	oracleStrat := cluster.EqualOurs
+	if strat == ctrlplane.StrategyUtility {
+		oracleStrat = cluster.UtilityOurs
+	}
+	oracle, err := ev.Evaluate(caps, oracleStrat)
+	if err != nil {
+		return err
+	}
+	var maxDelta float64
+	for i, res := range results {
+		for j, b := range res.Budgets {
+			maxDelta = math.Max(maxDelta, math.Abs(b-oracle.BudgetSeries[i][j]))
+		}
+	}
+	st := coord.Stats()
+	fmt.Printf("  budget parity vs %v: max |Δ| = %g W over %d steps x %d servers\n",
+		oracleStrat, maxDelta, len(results), servers)
+	fmt.Printf("  cap violations %d, scrape failures %d, assign failures %d, re-apportions %d\n",
+		capViolations, st.ScrapeFailures, st.AssignFailures, st.Reapportions)
+	if maxDelta != 0 {
+		return fmt.Errorf("networked replay diverged from the simulation by %g W", maxDelta)
 	}
 	return nil
 }

@@ -1,0 +1,202 @@
+// Command pscoord is the cluster coordinator: it scrapes a fleet of
+// psd-style agents over HTTP, apportions a cluster power cap across the
+// live members, and fans the per-server budgets out as leased grants —
+// the paper's Section IV-D cluster manager with a real network in the
+// loop instead of a function call.
+//
+// Drive three local daemons under a 240 W cluster cap:
+//
+//	psd -listen 127.0.0.1:8081 -ctrl-server 0 &
+//	psd -listen 127.0.0.1:8082 -ctrl-server 1 &
+//	psd -listen 127.0.0.1:8083 -ctrl-server 2 &
+//	pscoord -agents http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083 \
+//	        -cap 240 -interval 2s -lease 4
+//
+// Replay a peak-shaving cap schedule instead of a constant cap:
+//
+//	pscoord -agents ... -capfile caps.csv -interval 1s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"powerstruggle/internal/buildinfo"
+	"powerstruggle/internal/ctrlplane"
+	"powerstruggle/internal/telemetry"
+	"powerstruggle/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pscoord: ")
+	var (
+		agents   = flag.String("agents", "", "comma-separated agent base URLs (fleet index follows list order) or id=url pairs")
+		strategy = flag.String("strategy", "equal", "apportioning strategy: equal or utility")
+		capW     = flag.Float64("cap", 240, "cluster power cap in watts (constant-cap mode)")
+		capFile  = flag.String("capfile", "", "replay a cluster cap schedule from this CSV (seconds,value) instead of a constant cap")
+		interval = flag.Duration("interval", 2*time.Second, "control interval between fan-outs")
+		lease    = flag.Float64("lease", 0, "draw lease granted with each assignment, in trace seconds (0: 2x the control interval)")
+		missK    = flag.Int("missk", 3, "consecutive failed scrapes before an agent's membership lease expires")
+		inflight = flag.Int("max-inflight", 8, "fan-out concurrency bound")
+		timeout  = flag.Duration("timeout", 2*time.Second, "per-RPC attempt timeout")
+		retries  = flag.Int("retries", 2, "per-RPC retries beyond the first attempt")
+		floorW   = flag.Float64("floor", 0, "per-server idle floor for the utility DP (0: learn from agent reports)")
+		verbose  = flag.Bool("v", false, "log every control interval, not just membership changes")
+		version  = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version())
+		return
+	}
+
+	refs, err := parseAgents(*agents)
+	if err != nil {
+		log.Fatal(err)
+	}
+	strat, err := ctrlplane.ParseStrategy(*strategy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	leaseS := *lease
+	if leaseS == 0 {
+		// Default the draw lease to twice the control interval: short
+		// enough that a partitioned agent fences within two intervals,
+		// long enough that one dropped fan-out does not fence the
+		// whole fleet.
+		leaseS = 2 * interval.Seconds()
+	}
+	hub := telemetry.New(0)
+	coord, err := ctrlplane.New(ctrlplane.Config{
+		Agents:      refs,
+		Strategy:    strat,
+		LeaseS:      leaseS,
+		MissK:       *missK,
+		MaxInFlight: *inflight,
+		RPCTimeout:  *timeout,
+		Retries:     *retries,
+		FloorW:      *floorW,
+		Telemetry:   hub,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var caps []trace.Point
+	if *capFile != "" {
+		f, err := os.Open(*capFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		caps, err = trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("replaying %d cap steps over %d agents (%v, lease %.1fs)", len(caps), len(refs), strat, leaseS)
+	} else {
+		log.Printf("driving %d agents at %.0f W cluster cap every %v (%v, lease %.1fs)", len(refs), *capW, *interval, strat, leaseS)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	step, expired := 0, 0
+	t := 0.0
+	for {
+		cap := *capW
+		if caps != nil {
+			if step >= len(caps) {
+				break
+			}
+			t, cap = caps[step].T, caps[step].V
+		}
+		res, err := coord.Step(ctx, t, cap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		alive := 0
+		for _, a := range res.Alive {
+			if a {
+				alive++
+			}
+		}
+		if res.Reapportioned || res.ScrapeErrs > 0 || res.AssignErrs > 0 || *verbose {
+			log.Printf("t=%8.0fs cap=%7.1fW alive=%d/%d grid=%7.1fW perf=%5.1f scrapeErrs=%d assignErrs=%d%s",
+				res.T, res.CapW, alive, len(refs), res.FleetGridW, res.FleetPerfN,
+				res.ScrapeErrs, res.AssignErrs, reapNote(res))
+		}
+		if alive == 0 {
+			expired++
+			if expired >= 3 {
+				log.Printf("whole fleet unreachable for %d intervals; still retrying", expired)
+				expired = 0
+			}
+		} else {
+			expired = 0
+		}
+		step++
+		if caps == nil {
+			t += interval.Seconds()
+		}
+		select {
+		case <-ctx.Done():
+			summarize(coord)
+			return
+		case <-ticker.C:
+		}
+	}
+	summarize(coord)
+}
+
+func reapNote(res ctrlplane.StepResult) string {
+	if !res.Reapportioned {
+		return ""
+	}
+	return "  [re-apportioned]"
+}
+
+func summarize(coord *ctrlplane.Coordinator) {
+	st := coord.Stats()
+	log.Printf("done: %d steps, %d re-apportions, %d lease expiries, %d rejoins, %d scrape failures, %d assign failures",
+		st.Steps, st.Reapportions, st.LeaseExpiries, st.Rejoins, st.ScrapeFailures, st.AssignFailures)
+	for _, ev := range coord.FaultEvents() {
+		log.Printf("  event t=%.0fs %s %s: %s", ev.T, ev.Kind, ev.Target, ev.Detail)
+	}
+}
+
+// parseAgents accepts "url,url,..." (IDs follow list order) or
+// "id=url,id=url" pairs.
+func parseAgents(s string) ([]ctrlplane.AgentRef, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("no agents: pass -agents url[,url...]")
+	}
+	var refs []ctrlplane.AgentRef
+	for i, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		id, url := i, tok
+		if k, v, ok := strings.Cut(tok, "="); ok {
+			n, err := strconv.Atoi(strings.TrimSpace(k))
+			if err != nil {
+				return nil, fmt.Errorf("bad agent id in %q: %v", tok, err)
+			}
+			id, url = n, strings.TrimSpace(v)
+		}
+		if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
+			url = "http://" + url
+		}
+		refs = append(refs, ctrlplane.AgentRef{ID: id, URL: strings.TrimSuffix(url, "/")})
+	}
+	return refs, nil
+}

@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	_ "net/http/pprof"
@@ -24,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"powerstruggle/internal/buildinfo"
 	"powerstruggle/internal/daemon"
 	"powerstruggle/internal/faults"
 	"powerstruggle/internal/policy"
@@ -57,8 +59,17 @@ func main() {
 		telemetryOn = flag.Bool("telemetry", true, "instrument the control loop (/metrics registry, /trace spans)")
 		telemRing   = flag.Int("telemetry-ring", 0, "span ring size in events (0: 65536)")
 		pprofOn     = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+
+		ctrlServer = flag.Int("ctrl-server", -1, "join a pscoord control plane as this fleet index (-1: standalone); serves /ctrl/assign, /ctrl/report, /ctrl/lease")
+		ctrlFence  = flag.Float64("ctrl-fence", 0, "cap to clamp to when the coordinator's draw lease lapses (0: the platform idle floor)")
+
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version())
+		return
+	}
 
 	pol, ok := policies[strings.ToLower(*polName)]
 	if !ok {
@@ -83,6 +94,12 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *ctrlServer >= 0 {
+		if err := d.EnableCtrl(daemon.CtrlConfig{ServerID: *ctrlServer, FenceCapW: *ctrlFence}); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("control plane enabled: fleet index %d, fencing on lease lapse", *ctrlServer)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -15,6 +15,7 @@ import (
 	"log"
 	"time"
 
+	"powerstruggle/internal/buildinfo"
 	"powerstruggle/internal/heartbeat"
 	"powerstruggle/internal/kernels"
 )
@@ -28,7 +29,12 @@ func main() {
 		points = flag.Int("points", 20000, "k-means population")
 		reps   = flag.Int("reps", 1, "repetitions per kernel")
 	)
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version())
+		return
+	}
 
 	sz := kernels.DefaultSize()
 	sz.GraphScale = *scale

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"powerstruggle"
+	"powerstruggle/internal/buildinfo"
 	"powerstruggle/internal/workload"
 )
 
@@ -109,8 +110,14 @@ func main() {
 		telemJSONL   = flag.String("telemetry-jsonl", "", "write control-loop spans as JSON lines to FILE")
 		telemMetrics = flag.Bool("telemetry-metrics", false, "print the Prometheus metrics page to stderr after the run")
 		pprofListen  = flag.String("pprof-listen", "", "serve net/http/pprof on this address for the run's duration")
+
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version())
+		return
+	}
 
 	pol, ok := policies[strings.ToLower(*polName)]
 	if !ok {

@@ -10,9 +10,11 @@ package main
 import (
 	"bufio"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 
+	"powerstruggle/internal/buildinfo"
 	"powerstruggle/internal/exp"
 )
 
@@ -25,7 +27,12 @@ func main() {
 		quick   = flag.Bool("quick", false, "shrink the collaborative-filtering study for a fast run")
 		format  = flag.String("format", "text", "output format: text (full report) or json (headline summary)")
 	)
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version())
+		return
+	}
 
 	w := os.Stdout
 	if *out != "" {

@@ -1,0 +1,44 @@
+// Package buildinfo derives a human-readable version string from the
+// binary's embedded module and VCS metadata — no linker flags, no
+// generated files, so every cmd/ binary reports the same truth with one
+// line of code.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Version returns "module-version (revision[-dirty])", best-effort.
+// Binaries built outside a module or VCS checkout degrade gracefully to
+// "devel".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	if v == "" || v == "(devel)" {
+		v = "devel"
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return v
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return fmt.Sprintf("%s (%s)", v, rev)
+}

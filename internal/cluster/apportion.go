@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"math"
 
 	"powerstruggle/internal/policy"
@@ -20,59 +21,73 @@ const UtilityOurs Strategy = ConsolidateMigrate + 1
 // sampled and the cluster DP runs.
 const serverCapStepW = 2.0
 
-// capPoint is one sample of a server's cap-utility curve.
-type capPoint struct {
-	capW  float64
-	perf  float64
-	gridW float64
+// ServerCapStepW exposes the DP's cap-sampling grid to external
+// apportioners (the networked control plane quantizes the same way so
+// its budget decisions stay bit-identical to the simulation's).
+const ServerCapStepW = serverCapStepW
+
+// CapPoint is one sample of a server's cap-utility curve: the
+// performance and grid draw the server delivers when capped at CapW.
+// The control plane ships these curves over the wire, so the fields
+// carry stable JSON names.
+type CapPoint struct {
+	CapW  float64 `json:"capW"`
+	Perf  float64 `json:"perf"`
+	GridW float64 `json:"gridW"`
 }
 
-// serverCapCurve samples one server's performance as a function of its
+// ServerCapCurve samples server i's performance as a function of its
 // cap, from the idle floor (nothing can cap below it without shutting
-// the server down) to the nameplate.
-func (e *Evaluator) serverCapCurve(mixIdx int) ([]capPoint, error) {
-	mix := e.cfg.Mixes[mixIdx]
-	var out []capPoint
+// the server down) to the nameplate. Safe for concurrent use; the
+// underlying plans are memoized across callers.
+func (e *Evaluator) ServerCapCurve(i int) ([]CapPoint, error) {
+	if i < 0 || i >= len(e.cfg.Mixes) {
+		return nil, fmt.Errorf("cluster: server %d of %d", i, len(e.cfg.Mixes))
+	}
+	mix := e.cfg.Mixes[i]
+	var out []CapPoint
 	nameplate := e.cfg.HW.MaxServerWatts()
 	for cap := e.cfg.HW.PIdleWatts; cap <= nameplate+serverCapStepW; cap += serverCapStepW {
-		p, err := e.planServer(mix, policy.AppResESDAware, math.Min(cap, nameplate), e.cfg.hasBattery(mixIdx))
+		p, err := e.planServer(mix, policy.AppResESDAware, math.Min(cap, nameplate), e.cfg.hasBattery(i))
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, capPoint{capW: math.Min(cap, nameplate), perf: p.perf, gridW: p.gridW})
+		out = append(out, CapPoint{CapW: math.Min(cap, nameplate), Perf: p.perf, GridW: p.gridW})
 	}
 	return out, nil
 }
 
-// utilityStep apportions one instant's cluster cap across the live
-// servers by dynamic programming over their cap-utility curves.
-func (e *Evaluator) utilityStep(clusterCapW float64, alive []bool) (perf, grid float64, err error) {
-	n := e.aliveCount(alive)
+// ApportionCurves runs the Utility(Ours) apportioning DP over a set of
+// cap-utility curves: it splits clusterCapW across the curves' servers
+// to maximize summed performance and returns the chosen per-server
+// budgets alongside the performance and grid draw those choices
+// deliver. The cap is quantized to the curve grid (ServerCapStepW) and
+// every server is owed at least floorW (its idle floor) before the DP
+// distributes the spare watts; curve point k is priced at k steps above
+// the floor, exactly as the curves are sampled.
+//
+// This one function is shared by the in-process evaluator and the
+// networked coordinator, which is what makes the control plane's budget
+// decisions bit-identical to the simulation's: same curves in, same
+// budgets out.
+func ApportionCurves(clusterCapW, floorW float64, curves [][]CapPoint) (budgets []float64, perf, gridW float64) {
+	n := len(curves)
+	budgets = make([]float64, n)
 	if n == 0 {
-		return 0, 0, nil
+		return budgets, 0, 0
 	}
-	floor := e.cfg.HW.PIdleWatts
-	if clusterCapW < floor*float64(n) {
+	capQ := math.Floor(clusterCapW/serverCapStepW) * serverCapStepW
+	if capQ < floorW*float64(n) {
 		// Not even the idle floors fit; the fleet draws what it may.
-		return 0, clusterCapW, nil
-	}
-	var idxs []int
-	for i := range e.cfg.Mixes {
-		if isAlive(alive, i) {
-			idxs = append(idxs, i)
+		per := capQ / float64(n)
+		for i := range budgets {
+			budgets[i] = per
 		}
-	}
-	curves := make([][]capPoint, n)
-	for j, i := range idxs {
-		c, err := e.serverCapCurve(i)
-		if err != nil {
-			return 0, 0, err
-		}
-		curves[j] = c
+		return budgets, 0, capQ
 	}
 	// DP over the budget above the idle floors, in curve-index units
 	// (curve point k costs k*serverCapStepW above the floor).
-	spare := clusterCapW - floor*float64(n)
+	spare := capQ - floorW*float64(n)
 	levels := int(spare/serverCapStepW) + 1
 	best := make([]float64, levels)
 	choice := make([][]int, n)
@@ -86,7 +101,7 @@ func (e *Evaluator) utilityStep(clusterCapW float64, alive []bool) (perf, grid f
 				kMax = len(curves[i]) - 1
 			}
 			for k := 0; k <= kMax; k++ {
-				if v := best[l-k] + curves[i][k].perf; v > bestV {
+				if v := best[l-k] + curves[i][k].Perf; v > bestV {
 					bestV, bestK = v, k
 				}
 			}
@@ -98,16 +113,18 @@ func (e *Evaluator) utilityStep(clusterCapW float64, alive []bool) (perf, grid f
 	l := levels - 1
 	for i := n - 1; i >= 0; i-- {
 		k := choice[i][l]
-		perf += curves[i][k].perf
-		grid += curves[i][k].gridW
+		budgets[i] = curves[i][k].CapW
+		perf += curves[i][k].Perf
+		gridW += curves[i][k].GridW
 		l -= k
 	}
-	return perf, grid, nil
+	return budgets, perf, gridW
 }
 
-// utilityCache memoizes utilityStep on the quantized cluster cap.
+// utilityCache memoizes the DP on the quantized cluster cap.
 type utilityCacheEntry struct {
 	perf, grid float64
+	budgets    []float64
 }
 
 // utilKey is the memoization key: the quantized cap plus the liveness
@@ -118,20 +135,74 @@ type utilKey struct {
 	mask  string
 }
 
-// utilityCachedStep is utilityStep with memoization on the quantized
-// cluster cap (caps repeat across a shaving event) and the alive set.
-func (e *Evaluator) utilityCachedStep(clusterCapW float64, alive []bool) (float64, float64, error) {
+// utilityCachedStep apportions one instant's cluster cap across the
+// live servers with the DP, memoized on the quantized cluster cap (caps
+// repeat across a shaving event) and the alive set. The returned budget
+// vector spans the whole fleet, dropped servers at zero; callers must
+// not mutate it.
+func (e *Evaluator) utilityCachedStep(clusterCapW float64, alive []bool) (float64, float64, []float64, error) {
 	key := utilKey{level: math.Floor(clusterCapW / serverCapStepW), mask: maskKey(alive)}
 	if e.utilCache == nil {
 		e.utilCache = make(map[utilKey]utilityCacheEntry)
 	}
 	if ent, ok := e.utilCache[key]; ok {
-		return ent.perf, ent.grid, nil
+		return ent.perf, ent.grid, ent.budgets, nil
 	}
-	perf, grid, err := e.utilityStep(key.level*serverCapStepW, alive)
-	if err != nil {
-		return 0, 0, err
+	var idxs []int
+	for i := range e.cfg.Mixes {
+		if isAlive(alive, i) {
+			idxs = append(idxs, i)
+		}
 	}
-	e.utilCache[key] = utilityCacheEntry{perf: perf, grid: grid}
-	return perf, grid, nil
+	budgets := make([]float64, len(e.cfg.Mixes))
+	if len(idxs) == 0 {
+		e.utilCache[key] = utilityCacheEntry{budgets: budgets}
+		return 0, 0, budgets, nil
+	}
+	curves := make([][]CapPoint, len(idxs))
+	for j, i := range idxs {
+		c, err := e.ServerCapCurve(i)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		curves[j] = c
+	}
+	b, perf, grid := ApportionCurves(clusterCapW, e.cfg.HW.PIdleWatts, curves)
+	for j, i := range idxs {
+		budgets[i] = b[j]
+	}
+	e.utilCache[key] = utilityCacheEntry{perf: perf, grid: grid, budgets: budgets}
+	return perf, grid, budgets, nil
+}
+
+// Apportion returns the per-server budget vector the strategy would
+// grant at one cap point: clusterCapW split across the live servers,
+// dropped servers at zero. This is the decision the networked control
+// plane replicates over RPC; exposing it lets the parity tests compare
+// the two watt for watt. Consolidation plans placement, not budgets,
+// and is not apportionable.
+func (e *Evaluator) Apportion(strat Strategy, clusterCapW float64, alive []bool) ([]float64, error) {
+	switch strat {
+	case EqualRAPL, EqualOurs:
+		budgets := make([]float64, len(e.cfg.Mixes))
+		n := e.aliveCount(alive)
+		if n == 0 {
+			return budgets, nil
+		}
+		per := clusterCapW / float64(n)
+		for i := range e.cfg.Mixes {
+			if isAlive(alive, i) {
+				budgets[i] = per
+			}
+		}
+		return budgets, nil
+	case UtilityOurs:
+		_, _, budgets, err := e.utilityCachedStep(clusterCapW, alive)
+		if err != nil {
+			return nil, err
+		}
+		return append([]float64(nil), budgets...), nil
+	default:
+		return nil, fmt.Errorf("cluster: strategy %v apportions no per-server budgets", strat)
+	}
 }

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"powerstruggle/internal/policy"
+	"powerstruggle/internal/simhw"
+	"powerstruggle/internal/trace"
+	"powerstruggle/internal/workload"
+)
+
+// capRamp builds an n-point cap schedule sweeping [loW, hiW] at stepS
+// resolution.
+func capRamp(n int, stepS, loW, hiW float64) []trace.Point {
+	pts := make([]trace.Point, n)
+	for i := range pts {
+		frac := float64(i) / float64(n-1)
+		pts[i] = trace.Point{T: float64(i) * stepS, V: loW + frac*(hiW-loW)}
+	}
+	return pts
+}
+
+func testEvaluator(t *testing.T, servers int, dropouts []Dropout) *Evaluator {
+	t.Helper()
+	hw := simhw.DefaultConfig()
+	lib, err := workload.NewLibrary(hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixes := workload.Mixes()
+	assign := make([]workload.Mix, servers)
+	for i := range assign {
+		assign[i] = mixes[i%len(mixes)]
+	}
+	ev, err := NewEvaluator(Config{HW: hw, Library: lib, Mixes: assign, Dropouts: dropouts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+// Apportioned budgets must cover the fleet, grant nothing to dropped
+// servers, and never exceed the cluster cap in sum.
+func TestApportionInvariants(t *testing.T) {
+	ev := testEvaluator(t, 5, nil)
+	alive := []bool{true, false, true, true, false}
+	for _, strat := range []Strategy{EqualOurs, UtilityOurs} {
+		for _, capW := range []float64{120, 300, 500, 900} {
+			budgets, err := ev.Apportion(strat, capW, alive)
+			if err != nil {
+				t.Fatalf("%v cap %g: %v", strat, capW, err)
+			}
+			if len(budgets) != 5 {
+				t.Fatalf("%v: %d budgets for 5 servers", strat, len(budgets))
+			}
+			var sum float64
+			for i, b := range budgets {
+				if !alive[i] && b != 0 {
+					t.Errorf("%v cap %g: dropped server %d granted %g W", strat, capW, i, b)
+				}
+				sum += b
+			}
+			if sum > capW+1e-6 {
+				t.Errorf("%v: budgets sum %g exceed cluster cap %g", strat, sum, capW)
+			}
+		}
+	}
+}
+
+// The utility DP exposed through Apportion must grant exactly the
+// budgets whose plans Evaluate scores: re-planning each granted budget
+// must reproduce the step's performance and grid draw.
+func TestApportionMatchesUtilityStep(t *testing.T) {
+	ev := testEvaluator(t, 4, nil)
+	for _, capW := range []float64{250, 400, 650} {
+		perf, grid, budgets, err := ev.utilityCachedStep(capW, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var perf2, grid2 float64
+		for i, b := range budgets {
+			p, g, err := ev.PlanServer(i, policy.AppResESDAware, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			perf2 += p
+			grid2 += g
+		}
+		if math.Abs(perf-perf2) > 1e-9 || math.Abs(grid-grid2) > 1e-9 {
+			t.Errorf("cap %g: DP scored perf=%g grid=%g but granted budgets plan to perf=%g grid=%g",
+				capW, perf, grid, perf2, grid2)
+		}
+	}
+}
+
+// Evaluate must record one budget vector per replayed point, equal to
+// what Apportion decides at the same instant — the oracle contract the
+// control-plane parity tests lean on.
+func TestEvaluateBudgetSeries(t *testing.T) {
+	ev := testEvaluator(t, 4, []Dropout{{Server: 1, FromT: 600, ToT: 1200}})
+	caps := capRamp(8, 300, 700, 400)
+	for _, strat := range []Strategy{EqualOurs, UtilityOurs} {
+		res, err := ev.Evaluate(caps, strat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.BudgetSeries) != len(caps) {
+			t.Fatalf("%v: %d budget vectors for %d points", strat, len(res.BudgetSeries), len(caps))
+		}
+		for s, cp := range caps {
+			want, err := ev.Apportion(strat, cp.V, ev.aliveAt(cp.T))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if res.BudgetSeries[s][i] != want[i] {
+					t.Fatalf("%v step %d server %d: Evaluate granted %g, Apportion says %g",
+						strat, s, i, res.BudgetSeries[s][i], want[i])
+				}
+			}
+		}
+		if res.Reapportions != 2 {
+			t.Errorf("%v: %d reapportions, want 2 (dropout + return)", strat, res.Reapportions)
+		}
+	}
+}

@@ -11,6 +11,7 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"powerstruggle/internal/esd"
 	"powerstruggle/internal/faults"
@@ -134,6 +135,12 @@ type Result struct {
 	// Reapportions counts the alive-set transitions (server dropouts
 	// and returns) that forced a budget re-apportioning mid-trace.
 	Reapportions int
+	// BudgetSeries records, for every replayed cap point, the
+	// per-server budget the strategy granted (zero for dropped
+	// servers). nil entries for Consolidation+Migration, which plans
+	// placement rather than budgets. This is the oracle sequence the
+	// networked control plane must reproduce watt for watt.
+	BudgetSeries [][]float64
 }
 
 // serverPlanKey memoizes per-server policy planning.
@@ -151,8 +158,15 @@ type serverPlan struct {
 }
 
 // Evaluator replays cap schedules against the configured cluster.
+//
+// Concurrency: PlanServer and ServerCapCurve are safe for concurrent
+// use (networked agents share one evaluator as their backend); Evaluate
+// and Apportion are single-threaded replay drivers and must not run
+// concurrently with each other.
 type Evaluator struct {
-	cfg       Config
+	cfg Config
+	// planMu guards the plan memo; agent backends plan concurrently.
+	planMu    sync.Mutex
 	cache     map[serverPlanKey]serverPlan
 	utilCache map[utilKey]utilityCacheEntry
 	flog      *faults.Log
@@ -189,6 +203,24 @@ func NewEvaluator(cfg Config) (*Evaluator, error) {
 // Servers returns the cluster size.
 func (e *Evaluator) Servers() int { return len(e.cfg.Mixes) }
 
+// HW returns the per-server platform configuration.
+func (e *Evaluator) HW() simhw.Config { return e.cfg.HW }
+
+// PlanServer plans server i under capW with the given per-server policy
+// and returns the normalized performance and grid draw the plan
+// delivers. It is the networked agent's backend — the same memoized
+// planning the replay uses, safe for concurrent use.
+func (e *Evaluator) PlanServer(i int, kind policy.Kind, capW float64) (perf, gridW float64, err error) {
+	if i < 0 || i >= len(e.cfg.Mixes) {
+		return 0, 0, fmt.Errorf("cluster: server %d of %d", i, len(e.cfg.Mixes))
+	}
+	p, err := e.planServer(e.cfg.Mixes[i], kind, capW, e.cfg.hasBattery(i))
+	if err != nil {
+		return 0, 0, err
+	}
+	return p.perf, p.gridW, nil
+}
+
 // UncappedServerW returns one server's draw with its mix running
 // unconstrained.
 func (e *Evaluator) UncappedServerW(mix workload.Mix) (float64, error) {
@@ -214,8 +246,12 @@ func (e *Evaluator) UncappedClusterW() (float64, error) {
 }
 
 // planServer plans one server under one cap with one per-server policy,
-// memoized on the quantized cap.
+// memoized on the quantized cap. Safe for concurrent use: the whole
+// plan-or-reuse step runs under planMu, so two agents asking for the
+// same cap share one plan instead of racing to build it.
 func (e *Evaluator) planServer(mix workload.Mix, kind policy.Kind, capW float64, battery bool) (serverPlan, error) {
+	e.planMu.Lock()
+	defer e.planMu.Unlock()
 	// Quantize the cap downward (never plan for more power than granted)
 	// and bound it at the nameplate: higher caps cannot bind.
 	if nameplate := e.cfg.HW.MaxServerWatts(); capW > nameplate {
@@ -307,6 +343,7 @@ func (e *Evaluator) Evaluate(caps []trace.Point, strat Strategy) (Result, error)
 		}
 		prevAlive = alive
 		var perf, grid float64
+		var budgets []float64
 		var err error
 		switch strat {
 		case EqualRAPL:
@@ -316,20 +353,31 @@ func (e *Evaluator) Evaluate(caps []trace.Point, strat Strategy) (Result, error)
 		case ConsolidateMigrate:
 			perf, grid, err = e.consolidateStep(cp.V, alive)
 		case UtilityOurs:
-			perf, grid, err = e.utilityCachedStep(cp.V, alive)
+			perf, grid, budgets, err = e.utilityCachedStep(cp.V, alive)
 		default:
 			err = fmt.Errorf("cluster: unknown strategy %v", strat)
 		}
 		if err != nil {
 			return Result{}, err
 		}
+		if budgets == nil && (strat == EqualRAPL || strat == EqualOurs) {
+			budgets, err = e.Apportion(strat, cp.V, alive)
+			if err != nil {
+				return Result{}, err
+			}
+		}
+		if budgets != nil {
+			// The utility cache owns its vector; copy before exposing.
+			budgets = append([]float64(nil), budgets...)
+		}
+		res.BudgetSeries = append(res.BudgetSeries, budgets)
 		res.PerfSeries = append(res.PerfSeries, trace.Point{T: cp.T, V: perf})
 		res.GridSeries = append(res.GridSeries, trace.Point{T: cp.T, V: grid})
 		violated := grid > cp.V+1e-6
 		if violated {
 			res.CapViolations++
 		}
-		e.noteStep(cp.T, cp.V, grid, alive, violated)
+		e.noteStep(cp.T, cp.V, grid, alive, violated, budgets)
 		perfSum += perf
 		var dt float64
 		if i+1 < len(caps) {

@@ -48,8 +48,11 @@ func newClusterTel(h *telemetry.Hub) clusterTel {
 	}
 }
 
-// noteStep records one replayed cap point's outcome.
-func (e *Evaluator) noteStep(t, capW, gridW float64, alive []bool, violated bool) {
+// noteStep records one replayed cap point's outcome. budgets, when
+// non-nil, carries the strategy's actual per-server grants (the utility
+// DP concentrates watts, so an even split would misreport it); nil
+// falls back to the even split the budgetless strategies imply.
+func (e *Evaluator) noteStep(t, capW, gridW float64, alive []bool, violated bool, budgets []float64) {
 	if !e.tel.enabled {
 		return
 	}
@@ -63,9 +66,12 @@ func (e *Evaluator) noteStep(t, capW, gridW float64, alive []bool, violated bool
 		per = capW / float64(n)
 	}
 	for i := range e.cfg.Mixes {
-		if isAlive(alive, i) {
+		switch {
+		case budgets != nil:
+			e.tel.serverBudgetW.With(strconv.Itoa(i)).Set(budgets[i])
+		case isAlive(alive, i):
 			e.tel.serverBudgetW.With(strconv.Itoa(i)).Set(per)
-		} else {
+		default:
 			e.tel.serverBudgetW.With(strconv.Itoa(i)).Set(0)
 		}
 	}

@@ -1,0 +1,246 @@
+package ctrlplane
+
+import (
+	"fmt"
+	"sync"
+
+	"powerstruggle/internal/cluster"
+)
+
+// Backend is the server an agent enforces budgets on: the simulated
+// mediated server in tests and the replay harness, a live psd daemon in
+// deployment.
+type Backend interface {
+	// Apply enforces capW and returns the normalized performance and
+	// grid draw the server settles at under that cap.
+	Apply(capW float64) (perfN, gridW float64, err error)
+	// SoC is the battery state of charge in [0, 1] (0 without an ESD).
+	SoC() float64
+	// IdleFloorW is the draw the server cannot shed without shutting
+	// down; NameplateW its unconstrained maximum.
+	IdleFloorW() float64
+	NameplateW() float64
+	// UtilityCurve samples the server's cap → (perf, grid) curve on
+	// the cluster.ServerCapStepW grid, or returns nil when the server
+	// cannot characterize itself.
+	UtilityCurve() ([]cluster.CapPoint, error)
+}
+
+// AgentConfig parameterizes one agent.
+type AgentConfig struct {
+	// ID is the agent's fleet index; assigns addressed to another
+	// server are refused.
+	ID int
+	// Backend is the enforced server (required).
+	Backend Backend
+	// FenceCapW is the fail-safe cap the agent self-imposes when its
+	// draw lease lapses. The default of zero models the deepest
+	// fail-safe the simulated platform has — suspend everything and
+	// sleep — matching internal/cluster's dropout semantics (a lost
+	// server draws nothing), which is what makes lease expiry and
+	// in-process dropout interchangeable.
+	FenceCapW float64
+	// Version is reported to the coordinator (build audit).
+	Version string
+}
+
+// Agent is the per-server control-plane endpoint: it holds the enforced
+// cap, the draw lease, and the last applied sequence number, and fences
+// itself when the lease lapses. All methods are safe for concurrent
+// use.
+type Agent struct {
+	cfg AgentConfig
+
+	mu         sync.Mutex
+	capW       float64
+	perfN      float64
+	gridW      float64
+	lastSeq    uint64
+	lastGrantT float64
+	leaseS     float64
+	fenced     bool
+	curve      []cluster.CapPoint
+	curveBuilt bool
+	// assigns/fences/staleDrops count protocol activity for the local
+	// operator (the coordinator has its own fleet-wide counters).
+	assigns    int
+	fences     int
+	staleDrops int
+}
+
+// NewAgent builds an agent booted in the fenced state: until the first
+// grant arrives it enforces the fail-safe cap, so a freshly started
+// fleet is safe by default.
+func NewAgent(cfg AgentConfig) (*Agent, error) {
+	if cfg.Backend == nil {
+		return nil, fmt.Errorf("ctrlplane: agent %d needs a backend", cfg.ID)
+	}
+	if cfg.ID < 0 {
+		return nil, fmt.Errorf("ctrlplane: agent id %d", cfg.ID)
+	}
+	if !finite(cfg.FenceCapW) || cfg.FenceCapW < 0 {
+		return nil, fmt.Errorf("ctrlplane: agent %d fence cap %g W", cfg.ID, cfg.FenceCapW)
+	}
+	a := &Agent{cfg: cfg, fenced: true, capW: cfg.FenceCapW}
+	perf, grid, err := cfg.Backend.Apply(cfg.FenceCapW)
+	if err != nil {
+		return nil, fmt.Errorf("ctrlplane: agent %d boot fence: %w", cfg.ID, err)
+	}
+	a.perfN, a.gridW = perf, grid
+	return a, nil
+}
+
+// ID returns the agent's fleet index.
+func (a *Agent) ID() int { return a.cfg.ID }
+
+// Assign applies a budget grant. Stale or duplicated requests (Seq not
+// newer than the last applied) are acknowledged without effect, which
+// is what makes the assignment RPC idempotent under network-level
+// duplication and reordering.
+func (a *Agent) Assign(req AssignRequest) (AssignResponse, error) {
+	if req.Server != a.cfg.ID {
+		return AssignResponse{}, fmt.Errorf("ctrlplane: assign for server %d reached agent %d", req.Server, a.cfg.ID)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if req.Seq <= a.lastSeq {
+		a.staleDrops++
+		return a.stateLocked(false), nil
+	}
+	perf, grid, err := a.cfg.Backend.Apply(req.CapW)
+	if err != nil {
+		return AssignResponse{}, err
+	}
+	a.capW, a.perfN, a.gridW = req.CapW, perf, grid
+	a.lastSeq = req.Seq
+	a.lastGrantT = req.T
+	a.leaseS = req.LeaseS
+	a.fenced = false
+	a.assigns++
+	return a.stateLocked(true), nil
+}
+
+// Renew extends the draw lease without changing the budget. A fenced
+// agent stays fenced — only a fresh Assign restores a budget.
+func (a *Agent) Renew(req LeaseRequest) (LeaseResponse, error) {
+	if req.Server != a.cfg.ID {
+		return LeaseResponse{}, fmt.Errorf("ctrlplane: lease for server %d reached agent %d", req.Server, a.cfg.ID)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.lastGrantT = req.T
+	a.leaseS = req.LeaseS
+	resp := LeaseResponse{V: ProtocolV, Server: a.cfg.ID, CapW: a.capW, Fenced: a.fenced}
+	if a.leaseS > 0 {
+		resp.ExpiresT = a.lastGrantT + a.leaseS
+	}
+	return resp, nil
+}
+
+// Tick advances the agent's clock to trace time t and fences the server
+// if its draw lease has lapsed. The daemon calls this from its
+// wall-clock loop; the replay harness and handler call it with
+// coordinator time.
+func (a *Agent) Tick(t float64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.tickLocked(t)
+}
+
+func (a *Agent) tickLocked(t float64) error {
+	if a.fenced || a.leaseS <= 0 || t < a.lastGrantT+a.leaseS {
+		return nil
+	}
+	perf, grid, err := a.cfg.Backend.Apply(a.cfg.FenceCapW)
+	if err != nil {
+		return fmt.Errorf("ctrlplane: agent %d fence: %w", a.cfg.ID, err)
+	}
+	a.capW, a.perfN, a.gridW = a.cfg.FenceCapW, perf, grid
+	a.fenced = true
+	a.fences++
+	return nil
+}
+
+// Report snapshots the agent for a telemetry scrape, building the
+// cap-utility curve lazily on first use (the curve is a property of the
+// hosted mix and does not change).
+func (a *Agent) Report() (Report, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.curveBuilt {
+		curve, err := a.cfg.Backend.UtilityCurve()
+		if err != nil {
+			return Report{}, err
+		}
+		a.curve = curve
+		a.curveBuilt = true
+	}
+	return Report{
+		V:      ProtocolV,
+		Server: a.cfg.ID,
+		Seq:    a.lastSeq,
+		CapW:   a.capW,
+		PerfN:  a.perfN,
+		GridW:  a.gridW,
+		SoC:    a.cfg.Backend.SoC(),
+		Fenced: a.fenced,
+
+		IdleFloorW:   a.cfg.Backend.IdleFloorW(),
+		NameplateW:   a.cfg.Backend.NameplateW(),
+		UtilityCurve: a.curve,
+		Version:      a.cfg.Version,
+	}, nil
+}
+
+// stateLocked builds an AssignResponse from the current state.
+func (a *Agent) stateLocked(applied bool) AssignResponse {
+	return AssignResponse{
+		V: ProtocolV, Server: a.cfg.ID, Seq: a.lastSeq, Applied: applied,
+		CapW: a.capW, PerfN: a.perfN, GridW: a.gridW,
+		SoC: a.cfg.Backend.SoC(), Fenced: a.fenced,
+	}
+}
+
+// CapW returns the cap the agent currently enforces.
+func (a *Agent) CapW() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.capW
+}
+
+// GridW returns the grid draw the enforced cap settles at — the ground
+// truth the soak test sums against the cluster cap.
+func (a *Agent) GridW() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.gridW
+}
+
+// PerfN returns the delivered normalized performance.
+func (a *Agent) PerfN() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.perfN
+}
+
+// Fenced reports whether the fail-safe cap is in force.
+func (a *Agent) Fenced() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.fenced
+}
+
+// Fences counts lease lapses that forced the fail-safe cap.
+func (a *Agent) Fences() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.fences
+}
+
+// StaleDrops counts stale or duplicated assigns refused by sequence
+// check.
+func (a *Agent) StaleDrops() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.staleDrops
+}

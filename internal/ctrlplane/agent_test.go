@@ -1,0 +1,192 @@
+package ctrlplane
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"powerstruggle/internal/cluster"
+)
+
+// fakeBackend is a linear server: perf = cap/100, draw = 0.9*cap.
+type fakeBackend struct {
+	mu      sync.Mutex
+	applied []float64
+	failing bool
+}
+
+func (f *fakeBackend) Apply(capW float64) (float64, float64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failing {
+		return 0, 0, fmt.Errorf("backend down")
+	}
+	f.applied = append(f.applied, capW)
+	return capW / 100, capW * 0.9, nil
+}
+func (f *fakeBackend) SoC() float64        { return 0.5 }
+func (f *fakeBackend) IdleFloorW() float64 { return 10 }
+func (f *fakeBackend) NameplateW() float64 { return 100 }
+func (f *fakeBackend) UtilityCurve() ([]cluster.CapPoint, error) {
+	return []cluster.CapPoint{{CapW: 10, Perf: 0.1, GridW: 9}, {CapW: 50, Perf: 0.5, GridW: 45}}, nil
+}
+func (f *fakeBackend) applyCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.applied)
+}
+
+func assign(seq uint64, t, capW, leaseS float64) AssignRequest {
+	return AssignRequest{V: ProtocolV, Seq: seq, Server: 0, T: t, CapW: capW, LeaseS: leaseS}
+}
+
+// A duplicated or reordered assign (Seq not newer) must be acknowledged
+// without touching the backend — the idempotency the soak's
+// network-level duplication leans on.
+func TestAgentSeqDedup(t *testing.T) {
+	be := &fakeBackend{}
+	a, err := NewAgent(AgentConfig{ID: 0, Backend: be})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot := be.applyCount() // the boot fence
+
+	resp, err := a.Assign(assign(5, 0, 80, 10))
+	if err != nil || !resp.Applied || resp.CapW != 80 {
+		t.Fatalf("first assign: %+v, %v", resp, err)
+	}
+	for _, seq := range []uint64{5, 4, 1} {
+		resp, err := a.Assign(assign(seq, 1, 30, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Applied {
+			t.Fatalf("stale seq %d applied", seq)
+		}
+		if resp.CapW != 80 {
+			t.Fatalf("stale seq %d changed cap to %g", seq, resp.CapW)
+		}
+	}
+	if got := be.applyCount() - boot; got != 1 {
+		t.Fatalf("backend applied %d times, want 1", got)
+	}
+	if a.StaleDrops() != 3 {
+		t.Fatalf("staleDrops = %d, want 3", a.StaleDrops())
+	}
+
+	// A misdirected assign is refused outright.
+	bad := assign(9, 2, 50, 10)
+	bad.Server = 7
+	if _, err := a.Assign(bad); err == nil {
+		t.Fatal("assign for another server accepted")
+	}
+}
+
+// A lapsed draw lease must fence the agent to its fail-safe cap, and
+// only a fresh assign may unfence it.
+func TestAgentLeaseFence(t *testing.T) {
+	be := &fakeBackend{}
+	a, err := NewAgent(AgentConfig{ID: 0, Backend: be})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Fenced() {
+		t.Fatal("agent must boot fenced")
+	}
+	if _, err := a.Assign(assign(1, 100, 80, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fenced() || a.GridW() != 72 {
+		t.Fatalf("after grant: fenced=%v grid=%g", a.Fenced(), a.GridW())
+	}
+	// Within the lease: no fence.
+	if err := a.Tick(109.9); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fenced() {
+		t.Fatal("fenced before the lease lapsed")
+	}
+	// A renewal extends the lease past the original expiry.
+	if _, err := a.Renew(LeaseRequest{V: ProtocolV, Server: 0, T: 105, LeaseS: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Tick(112); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fenced() {
+		t.Fatal("fenced despite renewal")
+	}
+	// Lapse: fence to the zero-watt fail-safe.
+	if err := a.Tick(115); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Fenced() || a.CapW() != 0 || a.GridW() != 0 {
+		t.Fatalf("after lapse: fenced=%v cap=%g grid=%g", a.Fenced(), a.CapW(), a.GridW())
+	}
+	if a.Fences() != 1 {
+		t.Fatalf("fences = %d, want 1", a.Fences())
+	}
+	// A renewal cannot resurrect a fenced agent.
+	resp, err := a.Renew(LeaseRequest{V: ProtocolV, Server: 0, T: 116, LeaseS: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Fenced {
+		t.Fatal("renew unfenced a fenced agent")
+	}
+	if err := a.Tick(200); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Fenced() {
+		t.Fatal("agent unfenced without an assign")
+	}
+	// Only an assign restores a budget.
+	if _, err := a.Assign(assign(2, 200, 40, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fenced() || a.CapW() != 40 {
+		t.Fatalf("after re-assign: fenced=%v cap=%g", a.Fenced(), a.CapW())
+	}
+}
+
+// A zero-length lease never lapses.
+func TestAgentZeroLeaseNeverFences(t *testing.T) {
+	a, err := NewAgent(AgentConfig{ID: 0, Backend: &fakeBackend{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Assign(assign(1, 0, 60, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Tick(1e12); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fenced() {
+		t.Fatal("zero-lease agent fenced")
+	}
+}
+
+// fanOut must run everything exactly once and never exceed its
+// concurrency bound.
+func TestFanOutBound(t *testing.T) {
+	const n, bound = 64, 5
+	var inFlight, peak, runs atomic.Int64
+	fanOut(n, bound, func(i int) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		runs.Add(1)
+		inFlight.Add(-1)
+	})
+	if runs.Load() != n {
+		t.Fatalf("ran %d of %d", runs.Load(), n)
+	}
+	if peak.Load() > bound {
+		t.Fatalf("peak concurrency %d exceeds bound %d", peak.Load(), bound)
+	}
+}

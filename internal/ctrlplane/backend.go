@@ -1,0 +1,48 @@
+package ctrlplane
+
+import (
+	"powerstruggle/internal/cluster"
+	"powerstruggle/internal/policy"
+)
+
+// SimBackend backs an agent with one server of a cluster evaluator: the
+// same memoized planning the Section IV-D replay uses, so a fleet of
+// SimBackend agents driven over the network is the distributed twin of
+// the in-process simulation. Several backends share one evaluator; its
+// planning layer is concurrency-safe.
+type SimBackend struct {
+	ev    *cluster.Evaluator
+	index int
+	kind  policy.Kind
+	// soc is the steady-state mid-charge the planner characterizes
+	// sustained operation at (the replay's 0.6 assumption).
+	soc float64
+}
+
+// NewSimBackend wraps server index of ev with the App+Res+ESD-Aware
+// per-server policy — the "(Ours)" half of Equal(Ours) and
+// Utility(Ours).
+func NewSimBackend(ev *cluster.Evaluator, index int) *SimBackend {
+	return &SimBackend{ev: ev, index: index, kind: policy.AppResESDAware, soc: 0.6}
+}
+
+// Apply plans the server under capW and returns the plan's delivered
+// performance and grid draw.
+func (b *SimBackend) Apply(capW float64) (perfN, gridW float64, err error) {
+	return b.ev.PlanServer(b.index, b.kind, capW)
+}
+
+// SoC returns the steady-state battery charge.
+func (b *SimBackend) SoC() float64 { return b.soc }
+
+// IdleFloorW returns the platform idle floor.
+func (b *SimBackend) IdleFloorW() float64 { return b.ev.HW().PIdleWatts }
+
+// NameplateW returns the platform nameplate draw.
+func (b *SimBackend) NameplateW() float64 { return b.ev.HW().MaxServerWatts() }
+
+// UtilityCurve samples this server's cap-utility curve on the shared
+// DP grid.
+func (b *SimBackend) UtilityCurve() ([]cluster.CapPoint, error) {
+	return b.ev.ServerCapCurve(b.index)
+}

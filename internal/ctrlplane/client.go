@@ -1,0 +1,152 @@
+package ctrlplane
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// rpcClient is the coordinator's side of the wire: JSON POST/GET with a
+// per-attempt timeout and bounded retries under jittered exponential
+// backoff — the same hardening pattern internal/coordinator applies to
+// knob writes, moved up to the network.
+type rpcClient struct {
+	hc          *http.Client
+	timeout     time.Duration
+	retries     int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	tel *ctrlTel
+}
+
+func newRPCClient(cfg Config, tel *ctrlTel) *rpcClient {
+	transport := cfg.Transport
+	if transport == nil {
+		transport = http.DefaultTransport
+	}
+	return &rpcClient{
+		hc:          &http.Client{Transport: transport},
+		timeout:     cfg.rpcTimeout(),
+		retries:     cfg.rpcRetries(),
+		backoffBase: cfg.backoffBase(),
+		backoffMax:  cfg.backoffMax(),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		tel:         tel,
+	}
+}
+
+// jitteredBackoff returns the sleep before retry attempt (1-based):
+// base·2^(attempt-1) capped at max, then jittered to [d/2, d) so a
+// fleet of failing RPCs does not retry in lockstep.
+func (c *rpcClient) jitteredBackoff(attempt int) time.Duration {
+	d := c.backoffBase << (attempt - 1)
+	if d > c.backoffMax || d <= 0 {
+		d = c.backoffMax
+	}
+	c.mu.Lock()
+	f := 0.5 + 0.5*c.rng.Float64()
+	c.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// do performs one JSON RPC with retries. kind labels telemetry; build
+// constructs a fresh request per attempt (bodies are single-use).
+func (c *rpcClient) do(ctx context.Context, kind string, build func(ctx context.Context) (*http.Request, error), out any) error {
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			c.tel.retries.Inc()
+			select {
+			case <-time.After(c.jitteredBackoff(attempt)):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		start := time.Now()
+		err := c.once(ctx, build, out)
+		if err == nil {
+			c.tel.rpcs.With(kind, "ok").Inc()
+			if c.tel.enabled {
+				c.tel.rpcLatency.With(kind).Observe(time.Since(start).Seconds())
+			}
+			return nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	c.tel.rpcs.With(kind, "error").Inc()
+	return lastErr
+}
+
+// once performs a single attempt under the per-RPC timeout.
+func (c *rpcClient) once(ctx context.Context, build func(ctx context.Context) (*http.Request, error), out any) error {
+	attemptCtx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := build(attemptCtx)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, maxBodyBytes))
+		resp.Body.Close()
+	}()
+	body, err := readBody(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("ctrlplane: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	switch v := out.(type) {
+	case *Report:
+		rep, err := DecodeReport(body)
+		if err != nil {
+			return err
+		}
+		*v = rep
+	default:
+		if err := json.Unmarshal(body, out); err != nil {
+			return fmt.Errorf("ctrlplane: decode response: %w", err)
+		}
+	}
+	return nil
+}
+
+// postJSON POSTs in as JSON and decodes the response into out.
+func (c *rpcClient) postJSON(ctx context.Context, kind, url string, in, out any) error {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, kind, func(ctx context.Context) (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	}, out)
+}
+
+// getJSON GETs url and decodes the response into out.
+func (c *rpcClient) getJSON(ctx context.Context, kind, url string, out any) error {
+	return c.do(ctx, kind, func(ctx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	}, out)
+}

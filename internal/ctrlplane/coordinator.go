@@ -1,0 +1,476 @@
+package ctrlplane
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"powerstruggle/internal/cluster"
+	"powerstruggle/internal/faults"
+	"powerstruggle/internal/telemetry"
+	"powerstruggle/internal/trace"
+)
+
+// Strategy selects how the coordinator apportions the cluster cap.
+type Strategy int
+
+const (
+	// StrategyEqual splits the cap evenly across live agents —
+	// Equal(Ours) with the network in the loop.
+	StrategyEqual Strategy = iota
+	// StrategyUtility apportions by marginal utility with the
+	// cluster.ApportionCurves DP over scraped cap-utility curves —
+	// Utility(Ours) with the network in the loop.
+	StrategyUtility
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyEqual:
+		return "equal"
+	case StrategyUtility:
+		return "utility"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy maps a CLI name to a strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "equal":
+		return StrategyEqual, nil
+	case "utility":
+		return StrategyUtility, nil
+	default:
+		return 0, fmt.Errorf("ctrlplane: unknown strategy %q (equal, utility)", name)
+	}
+}
+
+// AgentRef addresses one fleet member.
+type AgentRef struct {
+	// ID is the agent's fleet index (must match the agent's own).
+	ID int
+	// URL is the agent's base URL, e.g. http://10.0.0.7:8080.
+	URL string
+}
+
+// Config parameterizes the coordinator.
+type Config struct {
+	// Agents is the static fleet (autodiscovery is a roadmap item).
+	Agents []AgentRef
+	// Strategy picks the apportioning scheme (default equal).
+	Strategy Strategy
+	// LeaseS is the draw lease granted with every assignment, in trace
+	// seconds. A lease no longer than the control interval gives the
+	// hard cap guarantee (a stale agent fences before it can draw
+	// against an old budget); longer leases bound any breach by their
+	// length. Zero grants non-lapsing budgets.
+	LeaseS float64
+	// MissK is how many consecutive failed scrapes expire an agent's
+	// membership lease (default 3; the parity tests use 1 so expiry
+	// lands in the same control interval as the outage).
+	MissK int
+	// MaxInFlight bounds fan-out concurrency (default 8).
+	MaxInFlight int
+	// RPCTimeout bounds each RPC attempt (default 2s).
+	RPCTimeout time.Duration
+	// Retries is the per-RPC retry budget beyond the first attempt
+	// (default 2), under jittered exponential backoff bounded by
+	// BackoffBase and BackoffMax (defaults 10ms, 160ms).
+	Retries     int
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed drives backoff jitter.
+	Seed int64
+	// FloorW overrides the idle floor fed to the utility DP; zero
+	// learns it from agent reports.
+	FloorW float64
+	// Transport lets callers wrap the HTTP transport — the fault
+	// injector's drop/delay/duplicate shim in the soak tests (nil:
+	// http.DefaultTransport).
+	Transport http.RoundTripper
+	// Telemetry, when non-nil, instruments the coordinator (fleet
+	// gauges, RPC counters and latency, membership trace instants).
+	Telemetry *telemetry.Hub
+}
+
+func (c Config) missK() int {
+	if c.MissK > 0 {
+		return c.MissK
+	}
+	return 3
+}
+
+func (c Config) maxInFlight() int {
+	if c.MaxInFlight > 0 {
+		return c.MaxInFlight
+	}
+	return 8
+}
+
+func (c Config) rpcTimeout() time.Duration {
+	if c.RPCTimeout > 0 {
+		return c.RPCTimeout
+	}
+	return 2 * time.Second
+}
+
+func (c Config) rpcRetries() int {
+	if c.Retries > 0 {
+		return c.Retries
+	}
+	return 2
+}
+
+func (c Config) backoffBase() time.Duration {
+	if c.BackoffBase > 0 {
+		return c.BackoffBase
+	}
+	return 10 * time.Millisecond
+}
+
+func (c Config) backoffMax() time.Duration {
+	if c.BackoffMax > 0 {
+		return c.BackoffMax
+	}
+	return 160 * time.Millisecond
+}
+
+// member is the coordinator's view of one agent.
+type member struct {
+	ref    AgentRef
+	alive  bool
+	misses int
+	// grantedW is the last acknowledged budget (what the agent
+	// enforces until its lease lapses).
+	grantedW float64
+	granted  bool
+	// Scraped state.
+	scraped bool
+	floorW  float64
+	curve   []cluster.CapPoint
+	gridW   float64
+	perfN   float64
+	soc     float64
+	fenced  bool
+	version string
+}
+
+// Stats accumulates coordinator lifetime counters.
+type Stats struct {
+	Steps          int
+	Reapportions   int
+	LeaseExpiries  int
+	Rejoins        int
+	ScrapeFailures int
+	AssignFailures int
+	RenewFailures  int
+}
+
+// StepResult is one control interval's outcome.
+type StepResult struct {
+	T    float64
+	CapW float64
+	// Budgets is the per-agent budget the coordinator decided this
+	// interval (zero for expired agents) — the sequence the parity
+	// gate compares against the in-process oracle.
+	Budgets []float64
+	// Granted marks which budgets were acknowledged by their agent.
+	Granted []bool
+	// Alive is the membership mask after this interval's scrapes.
+	Alive []bool
+	// Reapportioned reports an alive-set transition this interval.
+	Reapportioned bool
+	// FleetGridW and FleetPerfN sum the live agents' scraped state.
+	FleetGridW float64
+	FleetPerfN float64
+	// ScrapeErrs/AssignErrs count RPC failures this interval (after
+	// retries).
+	ScrapeErrs int
+	AssignErrs int
+}
+
+// Coordinator drives a fleet of agents: scrape, decide, fan out.
+// Step is single-threaded (it is the control loop); the fan-out inside
+// each step is concurrent.
+type Coordinator struct {
+	cfg    Config
+	client *rpcClient
+	tel    *ctrlTel
+
+	members   []*member
+	seq       uint64
+	prevAlive []bool
+	stats     Stats
+	flog      *faults.Log
+}
+
+// New builds a coordinator over a static fleet.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Agents) == 0 {
+		return nil, fmt.Errorf("ctrlplane: coordinator needs at least one agent")
+	}
+	seen := make(map[int]bool, len(cfg.Agents))
+	for _, ref := range cfg.Agents {
+		if ref.ID < 0 || ref.URL == "" {
+			return nil, fmt.Errorf("ctrlplane: bad agent ref %+v", ref)
+		}
+		if seen[ref.ID] {
+			return nil, fmt.Errorf("ctrlplane: duplicate agent id %d", ref.ID)
+		}
+		seen[ref.ID] = true
+	}
+	if cfg.LeaseS < 0 || !finite(cfg.LeaseS) {
+		return nil, fmt.Errorf("ctrlplane: lease %g s", cfg.LeaseS)
+	}
+	tel := newCtrlTel(cfg.Telemetry)
+	c := &Coordinator{
+		cfg:    cfg,
+		tel:    tel,
+		client: newRPCClient(cfg, tel),
+		flog:   faults.NewLog(0),
+	}
+	for _, ref := range cfg.Agents {
+		// Members start alive — the in-process oracle starts every
+		// server alive too; an unreachable agent expires after MissK
+		// intervals.
+		c.members = append(c.members, &member{ref: ref, alive: true})
+	}
+	return c, nil
+}
+
+// Stats returns the coordinator's lifetime counters.
+func (c *Coordinator) Stats() Stats { return c.stats }
+
+// FaultEvents returns the membership event log (lease expiries and
+// rejoins) in order.
+func (c *Coordinator) FaultEvents() []faults.Event { return c.flog.Events() }
+
+// Step drives one control interval at trace time t under cluster cap
+// capW: scrape every member (the liveness heartbeat), settle
+// membership, apportion the cap across the live fleet, and fan the
+// budgets out.
+func (c *Coordinator) Step(ctx context.Context, t, capW float64) (StepResult, error) {
+	if !finite(t) || !finite(capW) || capW < 0 {
+		return StepResult{}, fmt.Errorf("ctrlplane: step t=%g cap=%g", t, capW)
+	}
+	n := len(c.members)
+	res := StepResult{
+		T: t, CapW: capW,
+		Budgets: make([]float64, n),
+		Granted: make([]bool, n),
+		Alive:   make([]bool, n),
+	}
+
+	// Phase 1 — telemetry scrape, doubling as the membership
+	// heartbeat. Parallel with bounded concurrency; each RPC carries
+	// the coordinator clock so agents can notice lapsed leases.
+	reports := make([]*Report, n)
+	errs := make([]error, n)
+	fanOut(n, c.cfg.maxInFlight(), func(i int) {
+		m := c.members[i]
+		url := fmt.Sprintf("%s%s?t=%s", m.ref.URL, PathReport, strconv.FormatFloat(t, 'g', -1, 64))
+		var rep Report
+		if err := c.client.getJSON(ctx, "report", url, &rep); err != nil {
+			errs[i] = err
+			return
+		}
+		if rep.Server != m.ref.ID {
+			errs[i] = fmt.Errorf("ctrlplane: scrape of agent %d answered as %d", m.ref.ID, rep.Server)
+			return
+		}
+		reports[i] = &rep
+	})
+	for i, m := range c.members {
+		if rep := reports[i]; rep != nil {
+			m.misses = 0
+			m.scraped = true
+			m.gridW, m.perfN, m.soc, m.fenced = rep.GridW, rep.PerfN, rep.SoC, rep.Fenced
+			m.floorW = rep.IdleFloorW
+			m.version = rep.Version
+			if len(rep.UtilityCurve) > 0 {
+				m.curve = rep.UtilityCurve
+			}
+			if c.tel.enabled {
+				c.tel.agentSoC.With(strconv.Itoa(i)).Set(rep.SoC)
+			}
+		} else {
+			m.misses++
+			m.scraped = false
+			res.ScrapeErrs++
+			c.stats.ScrapeFailures++
+		}
+	}
+
+	// Phase 2 — membership: expire after MissK consecutive misses,
+	// readmit on the first successful scrape.
+	for i, m := range c.members {
+		switch {
+		case m.alive && m.misses >= c.cfg.missK():
+			m.alive = false
+			m.grantedW, m.granted = 0, false
+			c.stats.LeaseExpiries++
+			c.tel.leaseExpiries.Inc()
+			c.tel.noteMembership(t, i, true)
+			c.flog.Append(faults.Event{T: t, Kind: "lease-expiry", Target: fmt.Sprintf("agent-%d", i),
+				Detail: fmt.Sprintf("%d consecutive missed scrapes; re-apportioning cluster budget across survivors", m.misses)})
+		case !m.alive && m.scraped:
+			m.alive = true
+			c.stats.Rejoins++
+			c.tel.rejoins.Inc()
+			c.tel.noteMembership(t, i, false)
+			c.flog.Append(faults.Event{T: t, Kind: "agent-rejoin", Target: fmt.Sprintf("agent-%d", i),
+				Detail: "agent back; re-apportioning cluster budget"})
+		}
+		res.Alive[i] = m.alive
+	}
+	if c.prevAlive != nil {
+		for i := range res.Alive {
+			if res.Alive[i] != c.prevAlive[i] {
+				res.Reapportioned = true
+				break
+			}
+		}
+	}
+	c.prevAlive = append(c.prevAlive[:0], res.Alive...)
+	if res.Reapportioned {
+		c.stats.Reapportions++
+		c.tel.reapportions.Inc()
+	}
+
+	// Phase 3 — apportion the cluster cap across the live fleet.
+	if err := c.apportion(capW, res.Alive, res.Budgets); err != nil {
+		return StepResult{}, err
+	}
+
+	// Phase 4 — fan the budgets out. An unchanged budget rides a
+	// cheap lease renewal instead of a full assignment; either way the
+	// grant re-arms the agent's draw lease.
+	c.seq++
+	seq := c.seq
+	fanOut(n, c.cfg.maxInFlight(), func(i int) {
+		m := c.members[i]
+		if !m.alive {
+			return
+		}
+		if m.granted && m.grantedW == res.Budgets[i] && m.scraped && !m.fenced {
+			req := LeaseRequest{V: ProtocolV, Server: m.ref.ID, T: t, LeaseS: c.cfg.LeaseS}
+			var resp LeaseResponse
+			if err := c.client.postJSON(ctx, "lease", m.ref.URL+PathLease, req, &resp); err == nil {
+				res.Granted[i] = true
+				return
+			}
+			c.stats.RenewFailures++
+			// Fall through to a full assignment: a failed renewal may
+			// leave the agent about to fence, and the assignment both
+			// restores the budget and re-arms the lease.
+		}
+		req := AssignRequest{V: ProtocolV, Seq: seq, Server: m.ref.ID, T: t,
+			CapW: res.Budgets[i], LeaseS: c.cfg.LeaseS}
+		var resp AssignResponse
+		if err := c.client.postJSON(ctx, "assign", m.ref.URL+PathAssign, req, &resp); err != nil {
+			errs[i] = err
+			return
+		}
+		res.Granted[i] = true
+	})
+	for i, m := range c.members {
+		if !m.alive {
+			continue
+		}
+		if res.Granted[i] {
+			m.grantedW, m.granted = res.Budgets[i], true
+		} else {
+			res.AssignErrs++
+			c.stats.AssignFailures++
+			c.tel.assignFails.Inc()
+		}
+		if m.scraped {
+			res.FleetGridW += m.gridW
+			res.FleetPerfN += m.perfN
+		}
+	}
+
+	c.stats.Steps++
+	c.tel.noteStep(res)
+	return res, nil
+}
+
+// apportion fills budgets with the strategy's per-agent grants.
+func (c *Coordinator) apportion(capW float64, alive []bool, budgets []float64) error {
+	var idxs []int
+	for i, a := range alive {
+		if !a {
+			continue
+		}
+		if c.cfg.Strategy == StrategyUtility && c.members[i].curve == nil {
+			// A member alive on grace (within MissK) but never
+			// successfully scraped has no curve; it gets no budget
+			// until it reports — it is fenced or unreachable anyway.
+			continue
+		}
+		idxs = append(idxs, i)
+	}
+	if len(idxs) == 0 {
+		return nil
+	}
+	switch c.cfg.Strategy {
+	case StrategyEqual:
+		per := capW / float64(len(idxs))
+		for _, i := range idxs {
+			budgets[i] = per
+		}
+	case StrategyUtility:
+		floor := c.cfg.FloorW
+		if floor == 0 {
+			floor = c.members[idxs[0]].floorW
+		}
+		curves := make([][]cluster.CapPoint, len(idxs))
+		for j, i := range idxs {
+			curves[j] = c.members[i].curve
+		}
+		b, _, _ := cluster.ApportionCurves(capW, floor, curves)
+		for j, i := range idxs {
+			budgets[i] = b[j]
+		}
+	default:
+		return fmt.Errorf("ctrlplane: unknown strategy %v", c.cfg.Strategy)
+	}
+	return nil
+}
+
+// Replay drives the coordinator through a cap schedule, one control
+// interval per point, as fast as the fleet acknowledges. onStep, when
+// non-nil, observes every interval (the harness uses it to advance
+// in-process agent clocks).
+func (c *Coordinator) Replay(ctx context.Context, caps []trace.Point, onStep func(StepResult)) ([]StepResult, error) {
+	if len(caps) == 0 {
+		return nil, fmt.Errorf("ctrlplane: empty cap schedule")
+	}
+	out := make([]StepResult, 0, len(caps))
+	for _, cp := range caps {
+		res, err := c.Step(ctx, cp.T, cp.V)
+		if err != nil {
+			return out, err
+		}
+		if onStep != nil {
+			onStep(res)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// GrantedW returns the last acknowledged budget for agent i (0 when
+// none).
+func (c *Coordinator) GrantedW(i int) float64 {
+	if i < 0 || i >= len(c.members) {
+		return math.NaN()
+	}
+	return c.members[i].grantedW
+}

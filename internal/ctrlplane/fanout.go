@@ -1,0 +1,30 @@
+package ctrlplane
+
+import "sync"
+
+// fanOut runs fn(i) for i in [0, n) with at most maxInFlight executing
+// concurrently and blocks until all complete. The bound keeps a large
+// fleet from opening hundreds of simultaneous connections when a cap
+// event fans out.
+func fanOut(n, maxInFlight int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if maxInFlight <= 0 || maxInFlight > n {
+		maxInFlight = n
+	}
+	sem := make(chan struct{}, maxInFlight)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		go func(i int) {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,101 @@
+package ctrlplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// NewHandler serves an agent's /ctrl/* endpoints. The handler is
+// self-contained so it can be mounted beside a daemon's existing API or
+// served alone by the replay harness.
+func NewHandler(a *Agent) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathAssign, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := readBody(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		req, err := DecodeAssign(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.Server != a.ID() {
+			http.Error(w, fmt.Sprintf("assign for server %d reached agent %d", req.Server, a.ID()), http.StatusBadRequest)
+			return
+		}
+		resp, err := a.Assign(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeWireJSON(w, resp)
+	})
+	mux.HandleFunc(PathReport, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		// A scrape may carry the coordinator's clock; the agent uses it
+		// to notice a lapsed lease even without a local ticker.
+		if ts := r.URL.Query().Get("t"); ts != "" {
+			t, err := strconv.ParseFloat(ts, 64)
+			if err != nil || !finite(t) || t < 0 {
+				http.Error(w, fmt.Sprintf("bad t %q", ts), http.StatusBadRequest)
+				return
+			}
+			if err := a.Tick(t); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
+		rep, err := a.Report()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeWireJSON(w, rep)
+	})
+	mux.HandleFunc(PathLease, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := readBody(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		req, err := DecodeLease(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.Server != a.ID() {
+			http.Error(w, fmt.Sprintf("lease for server %d reached agent %d", req.Server, a.ID()), http.StatusBadRequest)
+			return
+		}
+		resp, err := a.Renew(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeWireJSON(w, resp)
+	})
+	return mux
+}
+
+// writeWireJSON writes a control-plane message.
+func writeWireJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,100 @@
+package ctrlplane
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"powerstruggle/internal/cluster"
+)
+
+// SimFleet is N in-process agents served over real loopback HTTP, each
+// backed by one server of a shared cluster evaluator. It is the harness
+// behind pscluster -agents and the parity/soak tests: the coordinator
+// talks to it over the same wire it would use against remote psd
+// daemons, but every agent's planning is the pure simulation — so a
+// zero-fault replay must reproduce the simulation's budget sequence
+// watt for watt.
+type SimFleet struct {
+	Agents []*Agent
+
+	refs []AgentRef
+	lns  []net.Listener
+	srvs []*http.Server
+}
+
+// StartSimFleet boots one agent per evaluator server on loopback
+// listeners. Agents boot fenced at 0 W (deep sleep) until their first
+// grant, matching the cluster replay's "dead servers draw nothing".
+func StartSimFleet(ev *cluster.Evaluator, version string) (*SimFleet, error) {
+	f := &SimFleet{}
+	for i := 0; i < ev.Servers(); i++ {
+		a, err := NewAgent(AgentConfig{
+			ID:      i,
+			Backend: NewSimBackend(ev, i),
+			Version: version,
+		})
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		srv := &http.Server{
+			Handler:           NewHandler(a),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() { _ = srv.Serve(ln) }()
+		f.Agents = append(f.Agents, a)
+		f.lns = append(f.lns, ln)
+		f.srvs = append(f.srvs, srv)
+		f.refs = append(f.refs, AgentRef{ID: i, URL: "http://" + ln.Addr().String()})
+	}
+	if len(f.Agents) == 0 {
+		f.Close()
+		return nil, fmt.Errorf("ctrlplane: evaluator has no servers")
+	}
+	return f, nil
+}
+
+// Refs returns the fleet's agent references, in server-index order.
+func (f *SimFleet) Refs() []AgentRef {
+	return append([]AgentRef(nil), f.refs...)
+}
+
+// Tick advances every agent's local clock to trace time t — the
+// in-process stand-in for each daemon's own ticker, which is what
+// fences a stale lease even when the coordinator's scrapes are lost.
+func (f *SimFleet) Tick(t float64) error {
+	for _, a := range f.Agents {
+		if err := a.Tick(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FleetGridW sums the fleet's current grid draw — what a power meter on
+// the cluster's feed would read. Fenced agents are at their fence cap's
+// draw (0 W for the deep-sleep default).
+func (f *SimFleet) FleetGridW() float64 {
+	var sum float64
+	for _, a := range f.Agents {
+		sum += a.GridW()
+	}
+	return sum
+}
+
+// Close shuts the listeners down.
+func (f *SimFleet) Close() {
+	for _, srv := range f.srvs {
+		_ = srv.Close()
+	}
+	for _, ln := range f.lns {
+		_ = ln.Close()
+	}
+}

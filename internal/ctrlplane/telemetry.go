@@ -1,0 +1,109 @@
+package ctrlplane
+
+import (
+	"strconv"
+
+	"powerstruggle/internal/telemetry"
+)
+
+// ctrlTel is the coordinator's pre-resolved instrument set: fleet-wide
+// counterparts of the per-server control-loop metrics, plus fan-out
+// spans on the coordinator trace track. A disabled hub resolves to nil
+// instruments whose methods no-op, keeping the uninstrumented replay
+// bit-identical.
+type ctrlTel struct {
+	enabled bool
+	tracer  *telemetry.Tracer
+
+	steps         *telemetry.Counter
+	rpcs          *telemetry.CounterVec // kind ∈ {assign, report, lease}, outcome ∈ {ok, error}
+	retries       *telemetry.Counter
+	leaseExpiries *telemetry.Counter
+	rejoins       *telemetry.Counter
+	reapportions  *telemetry.Counter
+	assignFails   *telemetry.Counter
+	aliveAgents   *telemetry.Gauge
+	fleetCapW     *telemetry.Gauge
+	fleetGridW    *telemetry.Gauge
+	fleetPerfN    *telemetry.Gauge
+	agentBudgetW  *telemetry.GaugeVec
+	agentSoC      *telemetry.GaugeVec
+	rpcLatency    *telemetry.HistogramVec
+}
+
+func newCtrlTel(h *telemetry.Hub) *ctrlTel {
+	reg := h.Registry()
+	if reg == nil {
+		return &ctrlTel{}
+	}
+	// Bounds in seconds: loopback RPCs land in the sub-millisecond
+	// buckets, cross-rack ones in the milliseconds, retry storms above.
+	bounds := []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
+	return &ctrlTel{
+		enabled: true,
+		tracer:  h.Tracer(),
+		steps: reg.Counter("ps_ctrl_steps_total",
+			"Control intervals the coordinator has driven."),
+		rpcs: reg.CounterVec("ps_ctrl_rpcs_total",
+			"Control-plane RPCs by kind and outcome.", "kind", "outcome"),
+		retries: reg.Counter("ps_ctrl_rpc_retries_total",
+			"RPC attempts beyond the first (jittered backoff)."),
+		leaseExpiries: reg.Counter("ps_ctrl_lease_expiries_total",
+			"Membership leases expired after consecutive missed scrapes."),
+		rejoins: reg.Counter("ps_ctrl_rejoins_total",
+			"Expired agents readmitted on a successful scrape."),
+		reapportions: reg.Counter("ps_ctrl_reapportions_total",
+			"Alive-set transitions that re-apportioned the cluster budget."),
+		assignFails: reg.Counter("ps_ctrl_assign_failures_total",
+			"Budget assignments that exhausted their retries."),
+		aliveAgents: reg.Gauge("ps_ctrl_alive_agents",
+			"Agents holding a live membership lease."),
+		fleetCapW: reg.Gauge("ps_ctrl_fleet_cap_watts",
+			"Cluster cap at the last control interval."),
+		fleetGridW: reg.Gauge("ps_ctrl_fleet_grid_watts",
+			"Summed scraped grid draw at the last control interval."),
+		fleetPerfN: reg.Gauge("ps_ctrl_fleet_perf",
+			"Summed scraped normalized performance at the last control interval."),
+		agentBudgetW: reg.GaugeVec("ps_ctrl_agent_budget_watts",
+			"Per-agent budget granted at the last control interval (0 while expired).", "agent"),
+		agentSoC: reg.GaugeVec("ps_ctrl_agent_soc",
+			"Per-agent battery state of charge at the last scrape.", "agent"),
+		rpcLatency: reg.HistogramVec("ps_ctrl_rpc_seconds",
+			"Wall-clock RPC latency by kind (successful attempts).", bounds, "kind"),
+	}
+}
+
+// noteStep records one control interval's fleet state.
+func (t *ctrlTel) noteStep(res StepResult) {
+	if !t.enabled {
+		return
+	}
+	t.steps.Inc()
+	t.fleetCapW.Set(res.CapW)
+	t.fleetGridW.Set(res.FleetGridW)
+	t.fleetPerfN.Set(res.FleetPerfN)
+	alive := 0
+	for i, b := range res.Budgets {
+		t.agentBudgetW.With(strconv.Itoa(i)).Set(b)
+		if res.Alive[i] {
+			alive++
+		}
+	}
+	t.aliveAgents.Set(float64(alive))
+	t.tracer.Instant("ctrl-step", telemetry.CatCtrl, telemetry.TidCoord, res.T,
+		telemetry.A("capW", res.CapW), telemetry.A("gridW", res.FleetGridW),
+		telemetry.A("alive", alive))
+}
+
+// noteMembership mirrors a lease expiry or rejoin into the trace.
+func (t *ctrlTel) noteMembership(tm float64, agent int, expired bool) {
+	if !t.enabled {
+		return
+	}
+	kind := "lease-expiry"
+	if !expired {
+		kind = "agent-rejoin"
+	}
+	t.tracer.Instant(kind, telemetry.CatCtrl, telemetry.TidCoord, tm,
+		telemetry.A("agent", agent))
+}

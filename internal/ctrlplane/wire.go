@@ -1,0 +1,255 @@
+package ctrlplane
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"powerstruggle/internal/cluster"
+)
+
+// ProtocolV is the control-plane wire version; both sides reject
+// anything else, so a mixed-version fleet fails loudly instead of
+// misinterpreting budgets.
+const ProtocolV = 1
+
+// Agent endpoint paths.
+const (
+	PathAssign = "/ctrl/assign"
+	PathReport = "/ctrl/report"
+	PathLease  = "/ctrl/lease"
+)
+
+// maxBodyBytes bounds any control-plane request or response body. The
+// largest legitimate message is a report carrying a cap-utility curve
+// (a few hundred points); a megabyte is two orders of magnitude of
+// headroom.
+const maxBodyBytes = 1 << 20
+
+// AssignRequest grants one server a power budget. The grant is also a
+// lease renewal: the agent may draw up to CapW until T+LeaseS, after
+// which it fences itself.
+type AssignRequest struct {
+	V      int     `json:"v"`
+	Seq    uint64  `json:"seq"`
+	Server int     `json:"server"`
+	T      float64 `json:"t"`
+	CapW   float64 `json:"capW"`
+	// LeaseS extends the agent's draw lease through T+LeaseS. Zero
+	// means the lease never lapses (a daemon configured with its own
+	// wall-clock TTL still applies that).
+	LeaseS float64 `json:"leaseS"`
+}
+
+// Validate enforces the assign invariants the replay depends on.
+func (r AssignRequest) Validate() error {
+	if r.V != ProtocolV {
+		return fmt.Errorf("ctrlplane: assign protocol v%d, want v%d", r.V, ProtocolV)
+	}
+	if r.Seq == 0 {
+		return fmt.Errorf("ctrlplane: assign seq 0 (sequence numbers start at 1)")
+	}
+	if r.Server < 0 {
+		return fmt.Errorf("ctrlplane: assign server %d", r.Server)
+	}
+	if !finite(r.T) || r.T < 0 {
+		return fmt.Errorf("ctrlplane: assign time %g", r.T)
+	}
+	if !finite(r.CapW) || r.CapW < 0 {
+		return fmt.Errorf("ctrlplane: assign cap %g W", r.CapW)
+	}
+	if !finite(r.LeaseS) || r.LeaseS < 0 {
+		return fmt.Errorf("ctrlplane: assign lease %g s", r.LeaseS)
+	}
+	return nil
+}
+
+// AssignResponse acknowledges a budget grant with the agent's state
+// after applying it.
+type AssignResponse struct {
+	V      int    `json:"v"`
+	Server int    `json:"server"`
+	Seq    uint64 `json:"seq"`
+	// Applied is false when the request was stale (its Seq not newer
+	// than the last applied one); the reported state is then the
+	// in-force assignment, not the request's.
+	Applied bool    `json:"applied"`
+	CapW    float64 `json:"capW"`
+	PerfN   float64 `json:"perfN"`
+	GridW   float64 `json:"gridW"`
+	SoC     float64 `json:"soc"`
+	Fenced  bool    `json:"fenced"`
+}
+
+// Report is one telemetry scrape: the agent's enforced cap, draw,
+// battery state, and (optionally) its cap-utility curve for the
+// coordinator's apportioning DP.
+type Report struct {
+	V          int     `json:"v"`
+	Server     int     `json:"server"`
+	Seq        uint64  `json:"seq"`
+	CapW       float64 `json:"capW"`
+	PerfN      float64 `json:"perfN"`
+	GridW      float64 `json:"gridW"`
+	SoC        float64 `json:"soc"`
+	Fenced     bool    `json:"fenced"`
+	IdleFloorW float64 `json:"idleFloorW"`
+	NameplateW float64 `json:"nameplateW"`
+	// UtilityCurve samples cap → (perf, grid) on the shared
+	// ServerCapStepW grid. Agents that cannot characterize themselves
+	// (a live daemon with a churning mix) omit it; the coordinator
+	// then falls back to even apportioning for them.
+	UtilityCurve []cluster.CapPoint `json:"utilityCurve,omitempty"`
+	// Version is the agent's build version, surfaced so a fleet
+	// upgrade can be audited from the coordinator.
+	Version string `json:"version,omitempty"`
+}
+
+// Validate enforces the report invariants the apportioning DP depends
+// on: finite non-negative power figures and a strictly increasing,
+// finite utility curve.
+func (r Report) Validate() error {
+	if r.V != ProtocolV {
+		return fmt.Errorf("ctrlplane: report protocol v%d, want v%d", r.V, ProtocolV)
+	}
+	if r.Server < 0 {
+		return fmt.Errorf("ctrlplane: report server %d", r.Server)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"capW", r.CapW}, {"perfN", r.PerfN}, {"gridW", r.GridW},
+		{"idleFloorW", r.IdleFloorW}, {"nameplateW", r.NameplateW},
+	} {
+		if !finite(f.v) || f.v < 0 {
+			return fmt.Errorf("ctrlplane: report %s = %g", f.name, f.v)
+		}
+	}
+	if !finite(r.SoC) || r.SoC < 0 || r.SoC > 1 {
+		return fmt.Errorf("ctrlplane: report soc = %g outside [0, 1]", r.SoC)
+	}
+	prev := math.Inf(-1)
+	for i, p := range r.UtilityCurve {
+		if !finite(p.CapW) || !finite(p.Perf) || !finite(p.GridW) ||
+			p.CapW < 0 || p.Perf < 0 || p.GridW < 0 {
+			return fmt.Errorf("ctrlplane: report curve point %d = %+v", i, p)
+		}
+		if p.CapW <= prev {
+			return fmt.Errorf("ctrlplane: report curve caps must increase (%g after %g)", p.CapW, prev)
+		}
+		prev = p.CapW
+	}
+	return nil
+}
+
+// LeaseRequest renews an agent's draw lease without changing its
+// budget.
+type LeaseRequest struct {
+	V      int     `json:"v"`
+	Server int     `json:"server"`
+	T      float64 `json:"t"`
+	LeaseS float64 `json:"leaseS"`
+}
+
+// Validate enforces the lease-renewal invariants.
+func (r LeaseRequest) Validate() error {
+	if r.V != ProtocolV {
+		return fmt.Errorf("ctrlplane: lease protocol v%d, want v%d", r.V, ProtocolV)
+	}
+	if r.Server < 0 {
+		return fmt.Errorf("ctrlplane: lease server %d", r.Server)
+	}
+	if !finite(r.T) || r.T < 0 {
+		return fmt.Errorf("ctrlplane: lease time %g", r.T)
+	}
+	if !finite(r.LeaseS) || r.LeaseS < 0 {
+		return fmt.Errorf("ctrlplane: lease length %g s", r.LeaseS)
+	}
+	return nil
+}
+
+// LeaseResponse acknowledges a renewal.
+type LeaseResponse struct {
+	V      int     `json:"v"`
+	Server int     `json:"server"`
+	CapW   float64 `json:"capW"`
+	// ExpiresT is the trace time the renewed lease lapses (0 when the
+	// lease never lapses).
+	ExpiresT float64 `json:"expiresT"`
+	Fenced   bool    `json:"fenced"`
+}
+
+// finite reports whether v is a usable float (not NaN or ±Inf).
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// decodeStrict unmarshals exactly one JSON value with unknown fields
+// rejected and trailing garbage refused — wire messages are
+// machine-built, so anything unexpected is a bug or an attack, not a
+// compatibility case.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("ctrlplane: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("ctrlplane: trailing data after message")
+	}
+	return nil
+}
+
+// DecodeAssign parses and validates an assign request.
+func DecodeAssign(data []byte) (AssignRequest, error) {
+	var r AssignRequest
+	if err := decodeStrict(data, &r); err != nil {
+		return AssignRequest{}, err
+	}
+	if err := r.Validate(); err != nil {
+		return AssignRequest{}, err
+	}
+	return r, nil
+}
+
+// DecodeReport parses and validates a telemetry report.
+func DecodeReport(data []byte) (Report, error) {
+	var r Report
+	if err := decodeStrict(data, &r); err != nil {
+		return Report{}, err
+	}
+	if err := r.Validate(); err != nil {
+		return Report{}, err
+	}
+	return r, nil
+}
+
+// DecodeLease parses and validates a lease renewal.
+func DecodeLease(data []byte) (LeaseRequest, error) {
+	var r LeaseRequest
+	if err := decodeStrict(data, &r); err != nil {
+		return LeaseRequest{}, err
+	}
+	if err := r.Validate(); err != nil {
+		return LeaseRequest{}, err
+	}
+	return r, nil
+}
+
+// ReadBody drains a bounded control-plane request or response body —
+// exported so the daemon's /ctrl handlers apply the same bound as the
+// replay agent's.
+func ReadBody(r io.Reader) ([]byte, error) { return readBody(r) }
+
+// readBody drains a bounded request or response body.
+func readBody(r io.Reader) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(r, maxBodyBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > maxBodyBytes {
+		return nil, fmt.Errorf("ctrlplane: body exceeds %d bytes", maxBodyBytes)
+	}
+	return data, nil
+}

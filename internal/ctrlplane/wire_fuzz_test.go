@@ -1,0 +1,85 @@
+package ctrlplane
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeAssign hammers the assign decoder with arbitrary bytes: it
+// must never panic, and anything it accepts must satisfy the validated
+// invariants and survive a marshal/decode round trip.
+func FuzzDecodeAssign(f *testing.F) {
+	seed, _ := json.Marshal(AssignRequest{V: ProtocolV, Seq: 3, Server: 1, T: 600, CapW: 85.5, LeaseS: 300})
+	f.Add(seed)
+	f.Add([]byte(`{"v":1,"seq":1,"server":0,"t":0,"capW":0,"leaseS":0}`))
+	f.Add([]byte(`{"v":1,"seq":0,"server":-1,"t":-5,"capW":-1,"leaseS":-1}`))
+	f.Add([]byte(`{"v":1,"seq":1,"server":0,"t":1e309,"capW":1,"leaseS":1}`))
+	f.Add([]byte(`{"v":2}`))
+	f.Add([]byte(`{"v":1,"seq":1,"server":0,"t":0,"capW":1,"leaseS":0}{"trailing":1}`))
+	f.Add([]byte(`{"v":1,"unknown":true}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeAssign(data)
+		if err != nil {
+			return
+		}
+		if err := req.Validate(); err != nil {
+			t.Fatalf("accepted message fails validation: %v", err)
+		}
+		out, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted message does not marshal: %v", err)
+		}
+		again, err := DecodeAssign(out)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if again != req {
+			t.Fatalf("round trip changed the message: %+v != %+v", again, req)
+		}
+	})
+}
+
+// FuzzDecodeReport does the same for telemetry reports, whose utility
+// curves feed the coordinator's apportioning DP — a malformed curve
+// must be rejected at the wire, not discovered inside the DP.
+func FuzzDecodeReport(f *testing.F) {
+	seed, _ := json.Marshal(Report{
+		V: ProtocolV, Server: 2, Seq: 9, CapW: 80, PerfN: 1.2, GridW: 76,
+		SoC: 0.6, IdleFloorW: 25, NameplateW: 120, Version: "v0-test",
+	})
+	f.Add(seed)
+	f.Add([]byte(`{"v":1,"server":0,"seq":0,"capW":0,"perfN":0,"gridW":0,"soc":0,"fenced":true,"idleFloorW":0,"nameplateW":0}`))
+	f.Add([]byte(`{"v":1,"server":0,"seq":1,"capW":1,"perfN":1,"gridW":1,"soc":0.5,"idleFloorW":1,"nameplateW":2,"utilityCurve":[{"capW":2,"perf":0.1,"gridW":1},{"capW":4,"perf":0.2,"gridW":3}]}`))
+	f.Add([]byte(`{"v":1,"server":0,"seq":1,"capW":1,"perfN":1,"gridW":1,"soc":0.5,"idleFloorW":1,"nameplateW":2,"utilityCurve":[{"capW":4,"perf":0.1,"gridW":1},{"capW":2,"perf":0.2,"gridW":3}]}`))
+	f.Add([]byte(`{"v":1,"server":0,"seq":1,"capW":1,"perfN":1,"gridW":1,"soc":1.5,"idleFloorW":1,"nameplateW":2}`))
+	f.Add([]byte(`{"v":1,"server":0,"soc":-0.1}`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := DecodeReport(data)
+		if err != nil {
+			return
+		}
+		if err := rep.Validate(); err != nil {
+			t.Fatalf("accepted report fails validation: %v", err)
+		}
+		if rep.SoC < 0 || rep.SoC > 1 {
+			t.Fatalf("accepted report with soc %g", rep.SoC)
+		}
+		prev := -1.0
+		for _, p := range rep.UtilityCurve {
+			if p.CapW <= prev {
+				t.Fatalf("accepted non-increasing curve: %g after %g", p.CapW, prev)
+			}
+			prev = p.CapW
+		}
+		out, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatalf("accepted report does not marshal: %v", err)
+		}
+		if _, err := DecodeReport(out); err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+	})
+}

@@ -1,0 +1,242 @@
+package daemon
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"powerstruggle/internal/ctrlplane"
+)
+
+// CtrlConfig joins the daemon to a cluster control plane: the daemon
+// serves /ctrl/assign, /ctrl/report, and /ctrl/lease, and fences its
+// cap when a granted draw lease lapses without renewal.
+//
+// The daemon runs in wall-clock time, so unlike the replay agent its
+// lease TTL is measured against time.Now at each ticker advance, not
+// against the coordinator's trace clock. It also reports no utility
+// curve — a live daemon's mix churns as jobs arrive and finish, so it
+// cannot pre-characterize cap → utility the way the replay evaluator
+// can (characterizing the running mix online is a roadmap item); the
+// coordinator apportions evenly for curveless members.
+type CtrlConfig struct {
+	// ServerID is the daemon's fleet index; assigns addressed to any
+	// other ID are rejected.
+	ServerID int
+	// FenceCapW is the cap the daemon clamps itself to when its draw
+	// lease lapses (default: the platform idle floor — a powered-on
+	// server cannot draw less without host power-off, which the
+	// simulated platform does not model).
+	FenceCapW float64
+}
+
+// ctrlState is the daemon's lease ledger, guarded by its own mutex so
+// the /ctrl handlers never contend with the simulation advance for
+// longer than a field read.
+type ctrlState struct {
+	mu         sync.Mutex
+	cfg        CtrlConfig
+	fenceCapW  float64
+	lastSeq    uint64
+	leaseS     float64
+	leaseStart time.Time
+	leased     bool
+	fenced     bool
+	fences     int
+	staleDrops int
+}
+
+// EnableCtrl attaches control-plane state to the daemon. Call before
+// Handler; the daemon boots unfenced at its configured cap and only
+// starts fencing once the first lease-carrying assign arrives.
+func (d *Daemon) EnableCtrl(cfg CtrlConfig) error {
+	if cfg.ServerID < 0 {
+		return fmt.Errorf("daemon: ctrl server id %d", cfg.ServerID)
+	}
+	fence := cfg.FenceCapW
+	if fence <= 0 {
+		fence = d.hw.PIdleWatts
+	}
+	d.ctrl = &ctrlState{cfg: cfg, fenceCapW: fence}
+	return nil
+}
+
+// ctrlFenceCheck fences the cap if the draw lease has lapsed. Called
+// from Advance under d.mu, so it applies the clamp through the
+// simulation directly.
+func (d *Daemon) ctrlFenceCheck() error {
+	c := d.ctrl
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	lapse := c.leased && !c.fenced && c.leaseS > 0 &&
+		time.Since(c.leaseStart).Seconds() >= c.leaseS
+	if lapse {
+		c.fenced = true
+		c.fences++
+	}
+	fence := c.fenceCapW
+	c.mu.Unlock()
+	if !lapse {
+		return nil
+	}
+	return d.sim.AddCapChange(d.simTime, fence)
+}
+
+// ctrlAssign applies a budget grant from the coordinator. Lock order
+// is always d.mu before c.mu (Advance holds d.mu when it checks the
+// lease), so the status snapshot is taken outside c.mu.
+func (d *Daemon) ctrlAssign(req ctrlplane.AssignRequest) (ctrlplane.AssignResponse, error) {
+	c := d.ctrl
+	c.mu.Lock()
+	if req.Seq <= c.lastSeq {
+		c.staleDrops++
+		c.mu.Unlock()
+		return d.ctrlAck(false), nil
+	}
+	c.lastSeq = req.Seq
+	c.leaseS = req.LeaseS
+	c.leaseStart = time.Now()
+	c.leased = req.LeaseS > 0
+	c.fenced = false
+	c.mu.Unlock()
+
+	if err := d.SetCap(req.CapW); err != nil {
+		return ctrlplane.AssignResponse{}, err
+	}
+	return d.ctrlAck(true), nil
+}
+
+// ctrlAck snapshots the assign-response view.
+func (d *Daemon) ctrlAck(applied bool) ctrlplane.AssignResponse {
+	st := d.status()
+	c := d.ctrl
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ctrlplane.AssignResponse{
+		V: ctrlplane.ProtocolV, Server: c.cfg.ServerID,
+		Seq: c.lastSeq, Applied: applied,
+		CapW: st.CapW, GridW: st.GridW, SoC: st.SoC,
+		Fenced: c.fenced,
+	}
+}
+
+// ctrlReport builds a telemetry scrape response.
+func (d *Daemon) ctrlReport() ctrlplane.Report {
+	c := d.ctrl
+	st := d.status()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ctrlplane.Report{
+		V: ctrlplane.ProtocolV, Server: c.cfg.ServerID, Seq: c.lastSeq,
+		CapW: st.CapW, GridW: st.GridW, SoC: st.SoC,
+		Fenced:     c.fenced,
+		IdleFloorW: d.hw.PIdleWatts,
+		NameplateW: d.hw.MaxServerWatts(),
+		// No UtilityCurve: see CtrlConfig — live mixes are not
+		// pre-characterizable.
+		Version: d.version,
+	}
+}
+
+// ctrlRenew extends the draw lease without changing the budget. A
+// fenced daemon stays fenced: only a fresh assign restores its cap.
+func (d *Daemon) ctrlRenew(req ctrlplane.LeaseRequest) ctrlplane.LeaseResponse {
+	c := d.ctrl
+	st := d.status()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.fenced {
+		c.leaseS = req.LeaseS
+		c.leaseStart = time.Now()
+		c.leased = req.LeaseS > 0
+	}
+	var expires float64
+	if c.leased {
+		expires = req.T + c.leaseS
+	}
+	return ctrlplane.LeaseResponse{
+		V: ctrlplane.ProtocolV, Server: c.cfg.ServerID,
+		CapW: st.CapW, ExpiresT: expires, Fenced: c.fenced,
+	}
+}
+
+// ctrlRoutes mounts the control-plane endpoints on the daemon's mux.
+func (d *Daemon) ctrlRoutes(mux *http.ServeMux) {
+	c := d.ctrl
+	if c == nil {
+		return
+	}
+	mux.HandleFunc(ctrlplane.PathAssign, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := readCtrlBody(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		req, err := ctrlplane.DecodeAssign(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.Server != c.cfg.ServerID {
+			http.Error(w, fmt.Sprintf("assign for server %d reached daemon %d", req.Server, c.cfg.ServerID), http.StatusBadRequest)
+			return
+		}
+		resp, err := d.ctrlAssign(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc(ctrlplane.PathReport, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		// The coordinator's trace clock means nothing to a wall-clock
+		// daemon; accept and ignore a ?t= so one coordinator can drive
+		// mixed fleets.
+		if ts := r.URL.Query().Get("t"); ts != "" {
+			if _, err := strconv.ParseFloat(ts, 64); err != nil {
+				http.Error(w, fmt.Sprintf("bad t %q", ts), http.StatusBadRequest)
+				return
+			}
+		}
+		writeJSON(w, d.ctrlReport())
+	})
+	mux.HandleFunc(ctrlplane.PathLease, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := readCtrlBody(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		req, err := ctrlplane.DecodeLease(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.Server != c.cfg.ServerID {
+			http.Error(w, fmt.Sprintf("lease for server %d reached daemon %d", req.Server, c.cfg.ServerID), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, d.ctrlRenew(req))
+	})
+}
+
+// readCtrlBody bounds a control-plane request body the same way the
+// replay agent does.
+func readCtrlBody(r *http.Request) ([]byte, error) {
+	return ctrlplane.ReadBody(r.Body)
+}

@@ -1,0 +1,164 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"powerstruggle/internal/ctrlplane"
+)
+
+func ctrlDaemon(t *testing.T) (*Daemon, *httptest.Server) {
+	t.Helper()
+	d, err := New(Config{Version: "test-build"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EnableCtrl(CtrlConfig{ServerID: 0}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(srv.Close)
+	return d, srv
+}
+
+func postCtrl(t *testing.T, url string, v any, out any) int {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// The daemon's /ctrl surface: assigns apply the cap and dedup by
+// sequence, scrapes report the wire schema with the build version, and
+// misdirected messages bounce with 400.
+func TestDaemonCtrlEndpoints(t *testing.T) {
+	d, srv := ctrlDaemon(t)
+
+	var ack ctrlplane.AssignResponse
+	req := ctrlplane.AssignRequest{V: ctrlplane.ProtocolV, Seq: 1, Server: 0, T: 0, CapW: 70}
+	if code := postCtrl(t, srv.URL+ctrlplane.PathAssign, req, &ack); code != http.StatusOK {
+		t.Fatalf("assign: %d", code)
+	}
+	if !ack.Applied || ack.Fenced {
+		t.Fatalf("assign ack %+v", ack)
+	}
+	if err := d.Advance(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.health().CapW; got != 70 {
+		t.Fatalf("cap %g after assign", got)
+	}
+
+	// Duplicate sequence: acknowledged, not applied.
+	req.CapW = 30
+	if code := postCtrl(t, srv.URL+ctrlplane.PathAssign, req, &ack); code != http.StatusOK {
+		t.Fatal("duplicate assign rejected at transport")
+	}
+	if ack.Applied {
+		t.Fatal("duplicate assign applied")
+	}
+
+	// Misdirected assign and lease.
+	req.Seq, req.Server = 2, 5
+	if code := postCtrl(t, srv.URL+ctrlplane.PathAssign, req, nil); code != http.StatusBadRequest {
+		t.Fatalf("misdirected assign: %d", code)
+	}
+	lease := ctrlplane.LeaseRequest{V: ctrlplane.ProtocolV, Server: 5, T: 1}
+	if code := postCtrl(t, srv.URL+ctrlplane.PathLease, lease, nil); code != http.StatusBadRequest {
+		t.Fatalf("misdirected lease: %d", code)
+	}
+
+	// Scrape: wire-valid, versioned, curveless (a live daemon cannot
+	// pre-characterize its churning mix).
+	resp, err := http.Get(srv.URL + ctrlplane.PathReport + "?t=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := ctrlplane.ReadBody(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape: %d %v", resp.StatusCode, err)
+	}
+	rep, err := ctrlplane.DecodeReport(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Server != 0 || rep.Version != "test-build" || len(rep.UtilityCurve) != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+
+	// Health carries the version and the ctrl state.
+	h := d.health()
+	if h.Version != "test-build" || !h.CtrlEnabled {
+		t.Fatalf("health %+v", h)
+	}
+}
+
+// A wall-clock lease that lapses without renewal must fence the daemon
+// to its fail-safe cap on the next advance.
+func TestDaemonCtrlLeaseFence(t *testing.T) {
+	d, srv := ctrlDaemon(t)
+	req := ctrlplane.AssignRequest{V: ctrlplane.ProtocolV, Seq: 1, Server: 0, T: 0, CapW: 90, LeaseS: 0.05}
+	if code := postCtrl(t, srv.URL+ctrlplane.PathAssign, req, nil); code != http.StatusOK {
+		t.Fatalf("assign: %d", code)
+	}
+	if err := d.Advance(0.1); err != nil {
+		t.Fatal(err)
+	}
+	if h := d.health(); h.CtrlFenced {
+		t.Fatal("fenced before the lease lapsed")
+	}
+
+	// A renewal pushes the lapse out.
+	lease := ctrlplane.LeaseRequest{V: ctrlplane.ProtocolV, Server: 0, T: 1, LeaseS: 0.05}
+	var lr ctrlplane.LeaseResponse
+	if code := postCtrl(t, srv.URL+ctrlplane.PathLease, lease, &lr); code != http.StatusOK || lr.Fenced {
+		t.Fatalf("renew: %d %+v", code, lr)
+	}
+
+	time.Sleep(80 * time.Millisecond)
+	if err := d.Advance(0.1); err != nil {
+		t.Fatal(err)
+	}
+	h := d.health()
+	if !h.CtrlFenced || h.CtrlFences != 1 {
+		t.Fatalf("after lapse: %+v", h)
+	}
+	// The fence is queued like any cap-change event and lands on the
+	// next simulation tick.
+	if err := d.Advance(0.1); err != nil {
+		t.Fatal(err)
+	}
+	if h := d.health(); h.CapW != d.hw.PIdleWatts {
+		t.Fatalf("fence cap %g, want the idle floor %g", h.CapW, d.hw.PIdleWatts)
+	}
+
+	// Only a fresh assign unfences.
+	req.Seq, req.CapW, req.LeaseS = 2, 80, 10
+	var ack ctrlplane.AssignResponse
+	if code := postCtrl(t, srv.URL+ctrlplane.PathAssign, req, &ack); code != http.StatusOK || !ack.Applied {
+		t.Fatalf("re-assign: %d %+v", code, ack)
+	}
+	if err := d.Advance(0.1); err != nil {
+		t.Fatal(err)
+	}
+	if h := d.health(); h.CtrlFenced || h.CapW != 80 {
+		t.Fatalf("after re-assign: %+v", h)
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"powerstruggle/internal/accountant"
 	"powerstruggle/internal/allocator"
+	"powerstruggle/internal/buildinfo"
 	"powerstruggle/internal/esd"
 	"powerstruggle/internal/faults"
 	"powerstruggle/internal/policy"
@@ -47,6 +48,9 @@ type Config struct {
 	// powerstruggle_* series) and its trace is served on GET /trace as
 	// Chrome trace_event JSON.
 	Telemetry *telemetry.Hub
+	// Version overrides the build version reported on /healthz and in
+	// control-plane scrapes (default: buildinfo.Version()).
+	Version string
 }
 
 // Daemon is the running service.
@@ -62,8 +66,12 @@ type Daemon struct {
 	lastAdvance time.Time
 	// advErr latches the first simulation error; a daemon whose sim
 	// died keeps serving telemetry but reports unhealthy.
-	advErr error
-	hub    *telemetry.Hub
+	advErr  error
+	hub     *telemetry.Hub
+	version string
+	// ctrl, when non-nil, is the cluster control-plane lease state
+	// (EnableCtrl).
+	ctrl *ctrlState
 }
 
 // New builds a daemon.
@@ -101,7 +109,12 @@ func New(cfg Config) (*Daemon, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Daemon{sim: sim, lib: lib, hw: cfg.HW, hub: cfg.Telemetry, lastAdvance: time.Now()}, nil
+	version := cfg.Version
+	if version == "" {
+		version = buildinfo.Version()
+	}
+	return &Daemon{sim: sim, lib: lib, hw: cfg.HW, hub: cfg.Telemetry,
+		lastAdvance: time.Now(), version: version}, nil
 }
 
 // Advance runs the mediated server forward by dt simulated seconds. The
@@ -121,7 +134,7 @@ func (d *Daemon) Advance(dt float64) error {
 	}
 	d.simTime += dt
 	d.lastAdvance = time.Now()
-	return nil
+	return d.ctrlFenceCheck()
 }
 
 // AdmitRequest is the POST /admit body.
@@ -206,6 +219,17 @@ type Health struct {
 	FaultEvents   int    `json:"faultEvents"`
 	DroppedEvents int    `json:"droppedEvents"`
 	Err           string `json:"err,omitempty"`
+	// Version is the binary's build version (module version + VCS
+	// revision).
+	Version string `json:"version"`
+	// Control-plane lease state, present when the daemon is joined to
+	// a coordinator (EnableCtrl): CtrlFenced reports a lapsed draw
+	// lease currently clamping the cap; CtrlFences counts lapses;
+	// CtrlStaleDrops counts deduplicated stale/duplicate assigns.
+	CtrlEnabled    bool `json:"ctrlEnabled"`
+	CtrlFenced     bool `json:"ctrlFenced"`
+	CtrlFences     int  `json:"ctrlFences"`
+	CtrlStaleDrops int  `json:"ctrlStaleDrops"`
 }
 
 // health snapshots liveness and robustness state.
@@ -233,6 +257,15 @@ func (d *Daemon) health() Health {
 	}
 	if d.advErr != nil {
 		h.Err = d.advErr.Error()
+	}
+	h.Version = d.version
+	if c := d.ctrl; c != nil {
+		c.mu.Lock()
+		h.CtrlEnabled = true
+		h.CtrlFenced = c.fenced
+		h.CtrlFences = c.fences
+		h.CtrlStaleDrops = c.staleDrops
+		c.mu.Unlock()
 	}
 	return h
 }
@@ -386,6 +419,7 @@ func (d *Daemon) Handler() http.Handler {
 			_ = reg.WritePrometheus(w)
 		}
 	})
+	d.ctrlRoutes(mux)
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "GET only", http.StatusMethodNotAllowed)

@@ -1,0 +1,159 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func netGet(t *testing.T, rt http.RoundTripper, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt.RoundTrip(req)
+}
+
+// A dropped request must never reach the server and must surface as a
+// transient error the retry machinery recognizes.
+func TestNetInjectorDropRequest(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	}))
+	defer srv.Close()
+	in, err := NewNetInjector(NetConfig{Seed: 1, DropReqP: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := netGet(t, in, srv.URL)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("DropReqP=1 let a request through")
+	}
+	if !IsTransient(err) || !errors.Is(err, ErrNetDrop) {
+		t.Fatalf("drop error not transient: %v", err)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("server saw %d requests through a full drop", hits.Load())
+	}
+	if in.Counts().ReqDrops != 1 {
+		t.Fatalf("counts %+v", in.Counts())
+	}
+}
+
+// A dropped response is the other half of RPC ambiguity: the server
+// processes the request, the caller still sees a failure.
+func TestNetInjectorDropResponse(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	}))
+	defer srv.Close()
+	in, err := NewNetInjector(NetConfig{Seed: 1, DropRespP: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := netGet(t, in, srv.URL); err == nil {
+		resp.Body.Close()
+		t.Fatal("DropRespP=1 returned a response")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1 (the effect lands)", hits.Load())
+	}
+}
+
+// A duplicated POST must deliver the identical body twice; the caller
+// sees one (the second) response.
+func TestNetInjectorDuplicate(t *testing.T) {
+	var bodies []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		bodies = append(bodies, string(b))
+	}))
+	defer srv.Close()
+	in, err := NewNetInjector(NetConfig{Seed: 1, DupP: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, srv.URL, strings.NewReader(`{"seq":7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := in.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(bodies) != 2 || bodies[0] != bodies[1] || bodies[0] != `{"seq":7}` {
+		t.Fatalf("duplicated delivery saw bodies %q", bodies)
+	}
+}
+
+// A blackholed host fails deterministically until restored.
+func TestNetInjectorBlackhole(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	in, err := NewNetInjector(NetConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := strings.TrimPrefix(srv.URL, "http://")
+	in.SetDown(host, true)
+	for i := 0; i < 3; i++ {
+		if resp, err := netGet(t, in, srv.URL); err == nil {
+			resp.Body.Close()
+			t.Fatal("blackholed host reachable")
+		}
+	}
+	in.SetDown(host, false)
+	resp, err := netGet(t, in, srv.URL)
+	if err != nil {
+		t.Fatalf("restored host unreachable: %v", err)
+	}
+	resp.Body.Close()
+	if in.Counts().Blackholed != 3 {
+		t.Fatalf("counts %+v", in.Counts())
+	}
+}
+
+// Heal must stop probabilistic faults mid-run.
+func TestNetInjectorHeal(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	in, err := NewNetInjector(NetConfig{Seed: 2, DropReqP: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := netGet(t, in, srv.URL); err == nil {
+		resp.Body.Close()
+		t.Fatal("pre-heal request survived DropReqP=1")
+	}
+	in.Heal()
+	resp, err := netGet(t, in, srv.URL)
+	if err != nil {
+		t.Fatalf("post-heal request failed: %v", err)
+	}
+	resp.Body.Close()
+}
+
+// Config validation refuses out-of-range rates.
+func TestNetConfigValidate(t *testing.T) {
+	if err := (NetConfig{DropReqP: 1.5}).Validate(); err == nil {
+		t.Error("DropReqP 1.5 accepted")
+	}
+	if err := (NetConfig{DelayMax: -1}).Validate(); err == nil {
+		t.Error("negative DelayMax accepted")
+	}
+	if (NetConfig{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	if !(NetConfig{DupP: 0.1}).Enabled() {
+		t.Error("dup-only config reports disabled")
+	}
+}

@@ -16,6 +16,7 @@ const (
 	CatSettle    = "settle"
 	CatFault     = "fault"
 	CatCluster   = "cluster"
+	CatCtrl      = "ctrlplane"
 )
 
 // Well-known trace tracks (Chrome trace tids). Tenants occupy
@@ -24,6 +25,7 @@ const (
 	TidControl    = 0
 	TidAccountant = 90
 	TidClusterT   = 95
+	TidCoord      = 97
 	TidTenant0    = 1
 )
 
