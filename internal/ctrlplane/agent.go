@@ -121,17 +121,23 @@ func (a *Agent) Assign(req AssignRequest) (AssignResponse, error) {
 }
 
 // Renew extends the draw lease without changing the budget. A fenced
-// agent stays fenced — only a fresh Assign restores a budget.
+// agent stays fenced and its lease clock stays dead — only a fresh
+// Assign restores a budget (the daemon's ctrlRenew has the same
+// semantics). A delayed or duplicated renewal carrying a T older than
+// the last grant is ignored: moving the lease clock backward would
+// spuriously fence a healthy agent on its next Tick.
 func (a *Agent) Renew(req LeaseRequest) (LeaseResponse, error) {
 	if req.Server != a.cfg.ID {
 		return LeaseResponse{}, fmt.Errorf("ctrlplane: lease for server %d reached agent %d", req.Server, a.cfg.ID)
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.lastGrantT = req.T
-	a.leaseS = req.LeaseS
+	if !a.fenced && req.T >= a.lastGrantT {
+		a.lastGrantT = req.T
+		a.leaseS = req.LeaseS
+	}
 	resp := LeaseResponse{V: ProtocolV, Server: a.cfg.ID, CapW: a.capW, Fenced: a.fenced}
-	if a.leaseS > 0 {
+	if !a.fenced && a.leaseS > 0 {
 		resp.ExpiresT = a.lastGrantT + a.leaseS
 	}
 	return resp, nil

@@ -29,7 +29,12 @@ func (f *fakeBackend) SoC() float64        { return 0.5 }
 func (f *fakeBackend) IdleFloorW() float64 { return 10 }
 func (f *fakeBackend) NameplateW() float64 { return 100 }
 func (f *fakeBackend) UtilityCurve() ([]cluster.CapPoint, error) {
-	return []cluster.CapPoint{{CapW: 10, Perf: 0.1, GridW: 9}, {CapW: 50, Perf: 0.5, GridW: 45}}, nil
+	// On the DP's grid: point k sits at floor + k*ServerCapStepW.
+	var curve []cluster.CapPoint
+	for cap := f.IdleFloorW(); cap <= f.NameplateW(); cap += cluster.ServerCapStepW {
+		curve = append(curve, cluster.CapPoint{CapW: cap, Perf: cap / 100, GridW: cap * 0.9})
+	}
+	return curve, nil
 }
 func (f *fakeBackend) applyCount() int {
 	f.mu.Lock()
@@ -147,6 +152,37 @@ func TestAgentLeaseFence(t *testing.T) {
 	}
 	if a.Fenced() || a.CapW() != 40 {
 		t.Fatalf("after re-assign: fenced=%v cap=%g", a.Fenced(), a.CapW())
+	}
+}
+
+// A delayed or duplicated renewal carrying an older T must not move the
+// lease clock backward — that would spuriously fence a healthy agent on
+// its next Tick.
+func TestAgentStaleRenewalIgnored(t *testing.T) {
+	a, err := NewAgent(AgentConfig{ID: 0, Backend: &fakeBackend{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Assign(assign(1, 100, 80, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Renew(LeaseRequest{V: ProtocolV, Server: 0, T: 105, LeaseS: 10}); err != nil {
+		t.Fatal(err)
+	}
+	// A duplicate of an earlier renewal arrives late; the lease still
+	// runs to 115, not back to 105.
+	resp, err := a.Renew(LeaseRequest{V: ProtocolV, Server: 0, T: 95, LeaseS: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ExpiresT != 115 {
+		t.Fatalf("stale renewal moved expiry to %g, want 115", resp.ExpiresT)
+	}
+	if err := a.Tick(108); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fenced() {
+		t.Fatal("stale renewal rewound the lease clock and fenced a healthy agent")
 	}
 }
 

@@ -353,6 +353,7 @@ func (c *Coordinator) Step(ctx context.Context, t, capW float64) (StepResult, er
 	// grant re-arms the agent's draw lease.
 	c.seq++
 	seq := c.seq
+	renewFailed := make([]bool, n)
 	fanOut(n, c.cfg.maxInFlight(), func(i int) {
 		m := c.members[i]
 		if !m.alive {
@@ -361,14 +362,18 @@ func (c *Coordinator) Step(ctx context.Context, t, capW float64) (StepResult, er
 		if m.granted && m.grantedW == res.Budgets[i] && m.scraped && !m.fenced {
 			req := LeaseRequest{V: ProtocolV, Server: m.ref.ID, T: t, LeaseS: c.cfg.LeaseS}
 			var resp LeaseResponse
-			if err := c.client.postJSON(ctx, "lease", m.ref.URL+PathLease, req, &resp); err == nil {
+			err := c.client.postJSON(ctx, "lease", m.ref.URL+PathLease, req, &resp)
+			if err == nil && !resp.Fenced && resp.CapW == m.grantedW {
 				res.Granted[i] = true
 				return
 			}
-			c.stats.RenewFailures++
+			renewFailed[i] = err != nil
 			// Fall through to a full assignment: a failed renewal may
-			// leave the agent about to fence, and the assignment both
-			// restores the budget and re-arms the lease.
+			// leave the agent about to fence, and a renewal answered
+			// fenced — or enforcing a cap other than the grant
+			// (the agent fenced and was re-assigned between the scrape
+			// and the renewal) — means the budget is not in force;
+			// only an assign restores it and re-arms the lease.
 		}
 		req := AssignRequest{V: ProtocolV, Seq: seq, Server: m.ref.ID, T: t,
 			CapW: res.Budgets[i], LeaseS: c.cfg.LeaseS}
@@ -382,6 +387,9 @@ func (c *Coordinator) Step(ctx context.Context, t, capW float64) (StepResult, er
 	for i, m := range c.members {
 		if !m.alive {
 			continue
+		}
+		if renewFailed[i] {
+			c.stats.RenewFailures++
 		}
 		if res.Granted[i] {
 			m.grantedW, m.granted = res.Budgets[i], true
@@ -405,16 +413,9 @@ func (c *Coordinator) Step(ctx context.Context, t, capW float64) (StepResult, er
 func (c *Coordinator) apportion(capW float64, alive []bool, budgets []float64) error {
 	var idxs []int
 	for i, a := range alive {
-		if !a {
-			continue
+		if a {
+			idxs = append(idxs, i)
 		}
-		if c.cfg.Strategy == StrategyUtility && c.members[i].curve == nil {
-			// A member alive on grace (within MissK) but never
-			// successfully scraped has no curve; it gets no budget
-			// until it reports — it is fenced or unreachable anyway.
-			continue
-		}
-		idxs = append(idxs, i)
 	}
 	if len(idxs) == 0 {
 		return nil
@@ -426,16 +427,45 @@ func (c *Coordinator) apportion(capW float64, alive []bool, budgets []float64) e
 			budgets[i] = per
 		}
 	case StrategyUtility:
+		// Members that report no cap-utility curve — live daemons
+		// cannot pre-characterize their churning mix, and a member on
+		// MissK grace may not have reported yet — get the documented
+		// fallback of an even share; the DP apportions the remaining
+		// budget across the curve-bearing members.
+		per := capW / float64(len(idxs))
+		remainW := capW
+		var curved []int
+		for _, i := range idxs {
+			if c.members[i].curve == nil {
+				budgets[i] = per
+				remainW -= per
+			} else {
+				curved = append(curved, i)
+			}
+		}
+		if len(curved) == 0 {
+			return nil
+		}
 		floor := c.cfg.FloorW
 		if floor == 0 {
-			floor = c.members[idxs[0]].floorW
+			// ApportionCurves prices every curve from one common idle
+			// floor; silently picking one member's floor would compute
+			// every other member's budget against the wrong floor, so
+			// a heterogeneous fleet must say what it wants explicitly.
+			floor = c.members[curved[0]].floorW
+			for _, i := range curved[1:] {
+				if f := c.members[i].floorW; f != floor {
+					return fmt.Errorf("ctrlplane: heterogeneous idle floors (agent %d reports %g W, agent %d reports %g W); set Config.FloorW to apportion a mixed fleet",
+						c.members[curved[0]].ref.ID, floor, c.members[i].ref.ID, f)
+				}
+			}
 		}
-		curves := make([][]cluster.CapPoint, len(idxs))
-		for j, i := range idxs {
+		curves := make([][]cluster.CapPoint, len(curved))
+		for j, i := range curved {
 			curves[j] = c.members[i].curve
 		}
-		b, _, _ := cluster.ApportionCurves(capW, floor, curves)
-		for j, i := range idxs {
+		b, _, _ := cluster.ApportionCurves(remainW, floor, curves)
+		for j, i := range curved {
 			budgets[i] = b[j]
 		}
 	default:

@@ -86,16 +86,30 @@ func (d *Daemon) ctrlFenceCheck() error {
 	return d.sim.AddCapChange(d.simTime, fence)
 }
 
-// ctrlAssign applies a budget grant from the coordinator. Lock order
-// is always d.mu before c.mu (Advance holds d.mu when it checks the
-// lease), so the status snapshot is taken outside c.mu.
+// ctrlAssign applies a budget grant from the coordinator. The sequence
+// check, the cap application, and the ledger update are one atomic
+// section under d.mu then c.mu (the lock order Advance establishes,
+// holding d.mu when it checks the lease): a failed cap application must
+// not consume the sequence number — the coordinator's retry of the same
+// seq would be dropped as stale while the wrong cap persists — and two
+// in-flight assigns must serialize seq-check-plus-application as a
+// unit, or the older (possibly higher) cap could land after the newer
+// one while lastSeq says otherwise, a sustained breach that lease
+// renewals would then keep alive. Mirrors ctrlplane.Agent.Assign.
 func (d *Daemon) ctrlAssign(req ctrlplane.AssignRequest) (ctrlplane.AssignResponse, error) {
 	c := d.ctrl
+	d.mu.Lock()
 	c.mu.Lock()
 	if req.Seq <= c.lastSeq {
 		c.staleDrops++
 		c.mu.Unlock()
+		d.mu.Unlock()
 		return d.ctrlAck(false), nil
+	}
+	if err := d.sim.AddCapChange(d.simTime, req.CapW); err != nil {
+		c.mu.Unlock()
+		d.mu.Unlock()
+		return ctrlplane.AssignResponse{}, err
 	}
 	c.lastSeq = req.Seq
 	c.leaseS = req.LeaseS
@@ -103,10 +117,7 @@ func (d *Daemon) ctrlAssign(req ctrlplane.AssignRequest) (ctrlplane.AssignRespon
 	c.leased = req.LeaseS > 0
 	c.fenced = false
 	c.mu.Unlock()
-
-	if err := d.SetCap(req.CapW); err != nil {
-		return ctrlplane.AssignResponse{}, err
-	}
+	d.mu.Unlock()
 	return d.ctrlAck(true), nil
 }
 

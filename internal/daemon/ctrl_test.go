@@ -110,6 +110,39 @@ func TestDaemonCtrlEndpoints(t *testing.T) {
 	}
 }
 
+// A failed cap application must not consume the sequence number. A 0 W
+// cap is wire-valid (replay agents accept it) but the daemon's
+// simulation rejects it, so the coordinator gets a 500 and retries the
+// same seq — and the retry must apply rather than be dropped as stale,
+// or the wrong cap would persist for the rest of the run.
+func TestDaemonCtrlFailedAssignKeepsSeq(t *testing.T) {
+	d, srv := ctrlDaemon(t)
+	req := ctrlplane.AssignRequest{V: ctrlplane.ProtocolV, Seq: 1, Server: 0, T: 0, CapW: 0, LeaseS: 10}
+	if code := postCtrl(t, srv.URL+ctrlplane.PathAssign, req, nil); code != http.StatusInternalServerError {
+		t.Fatalf("0 W assign: %d, want 500", code)
+	}
+	h := d.health()
+	if h.CtrlStaleDrops != 0 {
+		t.Fatalf("failed assign counted as a stale drop: %+v", h)
+	}
+
+	// The coordinator's retry carries the same seq with a fixed cap.
+	req.CapW = 70
+	var ack ctrlplane.AssignResponse
+	if code := postCtrl(t, srv.URL+ctrlplane.PathAssign, req, &ack); code != http.StatusOK {
+		t.Fatalf("retried assign: %d", code)
+	}
+	if !ack.Applied {
+		t.Fatal("retry of a failed assign dropped as stale — the seq was consumed")
+	}
+	if err := d.Advance(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.health().CapW; got != 70 {
+		t.Fatalf("cap %g after retried assign, want 70", got)
+	}
+}
+
 // A wall-clock lease that lapses without renewal must fence the daemon
 // to its fail-safe cap on the next advance.
 func TestDaemonCtrlLeaseFence(t *testing.T) {
