@@ -16,6 +16,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"powerstruggle/internal/buildinfo"
 	"powerstruggle/internal/cluster"
@@ -39,6 +41,7 @@ func main() {
 		dumpTrace = flag.String("dumptrace", "", "write the synthetic demand trace to this CSV and exit")
 		agents    = flag.Bool("agents", false, "replay through the networked control plane (in-process agents over loopback HTTP) and check budget parity against the pure simulation")
 		strategy  = flag.String("strategy", "utility", "apportioning strategy in -agents mode: equal or utility")
+		haKill    = flag.Int("ha-kill-step", -1, "in -agents mode, replay through a leader-elected coordinator pair and kill the leader at this step; reports failover latency and post-recovery budget parity")
 		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -48,10 +51,13 @@ func main() {
 	}
 
 	if *agents {
-		if err := runAgents(*servers, *strategy, *capFile, *shave, *step, *seed); err != nil {
+		if err := runAgents(*servers, *strategy, *capFile, *shave, *step, *seed, *haKill); err != nil {
 			log.Fatal(err)
 		}
 		return
+	}
+	if *haKill >= 0 {
+		log.Fatal("-ha-kill-step needs -agents (the drill runs over the networked control plane)")
 	}
 	if *capFile != "" {
 		if err := replayCapFile(*capFile, *servers); err != nil {
@@ -168,7 +174,9 @@ func replayCapFile(path string, servers int) error {
 // — a pscoord-style coordinator fanning leased budgets out to one
 // in-process agent per server over loopback HTTP — and checks that the
 // resulting budget sequence matches the pure simulation watt for watt.
-func runAgents(servers int, strategyName, capFile string, shavePcts string, stepS float64, seed int64) error {
+// With killStep >= 0 the replay runs through a leader-elected
+// coordinator pair instead, killing the leader mid-trace.
+func runAgents(servers int, strategyName, capFile string, shavePcts string, stepS float64, seed int64, killStep int) error {
 	strat, err := ctrlplane.ParseStrategy(strategyName)
 	if err != nil {
 		return err
@@ -221,6 +229,9 @@ func runAgents(servers int, strategyName, capFile string, shavePcts string, step
 	if len(caps) > 1 {
 		interval = caps[1].T - caps[0].T
 	}
+	if killStep >= 0 {
+		return runHADrill(ev, flt, caps, strat, servers, interval, killStep)
+	}
 	coord, err := ctrlplane.New(ctrlplane.Config{
 		Agents:   flt.Refs(),
 		Strategy: strat,
@@ -265,6 +276,143 @@ func runAgents(servers int, strategyName, capFile string, shavePcts string, step
 		capViolations, st.ScrapeFailures, st.AssignFailures, st.Reapportions)
 	if maxDelta != 0 {
 		return fmt.Errorf("networked replay diverged from the simulation by %g W", maxDelta)
+	}
+	return nil
+}
+
+// drillClock is a settable clock for the failover drill: trace time
+// drives both coordinators' campaign timestamps, so the leadership TTL
+// lapses in trace seconds rather than wall-clock seconds.
+type drillClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *drillClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *drillClock) Set(t time.Time) {
+	c.mu.Lock()
+	c.t = t
+	c.mu.Unlock()
+}
+
+// runHADrill replays the cap schedule through a leader-elected pair of
+// coordinators sharing one election store and one fleet, kills the
+// leader at killStep, and reports how many intervals the fleet spent
+// leaderless plus budget parity on every interval somebody granted.
+func runHADrill(ev *cluster.Evaluator, flt *ctrlplane.SimFleet, caps []trace.Point, strat ctrlplane.Strategy, servers int, interval float64, killStep int) error {
+	if killStep >= len(caps)-1 {
+		return fmt.Errorf("-ha-kill-step %d too late to observe a takeover in a %d-step trace", killStep, len(caps))
+	}
+	store := ctrlplane.NewMemElection()
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	wallAt := func(t float64) time.Time { return t0.Add(time.Duration(t * float64(time.Second))) }
+	ttl := time.Duration(1.5 * interval * float64(time.Second))
+	mkHA := func(id string) (*ctrlplane.HA, *drillClock, error) {
+		c, err := ctrlplane.New(ctrlplane.Config{
+			Agents:   flt.Refs(),
+			Strategy: strat,
+			// Exactly one interval: whatever grant a dead leader left
+			// behind lapses before the next interval's cap could shrink
+			// under it, so the blackout is fenced, not over-budget.
+			LeaseS: interval,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		clk := &drillClock{}
+		ha, err := ctrlplane.NewHA(c, ctrlplane.HAConfig{ID: id, Election: store, TermTTL: ttl, Clock: clk.Now})
+		return ha, clk, err
+	}
+	haA, clkA, err := mkHA("drill-a")
+	if err != nil {
+		return err
+	}
+	haB, clkB, err := mkHA("drill-b")
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("HA drill: %d cap steps over %d networked agents (%v), leader killed at step %d\n",
+		len(caps), servers, strat, killStep)
+	ctx := context.Background()
+	granted := make([]ctrlplane.StepResult, len(caps))
+	ledStep := make([]bool, len(caps))
+	blackout, capViolations := 0, 0
+	takeoverStep := -1
+	for s, p := range caps {
+		clkA.Set(wallAt(p.T))
+		clkB.Set(wallAt(p.T))
+		var results []ctrlplane.StepResult
+		if s < killStep {
+			res, err := haA.Step(ctx, p.T, p.V)
+			if err != nil {
+				return err
+			}
+			results = append(results, res)
+		}
+		res, err := haB.Step(ctx, p.T, p.V)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+		for _, r := range results {
+			if r.Leading {
+				granted[s], ledStep[s] = r, true
+			}
+		}
+		if s >= killStep {
+			if !ledStep[s] {
+				blackout++
+			} else if takeoverStep < 0 {
+				takeoverStep = s
+			}
+		}
+		if err := flt.Tick(p.T); err != nil {
+			return err
+		}
+		if flt.FleetGridW() > p.V+1e-6 {
+			capViolations++
+		}
+	}
+
+	oracleStrat := cluster.EqualOurs
+	if strat == ctrlplane.StrategyUtility {
+		oracleStrat = cluster.UtilityOurs
+	}
+	oracle, err := ev.Evaluate(caps, oracleStrat)
+	if err != nil {
+		return err
+	}
+	var maxDelta float64
+	grantedSteps := 0
+	for s := range caps {
+		if !ledStep[s] {
+			continue
+		}
+		grantedSteps++
+		for j, b := range granted[s].Budgets {
+			maxDelta = math.Max(maxDelta, math.Abs(b-oracle.BudgetSeries[s][j]))
+		}
+	}
+	termB, _ := haB.Leader()
+	fmt.Printf("  failover: %d leaderless interval(s); standby led from step %d under epoch %d (%d failover)\n",
+		blackout, takeoverStep, termB.Epoch, haB.Failovers())
+	fmt.Printf("  budget parity vs %v on %d granted steps: max |Δ| = %g W; cap violations %d\n",
+		oracleStrat, grantedSteps, maxDelta, capViolations)
+	switch {
+	case takeoverStep < 0:
+		return fmt.Errorf("standby never took over after the kill at step %d", killStep)
+	case blackout > 1:
+		return fmt.Errorf("fleet leaderless for %d intervals, want at most one", blackout)
+	case maxDelta != 0:
+		return fmt.Errorf("HA replay diverged from the simulation by %g W", maxDelta)
+	case capViolations > 0:
+		return fmt.Errorf("%d cap violations during the drill", capViolations)
 	}
 	return nil
 }

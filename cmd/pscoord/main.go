@@ -15,13 +15,25 @@
 // Replay a peak-shaving cap schedule instead of a constant cap:
 //
 //	pscoord -agents ... -capfile caps.csv -interval 1s
+//
+// Run a highly available pair: two coordinators share a lease file, the
+// winner leads, the loser observes with warm state and takes over
+// within one interval of leader silence. Agents may also self-register
+// instead of being listed:
+//
+//	pscoord -listen 127.0.0.1:7070 -ha-store /shared/pscoord-term.json -cap 240 &
+//	pscoord -listen 127.0.0.1:7071 -ha-store /shared/pscoord-term.json -cap 240 &
+//	psd -listen 127.0.0.1:8081 -ctrl-server 0 \
+//	    -ctrl-announce http://127.0.0.1:7070,http://127.0.0.1:7071
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -50,6 +62,10 @@ func main() {
 		timeout  = flag.Duration("timeout", 2*time.Second, "per-RPC attempt timeout")
 		retries  = flag.Int("retries", 2, "per-RPC retries beyond the first attempt")
 		floorW   = flag.Float64("floor", 0, "per-server idle floor for the utility DP (0: learn from agent reports)")
+		listen   = flag.String("listen", "", "serve /ctrl/register (agent self-registration; the fleet may then start empty) and /ctrl/leader on this address")
+		haStore  = flag.String("ha-store", "", "run leader-elected: path of the shared term file every coordinator of this cluster points at")
+		haID     = flag.String("ha-id", "", "candidate identity in the election (default hostname-pid)")
+		haTTL    = flag.Duration("ha-ttl", 0, "leadership term length (default 3x the control interval)")
 		verbose  = flag.Bool("v", false, "log every control interval, not just membership changes")
 		version  = flag.Bool("version", false, "print version and exit")
 	)
@@ -59,9 +75,15 @@ func main() {
 		return
 	}
 
-	refs, err := parseAgents(*agents)
-	if err != nil {
-		log.Fatal(err)
+	var refs []ctrlplane.AgentRef
+	if strings.TrimSpace(*agents) != "" {
+		var err error
+		refs, err = parseAgents(*agents)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else if *listen == "" {
+		log.Fatal("no agents: pass -agents url[,url...], or -listen to build the fleet from registrations")
 	}
 	strat, err := ctrlplane.ParseStrategy(*strategy)
 	if err != nil {
@@ -78,6 +100,7 @@ func main() {
 	hub := telemetry.New(0)
 	coord, err := ctrlplane.New(ctrlplane.Config{
 		Agents:      refs,
+		Dynamic:     *listen != "",
 		Strategy:    strat,
 		LeaseS:      leaseS,
 		MissK:       *missK,
@@ -89,6 +112,46 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	var ha *ctrlplane.HA
+	if *haStore != "" {
+		store, err := ctrlplane.NewFileElection(*haStore)
+		if err != nil {
+			log.Fatal(err)
+		}
+		id := *haID
+		if id == "" {
+			host, _ := os.Hostname()
+			if host == "" {
+				host = "pscoord"
+			}
+			id = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		ttl := *haTTL
+		if ttl == 0 {
+			ttl = 3 * *interval
+		}
+		ha, err = ctrlplane.NewHA(coord, ctrlplane.HAConfig{ID: id, Election: store, TermTTL: ttl})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("leader election on %s as %q (term %v)", *haStore, id, ttl)
+	}
+
+	if *listen != "" {
+		srv := &http.Server{
+			Addr:              *listen,
+			Handler:           ctrlplane.NewCoordinatorHandler(coord, ha),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Fatalf("registration listener: %v", err)
+			}
+		}()
+		defer srv.Close()
+		log.Printf("serving /ctrl/register and /ctrl/leader on %s", *listen)
 	}
 
 	var caps []trace.Point
@@ -114,6 +177,7 @@ func main() {
 	defer ticker.Stop()
 	step, expired := 0, 0
 	t := 0.0
+	wasLeading := ha == nil
 	for {
 		cap := *capW
 		if caps != nil {
@@ -122,9 +186,23 @@ func main() {
 			}
 			t, cap = caps[step].T, caps[step].V
 		}
-		res, err := coord.Step(ctx, t, cap)
+		var res ctrlplane.StepResult
+		var err error
+		if ha != nil {
+			res, err = ha.Step(ctx, t, cap)
+		} else {
+			res, err = coord.Step(ctx, t, cap)
+		}
 		if err != nil {
 			log.Fatal(err)
+		}
+		if res.Leading != wasLeading {
+			if res.Leading {
+				log.Printf("t=%8.0fs LEADING under epoch %d (failover #%d)", res.T, res.Epoch, ha.Failovers())
+			} else {
+				log.Printf("t=%8.0fs observing (epoch %d%s)", res.T, res.Epoch, deposedNote(res))
+			}
+			wasLeading = res.Leading
 		}
 		alive := 0
 		for _, a := range res.Alive {
@@ -134,7 +212,7 @@ func main() {
 		}
 		if res.Reapportioned || res.ScrapeErrs > 0 || res.AssignErrs > 0 || *verbose {
 			log.Printf("t=%8.0fs cap=%7.1fW alive=%d/%d grid=%7.1fW perf=%5.1f scrapeErrs=%d assignErrs=%d%s",
-				res.T, res.CapW, alive, len(refs), res.FleetGridW, res.FleetPerfN,
+				res.T, res.CapW, alive, len(res.Alive), res.FleetGridW, res.FleetPerfN,
 				res.ScrapeErrs, res.AssignErrs, reapNote(res))
 		}
 		if alive == 0 {
@@ -152,12 +230,12 @@ func main() {
 		}
 		select {
 		case <-ctx.Done():
-			summarize(coord)
+			summarize(coord, ha)
 			return
 		case <-ticker.C:
 		}
 	}
-	summarize(coord)
+	summarize(coord, ha)
 }
 
 func reapNote(res ctrlplane.StepResult) string {
@@ -167,10 +245,25 @@ func reapNote(res ctrlplane.StepResult) string {
 	return "  [re-apportioned]"
 }
 
-func summarize(coord *ctrlplane.Coordinator) {
+func deposedNote(res ctrlplane.StepResult) string {
+	if !res.Deposed {
+		return ""
+	}
+	return ", deposed: a newer leader owns the fleet"
+}
+
+func summarize(coord *ctrlplane.Coordinator, ha *ctrlplane.HA) {
+	if ha != nil {
+		if err := ha.Resign(); err != nil {
+			log.Printf("resign: %v", err)
+		}
+		term, lead := ha.Leader()
+		log.Printf("election: epoch %d, leading=%v, %d failovers, %d campaign errors, %d registrations",
+			term.Epoch, lead, ha.Failovers(), ha.CampaignErrors(), coord.Stats().Registrations)
+	}
 	st := coord.Stats()
-	log.Printf("done: %d steps, %d re-apportions, %d lease expiries, %d rejoins, %d scrape failures, %d assign failures",
-		st.Steps, st.Reapportions, st.LeaseExpiries, st.Rejoins, st.ScrapeFailures, st.AssignFailures)
+	log.Printf("done: %d steps led, %d observed, %d re-apportions, %d lease expiries, %d rejoins, %d scrape failures, %d assign failures",
+		st.Steps, st.Observes, st.Reapportions, st.LeaseExpiries, st.Rejoins, st.ScrapeFailures, st.AssignFailures)
 	for _, ev := range coord.FaultEvents() {
 		log.Printf("  event t=%.0fs %s %s: %s", ev.T, ev.Kind, ev.Target, ev.Detail)
 	}

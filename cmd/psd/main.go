@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"powerstruggle/internal/buildinfo"
+	"powerstruggle/internal/ctrlplane"
 	"powerstruggle/internal/daemon"
 	"powerstruggle/internal/faults"
 	"powerstruggle/internal/policy"
@@ -60,8 +61,10 @@ func main() {
 		telemRing   = flag.Int("telemetry-ring", 0, "span ring size in events (0: 65536)")
 		pprofOn     = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 
-		ctrlServer = flag.Int("ctrl-server", -1, "join a pscoord control plane as this fleet index (-1: standalone); serves /ctrl/assign, /ctrl/report, /ctrl/lease")
-		ctrlFence  = flag.Float64("ctrl-fence", 0, "cap to clamp to when the coordinator's draw lease lapses (0: the platform idle floor)")
+		ctrlServer   = flag.Int("ctrl-server", -1, "join a pscoord control plane as this fleet index (-1: standalone); serves /ctrl/assign, /ctrl/report, /ctrl/lease")
+		ctrlFence    = flag.Float64("ctrl-fence", 0, "cap to clamp to when the coordinator's draw lease lapses (0: the platform idle floor)")
+		ctrlAnnounce = flag.String("ctrl-announce", "", "comma-separated coordinator base URLs to register with at boot (every one, so standbys are warm too)")
+		ctrlAdvert   = flag.String("ctrl-advertise", "", "base URL coordinators should dial back (default http://<listen address>)")
 
 		version = flag.Bool("version", false, "print version and exit")
 	)
@@ -100,10 +103,46 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("control plane enabled: fleet index %d, fencing on lease lapse", *ctrlServer)
+	} else if *ctrlAnnounce != "" {
+		log.Fatal("-ctrl-announce needs -ctrl-server (the fleet index to register as)")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	if *ctrlAnnounce != "" {
+		coords := strings.Split(*ctrlAnnounce, ",")
+		for i := range coords {
+			coords[i] = strings.TrimSpace(coords[i])
+		}
+		advert := *ctrlAdvert
+		if advert == "" {
+			host := *listen
+			if strings.HasPrefix(host, ":") {
+				host = "127.0.0.1" + host
+			}
+			advert = "http://" + host
+		}
+		req := ctrlplane.RegisterRequest{V: ctrlplane.ProtocolV, Server: *ctrlServer, URL: advert}
+		// Announce in the background with retries: the daemon must come
+		// up and mediate even while every coordinator is still booting.
+		go func() {
+			for {
+				resp, err := ctrlplane.Announce(ctx, coords, req, 2*time.Second)
+				if err == nil {
+					log.Printf("registered as fleet index %d at %s (leader %q, epoch %d)",
+						*ctrlServer, advert, resp.LeaderID, resp.Epoch)
+					return
+				}
+				log.Printf("announce: %v (retrying)", err)
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(2 * time.Second):
+				}
+			}
+		}()
+	}
 
 	go func() {
 		ticker := time.NewTicker(*tick)

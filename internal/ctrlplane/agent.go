@@ -55,17 +55,20 @@ type Agent struct {
 	capW       float64
 	perfN      float64
 	gridW      float64
+	lastEpoch  uint64
 	lastSeq    uint64
 	lastGrantT float64
 	leaseS     float64
 	fenced     bool
 	curve      []cluster.CapPoint
 	curveBuilt bool
-	// assigns/fences/staleDrops count protocol activity for the local
-	// operator (the coordinator has its own fleet-wide counters).
+	// assigns/fences/staleDrops/epochDrops count protocol activity for
+	// the local operator (the coordinator has its own fleet-wide
+	// counters).
 	assigns    int
 	fences     int
 	staleDrops int
+	epochDrops int
 }
 
 // NewAgent builds an agent booted in the fenced state: until the first
@@ -93,17 +96,24 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 // ID returns the agent's fleet index.
 func (a *Agent) ID() int { return a.cfg.ID }
 
-// Assign applies a budget grant. Stale or duplicated requests (Seq not
-// newer than the last applied) are acknowledged without effect, which
-// is what makes the assignment RPC idempotent under network-level
-// duplication and reordering.
+// Assign applies a budget grant. Grants are ordered by (Epoch, Seq):
+// anything not strictly newer than the last applied pair is
+// acknowledged without effect. Within one epoch that makes assignment
+// idempotent under network-level duplication and reordering; across
+// epochs it fences a deposed leader — once any grant from epoch E has
+// been applied, every in-flight or retried grant from an older epoch
+// is refused, no matter how it was delayed or duplicated.
 func (a *Agent) Assign(req AssignRequest) (AssignResponse, error) {
 	if req.Server != a.cfg.ID {
 		return AssignResponse{}, fmt.Errorf("ctrlplane: assign for server %d reached agent %d", req.Server, a.cfg.ID)
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if req.Seq <= a.lastSeq {
+	if req.Epoch < a.lastEpoch {
+		a.epochDrops++
+		return a.stateLocked(false), nil
+	}
+	if req.Epoch == a.lastEpoch && req.Seq <= a.lastSeq {
 		a.staleDrops++
 		return a.stateLocked(false), nil
 	}
@@ -112,6 +122,7 @@ func (a *Agent) Assign(req AssignRequest) (AssignResponse, error) {
 		return AssignResponse{}, err
 	}
 	a.capW, a.perfN, a.gridW = req.CapW, perf, grid
+	a.lastEpoch = req.Epoch
 	a.lastSeq = req.Seq
 	a.lastGrantT = req.T
 	a.leaseS = req.LeaseS
@@ -125,18 +136,25 @@ func (a *Agent) Assign(req AssignRequest) (AssignResponse, error) {
 // Assign restores a budget (the daemon's ctrlRenew has the same
 // semantics). A delayed or duplicated renewal carrying a T older than
 // the last grant is ignored: moving the lease clock backward would
-// spuriously fence a healthy agent on its next Tick.
+// spuriously fence a healthy agent on its next Tick. Only the epoch
+// that granted the in-force budget may renew it — a deposed leader
+// must not keep a budget it no longer owns alive, and a new leader has
+// nothing to renew before its first assign.
 func (a *Agent) Renew(req LeaseRequest) (LeaseResponse, error) {
 	if req.Server != a.cfg.ID {
 		return LeaseResponse{}, fmt.Errorf("ctrlplane: lease for server %d reached agent %d", req.Server, a.cfg.ID)
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if !a.fenced && req.T >= a.lastGrantT {
+	if req.Epoch != a.lastEpoch {
+		if req.Epoch < a.lastEpoch {
+			a.epochDrops++
+		}
+	} else if !a.fenced && req.T >= a.lastGrantT {
 		a.lastGrantT = req.T
 		a.leaseS = req.LeaseS
 	}
-	resp := LeaseResponse{V: ProtocolV, Server: a.cfg.ID, CapW: a.capW, Fenced: a.fenced}
+	resp := LeaseResponse{V: ProtocolV, Epoch: a.lastEpoch, Server: a.cfg.ID, CapW: a.capW, Fenced: a.fenced}
 	if !a.fenced && a.leaseS > 0 {
 		resp.ExpiresT = a.lastGrantT + a.leaseS
 	}
@@ -184,6 +202,7 @@ func (a *Agent) Report() (Report, error) {
 	return Report{
 		V:      ProtocolV,
 		Server: a.cfg.ID,
+		Epoch:  a.lastEpoch,
 		Seq:    a.lastSeq,
 		CapW:   a.capW,
 		PerfN:  a.perfN,
@@ -201,7 +220,7 @@ func (a *Agent) Report() (Report, error) {
 // stateLocked builds an AssignResponse from the current state.
 func (a *Agent) stateLocked(applied bool) AssignResponse {
 	return AssignResponse{
-		V: ProtocolV, Server: a.cfg.ID, Seq: a.lastSeq, Applied: applied,
+		V: ProtocolV, Server: a.cfg.ID, Epoch: a.lastEpoch, Seq: a.lastSeq, Applied: applied,
 		CapW: a.capW, PerfN: a.perfN, GridW: a.gridW,
 		SoC: a.cfg.Backend.SoC(), Fenced: a.fenced,
 	}
@@ -249,4 +268,20 @@ func (a *Agent) StaleDrops() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.staleDrops
+}
+
+// EpochDrops counts grants and renewals refused for carrying an epoch
+// older than the newest one applied — a deposed leader's traffic.
+func (a *Agent) EpochDrops() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.epochDrops
+}
+
+// LastEpoch is the highest coordinator epoch the agent has applied a
+// grant from (0 before the first grant).
+func (a *Agent) LastEpoch() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastEpoch
 }

@@ -43,7 +43,7 @@ func (f *fakeBackend) applyCount() int {
 }
 
 func assign(seq uint64, t, capW, leaseS float64) AssignRequest {
-	return AssignRequest{V: ProtocolV, Seq: seq, Server: 0, T: t, CapW: capW, LeaseS: leaseS}
+	return AssignRequest{V: ProtocolV, Epoch: 1, Seq: seq, Server: 0, T: t, CapW: capW, LeaseS: leaseS}
 }
 
 // A duplicated or reordered assign (Seq not newer) must be acknowledged
@@ -113,7 +113,7 @@ func TestAgentLeaseFence(t *testing.T) {
 		t.Fatal("fenced before the lease lapsed")
 	}
 	// A renewal extends the lease past the original expiry.
-	if _, err := a.Renew(LeaseRequest{V: ProtocolV, Server: 0, T: 105, LeaseS: 10}); err != nil {
+	if _, err := a.Renew(LeaseRequest{V: ProtocolV, Epoch: 1, Server: 0, T: 105, LeaseS: 10}); err != nil {
 		t.Fatal(err)
 	}
 	if err := a.Tick(112); err != nil {
@@ -133,7 +133,7 @@ func TestAgentLeaseFence(t *testing.T) {
 		t.Fatalf("fences = %d, want 1", a.Fences())
 	}
 	// A renewal cannot resurrect a fenced agent.
-	resp, err := a.Renew(LeaseRequest{V: ProtocolV, Server: 0, T: 116, LeaseS: 10})
+	resp, err := a.Renew(LeaseRequest{V: ProtocolV, Epoch: 1, Server: 0, T: 116, LeaseS: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,12 +166,12 @@ func TestAgentStaleRenewalIgnored(t *testing.T) {
 	if _, err := a.Assign(assign(1, 100, 80, 10)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := a.Renew(LeaseRequest{V: ProtocolV, Server: 0, T: 105, LeaseS: 10}); err != nil {
+	if _, err := a.Renew(LeaseRequest{V: ProtocolV, Epoch: 1, Server: 0, T: 105, LeaseS: 10}); err != nil {
 		t.Fatal(err)
 	}
 	// A duplicate of an earlier renewal arrives late; the lease still
 	// runs to 115, not back to 105.
-	resp, err := a.Renew(LeaseRequest{V: ProtocolV, Server: 0, T: 95, LeaseS: 10})
+	resp, err := a.Renew(LeaseRequest{V: ProtocolV, Epoch: 1, Server: 0, T: 95, LeaseS: 10})
 	if err != nil {
 		t.Fatal(err)
 	}

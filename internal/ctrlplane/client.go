@@ -5,10 +5,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
-	"math/rand"
 	"net/http"
-	"sync"
 	"time"
 )
 
@@ -22,9 +21,7 @@ type rpcClient struct {
 	retries     int
 	backoffBase time.Duration
 	backoffMax  time.Duration
-
-	mu  sync.Mutex
-	rng *rand.Rand
+	seed        int64
 
 	tel *ctrlTel
 }
@@ -40,34 +37,55 @@ func newRPCClient(cfg Config, tel *ctrlTel) *rpcClient {
 		retries:     cfg.rpcRetries(),
 		backoffBase: cfg.backoffBase(),
 		backoffMax:  cfg.backoffMax(),
-		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		seed:        cfg.Seed,
 		tel:         tel,
 	}
 }
 
+// jitterKey folds an RPC kind and agent id into the backoff hash key,
+// so two RPC kinds to the same agent do not retry in lockstep.
+func jitterKey(kind string, agent int) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(kind))
+	return h.Sum64() ^ uint64(agent)*0x9e3779b97f4a7c15
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-mixed 64-bit
+// hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // jitteredBackoff returns the sleep before retry attempt (1-based):
 // base·2^(attempt-1) capped at max, then jittered to [d/2, d) so a
-// fleet of failing RPCs does not retry in lockstep.
-func (c *rpcClient) jitteredBackoff(attempt int) time.Duration {
+// fleet of failing RPCs does not retry in lockstep. The jitter is a
+// pure function of (seed, key, attempt) — no shared random stream —
+// so concurrent fan-out cannot consume draws in scheduler order and a
+// seeded HA soak retries with the same backoff schedule every run.
+func (c *rpcClient) jitteredBackoff(key uint64, attempt int) time.Duration {
 	d := c.backoffBase << (attempt - 1)
 	if d > c.backoffMax || d <= 0 {
 		d = c.backoffMax
 	}
-	c.mu.Lock()
-	f := 0.5 + 0.5*c.rng.Float64()
-	c.mu.Unlock()
+	h := splitmix64(uint64(c.seed) ^ splitmix64(key^uint64(attempt)))
+	f := 0.5 + 0.5*float64(h>>11)/float64(1<<53)
 	return time.Duration(float64(d) * f)
 }
 
-// do performs one JSON RPC with retries. kind labels telemetry; build
-// constructs a fresh request per attempt (bodies are single-use).
-func (c *rpcClient) do(ctx context.Context, kind string, build func(ctx context.Context) (*http.Request, error), out any) error {
+// do performs one JSON RPC with retries. kind labels telemetry; key
+// seeds the backoff jitter (callers pass jitterKey(kind, agent));
+// build constructs a fresh request per attempt (bodies are
+// single-use).
+func (c *rpcClient) do(ctx context.Context, kind string, key uint64, build func(ctx context.Context) (*http.Request, error), out any) error {
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
 			c.tel.retries.Inc()
 			select {
-			case <-time.After(c.jitteredBackoff(attempt)):
+			case <-time.After(c.jitteredBackoff(key, attempt)):
 			case <-ctx.Done():
 				return ctx.Err()
 			}
@@ -129,12 +147,12 @@ func (c *rpcClient) once(ctx context.Context, build func(ctx context.Context) (*
 }
 
 // postJSON POSTs in as JSON and decodes the response into out.
-func (c *rpcClient) postJSON(ctx context.Context, kind, url string, in, out any) error {
+func (c *rpcClient) postJSON(ctx context.Context, kind string, key uint64, url string, in, out any) error {
 	payload, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
-	return c.do(ctx, kind, func(ctx context.Context) (*http.Request, error) {
+	return c.do(ctx, kind, key, func(ctx context.Context) (*http.Request, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
 		if err != nil {
 			return nil, err
@@ -145,8 +163,8 @@ func (c *rpcClient) postJSON(ctx context.Context, kind, url string, in, out any)
 }
 
 // getJSON GETs url and decodes the response into out.
-func (c *rpcClient) getJSON(ctx context.Context, kind, url string, out any) error {
-	return c.do(ctx, kind, func(ctx context.Context) (*http.Request, error) {
+func (c *rpcClient) getJSON(ctx context.Context, kind string, key uint64, url string, out any) error {
+	return c.do(ctx, kind, key, func(ctx context.Context) (*http.Request, error) {
 		return http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	}, out)
 }

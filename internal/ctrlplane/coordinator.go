@@ -6,6 +6,9 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"powerstruggle/internal/cluster"
@@ -61,8 +64,13 @@ type AgentRef struct {
 
 // Config parameterizes the coordinator.
 type Config struct {
-	// Agents is the static fleet (autodiscovery is a roadmap item).
+	// Agents is the initial fleet. With Dynamic set it may be empty and
+	// agents join at runtime through Register (the coordinator
+	// handler's /ctrl/register endpoint).
 	Agents []AgentRef
+	// Dynamic admits agents registered after construction; without it
+	// an empty Agents list is an error and registrations are refused.
+	Dynamic bool
 	// Strategy picks the apportioning scheme (default equal).
 	Strategy Strategy
 	// LeaseS is the draw lease granted with every assignment, in trace
@@ -164,18 +172,30 @@ type member struct {
 // Stats accumulates coordinator lifetime counters.
 type Stats struct {
 	Steps          int
+	Observes       int
 	Reapportions   int
 	LeaseExpiries  int
 	Rejoins        int
 	ScrapeFailures int
 	AssignFailures int
 	RenewFailures  int
+	Registrations  int
 }
 
 // StepResult is one control interval's outcome.
 type StepResult struct {
 	T    float64
 	CapW float64
+	// Epoch is the leadership epoch the interval ran under (always 1
+	// for a plain single coordinator).
+	Epoch uint64
+	// Leading is false for an Observe interval: budgets were computed
+	// but nothing was granted.
+	Leading bool
+	// Deposed reports that some response carried an epoch above this
+	// coordinator's — another leader has taken over and this one's
+	// grants are being refused.
+	Deposed bool
 	// Budgets is the per-agent budget the coordinator decided this
 	// interval (zero for expired agents) — the sequence the parity
 	// gate compares against the in-process oracle.
@@ -208,12 +228,26 @@ type Coordinator struct {
 	prevAlive []bool
 	stats     Stats
 	flog      *faults.Log
+
+	// epoch is the leadership epoch grants fan out under (1 for a
+	// plain coordinator; the HA wrapper moves it on election wins).
+	// seenEpoch is the highest epoch observed in any response — above
+	// epoch means this coordinator has been deposed. Both are atomics
+	// because fan-out goroutines and the registration handler read
+	// them concurrently with the control loop.
+	epoch     atomic.Uint64
+	seenEpoch atomic.Uint64
+
+	// regMu guards pending, the agent announcements queued by Register
+	// (HTTP handler goroutines) until the next Step admits them.
+	regMu   sync.Mutex
+	pending []AgentRef
 }
 
 // New builds a coordinator over a static fleet.
 func New(cfg Config) (*Coordinator, error) {
-	if len(cfg.Agents) == 0 {
-		return nil, fmt.Errorf("ctrlplane: coordinator needs at least one agent")
+	if len(cfg.Agents) == 0 && !cfg.Dynamic {
+		return nil, fmt.Errorf("ctrlplane: coordinator needs at least one agent (or Config.Dynamic for a registration-built fleet)")
 	}
 	seen := make(map[int]bool, len(cfg.Agents))
 	for _, ref := range cfg.Agents {
@@ -241,7 +275,100 @@ func New(cfg Config) (*Coordinator, error) {
 		// intervals.
 		c.members = append(c.members, &member{ref: ref, alive: true})
 	}
+	c.epoch.Store(1)
 	return c, nil
+}
+
+// Epoch returns the leadership epoch grants currently fan out under.
+func (c *Coordinator) Epoch() uint64 { return c.epoch.Load() }
+
+// PeakEpoch returns the highest epoch observed in any agent response —
+// above Epoch() means another coordinator leads.
+func (c *Coordinator) PeakEpoch() uint64 { return c.seenEpoch.Load() }
+
+// SetEpoch moves the coordinator to a new leadership epoch. Bumping it
+// invalidates the granted ledger, so the next step assigns every
+// member afresh instead of renewing leases granted under an older
+// epoch (which agents would refuse anyway). Call between steps only —
+// the HA wrapper does, right after winning an election.
+func (c *Coordinator) SetEpoch(e uint64) {
+	if c.epoch.Swap(e) == e {
+		return
+	}
+	for _, m := range c.members {
+		m.grantedW, m.granted = 0, false
+	}
+}
+
+// noteEpoch folds an observed response epoch into the peak.
+func (c *Coordinator) noteEpoch(e uint64) {
+	for {
+		cur := c.seenEpoch.Load()
+		if e <= cur || c.seenEpoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// Register queues an agent announcement; the next control interval
+// admits it (or updates the URL of a member that re-announced after a
+// restart). Safe to call from handler goroutines concurrently with
+// Step. The response's leader fields are zero here — the coordinator
+// handler fills them from the HA layer when one is attached.
+func (c *Coordinator) Register(req RegisterRequest) RegisterResponse {
+	resp := RegisterResponse{V: ProtocolV, Server: req.Server, Epoch: c.Epoch()}
+	if !c.cfg.Dynamic {
+		return resp
+	}
+	ref := AgentRef{ID: req.Server, URL: strings.TrimSuffix(req.URL, "/")}
+	c.regMu.Lock()
+	replaced := false
+	for i, p := range c.pending {
+		if p.ID == ref.ID {
+			c.pending[i], replaced = ref, true
+			break
+		}
+	}
+	if !replaced {
+		c.pending = append(c.pending, ref)
+	}
+	c.regMu.Unlock()
+	c.tel.registrations.Inc()
+	resp.Accepted = true
+	return resp
+}
+
+// admitRegistrations merges queued announcements into the member set.
+// Runs at the top of each control interval, on the control loop's
+// goroutine, so membership never mutates mid-step.
+func (c *Coordinator) admitRegistrations(t float64) {
+	c.regMu.Lock()
+	pending := c.pending
+	c.pending = nil
+	c.regMu.Unlock()
+	for _, ref := range pending {
+		found := false
+		for _, m := range c.members {
+			if m.ref.ID == ref.ID {
+				found = true
+				if m.ref.URL != ref.URL {
+					c.flog.Append(faults.Event{T: t, Kind: "agent-reregister", Target: fmt.Sprintf("agent-%d", ref.ID),
+						Detail: fmt.Sprintf("url %s -> %s", m.ref.URL, ref.URL)})
+					m.ref.URL = ref.URL
+				}
+				break
+			}
+		}
+		if found {
+			continue
+		}
+		// A new member starts alive, like the initial fleet: it just
+		// announced itself, and its first scrape follows immediately.
+		c.members = append(c.members, &member{ref: ref, alive: true})
+		c.stats.Registrations++
+		c.flog.Append(faults.Event{T: t, Kind: "agent-register", Target: fmt.Sprintf("agent-%d", ref.ID),
+			Detail: fmt.Sprintf("announced at %s; fleet is now %d agents", ref.URL, len(c.members))})
+	}
 }
 
 // Stats returns the coordinator's lifetime counters.
@@ -256,12 +383,30 @@ func (c *Coordinator) FaultEvents() []faults.Event { return c.flog.Events() }
 // membership, apportion the cap across the live fleet, and fan the
 // budgets out.
 func (c *Coordinator) Step(ctx context.Context, t, capW float64) (StepResult, error) {
+	return c.step(ctx, t, capW, true)
+}
+
+// Observe runs one control interval without granting anything: scrape
+// the fleet (warm state and the membership heartbeat), settle
+// membership, and compute what this coordinator would apportion. A
+// standby runs Observe every interval so that on winning an election
+// it already holds current curves, floors, budgets, and membership —
+// takeover needs no discovery phase, which is what keeps failover
+// inside one control interval.
+func (c *Coordinator) Observe(ctx context.Context, t, capW float64) (StepResult, error) {
+	return c.step(ctx, t, capW, false)
+}
+
+func (c *Coordinator) step(ctx context.Context, t, capW float64, lead bool) (StepResult, error) {
 	if !finite(t) || !finite(capW) || capW < 0 {
 		return StepResult{}, fmt.Errorf("ctrlplane: step t=%g cap=%g", t, capW)
 	}
+	c.admitRegistrations(t)
+	epoch := c.epoch.Load()
 	n := len(c.members)
 	res := StepResult{
 		T: t, CapW: capW,
+		Epoch: epoch, Leading: lead,
 		Budgets: make([]float64, n),
 		Granted: make([]bool, n),
 		Alive:   make([]bool, n),
@@ -276,7 +421,7 @@ func (c *Coordinator) Step(ctx context.Context, t, capW float64) (StepResult, er
 		m := c.members[i]
 		url := fmt.Sprintf("%s%s?t=%s", m.ref.URL, PathReport, strconv.FormatFloat(t, 'g', -1, 64))
 		var rep Report
-		if err := c.client.getJSON(ctx, "report", url, &rep); err != nil {
+		if err := c.client.getJSON(ctx, "report", jitterKey("report", m.ref.ID), url, &rep); err != nil {
 			errs[i] = err
 			return
 		}
@@ -284,6 +429,7 @@ func (c *Coordinator) Step(ctx context.Context, t, capW float64) (StepResult, er
 			errs[i] = fmt.Errorf("ctrlplane: scrape of agent %d answered as %d", m.ref.ID, rep.Server)
 			return
 		}
+		c.noteEpoch(rep.Epoch)
 		reports[i] = &rep
 	})
 	for i, m := range c.members {
@@ -330,10 +476,15 @@ func (c *Coordinator) Step(ctx context.Context, t, capW float64) (StepResult, er
 		res.Alive[i] = m.alive
 	}
 	if c.prevAlive != nil {
-		for i := range res.Alive {
-			if res.Alive[i] != c.prevAlive[i] {
-				res.Reapportioned = true
-				break
+		if len(c.prevAlive) != len(res.Alive) {
+			// Registration grew the fleet mid-run.
+			res.Reapportioned = true
+		} else {
+			for i := range res.Alive {
+				if res.Alive[i] != c.prevAlive[i] {
+					res.Reapportioned = true
+					break
+				}
 			}
 		}
 	}
@@ -348,9 +499,25 @@ func (c *Coordinator) Step(ctx context.Context, t, capW float64) (StepResult, er
 		return StepResult{}, err
 	}
 
-	// Phase 4 — fan the budgets out. An unchanged budget rides a
-	// cheap lease renewal instead of a full assignment; either way the
-	// grant re-arms the agent's draw lease.
+	// Phase 4 — fan the budgets out (leader only; a standby's interval
+	// ends at the decision). An unchanged budget rides a cheap lease
+	// renewal instead of a full assignment; either way the grant
+	// re-arms the agent's draw lease. Every request carries the
+	// leadership epoch, and every response reports the agent's highest
+	// applied epoch — one above ours anywhere means we are deposed and
+	// our grants are being refused.
+	if !lead {
+		for _, m := range c.members {
+			if m.scraped {
+				res.FleetGridW += m.gridW
+				res.FleetPerfN += m.perfN
+			}
+		}
+		res.Deposed = c.seenEpoch.Load() > epoch
+		c.stats.Observes++
+		c.tel.noteStep(res)
+		return res, nil
+	}
 	c.seq++
 	seq := c.seq
 	renewFailed := make([]bool, n)
@@ -360,29 +527,42 @@ func (c *Coordinator) Step(ctx context.Context, t, capW float64) (StepResult, er
 			return
 		}
 		if m.granted && m.grantedW == res.Budgets[i] && m.scraped && !m.fenced {
-			req := LeaseRequest{V: ProtocolV, Server: m.ref.ID, T: t, LeaseS: c.cfg.LeaseS}
+			req := LeaseRequest{V: ProtocolV, Epoch: epoch, Server: m.ref.ID, T: t, LeaseS: c.cfg.LeaseS}
 			var resp LeaseResponse
-			err := c.client.postJSON(ctx, "lease", m.ref.URL+PathLease, req, &resp)
-			if err == nil && !resp.Fenced && resp.CapW == m.grantedW {
-				res.Granted[i] = true
-				return
+			err := c.client.postJSON(ctx, "lease", jitterKey("lease", m.ref.ID), m.ref.URL+PathLease, req, &resp)
+			if err == nil {
+				c.noteEpoch(resp.Epoch)
+				if !resp.Fenced && resp.Epoch == epoch && resp.CapW == m.grantedW {
+					res.Granted[i] = true
+					return
+				}
 			}
 			renewFailed[i] = err != nil
 			// Fall through to a full assignment: a failed renewal may
-			// leave the agent about to fence, and a renewal answered
-			// fenced — or enforcing a cap other than the grant
-			// (the agent fenced and was re-assigned between the scrape
-			// and the renewal) — means the budget is not in force;
-			// only an assign restores it and re-arms the lease.
+			// leave the agent about to fence; a renewal answered
+			// fenced, from another epoch, or enforcing a cap other
+			// than the grant (the agent fenced and was re-assigned
+			// between the scrape and the renewal) means the budget is
+			// not in force; only an assign restores it and re-arms
+			// the lease.
 		}
-		req := AssignRequest{V: ProtocolV, Seq: seq, Server: m.ref.ID, T: t,
+		req := AssignRequest{V: ProtocolV, Epoch: epoch, Seq: seq, Server: m.ref.ID, T: t,
 			CapW: res.Budgets[i], LeaseS: c.cfg.LeaseS}
 		var resp AssignResponse
-		if err := c.client.postJSON(ctx, "assign", m.ref.URL+PathAssign, req, &resp); err != nil {
+		if err := c.client.postJSON(ctx, "assign", jitterKey("assign", m.ref.ID), m.ref.URL+PathAssign, req, &resp); err != nil {
 			errs[i] = err
 			return
 		}
-		res.Granted[i] = true
+		c.noteEpoch(resp.Epoch)
+		// Applied, or refused-as-duplicate with our own grant already
+		// in force, both mean this interval's budget holds. A refusal
+		// carrying a higher epoch means another leader owns the agent.
+		if resp.Applied || (resp.Epoch == epoch && resp.CapW == res.Budgets[i]) {
+			res.Granted[i] = true
+			return
+		}
+		errs[i] = fmt.Errorf("ctrlplane: agent %d refused epoch-%d grant (agent at epoch %d)",
+			m.ref.ID, epoch, resp.Epoch)
 	})
 	for i, m := range c.members {
 		if !m.alive {
@@ -403,6 +583,7 @@ func (c *Coordinator) Step(ctx context.Context, t, capW float64) (StepResult, er
 			res.FleetPerfN += m.perfN
 		}
 	}
+	res.Deposed = c.seenEpoch.Load() > epoch
 
 	c.stats.Steps++
 	c.tel.noteStep(res)

@@ -1,0 +1,207 @@
+package ctrlplane
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// t0 is an arbitrary fixed origin for election-test clocks.
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// electionSemantics drives one store through the acquire → renew →
+// hold-off → expire → takeover → resign lifecycle that both
+// implementations must share.
+func electionSemantics(t *testing.T, e Election) {
+	t.Helper()
+	const ttl = 10 * time.Second
+
+	// Bootstrap: first campaigner takes epoch 1.
+	term, err := e.Campaign("a", t0, ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if term.Epoch != 1 || term.Leader != "a" {
+		t.Fatalf("bootstrap term %+v", term)
+	}
+
+	// A renewal keeps the epoch and pushes the expiry out.
+	term, err = e.Campaign("a", t0.Add(5*time.Second), ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if term.Epoch != 1 || term.Leader != "a" || !term.Expires.Equal(t0.Add(15*time.Second)) {
+		t.Fatalf("renewed term %+v", term)
+	}
+
+	// A challenger against an unexpired term changes nothing.
+	term, err = e.Campaign("b", t0.Add(10*time.Second), ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if term.Leader != "a" || term.Epoch != 1 {
+		t.Fatalf("unexpired term lost to a challenger: %+v", term)
+	}
+
+	// Past the expiry the challenger takes over, and the epoch moves —
+	// the takeover must be distinguishable from the old term at every
+	// agent, by number alone.
+	term, err = e.Campaign("b", t0.Add(16*time.Second), ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if term.Leader != "b" || term.Epoch != 2 {
+		t.Fatalf("takeover term %+v", term)
+	}
+
+	// The deposed leader's campaign now loses.
+	term, err = e.Campaign("a", t0.Add(17*time.Second), ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if term.Leader != "b" || term.Epoch != 2 {
+		t.Fatalf("deposed leader re-took the term: %+v", term)
+	}
+
+	// Resign hands over without waiting out the TTL, and the next
+	// winner still bumps the epoch.
+	if err := e.Resign("b"); err != nil {
+		t.Fatal(err)
+	}
+	term, err = e.Campaign("a", t0.Add(18*time.Second), ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if term.Leader != "a" || term.Epoch != 3 {
+		t.Fatalf("post-resign term %+v", term)
+	}
+
+	// Resign by a non-holder is a no-op.
+	if err := e.Resign("b"); err != nil {
+		t.Fatal(err)
+	}
+	term, err = e.Campaign("a", t0.Add(19*time.Second), ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if term.Leader != "a" || term.Epoch != 3 {
+		t.Fatalf("non-holder resign disturbed the term: %+v", term)
+	}
+
+	// Bad campaigns are refused outright.
+	if _, err := e.Campaign("", t0, ttl); err == nil {
+		t.Fatal("empty candidate id accepted")
+	}
+	if _, err := e.Campaign("a", t0, 0); err == nil {
+		t.Fatal("zero ttl accepted")
+	}
+}
+
+func TestMemElectionSemantics(t *testing.T) {
+	electionSemantics(t, NewMemElection())
+}
+
+func TestFileElectionSemantics(t *testing.T) {
+	e, err := NewFileElection(filepath.Join(t.TempDir(), "term.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	electionSemantics(t, e)
+}
+
+// Epochs must stay strictly monotonic no matter how leadership
+// thrashes; a repeated epoch would let two leaders' grants tie at the
+// agents.
+func TestElectionEpochMonotonicUnderThrash(t *testing.T) {
+	e := NewMemElection()
+	const ttl = time.Second
+	last := uint64(0)
+	now := t0
+	for i := 0; i < 20; i++ {
+		// Alternate winners by always campaigning after the expiry.
+		id := "a"
+		if i%2 == 1 {
+			id = "b"
+		}
+		term, err := e.Campaign(id, now, ttl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if term.Leader != id {
+			t.Fatalf("round %d: expired term not taken by %s: %+v", i, id, term)
+		}
+		if term.Epoch <= last {
+			t.Fatalf("round %d: epoch %d did not advance past %d", i, term.Epoch, last)
+		}
+		last = term.Epoch
+		now = now.Add(2 * ttl)
+	}
+}
+
+// Concurrent campaigns on the file store must serialize through the
+// lock file: exactly one winner per round, no corrupted state, and the
+// epoch advances exactly once. Run under -race in CI.
+func TestFileElectionConcurrentCampaigns(t *testing.T) {
+	e, err := NewFileElection(filepath.Join(t.TempDir(), "term.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ttl = time.Minute
+	ids := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	terms := make([]Term, len(ids))
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			term, err := e.Campaign(id, t0, ttl)
+			if err != nil {
+				t.Errorf("campaign %s: %v", id, err)
+				return
+			}
+			terms[i] = term
+		}(i, id)
+	}
+	wg.Wait()
+	// Whoever won, every campaigner must have converged on one term.
+	final, err := e.Campaign(terms[0].Leader, t0.Add(time.Second), ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Epoch != 1 {
+		t.Fatalf("%d concurrent bootstrap campaigns minted epoch %d, want 1", len(ids), final.Epoch)
+	}
+	for i, term := range terms {
+		if term.Leader != final.Leader || term.Epoch != 1 {
+			t.Fatalf("campaigner %s saw term %+v, store holds %+v", ids[i], term, final)
+		}
+	}
+}
+
+// The file store must survive a process restart: a new handle on the
+// same path sees the persisted term.
+func TestFileElectionPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "term.json")
+	e1, err := NewFileElection(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.Campaign("a", t0, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := NewFileElection(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	term, err := e2.Campaign("b", t0.Add(time.Second), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if term.Leader != "a" || term.Epoch != 1 {
+		t.Fatalf("restarted handle lost the term: %+v", term)
+	}
+	if _, err := NewFileElection(filepath.Join(path, "nope", "term.json")); err == nil {
+		t.Fatal("missing parent directory accepted")
+	}
+}

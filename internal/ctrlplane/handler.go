@@ -92,6 +92,67 @@ func NewHandler(a *Agent) http.Handler {
 	return mux
 }
 
+// LeaderStatus is the GET /ctrl/leader payload: which candidate this
+// coordinator believes leads, under which epoch, and whether it is that
+// candidate itself.
+type LeaderStatus struct {
+	V         int    `json:"v"`
+	ID        string `json:"id"`
+	LeaderID  string `json:"leaderId"`
+	Epoch     uint64 `json:"epoch"`
+	Leader    bool   `json:"leader"`
+	Failovers int    `json:"failovers"`
+}
+
+// NewCoordinatorHandler serves a coordinator's /ctrl/* endpoints:
+// agent registration and the leadership probe. ha may be nil for a
+// plain single coordinator — it then reports itself leader of its own
+// epoch with no election behind it.
+func NewCoordinatorHandler(c *Coordinator, ha *HA) http.Handler {
+	status := func() LeaderStatus {
+		st := LeaderStatus{V: ProtocolV, Epoch: c.Epoch(), Leader: true}
+		if ha != nil {
+			term, lead := ha.Leader()
+			st.ID = ha.ID()
+			st.LeaderID = term.Leader
+			st.Epoch = term.Epoch
+			st.Leader = lead
+			st.Failovers = ha.Failovers()
+		}
+		return st
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathRegister, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := readBody(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		req, err := DecodeRegister(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp := c.Register(req)
+		st := status()
+		resp.Leader = st.Leader
+		resp.LeaderID = st.LeaderID
+		writeWireJSON(w, resp)
+	})
+	mux.HandleFunc(PathLeader, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		writeWireJSON(w, status())
+	})
+	return mux
+}
+
 // writeWireJSON writes a control-plane message.
 func writeWireJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")

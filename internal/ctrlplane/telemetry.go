@@ -29,6 +29,11 @@ type ctrlTel struct {
 	agentBudgetW  *telemetry.GaugeVec
 	agentSoC      *telemetry.GaugeVec
 	rpcLatency    *telemetry.HistogramVec
+
+	epochGauge    *telemetry.Gauge
+	leaderGauge   *telemetry.Gauge
+	failovers     *telemetry.Gauge
+	registrations *telemetry.Counter
 }
 
 func newCtrlTel(h *telemetry.Hub) *ctrlTel {
@@ -70,7 +75,37 @@ func newCtrlTel(h *telemetry.Hub) *ctrlTel {
 			"Per-agent battery state of charge at the last scrape.", "agent"),
 		rpcLatency: reg.HistogramVec("ps_ctrl_rpc_seconds",
 			"Wall-clock RPC latency by kind (successful attempts).", bounds, "kind"),
+		epochGauge: reg.Gauge("ps_ctrl_epoch",
+			"Leadership epoch this coordinator is operating under."),
+		leaderGauge: reg.Gauge("ps_ctrl_leader",
+			"1 while this coordinator leads the cluster, 0 while it observes."),
+		failovers: reg.Gauge("ps_ctrl_failovers_total",
+			"Leadership terms this coordinator took over from a lapsed or resigned predecessor."),
+		registrations: reg.Counter("ps_ctrl_registrations_total",
+			"Agent self-registrations admitted into the fleet."),
 	}
+}
+
+// noteLeadership records the epoch and leader/observer role after a
+// campaign.
+func (t *ctrlTel) noteLeadership(epoch uint64, leading bool) {
+	if !t.enabled {
+		return
+	}
+	t.epochGauge.Set(float64(epoch))
+	if leading {
+		t.leaderGauge.Set(1)
+	} else {
+		t.leaderGauge.Set(0)
+	}
+}
+
+// setFailovers mirrors the HA layer's failover count.
+func (t *ctrlTel) setFailovers(n int) {
+	if !t.enabled {
+		return
+	}
+	t.failovers.Set(float64(n))
 }
 
 // noteStep records one control interval's fleet state.

@@ -6,14 +6,17 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net/url"
 
 	"powerstruggle/internal/cluster"
 )
 
 // ProtocolV is the control-plane wire version; both sides reject
 // anything else, so a mixed-version fleet fails loudly instead of
-// misinterpreting budgets.
-const ProtocolV = 1
+// misinterpreting budgets. v2 added coordinator epochs (leader-election
+// fencing) and agent registration; the strict decoders mean a v1 peer
+// rejects the new fields rather than silently ignoring them.
+const ProtocolV = 2
 
 // Agent endpoint paths.
 const (
@@ -21,6 +24,14 @@ const (
 	PathReport = "/ctrl/report"
 	PathLease  = "/ctrl/lease"
 )
+
+// PathRegister is the coordinator-side registration endpoint: agents
+// announce themselves at boot so fleets grow without a restart.
+const PathRegister = "/ctrl/register"
+
+// PathLeader is the coordinator-side leadership probe: operators and
+// agents ask any coordinator who leads, and under which epoch.
+const PathLeader = "/ctrl/leader"
 
 // maxBodyBytes bounds any control-plane request or response body. The
 // largest legitimate message is a report carrying a cap-utility curve
@@ -32,7 +43,14 @@ const maxBodyBytes = 1 << 20
 // lease renewal: the agent may draw up to CapW until T+LeaseS, after
 // which it fences itself.
 type AssignRequest struct {
-	V      int     `json:"v"`
+	V int `json:"v"`
+	// Epoch is the granting coordinator's leadership epoch. Agents
+	// order grants by (Epoch, Seq): anything not strictly newer than
+	// the last applied pair is acknowledged without effect, which is
+	// what fences a deposed leader's in-flight fan-out exactly like a
+	// stale lease. Epochs start at 1 (a single coordinator runs its
+	// whole life in epoch 1).
+	Epoch  uint64  `json:"epoch"`
 	Seq    uint64  `json:"seq"`
 	Server int     `json:"server"`
 	T      float64 `json:"t"`
@@ -47,6 +65,9 @@ type AssignRequest struct {
 func (r AssignRequest) Validate() error {
 	if r.V != ProtocolV {
 		return fmt.Errorf("ctrlplane: assign protocol v%d, want v%d", r.V, ProtocolV)
+	}
+	if r.Epoch == 0 {
+		return fmt.Errorf("ctrlplane: assign epoch 0 (epochs start at 1)")
 	}
 	if r.Seq == 0 {
 		return fmt.Errorf("ctrlplane: assign seq 0 (sequence numbers start at 1)")
@@ -69,9 +90,13 @@ func (r AssignRequest) Validate() error {
 // AssignResponse acknowledges a budget grant with the agent's state
 // after applying it.
 type AssignResponse struct {
-	V      int    `json:"v"`
-	Server int    `json:"server"`
-	Seq    uint64 `json:"seq"`
+	V      int `json:"v"`
+	Server int `json:"server"`
+	// Epoch is the highest coordinator epoch the agent has applied a
+	// grant from. A coordinator seeing an Epoch above its own in any
+	// response has been deposed and must stop granting.
+	Epoch uint64 `json:"epoch"`
+	Seq   uint64 `json:"seq"`
 	// Applied is false when the request was stale (its Seq not newer
 	// than the last applied one); the reported state is then the
 	// in-force assignment, not the request's.
@@ -87,8 +112,12 @@ type AssignResponse struct {
 // battery state, and (optionally) its cap-utility curve for the
 // coordinator's apportioning DP.
 type Report struct {
-	V          int     `json:"v"`
-	Server     int     `json:"server"`
+	V      int `json:"v"`
+	Server int `json:"server"`
+	// Epoch is the highest coordinator epoch the agent has applied a
+	// grant from (0 before the first grant) — how a warm standby learns
+	// the cluster's current epoch from scrapes alone.
+	Epoch      uint64  `json:"epoch"`
 	Seq        uint64  `json:"seq"`
 	CapW       float64 `json:"capW"`
 	PerfN      float64 `json:"perfN"`
@@ -146,9 +175,12 @@ func (r Report) Validate() error {
 }
 
 // LeaseRequest renews an agent's draw lease without changing its
-// budget.
+// budget. Only the epoch that granted the in-force budget may renew
+// it: a renewal from any other epoch is answered with current state
+// but does not move the lease clock.
 type LeaseRequest struct {
 	V      int     `json:"v"`
+	Epoch  uint64  `json:"epoch"`
 	Server int     `json:"server"`
 	T      float64 `json:"t"`
 	LeaseS float64 `json:"leaseS"`
@@ -158,6 +190,9 @@ type LeaseRequest struct {
 func (r LeaseRequest) Validate() error {
 	if r.V != ProtocolV {
 		return fmt.Errorf("ctrlplane: lease protocol v%d, want v%d", r.V, ProtocolV)
+	}
+	if r.Epoch == 0 {
+		return fmt.Errorf("ctrlplane: lease epoch 0 (epochs start at 1)")
 	}
 	if r.Server < 0 {
 		return fmt.Errorf("ctrlplane: lease server %d", r.Server)
@@ -171,15 +206,70 @@ func (r LeaseRequest) Validate() error {
 	return nil
 }
 
-// LeaseResponse acknowledges a renewal.
+// LeaseResponse acknowledges a renewal. Epoch is the agent's highest
+// applied epoch: a renewing coordinator whose epoch is lower has been
+// deposed — its renewal did not extend anything.
 type LeaseResponse struct {
 	V      int     `json:"v"`
+	Epoch  uint64  `json:"epoch"`
 	Server int     `json:"server"`
 	CapW   float64 `json:"capW"`
 	// ExpiresT is the trace time the renewed lease lapses (0 when the
 	// lease never lapses).
 	ExpiresT float64 `json:"expiresT"`
 	Fenced   bool    `json:"fenced"`
+}
+
+// RegisterRequest announces one agent to the coordinator: its fleet
+// index, base URL, and nameplate. Agents send it at boot (and may
+// re-send after a restart with a new URL); scrape heartbeats keep the
+// member listed afterwards.
+type RegisterRequest struct {
+	V      int    `json:"v"`
+	Server int    `json:"server"`
+	URL    string `json:"url"`
+	// NameplateW is advisory (the scrape carries the authoritative
+	// figure); it lets the coordinator log what joined.
+	NameplateW float64 `json:"nameplateW"`
+}
+
+// maxURLBytes bounds a registered URL; anything longer is garbage.
+const maxURLBytes = 2048
+
+// Validate enforces the registration invariants.
+func (r RegisterRequest) Validate() error {
+	if r.V != ProtocolV {
+		return fmt.Errorf("ctrlplane: register protocol v%d, want v%d", r.V, ProtocolV)
+	}
+	if r.Server < 0 {
+		return fmt.Errorf("ctrlplane: register server %d", r.Server)
+	}
+	if len(r.URL) > maxURLBytes {
+		return fmt.Errorf("ctrlplane: register url %d bytes", len(r.URL))
+	}
+	u, err := url.Parse(r.URL)
+	if err != nil {
+		return fmt.Errorf("ctrlplane: register url: %w", err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return fmt.Errorf("ctrlplane: register url %q (need http(s)://host[:port])", r.URL)
+	}
+	if !finite(r.NameplateW) || r.NameplateW < 0 {
+		return fmt.Errorf("ctrlplane: register nameplate %g W", r.NameplateW)
+	}
+	return nil
+}
+
+// RegisterResponse acknowledges a registration and tells the agent who
+// currently leads, so an agent announcing to a standby knows where
+// grants will come from.
+type RegisterResponse struct {
+	V        int    `json:"v"`
+	Server   int    `json:"server"`
+	Accepted bool   `json:"accepted"`
+	Epoch    uint64 `json:"epoch"`
+	Leader   bool   `json:"leader"`
+	LeaderID string `json:"leaderID,omitempty"`
 }
 
 // finite reports whether v is a usable float (not NaN or ±Inf).
@@ -233,6 +323,18 @@ func DecodeLease(data []byte) (LeaseRequest, error) {
 	}
 	if err := r.Validate(); err != nil {
 		return LeaseRequest{}, err
+	}
+	return r, nil
+}
+
+// DecodeRegister parses and validates an agent registration.
+func DecodeRegister(data []byte) (RegisterRequest, error) {
+	var r RegisterRequest
+	if err := decodeStrict(data, &r); err != nil {
+		return RegisterRequest{}, err
+	}
+	if err := r.Validate(); err != nil {
+		return RegisterRequest{}, err
 	}
 	return r, nil
 }

@@ -9,14 +9,16 @@ import (
 // must never panic, and anything it accepts must satisfy the validated
 // invariants and survive a marshal/decode round trip.
 func FuzzDecodeAssign(f *testing.F) {
-	seed, _ := json.Marshal(AssignRequest{V: ProtocolV, Seq: 3, Server: 1, T: 600, CapW: 85.5, LeaseS: 300})
+	seed, _ := json.Marshal(AssignRequest{V: ProtocolV, Epoch: 7, Seq: 3, Server: 1, T: 600, CapW: 85.5, LeaseS: 300})
 	f.Add(seed)
-	f.Add([]byte(`{"v":1,"seq":1,"server":0,"t":0,"capW":0,"leaseS":0}`))
-	f.Add([]byte(`{"v":1,"seq":0,"server":-1,"t":-5,"capW":-1,"leaseS":-1}`))
-	f.Add([]byte(`{"v":1,"seq":1,"server":0,"t":1e309,"capW":1,"leaseS":1}`))
+	f.Add([]byte(`{"v":2,"epoch":1,"seq":1,"server":0,"t":0,"capW":0,"leaseS":0}`))
+	f.Add([]byte(`{"v":2,"epoch":0,"seq":1,"server":0,"t":0,"capW":1,"leaseS":1}`))
+	f.Add([]byte(`{"v":1,"seq":1,"server":0,"t":0,"capW":1,"leaseS":1}`))
+	f.Add([]byte(`{"v":2,"epoch":1,"seq":0,"server":-1,"t":-5,"capW":-1,"leaseS":-1}`))
+	f.Add([]byte(`{"v":2,"epoch":1,"seq":1,"server":0,"t":1e309,"capW":1,"leaseS":1}`))
 	f.Add([]byte(`{"v":2}`))
-	f.Add([]byte(`{"v":1,"seq":1,"server":0,"t":0,"capW":1,"leaseS":0}{"trailing":1}`))
-	f.Add([]byte(`{"v":1,"unknown":true}`))
+	f.Add([]byte(`{"v":2,"epoch":1,"seq":1,"server":0,"t":0,"capW":1,"leaseS":0}{"trailing":1}`))
+	f.Add([]byte(`{"v":2,"unknown":true}`))
 	f.Add([]byte(`not json`))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -26,6 +28,9 @@ func FuzzDecodeAssign(f *testing.F) {
 		}
 		if err := req.Validate(); err != nil {
 			t.Fatalf("accepted message fails validation: %v", err)
+		}
+		if req.Epoch == 0 {
+			t.Fatal("accepted an epochless grant — a pre-HA coordinator slipped through the fence")
 		}
 		out, err := json.Marshal(req)
 		if err != nil {
@@ -80,6 +85,81 @@ func FuzzDecodeReport(f *testing.F) {
 		}
 		if _, err := DecodeReport(out); err != nil {
 			t.Fatalf("round trip rejected: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeLease covers the renewal decoder: leases extend draw
+// permission, so an accepted message must carry a live epoch and sane
+// horizon.
+func FuzzDecodeLease(f *testing.F) {
+	seed, _ := json.Marshal(LeaseRequest{V: ProtocolV, Epoch: 2, Server: 1, T: 600, LeaseS: 300})
+	f.Add(seed)
+	f.Add([]byte(`{"v":2,"epoch":1,"server":0,"t":0,"leaseS":5}`))
+	f.Add([]byte(`{"v":2,"epoch":0,"server":0,"t":0,"leaseS":5}`))
+	f.Add([]byte(`{"v":1,"server":0,"t":0,"leaseS":5}`))
+	f.Add([]byte(`{"v":2,"epoch":1,"server":0,"t":0,"leaseS":-1}`))
+	f.Add([]byte(`{"v":2,"epoch":1,"server":0,"t":0,"leaseS":5}trailing`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeLease(data)
+		if err != nil {
+			return
+		}
+		if err := req.Validate(); err != nil {
+			t.Fatalf("accepted lease fails validation: %v", err)
+		}
+		if req.Epoch == 0 {
+			t.Fatal("accepted an epochless renewal")
+		}
+		out, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted lease does not marshal: %v", err)
+		}
+		again, err := DecodeLease(out)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if again != req {
+			t.Fatalf("round trip changed the message: %+v != %+v", again, req)
+		}
+	})
+}
+
+// FuzzDecodeRegister covers the registration decoder: the URL an agent
+// announces is dialed by the coordinator every interval, so anything
+// accepted must parse as an absolute http(s) URL within the size bound.
+func FuzzDecodeRegister(f *testing.F) {
+	seed, _ := json.Marshal(RegisterRequest{V: ProtocolV, Server: 4, URL: "http://10.0.0.4:7077", NameplateW: 120})
+	f.Add(seed)
+	f.Add([]byte(`{"v":2,"server":0,"url":"http://localhost:1","nameplateW":100}`))
+	f.Add([]byte(`{"v":2,"server":0,"url":"ftp://x","nameplateW":100}`))
+	f.Add([]byte(`{"v":2,"server":0,"url":"/relative","nameplateW":100}`))
+	f.Add([]byte(`{"v":2,"server":-1,"url":"http://x","nameplateW":100}`))
+	f.Add([]byte(`{"v":2,"server":0,"url":"http://x","nameplateW":-1}`))
+	f.Add([]byte(`{"v":1,"server":0,"url":"http://x","nameplateW":100}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRegister(data)
+		if err != nil {
+			return
+		}
+		if err := req.Validate(); err != nil {
+			t.Fatalf("accepted registration fails validation: %v", err)
+		}
+		if len(req.URL) > maxURLBytes {
+			t.Fatalf("accepted %d-byte URL", len(req.URL))
+		}
+		out, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted registration does not marshal: %v", err)
+		}
+		again, err := DecodeRegister(out)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if again != req {
+			t.Fatalf("round trip changed the message: %+v != %+v", again, req)
 		}
 	})
 }

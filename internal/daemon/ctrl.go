@@ -39,6 +39,7 @@ type ctrlState struct {
 	mu         sync.Mutex
 	cfg        CtrlConfig
 	fenceCapW  float64
+	lastEpoch  uint64
 	lastSeq    uint64
 	leaseS     float64
 	leaseStart time.Time
@@ -46,6 +47,7 @@ type ctrlState struct {
 	fenced     bool
 	fences     int
 	staleDrops int
+	epochDrops int
 }
 
 // EnableCtrl attaches control-plane state to the daemon. Call before
@@ -100,7 +102,13 @@ func (d *Daemon) ctrlAssign(req ctrlplane.AssignRequest) (ctrlplane.AssignRespon
 	c := d.ctrl
 	d.mu.Lock()
 	c.mu.Lock()
-	if req.Seq <= c.lastSeq {
+	if req.Epoch < c.lastEpoch {
+		c.epochDrops++
+		c.mu.Unlock()
+		d.mu.Unlock()
+		return d.ctrlAck(false), nil
+	}
+	if req.Epoch == c.lastEpoch && req.Seq <= c.lastSeq {
 		c.staleDrops++
 		c.mu.Unlock()
 		d.mu.Unlock()
@@ -111,6 +119,7 @@ func (d *Daemon) ctrlAssign(req ctrlplane.AssignRequest) (ctrlplane.AssignRespon
 		d.mu.Unlock()
 		return ctrlplane.AssignResponse{}, err
 	}
+	c.lastEpoch = req.Epoch
 	c.lastSeq = req.Seq
 	c.leaseS = req.LeaseS
 	c.leaseStart = time.Now()
@@ -129,7 +138,7 @@ func (d *Daemon) ctrlAck(applied bool) ctrlplane.AssignResponse {
 	defer c.mu.Unlock()
 	return ctrlplane.AssignResponse{
 		V: ctrlplane.ProtocolV, Server: c.cfg.ServerID,
-		Seq: c.lastSeq, Applied: applied,
+		Epoch: c.lastEpoch, Seq: c.lastSeq, Applied: applied,
 		CapW: st.CapW, GridW: st.GridW, SoC: st.SoC,
 		Fenced: c.fenced,
 	}
@@ -142,7 +151,8 @@ func (d *Daemon) ctrlReport() ctrlplane.Report {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return ctrlplane.Report{
-		V: ctrlplane.ProtocolV, Server: c.cfg.ServerID, Seq: c.lastSeq,
+		V: ctrlplane.ProtocolV, Server: c.cfg.ServerID,
+		Epoch: c.lastEpoch, Seq: c.lastSeq,
 		CapW: st.CapW, GridW: st.GridW, SoC: st.SoC,
 		Fenced:     c.fenced,
 		IdleFloorW: d.hw.PIdleWatts,
@@ -155,12 +165,18 @@ func (d *Daemon) ctrlReport() ctrlplane.Report {
 
 // ctrlRenew extends the draw lease without changing the budget. A
 // fenced daemon stays fenced: only a fresh assign restores its cap.
+// Only the epoch that granted the in-force budget may renew it — a
+// deposed coordinator's renewals are answered but extend nothing.
 func (d *Daemon) ctrlRenew(req ctrlplane.LeaseRequest) ctrlplane.LeaseResponse {
 	c := d.ctrl
 	st := d.status()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if !c.fenced {
+	if req.Epoch != c.lastEpoch {
+		if req.Epoch < c.lastEpoch {
+			c.epochDrops++
+		}
+	} else if !c.fenced {
 		c.leaseS = req.LeaseS
 		c.leaseStart = time.Now()
 		c.leased = req.LeaseS > 0
@@ -170,7 +186,7 @@ func (d *Daemon) ctrlRenew(req ctrlplane.LeaseRequest) ctrlplane.LeaseResponse {
 		expires = req.T + c.leaseS
 	}
 	return ctrlplane.LeaseResponse{
-		V: ctrlplane.ProtocolV, Server: c.cfg.ServerID,
+		V: ctrlplane.ProtocolV, Epoch: c.lastEpoch, Server: c.cfg.ServerID,
 		CapW: st.CapW, ExpiresT: expires, Fenced: c.fenced,
 	}
 }

@@ -51,7 +51,7 @@ func TestDaemonCtrlEndpoints(t *testing.T) {
 	d, srv := ctrlDaemon(t)
 
 	var ack ctrlplane.AssignResponse
-	req := ctrlplane.AssignRequest{V: ctrlplane.ProtocolV, Seq: 1, Server: 0, T: 0, CapW: 70}
+	req := ctrlplane.AssignRequest{V: ctrlplane.ProtocolV, Epoch: 1, Seq: 1, Server: 0, T: 0, CapW: 70}
 	if code := postCtrl(t, srv.URL+ctrlplane.PathAssign, req, &ack); code != http.StatusOK {
 		t.Fatalf("assign: %d", code)
 	}
@@ -79,7 +79,7 @@ func TestDaemonCtrlEndpoints(t *testing.T) {
 	if code := postCtrl(t, srv.URL+ctrlplane.PathAssign, req, nil); code != http.StatusBadRequest {
 		t.Fatalf("misdirected assign: %d", code)
 	}
-	lease := ctrlplane.LeaseRequest{V: ctrlplane.ProtocolV, Server: 5, T: 1}
+	lease := ctrlplane.LeaseRequest{V: ctrlplane.ProtocolV, Epoch: 1, Server: 5, T: 1}
 	if code := postCtrl(t, srv.URL+ctrlplane.PathLease, lease, nil); code != http.StatusBadRequest {
 		t.Fatalf("misdirected lease: %d", code)
 	}
@@ -117,7 +117,7 @@ func TestDaemonCtrlEndpoints(t *testing.T) {
 // or the wrong cap would persist for the rest of the run.
 func TestDaemonCtrlFailedAssignKeepsSeq(t *testing.T) {
 	d, srv := ctrlDaemon(t)
-	req := ctrlplane.AssignRequest{V: ctrlplane.ProtocolV, Seq: 1, Server: 0, T: 0, CapW: 0, LeaseS: 10}
+	req := ctrlplane.AssignRequest{V: ctrlplane.ProtocolV, Epoch: 1, Seq: 1, Server: 0, T: 0, CapW: 0, LeaseS: 10}
 	if code := postCtrl(t, srv.URL+ctrlplane.PathAssign, req, nil); code != http.StatusInternalServerError {
 		t.Fatalf("0 W assign: %d, want 500", code)
 	}
@@ -143,11 +143,66 @@ func TestDaemonCtrlFailedAssignKeepsSeq(t *testing.T) {
 	}
 }
 
+// The daemon's ctrl surface applies the same (epoch, seq) fencing as
+// the replay agent: a new epoch's grant applies even with a lower seq,
+// and anything from an older epoch is acknowledged without effect —
+// including renewals, which must not keep a deposed leader's budget
+// alive.
+func TestDaemonCtrlEpochFencing(t *testing.T) {
+	d, srv := ctrlDaemon(t)
+
+	var ack ctrlplane.AssignResponse
+	req := ctrlplane.AssignRequest{V: ctrlplane.ProtocolV, Epoch: 2, Seq: 9, Server: 0, T: 0, CapW: 70, LeaseS: 100}
+	if code := postCtrl(t, srv.URL+ctrlplane.PathAssign, req, &ack); code != http.StatusOK || !ack.Applied {
+		t.Fatalf("epoch-2 grant: %d %+v", code, ack)
+	}
+
+	// A delayed epoch-1 grant with a huge seq bounces.
+	stale := ctrlplane.AssignRequest{V: ctrlplane.ProtocolV, Epoch: 1, Seq: 999, Server: 0, T: 1, CapW: 95, LeaseS: 100}
+	if code := postCtrl(t, srv.URL+ctrlplane.PathAssign, stale, &ack); code != http.StatusOK {
+		t.Fatalf("stale-epoch grant: %d", code)
+	}
+	if ack.Applied {
+		t.Fatal("stale-epoch grant applied")
+	}
+	h := d.health()
+	if h.CtrlEpoch != 2 || h.CtrlEpochDrops != 1 {
+		t.Fatalf("health epoch=%d drops=%d, want 2 and 1", h.CtrlEpoch, h.CtrlEpochDrops)
+	}
+
+	// An old epoch's renewal answers with the live epoch and extends
+	// nothing.
+	lease := ctrlplane.LeaseRequest{V: ctrlplane.ProtocolV, Epoch: 1, Server: 0, T: 2, LeaseS: 100}
+	var lr ctrlplane.LeaseResponse
+	if code := postCtrl(t, srv.URL+ctrlplane.PathLease, lease, &lr); code != http.StatusOK {
+		t.Fatalf("stale renewal: %d", code)
+	}
+	if lr.Epoch != 2 {
+		t.Fatalf("stale renewal answered epoch %d, want 2", lr.Epoch)
+	}
+	if d.health().CtrlEpochDrops != 2 {
+		t.Fatalf("stale renewal not counted: %+v", d.health())
+	}
+
+	// The next leader's first grant carries a lower seq — (epoch, seq)
+	// ordering applies it anyway.
+	next := ctrlplane.AssignRequest{V: ctrlplane.ProtocolV, Epoch: 3, Seq: 1, Server: 0, T: 3, CapW: 60, LeaseS: 100}
+	if code := postCtrl(t, srv.URL+ctrlplane.PathAssign, next, &ack); code != http.StatusOK || !ack.Applied {
+		t.Fatalf("epoch-3 grant: %d %+v", code, ack)
+	}
+	if err := d.Advance(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.health().CapW; got != 60 {
+		t.Fatalf("cap %g after epoch-3 grant, want 60", got)
+	}
+}
+
 // A wall-clock lease that lapses without renewal must fence the daemon
 // to its fail-safe cap on the next advance.
 func TestDaemonCtrlLeaseFence(t *testing.T) {
 	d, srv := ctrlDaemon(t)
-	req := ctrlplane.AssignRequest{V: ctrlplane.ProtocolV, Seq: 1, Server: 0, T: 0, CapW: 90, LeaseS: 0.05}
+	req := ctrlplane.AssignRequest{V: ctrlplane.ProtocolV, Epoch: 1, Seq: 1, Server: 0, T: 0, CapW: 90, LeaseS: 0.05}
 	if code := postCtrl(t, srv.URL+ctrlplane.PathAssign, req, nil); code != http.StatusOK {
 		t.Fatalf("assign: %d", code)
 	}
@@ -159,7 +214,7 @@ func TestDaemonCtrlLeaseFence(t *testing.T) {
 	}
 
 	// A renewal pushes the lapse out.
-	lease := ctrlplane.LeaseRequest{V: ctrlplane.ProtocolV, Server: 0, T: 1, LeaseS: 0.05}
+	lease := ctrlplane.LeaseRequest{V: ctrlplane.ProtocolV, Epoch: 1, Server: 0, T: 1, LeaseS: 0.05}
 	var lr ctrlplane.LeaseResponse
 	if code := postCtrl(t, srv.URL+ctrlplane.PathLease, lease, &lr); code != http.StatusOK || lr.Fenced {
 		t.Fatalf("renew: %d %+v", code, lr)

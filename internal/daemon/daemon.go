@@ -230,6 +230,12 @@ type Health struct {
 	CtrlFenced     bool `json:"ctrlFenced"`
 	CtrlFences     int  `json:"ctrlFences"`
 	CtrlStaleDrops int  `json:"ctrlStaleDrops"`
+	// CtrlEpoch is the highest coordinator epoch this daemon has
+	// applied a grant from (0 before the first grant); CtrlEpochDrops
+	// counts grants and renewals refused for carrying an older epoch —
+	// nonzero means a deposed coordinator was still talking to us.
+	CtrlEpoch      uint64 `json:"ctrlEpoch"`
+	CtrlEpochDrops int    `json:"ctrlEpochDrops"`
 }
 
 // health snapshots liveness and robustness state.
@@ -265,6 +271,8 @@ func (d *Daemon) health() Health {
 		h.CtrlFenced = c.fenced
 		h.CtrlFences = c.fences
 		h.CtrlStaleDrops = c.staleDrops
+		h.CtrlEpoch = c.lastEpoch
+		h.CtrlEpochDrops = c.epochDrops
 		c.mu.Unlock()
 	}
 	return h
