@@ -41,7 +41,8 @@ func main() {
 		dumpTrace = flag.String("dumptrace", "", "write the synthetic demand trace to this CSV and exit")
 		agents    = flag.Bool("agents", false, "replay through the networked control plane (in-process agents over loopback HTTP) and check budget parity against the pure simulation")
 		strategy  = flag.String("strategy", "utility", "apportioning strategy in -agents mode: equal or utility")
-		haKill    = flag.Int("ha-kill-step", -1, "in -agents mode, replay through a leader-elected coordinator pair and kill the leader at this step; reports failover latency and post-recovery budget parity")
+		haKill    = flag.Int("ha-kill-step", -1, "in -agents mode, replay through a leader-elected coordinator pool and kill the leader at this step; reports failover latency and post-recovery budget parity")
+		haMembers = flag.Int("ha-members", 2, "pool size for the -ha-kill-step drill; 3 or more members elect through an in-process quorum store (loopback voter endpoints) instead of the shared-memory term")
 		version   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -51,7 +52,7 @@ func main() {
 	}
 
 	if *agents {
-		if err := runAgents(*servers, *strategy, *capFile, *shave, *step, *seed, *haKill); err != nil {
+		if err := runAgents(*servers, *strategy, *capFile, *shave, *step, *seed, *haKill, *haMembers); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -176,7 +177,7 @@ func replayCapFile(path string, servers int) error {
 // resulting budget sequence matches the pure simulation watt for watt.
 // With killStep >= 0 the replay runs through a leader-elected
 // coordinator pair instead, killing the leader mid-trace.
-func runAgents(servers int, strategyName, capFile string, shavePcts string, stepS float64, seed int64, killStep int) error {
+func runAgents(servers int, strategyName, capFile string, shavePcts string, stepS float64, seed int64, killStep, members int) error {
 	strat, err := ctrlplane.ParseStrategy(strategyName)
 	if err != nil {
 		return err
@@ -230,7 +231,7 @@ func runAgents(servers int, strategyName, capFile string, shavePcts string, step
 		interval = caps[1].T - caps[0].T
 	}
 	if killStep >= 0 {
-		return runHADrill(ev, flt, caps, strat, servers, interval, killStep)
+		return runHADrill(ev, flt, caps, strat, servers, interval, killStep, members)
 	}
 	coord, err := ctrlplane.New(ctrlplane.Config{
 		Agents:   flt.Refs(),
@@ -300,19 +301,47 @@ func (c *drillClock) Set(t time.Time) {
 	c.mu.Unlock()
 }
 
-// runHADrill replays the cap schedule through a leader-elected pair of
-// coordinators sharing one election store and one fleet, kills the
-// leader at killStep, and reports how many intervals the fleet spent
-// leaderless plus budget parity on every interval somebody granted.
-func runHADrill(ev *cluster.Evaluator, flt *ctrlplane.SimFleet, caps []trace.Point, strat ctrlplane.Strategy, servers int, interval float64, killStep int) error {
+// runHADrill replays the cap schedule through a leader-elected pool of
+// coordinators sharing one fleet, kills the leader (member 0) at
+// killStep, and reports how many intervals the fleet spent leaderless
+// plus budget parity on every interval somebody granted. A pair shares
+// an in-memory term; three or more members elect through a replicated
+// quorum store served on loopback voter endpoints, with priority-
+// ordered takeover (member i holds rank i).
+func runHADrill(ev *cluster.Evaluator, flt *ctrlplane.SimFleet, caps []trace.Point, strat ctrlplane.Strategy, servers int, interval float64, killStep, members int) error {
 	if killStep >= len(caps)-1 {
 		return fmt.Errorf("-ha-kill-step %d too late to observe a takeover in a %d-step trace", killStep, len(caps))
 	}
-	store := ctrlplane.NewMemElection()
+	if members < 2 {
+		return fmt.Errorf("-ha-members %d: a takeover drill needs at least a pair", members)
+	}
 	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
 	wallAt := func(t float64) time.Time { return t0.Add(time.Duration(t * float64(time.Second))) }
 	ttl := time.Duration(1.5 * interval * float64(time.Second))
-	mkHA := func(id string) (*ctrlplane.HA, *drillClock, error) {
+
+	// The election store: one shared in-memory term for a pair, a
+	// quorum pool (each member proposing to every loopback voter) from
+	// three members up.
+	storeName := "shared-memory term"
+	mkStore := func(i int) (ctrlplane.Election, error) { return nil, nil }
+	if members >= 3 {
+		pool, err := ctrlplane.StartVoterPool(members, nil)
+		if err != nil {
+			return err
+		}
+		defer pool.Close()
+		storeName = fmt.Sprintf("%d-voter quorum store (majority %d)", members, members/2+1)
+		mkStore = func(int) (ctrlplane.Election, error) {
+			return ctrlplane.NewQuorumElection(ctrlplane.QuorumConfig{Voters: pool.URLs()})
+		}
+	} else {
+		shared := ctrlplane.NewMemElection()
+		mkStore = func(int) (ctrlplane.Election, error) { return shared, nil }
+	}
+
+	has := make([]*ctrlplane.HA, members)
+	clks := make([]*drillClock, members)
+	for i := range has {
 		c, err := ctrlplane.New(ctrlplane.Config{
 			Agents:   flt.Refs(),
 			Strategy: strat,
@@ -322,48 +351,49 @@ func runHADrill(ev *cluster.Evaluator, flt *ctrlplane.SimFleet, caps []trace.Poi
 			LeaseS: interval,
 		})
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		clk := &drillClock{}
-		ha, err := ctrlplane.NewHA(c, ctrlplane.HAConfig{ID: id, Election: store, TermTTL: ttl, Clock: clk.Now})
-		return ha, clk, err
-	}
-	haA, clkA, err := mkHA("drill-a")
-	if err != nil {
-		return err
-	}
-	haB, clkB, err := mkHA("drill-b")
-	if err != nil {
-		return err
+		store, err := mkStore(i)
+		if err != nil {
+			return err
+		}
+		clks[i] = &drillClock{}
+		has[i], err = ctrlplane.NewHA(c, ctrlplane.HAConfig{
+			ID: fmt.Sprintf("drill-%d", i), Election: store, TermTTL: ttl,
+			Clock: clks[i].Now, Priority: i,
+		})
+		if err != nil {
+			return err
+		}
 	}
 
-	fmt.Printf("HA drill: %d cap steps over %d networked agents (%v), leader killed at step %d\n",
-		len(caps), servers, strat, killStep)
+	fmt.Printf("HA drill: %d cap steps over %d networked agents (%v), %d members on a %s, leader killed at step %d\n",
+		len(caps), servers, strat, members, storeName, killStep)
 	ctx := context.Background()
 	granted := make([]ctrlplane.StepResult, len(caps))
 	ledStep := make([]bool, len(caps))
 	blackout, capViolations := 0, 0
 	takeoverStep := -1
 	for s, p := range caps {
-		clkA.Set(wallAt(p.T))
-		clkB.Set(wallAt(p.T))
-		var results []ctrlplane.StepResult
-		if s < killStep {
-			res, err := haA.Step(ctx, p.T, p.V)
+		for _, clk := range clks {
+			clk.Set(wallAt(p.T))
+		}
+		leaders := 0
+		for i, ha := range has {
+			if i == 0 && s >= killStep {
+				continue
+			}
+			res, err := ha.Step(ctx, p.T, p.V)
 			if err != nil {
 				return err
 			}
-			results = append(results, res)
-		}
-		res, err := haB.Step(ctx, p.T, p.V)
-		if err != nil {
-			return err
-		}
-		results = append(results, res)
-		for _, r := range results {
-			if r.Leading {
-				granted[s], ledStep[s] = r, true
+			if res.Leading {
+				leaders++
+				granted[s], ledStep[s] = res, true
 			}
+		}
+		if leaders > 1 {
+			return fmt.Errorf("step %d: %d members granted in one interval", s, leaders)
 		}
 		if s >= killStep {
 			if !ledStep[s] {
@@ -399,9 +429,10 @@ func runHADrill(ev *cluster.Evaluator, flt *ctrlplane.SimFleet, caps []trace.Poi
 			maxDelta = math.Max(maxDelta, math.Abs(b-oracle.BudgetSeries[s][j]))
 		}
 	}
-	termB, _ := haB.Leader()
-	fmt.Printf("  failover: %d leaderless interval(s); standby led from step %d under epoch %d (%d failover)\n",
-		blackout, takeoverStep, termB.Epoch, haB.Failovers())
+	next := has[1]
+	termN, leadN := next.Leader()
+	fmt.Printf("  failover: %d leaderless interval(s); standby led from step %d under epoch %d (%d failover, %d holdoffs down-pool)\n",
+		blackout, takeoverStep, termN.Epoch, next.Failovers(), has[members-1].Holdoffs())
 	fmt.Printf("  budget parity vs %v on %d granted steps: max |Δ| = %g W; cap violations %d\n",
 		oracleStrat, grantedSteps, maxDelta, capViolations)
 	switch {
@@ -409,6 +440,8 @@ func runHADrill(ev *cluster.Evaluator, flt *ctrlplane.SimFleet, caps []trace.Poi
 		return fmt.Errorf("standby never took over after the kill at step %d", killStep)
 	case blackout > 1:
 		return fmt.Errorf("fleet leaderless for %d intervals, want at most one", blackout)
+	case !leadN || next.Failovers() != 1:
+		return fmt.Errorf("takeover skipped rank 1: member 1 leading=%v with %d failovers", leadN, next.Failovers())
 	case maxDelta != 0:
 		return fmt.Errorf("HA replay diverged from the simulation by %g W", maxDelta)
 	case capViolations > 0:

@@ -25,6 +25,16 @@
 //	pscoord -listen 127.0.0.1:7071 -ha-store /shared/pscoord-term.json -cap 240 &
 //	psd -listen 127.0.0.1:8081 -ctrl-server 0 \
 //	    -ctrl-announce http://127.0.0.1:7070,http://127.0.0.1:7071
+//
+// Or drop the shared filesystem entirely: a -ha-members pool
+// replicates the term across the coordinators themselves (each serves
+// a voter at its -listen address; campaigns commit on a majority), and
+// -ha-priority orders who takes over a lapsed term first:
+//
+//	M=127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072
+//	pscoord -listen 127.0.0.1:7070 -ha-members $M -ha-priority 0 -cap 240 &
+//	pscoord -listen 127.0.0.1:7071 -ha-members $M -ha-priority 1 -cap 240 &
+//	pscoord -listen 127.0.0.1:7072 -ha-members $M -ha-priority 2 -cap 240 &
 package main
 
 import (
@@ -51,23 +61,25 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pscoord: ")
 	var (
-		agents   = flag.String("agents", "", "comma-separated agent base URLs (fleet index follows list order) or id=url pairs")
-		strategy = flag.String("strategy", "equal", "apportioning strategy: equal or utility")
-		capW     = flag.Float64("cap", 240, "cluster power cap in watts (constant-cap mode)")
-		capFile  = flag.String("capfile", "", "replay a cluster cap schedule from this CSV (seconds,value) instead of a constant cap")
-		interval = flag.Duration("interval", 2*time.Second, "control interval between fan-outs")
-		lease    = flag.Float64("lease", 0, "draw lease granted with each assignment, in trace seconds (0: 2x the control interval)")
-		missK    = flag.Int("missk", 3, "consecutive failed scrapes before an agent's membership lease expires")
-		inflight = flag.Int("max-inflight", 8, "fan-out concurrency bound")
-		timeout  = flag.Duration("timeout", 2*time.Second, "per-RPC attempt timeout")
-		retries  = flag.Int("retries", 2, "per-RPC retries beyond the first attempt")
-		floorW   = flag.Float64("floor", 0, "per-server idle floor for the utility DP (0: learn from agent reports)")
-		listen   = flag.String("listen", "", "serve /ctrl/register (agent self-registration; the fleet may then start empty) and /ctrl/leader on this address")
-		haStore  = flag.String("ha-store", "", "run leader-elected: path of the shared term file every coordinator of this cluster points at")
-		haID     = flag.String("ha-id", "", "candidate identity in the election (default hostname-pid)")
-		haTTL    = flag.Duration("ha-ttl", 0, "leadership term length (default 3x the control interval)")
-		verbose  = flag.Bool("v", false, "log every control interval, not just membership changes")
-		version  = flag.Bool("version", false, "print version and exit")
+		agents     = flag.String("agents", "", "comma-separated agent base URLs (fleet index follows list order) or id=url pairs")
+		strategy   = flag.String("strategy", "equal", "apportioning strategy: equal or utility")
+		capW       = flag.Float64("cap", 240, "cluster power cap in watts (constant-cap mode)")
+		capFile    = flag.String("capfile", "", "replay a cluster cap schedule from this CSV (seconds,value) instead of a constant cap")
+		interval   = flag.Duration("interval", 2*time.Second, "control interval between fan-outs")
+		lease      = flag.Float64("lease", 0, "draw lease granted with each assignment, in trace seconds (0: 2x the control interval)")
+		missK      = flag.Int("missk", 3, "consecutive failed scrapes before an agent's membership lease expires")
+		inflight   = flag.Int("max-inflight", 8, "fan-out concurrency bound")
+		timeout    = flag.Duration("timeout", 2*time.Second, "per-RPC attempt timeout")
+		retries    = flag.Int("retries", 2, "per-RPC retries beyond the first attempt")
+		floorW     = flag.Float64("floor", 0, "per-server idle floor for the utility DP (0: learn from agent reports)")
+		listen     = flag.String("listen", "", "serve /ctrl/register (agent self-registration; the fleet may then start empty) and /ctrl/leader on this address")
+		haStore    = flag.String("ha-store", "", "run leader-elected on a shared term file: the path every coordinator of this cluster points at")
+		haMembers  = flag.String("ha-members", "", "run leader-elected on a replicated quorum store: comma-separated voter base URLs of the whole coordinator pool, this member's -listen address included (no shared filesystem needed)")
+		haPriority = flag.Int("ha-priority", 0, "takeover rank in the pool: 0 steals a lapsed term first, higher ranks hold off longer")
+		haID       = flag.String("ha-id", "", "candidate identity in the election (default hostname-pid)")
+		haTTL      = flag.Duration("ha-ttl", 0, "leadership term length (default 3x the control interval)")
+		verbose    = flag.Bool("v", false, "log every control interval, not just membership changes")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
@@ -114,35 +126,72 @@ func main() {
 		log.Fatal(err)
 	}
 
+	id := *haID
+	if id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "pscoord"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	ttl := *haTTL
+	if ttl == 0 {
+		ttl = 3 * *interval
+	}
+
 	var ha *ctrlplane.HA
-	if *haStore != "" {
+	var voter *ctrlplane.QuorumVoter
+	switch {
+	case *haStore != "" && *haMembers != "":
+		log.Fatal("-ha-store and -ha-members are mutually exclusive (one election store per cluster)")
+	case *haStore != "":
 		store, err := ctrlplane.NewFileElection(*haStore)
 		if err != nil {
 			log.Fatal(err)
 		}
-		id := *haID
-		if id == "" {
-			host, _ := os.Hostname()
-			if host == "" {
-				host = "pscoord"
-			}
-			id = fmt.Sprintf("%s-%d", host, os.Getpid())
-		}
-		ttl := *haTTL
-		if ttl == 0 {
-			ttl = 3 * *interval
-		}
-		ha, err = ctrlplane.NewHA(coord, ctrlplane.HAConfig{ID: id, Election: store, TermTTL: ttl})
+		ha, err = ctrlplane.NewHA(coord, ctrlplane.HAConfig{
+			ID: id, Election: store, TermTTL: ttl, Priority: *haPriority,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("leader election on %s as %q (term %v)", *haStore, id, ttl)
+		log.Printf("leader election on %s as %q (term %v, priority %d)", *haStore, id, ttl, *haPriority)
+	case *haMembers != "":
+		if *listen == "" {
+			log.Fatal("-ha-members needs -listen: the pool reaches this member's voter endpoint there")
+		}
+		var voters []string
+		for _, tok := range strings.Split(*haMembers, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			if !strings.HasPrefix(tok, "http://") && !strings.HasPrefix(tok, "https://") {
+				tok = "http://" + tok
+			}
+			voters = append(voters, tok)
+		}
+		voter = ctrlplane.NewQuorumVoter(hub)
+		store, err := ctrlplane.NewQuorumElection(ctrlplane.QuorumConfig{
+			Voters: voters, Timeout: *timeout, Telemetry: hub,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ha, err = ctrlplane.NewHA(coord, ctrlplane.HAConfig{
+			ID: id, Election: store, TermTTL: ttl, Priority: *haPriority,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("quorum election across %d voters as %q (majority %d, term %v, priority %d)",
+			len(voters), id, store.Quorum(), ttl, *haPriority)
 	}
 
 	if *listen != "" {
 		srv := &http.Server{
 			Addr:              *listen,
-			Handler:           ctrlplane.NewCoordinatorHandler(coord, ha),
+			Handler:           ctrlplane.NewCoordinatorHandler(coord, ha, voter),
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() {

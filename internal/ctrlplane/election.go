@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -19,6 +20,15 @@ type Term struct {
 	Epoch   uint64    `json:"epoch"`
 	Leader  string    `json:"leader"`
 	Expires time.Time `json:"expires"`
+}
+
+// equal reports whether two terms name the same grant. Plain struct
+// comparison is a trap here: time.Time's == also compares the
+// monotonic-clock reading and location pointer, so a term that has
+// been through a JSON or wire round trip (which strips both) would
+// spuriously differ from its in-memory twin. Compare the instant.
+func (t Term) equal(o Term) bool {
+	return t.Epoch == o.Epoch && t.Leader == o.Leader && t.Expires.Equal(o.Expires)
 }
 
 // Election is the leader-election substrate: a lease on a shared
@@ -120,6 +130,12 @@ func (e *MemElection) Term() Term {
 // filesystems without POSIX rename atomicity.
 type FileElection struct {
 	path string
+
+	// mu serializes this process's campaigns (the lock file serializes
+	// cross-process ones) and guards token, this handle's claim on the
+	// lock file while held.
+	mu    sync.Mutex
+	token string
 }
 
 // NewFileElection builds a file-backed election store at path. The
@@ -144,27 +160,63 @@ const (
 	lockBackoff = 2 * time.Millisecond
 )
 
-// withLock runs fn while holding the store's lock file.
+// staleLockAge is the orphan threshold: the full retry budget. A live
+// writer holds the lock for the few syscalls of one read-decide-write,
+// so a lock this old belongs to a process that crashed mid-campaign.
+const staleLockAge = lockRetries * lockBackoff
+
+// lockSeq makes lock tokens unique within this process.
+var lockSeq atomic.Uint64
+
+// withLock runs fn while holding the store's lock file. A lock whose
+// mtime exceeds the whole retry budget is orphaned — its holder
+// crashed mid-campaign — and is stolen instead of bricking the store
+// forever. Stealing is heuristic (a holder stalled past the budget
+// could be robbed), so the lock file carries a per-acquisition token
+// and write re-checks it immediately before landing: a robbed holder
+// aborts its campaign rather than clobbering the thief's.
 func (e *FileElection) withLock(fn func() error) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	lock := e.path + ".lock"
+	token := fmt.Sprintf("%d-%d", os.Getpid(), lockSeq.Add(1))
 	acquired := false
 	for i := 0; i < lockRetries; i++ {
 		f, err := os.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 		if err == nil {
+			_, werr := f.WriteString(token)
 			f.Close()
+			if werr != nil {
+				os.Remove(lock)
+				return fmt.Errorf("ctrlplane: election lock: %w", werr)
+			}
 			acquired = true
 			break
 		}
 		if !os.IsExist(err) {
 			return fmt.Errorf("ctrlplane: election lock: %w", err)
 		}
+		if st, serr := os.Stat(lock); serr == nil && time.Since(st.ModTime()) > staleLockAge {
+			// Losing the remove race to another stealer just means the
+			// next O_EXCL attempt waits behind it, like any contention.
+			_ = os.Remove(lock)
+			continue
+		}
 		time.Sleep(lockBackoff)
 	}
 	if !acquired {
-		return fmt.Errorf("ctrlplane: election lock %s held for over %v (stale? remove it by hand)",
-			lock, time.Duration(lockRetries)*lockBackoff)
+		return fmt.Errorf("ctrlplane: election lock %s contended for over %v (a live writer holds it; orphans are stolen after %v)",
+			lock, time.Duration(lockRetries)*lockBackoff, staleLockAge)
 	}
-	defer os.Remove(lock)
+	e.token = token
+	defer func() {
+		e.token = ""
+		// Unlock only if the lock is still ours: after a steal it
+		// belongs to the thief, and removing it would cascade.
+		if data, err := os.ReadFile(lock); err == nil && string(data) == token {
+			os.Remove(lock)
+		}
+	}()
 	return fn()
 }
 
@@ -194,6 +246,14 @@ func (e *FileElection) write(t Term) error {
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return fmt.Errorf("ctrlplane: election state: %w", err)
 	}
+	if e.token != "" {
+		// Landing a term decided under a stolen lock would clobber the
+		// thief's campaign; verify ownership right before the rename.
+		if held, err := os.ReadFile(e.path + ".lock"); err != nil || string(held) != e.token {
+			os.Remove(tmp)
+			return fmt.Errorf("ctrlplane: election lock stolen mid-campaign (stalled past %v); campaign aborted", staleLockAge)
+		}
+	}
 	if err := os.Rename(tmp, e.path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("ctrlplane: election state: %w", err)
@@ -213,7 +273,7 @@ func (e *FileElection) Campaign(id string, now time.Time, ttl time.Duration) (Te
 			return err
 		}
 		next := campaignDecide(cur, id, now, ttl)
-		if next != cur {
+		if !next.equal(cur) {
 			if err := e.write(next); err != nil {
 				return err
 			}

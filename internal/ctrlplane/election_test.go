@@ -1,6 +1,7 @@
 package ctrlplane
 
 import (
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -10,134 +11,9 @@ import (
 // t0 is an arbitrary fixed origin for election-test clocks.
 var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
 
-// electionSemantics drives one store through the acquire → renew →
-// hold-off → expire → takeover → resign lifecycle that both
-// implementations must share.
-func electionSemantics(t *testing.T, e Election) {
-	t.Helper()
-	const ttl = 10 * time.Second
-
-	// Bootstrap: first campaigner takes epoch 1.
-	term, err := e.Campaign("a", t0, ttl)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if term.Epoch != 1 || term.Leader != "a" {
-		t.Fatalf("bootstrap term %+v", term)
-	}
-
-	// A renewal keeps the epoch and pushes the expiry out.
-	term, err = e.Campaign("a", t0.Add(5*time.Second), ttl)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if term.Epoch != 1 || term.Leader != "a" || !term.Expires.Equal(t0.Add(15*time.Second)) {
-		t.Fatalf("renewed term %+v", term)
-	}
-
-	// A challenger against an unexpired term changes nothing.
-	term, err = e.Campaign("b", t0.Add(10*time.Second), ttl)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if term.Leader != "a" || term.Epoch != 1 {
-		t.Fatalf("unexpired term lost to a challenger: %+v", term)
-	}
-
-	// Past the expiry the challenger takes over, and the epoch moves —
-	// the takeover must be distinguishable from the old term at every
-	// agent, by number alone.
-	term, err = e.Campaign("b", t0.Add(16*time.Second), ttl)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if term.Leader != "b" || term.Epoch != 2 {
-		t.Fatalf("takeover term %+v", term)
-	}
-
-	// The deposed leader's campaign now loses.
-	term, err = e.Campaign("a", t0.Add(17*time.Second), ttl)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if term.Leader != "b" || term.Epoch != 2 {
-		t.Fatalf("deposed leader re-took the term: %+v", term)
-	}
-
-	// Resign hands over without waiting out the TTL, and the next
-	// winner still bumps the epoch.
-	if err := e.Resign("b"); err != nil {
-		t.Fatal(err)
-	}
-	term, err = e.Campaign("a", t0.Add(18*time.Second), ttl)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if term.Leader != "a" || term.Epoch != 3 {
-		t.Fatalf("post-resign term %+v", term)
-	}
-
-	// Resign by a non-holder is a no-op.
-	if err := e.Resign("b"); err != nil {
-		t.Fatal(err)
-	}
-	term, err = e.Campaign("a", t0.Add(19*time.Second), ttl)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if term.Leader != "a" || term.Epoch != 3 {
-		t.Fatalf("non-holder resign disturbed the term: %+v", term)
-	}
-
-	// Bad campaigns are refused outright.
-	if _, err := e.Campaign("", t0, ttl); err == nil {
-		t.Fatal("empty candidate id accepted")
-	}
-	if _, err := e.Campaign("a", t0, 0); err == nil {
-		t.Fatal("zero ttl accepted")
-	}
-}
-
-func TestMemElectionSemantics(t *testing.T) {
-	electionSemantics(t, NewMemElection())
-}
-
-func TestFileElectionSemantics(t *testing.T) {
-	e, err := NewFileElection(filepath.Join(t.TempDir(), "term.json"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	electionSemantics(t, e)
-}
-
-// Epochs must stay strictly monotonic no matter how leadership
-// thrashes; a repeated epoch would let two leaders' grants tie at the
-// agents.
-func TestElectionEpochMonotonicUnderThrash(t *testing.T) {
-	e := NewMemElection()
-	const ttl = time.Second
-	last := uint64(0)
-	now := t0
-	for i := 0; i < 20; i++ {
-		// Alternate winners by always campaigning after the expiry.
-		id := "a"
-		if i%2 == 1 {
-			id = "b"
-		}
-		term, err := e.Campaign(id, now, ttl)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if term.Leader != id {
-			t.Fatalf("round %d: expired term not taken by %s: %+v", i, id, term)
-		}
-		if term.Epoch <= last {
-			t.Fatalf("round %d: epoch %d did not advance past %d", i, term.Epoch, last)
-		}
-		last = term.Epoch
-		now = now.Add(2 * ttl)
-	}
-}
+// The store-agnostic lifecycle and invariant coverage lives in
+// conformance_test.go (testElectionConformance, run against all three
+// stores); this file keeps the FileElection-specific regressions.
 
 // Concurrent campaigns on the file store must serialize through the
 // lock file: exactly one winner per round, no corrupted state, and the
@@ -203,5 +79,96 @@ func TestFileElectionPersistence(t *testing.T) {
 	}
 	if _, err := NewFileElection(filepath.Join(path, "nope", "term.json")); err == nil {
 		t.Fatal("missing parent directory accepted")
+	}
+}
+
+// A holder that crashed mid-campaign leaves its lock file behind; the
+// store must steal locks older than the whole retry budget instead of
+// erroring on every campaign forever, while a fresh lock — a live
+// writer — still blocks. Regression: withLock used to treat any
+// existing lock as live.
+func TestFileElectionStealsOrphanedLock(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "term.json")
+	e, err := NewFileElection(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lock := path + ".lock"
+
+	// The orphan: a dead process's token, aged well past the budget.
+	if err := os.WriteFile(lock, []byte("999999-1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	orphanAge := time.Now().Add(-time.Second)
+	if err := os.Chtimes(lock, orphanAge, orphanAge); err != nil {
+		t.Fatal(err)
+	}
+	term, err := e.Campaign("a", t0, time.Minute)
+	if err != nil {
+		t.Fatalf("campaign against an orphaned lock: %v", err)
+	}
+	if term.Leader != "a" || term.Epoch != 1 {
+		t.Fatalf("post-steal term %+v", term)
+	}
+	if _, err := os.Stat(lock); !os.IsNotExist(err) {
+		t.Fatal("lock file left behind after the stolen campaign")
+	}
+
+	// A live writer's lock must still block. Its mtime is pinned into
+	// the future so a scheduler stall cannot age it past the budget
+	// mid-test.
+	future := time.Now().Add(time.Hour)
+	if err := os.WriteFile(lock, []byte("999999-2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(lock, future, future); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Campaign("a", t0.Add(time.Second), time.Minute); err == nil {
+		t.Fatal("campaign went through a live lock")
+	}
+	// Once that lock ages out too, the store recovers on its own.
+	if err := os.Chtimes(lock, orphanAge, orphanAge); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Campaign("a", t0.Add(2*time.Second), time.Minute); err != nil {
+		t.Fatalf("campaign after the live lock aged into an orphan: %v", err)
+	}
+}
+
+// A renewal that decides the exact term already stored must skip the
+// rewrite. Regression: the decision was compared with struct ==, and
+// time.Time's monotonic-clock reading (present on the freshly computed
+// expiry, stripped from the JSON-decoded one) made every identical
+// renewal look different, so each one burned a write + rename.
+func TestFileElectionRenewalSkipsIdenticalWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "term.json")
+	e, err := NewFileElection(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now() // carries a monotonic reading, unlike decoded state
+	if _, err := e.Campaign("a", now, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	st1, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same candidate, instant, and ttl: the decided term is the stored
+	// term, instant-for-instant.
+	term, err := e.Campaign("a", now, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if term.Leader != "a" || term.Epoch != 1 {
+		t.Fatalf("identical renewal changed the term: %+v", term)
+	}
+	st2, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !os.SameFile(st1, st2) {
+		t.Fatal("an identical renewal rewrote the state file")
 	}
 }

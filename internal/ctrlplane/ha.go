@@ -27,6 +27,17 @@ type HAConfig struct {
 	// Clock supplies the campaign timestamps (default time.Now). The
 	// chaos suite injects skewed and frozen clocks here.
 	Clock func() time.Time
+	// Priority ranks this member in the takeover order: rank 0
+	// campaigns for a lapsed term immediately, rank k observes for
+	// k × PriorityHoldoff past the observed expiry first, so the
+	// preferred standby wins the steal uncontested. Renewals, terms
+	// still in force, and a member with no observed term yet are never
+	// held off — priorities only order who steals a lapsed term.
+	Priority int
+	// PriorityHoldoff is the per-rank takeover delay (default
+	// TermTTL/4 — with the default TTL of 1.5 control intervals, rank
+	// 1 still steals within one interval of observable silence).
+	PriorityHoldoff time.Duration
 }
 
 // HA runs one coordinator as a member of a leader-elected pair (or
@@ -51,6 +62,7 @@ type HA struct {
 	term      Term
 	failovers int
 	campErrs  int
+	holdoffs  int
 }
 
 // NewHA wraps a coordinator with leader election.
@@ -67,6 +79,12 @@ func NewHA(c *Coordinator, cfg HAConfig) (*HA, error) {
 	if cfg.TermTTL <= 0 {
 		return nil, fmt.Errorf("ctrlplane: HA term ttl %v", cfg.TermTTL)
 	}
+	if cfg.Priority < 0 {
+		return nil, fmt.Errorf("ctrlplane: HA priority %d", cfg.Priority)
+	}
+	if cfg.PriorityHoldoff <= 0 {
+		cfg.PriorityHoldoff = cfg.TermTTL / 4
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
@@ -76,9 +94,42 @@ func NewHA(c *Coordinator, cfg HAConfig) (*HA, error) {
 // Coordinator returns the wrapped coordinator.
 func (h *HA) Coordinator() *Coordinator { return h.c }
 
+// heldOff reports whether the takeover priority says to sit this
+// campaign out: the last observed term has lapsed — a steal is on the
+// table and a lower-ranked member's turn comes first — but this
+// member's rank-scaled holdoff has not yet passed.
+func (h *HA) heldOff(now time.Time) bool {
+	if h.cfg.Priority <= 0 {
+		return false
+	}
+	h.mu.Lock()
+	term := h.term
+	h.mu.Unlock()
+	if term.Epoch == 0 || term.Leader == h.cfg.ID {
+		// Nothing observed yet (bootstrap races are the store's to
+		// serialize), or our own term, which a campaign only renews.
+		return false
+	}
+	if now.Before(term.Expires) {
+		// A term still in force: campaigning is pure observation, and
+		// observing keeps the expiry we hold off against fresh.
+		return false
+	}
+	return now.Before(term.Expires.Add(time.Duration(h.cfg.Priority) * h.cfg.PriorityHoldoff))
+}
+
 // Step campaigns, then leads or observes one control interval.
 func (h *HA) Step(ctx context.Context, t, capW float64) (StepResult, error) {
-	term, err := h.cfg.Election.Campaign(h.cfg.ID, h.cfg.Clock(), h.cfg.TermTTL)
+	now := h.cfg.Clock()
+	if h.heldOff(now) {
+		h.mu.Lock()
+		h.leader = false
+		h.holdoffs++
+		h.mu.Unlock()
+		h.c.tel.noteLeadership(h.c.Epoch(), false)
+		return h.c.Observe(ctx, t, capW)
+	}
+	term, err := h.cfg.Election.Campaign(h.cfg.ID, now, h.cfg.TermTTL)
 	if err != nil {
 		// An unreachable or contended store proves nothing about
 		// leadership, so assume the worst and only observe: a true
@@ -152,6 +203,14 @@ func (h *HA) CampaignErrors() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.campErrs
+}
+
+// Holdoffs counts intervals this member sat out a possible steal,
+// yielding to a lower takeover rank.
+func (h *HA) Holdoffs() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.holdoffs
 }
 
 // Resign gives up leadership on the store (clean shutdown: the standby

@@ -613,7 +613,7 @@ func TestRegisterGrowsFleet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(NewCoordinatorHandler(coord, nil))
+	srv := httptest.NewServer(NewCoordinatorHandler(coord, nil, nil))
 	defer srv.Close()
 
 	res, err := coord.Step(context.Background(), 0, 600)
@@ -687,7 +687,7 @@ func TestRegisterGrowsFleet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	staticSrv := httptest.NewServer(NewCoordinatorHandler(static, nil))
+	staticSrv := httptest.NewServer(NewCoordinatorHandler(static, nil, nil))
 	defer staticSrv.Close()
 	if _, err := Announce(context.Background(), []string{staticSrv.URL},
 		RegisterRequest{V: ProtocolV, Server: refs[2].ID, URL: refs[2].URL, NameplateW: 120}, time.Second); err == nil {
@@ -713,7 +713,7 @@ func TestAnnounceReachesEveryCoordinator(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		srv := httptest.NewServer(NewCoordinatorHandler(c, nil))
+		srv := httptest.NewServer(NewCoordinatorHandler(c, nil, nil))
 		t.Cleanup(srv.Close)
 		return c, srv
 	}

@@ -105,10 +105,11 @@ type LeaderStatus struct {
 }
 
 // NewCoordinatorHandler serves a coordinator's /ctrl/* endpoints:
-// agent registration and the leadership probe. ha may be nil for a
-// plain single coordinator — it then reports itself leader of its own
-// epoch with no election behind it.
-func NewCoordinatorHandler(c *Coordinator, ha *HA) http.Handler {
+// agent registration, the leadership probe, and — when voter is
+// non-nil — this pool member's /ctrl/vote quorum endpoint. ha may be
+// nil for a plain single coordinator — it then reports itself leader
+// of its own epoch with no election behind it.
+func NewCoordinatorHandler(c *Coordinator, ha *HA, voter *QuorumVoter) http.Handler {
 	status := func() LeaderStatus {
 		st := LeaderStatus{V: ProtocolV, Epoch: c.Epoch(), Leader: true}
 		if ha != nil {
@@ -150,6 +151,9 @@ func NewCoordinatorHandler(c *Coordinator, ha *HA) http.Handler {
 		}
 		writeWireJSON(w, status())
 	})
+	if voter != nil {
+		mux.Handle(PathVote, NewVoterHandler(voter))
+	}
 	return mux
 }
 

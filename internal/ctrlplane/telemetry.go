@@ -86,6 +86,76 @@ func newCtrlTel(h *telemetry.Hub) *ctrlTel {
 	}
 }
 
+// quorumTel instruments one quorum-pool member: the proposer side's
+// campaign outcomes and the local voter's ballot decisions. Same
+// nil-safe pattern as ctrlTel — a disabled hub no-ops everything.
+type quorumTel struct {
+	enabled bool
+
+	voters     *telemetry.Gauge
+	lastAcks   *telemetry.Gauge
+	commits    *telemetry.Counter
+	losses     *telemetry.Counter
+	votes      *telemetry.CounterVec // phase ∈ {prepare, accept}, outcome ∈ {granted, rejected}
+	voterEpoch *telemetry.Gauge
+}
+
+func newQuorumTel(h *telemetry.Hub) *quorumTel {
+	reg := h.Registry()
+	if reg == nil {
+		return &quorumTel{}
+	}
+	return &quorumTel{
+		enabled: true,
+		voters: reg.Gauge("ps_ctrl_quorum_voters",
+			"Voter pool size this coordinator campaigns against."),
+		lastAcks: reg.Gauge("ps_ctrl_quorum_last_acks",
+			"Voter acks on the last commit attempt."),
+		commits: reg.Counter("ps_ctrl_quorum_commits_total",
+			"Campaigns committed on a majority of voters."),
+		losses: reg.Counter("ps_ctrl_quorum_losses_total",
+			"Campaigns abandoned without a majority (partition or voter loss)."),
+		votes: reg.CounterVec("ps_ctrl_voter_votes_total",
+			"Local voter's ballot decisions by phase and outcome.", "phase", "outcome"),
+		voterEpoch: reg.Gauge("ps_ctrl_voter_epoch",
+			"Epoch of the local voter's last accepted term."),
+	}
+}
+
+// setVoters records the pool size.
+func (t *quorumTel) setVoters(n int) {
+	if !t.enabled {
+		return
+	}
+	t.voters.Set(float64(n))
+}
+
+// noteCampaign records one campaign's ack count and outcome.
+func (t *quorumTel) noteCampaign(acks int, committed bool) {
+	if !t.enabled {
+		return
+	}
+	t.lastAcks.Set(float64(acks))
+	if committed {
+		t.commits.Inc()
+	} else {
+		t.losses.Inc()
+	}
+}
+
+// noteVote records one local voter decision.
+func (t *quorumTel) noteVote(phase string, granted bool, epoch uint64) {
+	if !t.enabled {
+		return
+	}
+	outcome := "rejected"
+	if granted {
+		outcome = "granted"
+	}
+	t.votes.With(phase, outcome).Inc()
+	t.voterEpoch.Set(float64(epoch))
+}
+
 // noteLeadership records the epoch and leader/observer role after a
 // campaign.
 func (t *ctrlTel) noteLeadership(epoch uint64, leading bool) {

@@ -33,6 +33,19 @@ const PathRegister = "/ctrl/register"
 // agents ask any coordinator who leads, and under which epoch.
 const PathLeader = "/ctrl/leader"
 
+// PathVote is the coordinator-side quorum voter endpoint: proposers of
+// the quorum election store (QuorumElection) prepare and accept ballots
+// here. Every member of a -ha-members pool serves it.
+const PathVote = "/ctrl/vote"
+
+// Vote phases. A campaign is one prepare round (claim a ballot, learn
+// the newest accepted term) followed by one accept round (write the
+// decided term back); both commit only on a majority of voters.
+const (
+	VotePrepare = "prepare"
+	VoteAccept  = "accept"
+)
+
 // maxBodyBytes bounds any control-plane request or response body. The
 // largest legitimate message is a report carrying a cap-utility curve
 // (a few hundred points); a megabyte is two orders of magnitude of
@@ -272,6 +285,110 @@ type RegisterResponse struct {
 	LeaderID string `json:"leaderID,omitempty"`
 }
 
+// maxLeaderBytes bounds a candidate identity on the wire; anything
+// longer than a hostname-pid pair is garbage.
+const maxLeaderBytes = 256
+
+// WireTerm is a Term on the wire. Expiry travels as Unix nanoseconds
+// (0 encodes the zero time — a resigned term) so an encode/decode
+// round trip preserves the instant exactly: serializing time.Time
+// directly would drag location names and RFC 3339 truncation into the
+// voters' equality checks.
+type WireTerm struct {
+	Epoch           uint64 `json:"epoch"`
+	Leader          string `json:"leader"`
+	ExpiresUnixNano int64  `json:"expiresUnixNano"`
+}
+
+// Validate enforces the term invariants every voter stores.
+func (t WireTerm) Validate() error {
+	if t.Epoch == 0 {
+		return fmt.Errorf("ctrlplane: vote term epoch 0 (epochs start at 1)")
+	}
+	if t.Leader == "" {
+		return fmt.Errorf("ctrlplane: vote term with empty leader")
+	}
+	if len(t.Leader) > maxLeaderBytes {
+		return fmt.Errorf("ctrlplane: vote term leader %d bytes", len(t.Leader))
+	}
+	if t.ExpiresUnixNano < 0 {
+		return fmt.Errorf("ctrlplane: vote term expiry %d ns", t.ExpiresUnixNano)
+	}
+	return nil
+}
+
+// VoteRequest is one phase of a quorum-store consensus round. Ballots
+// totally order proposals across the pool (the round counter in the
+// high bits, a hash of the proposer identity in the low bits keeps
+// them unique); prepare claims a ballot, accept proposes a term under
+// a claimed one.
+type VoteRequest struct {
+	V      int    `json:"v"`
+	Phase  string `json:"phase"`
+	Ballot uint64 `json:"ballot"`
+	// Term is the proposed value — required for accept, absent for
+	// prepare.
+	Term *WireTerm `json:"term,omitempty"`
+}
+
+// Validate enforces the vote invariants the voters' ordering depends
+// on.
+func (r VoteRequest) Validate() error {
+	if r.V != ProtocolV {
+		return fmt.Errorf("ctrlplane: vote protocol v%d, want v%d", r.V, ProtocolV)
+	}
+	if r.Ballot == 0 {
+		return fmt.Errorf("ctrlplane: vote ballot 0 (ballots start at 1)")
+	}
+	switch r.Phase {
+	case VotePrepare:
+		if r.Term != nil {
+			return fmt.Errorf("ctrlplane: prepare carries a term")
+		}
+	case VoteAccept:
+		if r.Term == nil {
+			return fmt.Errorf("ctrlplane: accept without a term")
+		}
+		if err := r.Term.Validate(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("ctrlplane: vote phase %q", r.Phase)
+	}
+	return nil
+}
+
+// VoteResponse is a voter's answer. Promise is its promised ballot
+// after the call — a rejected proposer bumps its next ballot past it.
+// AcceptedBallot and Term report the voter's last accepted value
+// (both absent while it has none); prepare grants carry it so the
+// proposer adopts the newest possibly-committed term before deciding.
+type VoteResponse struct {
+	V              int       `json:"v"`
+	Granted        bool      `json:"granted"`
+	Promise        uint64    `json:"promise"`
+	AcceptedBallot uint64    `json:"acceptedBallot,omitempty"`
+	Term           *WireTerm `json:"term,omitempty"`
+}
+
+// Validate enforces the voter-answer invariants the proposer adopts
+// values under.
+func (r VoteResponse) Validate() error {
+	if r.V != ProtocolV {
+		return fmt.Errorf("ctrlplane: vote response protocol v%d, want v%d", r.V, ProtocolV)
+	}
+	if (r.AcceptedBallot == 0) != (r.Term == nil) {
+		return fmt.Errorf("ctrlplane: vote response accepted ballot %d with term %v", r.AcceptedBallot, r.Term)
+	}
+	if r.AcceptedBallot > r.Promise {
+		return fmt.Errorf("ctrlplane: vote response accepted ballot %d above promise %d", r.AcceptedBallot, r.Promise)
+	}
+	if r.Term != nil {
+		return r.Term.Validate()
+	}
+	return nil
+}
+
 // finite reports whether v is a usable float (not NaN or ±Inf).
 func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
@@ -335,6 +452,30 @@ func DecodeRegister(data []byte) (RegisterRequest, error) {
 	}
 	if err := r.Validate(); err != nil {
 		return RegisterRequest{}, err
+	}
+	return r, nil
+}
+
+// DecodeVote parses and validates a quorum vote request.
+func DecodeVote(data []byte) (VoteRequest, error) {
+	var r VoteRequest
+	if err := decodeStrict(data, &r); err != nil {
+		return VoteRequest{}, err
+	}
+	if err := r.Validate(); err != nil {
+		return VoteRequest{}, err
+	}
+	return r, nil
+}
+
+// DecodeVoteResponse parses and validates a voter's answer.
+func DecodeVoteResponse(data []byte) (VoteResponse, error) {
+	var r VoteResponse
+	if err := decodeStrict(data, &r); err != nil {
+		return VoteResponse{}, err
+	}
+	if err := r.Validate(); err != nil {
+		return VoteResponse{}, err
 	}
 	return r, nil
 }

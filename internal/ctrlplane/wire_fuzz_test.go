@@ -126,6 +126,113 @@ func FuzzDecodeLease(f *testing.F) {
 	})
 }
 
+// wireTermEq compares optional wire terms field-wise — VoteRequest and
+// VoteResponse carry *WireTerm, so struct equality would compare the
+// pointers, not the terms.
+func wireTermEq(a, b *WireTerm) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || *a == *b
+}
+
+// FuzzDecodeVote hammers the quorum vote decoder: votes move the
+// replicated leadership term, so anything accepted must satisfy the
+// phase invariants (prepare carries no term, accept carries a valid
+// one) and survive a marshal/decode round trip.
+func FuzzDecodeVote(f *testing.F) {
+	w := termToWire(Term{Epoch: 3, Leader: "coord-a:1", Expires: t0})
+	prep, _ := json.Marshal(VoteRequest{V: ProtocolV, Phase: VotePrepare, Ballot: 7})
+	acc, _ := json.Marshal(VoteRequest{V: ProtocolV, Phase: VoteAccept, Ballot: 7, Term: &w})
+	f.Add(prep)
+	f.Add(acc)
+	f.Add([]byte(`{"v":2,"phase":"prepare","ballot":0}`))
+	f.Add([]byte(`{"v":2,"phase":"prepare","ballot":1,"term":{"epoch":1,"leader":"x"}}`))
+	f.Add([]byte(`{"v":2,"phase":"accept","ballot":1}`))
+	f.Add([]byte(`{"v":2,"phase":"accept","ballot":1,"term":{"epoch":0,"leader":"x"}}`))
+	f.Add([]byte(`{"v":2,"phase":"accept","ballot":1,"term":{"epoch":1,"leader":""}}`))
+	f.Add([]byte(`{"v":2,"phase":"accept","ballot":1,"term":{"epoch":1,"leader":"x","expiresUnixNano":-1}}`))
+	f.Add([]byte(`{"v":2,"phase":"veto","ballot":1}`))
+	f.Add([]byte(`{"v":1,"phase":"prepare","ballot":1}`))
+	f.Add([]byte(`{"v":2,"phase":"prepare","ballot":1,"bogus":true}`))
+	f.Add([]byte(`{"v":2,"phase":"prepare","ballot":1}{}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeVote(data)
+		if err != nil {
+			return
+		}
+		if err := req.Validate(); err != nil {
+			t.Fatalf("accepted vote fails validation: %v", err)
+		}
+		if req.Ballot == 0 {
+			t.Fatal("accepted a zero ballot — voters could double-grant it")
+		}
+		if (req.Phase == VotePrepare) != (req.Term == nil) {
+			t.Fatalf("accepted %s vote with term=%v", req.Phase, req.Term)
+		}
+		out, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted vote does not marshal: %v", err)
+		}
+		again, err := DecodeVote(out)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if again.V != req.V || again.Phase != req.Phase || again.Ballot != req.Ballot || !wireTermEq(again.Term, req.Term) {
+			t.Fatalf("round trip changed the message: %+v != %+v", again, req)
+		}
+	})
+}
+
+// FuzzDecodeVoteReply covers the voter's answer: a proposer counts
+// grants toward a majority, so an accepted response must keep the
+// accepted-ballot/term pairing and the promise ordering consistent.
+func FuzzDecodeVoteReply(f *testing.F) {
+	w := termToWire(Term{Epoch: 3, Leader: "coord-a:1", Expires: t0})
+	granted, _ := json.Marshal(VoteResponse{V: ProtocolV, Granted: true, Promise: 9, AcceptedBallot: 7, Term: &w})
+	bare, _ := json.Marshal(VoteResponse{V: ProtocolV, Granted: true, Promise: 9})
+	f.Add(granted)
+	f.Add(bare)
+	f.Add([]byte(`{"V":2,"Granted":false,"Promise":3}`))
+	f.Add([]byte(`{"V":2,"Granted":true,"Promise":3,"AcceptedBallot":5}`))
+	f.Add([]byte(`{"V":2,"Granted":true,"Promise":3,"Term":{"epoch":1,"leader":"x"}}`))
+	f.Add([]byte(`{"V":2,"Granted":true,"Promise":3,"AcceptedBallot":4,"Term":{"epoch":1,"leader":"x"}}`))
+	f.Add([]byte(`{"V":2,"Granted":true,"Promise":3,"AcceptedBallot":3,"Term":{"epoch":0,"leader":"x"}}`))
+	f.Add([]byte(`{"V":1,"Granted":true,"Promise":3}`))
+	f.Add([]byte(`{"V":2,"bogus":1}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := DecodeVoteResponse(data)
+		if err != nil {
+			return
+		}
+		if err := resp.Validate(); err != nil {
+			t.Fatalf("accepted response fails validation: %v", err)
+		}
+		if (resp.AcceptedBallot == 0) != (resp.Term == nil) {
+			t.Fatalf("accepted response with unpaired accepted state: %+v", resp)
+		}
+		if resp.AcceptedBallot > resp.Promise {
+			t.Fatalf("accepted response promising %d below its accepted ballot %d", resp.Promise, resp.AcceptedBallot)
+		}
+		out, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatalf("accepted response does not marshal: %v", err)
+		}
+		again, err := DecodeVoteResponse(out)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if again.V != resp.V || again.Granted != resp.Granted || again.Promise != resp.Promise ||
+			again.AcceptedBallot != resp.AcceptedBallot || !wireTermEq(again.Term, resp.Term) {
+			t.Fatalf("round trip changed the message: %+v != %+v", again, resp)
+		}
+	})
+}
+
 // FuzzDecodeRegister covers the registration decoder: the URL an agent
 // announces is dialed by the coordinator every interval, so anything
 // accepted must parse as an absolute http(s) URL within the size bound.
