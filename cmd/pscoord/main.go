@@ -71,6 +71,8 @@ func main() {
 		inflight   = flag.Int("max-inflight", 8, "fan-out concurrency bound")
 		timeout    = flag.Duration("timeout", 2*time.Second, "per-RPC attempt timeout")
 		retries    = flag.Int("retries", 2, "per-RPC retries beyond the first attempt")
+		brkFails   = flag.Int("breaker-fails", 0, "consecutive failed scrapes before an agent's circuit breaker opens (0: disabled)")
+		brkOpen    = flag.Int("breaker-open", 0, "control intervals an open breaker skips before a half-open probe (0: default 4)")
 		floorW     = flag.Float64("floor", 0, "per-server idle floor for the utility DP (0: learn from agent reports)")
 		listen     = flag.String("listen", "", "serve /ctrl/register (agent self-registration; the fleet may then start empty) and /ctrl/leader on this address")
 		haStore    = flag.String("ha-store", "", "run leader-elected on a shared term file: the path every coordinator of this cluster points at")
@@ -111,16 +113,18 @@ func main() {
 	}
 	hub := telemetry.New(0)
 	coord, err := ctrlplane.New(ctrlplane.Config{
-		Agents:      refs,
-		Dynamic:     *listen != "",
-		Strategy:    strat,
-		LeaseS:      leaseS,
-		MissK:       *missK,
-		MaxInFlight: *inflight,
-		RPCTimeout:  *timeout,
-		Retries:     *retries,
-		FloorW:      *floorW,
-		Telemetry:   hub,
+		Agents:               refs,
+		Dynamic:              *listen != "",
+		Strategy:             strat,
+		LeaseS:               leaseS,
+		MissK:                *missK,
+		MaxInFlight:          *inflight,
+		RPCTimeout:           *timeout,
+		Retries:              *retries,
+		BreakerFails:         *brkFails,
+		BreakerOpenIntervals: *brkOpen,
+		FloorW:               *floorW,
+		Telemetry:            hub,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -243,6 +247,13 @@ func main() {
 			res, err = coord.Step(ctx, t, cap)
 		}
 		if err != nil {
+			// A canceled step is an orderly shutdown (SIGINT/SIGTERM
+			// mid-fan-out), not a failure: resign and summarize instead
+			// of dying with the stats unreported.
+			if ctx.Err() != nil {
+				summarize(coord, ha)
+				return
+			}
 			log.Fatal(err)
 		}
 		if res.Leading != wasLeading {
@@ -313,6 +324,9 @@ func summarize(coord *ctrlplane.Coordinator, ha *ctrlplane.HA) {
 	st := coord.Stats()
 	log.Printf("done: %d steps led, %d observed, %d re-apportions, %d lease expiries, %d rejoins, %d scrape failures, %d assign failures",
 		st.Steps, st.Observes, st.Reapportions, st.LeaseExpiries, st.Rejoins, st.ScrapeFailures, st.AssignFailures)
+	if st.BreakerTrips > 0 {
+		log.Printf("breakers: %d trips, %d skipped dials", st.BreakerTrips, st.BreakerSkips)
+	}
 	for _, ev := range coord.FaultEvents() {
 		log.Printf("  event t=%.0fs %s %s: %s", ev.T, ev.Kind, ev.Target, ev.Detail)
 	}

@@ -63,6 +63,9 @@ func main() {
 
 		ctrlServer   = flag.Int("ctrl-server", -1, "join a pscoord control plane as this fleet index (-1: standalone); serves /ctrl/assign, /ctrl/report, /ctrl/lease")
 		ctrlFence    = flag.Float64("ctrl-fence", 0, "cap to clamp to when the coordinator's draw lease lapses (0: the platform idle floor)")
+		ctrlDecay    = flag.Float64("ctrl-safemode-decay", 0, "leaderless safe mode: watts per second to decay the held cap after lease lapse (0: cliff straight to the fence cap)")
+		ctrlHold     = flag.Float64("ctrl-safemode-hold", 0, "leaderless safe mode: seconds to hold the last granted cap before decaying")
+		ctrlFloor    = flag.Float64("ctrl-safemode-floor", 0, "leaderless safe mode: decay target in watts (0: the fence cap)")
 		ctrlAnnounce = flag.String("ctrl-announce", "", "comma-separated coordinator base URLs to register with at boot (every one, so standbys are warm too)")
 		ctrlAdvert   = flag.String("ctrl-advertise", "", "base URL coordinators should dial back (default http://<listen address>)")
 
@@ -99,10 +102,20 @@ func main() {
 		log.Fatal(err)
 	}
 	if *ctrlServer >= 0 {
-		if err := d.EnableCtrl(daemon.CtrlConfig{ServerID: *ctrlServer, FenceCapW: *ctrlFence}); err != nil {
+		cfg := daemon.CtrlConfig{
+			ServerID: *ctrlServer, FenceCapW: *ctrlFence,
+			SafeMode: ctrlplane.SafeModeConfig{
+				HoldS: *ctrlHold, DecayWPerS: *ctrlDecay, FloorW: *ctrlFloor,
+			},
+		}
+		if err := d.EnableCtrl(cfg); err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("control plane enabled: fleet index %d, fencing on lease lapse", *ctrlServer)
+		if cfg.SafeMode.Enabled() {
+			log.Printf("control plane enabled: fleet index %d, safe-mode decay on lease lapse", *ctrlServer)
+		} else {
+			log.Printf("control plane enabled: fleet index %d, fencing on lease lapse", *ctrlServer)
+		}
 	} else if *ctrlAnnounce != "" {
 		log.Fatal("-ctrl-announce needs -ctrl-server (the fleet index to register as)")
 	}

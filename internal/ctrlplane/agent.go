@@ -40,8 +40,67 @@ type AgentConfig struct {
 	// server draws nothing), which is what makes lease expiry and
 	// in-process dropout interchangeable.
 	FenceCapW float64
+	// SafeMode, when enabled, replaces the fence cliff with a graceful
+	// leaderless degradation: hold the last granted cap, then walk it
+	// down toward a floor. Zero value keeps the cliff semantics.
+	SafeMode SafeModeConfig
 	// Version is reported to the coordinator (build audit).
 	Version string
+}
+
+// SafeModeConfig parameterizes leaderless degradation. The invariant
+// that makes holding safe: the held cap is the last cap a leader
+// granted, so the fleet-wide sum of held caps never exceeds the last
+// cluster cap that leader apportioned. Decay from there only shrinks
+// the sum — a leaderless fleet drifts toward its floors instead of
+// cliffing to them the instant a lease lapses.
+type SafeModeConfig struct {
+	// HoldS holds the last granted cap for this many trace seconds
+	// past lease expiry before decay begins.
+	HoldS float64
+	// DecayWPerS is the linear ramp-down rate after the hold window.
+	// Safe mode is enabled iff DecayWPerS > 0.
+	DecayWPerS float64
+	// FloorW is the decay target — the deepest the degradation goes
+	// without a coordinator. Defaults to the agent's FenceCapW.
+	FloorW float64
+}
+
+// Enabled reports whether safe-mode degradation replaces the fence
+// cliff.
+func (c SafeModeConfig) Enabled() bool { return c.DecayWPerS > 0 }
+
+// Validate rejects non-finite or negative safe-mode parameters.
+func (c SafeModeConfig) Validate() error {
+	if !finite(c.HoldS) || c.HoldS < 0 {
+		return fmt.Errorf("ctrlplane: safe-mode hold %g s", c.HoldS)
+	}
+	if !finite(c.DecayWPerS) || c.DecayWPerS < 0 {
+		return fmt.Errorf("ctrlplane: safe-mode decay %g W/s", c.DecayWPerS)
+	}
+	if !finite(c.FloorW) || c.FloorW < 0 {
+		return fmt.Errorf("ctrlplane: safe-mode floor %g W", c.FloorW)
+	}
+	return nil
+}
+
+// CapAt computes the safe-mode cap at trace time t for a lease that
+// expired at expireT holding heldW: the held cap through the hold
+// window, then a linear decay clamped at the floor. A held cap already
+// at or below the floor just stays put.
+func (c SafeModeConfig) CapAt(t, expireT, heldW float64) float64 {
+	if heldW <= c.FloorW {
+		return heldW
+	}
+	over := t - expireT - c.HoldS
+	if over <= 0 {
+		return heldW
+	}
+	capW := heldW - c.DecayWPerS*over
+	if capW < c.FloorW {
+		capW = c.FloorW
+	}
+	return capW
 }
 
 // Agent is the per-server control-plane endpoint: it holds the enforced
@@ -60,8 +119,15 @@ type Agent struct {
 	lastGrantT float64
 	leaseS     float64
 	fenced     bool
-	curve      []cluster.CapPoint
-	curveBuilt bool
+	// safeMode is a flavor of fenced: the lease lapsed, but instead of
+	// the fence cap the agent enforces heldW decaying per SafeMode.
+	// Only a fresh Assign clears it.
+	safeMode    bool
+	safeEntries int
+	heldW       float64
+	expireT     float64
+	curve       []cluster.CapPoint
+	curveBuilt  bool
 	// assigns/fences/staleDrops/epochDrops count protocol activity for
 	// the local operator (the coordinator has its own fleet-wide
 	// counters).
@@ -83,6 +149,12 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	}
 	if !finite(cfg.FenceCapW) || cfg.FenceCapW < 0 {
 		return nil, fmt.Errorf("ctrlplane: agent %d fence cap %g W", cfg.ID, cfg.FenceCapW)
+	}
+	if err := cfg.SafeMode.Validate(); err != nil {
+		return nil, fmt.Errorf("agent %d: %w", cfg.ID, err)
+	}
+	if cfg.SafeMode.Enabled() && cfg.SafeMode.FloorW == 0 {
+		cfg.SafeMode.FloorW = cfg.FenceCapW
 	}
 	a := &Agent{cfg: cfg, fenced: true, capW: cfg.FenceCapW}
 	perf, grid, err := cfg.Backend.Apply(cfg.FenceCapW)
@@ -127,6 +199,7 @@ func (a *Agent) Assign(req AssignRequest) (AssignResponse, error) {
 	a.lastGrantT = req.T
 	a.leaseS = req.LeaseS
 	a.fenced = false
+	a.safeMode = false
 	a.assigns++
 	return a.stateLocked(true), nil
 }
@@ -172,8 +245,25 @@ func (a *Agent) Tick(t float64) error {
 }
 
 func (a *Agent) tickLocked(t float64) error {
+	if a.safeMode {
+		// Already degrading leaderless: continue the decay.
+		return a.applySafeCapLocked(t)
+	}
 	if a.fenced || a.leaseS <= 0 || t < a.lastGrantT+a.leaseS {
 		return nil
+	}
+	if a.cfg.SafeMode.Enabled() {
+		// Lease lapsed with safe mode on: hold the last granted cap
+		// (fleet sum still bounded by the last cluster cap a leader
+		// apportioned) and start the decay clock at the expiry instant,
+		// not at whenever the next tick happened to land.
+		a.safeMode = true
+		a.fenced = true
+		a.fences++
+		a.safeEntries++
+		a.heldW = a.capW
+		a.expireT = a.lastGrantT + a.leaseS
+		return a.applySafeCapLocked(t)
 	}
 	perf, grid, err := a.cfg.Backend.Apply(a.cfg.FenceCapW)
 	if err != nil {
@@ -182,6 +272,20 @@ func (a *Agent) tickLocked(t float64) error {
 	a.capW, a.perfN, a.gridW = a.cfg.FenceCapW, perf, grid
 	a.fenced = true
 	a.fences++
+	return nil
+}
+
+// applySafeCapLocked enforces the safe-mode cap for trace time t.
+func (a *Agent) applySafeCapLocked(t float64) error {
+	target := a.cfg.SafeMode.CapAt(t, a.expireT, a.heldW)
+	if target == a.capW {
+		return nil
+	}
+	perf, grid, err := a.cfg.Backend.Apply(target)
+	if err != nil {
+		return fmt.Errorf("ctrlplane: agent %d safe-mode decay: %w", a.cfg.ID, err)
+	}
+	a.capW, a.perfN, a.gridW = target, perf, grid
 	return nil
 }
 
@@ -200,15 +304,16 @@ func (a *Agent) Report() (Report, error) {
 		a.curveBuilt = true
 	}
 	return Report{
-		V:      ProtocolV,
-		Server: a.cfg.ID,
-		Epoch:  a.lastEpoch,
-		Seq:    a.lastSeq,
-		CapW:   a.capW,
-		PerfN:  a.perfN,
-		GridW:  a.gridW,
-		SoC:    a.cfg.Backend.SoC(),
-		Fenced: a.fenced,
+		V:        ProtocolV,
+		Server:   a.cfg.ID,
+		Epoch:    a.lastEpoch,
+		Seq:      a.lastSeq,
+		CapW:     a.capW,
+		PerfN:    a.perfN,
+		GridW:    a.gridW,
+		SoC:      a.cfg.Backend.SoC(),
+		Fenced:   a.fenced,
+		SafeMode: a.safeMode,
 
 		IdleFloorW:   a.cfg.Backend.IdleFloorW(),
 		NameplateW:   a.cfg.Backend.NameplateW(),
@@ -222,7 +327,7 @@ func (a *Agent) stateLocked(applied bool) AssignResponse {
 	return AssignResponse{
 		V: ProtocolV, Server: a.cfg.ID, Epoch: a.lastEpoch, Seq: a.lastSeq, Applied: applied,
 		CapW: a.capW, PerfN: a.perfN, GridW: a.gridW,
-		SoC: a.cfg.Backend.SoC(), Fenced: a.fenced,
+		SoC: a.cfg.Backend.SoC(), Fenced: a.fenced, SafeMode: a.safeMode,
 	}
 }
 
@@ -253,6 +358,22 @@ func (a *Agent) Fenced() bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.fenced
+}
+
+// SafeMode reports whether the agent is degrading leaderless — fenced,
+// but holding/decaying the last granted cap instead of cliffing.
+func (a *Agent) SafeMode() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.safeMode
+}
+
+// SafeModeEntries counts lease lapses that entered safe-mode
+// degradation (a subset of Fences).
+func (a *Agent) SafeModeEntries() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.safeEntries
 }
 
 // Fences counts lease lapses that forced the fail-safe cap.

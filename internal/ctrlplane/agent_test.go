@@ -1,6 +1,7 @@
 package ctrlplane
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -208,7 +209,7 @@ func TestAgentZeroLeaseNeverFences(t *testing.T) {
 func TestFanOutBound(t *testing.T) {
 	const n, bound = 64, 5
 	var inFlight, peak, runs atomic.Int64
-	fanOut(n, bound, func(i int) {
+	fanOut(context.Background(), n, bound, func(i int) {
 		cur := inFlight.Add(1)
 		for {
 			p := peak.Load()

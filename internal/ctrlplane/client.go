@@ -75,13 +75,25 @@ func (c *rpcClient) jitteredBackoff(key uint64, attempt int) time.Duration {
 	return time.Duration(float64(d) * f)
 }
 
-// do performs one JSON RPC with retries. kind labels telemetry; key
-// seeds the backoff jitter (callers pass jitterKey(kind, agent));
-// build constructs a fresh request per attempt (bodies are
-// single-use).
+// do performs one JSON RPC with the client's full retry budget. kind
+// labels telemetry; key seeds the backoff jitter (callers pass
+// jitterKey(kind, agent)); build constructs a fresh request per
+// attempt (bodies are single-use).
 func (c *rpcClient) do(ctx context.Context, kind string, key uint64, build func(ctx context.Context) (*http.Request, error), out any) error {
+	return c.doN(ctx, kind, key, c.retries, build, out)
+}
+
+// doN is do with an explicit retry budget — 0 for the circuit
+// breaker's half-open probe, where burning the whole budget against a
+// likely-still-dead agent is exactly what the breaker exists to avoid.
+func (c *rpcClient) doN(ctx context.Context, kind string, key uint64, retries int, build func(ctx context.Context) (*http.Request, error), out any) error {
+	if err := ctx.Err(); err != nil {
+		// A canceled interval must not start new RPCs: shutdown
+		// promptness is bounded by one attempt, not the retry budget.
+		return err
+	}
 	var lastErr error
-	for attempt := 0; attempt <= c.retries; attempt++ {
+	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
 			c.tel.retries.Inc()
 			select {
@@ -146,25 +158,49 @@ func (c *rpcClient) once(ctx context.Context, build func(ctx context.Context) (*
 	return nil
 }
 
-// postJSON POSTs in as JSON and decodes the response into out.
-func (c *rpcClient) postJSON(ctx context.Context, kind string, key uint64, url string, in, out any) error {
-	payload, err := json.Marshal(in)
-	if err != nil {
-		return err
-	}
-	return c.do(ctx, kind, key, func(ctx context.Context) (*http.Request, error) {
+// buildPost returns a request builder for a JSON POST of payload.
+func buildPost(url string, payload []byte) func(ctx context.Context) (*http.Request, error) {
+	return func(ctx context.Context) (*http.Request, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
 		if err != nil {
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
 		return req, nil
-	}, out)
+	}
+}
+
+// buildGet returns a request builder for a GET of url.
+func buildGet(url string) func(ctx context.Context) (*http.Request, error) {
+	return func(ctx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	}
+}
+
+// postJSON POSTs in as JSON and decodes the response into out.
+func (c *rpcClient) postJSON(ctx context.Context, kind string, key uint64, url string, in, out any) error {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, kind, key, buildPost(url, payload), out)
+}
+
+// postJSONOnce is postJSON with a single attempt (half-open probes).
+func (c *rpcClient) postJSONOnce(ctx context.Context, kind string, key uint64, url string, in, out any) error {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	return c.doN(ctx, kind, key, 0, buildPost(url, payload), out)
 }
 
 // getJSON GETs url and decodes the response into out.
 func (c *rpcClient) getJSON(ctx context.Context, kind string, key uint64, url string, out any) error {
-	return c.do(ctx, kind, key, func(ctx context.Context) (*http.Request, error) {
-		return http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	}, out)
+	return c.do(ctx, kind, key, buildGet(url), out)
+}
+
+// getJSONOnce is getJSON with a single attempt (half-open probes).
+func (c *rpcClient) getJSONOnce(ctx context.Context, kind string, key uint64, url string, out any) error {
+	return c.doN(ctx, kind, key, 0, buildGet(url), out)
 }

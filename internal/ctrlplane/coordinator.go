@@ -93,6 +93,16 @@ type Config struct {
 	Retries     int
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+	// BreakerFails, when positive, arms a per-agent circuit breaker:
+	// after that many consecutive failed scrapes the coordinator stops
+	// dialing the agent for BreakerOpenIntervals control intervals
+	// (skips still count as missed heartbeats), then spends one
+	// retry-free probe. Zero (the default) disables the breaker — the
+	// parity replays depend on the exact default RPC behavior.
+	BreakerFails int
+	// BreakerOpenIntervals is the open window in control intervals
+	// (default 4).
+	BreakerOpenIntervals int
 	// Seed drives backoff jitter.
 	Seed int64
 	// FloorW overrides the idle floor fed to the utility DP; zero
@@ -167,6 +177,10 @@ type member struct {
 	soc     float64
 	fenced  bool
 	version string
+	// Circuit-breaker ledger (see breaker.go): consecutive failed
+	// scrapes, and open-window intervals left to skip.
+	breakerFails    int
+	breakerOpenLeft int
 }
 
 // Stats accumulates coordinator lifetime counters.
@@ -180,6 +194,11 @@ type Stats struct {
 	AssignFailures int
 	RenewFailures  int
 	Registrations  int
+	// BreakerTrips counts per-agent circuit breakers opened (including
+	// re-opens after a failed half-open probe); BreakerSkips counts
+	// RPCs never sent because a breaker was open.
+	BreakerTrips int
+	BreakerSkips int
 }
 
 // StepResult is one control interval's outcome.
@@ -213,6 +232,9 @@ type StepResult struct {
 	// retries).
 	ScrapeErrs int
 	AssignErrs int
+	// BreakerSkips counts RPCs not sent this interval because the
+	// target agent's circuit breaker was open.
+	BreakerSkips int
 }
 
 // Coordinator drives a fleet of agents: scrape, decide, fan out.
@@ -414,14 +436,29 @@ func (c *Coordinator) step(ctx context.Context, t, capW float64, lead bool) (Ste
 
 	// Phase 1 — telemetry scrape, doubling as the membership
 	// heartbeat. Parallel with bounded concurrency; each RPC carries
-	// the coordinator clock so agents can notice lapsed leases.
+	// the coordinator clock so agents can notice lapsed leases. A
+	// member behind an open circuit breaker is skipped outright (the
+	// skip still counts as a missed heartbeat); a half-open one gets a
+	// single retry-free probe.
 	reports := make([]*Report, n)
 	errs := make([]error, n)
-	fanOut(n, c.cfg.maxInFlight(), func(i int) {
+	skipped := make([]bool, n)
+	fanOut(ctx, n, c.cfg.maxInFlight(), func(i int) {
 		m := c.members[i]
+		state := c.breakerState(m)
+		if state == breakerOpen {
+			skipped[i] = true
+			return
+		}
 		url := fmt.Sprintf("%s%s?t=%s", m.ref.URL, PathReport, strconv.FormatFloat(t, 'g', -1, 64))
 		var rep Report
-		if err := c.client.getJSON(ctx, "report", jitterKey("report", m.ref.ID), url, &rep); err != nil {
+		var err error
+		if state == breakerHalfOpen {
+			err = c.client.getJSONOnce(ctx, "report", jitterKey("report", m.ref.ID), url, &rep)
+		} else {
+			err = c.client.getJSON(ctx, "report", jitterKey("report", m.ref.ID), url, &rep)
+		}
+		if err != nil {
 			errs[i] = err
 			return
 		}
@@ -434,6 +471,10 @@ func (c *Coordinator) step(ctx context.Context, t, capW float64, lead bool) (Ste
 	})
 	for i, m := range c.members {
 		if rep := reports[i]; rep != nil {
+			if c.breakerNoteSuccess(m) {
+				c.flog.Append(faults.Event{T: t, Kind: "breaker-close", Target: fmt.Sprintf("agent-%d", m.ref.ID),
+					Detail: "half-open probe answered; resuming normal scrape/grant flow"})
+			}
 			m.misses = 0
 			m.scraped = true
 			m.gridW, m.perfN, m.soc, m.fenced = rep.GridW, rep.PerfN, rep.SoC, rep.Fenced
@@ -446,6 +487,16 @@ func (c *Coordinator) step(ctx context.Context, t, capW float64, lead bool) (Ste
 				c.tel.agentSoC.With(strconv.Itoa(i)).Set(rep.SoC)
 			}
 		} else {
+			if skipped[i] {
+				m.breakerOpenLeft--
+				res.BreakerSkips++
+				c.stats.BreakerSkips++
+			} else if errs[i] != nil && c.breakerNoteFailure(m) {
+				c.stats.BreakerTrips++
+				c.tel.breakerTrips.Inc()
+				c.flog.Append(faults.Event{T: t, Kind: "breaker-open", Target: fmt.Sprintf("agent-%d", m.ref.ID),
+					Detail: fmt.Sprintf("%d consecutive failed scrapes; skipping RPCs for %d intervals", m.breakerFails, c.cfg.breakerOpenIntervals())})
+			}
 			m.misses++
 			m.scraped = false
 			res.ScrapeErrs++
@@ -521,9 +572,17 @@ func (c *Coordinator) step(ctx context.Context, t, capW float64, lead bool) (Ste
 	c.seq++
 	seq := c.seq
 	renewFailed := make([]bool, n)
-	fanOut(n, c.cfg.maxInFlight(), func(i int) {
+	grantSkipped := make([]bool, n)
+	fanOut(ctx, n, c.cfg.maxInFlight(), func(i int) {
 		m := c.members[i]
 		if !m.alive {
+			return
+		}
+		state := c.breakerState(m)
+		if state == breakerOpen {
+			// The scrape already paid this member's miss; don't burn
+			// the assign budget against the same black hole.
+			grantSkipped[i] = true
 			return
 		}
 		if m.granted && m.grantedW == res.Budgets[i] && m.scraped && !m.fenced {
@@ -549,7 +608,13 @@ func (c *Coordinator) step(ctx context.Context, t, capW float64, lead bool) (Ste
 		req := AssignRequest{V: ProtocolV, Epoch: epoch, Seq: seq, Server: m.ref.ID, T: t,
 			CapW: res.Budgets[i], LeaseS: c.cfg.LeaseS}
 		var resp AssignResponse
-		if err := c.client.postJSON(ctx, "assign", jitterKey("assign", m.ref.ID), m.ref.URL+PathAssign, req, &resp); err != nil {
+		var err error
+		if state == breakerHalfOpen {
+			err = c.client.postJSONOnce(ctx, "assign", jitterKey("assign", m.ref.ID), m.ref.URL+PathAssign, req, &resp)
+		} else {
+			err = c.client.postJSON(ctx, "assign", jitterKey("assign", m.ref.ID), m.ref.URL+PathAssign, req, &resp)
+		}
+		if err != nil {
 			errs[i] = err
 			return
 		}
@@ -570,6 +635,10 @@ func (c *Coordinator) step(ctx context.Context, t, capW float64, lead bool) (Ste
 		}
 		if renewFailed[i] {
 			c.stats.RenewFailures++
+		}
+		if grantSkipped[i] {
+			res.BreakerSkips++
+			c.stats.BreakerSkips++
 		}
 		if res.Granted[i] {
 			m.grantedW, m.granted = res.Budgets[i], true

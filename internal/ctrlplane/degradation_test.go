@@ -1,0 +1,252 @@
+package ctrlplane
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"powerstruggle/internal/faults"
+)
+
+// Safe-mode degradation: a lapsed lease must hold the last granted cap
+// through the hold window, then decay linearly to the floor — never
+// cliff — and a fresh grant must restore normal operation.
+func TestAgentSafeModeHoldAndDecay(t *testing.T) {
+	be := &fakeBackend{}
+	a, err := NewAgent(AgentConfig{
+		ID: 0, Backend: be, FenceCapW: 20,
+		SafeMode: SafeModeConfig{HoldS: 300, DecayWPerS: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grant 100 W at t=0 with a 300 s lease: expiry at 300, decay
+	// starts at 600.
+	if _, err := a.Assign(assign(1, 0, 100, 300)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Tick(200); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fenced() || a.SafeMode() {
+		t.Fatal("degraded inside a live lease")
+	}
+	// Lapse lands in the hold window: the cap must hold, not cliff.
+	if err := a.Tick(450); err != nil {
+		t.Fatal(err)
+	}
+	if !a.SafeMode() || !a.Fenced() {
+		t.Fatalf("safeMode=%v fenced=%v after lapse", a.SafeMode(), a.Fenced())
+	}
+	if got := a.CapW(); got != 100 {
+		t.Fatalf("cap %g W in the hold window, want the held 100 W", got)
+	}
+	// 650 is 50 s past the hold window: 100 − 0.1·50 = 95 W.
+	if err := a.Tick(650); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.CapW(); math.Abs(got-95) > 1e-9 {
+		t.Fatalf("cap %g W mid-decay, want 95 W", got)
+	}
+	// Deep into the decay the cap pins at the floor (FenceCapW, the
+	// default FloorW).
+	if err := a.Tick(5000); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.CapW(); got != 20 {
+		t.Fatalf("cap %g W at the end of decay, want the 20 W floor", got)
+	}
+	if a.SafeModeEntries() != 1 || a.Fences() != 1 {
+		t.Fatalf("entries=%d fences=%d, want 1 and 1", a.SafeModeEntries(), a.Fences())
+	}
+	rep, err := a.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.SafeMode || !rep.Fenced {
+		t.Fatalf("report safeMode=%v fenced=%v", rep.SafeMode, rep.Fenced)
+	}
+	// A fresh grant clears safe mode entirely.
+	resp, err := a.Assign(assign(2, 5100, 90, 300))
+	if err != nil || !resp.Applied {
+		t.Fatalf("re-grant: %+v, %v", resp, err)
+	}
+	if resp.SafeMode || a.SafeMode() || a.Fenced() || a.CapW() != 90 {
+		t.Fatalf("after re-grant: safeMode=%v fenced=%v cap=%g", a.SafeMode(), a.Fenced(), a.CapW())
+	}
+}
+
+// A held cap already at or below the floor must stay put — decay never
+// raises a cap.
+func TestAgentSafeModeHeldBelowFloor(t *testing.T) {
+	be := &fakeBackend{}
+	a, err := NewAgent(AgentConfig{
+		ID: 0, Backend: be, FenceCapW: 10,
+		SafeMode: SafeModeConfig{DecayWPerS: 1, FloorW: 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Assign(assign(1, 0, 30, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Tick(10000); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.CapW(); got != 30 {
+		t.Fatalf("cap %g W, want the held 30 W (below the 50 W floor)", got)
+	}
+}
+
+// Renewals must not resurrect a safe-mode agent: like a plain fence,
+// only a fresh assign restores the budget.
+func TestAgentSafeModeRefusesRenewal(t *testing.T) {
+	be := &fakeBackend{}
+	a, err := NewAgent(AgentConfig{
+		ID: 0, Backend: be, SafeMode: SafeModeConfig{DecayWPerS: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Assign(assign(1, 0, 80, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Tick(50); err != nil {
+		t.Fatal(err)
+	}
+	if !a.SafeMode() {
+		t.Fatal("not in safe mode after lapse")
+	}
+	resp, err := a.Renew(LeaseRequest{V: ProtocolV, Epoch: 1, Server: 0, T: 60, LeaseS: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Fenced || resp.ExpiresT != 0 {
+		t.Fatalf("renewal of a safe-mode agent answered %+v", resp)
+	}
+	if err := a.Tick(70); err != nil {
+		t.Fatal(err)
+	}
+	if !a.SafeMode() {
+		t.Fatal("renewal cleared safe mode")
+	}
+}
+
+// The circuit breaker must stop dialing a blackholed agent after
+// BreakerFails consecutive failed scrapes, keep membership expiry on
+// schedule, and close again once a half-open probe answers.
+func TestBreakerSkipsBlackholedAgent(t *testing.T) {
+	ev := testEvaluator(t, 3, nil)
+	flt, err := StartSimFleet(ev, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flt.Close()
+	inj, err := faults.NewNetInjector(faults.NetConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := New(Config{
+		Agents: flt.Refs(), LeaseS: 150,
+		MissK: 2, Retries: 1, RPCTimeout: time.Second,
+		BreakerFails: 2, BreakerOpenIntervals: 3,
+		Transport: inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadHost := strings.TrimPrefix(flt.Refs()[2].URL, "http://")
+	inj.SetDown(deadHost, true)
+
+	ctx := context.Background()
+	step := func(i int) StepResult {
+		t.Helper()
+		res, err := coord.Step(ctx, float64(i)*300, 600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	// Two failing intervals trip the breaker; the next three are
+	// skipped without a single wire attempt toward the dead host.
+	step(0)
+	step(1)
+	if coord.Stats().BreakerTrips != 1 {
+		t.Fatalf("trips = %d after %d failures, want 1", coord.Stats().BreakerTrips, 2)
+	}
+	blackholed := inj.Counts().Blackholed
+	sawSkips := 0
+	for i := 2; i < 5; i++ {
+		res := step(i)
+		sawSkips += res.BreakerSkips
+		if res.Alive[2] {
+			t.Fatalf("interval %d: dead agent still alive past MissK=2", i)
+		}
+	}
+	if sawSkips == 0 {
+		t.Fatal("open breaker skipped nothing")
+	}
+	if got := inj.Counts().Blackholed; got != blackholed {
+		t.Fatalf("open breaker still dialed the dead host (%d new attempts)", got-blackholed)
+	}
+	// Heal; the next half-open probe readmits the agent in one
+	// interval and the breaker closes.
+	inj.SetDown(deadHost, false)
+	var back bool
+	for i := 5; i < 9; i++ {
+		res := step(i)
+		if res.Alive[2] && res.Granted[2] {
+			back = true
+			break
+		}
+	}
+	if !back {
+		t.Fatal("healed agent never rejoined with a granted budget")
+	}
+	if coord.Stats().BreakerSkips == 0 {
+		t.Fatal("lifetime BreakerSkips stayed zero")
+	}
+}
+
+// hangingTransport blocks every request until its context is canceled
+// — the worst-case peer for shutdown promptness.
+type hangingTransport struct{}
+
+func (hangingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	<-req.Context().Done()
+	return nil, req.Context().Err()
+}
+
+// A canceled context must abort a step promptly: in-flight attempts
+// unblock, no retry budget is burned, and the serialized fan-out
+// launches nothing further. Without the cancellation paths this
+// configuration would hang for minutes (4 agents × 2 RPCs × 6 attempts
+// × 10 s each, serialized by MaxInFlight=1).
+func TestStepCancellationPromptness(t *testing.T) {
+	ev := testEvaluator(t, 4, nil)
+	flt, err := StartSimFleet(ev, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flt.Close()
+	coord, err := New(Config{
+		Agents: flt.Refs(), LeaseS: 150,
+		MaxInFlight: 1, Retries: 5, RPCTimeout: 10 * time.Second,
+		Transport: hangingTransport{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := coord.Step(ctx, 0, 600); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("canceled step took %v", elapsed)
+	}
+}

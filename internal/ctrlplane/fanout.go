@@ -1,23 +1,38 @@
 package ctrlplane
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // fanOut runs fn(i) for i in [0, n) with at most maxInFlight executing
-// concurrently and blocks until all complete. The bound keeps a large
-// fleet from opening hundreds of simultaneous connections when a cap
-// event fans out.
-func fanOut(n, maxInFlight int, fn func(i int)) {
+// concurrently and blocks until all launched calls complete. The bound
+// keeps a large fleet from opening hundreds of simultaneous connections
+// when a cap event fans out. A canceled ctx stops further launches —
+// in-flight calls still drain (their RPCs see the same ctx and abort
+// promptly), so a shutdown mid-interval never leaks goroutines past
+// the return and never starts new RPCs toward a fleet it is leaving.
+func fanOut(ctx context.Context, n, maxInFlight int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
 	if maxInFlight <= 0 || maxInFlight > n {
 		maxInFlight = n
 	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	sem := make(chan struct{}, maxInFlight)
 	var wg sync.WaitGroup
-	wg.Add(n)
 	for i := 0; i < n; i++ {
-		sem <- struct{}{}
+		select {
+		case <-done:
+			wg.Wait()
+			return
+		case sem <- struct{}{}:
+		}
+		wg.Add(1)
 		go func(i int) {
 			defer func() {
 				<-sem

@@ -24,16 +24,36 @@ type SimFleet struct {
 	srvs []*http.Server
 }
 
+// FleetOptions parameterizes a simulated fleet beyond the defaults.
+type FleetOptions struct {
+	// Version is reported by every agent (build audit).
+	Version string
+	// FenceCapW is each agent's fail-safe cap (default 0: deep sleep).
+	FenceCapW float64
+	// SafeMode, when enabled, gives every agent graceful leaderless
+	// degradation instead of the fence cliff.
+	SafeMode SafeModeConfig
+}
+
 // StartSimFleet boots one agent per evaluator server on loopback
 // listeners. Agents boot fenced at 0 W (deep sleep) until their first
 // grant, matching the cluster replay's "dead servers draw nothing".
 func StartSimFleet(ev *cluster.Evaluator, version string) (*SimFleet, error) {
+	return StartSimFleetOpts(ev, FleetOptions{Version: version})
+}
+
+// StartSimFleetOpts boots a simulated fleet with explicit options —
+// the scenario runner's entry point, where fence caps and safe-mode
+// degradation matter.
+func StartSimFleetOpts(ev *cluster.Evaluator, opts FleetOptions) (*SimFleet, error) {
 	f := &SimFleet{}
 	for i := 0; i < ev.Servers(); i++ {
 		a, err := NewAgent(AgentConfig{
-			ID:      i,
-			Backend: NewSimBackend(ev, i),
-			Version: version,
+			ID:        i,
+			Backend:   NewSimBackend(ev, i),
+			FenceCapW: opts.FenceCapW,
+			SafeMode:  opts.SafeMode,
+			Version:   opts.Version,
 		})
 		if err != nil {
 			f.Close()

@@ -218,7 +218,7 @@ type voteOutcome struct {
 // ask runs one phase against every voter concurrently.
 func (q *QuorumElection) ask(req VoteRequest) []voteOutcome {
 	out := make([]voteOutcome, len(q.voters))
-	fanOut(len(q.voters), len(q.voters), func(i int) {
+	fanOut(context.Background(), len(q.voters), len(q.voters), func(i int) {
 		out[i].resp, out[i].err = q.vote(q.voters[i], req)
 	})
 	return out

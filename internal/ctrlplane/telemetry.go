@@ -22,6 +22,7 @@ type ctrlTel struct {
 	rejoins       *telemetry.Counter
 	reapportions  *telemetry.Counter
 	assignFails   *telemetry.Counter
+	breakerTrips  *telemetry.Counter
 	aliveAgents   *telemetry.Gauge
 	fleetCapW     *telemetry.Gauge
 	fleetGridW    *telemetry.Gauge
@@ -61,6 +62,8 @@ func newCtrlTel(h *telemetry.Hub) *ctrlTel {
 			"Alive-set transitions that re-apportioned the cluster budget."),
 		assignFails: reg.Counter("ps_ctrl_assign_failures_total",
 			"Budget assignments that exhausted their retries."),
+		breakerTrips: reg.Counter("ps_ctrl_breaker_trips_total",
+			"Per-agent circuit breakers opened after consecutive failed scrapes."),
 		aliveAgents: reg.Gauge("ps_ctrl_alive_agents",
 			"Agents holding a live membership lease."),
 		fleetCapW: reg.Gauge("ps_ctrl_fleet_cap_watts",

@@ -119,6 +119,10 @@ type AssignResponse struct {
 	GridW   float64 `json:"gridW"`
 	SoC     float64 `json:"soc"`
 	Fenced  bool    `json:"fenced"`
+	// SafeMode reports leaderless degradation in progress: the agent is
+	// fenced but holding/decaying its last granted cap instead of
+	// cliffing to the fence cap.
+	SafeMode bool `json:"safeMode,omitempty"`
 }
 
 // Report is one telemetry scrape: the agent's enforced cap, draw,
@@ -130,13 +134,16 @@ type Report struct {
 	// Epoch is the highest coordinator epoch the agent has applied a
 	// grant from (0 before the first grant) — how a warm standby learns
 	// the cluster's current epoch from scrapes alone.
-	Epoch      uint64  `json:"epoch"`
-	Seq        uint64  `json:"seq"`
-	CapW       float64 `json:"capW"`
-	PerfN      float64 `json:"perfN"`
-	GridW      float64 `json:"gridW"`
-	SoC        float64 `json:"soc"`
-	Fenced     bool    `json:"fenced"`
+	Epoch  uint64  `json:"epoch"`
+	Seq    uint64  `json:"seq"`
+	CapW   float64 `json:"capW"`
+	PerfN  float64 `json:"perfN"`
+	GridW  float64 `json:"gridW"`
+	SoC    float64 `json:"soc"`
+	Fenced bool    `json:"fenced"`
+	// SafeMode mirrors AssignResponse.SafeMode: fenced, but degrading
+	// gracefully rather than cliffed at the fence cap.
+	SafeMode   bool    `json:"safeMode,omitempty"`
 	IdleFloorW float64 `json:"idleFloorW"`
 	NameplateW float64 `json:"nameplateW"`
 	// UtilityCurve samples cap → (perf, grid) on the shared

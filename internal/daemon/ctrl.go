@@ -30,7 +30,18 @@ type CtrlConfig struct {
 	// server cannot draw less without host power-off, which the
 	// simulated platform does not model).
 	FenceCapW float64
+	// SafeMode, when enabled (DecayWPerS > 0), replaces the fence cliff
+	// with graceful leaderless degradation: hold the cap in force at
+	// lease lapse, then decay it toward FloorW (default: the fence
+	// cap). Hold and decay run on the daemon's wall clock, like its
+	// lease TTL.
+	SafeMode ctrlplane.SafeModeConfig
 }
+
+// safeModeQuantumW batches wall-clock decay into steps the event log
+// can carry: re-clamping on every ticker advance for sub-watt deltas
+// would flood the cap-change history without changing behavior.
+const safeModeQuantumW = 0.5
 
 // ctrlState is the daemon's lease ledger, guarded by its own mutex so
 // the /ctrl handlers never contend with the simulation advance for
@@ -48,6 +59,14 @@ type ctrlState struct {
 	fences     int
 	staleDrops int
 	epochDrops int
+	// Safe-mode ledger: heldW is the cap in force at lease lapse,
+	// lapsedAt the wall-clock lapse instant, safeCapW the last decay
+	// target actually clamped.
+	safeMode    bool
+	safeEntries int
+	heldW       float64
+	lapsedAt    time.Time
+	safeCapW    float64
 }
 
 // EnableCtrl attaches control-plane state to the daemon. Call before
@@ -60,6 +79,12 @@ func (d *Daemon) EnableCtrl(cfg CtrlConfig) error {
 	fence := cfg.FenceCapW
 	if fence <= 0 {
 		fence = d.hw.PIdleWatts
+	}
+	if err := cfg.SafeMode.Validate(); err != nil {
+		return fmt.Errorf("daemon: %w", err)
+	}
+	if cfg.SafeMode.Enabled() && cfg.SafeMode.FloorW == 0 {
+		cfg.SafeMode.FloorW = fence
 	}
 	d.ctrl = &ctrlState{cfg: cfg, fenceCapW: fence}
 	return nil
@@ -74,17 +99,42 @@ func (d *Daemon) ctrlFenceCheck() error {
 		return nil
 	}
 	c.mu.Lock()
+	if c.safeMode {
+		// Leaderless degradation in progress: walk the cap down on the
+		// wall clock, re-clamping only in quantum-sized steps.
+		target := c.cfg.SafeMode.CapAt(time.Since(c.lapsedAt).Seconds(), 0, c.heldW)
+		if c.safeCapW-target >= safeModeQuantumW ||
+			(target <= c.cfg.SafeMode.FloorW && c.safeCapW != target) {
+			c.safeCapW = target
+			c.mu.Unlock()
+			return d.sim.AddCapChange(d.simTime, target)
+		}
+		c.mu.Unlock()
+		return nil
+	}
 	lapse := c.leased && !c.fenced && c.leaseS > 0 &&
 		time.Since(c.leaseStart).Seconds() >= c.leaseS
-	if lapse {
-		c.fenced = true
-		c.fences++
+	if !lapse {
+		c.mu.Unlock()
+		return nil
+	}
+	c.fenced = true
+	c.fences++
+	if c.cfg.SafeMode.Enabled() {
+		// Enter safe mode holding the cap in force — it is the last cap
+		// a leader granted, so the fleet-wide sum of held caps stays
+		// bounded by that leader's cluster cap. The decay clock starts
+		// at the lapse instant, not at this ticker advance.
+		c.safeMode = true
+		c.safeEntries++
+		c.lapsedAt = c.leaseStart.Add(time.Duration(c.leaseS * float64(time.Second)))
+		c.heldW = d.sim.Executor().Cap()
+		c.safeCapW = c.heldW
+		c.mu.Unlock()
+		return nil
 	}
 	fence := c.fenceCapW
 	c.mu.Unlock()
-	if !lapse {
-		return nil
-	}
 	return d.sim.AddCapChange(d.simTime, fence)
 }
 
@@ -125,6 +175,7 @@ func (d *Daemon) ctrlAssign(req ctrlplane.AssignRequest) (ctrlplane.AssignRespon
 	c.leaseStart = time.Now()
 	c.leased = req.LeaseS > 0
 	c.fenced = false
+	c.safeMode = false
 	c.mu.Unlock()
 	d.mu.Unlock()
 	return d.ctrlAck(true), nil
@@ -140,7 +191,7 @@ func (d *Daemon) ctrlAck(applied bool) ctrlplane.AssignResponse {
 		V: ctrlplane.ProtocolV, Server: c.cfg.ServerID,
 		Epoch: c.lastEpoch, Seq: c.lastSeq, Applied: applied,
 		CapW: st.CapW, GridW: st.GridW, SoC: st.SoC,
-		Fenced: c.fenced,
+		Fenced: c.fenced, SafeMode: c.safeMode,
 	}
 }
 
@@ -155,6 +206,7 @@ func (d *Daemon) ctrlReport() ctrlplane.Report {
 		Epoch: c.lastEpoch, Seq: c.lastSeq,
 		CapW: st.CapW, GridW: st.GridW, SoC: st.SoC,
 		Fenced:     c.fenced,
+		SafeMode:   c.safeMode,
 		IdleFloorW: d.hw.PIdleWatts,
 		NameplateW: d.hw.MaxServerWatts(),
 		// No UtilityCurve: see CtrlConfig — live mixes are not

@@ -250,3 +250,85 @@ func TestDaemonCtrlLeaseFence(t *testing.T) {
 		t.Fatalf("after re-assign: %+v", h)
 	}
 }
+
+// A lapsed lease with safe mode enabled must hold the granted cap,
+// decay it toward the configured floor on the wall clock, surface the
+// degradation on /healthz, and clear on a fresh assign — never cliff
+// to the fence cap.
+func TestDaemonCtrlSafeModeDecay(t *testing.T) {
+	d, err := New(Config{Version: "test-build"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EnableCtrl(CtrlConfig{
+		ServerID: 0,
+		SafeMode: ctrlplane.SafeModeConfig{HoldS: 0.05, DecayWPerS: 200, FloorW: 66},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(srv.Close)
+
+	req := ctrlplane.AssignRequest{V: ctrlplane.ProtocolV, Epoch: 1, Seq: 1, Server: 0, T: 0, CapW: 90, LeaseS: 0.05}
+	if code := postCtrl(t, srv.URL+ctrlplane.PathAssign, req, nil); code != http.StatusOK {
+		t.Fatalf("assign: %d", code)
+	}
+	h := d.health()
+	if !h.CtrlLeased || h.CtrlLeaseExpiresInS <= 0 || h.CtrlLeaseExpiresInS > 0.05 {
+		t.Fatalf("lease freshness after grant: leased=%v expiresIn=%g", h.CtrlLeased, h.CtrlLeaseExpiresInS)
+	}
+
+	// Lapse: the daemon enters safe mode holding the 90 W grant — the
+	// cap must not cliff to the idle-floor fence.
+	time.Sleep(60 * time.Millisecond)
+	if err := d.Advance(0.1); err != nil {
+		t.Fatal(err)
+	}
+	h = d.health()
+	if !h.CtrlSafeMode || !h.CtrlFenced || h.CtrlSafeModeEntries != 1 {
+		t.Fatalf("after lapse: %+v", h)
+	}
+	if h.CapW != 90 {
+		t.Fatalf("held cap %g W right after lapse, want 90", h.CapW)
+	}
+	if h.CtrlLeaseExpiresInS >= 0 {
+		t.Fatalf("lease reported fresh (%g s) after lapsing", h.CtrlLeaseExpiresInS)
+	}
+
+	// Past the hold window the decay walks the cap to the floor (200
+	// W/s closes the 24 W gap in ~0.12 s; 400 ms is deep inside the
+	// pinned-at-floor regime).
+	time.Sleep(400 * time.Millisecond)
+	for i := 0; i < 3; i++ {
+		if err := d.Advance(0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h = d.health()
+	if h.CapW != 66 || h.CtrlSafeModeCapW != 66 {
+		t.Fatalf("decayed cap %g W (ledger %g), want the 66 W floor", h.CapW, h.CtrlSafeModeCapW)
+	}
+	if !h.CtrlSafeMode {
+		t.Fatal("safe mode dropped while still leaderless")
+	}
+
+	// A fresh assign restores normal operation and re-arms the lease.
+	req.Seq, req.CapW, req.LeaseS = 2, 80, 10
+	var ack ctrlplane.AssignResponse
+	if code := postCtrl(t, srv.URL+ctrlplane.PathAssign, req, &ack); code != http.StatusOK || !ack.Applied {
+		t.Fatalf("re-assign: %d %+v", code, ack)
+	}
+	if ack.SafeMode {
+		t.Fatal("assign ack still flags safe mode")
+	}
+	if err := d.Advance(0.1); err != nil {
+		t.Fatal(err)
+	}
+	h = d.health()
+	if h.CtrlSafeMode || h.CtrlFenced || h.CapW != 80 {
+		t.Fatalf("after re-assign: %+v", h)
+	}
+	if !h.CtrlLeased || h.CtrlLeaseExpiresInS <= 0 {
+		t.Fatalf("lease freshness after re-assign: %+v", h)
+	}
+}

@@ -236,6 +236,19 @@ type Health struct {
 	// nonzero means a deposed coordinator was still talking to us.
 	CtrlEpoch      uint64 `json:"ctrlEpoch"`
 	CtrlEpochDrops int    `json:"ctrlEpochDrops"`
+	// Lease freshness, so external drills can assert degradation
+	// without scraping /ctrl: CtrlLeased reports a live draw lease and
+	// CtrlLeaseExpiresInS the wall-clock seconds until it lapses
+	// (negative once lapsed, 0 when no lease is held).
+	CtrlLeased          bool    `json:"ctrlLeased"`
+	CtrlLeaseExpiresInS float64 `json:"ctrlLeaseExpiresInS"`
+	// Safe-mode degradation state: CtrlSafeMode reports the leaderless
+	// hold-and-decay in progress, CtrlSafeModeEntries counts lapses
+	// that entered it, and CtrlSafeModeCapW is the cap the decay last
+	// clamped (the held cap until the hold window passes).
+	CtrlSafeMode        bool    `json:"ctrlSafeMode"`
+	CtrlSafeModeEntries int     `json:"ctrlSafeModeEntries"`
+	CtrlSafeModeCapW    float64 `json:"ctrlSafeModeCapW"`
 }
 
 // health snapshots liveness and robustness state.
@@ -273,6 +286,16 @@ func (d *Daemon) health() Health {
 		h.CtrlStaleDrops = c.staleDrops
 		h.CtrlEpoch = c.lastEpoch
 		h.CtrlEpochDrops = c.epochDrops
+		h.CtrlLeased = c.leased
+		if c.leased && c.leaseS > 0 {
+			expiry := c.leaseStart.Add(time.Duration(c.leaseS * float64(time.Second)))
+			h.CtrlLeaseExpiresInS = time.Until(expiry).Seconds()
+		}
+		h.CtrlSafeMode = c.safeMode
+		h.CtrlSafeModeEntries = c.safeEntries
+		if c.safeMode {
+			h.CtrlSafeModeCapW = c.safeCapW
+		}
 		c.mu.Unlock()
 	}
 	return h

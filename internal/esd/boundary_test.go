@@ -1,0 +1,147 @@
+package esd
+
+import (
+	"math"
+	"testing"
+)
+
+// Boundary behavior: the scenario campaigns drive devices to their
+// rails on purpose, so the clamps at empty, full, zero capacity, and
+// over-rated power are load-bearing invariants, not incidental detail.
+
+func TestDischargeAtExactFloorDeliversNothing(t *testing.T) {
+	spec := LeadAcid(10e3)
+	dev, err := NewDevice(spec, spec.MinSoC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Discharge(spec.MaxDischargeW, 1); got != 0 {
+		t.Errorf("device at the SoC floor delivered %g W", got)
+	}
+	if soc := dev.SoC(); math.Abs(soc-spec.MinSoC) > 1e-12 {
+		t.Errorf("SoC moved to %g from the floor %g", soc, spec.MinSoC)
+	}
+	if dev.AvailableJ() != 0 {
+		t.Errorf("AvailableJ %g at the floor", dev.AvailableJ())
+	}
+}
+
+func TestChargeAtExactCeilingAcceptsNothing(t *testing.T) {
+	spec := LeadAcid(10e3)
+	dev, err := NewDevice(spec, spec.MaxSoC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Charge(spec.MaxChargeW, 1); got != 0 {
+		t.Errorf("device at the SoC ceiling accepted %g W", got)
+	}
+	if soc := dev.SoC(); math.Abs(soc-spec.MaxSoC) > 1e-12 {
+		t.Errorf("SoC moved to %g from the ceiling %g", soc, spec.MaxSoC)
+	}
+	if dev.HeadroomJ() != 0 {
+		t.Errorf("HeadroomJ %g at the ceiling", dev.HeadroomJ())
+	}
+}
+
+func TestDischargeNeverUndershootsFloor(t *testing.T) {
+	// Just above the floor with a draw that would blow through it in
+	// one step: the device must deliver exactly the remaining usable
+	// energy and stop at the floor, never below.
+	spec := LeadAcid(10e3)
+	dev, err := NewDevice(spec, spec.MinSoC+0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := dev.Discharge(spec.MaxDischargeW, 60)
+	wantJ := 0.01 * spec.CapacityJ * spec.DischargeEff
+	if gotJ := delivered * 60; math.Abs(gotJ-wantJ) > 1e-6*wantJ {
+		t.Errorf("delivered %g J, want the remaining %g J", gotJ, wantJ)
+	}
+	if soc := dev.SoC(); soc < spec.MinSoC-1e-12 {
+		t.Errorf("SoC %g undershot the floor %g", soc, spec.MinSoC)
+	}
+}
+
+func TestChargeNeverOvershootsCeiling(t *testing.T) {
+	spec := LeadAcid(10e3)
+	dev, err := NewDevice(spec, spec.MaxSoC-0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := dev.Charge(spec.MaxChargeW, 600)
+	if soc := dev.SoC(); soc > spec.MaxSoC+1e-12 {
+		t.Errorf("SoC %g overshot the ceiling %g", soc, spec.MaxSoC)
+	}
+	wantRailJ := 0.01 * spec.CapacityJ / spec.ChargeEff
+	if gotJ := accepted * 600; math.Abs(gotJ-wantRailJ) > 1e-6*wantRailJ {
+		t.Errorf("accepted %g J of rail energy, want %g J to fill exactly", gotJ, wantRailJ)
+	}
+}
+
+func TestZeroCapacityBatteryRejected(t *testing.T) {
+	spec := LeadAcid(0)
+	if err := spec.Validate(); err == nil {
+		t.Error("zero-capacity spec validated")
+	}
+	if _, err := NewDevice(spec, 0.5); err == nil {
+		t.Error("NewDevice accepted a zero-capacity battery")
+	}
+	neg := LeadAcid(-100)
+	if _, err := NewDevice(neg, 0.5); err == nil {
+		t.Error("NewDevice accepted a negative-capacity battery")
+	}
+}
+
+func TestDischargeRequestAboveRatedPowerClamps(t *testing.T) {
+	spec := LeadAcid(1e6)
+	dev, err := NewDevice(spec, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ten times the rated discharge power: delivery must clamp at the
+	// rating, not scale with the request.
+	if got := dev.Discharge(10*spec.MaxDischargeW, 1); math.Abs(got-spec.MaxDischargeW) > 1e-9 {
+		t.Errorf("delivered %g W against a %g W rating", got, spec.MaxDischargeW)
+	}
+	if got := dev.Charge(10*spec.MaxChargeW, 1); math.Abs(got-spec.MaxChargeW) > 1e-9 {
+		t.Errorf("accepted %g W against a %g W charge rating", got, spec.MaxChargeW)
+	}
+}
+
+func TestInfiniteDischargeRequestOnBoundedDevice(t *testing.T) {
+	spec := LeadAcid(1e6)
+	dev, err := NewDevice(spec, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dev.Discharge(math.Inf(1), 1); math.Abs(got-spec.MaxDischargeW) > 1e-9 {
+		t.Errorf("infinite request delivered %g W, want the %g W rating", got, spec.MaxDischargeW)
+	}
+}
+
+func TestRepeatedBoundaryCyclingStaysInWindow(t *testing.T) {
+	spec := LiIon(50e3)
+	dev, err := NewDevice(spec, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slam the device against both rails repeatedly; the SoC must stay
+	// pinned inside the usable window throughout.
+	for cycle := 0; cycle < 20; cycle++ {
+		for i := 0; i < 100; i++ {
+			dev.Discharge(spec.MaxDischargeW, 10)
+		}
+		if soc := dev.SoC(); soc < spec.MinSoC-1e-9 {
+			t.Fatalf("cycle %d: SoC %g below floor", cycle, soc)
+		}
+		for i := 0; i < 100; i++ {
+			dev.Charge(spec.MaxChargeW, 10)
+		}
+		if soc := dev.SoC(); soc > spec.MaxSoC+1e-9 {
+			t.Fatalf("cycle %d: SoC %g above ceiling", cycle, soc)
+		}
+	}
+	if cycles := dev.EquivalentFullCycles(); cycles <= 0 {
+		t.Error("no wear accounted across 20 full cycles")
+	}
+}

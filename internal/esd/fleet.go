@@ -1,0 +1,206 @@
+package esd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Fleet-scale scheduling — the paper's Fig. 12 peak-shaving replay
+// extended from one battery to a rack of them. Under a shared cluster
+// cap, the question the single-server scheduler never faces appears:
+// *who* discharges, and who banks. The planner here answers it the way
+// the duty-cycle equation (paper eq. 5) prices a single device, applied
+// greedily across the fleet:
+//
+//   - A deficit (summed demand above the cap) is met by discharging the
+//     richest devices first — greatest deliverable energy — so no single
+//     battery is deep-cycled while a neighbor sits full. Each device is
+//     bounded by its discharge power limit and its SoC floor.
+//   - Headroom (cap above summed demand) charges the poorest devices
+//     first, so the fleet's deliverable reserve recovers fastest where
+//     the next deficit would hurt most. Charging draws grid power, so it
+//     never exceeds the headroom.
+//
+// Ties break by server index, and the plan is a pure function of its
+// inputs, so a seeded scenario replays bit-identically.
+
+// FleetPlan is one control interval's cluster-wide charge/discharge
+// decision over a fleet of devices.
+type FleetPlan struct {
+	// DischargeW and ChargeW are the per-device rail powers the plan
+	// commits for the interval (at most one of the two is nonzero per
+	// device).
+	DischargeW []float64
+	ChargeW    []float64
+	// ShortfallW is demand the cap plus the fleet's whole deliverable
+	// discharge could not cover — the unavoidable performance loss the
+	// cluster manager must absorb by capping servers.
+	ShortfallW float64
+	// GridW is the grid draw the plan settles at: demand minus
+	// discharges plus charges. Never above the cap except when even
+	// zero charging cannot help (ShortfallW > 0 means GridW == capW).
+	GridW float64
+}
+
+// TotalDischargeW sums the plan's committed discharge power.
+func (p FleetPlan) TotalDischargeW() float64 {
+	var s float64
+	for _, w := range p.DischargeW {
+		s += w
+	}
+	return s
+}
+
+// TotalChargeW sums the plan's committed charge power.
+func (p FleetPlan) TotalChargeW() float64 {
+	var s float64
+	for _, w := range p.ChargeW {
+		s += w
+	}
+	return s
+}
+
+// PlanFleet decides one interval's charge/discharge split across a
+// fleet of per-server devices under a shared cluster cap. devs[i] may
+// be nil (a server without a battery); demandW[i] is that server's
+// unassisted grid draw for the interval. The plan is read-only — apply
+// it with ApplyFleet to move energy.
+func PlanFleet(capW, dt float64, devs []*Device, demandW []float64) (FleetPlan, error) {
+	if len(devs) != len(demandW) {
+		return FleetPlan{}, fmt.Errorf("esd: %d devices for %d demands", len(devs), len(demandW))
+	}
+	if dt <= 0 || math.IsNaN(dt) || math.IsInf(dt, 0) {
+		return FleetPlan{}, fmt.Errorf("esd: fleet step dt %g s", dt)
+	}
+	if capW < 0 || math.IsNaN(capW) || math.IsInf(capW, 0) {
+		return FleetPlan{}, fmt.Errorf("esd: fleet cap %g W", capW)
+	}
+	var demand float64
+	for i, w := range demandW {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return FleetPlan{}, fmt.Errorf("esd: server %d demand %g W", i, w)
+		}
+		demand += w
+	}
+	plan := FleetPlan{
+		DischargeW: make([]float64, len(devs)),
+		ChargeW:    make([]float64, len(devs)),
+	}
+	if deficit := demand - capW; deficit > 0 {
+		// Peak shave: discharge richest-first until the deficit is met
+		// or the fleet runs dry.
+		order := byDeliverable(devs, dt)
+		remain := deficit
+		for _, i := range order {
+			if remain <= 0 {
+				break
+			}
+			d := devs[i]
+			avail := math.Min(d.Spec().MaxDischargeW, d.AvailableJ()/dt)
+			w := math.Min(remain, avail)
+			if w <= 0 {
+				continue
+			}
+			plan.DischargeW[i] = w
+			remain -= w
+		}
+		plan.ShortfallW = remain
+		plan.GridW = demand - (deficit - remain)
+		return plan, nil
+	}
+	// Valley fill: bank the headroom poorest-first. Charging adds grid
+	// draw, so the committed charge never exceeds the headroom.
+	headroom := capW - demand
+	order := bySoC(devs)
+	for _, i := range order {
+		if headroom <= 0 {
+			break
+		}
+		d := devs[i]
+		// Rail power the device can still usefully accept this interval.
+		accept := math.Min(d.Spec().MaxChargeW, d.HeadroomJ()/(d.Spec().ChargeEff*dt))
+		w := math.Min(headroom, accept)
+		if w <= 0 {
+			continue
+		}
+		plan.ChargeW[i] = w
+		headroom -= w
+	}
+	plan.GridW = demand + plan.TotalChargeW()
+	return plan, nil
+}
+
+// ApplyFleet executes a plan against the devices for dt seconds and
+// returns the rail power actually moved (discharged, charged). The
+// plan's bounds mirror the devices' own clamps, so actual equals
+// planned; the return values let callers assert that.
+func ApplyFleet(plan FleetPlan, devs []*Device, dt float64) (dischargedW, chargedW float64) {
+	for i, d := range devs {
+		if d == nil {
+			continue
+		}
+		if w := plan.DischargeW[i]; w > 0 {
+			dischargedW += d.Discharge(w, dt)
+		}
+		if w := plan.ChargeW[i]; w > 0 {
+			chargedW += d.Charge(w, dt)
+		}
+		if plan.DischargeW[i] == 0 && plan.ChargeW[i] == 0 {
+			d.Idle(dt)
+		}
+	}
+	return dischargedW, chargedW
+}
+
+// byDeliverable orders device indices by deliverable energy,
+// richest first, ties by index.
+func byDeliverable(devs []*Device, dt float64) []int {
+	idx := withBatteries(devs)
+	sort.SliceStable(idx, func(a, b int) bool {
+		return devs[idx[a]].AvailableJ() > devs[idx[b]].AvailableJ()
+	})
+	return idx
+}
+
+// bySoC orders device indices by state of charge, poorest first, ties
+// by index.
+func bySoC(devs []*Device) []int {
+	idx := withBatteries(devs)
+	sort.SliceStable(idx, func(a, b int) bool {
+		return devs[idx[a]].SoC() < devs[idx[b]].SoC()
+	})
+	return idx
+}
+
+// withBatteries returns the indices of non-nil devices in order.
+func withBatteries(devs []*Device) []int {
+	idx := make([]int, 0, len(devs))
+	for i, d := range devs {
+		if d != nil {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// StaggeredSoC returns n initial states of charge spread evenly across
+// a spec's usable window — the "battery fleet with staggered SoC"
+// scenario setup: no two servers start equally provisioned, so the
+// discharge order matters from the first interval.
+func StaggeredSoC(spec Spec, n int) []float64 {
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	lo := spec.MinSoC + 0.05*(spec.MaxSoC-spec.MinSoC)
+	hi := spec.MaxSoC - 0.05*(spec.MaxSoC-spec.MinSoC)
+	for i := range out {
+		frac := 0.5
+		if n > 1 {
+			frac = float64(i) / float64(n-1)
+		}
+		out[i] = lo + frac*(hi-lo)
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package esd
+
+import (
+	"math"
+	"testing"
+)
+
+// fleetOf builds n lead-acid devices at the given SoCs.
+func fleetOf(t *testing.T, socs []float64) []*Device {
+	t.Helper()
+	devs := make([]*Device, len(socs))
+	for i, s := range socs {
+		d, err := NewDevice(LeadAcid(200e3), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs[i] = d
+	}
+	return devs
+}
+
+func TestPlanFleetShavesDeficitRichestFirst(t *testing.T) {
+	devs := fleetOf(t, []float64{0.3, 0.9, 0.6})
+	demand := []float64{100, 100, 100}
+	// 60 W deficit against a 240 W cap; the richest device (index 1)
+	// must cover it alone — it has the power and the energy.
+	plan, err := PlanFleet(240, 60, devs, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ShortfallW != 0 {
+		t.Fatalf("shortfall %g W with plenty of stored energy", plan.ShortfallW)
+	}
+	if plan.DischargeW[1] != 60 {
+		t.Errorf("richest device discharges %g W, want 60", plan.DischargeW[1])
+	}
+	if plan.DischargeW[0] != 0 || plan.DischargeW[2] != 0 {
+		t.Errorf("poorer devices discharge (%g, %g) W while the richest has capacity", plan.DischargeW[0], plan.DischargeW[2])
+	}
+	if math.Abs(plan.GridW-240) > 1e-9 {
+		t.Errorf("grid %g W, want exactly the 240 W cap", plan.GridW)
+	}
+}
+
+func TestPlanFleetSpillsToNextDevice(t *testing.T) {
+	devs := fleetOf(t, []float64{0.9, 0.9})
+	// 120 W deficit exceeds one device's 80 W discharge limit; the
+	// second device covers the spill.
+	plan, err := PlanFleet(180, 60, devs, []float64{150, 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ShortfallW != 0 {
+		t.Fatalf("shortfall %g W", plan.ShortfallW)
+	}
+	if plan.DischargeW[0] != 80 || plan.DischargeW[1] != 40 {
+		t.Errorf("discharge split (%g, %g) W, want (80, 40)", plan.DischargeW[0], plan.DischargeW[1])
+	}
+}
+
+func TestPlanFleetReportsShortfall(t *testing.T) {
+	devs := fleetOf(t, []float64{0.25, 0.25})
+	// Both devices are near the floor: the fleet cannot cover 200 W of
+	// deficit; the remainder must surface as shortfall, not as silent
+	// over-draw.
+	plan, err := PlanFleet(100, 300, devs, []float64{150, 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ShortfallW <= 0 {
+		t.Fatal("no shortfall reported from a nearly-empty fleet")
+	}
+	if got := plan.GridW; got > 100+plan.ShortfallW+1e-9 {
+		t.Errorf("grid %g W exceeds cap+shortfall", got)
+	}
+}
+
+func TestPlanFleetChargesPoorestFirstWithinHeadroom(t *testing.T) {
+	devs := fleetOf(t, []float64{0.9, 0.3, 0.6})
+	// 50 W headroom under the cap; the poorest device (index 1) banks
+	// it, bounded by its 40 W charge limit, and the spill goes to the
+	// next-poorest (index 2).
+	plan, err := PlanFleet(350, 60, devs, []float64{100, 100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ChargeW[1] != 40 {
+		t.Errorf("poorest device charges %g W, want its 40 W limit", plan.ChargeW[1])
+	}
+	if plan.ChargeW[2] != 10 {
+		t.Errorf("next-poorest charges %g W, want the 10 W spill", plan.ChargeW[2])
+	}
+	if plan.ChargeW[0] != 0 {
+		t.Errorf("richest device charges %g W", plan.ChargeW[0])
+	}
+	if plan.GridW > 350+1e-9 {
+		t.Errorf("charging pushed grid to %g W over the 350 W cap", plan.GridW)
+	}
+}
+
+func TestApplyFleetMatchesPlanAndRespectsSoC(t *testing.T) {
+	devs := fleetOf(t, []float64{0.8, 0.4})
+	demand := []float64{140, 140}
+	for step := 0; step < 200; step++ {
+		// Alternate deficit and headroom intervals.
+		capW := 240.0
+		if step%2 == 1 {
+			capW = 320.0
+		}
+		plan, err := PlanFleet(capW, 30, devs, demand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dis, chg := ApplyFleet(plan, devs, 30)
+		if math.Abs(dis-plan.TotalDischargeW()) > 1e-9 {
+			t.Fatalf("step %d: applied discharge %g W, planned %g W", step, dis, plan.TotalDischargeW())
+		}
+		if math.Abs(chg-plan.TotalChargeW()) > 1e-9 {
+			t.Fatalf("step %d: applied charge %g W, planned %g W", step, chg, plan.TotalChargeW())
+		}
+		for i, d := range devs {
+			spec := d.Spec()
+			if soc := d.SoC(); soc < spec.MinSoC-1e-9 || soc > spec.MaxSoC+1e-9 {
+				t.Fatalf("step %d: device %d SoC %g outside [%g, %g]", step, i, soc, spec.MinSoC, spec.MaxSoC)
+			}
+		}
+	}
+}
+
+func TestPlanFleetSkipsBatterylessServers(t *testing.T) {
+	d, err := NewDevice(LeadAcid(200e3), 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs := []*Device{nil, d}
+	plan, err := PlanFleet(150, 60, devs, []float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.DischargeW[0] != 0 {
+		t.Error("batteryless server asked to discharge")
+	}
+	if plan.DischargeW[1] != 50 {
+		t.Errorf("battery server discharges %g W, want the whole 50 W deficit", plan.DischargeW[1])
+	}
+	// Apply must tolerate the nil entry.
+	ApplyFleet(plan, devs, 60)
+}
+
+func TestPlanFleetValidatesInputs(t *testing.T) {
+	devs := fleetOf(t, []float64{0.5})
+	if _, err := PlanFleet(100, 60, devs, []float64{50, 50}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := PlanFleet(100, 0, devs, []float64{50}); err == nil {
+		t.Error("zero dt accepted")
+	}
+	if _, err := PlanFleet(-1, 60, devs, []float64{50}); err == nil {
+		t.Error("negative cap accepted")
+	}
+	if _, err := PlanFleet(100, 60, devs, []float64{math.NaN()}); err == nil {
+		t.Error("NaN demand accepted")
+	}
+}
+
+func TestStaggeredSoCSpansUsableWindow(t *testing.T) {
+	spec := LeadAcid(1000)
+	socs := StaggeredSoC(spec, 5)
+	if len(socs) != 5 {
+		t.Fatalf("%d SoCs for 5 servers", len(socs))
+	}
+	for i, s := range socs {
+		if s < spec.MinSoC || s > spec.MaxSoC {
+			t.Errorf("SoC[%d] = %g outside usable window", i, s)
+		}
+		if i > 0 && socs[i] <= socs[i-1] {
+			t.Errorf("SoCs not strictly staggered at %d: %g after %g", i, socs[i], socs[i-1])
+		}
+	}
+	if one := StaggeredSoC(spec, 1); len(one) != 1 || one[0] <= spec.MinSoC || one[0] >= spec.MaxSoC {
+		t.Errorf("single-server stagger %v", one)
+	}
+}

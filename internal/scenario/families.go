@@ -1,0 +1,204 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"powerstruggle/internal/ctrlplane"
+	"powerstruggle/internal/esd"
+)
+
+// Generation draws every parameter from one seeded stream in a fixed
+// order, so a campaign is a pure function of (family, seed, size).
+// The draws below deliberately stay inside the simulated machine's
+// envelope: per-server caps in the 90–190 W band the cluster replays
+// use, per-server demand under the lead-acid fleet's shaving reach.
+
+// genCapDrop builds correlated cluster cap drops over a steady base.
+func genCapDrop(c *Campaign, rng *rand.Rand) {
+	cfg := c.Config
+	base := float64(cfg.Servers) * uniform(rng, 150, 185)
+	c.Caps = capSchedule(cfg, base)
+	drops := 2 + rng.Intn(3)
+	for d := 0; d < drops; d++ {
+		at := 2 + rng.Intn(cfg.Steps-5)
+		dur := 2 + rng.Intn(3)
+		depth := uniform(rng, 0.40, 0.65)
+		for s := at; s < at+dur && s < cfg.Steps; s++ {
+			if v := base * depth; v < c.Caps[s].V {
+				c.Caps[s].V = v
+			}
+		}
+		c.Events = append(c.Events, Event{Step: at, Kind: "cap-drop", Agent: -1,
+			Detail: fmt.Sprintf("cap to %.0f%% of base for %d steps", depth*100, dur)})
+	}
+}
+
+// genRollingRestart builds coordinator outages mid-traffic: the leader
+// vanishes for a few intervals, then returns under a bumped epoch. The
+// fleet rides the gap in safe mode — hold the last grant, decay toward
+// a floor — instead of cliffing to 0 W.
+func genRollingRestart(c *Campaign, rng *rand.Rand) {
+	cfg := c.Config
+	base := float64(cfg.Servers) * uniform(rng, 150, 180)
+	c.Caps = capSchedule(cfg, base)
+	perShare := base / float64(cfg.Servers)
+	c.SafeMode = ctrlplane.SafeModeConfig{
+		HoldS:      cfg.StepS,
+		DecayWPerS: uniform(rng, 0.01, 0.05),
+		FloorW:     math.Min(20, perShare/2),
+	}
+	outages := 1 + rng.Intn(2)
+	next := 3
+	for o := 0; o < outages; o++ {
+		room := cfg.Steps - 4 - next
+		if room <= 0 {
+			break
+		}
+		at := next + rng.Intn(room)
+		dur := 2 + rng.Intn(3)
+		if at+dur > cfg.Steps-2 {
+			dur = cfg.Steps - 2 - at
+		}
+		c.Events = append(c.Events,
+			Event{Step: at, Kind: "leader-down", Agent: -1,
+				Detail: fmt.Sprintf("coordinator restart: silent for %d steps", dur)},
+			Event{Step: at + dur, Kind: "leader-up", Agent: -1,
+				Detail: "coordinator back under a bumped epoch"})
+		next = at + dur + 2
+	}
+}
+
+// genPartitionEmergency blackholes part of the fleet exactly while the
+// cluster cap drops — re-apportioning across survivors and lease
+// fencing of the partitioned agents must both hold the cap line.
+func genPartitionEmergency(c *Campaign, rng *rand.Rand) {
+	cfg := c.Config
+	base := float64(cfg.Servers) * uniform(rng, 150, 185)
+	c.Caps = capSchedule(cfg, base)
+	// The emergency: a deep cap drop in the middle of the run.
+	at := 4 + rng.Intn(cfg.Steps/2)
+	dur := 3 + rng.Intn(3)
+	depth := uniform(rng, 0.45, 0.60)
+	for s := at; s < at+dur && s < cfg.Steps; s++ {
+		c.Caps[s].V = base * depth
+	}
+	c.Events = append(c.Events, Event{Step: at, Kind: "cap-drop", Agent: -1,
+		Detail: fmt.Sprintf("emergency: cap to %.0f%% of base for %d steps", depth*100, dur)})
+	// The partition overlaps it: up to half the fleet goes dark one
+	// step into the emergency and heals before the run ends.
+	k := 1 + rng.Intn(cfg.Servers/2)
+	victims := rng.Perm(cfg.Servers)[:k]
+	pAt := at + 1
+	pDur := dur + rng.Intn(2)
+	if pAt+pDur > cfg.Steps-3 {
+		pDur = cfg.Steps - 3 - pAt
+	}
+	for _, v := range victims {
+		c.Events = append(c.Events,
+			Event{Step: pAt, Kind: "partition", Agent: v,
+				Detail: fmt.Sprintf("blackholed for %d steps during the emergency", pDur)},
+			Event{Step: pAt + pDur, Kind: "heal", Agent: v, Detail: "partition lifted"})
+	}
+}
+
+// genFlashCrowd builds demand surge waves over a battery fleet under a
+// constant cap: every wave pushes fleet demand past the cap, and the
+// batteries peak-shave it.
+func genFlashCrowd(c *Campaign, rng *rand.Rand) {
+	cfg := c.Config
+	c.Caps = capSchedule(cfg, float64(cfg.Servers)*95)
+	base := make([]float64, cfg.Servers)
+	for i := range base {
+		base[i] = uniform(rng, 65, 90)
+	}
+	mult := make([]float64, cfg.Steps)
+	for s := range mult {
+		mult[s] = 1
+	}
+	waves := 2 + rng.Intn(2)
+	for w := 0; w < waves; w++ {
+		at := 2 + rng.Intn(cfg.Steps-6)
+		dur := 2 + rng.Intn(3)
+		m := uniform(rng, 1.7, 2.3)
+		for s := at; s < at+dur && s < cfg.Steps; s++ {
+			if m > mult[s] {
+				mult[s] = m
+			}
+		}
+		c.Events = append(c.Events, Event{Step: at, Kind: "surge", Agent: -1,
+			Detail: fmt.Sprintf("flash crowd: %.1fx demand for %d steps", m, dur)})
+	}
+	c.Demand = make([][]float64, cfg.Steps)
+	for s := range c.Demand {
+		row := make([]float64, cfg.Servers)
+		for i := range row {
+			row[i] = base[i] * mult[s] * (1 + 0.03*uniform(rng, -1, 1))
+		}
+		c.Demand[s] = row
+	}
+	spec := esd.LeadAcid(uniform(rng, 2e5, 4e5))
+	c.Battery = &BatterySetup{Spec: spec, SoC0: esd.StaggeredSoC(spec, cfg.Servers)}
+}
+
+// genPriceSchedule derives the cap from an energy price curve: tight
+// while expensive, generous in the valleys. The fleet banks energy
+// cheap and spends it at the peaks.
+func genPriceSchedule(c *Campaign, rng *rand.Rand) {
+	cfg := c.Config
+	hi := float64(cfg.Servers) * 110
+	// Peak cap below the minimum possible fleet demand (70 W/server),
+	// so every price peak forces a discharge decision.
+	lo := float64(cfg.Servers) * uniform(rng, 55, 65)
+	c.Caps = capSchedule(cfg, hi)
+	peaks := 2
+	for p := 0; p < peaks; p++ {
+		at := 2 + p*cfg.Steps/2 + rng.Intn(cfg.Steps/4)
+		dur := 3 + rng.Intn(3)
+		for s := at; s < at+dur && s < cfg.Steps; s++ {
+			c.Caps[s].V = lo
+		}
+		c.Events = append(c.Events, Event{Step: at, Kind: "price-peak", Agent: -1,
+			Detail: fmt.Sprintf("price peak: cap %.0f W for %d steps", lo, dur)})
+	}
+	c.Demand = make([][]float64, cfg.Steps)
+	for s := range c.Demand {
+		row := make([]float64, cfg.Servers)
+		for i := range row {
+			row[i] = uniform(rng, 70, 95)
+		}
+		c.Demand[s] = row
+	}
+	spec := esd.LeadAcid(uniform(rng, 2.5e5, 4e5))
+	c.Battery = &BatterySetup{Spec: spec, SoC0: esd.StaggeredSoC(spec, cfg.Servers)}
+}
+
+// genBatteryFleet builds a cyclic demand over a staggered-SoC fleet:
+// no two servers start equally provisioned, so the richest-first
+// discharge and poorest-first charge orders matter from step one.
+func genBatteryFleet(c *Campaign, rng *rand.Rand) {
+	cfg := c.Config
+	c.Caps = capSchedule(cfg, float64(cfg.Servers)*uniform(rng, 90, 105))
+	base := uniform(rng, 70, 90)
+	amp := uniform(rng, 20, 35)
+	period := float64(cfg.Steps) / float64(2+rng.Intn(2))
+	phase := uniform(rng, 0, 2*math.Pi)
+	c.Events = append(c.Events, Event{Step: 0, Kind: "demand-cycle", Agent: -1,
+		Detail: fmt.Sprintf("demand %.0f±%.0f W/server over a %.0f-step period", base, amp, period)})
+	c.Demand = make([][]float64, cfg.Steps)
+	for s := range c.Demand {
+		wave := base + amp*math.Sin(2*math.Pi*float64(s)/period+phase)
+		row := make([]float64, cfg.Servers)
+		for i := range row {
+			d := wave * (1 + 0.04*uniform(rng, -1, 1))
+			if d < 10 {
+				d = 10
+			}
+			row[i] = d
+		}
+		c.Demand[s] = row
+	}
+	spec := esd.LiIon(uniform(rng, 1.5e5, 3e5))
+	c.Battery = &BatterySetup{Spec: spec, SoC0: esd.StaggeredSoC(spec, cfg.Servers)}
+}

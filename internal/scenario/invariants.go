@@ -1,0 +1,141 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"powerstruggle/internal/ctrlplane"
+)
+
+// Result is one campaign run: a deterministic invariant log (the byte
+// stream replays are compared on), the violations found, and summary
+// counters the tests and the CLI assert against.
+type Result struct {
+	Campaign Campaign
+	// Log is the canonical step-by-step record. Two runs of the same
+	// campaign must produce identical logs, byte for byte.
+	Log []string
+	// Violations are invariant breaches, in discovery order. Empty
+	// means the campaign passed.
+	Violations []string
+
+	// SafeModeSteps counts steps where at least one agent rode a lost
+	// leader in safe mode.
+	SafeModeSteps int
+	// LeaderlessMinCapW is the smallest fleet cap sum observed while
+	// leaderless with agents in safe mode (+Inf if never leaderless) —
+	// the "did the fleet cliff to zero?" witness.
+	LeaderlessMinCapW float64
+	// LeaseExpiries and Rejoins mirror the coordinator's membership
+	// counters (control-plane families).
+	LeaseExpiries int
+	Rejoins       int
+	// FinalEpoch is the leadership epoch the run ended under.
+	FinalEpoch uint64
+	// ShortfallJ, DischargedJ, ChargedJ total the ESD families' energy
+	// movement over the run.
+	ShortfallJ  float64
+	DischargedJ float64
+	ChargedJ    float64
+}
+
+// Ok reports whether every invariant held.
+func (r *Result) Ok() bool { return len(r.Violations) == 0 }
+
+// LogText renders the canonical log as one byte stream.
+func (r *Result) LogText() string {
+	return strings.Join(r.Log, "\n") + "\n"
+}
+
+func (r *Result) logf(format string, args ...any) {
+	r.Log = append(r.Log, fmt.Sprintf(format, args...))
+}
+
+func (r *Result) violatef(format string, args ...any) {
+	v := fmt.Sprintf(format, args...)
+	r.Violations = append(r.Violations, v)
+	r.Log = append(r.Log, "VIOLATION "+v)
+}
+
+// ctrlChecker holds the cross-step state the control-plane invariants
+// need: the previous cap (one lease of grace after a cap change), the
+// cap in force at the last leading grant (what a leaderless fleet's
+// held budgets must stay under), and the last observed epoch.
+type ctrlChecker struct {
+	prevCapW     float64
+	lastLeadCapW float64
+	lastEpoch    uint64
+}
+
+// check audits one control interval after the agents ticked. The cap
+// invariant: the fleet's summed enforced caps never exceed the largest
+// budget any live lease could still legitimately carry — this step's
+// cap, last step's cap (a lease granted before a drop is honored until
+// it lapses), or the cap at the last leading grant (all a leaderless
+// fleet in safe mode may hold).
+func (ck *ctrlChecker) check(r *Result, step int, t, capW float64, led bool,
+	res ctrlplane.StepResult, agents []*ctrlplane.Agent, epoch uint64) {
+
+	var capSum, gridSum float64
+	safe, fenced := 0, 0
+	for _, a := range agents {
+		capSum += a.CapW()
+		gridSum += a.GridW()
+		if a.SafeMode() {
+			safe++
+		}
+		if a.Fenced() {
+			fenced++
+		}
+	}
+	if led {
+		ck.lastLeadCapW = capW
+	}
+	allowed := math.Max(capW, math.Max(ck.prevCapW, ck.lastLeadCapW))
+	if capSum > allowed+1e-6 {
+		r.violatef("step=%03d fleet cap sum %.3f W exceeds allowed %.3f W (cap=%.3f prev=%.3f lastLead=%.3f)",
+			step, capSum, allowed, capW, ck.prevCapW, ck.lastLeadCapW)
+	}
+	if epoch < ck.lastEpoch {
+		r.violatef("step=%03d epoch went backward: %d after %d", step, epoch, ck.lastEpoch)
+	}
+	granted := 0
+	if led {
+		for i, g := range res.Granted {
+			if !g {
+				continue
+			}
+			granted++
+			// No lease honored across epochs: a grant acknowledged this
+			// interval must have been applied under the current epoch.
+			if got := agents[i].LastEpoch(); got != epoch {
+				r.violatef("step=%03d agent %d granted under epoch %d but applied epoch %d",
+					step, i, epoch, got)
+			}
+		}
+	}
+	for i, a := range agents {
+		if got := a.LastEpoch(); got > epoch {
+			r.violatef("step=%03d agent %d at epoch %d ahead of coordinator epoch %d",
+				step, i, got, epoch)
+		}
+	}
+	if safe > 0 {
+		r.SafeModeSteps++
+		if !led && capSum < r.LeaderlessMinCapW {
+			r.LeaderlessMinCapW = capSum
+		}
+	}
+	r.logf("step=%03d t=%.0f cap=%.3f capsum=%.3f grid=%.3f granted=%d safe=%d fenced=%d epoch=%d led=%d",
+		step, t, capW, capSum, gridSum, granted, safe, fenced, epoch, b2i(led))
+	ck.prevCapW = capW
+	ck.lastEpoch = epoch
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,228 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"powerstruggle/internal/cluster"
+	"powerstruggle/internal/ctrlplane"
+	"powerstruggle/internal/esd"
+	"powerstruggle/internal/faults"
+	"powerstruggle/internal/simhw"
+	"powerstruggle/internal/workload"
+)
+
+// Run generates and executes the campaign a config names.
+func Run(cfg Config) (*Result, error) {
+	c, err := Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return RunCampaign(c)
+}
+
+// RunCampaign executes a generated campaign and audits every step.
+func RunCampaign(c Campaign) (*Result, error) {
+	if len(c.Caps) != c.Config.Steps {
+		return nil, fmt.Errorf("scenario: %d cap points for %d steps", len(c.Caps), c.Config.Steps)
+	}
+	if c.Config.Family.controlPlane() {
+		return runCtrl(c)
+	}
+	return runESD(c)
+}
+
+// evaluator builds the shared cluster simulation the control-plane
+// families' agents are backed by — the same construction the parity
+// suites use, one workload mix per server in rotation.
+func evaluator(servers int) (*cluster.Evaluator, error) {
+	hw := simhw.DefaultConfig()
+	lib, err := workload.NewLibrary(hw)
+	if err != nil {
+		return nil, err
+	}
+	mixes := workload.Mixes()
+	assign := make([]workload.Mix, servers)
+	for i := range assign {
+		assign[i] = mixes[i%len(mixes)]
+	}
+	return cluster.NewEvaluator(cluster.Config{HW: hw, Library: lib, Mixes: assign})
+}
+
+// runCtrl drives a control-plane campaign: a real coordinator over
+// loopback HTTP against in-process agents, with scripted blackholes
+// and leader outages. Only deterministic faults are scripted, so the
+// invariant log replays byte-identically.
+func runCtrl(c Campaign) (*Result, error) {
+	ev, err := evaluator(c.Config.Servers)
+	if err != nil {
+		return nil, err
+	}
+	flt, err := ctrlplane.StartSimFleetOpts(ev, ctrlplane.FleetOptions{
+		Version:  "scenario",
+		SafeMode: c.SafeMode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer flt.Close()
+	inj, err := faults.NewNetInjector(faults.NetConfig{Seed: c.Config.Seed}, nil)
+	if err != nil {
+		return nil, err
+	}
+	coord, err := ctrlplane.New(ctrlplane.Config{
+		Agents: flt.Refs(),
+		// One step of lease: a partitioned agent fences (or enters safe
+		// mode) within the interval after its last grant, and MissK=1
+		// expires its membership in the same interval the outage lands.
+		LeaseS:     c.Config.StepS,
+		MissK:      1,
+		Retries:    1,
+		RPCTimeout: 5 * time.Second,
+		Transport:  inj,
+		Seed:       c.Config.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	hosts := make([]string, 0, len(flt.Refs()))
+	for _, ref := range flt.Refs() {
+		hosts = append(hosts, strings.TrimPrefix(ref.URL, "http://"))
+	}
+	eventsAt := make(map[int][]Event)
+	for _, ev := range c.Events {
+		eventsAt[ev.Step] = append(eventsAt[ev.Step], ev)
+	}
+
+	r := &Result{Campaign: c, LeaderlessMinCapW: math.Inf(1)}
+	ck := ctrlChecker{}
+	ctx := context.Background()
+	leaderDown := false
+	for s := 0; s < c.Config.Steps; s++ {
+		for _, ev := range eventsAt[s] {
+			r.logf("event step=%03d kind=%s agent=%d %s", ev.Step, ev.Kind, ev.Agent, ev.Detail)
+			switch ev.Kind {
+			case "partition":
+				inj.SetDown(hosts[ev.Agent], true)
+			case "heal":
+				inj.SetDown(hosts[ev.Agent], false)
+			case "leader-down":
+				leaderDown = true
+			case "leader-up":
+				// The restarted coordinator returns under a fresh epoch,
+				// as the HA layer would after winning an election: the
+				// granted ledger resets and every member is assigned
+				// afresh — no lease from the old epoch is renewed.
+				leaderDown = false
+				coord.SetEpoch(coord.Epoch() + 1)
+			}
+		}
+		t, capW := c.Caps[s].T, c.Caps[s].V
+		led := !leaderDown
+		var res ctrlplane.StepResult
+		if led {
+			if res, err = coord.Step(ctx, t, capW); err != nil {
+				return r, err
+			}
+		}
+		// The agents' own clocks advance regardless of the leader — the
+		// daemon-side ticker is exactly what fences a stale lease when
+		// the coordinator is gone.
+		if err := flt.Tick(t); err != nil {
+			return r, err
+		}
+		ck.check(r, s, t, capW, led, res, flt.Agents, coord.Epoch())
+	}
+	st := coord.Stats()
+	r.LeaseExpiries, r.Rejoins = st.LeaseExpiries, st.Rejoins
+	r.FinalEpoch = coord.Epoch()
+	r.logf("summary steps=%d expiries=%d rejoins=%d epoch=%d safeModeSteps=%d",
+		c.Config.Steps, st.LeaseExpiries, st.Rejoins, r.FinalEpoch, r.SafeModeSteps)
+	return r, nil
+}
+
+// runESD drives an ESD campaign: the cluster-scale battery planner over
+// the generated demand matrix and cap schedule. Pure computation — the
+// replay guarantee is structural.
+func runESD(c Campaign) (*Result, error) {
+	if c.Battery == nil {
+		return nil, fmt.Errorf("scenario: family %s has no battery setup", c.Config.Family)
+	}
+	if len(c.Demand) != c.Config.Steps {
+		return nil, fmt.Errorf("scenario: %d demand rows for %d steps", len(c.Demand), c.Config.Steps)
+	}
+	devs := make([]*esd.Device, c.Config.Servers)
+	for i := range devs {
+		d, err := esd.NewDevice(c.Battery.Spec, c.Battery.SoC0[i])
+		if err != nil {
+			return nil, err
+		}
+		devs[i] = d
+	}
+	eventsAt := make(map[int][]Event)
+	for _, ev := range c.Events {
+		eventsAt[ev.Step] = append(eventsAt[ev.Step], ev)
+	}
+	spec := c.Battery.Spec
+	r := &Result{Campaign: c, LeaderlessMinCapW: math.Inf(1)}
+	dt := c.Config.StepS
+	for s := 0; s < c.Config.Steps; s++ {
+		for _, ev := range eventsAt[s] {
+			r.logf("event step=%03d kind=%s agent=%d %s", ev.Step, ev.Kind, ev.Agent, ev.Detail)
+		}
+		capW := c.Caps[s].V
+		var demand float64
+		for _, w := range c.Demand[s] {
+			demand += w
+		}
+		plan, err := esd.PlanFleet(capW, dt, devs, c.Demand[s])
+		if err != nil {
+			return r, err
+		}
+		for i := range devs {
+			if plan.DischargeW[i] > 0 && plan.ChargeW[i] > 0 {
+				r.violatef("step=%03d device %d both charges (%.3f W) and discharges (%.3f W)",
+					s, i, plan.ChargeW[i], plan.DischargeW[i])
+			}
+		}
+		disW, chgW := esd.ApplyFleet(plan, devs, dt)
+		// The plan's bounds mirror the devices' clamps: what was planned
+		// must be what moved.
+		if math.Abs(disW-plan.TotalDischargeW()) > 1e-6 || math.Abs(chgW-plan.TotalChargeW()) > 1e-6 {
+			r.violatef("step=%03d applied (%.3f, %.3f) W diverged from plan (%.3f, %.3f) W",
+				s, disW, chgW, plan.TotalDischargeW(), plan.TotalChargeW())
+		}
+		// Grid draw never exceeds the cap except by the declared
+		// shortfall — the unavoidable loss the planner must own up to.
+		if plan.ShortfallW <= 1e-9 {
+			if plan.GridW > capW+1e-6 {
+				r.violatef("step=%03d grid %.3f W over cap %.3f W with no declared shortfall",
+					s, plan.GridW, capW)
+			}
+		} else if math.Abs(plan.GridW-(capW+plan.ShortfallW)) > 1e-6 {
+			r.violatef("step=%03d grid %.3f W inconsistent with cap %.3f W + shortfall %.3f W",
+				s, plan.GridW, capW, plan.ShortfallW)
+		}
+		socMin, socMax := math.Inf(1), math.Inf(-1)
+		for i, d := range devs {
+			soc := d.SoC()
+			if soc < spec.MinSoC-1e-9 || soc > spec.MaxSoC+1e-9 {
+				r.violatef("step=%03d device %d SoC %.6f outside [%.2f, %.2f]",
+					s, i, soc, spec.MinSoC, spec.MaxSoC)
+			}
+			socMin = math.Min(socMin, soc)
+			socMax = math.Max(socMax, soc)
+		}
+		r.ShortfallJ += plan.ShortfallW * dt
+		r.DischargedJ += disW * dt
+		r.ChargedJ += chgW * dt
+		r.logf("step=%03d t=%.0f cap=%.3f demand=%.3f grid=%.3f dis=%.3f chg=%.3f short=%.3f soc=[%.4f %.4f]",
+			s, c.Caps[s].T, capW, demand, plan.GridW, disW, chgW, plan.ShortfallW, socMin, socMax)
+	}
+	r.logf("summary steps=%d dischargedJ=%.1f chargedJ=%.1f shortfallJ=%.1f",
+		c.Config.Steps, r.DischargedJ, r.ChargedJ, r.ShortfallJ)
+	return r, nil
+}
