@@ -1,0 +1,259 @@
+// Command psbench measures the control plane's wire cost — interval
+// latency and allocations per agent — across transports and fleet
+// sizes, and gates regressions against the committed baseline.
+//
+//	psbench                                   # run the matrix, print the table
+//	psbench -write BENCH_ctrlplane.json       # refresh the committed baseline
+//	psbench -check BENCH_ctrlplane.json       # CI: fail on >20% regression
+//
+// Methodology (docs/BENCHMARKS.md): constant-time agent backends behind
+// a single shared listener, constant cap so every measured interval is
+// steady-state scrape + coalesced renewal, N >= 5 runs per cell with
+// the minimum reported. -check normalizes wall-clock latency by a host
+// factor (the json/10 reference cell) so a faster or slower CI machine
+// does not mask or fake a regression; allocation counts are compared
+// directly, since they are host-independent.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"powerstruggle/internal/buildinfo"
+	"powerstruggle/internal/ctrlplane"
+)
+
+// baselineFile is the committed BENCH_ctrlplane.json schema.
+type baselineFile struct {
+	Schema    int                       `json:"schema"`
+	Scenario  string                    `json:"scenario"`
+	Policy    string                    `json:"policy"`
+	GoVersion string                    `json:"go_version"`
+	Cells     []ctrlplane.WireBenchCell `json:"cells"`
+}
+
+const scenarioDesc = "constant cap, steady-state renewals, constant-time backend, shared loopback listener"
+const policyDesc = "min over N>=5 runs per cell; latency normalized by the json/10 host factor on -check; see docs/BENCHMARKS.md"
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("psbench: ")
+	var (
+		fleets     = flag.String("fleets", "10,100,1000", "comma-separated fleet sizes to measure")
+		transports = flag.String("transports", "json,binary", "comma-separated transports to measure")
+		runs       = flag.Int("runs", 5, "samples per cell (minimum is reported; policy floor is 5)")
+		intervals  = flag.Int("intervals", 10, "measured control intervals per sample")
+		inflight   = flag.Int("max-inflight", 64, "coordinator fan-out width (identical across cells)")
+		write      = flag.String("write", "", "write the results as a baseline file at this path")
+		check      = flag.String("check", "", "compare against the baseline file at this path; exit 1 on regression")
+		gate       = flag.Float64("gate", 0.20, "regression gate as a fraction (0.20: fail if >20% worse)")
+		version    = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Version())
+		return
+	}
+
+	sizes, err := parseSizes(*fleets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var kinds []ctrlplane.TransportKind
+	for _, tok := range strings.Split(*transports, ",") {
+		k, err := ctrlplane.ParseTransport(strings.TrimSpace(tok))
+		if err != nil {
+			log.Fatal(err)
+		}
+		kinds = append(kinds, k)
+	}
+
+	var cells []ctrlplane.WireBenchCell
+	for _, n := range sizes {
+		for _, kind := range kinds {
+			log.Printf("measuring %s/%d (%d runs x %d intervals)...", kind, n, *runs, *intervals)
+			cell, err := ctrlplane.RunWireBench(ctrlplane.WireBenchOptions{
+				Agents:      n,
+				Transport:   kind,
+				Runs:        *runs,
+				Intervals:   *intervals,
+				MaxInFlight: *inflight,
+			})
+			if err != nil {
+				log.Fatalf("%s/%d: %v", kind, n, err)
+			}
+			cells = append(cells, cell)
+		}
+	}
+
+	printTable(cells)
+	failed := false
+	if err := checkBinaryWins(cells); err != nil {
+		log.Printf("FAIL: %v", err)
+		failed = true
+	}
+
+	if *check != "" {
+		base, err := readBaseline(*check)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if errs := compareBaseline(base, cells, *gate); len(errs) > 0 {
+			for _, e := range errs {
+				log.Printf("FAIL: %v", e)
+			}
+			failed = true
+		} else {
+			log.Printf("baseline check passed (gate %.0f%%)", *gate*100)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+
+	if *write != "" {
+		out := baselineFile{
+			Schema:    1,
+			Scenario:  scenarioDesc,
+			Policy:    policyDesc,
+			GoVersion: runtime.Version(),
+			Cells:     cells,
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*write, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *write)
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, tok := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad fleet size %q", tok)
+		}
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("no fleet sizes")
+	}
+	return sizes, nil
+}
+
+func printTable(cells []ctrlplane.WireBenchCell) {
+	fmt.Printf("%-9s %7s %15s %14s %7s %8s %13s\n",
+		"transport", "agents", "ns/interval", "allocs/agent", "dials", "reuses", "batch frames")
+	for _, c := range cells {
+		fmt.Printf("%-9s %7d %15d %14.1f %7d %8d %13d\n",
+			c.Transport, c.Agents, c.NsPerInterval, c.AllocsPerAgentInterval,
+			c.ConnDials, c.ConnReuses, c.BatchFrames)
+	}
+}
+
+func findCell(cells []ctrlplane.WireBenchCell, transport string, agents int) *ctrlplane.WireBenchCell {
+	for i := range cells {
+		if cells[i].Transport == transport && cells[i].Agents == agents {
+			return &cells[i]
+		}
+	}
+	return nil
+}
+
+// checkBinaryWins enforces the headline claim whenever the matrix
+// includes both transports: at the largest fleet size, binary must beat
+// JSON on interval latency and on allocations per agent.
+func checkBinaryWins(cells []ctrlplane.WireBenchCell) error {
+	max := 0
+	for _, c := range cells {
+		if c.Agents > max {
+			max = c.Agents
+		}
+	}
+	j, b := findCell(cells, "json", max), findCell(cells, "binary", max)
+	if j == nil || b == nil {
+		return nil // single-transport exploration run; nothing to compare
+	}
+	if b.NsPerInterval >= j.NsPerInterval {
+		return fmt.Errorf("binary interval latency %d ns does not beat json %d ns at %d agents",
+			b.NsPerInterval, j.NsPerInterval, max)
+	}
+	if b.AllocsPerAgentInterval >= j.AllocsPerAgentInterval {
+		return fmt.Errorf("binary allocs/agent %.1f do not beat json %.1f at %d agents",
+			b.AllocsPerAgentInterval, j.AllocsPerAgentInterval, max)
+	}
+	return nil
+}
+
+func readBaseline(path string) (baselineFile, error) {
+	var base baselineFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return base, err
+	}
+	if err := json.Unmarshal(data, &base); err != nil {
+		return base, fmt.Errorf("%s: %w", path, err)
+	}
+	if base.Schema != 1 {
+		return base, fmt.Errorf("%s: schema %d, want 1", path, base.Schema)
+	}
+	return base, nil
+}
+
+// compareBaseline gates the current cells against the committed
+// baseline. Wall-clock latency is normalized by the host factor — the
+// ratio of the reference cell (json at the smallest common fleet size)
+// between this host and the baseline host — so only relative
+// regressions fail. Allocation counts compare directly.
+func compareBaseline(base baselineFile, cells []ctrlplane.WireBenchCell, gate float64) []error {
+	refAgents := 0
+	for _, bc := range base.Cells {
+		if bc.Transport != "json" {
+			continue
+		}
+		if findCell(cells, "json", bc.Agents) == nil {
+			continue
+		}
+		if refAgents == 0 || bc.Agents < refAgents {
+			refAgents = bc.Agents
+		}
+	}
+	if refAgents == 0 {
+		return []error{fmt.Errorf("no common json reference cell between baseline and this run")}
+	}
+	refBase := findCell(base.Cells, "json", refAgents)
+	refCur := findCell(cells, "json", refAgents)
+	hostFactor := float64(refCur.NsPerInterval) / float64(refBase.NsPerInterval)
+
+	var errs []error
+	for i := range base.Cells {
+		bc := &base.Cells[i]
+		cur := findCell(cells, bc.Transport, bc.Agents)
+		if cur == nil {
+			errs = append(errs, fmt.Errorf("baseline cell %s/%d not measured in this run", bc.Transport, bc.Agents))
+			continue
+		}
+		normNs := float64(cur.NsPerInterval) / hostFactor
+		if normNs > float64(bc.NsPerInterval)*(1+gate) {
+			errs = append(errs, fmt.Errorf(
+				"%s/%d interval latency regressed: %.0f ns normalized (host factor %.2f) vs baseline %d ns (gate %.0f%%)",
+				bc.Transport, bc.Agents, normNs, hostFactor, bc.NsPerInterval, gate*100))
+		}
+		if cur.AllocsPerAgentInterval > bc.AllocsPerAgentInterval*(1+gate) {
+			errs = append(errs, fmt.Errorf(
+				"%s/%d allocs/agent regressed: %.1f vs baseline %.1f (gate %.0f%%)",
+				bc.Transport, bc.Agents, cur.AllocsPerAgentInterval, bc.AllocsPerAgentInterval, gate*100))
+		}
+	}
+	return errs
+}

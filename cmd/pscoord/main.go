@@ -74,7 +74,9 @@ func main() {
 		brkFails   = flag.Int("breaker-fails", 0, "consecutive failed scrapes before an agent's circuit breaker opens (0: disabled)")
 		brkOpen    = flag.Int("breaker-open", 0, "control intervals an open breaker skips before a half-open probe (0: default 4)")
 		floorW     = flag.Float64("floor", 0, "per-server idle floor for the utility DP (0: learn from agent reports)")
+		transport  = flag.String("transport", "json", "default wire for scheme-less addresses: json (HTTP) or binary (pooled TCP frames); explicit http:// or tcp:// URLs override per agent")
 		listen     = flag.String("listen", "", "serve /ctrl/register (agent self-registration; the fleet may then start empty) and /ctrl/leader on this address")
+		binListen  = flag.String("binary-listen", "", "serve the register/vote/leader surface as binary frames on this TCP address (agents announce to tcp://<addr>)")
 		haStore    = flag.String("ha-store", "", "run leader-elected on a shared term file: the path every coordinator of this cluster points at")
 		haMembers  = flag.String("ha-members", "", "run leader-elected on a replicated quorum store: comma-separated voter base URLs of the whole coordinator pool, this member's -listen address included (no shared filesystem needed)")
 		haPriority = flag.Int("ha-priority", 0, "takeover rank in the pool: 0 steals a lapsed term first, higher ranks hold off longer")
@@ -89,15 +91,18 @@ func main() {
 		return
 	}
 
+	kind, err := ctrlplane.ParseTransport(*transport)
+	if err != nil {
+		log.Fatal(err)
+	}
 	var refs []ctrlplane.AgentRef
 	if strings.TrimSpace(*agents) != "" {
-		var err error
-		refs, err = parseAgents(*agents)
+		refs, err = parseAgents(*agents, kind)
 		if err != nil {
 			log.Fatal(err)
 		}
-	} else if *listen == "" {
-		log.Fatal("no agents: pass -agents url[,url...], or -listen to build the fleet from registrations")
+	} else if *listen == "" && *binListen == "" {
+		log.Fatal("no agents: pass -agents url[,url...], or -listen/-binary-listen to build the fleet from registrations")
 	}
 	strat, err := ctrlplane.ParseStrategy(*strategy)
 	if err != nil {
@@ -114,7 +119,7 @@ func main() {
 	hub := telemetry.New(0)
 	coord, err := ctrlplane.New(ctrlplane.Config{
 		Agents:               refs,
-		Dynamic:              *listen != "",
+		Dynamic:              *listen != "" || *binListen != "",
 		Strategy:             strat,
 		LeaseS:               leaseS,
 		MissK:                *missK,
@@ -129,6 +134,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer coord.Close()
 
 	id := *haID
 	if id == "" {
@@ -170,10 +176,7 @@ func main() {
 			if tok == "" {
 				continue
 			}
-			if !strings.HasPrefix(tok, "http://") && !strings.HasPrefix(tok, "https://") {
-				tok = "http://" + tok
-			}
-			voters = append(voters, tok)
+			voters = append(voters, kind.DefaultScheme(tok))
 		}
 		voter = ctrlplane.NewQuorumVoter(hub)
 		store, err := ctrlplane.NewQuorumElection(ctrlplane.QuorumConfig{
@@ -205,6 +208,14 @@ func main() {
 		}()
 		defer srv.Close()
 		log.Printf("serving /ctrl/register and /ctrl/leader on %s", *listen)
+	}
+	if *binListen != "" {
+		bsrv, err := ctrlplane.StartBinaryServer(*binListen, ctrlplane.NewCoordinatorBinaryConfig(coord, ha, voter))
+		if err != nil {
+			log.Fatalf("binary listener: %v", err)
+		}
+		defer bsrv.Close()
+		log.Printf("serving register/vote/leader frames on %s", bsrv.URL())
 	}
 
 	var caps []trace.Point
@@ -333,8 +344,10 @@ func summarize(coord *ctrlplane.Coordinator, ha *ctrlplane.HA) {
 }
 
 // parseAgents accepts "url,url,..." (IDs follow list order) or
-// "id=url,id=url" pairs.
-func parseAgents(s string) ([]ctrlplane.AgentRef, error) {
+// "id=url,id=url" pairs. Scheme-less tokens get the -transport kind's
+// scheme, so the same list works over either wire; explicit http:// or
+// tcp:// URLs pick their own per agent.
+func parseAgents(s string, kind ctrlplane.TransportKind) ([]ctrlplane.AgentRef, error) {
 	if strings.TrimSpace(s) == "" {
 		return nil, fmt.Errorf("no agents: pass -agents url[,url...]")
 	}
@@ -349,9 +362,7 @@ func parseAgents(s string) ([]ctrlplane.AgentRef, error) {
 			}
 			id, url = n, strings.TrimSpace(v)
 		}
-		if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
-			url = "http://" + url
-		}
+		url = kind.DefaultScheme(url)
 		refs = append(refs, ctrlplane.AgentRef{ID: id, URL: strings.TrimSuffix(url, "/")})
 	}
 	return refs, nil

@@ -66,8 +66,10 @@ func main() {
 		ctrlDecay    = flag.Float64("ctrl-safemode-decay", 0, "leaderless safe mode: watts per second to decay the held cap after lease lapse (0: cliff straight to the fence cap)")
 		ctrlHold     = flag.Float64("ctrl-safemode-hold", 0, "leaderless safe mode: seconds to hold the last granted cap before decaying")
 		ctrlFloor    = flag.Float64("ctrl-safemode-floor", 0, "leaderless safe mode: decay target in watts (0: the fence cap)")
-		ctrlAnnounce = flag.String("ctrl-announce", "", "comma-separated coordinator base URLs to register with at boot (every one, so standbys are warm too)")
-		ctrlAdvert   = flag.String("ctrl-advertise", "", "base URL coordinators should dial back (default http://<listen address>)")
+		ctrlAnnounce = flag.String("ctrl-announce", "", "comma-separated coordinator base URLs to register with at boot (every one, so standbys are warm too); scheme-less addresses get the -transport scheme")
+		ctrlAdvert   = flag.String("ctrl-advertise", "", "base URL coordinators should dial back (default: the -transport scheme on the matching listen address)")
+		ctrlBinary   = flag.String("ctrl-binary-listen", "", "serve the control plane as binary frames on this TCP address besides the HTTP routes")
+		transport    = flag.String("transport", "json", "default wire for scheme-less -ctrl-announce addresses and the advertised URL: json (HTTP) or binary (TCP frames)")
 
 		version = flag.Bool("version", false, "print version and exit")
 	)
@@ -101,6 +103,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	kind, err := ctrlplane.ParseTransport(*transport)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *ctrlServer >= 0 {
 		cfg := daemon.CtrlConfig{
 			ServerID: *ctrlServer, FenceCapW: *ctrlFence,
@@ -119,6 +125,24 @@ func main() {
 	} else if *ctrlAnnounce != "" {
 		log.Fatal("-ctrl-announce needs -ctrl-server (the fleet index to register as)")
 	}
+	var binSrv *ctrlplane.BinaryServer
+	if *ctrlBinary != "" {
+		if *ctrlServer < 0 {
+			log.Fatal("-ctrl-binary-listen needs -ctrl-server (the control plane must be enabled)")
+		}
+		ep, err := d.CtrlEndpoint()
+		if err != nil {
+			log.Fatal(err)
+		}
+		binSrv, err = ctrlplane.StartBinaryServer(*ctrlBinary, ctrlplane.BinaryServerConfig{
+			Endpoints: map[int]ctrlplane.CtrlEndpoint{*ctrlServer: ep},
+		})
+		if err != nil {
+			log.Fatalf("binary listener: %v", err)
+		}
+		defer binSrv.Close()
+		log.Printf("serving control frames on %s", binSrv.URL())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -126,15 +150,22 @@ func main() {
 	if *ctrlAnnounce != "" {
 		coords := strings.Split(*ctrlAnnounce, ",")
 		for i := range coords {
-			coords[i] = strings.TrimSpace(coords[i])
+			coords[i] = kind.DefaultScheme(strings.TrimSpace(coords[i]))
 		}
 		advert := *ctrlAdvert
 		if advert == "" {
-			host := *listen
-			if strings.HasPrefix(host, ":") {
-				host = "127.0.0.1" + host
+			if kind == ctrlplane.TransportBinary {
+				if binSrv == nil {
+					log.Fatal("-transport binary needs -ctrl-binary-listen (or an explicit -ctrl-advertise URL)")
+				}
+				advert = binSrv.URL()
+			} else {
+				host := *listen
+				if strings.HasPrefix(host, ":") {
+					host = "127.0.0.1" + host
+				}
+				advert = "http://" + host
 			}
-			advert = "http://" + host
 		}
 		req := ctrlplane.RegisterRequest{V: ctrlplane.ProtocolV, Server: *ctrlServer, URL: advert}
 		// Announce in the background with retries: the daemon must come

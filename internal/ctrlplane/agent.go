@@ -322,6 +322,19 @@ func (a *Agent) Report() (Report, error) {
 	}, nil
 }
 
+// Scrape is Tick-then-Report in one call: the server side of a
+// telemetry scrape regardless of transport (the HTTP handler parses
+// ?t= into it, the binary server decodes a scrape frame into it).
+// hasT is false when the scrape carries no coordinator clock.
+func (a *Agent) Scrape(t float64, hasT bool) (Report, error) {
+	if hasT {
+		if err := a.Tick(t); err != nil {
+			return Report{}, err
+		}
+	}
+	return a.Report()
+}
+
 // stateLocked builds an AssignResponse from the current state.
 func (a *Agent) stateLocked(applied bool) AssignResponse {
 	return AssignResponse{
@@ -374,6 +387,14 @@ func (a *Agent) SafeModeEntries() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.safeEntries
+}
+
+// Assigns counts applied budget grants — renewals excluded, so a
+// steady-state fleet shows one assign followed by renewals only.
+func (a *Agent) Assigns() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.assigns
 }
 
 // Fences counts lease lapses that forced the fail-safe cap.

@@ -1,0 +1,292 @@
+package ctrlplane
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxIdleBinaryConns caps pooled conns per host. Unary fan-out to one
+// shared listener holds at most MaxInFlight conns at once; batch
+// fan-out needs one or two.
+const maxIdleBinaryConns = 16
+
+const (
+	binaryDialTimeout    = 5 * time.Second
+	binaryDefaultTimeout = 30 * time.Second
+)
+
+// frameRemoteError is a server-side failure relayed in a FrameError
+// frame. The conn that carried it is still in protocol sync, so it
+// goes back to the pool and the error is not worth a redial.
+type frameRemoteError struct{ msg string }
+
+func (e *frameRemoteError) Error() string { return "ctrlplane: remote: " + e.msg }
+
+// bconn is one pooled framed conn.
+type bconn struct {
+	c      net.Conn
+	br     *bufio.Reader
+	reused bool
+}
+
+// binaryTransport is the binary encoding: length-prefixed frames over
+// persistent TCP conns, pooled per host so an interval's fan-out
+// reuses last interval's conns instead of re-dialing. Each method is a
+// single protocol attempt; a reused conn gets one transparent redial
+// on transport failure, because a pooled conn may have died since its
+// last use and that is indistinguishable from a dead peer without one
+// fresh dial.
+type binaryTransport struct {
+	tel    *ctrlTel
+	dials  atomic.Uint64
+	reuses atomic.Uint64
+
+	mu     sync.Mutex
+	idle   map[string][]*bconn
+	closed bool
+}
+
+func newBinaryTransport(tel *ctrlTel) *binaryTransport {
+	return &binaryTransport{tel: tel, idle: map[string][]*bconn{}}
+}
+
+func (t *binaryTransport) Name() string { return "binary" }
+
+// binaryHost strips the tcp:// scheme and any path suffix off a base URL.
+func binaryHost(base string) string {
+	h := strings.TrimPrefix(base, "tcp://")
+	if i := strings.IndexByte(h, '/'); i >= 0 {
+		h = h[:i]
+	}
+	return h
+}
+
+func (t *binaryTransport) checkout(ctx context.Context, host string) (*bconn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("ctrlplane: binary transport closed")
+	}
+	if list := t.idle[host]; len(list) > 0 {
+		bc := list[len(list)-1]
+		list[len(list)-1] = nil
+		t.idle[host] = list[:len(list)-1]
+		t.mu.Unlock()
+		bc.reused = true
+		t.reuses.Add(1)
+		t.tel.connReuses.With("binary").Inc()
+		return bc, nil
+	}
+	t.mu.Unlock()
+	return t.dial(ctx, host)
+}
+
+func (t *binaryTransport) dial(ctx context.Context, host string) (*bconn, error) {
+	d := net.Dialer{Timeout: binaryDialTimeout}
+	c, err := d.DialContext(ctx, "tcp", host)
+	if err != nil {
+		return nil, err
+	}
+	t.dials.Add(1)
+	t.tel.connDials.With("binary").Inc()
+	return &bconn{c: c, br: bufio.NewReader(c)}, nil
+}
+
+func (t *binaryTransport) put(host string, bc *bconn) {
+	t.mu.Lock()
+	if !t.closed && len(t.idle[host]) < maxIdleBinaryConns {
+		t.idle[host] = append(t.idle[host], bc)
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Unlock()
+	bc.c.Close()
+}
+
+// exchange writes one request frame and reads its response frame. Any
+// transport-level failure closes the conn (the stream can no longer be
+// trusted to be at a frame boundary).
+func (t *binaryTransport) exchange(ctx context.Context, bc *bconn, frame []byte, respType byte) ([]byte, error) {
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		deadline = time.Now().Add(binaryDefaultTimeout)
+	}
+	_ = bc.c.SetDeadline(deadline)
+	if _, err := bc.c.Write(frame); err != nil {
+		bc.c.Close()
+		return nil, err
+	}
+	t.tel.wireFrames.With("binary", "tx").Inc()
+	t.tel.wireBytes.With("binary", "tx").Add(uint64(len(frame)))
+	ftype, payload, err := readFrame(bc.br)
+	if err != nil {
+		bc.c.Close()
+		return nil, err
+	}
+	t.tel.wireFrames.With("binary", "rx").Inc()
+	t.tel.wireBytes.With("binary", "rx").Add(uint64(frameHeaderLen + len(payload)))
+	switch ftype {
+	case respType:
+		return payload, nil
+	case FrameError:
+		msg, derr := decodeErrPayload(payload)
+		if derr != nil {
+			bc.c.Close()
+			return nil, derr
+		}
+		return nil, &frameRemoteError{msg: msg}
+	default:
+		bc.c.Close()
+		return nil, fmt.Errorf("ctrlplane: frame type %#02x in reply, want %#02x", ftype, respType)
+	}
+}
+
+// roundTrip runs one request/response exchange against base, pooling
+// the conn on success (and on remote errors, which leave the stream in
+// sync).
+func (t *binaryTransport) roundTrip(ctx context.Context, base string, reqType byte, payload []byte, respType byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	host := binaryHost(base)
+	frame := EncodeFrame(reqType, payload)
+	bc, err := t.checkout(ctx, host)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := t.exchange(ctx, bc, frame, respType)
+	var remote *frameRemoteError
+	if err == nil {
+		t.put(host, bc)
+		return resp, nil
+	}
+	if errors.As(err, &remote) {
+		t.put(host, bc)
+		return nil, err
+	}
+	if bc.reused && ctx.Err() == nil {
+		bc2, derr := t.dial(ctx, host)
+		if derr != nil {
+			return nil, err
+		}
+		resp, err = t.exchange(ctx, bc2, frame, respType)
+		if err == nil {
+			t.put(host, bc2)
+			return resp, nil
+		}
+		if errors.As(err, &remote) {
+			t.put(host, bc2)
+			return nil, err
+		}
+	}
+	return nil, err
+}
+
+// closeIdle drops every pooled conn (chaos drills bounce the pool).
+func (t *binaryTransport) closeIdle() {
+	t.mu.Lock()
+	idle := t.idle
+	t.idle = map[string][]*bconn{}
+	t.mu.Unlock()
+	for _, list := range idle {
+		for _, bc := range list {
+			bc.c.Close()
+		}
+	}
+}
+
+func (t *binaryTransport) Close() {
+	t.mu.Lock()
+	t.closed = true
+	t.mu.Unlock()
+	t.closeIdle()
+}
+
+func (t *binaryTransport) Scrape(ctx context.Context, base string, server int, at float64, hasT bool) (Report, error) {
+	p, err := t.roundTrip(ctx, base, FrameScrapeReq, appendScrapeReq(nil, server, at, hasT), FrameReportResp)
+	if err != nil {
+		return Report{}, err
+	}
+	return decodeReportPayload(p)
+}
+
+func (t *binaryTransport) Assign(ctx context.Context, base string, req AssignRequest) (AssignResponse, error) {
+	if err := req.Validate(); err != nil {
+		return AssignResponse{}, err
+	}
+	p, err := t.roundTrip(ctx, base, FrameAssignReq, appendAssignReq(nil, req), FrameAssignResp)
+	if err != nil {
+		return AssignResponse{}, err
+	}
+	return decodeAssignRespPayload(p)
+}
+
+func (t *binaryTransport) Renew(ctx context.Context, base string, req LeaseRequest) (LeaseResponse, error) {
+	if err := req.Validate(); err != nil {
+		return LeaseResponse{}, err
+	}
+	p, err := t.roundTrip(ctx, base, FrameLeaseReq, appendLeaseReq(nil, req), FrameLeaseResp)
+	if err != nil {
+		return LeaseResponse{}, err
+	}
+	return decodeLeaseRespPayload(p)
+}
+
+func (t *binaryTransport) Register(ctx context.Context, base string, req RegisterRequest) (RegisterResponse, error) {
+	if err := req.Validate(); err != nil {
+		return RegisterResponse{}, err
+	}
+	p, err := t.roundTrip(ctx, base, FrameRegisterReq, appendRegisterReq(nil, req), FrameRegisterResp)
+	if err != nil {
+		return RegisterResponse{}, err
+	}
+	return decodeRegisterRespPayload(p)
+}
+
+func (t *binaryTransport) Vote(ctx context.Context, base string, req VoteRequest) (VoteResponse, error) {
+	if err := req.Validate(); err != nil {
+		return VoteResponse{}, err
+	}
+	p, err := t.roundTrip(ctx, base, FrameVoteReq, appendVoteReq(nil, req), FrameVoteResp)
+	if err != nil {
+		return VoteResponse{}, err
+	}
+	return decodeVoteRespPayload(p)
+}
+
+func (t *binaryTransport) Leader(ctx context.Context, base string) (LeaderStatus, error) {
+	p, err := t.roundTrip(ctx, base, FrameLeaderReq, nil, FrameLeaderResp)
+	if err != nil {
+		return LeaderStatus{}, err
+	}
+	return decodeLeaderStatusPayload(p)
+}
+
+func (t *binaryTransport) ScrapeBatch(ctx context.Context, base string, req BatchScrapeRequest) (BatchScrapeResponse, error) {
+	if err := req.Validate(); err != nil {
+		return BatchScrapeResponse{}, err
+	}
+	p, err := t.roundTrip(ctx, base, FrameBatchScrapeReq, appendBatchScrapeReq(nil, req), FrameBatchScrapeResp)
+	if err != nil {
+		return BatchScrapeResponse{}, err
+	}
+	return decodeBatchScrapeRespPayload(p)
+}
+
+func (t *binaryTransport) GrantBatch(ctx context.Context, base string, req BatchGrantRequest) (BatchGrantResponse, error) {
+	if err := req.Validate(); err != nil {
+		return BatchGrantResponse{}, err
+	}
+	p, err := t.roundTrip(ctx, base, FrameBatchGrantReq, appendBatchGrantReq(nil, req), FrameBatchGrantResp)
+	if err != nil {
+		return BatchGrantResponse{}, err
+	}
+	return decodeBatchGrantRespPayload(p)
+}

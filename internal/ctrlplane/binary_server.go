@@ -1,0 +1,328 @@
+package ctrlplane
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// CtrlEndpoint is the server-side surface one agent exposes to the
+// binary transport — implemented by *Agent for replay fleets and by
+// the daemon's control adapter for live servers. Methods mirror the
+// three agent RPCs; all must be safe for concurrent use.
+type CtrlEndpoint interface {
+	Assign(req AssignRequest) (AssignResponse, error)
+	Renew(req LeaseRequest) (LeaseResponse, error)
+	Scrape(t float64, hasT bool) (Report, error)
+}
+
+// BinaryServerConfig wires endpoints into a BinaryServer. Endpoints
+// maps server id → agent; many agents share one listener, which is
+// what makes batch frames possible. The coordinator hooks are nil on
+// agent-only servers — the matching frames then answer FrameError.
+type BinaryServerConfig struct {
+	Endpoints map[int]CtrlEndpoint
+	Register  func(req RegisterRequest) RegisterResponse
+	Vote      func(req VoteRequest) VoteResponse
+	Leader    func() LeaderStatus
+}
+
+// BinaryServer serves the binary framing of the v2 control protocol on
+// one TCP listener: many agents (and optionally a coordinator's
+// register/vote/leader surface) behind a single addr, one goroutine
+// per conn, frames answered in arrival order per conn.
+type BinaryServer struct {
+	cfg BinaryServerConfig
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// serverIdleTimeout sheds conns idle longer than this; clients redial
+// transparently.
+const serverIdleTimeout = 5 * time.Minute
+
+// StartBinaryServer listens on addr (host:port, port 0 for ephemeral)
+// and serves until Close.
+func StartBinaryServer(addr string, cfg BinaryServerConfig) (*BinaryServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &BinaryServer{cfg: cfg, ln: ln, conns: map[net.Conn]struct{}{}}
+	s.wg.Add(1)
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *BinaryServer) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the tcp:// base URL clients dial.
+func (s *BinaryServer) URL() string { return "tcp://" + s.Addr() }
+
+// BounceConns closes every live conn (chaos drills); the listener
+// stays up, so clients recover by redialing.
+func (s *BinaryServer) BounceConns() {
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Close stops the listener and tears down every conn.
+func (s *BinaryServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.ln.Close()
+	s.BounceConns()
+	s.wg.Wait()
+}
+
+func (s *BinaryServer) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *BinaryServer) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+func (s *BinaryServer) serve() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		if !s.track(c) {
+			c.Close()
+			return
+		}
+		s.wg.Add(1)
+		go s.handle(c)
+	}
+}
+
+func (s *BinaryServer) handle(c net.Conn) {
+	defer s.wg.Done()
+	defer s.untrack(c)
+	defer c.Close()
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	for {
+		_ = c.SetReadDeadline(time.Now().Add(serverIdleTimeout))
+		ftype, payload, err := readFrame(br)
+		if err != nil {
+			// Framing errors (bad magic, truncation, oversize) desync
+			// the stream: there is no way back to a frame boundary, so
+			// the conn is dropped rather than answered.
+			return
+		}
+		respType, resp := s.dispatch(ftype, payload)
+		_ = c.SetWriteDeadline(time.Now().Add(30 * time.Second))
+		if err := writeFrame(bw, respType, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *BinaryServer) endpoint(server int) (CtrlEndpoint, error) {
+	ep, ok := s.cfg.Endpoints[server]
+	if !ok {
+		return nil, fmt.Errorf("no agent %d behind this listener", server)
+	}
+	return ep, nil
+}
+
+// dispatch answers one decoded frame. Malformed payloads inside a
+// well-framed message answer FrameError and keep the conn — the moral
+// equivalent of the HTTP handlers' 400s.
+func (s *BinaryServer) dispatch(ftype byte, payload []byte) (byte, []byte) {
+	fail := func(err error) (byte, []byte) {
+		return FrameError, appendErrPayload(nil, err.Error())
+	}
+	switch ftype {
+	case FrameScrapeReq:
+		server, t, hasT, err := decodeScrapeReq(payload)
+		if err != nil {
+			return fail(err)
+		}
+		ep, err := s.endpoint(server)
+		if err != nil {
+			return fail(err)
+		}
+		rep, err := ep.Scrape(t, hasT)
+		if err != nil {
+			return fail(err)
+		}
+		return FrameReportResp, appendReportPayload(nil, rep)
+
+	case FrameAssignReq:
+		req, err := decodeAssignReqPayload(payload)
+		if err != nil {
+			return fail(err)
+		}
+		ep, err := s.endpoint(req.Server)
+		if err != nil {
+			return fail(err)
+		}
+		resp, err := ep.Assign(req)
+		if err != nil {
+			return fail(err)
+		}
+		return FrameAssignResp, appendAssignRespPayload(nil, resp)
+
+	case FrameLeaseReq:
+		req, err := decodeLeaseReqPayload(payload)
+		if err != nil {
+			return fail(err)
+		}
+		ep, err := s.endpoint(req.Server)
+		if err != nil {
+			return fail(err)
+		}
+		resp, err := ep.Renew(req)
+		if err != nil {
+			return fail(err)
+		}
+		return FrameLeaseResp, appendLeaseRespPayload(nil, resp)
+
+	case FrameRegisterReq:
+		if s.cfg.Register == nil {
+			return fail(fmt.Errorf("not a coordinator: no register endpoint"))
+		}
+		req, err := decodeRegisterReqPayload(payload)
+		if err != nil {
+			return fail(err)
+		}
+		return FrameRegisterResp, appendRegisterRespPayload(nil, s.cfg.Register(req))
+
+	case FrameVoteReq:
+		if s.cfg.Vote == nil {
+			return fail(fmt.Errorf("not a quorum voter: no vote endpoint"))
+		}
+		req, err := decodeVoteReqPayload(payload)
+		if err != nil {
+			return fail(err)
+		}
+		return FrameVoteResp, appendVoteRespPayload(nil, s.cfg.Vote(req))
+
+	case FrameLeaderReq:
+		if s.cfg.Leader == nil {
+			return fail(fmt.Errorf("not a coordinator: no leader endpoint"))
+		}
+		if len(payload) != 0 {
+			return fail(fmt.Errorf("leader request carries %d payload bytes", len(payload)))
+		}
+		return FrameLeaderResp, appendLeaderStatusPayload(nil, s.cfg.Leader())
+
+	case FrameBatchScrapeReq:
+		req, err := decodeBatchScrapeReqPayload(payload)
+		if err != nil {
+			return fail(err)
+		}
+		resp := BatchScrapeResponse{V: ProtocolV}
+		for _, server := range req.Servers {
+			resp.Results = append(resp.Results, s.scrapeOne(server, req.T, req.HasT))
+		}
+		return FrameBatchScrapeResp, appendBatchScrapeRespPayload(nil, resp)
+
+	case FrameBatchGrantReq:
+		req, err := decodeBatchGrantReqPayload(payload)
+		if err != nil {
+			return fail(err)
+		}
+		resp := BatchGrantResponse{V: ProtocolV}
+		for _, e := range req.Entries {
+			resp.Results = append(resp.Results, s.grantOne(req, e))
+		}
+		return FrameBatchGrantResp, appendBatchGrantRespPayload(nil, resp)
+	}
+	return fail(fmt.Errorf("frame type %#02x is not a request", ftype))
+}
+
+func (s *BinaryServer) scrapeOne(server int, t float64, hasT bool) ScrapeResult {
+	ep, err := s.endpoint(server)
+	if err != nil {
+		return ScrapeResult{Server: server, Err: err.Error()}
+	}
+	rep, err := ep.Scrape(t, hasT)
+	if err != nil {
+		return ScrapeResult{Server: server, Err: err.Error()}
+	}
+	return ScrapeResult{Server: server, Report: rep}
+}
+
+// NewCoordinatorBinaryConfig exposes a coordinator's register/vote/
+// leader surface over binary frames — the frame-for-frame mirror of
+// NewCoordinatorHandler. ha and voter may be nil with the same
+// meanings. Merge the result with agent endpoints to co-host both on
+// one listener.
+func NewCoordinatorBinaryConfig(c *Coordinator, ha *HA, voter *QuorumVoter) BinaryServerConfig {
+	cfg := BinaryServerConfig{
+		Register: func(req RegisterRequest) RegisterResponse {
+			resp := c.Register(req)
+			st := coordStatus(c, ha)
+			resp.Leader = st.Leader
+			resp.LeaderID = st.LeaderID
+			return resp
+		},
+		Leader: func() LeaderStatus { return coordStatus(c, ha) },
+	}
+	if voter != nil {
+		cfg.Vote = voter.Vote
+	}
+	return cfg
+}
+
+// grantOne applies one batch-grant entry: a coalesced renewal first
+// when asked, falling through to a fresh assign under the frame's
+// (Epoch, Seq) when the renewal did not hold the requested budget —
+// the coordinator's unary renew-else-assign sequence, server-side.
+func (s *BinaryServer) grantOne(req BatchGrantRequest, e GrantEntry) GrantResult {
+	ep, err := s.endpoint(e.Server)
+	if err != nil {
+		return GrantResult{Server: e.Server, Err: err.Error()}
+	}
+	if e.Renew {
+		lr := LeaseRequest{V: ProtocolV, Epoch: req.Epoch, Server: e.Server, T: req.T, LeaseS: req.LeaseS}
+		resp, err := ep.Renew(lr)
+		if err == nil && !resp.Fenced && resp.Epoch == req.Epoch && resp.CapW == e.CapW {
+			return GrantResult{Server: e.Server, Renewed: true, Resp: AssignResponse{
+				V: ProtocolV, Server: e.Server, Epoch: resp.Epoch, CapW: resp.CapW, Fenced: resp.Fenced,
+			}}
+		}
+	}
+	ar := AssignRequest{V: ProtocolV, Epoch: req.Epoch, Seq: req.Seq, Server: e.Server, T: req.T, CapW: e.CapW, LeaseS: req.LeaseS}
+	resp, err := ep.Assign(ar)
+	if err != nil {
+		return GrantResult{Server: e.Server, Err: err.Error()}
+	}
+	return GrantResult{Server: e.Server, Resp: resp}
+}

@@ -1,22 +1,21 @@
 package ctrlplane
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
-	"fmt"
 	"hash/fnv"
-	"io"
-	"net/http"
 	"time"
 )
 
-// rpcClient is the coordinator's side of the wire: JSON POST/GET with a
-// per-attempt timeout and bounded retries under jittered exponential
-// backoff — the same hardening pattern internal/coordinator applies to
-// knob writes, moved up to the network.
+// rpcClient is the coordinator's side of the wire. The actual encoding
+// lives behind the Transport interface — JSON/HTTP or binary frames,
+// chosen per endpoint URL scheme — while this layer owns everything
+// transport-independent: per-attempt timeouts and bounded retries
+// under jittered exponential backoff (the same hardening pattern
+// internal/coordinator applies to knob writes, moved up to the
+// network), plus RPC telemetry.
 type rpcClient struct {
-	hc          *http.Client
+	dialer      *wireDialer
 	timeout     time.Duration
 	retries     int
 	backoffBase time.Duration
@@ -27,12 +26,8 @@ type rpcClient struct {
 }
 
 func newRPCClient(cfg Config, tel *ctrlTel) *rpcClient {
-	transport := cfg.Transport
-	if transport == nil {
-		transport = http.DefaultTransport
-	}
 	return &rpcClient{
-		hc:          &http.Client{Transport: transport},
+		dialer:      newWireDialer(cfg.Transport, tel),
 		timeout:     cfg.rpcTimeout(),
 		retries:     cfg.rpcRetries(),
 		backoffBase: cfg.backoffBase(),
@@ -41,6 +36,9 @@ func newRPCClient(cfg Config, tel *ctrlTel) *rpcClient {
 		tel:         tel,
 	}
 }
+
+// close releases both transports' pooled connections.
+func (c *rpcClient) close() { c.dialer.Close() }
 
 // jitterKey folds an RPC kind and agent id into the backoff hash key,
 // so two RPC kinds to the same agent do not retry in lockstep.
@@ -75,35 +73,37 @@ func (c *rpcClient) jitteredBackoff(key uint64, attempt int) time.Duration {
 	return time.Duration(float64(d) * f)
 }
 
-// do performs one JSON RPC with the client's full retry budget. kind
-// labels telemetry; key seeds the backoff jitter (callers pass
-// jitterKey(kind, agent)); build constructs a fresh request per
-// attempt (bodies are single-use).
-func (c *rpcClient) do(ctx context.Context, kind string, key uint64, build func(ctx context.Context) (*http.Request, error), out any) error {
-	return c.doN(ctx, kind, key, c.retries, build, out)
+// do runs one RPC attempt closure with the client's full retry budget.
+// kind labels telemetry; key seeds the backoff jitter (callers pass
+// jitterKey(kind, agent)).
+func (c *rpcClient) do(ctx context.Context, kind string, key uint64, attempt func(ctx context.Context) error) error {
+	return c.doN(ctx, kind, key, c.retries, attempt)
 }
 
 // doN is do with an explicit retry budget — 0 for the circuit
 // breaker's half-open probe, where burning the whole budget against a
 // likely-still-dead agent is exactly what the breaker exists to avoid.
-func (c *rpcClient) doN(ctx context.Context, kind string, key uint64, retries int, build func(ctx context.Context) (*http.Request, error), out any) error {
+// Each attempt runs under the per-RPC timeout.
+func (c *rpcClient) doN(ctx context.Context, kind string, key uint64, retries int, attempt func(ctx context.Context) error) error {
 	if err := ctx.Err(); err != nil {
 		// A canceled interval must not start new RPCs: shutdown
 		// promptness is bounded by one attempt, not the retry budget.
 		return err
 	}
 	var lastErr error
-	for attempt := 0; attempt <= retries; attempt++ {
-		if attempt > 0 {
+	for i := 0; i <= retries; i++ {
+		if i > 0 {
 			c.tel.retries.Inc()
 			select {
-			case <-time.After(c.jitteredBackoff(key, attempt)):
+			case <-time.After(c.jitteredBackoff(key, i)):
 			case <-ctx.Done():
 				return ctx.Err()
 			}
 		}
 		start := time.Now()
-		err := c.once(ctx, build, out)
+		attemptCtx, cancel := context.WithTimeout(ctx, c.timeout)
+		err := attempt(attemptCtx)
+		cancel()
 		if err == nil {
 			c.tel.rpcs.With(kind, "ok").Inc()
 			if c.tel.enabled {
@@ -120,87 +120,107 @@ func (c *rpcClient) doN(ctx context.Context, kind string, key uint64, retries in
 	return lastErr
 }
 
-// once performs a single attempt under the per-RPC timeout.
-func (c *rpcClient) once(ctx context.Context, build func(ctx context.Context) (*http.Request, error), out any) error {
-	attemptCtx, cancel := context.WithTimeout(ctx, c.timeout)
-	defer cancel()
-	req, err := build(attemptCtx)
-	if err != nil {
-		return err
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return err
-	}
-	defer func() {
-		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, maxBodyBytes))
-		resp.Body.Close()
-	}()
-	body, err := readBody(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("ctrlplane: %s: %s", resp.Status, bytes.TrimSpace(body))
-	}
-	switch v := out.(type) {
-	case *Report:
-		rep, err := DecodeReport(body)
+// scrape fetches one agent's report, ticking its replay clock to t.
+func (c *rpcClient) scrape(ctx context.Context, retries int, base string, server int, t float64) (Report, error) {
+	tr := c.dialer.forURL(base)
+	var rep Report
+	err := c.doN(ctx, "report", jitterKey("report", server), retries, func(ctx context.Context) error {
+		r, err := tr.Scrape(ctx, base, server, t, true)
 		if err != nil {
 			return err
 		}
-		*v = rep
-	default:
-		if err := json.Unmarshal(body, out); err != nil {
-			return fmt.Errorf("ctrlplane: decode response: %w", err)
-		}
-	}
-	return nil
+		rep = r
+		return nil
+	})
+	return rep, err
 }
 
-// buildPost returns a request builder for a JSON POST of payload.
-func buildPost(url string, payload []byte) func(ctx context.Context) (*http.Request, error) {
-	return func(ctx context.Context) (*http.Request, error) {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+// assign grants one agent a budget.
+func (c *rpcClient) assign(ctx context.Context, retries int, base string, req AssignRequest) (AssignResponse, error) {
+	tr := c.dialer.forURL(base)
+	var resp AssignResponse
+	err := c.doN(ctx, "assign", jitterKey("assign", req.Server), retries, func(ctx context.Context) error {
+		r, err := tr.Assign(ctx, base, req)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		req.Header.Set("Content-Type", "application/json")
-		return req, nil
-	}
+		resp = r
+		return nil
+	})
+	return resp, err
 }
 
-// buildGet returns a request builder for a GET of url.
-func buildGet(url string) func(ctx context.Context) (*http.Request, error) {
-	return func(ctx context.Context) (*http.Request, error) {
-		return http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	}
+// renew extends one agent's lease.
+func (c *rpcClient) renew(ctx context.Context, base string, req LeaseRequest) (LeaseResponse, error) {
+	tr := c.dialer.forURL(base)
+	var resp LeaseResponse
+	err := c.do(ctx, "lease", jitterKey("lease", req.Server), func(ctx context.Context) error {
+		r, err := tr.Renew(ctx, base, req)
+		if err != nil {
+			return err
+		}
+		resp = r
+		return nil
+	})
+	return resp, err
 }
 
-// postJSON POSTs in as JSON and decodes the response into out.
+// scrapeBatch fetches a whole listener's worth of reports in one
+// frame (binary endpoints only).
+func (c *rpcClient) scrapeBatch(ctx context.Context, base string, req BatchScrapeRequest) (BatchScrapeResponse, error) {
+	var resp BatchScrapeResponse
+	key := jitterKey("batch-report", len(req.Servers))
+	if len(req.Servers) > 0 {
+		key = jitterKey("batch-report", req.Servers[0])
+	}
+	err := c.do(ctx, "batch-report", key, func(ctx context.Context) error {
+		r, err := c.dialer.bin.ScrapeBatch(ctx, base, req)
+		if err != nil {
+			return err
+		}
+		resp = r
+		return nil
+	})
+	return resp, err
+}
+
+// grantBatch fans one interval's grants to a whole listener in one
+// frame (binary endpoints only). Retries are safe: renewals are
+// idempotent and a re-delivered assign under the same (Epoch, Seq) is
+// acknowledged with the in-force state.
+func (c *rpcClient) grantBatch(ctx context.Context, base string, req BatchGrantRequest) (BatchGrantResponse, error) {
+	var resp BatchGrantResponse
+	key := jitterKey("batch-grant", len(req.Entries))
+	if len(req.Entries) > 0 {
+		key = jitterKey("batch-grant", req.Entries[0].Server)
+	}
+	err := c.do(ctx, "batch-grant", key, func(ctx context.Context) error {
+		r, err := c.dialer.bin.GrantBatch(ctx, base, req)
+		if err != nil {
+			return err
+		}
+		resp = r
+		return nil
+	})
+	return resp, err
+}
+
+// postJSON POSTs in as JSON to a complete URL and decodes the response
+// into out, with the full retry budget — the generic escape hatch for
+// JSON-only surfaces.
 func (c *rpcClient) postJSON(ctx context.Context, kind string, key uint64, url string, in, out any) error {
 	payload, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
-	return c.do(ctx, kind, key, buildPost(url, payload), out)
+	return c.do(ctx, kind, key, func(ctx context.Context) error {
+		return c.dialer.json.call(ctx, "POST", url, payload, out)
+	})
 }
 
-// postJSONOnce is postJSON with a single attempt (half-open probes).
-func (c *rpcClient) postJSONOnce(ctx context.Context, kind string, key uint64, url string, in, out any) error {
-	payload, err := json.Marshal(in)
-	if err != nil {
-		return err
-	}
-	return c.doN(ctx, kind, key, 0, buildPost(url, payload), out)
-}
-
-// getJSON GETs url and decodes the response into out.
+// getJSON GETs a complete URL and decodes the response into out.
 func (c *rpcClient) getJSON(ctx context.Context, kind string, key uint64, url string, out any) error {
-	return c.do(ctx, kind, key, buildGet(url), out)
-}
-
-// getJSONOnce is getJSON with a single attempt (half-open probes).
-func (c *rpcClient) getJSONOnce(ctx context.Context, kind string, key uint64, url string, out any) error {
-	return c.doN(ctx, kind, key, 0, buildGet(url), out)
+	return c.do(ctx, kind, key, func(ctx context.Context) error {
+		return c.dialer.json.get(ctx, url, out)
+	})
 }

@@ -1,0 +1,945 @@
+package ctrlplane
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"powerstruggle/internal/cluster"
+)
+
+// Binary framing of the v2 control protocol (see docs/WIRE.md).
+//
+// Every frame is:
+//
+//	'P' 'W' | version u8 | type u8 | payload length u32 BE | payload
+//
+// The header carries the protocol version once, so payloads do not
+// re-encode the V field JSON messages carry; decoders stamp
+// V=ProtocolV back onto decoded messages. All payload scalars are
+// fixed-width big-endian — u64 for integers (two's complement for
+// signed), IEEE-754 bits for float64, a single strict 0|1 byte for
+// bools, u16 length + bytes for strings. No varints: a fixed-width
+// encoding has exactly one byte representation per value, which is
+// what lets FuzzDecodeFrame assert that every accepted frame re-encodes
+// byte-identically.
+
+// Frame types. Requests are odd, their responses even; FrameError is
+// the out-of-band failure answer to any request.
+const (
+	FrameAssignReq       byte = 0x01
+	FrameAssignResp      byte = 0x02
+	FrameScrapeReq       byte = 0x03
+	FrameReportResp      byte = 0x04
+	FrameLeaseReq        byte = 0x05
+	FrameLeaseResp       byte = 0x06
+	FrameRegisterReq     byte = 0x07
+	FrameRegisterResp    byte = 0x08
+	FrameVoteReq         byte = 0x09
+	FrameVoteResp        byte = 0x0a
+	FrameLeaderReq       byte = 0x0b
+	FrameLeaderResp      byte = 0x0c
+	FrameBatchScrapeReq  byte = 0x0d
+	FrameBatchScrapeResp byte = 0x0e
+	FrameBatchGrantReq   byte = 0x0f
+	FrameBatchGrantResp  byte = 0x10
+	FrameError           byte = 0x7f
+)
+
+const (
+	frameMagic0    = 'P'
+	frameMagic1    = 'W'
+	frameHeaderLen = 8
+)
+
+// maxBatchEntries bounds one batch frame's fan-out; bigger fleets are
+// chunked by the coordinator.
+const maxBatchEntries = 4096
+
+// maxBatchPayload bounds batch frames, which may carry a whole fleet's
+// reports (curves included) in one payload; unary frames keep the
+// HTTP-equivalent maxBodyBytes bound.
+const maxBatchPayload = 16 << 20
+
+// framePayloadLimit returns the payload bound for a frame type.
+func framePayloadLimit(ftype byte) int {
+	switch ftype {
+	case FrameBatchScrapeReq, FrameBatchScrapeResp, FrameBatchGrantReq, FrameBatchGrantResp:
+		return maxBatchPayload
+	}
+	return maxBodyBytes
+}
+
+func validFrameType(ftype byte) bool {
+	return (ftype >= FrameAssignReq && ftype <= FrameBatchGrantResp) || ftype == FrameError
+}
+
+// EncodeFrame wraps payload in a length-prefixed frame of type ftype.
+func EncodeFrame(ftype byte, payload []byte) []byte {
+	b := make([]byte, frameHeaderLen+len(payload))
+	b[0], b[1] = frameMagic0, frameMagic1
+	b[2] = ProtocolV
+	b[3] = ftype
+	binary.BigEndian.PutUint32(b[4:8], uint32(len(payload)))
+	copy(b[frameHeaderLen:], payload)
+	return b
+}
+
+// DecodeFrame parses one frame off the front of data, returning its
+// type, payload, and any remaining bytes. It rejects bad magic, a
+// foreign protocol version, unknown frame types, and payloads past the
+// type's bound — the same strictness the JSON decoders apply.
+func DecodeFrame(data []byte) (ftype byte, payload, rest []byte, err error) {
+	if len(data) < frameHeaderLen {
+		return 0, nil, nil, fmt.Errorf("ctrlplane: frame truncated at %d bytes (want %d-byte header)", len(data), frameHeaderLen)
+	}
+	if data[0] != frameMagic0 || data[1] != frameMagic1 {
+		return 0, nil, nil, fmt.Errorf("ctrlplane: bad frame magic %#02x%02x", data[0], data[1])
+	}
+	if data[2] != ProtocolV {
+		return 0, nil, nil, fmt.Errorf("ctrlplane: frame protocol v%d, want v%d", data[2], ProtocolV)
+	}
+	ftype = data[3]
+	if !validFrameType(ftype) {
+		return 0, nil, nil, fmt.Errorf("ctrlplane: unknown frame type %#02x", ftype)
+	}
+	n := int(binary.BigEndian.Uint32(data[4:8]))
+	if n > framePayloadLimit(ftype) {
+		return 0, nil, nil, fmt.Errorf("ctrlplane: frame payload %d bytes exceeds %d", n, framePayloadLimit(ftype))
+	}
+	if len(data)-frameHeaderLen < n {
+		return 0, nil, nil, fmt.Errorf("ctrlplane: frame payload truncated (%d of %d bytes)", len(data)-frameHeaderLen, n)
+	}
+	return ftype, data[frameHeaderLen : frameHeaderLen+n], data[frameHeaderLen+n:], nil
+}
+
+// readFrame reads one frame off a stream.
+func readFrame(r io.Reader) (ftype byte, payload []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if hdr[0] != frameMagic0 || hdr[1] != frameMagic1 {
+		return 0, nil, fmt.Errorf("ctrlplane: bad frame magic %#02x%02x", hdr[0], hdr[1])
+	}
+	if hdr[2] != ProtocolV {
+		return 0, nil, fmt.Errorf("ctrlplane: frame protocol v%d, want v%d", hdr[2], ProtocolV)
+	}
+	ftype = hdr[3]
+	if !validFrameType(ftype) {
+		return 0, nil, fmt.Errorf("ctrlplane: unknown frame type %#02x", ftype)
+	}
+	n := int(binary.BigEndian.Uint32(hdr[4:8]))
+	if n > framePayloadLimit(ftype) {
+		return 0, nil, fmt.Errorf("ctrlplane: frame payload %d bytes exceeds %d", n, framePayloadLimit(ftype))
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return ftype, payload, nil
+}
+
+// writeFrame writes one frame to a stream.
+func writeFrame(w io.Writer, ftype byte, payload []byte) error {
+	_, err := w.Write(EncodeFrame(ftype, payload))
+	return err
+}
+
+// wbuf appends fixed-width big-endian scalars.
+type wbuf struct{ b []byte }
+
+func (w *wbuf) u8(v byte)     { w.b = append(w.b, v) }
+func (w *wbuf) u16(v uint16)  { w.b = binary.BigEndian.AppendUint16(w.b, v) }
+func (w *wbuf) u32(v uint32)  { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *wbuf) u64(v uint64)  { w.b = binary.BigEndian.AppendUint64(w.b, v) }
+func (w *wbuf) i64(v int64)   { w.u64(uint64(v)) }
+func (w *wbuf) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *wbuf) boolean(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *wbuf) str(s string) {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	w.u16(uint16(len(s)))
+	w.b = append(w.b, s...)
+}
+
+// rbuf consumes fixed-width big-endian scalars with a latched error,
+// so decoders read a whole message unconditionally and check once.
+type rbuf struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *rbuf) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("ctrlplane: "+format, args...)
+	}
+}
+
+func (r *rbuf) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.b)-r.off < n {
+		r.fail("payload truncated at byte %d (want %d more)", r.off, n)
+		return nil
+	}
+	p := r.b[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+func (r *rbuf) u8() byte {
+	p := r.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (r *rbuf) u16() uint16 {
+	p := r.take(2)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(p)
+}
+
+func (r *rbuf) u32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(p)
+}
+
+func (r *rbuf) u64() uint64 {
+	p := r.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(p)
+}
+
+func (r *rbuf) i64() int64   { return int64(r.u64()) }
+func (r *rbuf) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *rbuf) integer() int { return int(r.i64()) }
+
+// boolean insists on 0|1 — any other byte would decode true but
+// re-encode as 1, breaking the one-representation-per-value property.
+func (r *rbuf) boolean() bool {
+	switch r.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail("bool byte not 0|1")
+		return false
+	}
+}
+
+func (r *rbuf) str() string {
+	n := int(r.u16())
+	p := r.take(n)
+	if p == nil {
+		return ""
+	}
+	return string(p)
+}
+
+// done returns the latched error, or rejects trailing bytes — the
+// binary mirror of decodeStrict's dec.More() check.
+func (r *rbuf) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("ctrlplane: %d trailing bytes after message", len(r.b)-r.off)
+	}
+	return nil
+}
+
+// --- scrape request (binary-only; the JSON equivalent is GET /ctrl/report?t=) ---
+
+func appendScrapeReq(b []byte, server int, t float64, hasT bool) []byte {
+	w := wbuf{b: b}
+	w.i64(int64(server))
+	w.boolean(hasT)
+	w.f64(t)
+	return w.b
+}
+
+func decodeScrapeReq(p []byte) (server int, t float64, hasT bool, err error) {
+	r := rbuf{b: p}
+	server = r.integer()
+	hasT = r.boolean()
+	t = r.f64()
+	if err := r.done(); err != nil {
+		return 0, 0, false, err
+	}
+	if server < 0 {
+		return 0, 0, false, fmt.Errorf("ctrlplane: scrape server %d", server)
+	}
+	if hasT && (!finite(t) || t < 0) {
+		return 0, 0, false, fmt.Errorf("ctrlplane: scrape time %g", t)
+	}
+	return server, t, hasT, nil
+}
+
+// --- Report ---
+
+func putReport(w *wbuf, rep Report) {
+	w.i64(int64(rep.Server))
+	w.u64(rep.Epoch)
+	w.u64(rep.Seq)
+	w.f64(rep.CapW)
+	w.f64(rep.PerfN)
+	w.f64(rep.GridW)
+	w.f64(rep.SoC)
+	w.boolean(rep.Fenced)
+	w.boolean(rep.SafeMode)
+	w.f64(rep.IdleFloorW)
+	w.f64(rep.NameplateW)
+	w.str(rep.Version)
+	w.u32(uint32(len(rep.UtilityCurve)))
+	for _, p := range rep.UtilityCurve {
+		w.f64(p.CapW)
+		w.f64(p.Perf)
+		w.f64(p.GridW)
+	}
+}
+
+func getReport(r *rbuf) Report {
+	var rep Report
+	rep.V = ProtocolV
+	rep.Server = r.integer()
+	rep.Epoch = r.u64()
+	rep.Seq = r.u64()
+	rep.CapW = r.f64()
+	rep.PerfN = r.f64()
+	rep.GridW = r.f64()
+	rep.SoC = r.f64()
+	rep.Fenced = r.boolean()
+	rep.SafeMode = r.boolean()
+	rep.IdleFloorW = r.f64()
+	rep.NameplateW = r.f64()
+	rep.Version = r.str()
+	n := int(r.u32())
+	if r.err == nil && n*24 > len(r.b)-r.off {
+		r.fail("curve count %d exceeds payload", n)
+	}
+	if r.err == nil && n > 0 {
+		rep.UtilityCurve = make([]cluster.CapPoint, n)
+		for i := range rep.UtilityCurve {
+			rep.UtilityCurve[i] = cluster.CapPoint{CapW: r.f64(), Perf: r.f64(), GridW: r.f64()}
+		}
+	}
+	return rep
+}
+
+func appendReportPayload(b []byte, rep Report) []byte {
+	w := wbuf{b: b}
+	putReport(&w, rep)
+	return w.b
+}
+
+func decodeReportPayload(p []byte) (Report, error) {
+	r := rbuf{b: p}
+	rep := getReport(&r)
+	if err := r.done(); err != nil {
+		return Report{}, err
+	}
+	if err := rep.Validate(); err != nil {
+		return Report{}, err
+	}
+	return rep, nil
+}
+
+// --- AssignRequest / AssignResponse ---
+
+func appendAssignReq(b []byte, req AssignRequest) []byte {
+	w := wbuf{b: b}
+	w.u64(req.Epoch)
+	w.u64(req.Seq)
+	w.i64(int64(req.Server))
+	w.f64(req.T)
+	w.f64(req.CapW)
+	w.f64(req.LeaseS)
+	return w.b
+}
+
+func decodeAssignReqPayload(p []byte) (AssignRequest, error) {
+	r := rbuf{b: p}
+	var req AssignRequest
+	req.V = ProtocolV
+	req.Epoch = r.u64()
+	req.Seq = r.u64()
+	req.Server = r.integer()
+	req.T = r.f64()
+	req.CapW = r.f64()
+	req.LeaseS = r.f64()
+	if err := r.done(); err != nil {
+		return AssignRequest{}, err
+	}
+	if err := req.Validate(); err != nil {
+		return AssignRequest{}, err
+	}
+	return req, nil
+}
+
+func putAssignResp(w *wbuf, resp AssignResponse) {
+	w.i64(int64(resp.Server))
+	w.u64(resp.Epoch)
+	w.u64(resp.Seq)
+	w.boolean(resp.Applied)
+	w.f64(resp.CapW)
+	w.f64(resp.PerfN)
+	w.f64(resp.GridW)
+	w.f64(resp.SoC)
+	w.boolean(resp.Fenced)
+	w.boolean(resp.SafeMode)
+}
+
+func getAssignResp(r *rbuf) AssignResponse {
+	var resp AssignResponse
+	resp.V = ProtocolV
+	resp.Server = r.integer()
+	resp.Epoch = r.u64()
+	resp.Seq = r.u64()
+	resp.Applied = r.boolean()
+	resp.CapW = r.f64()
+	resp.PerfN = r.f64()
+	resp.GridW = r.f64()
+	resp.SoC = r.f64()
+	resp.Fenced = r.boolean()
+	resp.SafeMode = r.boolean()
+	return resp
+}
+
+func appendAssignRespPayload(b []byte, resp AssignResponse) []byte {
+	w := wbuf{b: b}
+	putAssignResp(&w, resp)
+	return w.b
+}
+
+func decodeAssignRespPayload(p []byte) (AssignResponse, error) {
+	r := rbuf{b: p}
+	resp := getAssignResp(&r)
+	if err := r.done(); err != nil {
+		return AssignResponse{}, err
+	}
+	return resp, nil
+}
+
+// --- LeaseRequest / LeaseResponse ---
+
+func appendLeaseReq(b []byte, req LeaseRequest) []byte {
+	w := wbuf{b: b}
+	w.u64(req.Epoch)
+	w.i64(int64(req.Server))
+	w.f64(req.T)
+	w.f64(req.LeaseS)
+	return w.b
+}
+
+func decodeLeaseReqPayload(p []byte) (LeaseRequest, error) {
+	r := rbuf{b: p}
+	var req LeaseRequest
+	req.V = ProtocolV
+	req.Epoch = r.u64()
+	req.Server = r.integer()
+	req.T = r.f64()
+	req.LeaseS = r.f64()
+	if err := r.done(); err != nil {
+		return LeaseRequest{}, err
+	}
+	if err := req.Validate(); err != nil {
+		return LeaseRequest{}, err
+	}
+	return req, nil
+}
+
+func appendLeaseRespPayload(b []byte, resp LeaseResponse) []byte {
+	w := wbuf{b: b}
+	w.u64(resp.Epoch)
+	w.i64(int64(resp.Server))
+	w.f64(resp.CapW)
+	w.f64(resp.ExpiresT)
+	w.boolean(resp.Fenced)
+	return w.b
+}
+
+func decodeLeaseRespPayload(p []byte) (LeaseResponse, error) {
+	r := rbuf{b: p}
+	var resp LeaseResponse
+	resp.V = ProtocolV
+	resp.Epoch = r.u64()
+	resp.Server = r.integer()
+	resp.CapW = r.f64()
+	resp.ExpiresT = r.f64()
+	resp.Fenced = r.boolean()
+	if err := r.done(); err != nil {
+		return LeaseResponse{}, err
+	}
+	return resp, nil
+}
+
+// --- RegisterRequest / RegisterResponse ---
+
+func appendRegisterReq(b []byte, req RegisterRequest) []byte {
+	w := wbuf{b: b}
+	w.i64(int64(req.Server))
+	w.str(req.URL)
+	w.f64(req.NameplateW)
+	return w.b
+}
+
+func decodeRegisterReqPayload(p []byte) (RegisterRequest, error) {
+	r := rbuf{b: p}
+	var req RegisterRequest
+	req.V = ProtocolV
+	req.Server = r.integer()
+	req.URL = r.str()
+	req.NameplateW = r.f64()
+	if err := r.done(); err != nil {
+		return RegisterRequest{}, err
+	}
+	if err := req.Validate(); err != nil {
+		return RegisterRequest{}, err
+	}
+	return req, nil
+}
+
+func appendRegisterRespPayload(b []byte, resp RegisterResponse) []byte {
+	w := wbuf{b: b}
+	w.i64(int64(resp.Server))
+	w.boolean(resp.Accepted)
+	w.u64(resp.Epoch)
+	w.boolean(resp.Leader)
+	w.str(resp.LeaderID)
+	return w.b
+}
+
+func decodeRegisterRespPayload(p []byte) (RegisterResponse, error) {
+	r := rbuf{b: p}
+	var resp RegisterResponse
+	resp.V = ProtocolV
+	resp.Server = r.integer()
+	resp.Accepted = r.boolean()
+	resp.Epoch = r.u64()
+	resp.Leader = r.boolean()
+	resp.LeaderID = r.str()
+	if err := r.done(); err != nil {
+		return RegisterResponse{}, err
+	}
+	return resp, nil
+}
+
+// --- VoteRequest / VoteResponse ---
+
+func putWireTerm(w *wbuf, t WireTerm) {
+	w.u64(t.Epoch)
+	w.str(t.Leader)
+	w.i64(t.ExpiresUnixNano)
+}
+
+func getWireTerm(r *rbuf) WireTerm {
+	var t WireTerm
+	t.Epoch = r.u64()
+	t.Leader = r.str()
+	t.ExpiresUnixNano = r.i64()
+	return t
+}
+
+func appendVoteReq(b []byte, req VoteRequest) []byte {
+	w := wbuf{b: b}
+	w.str(req.Phase)
+	w.u64(req.Ballot)
+	w.boolean(req.Term != nil)
+	if req.Term != nil {
+		putWireTerm(&w, *req.Term)
+	}
+	return w.b
+}
+
+func decodeVoteReqPayload(p []byte) (VoteRequest, error) {
+	r := rbuf{b: p}
+	var req VoteRequest
+	req.V = ProtocolV
+	req.Phase = r.str()
+	req.Ballot = r.u64()
+	if r.boolean() {
+		t := getWireTerm(&r)
+		req.Term = &t
+	}
+	if err := r.done(); err != nil {
+		return VoteRequest{}, err
+	}
+	if err := req.Validate(); err != nil {
+		return VoteRequest{}, err
+	}
+	return req, nil
+}
+
+func appendVoteRespPayload(b []byte, resp VoteResponse) []byte {
+	w := wbuf{b: b}
+	w.boolean(resp.Granted)
+	w.u64(resp.Promise)
+	w.u64(resp.AcceptedBallot)
+	w.boolean(resp.Term != nil)
+	if resp.Term != nil {
+		putWireTerm(&w, *resp.Term)
+	}
+	return w.b
+}
+
+func decodeVoteRespPayload(p []byte) (VoteResponse, error) {
+	r := rbuf{b: p}
+	var resp VoteResponse
+	resp.V = ProtocolV
+	resp.Granted = r.boolean()
+	resp.Promise = r.u64()
+	resp.AcceptedBallot = r.u64()
+	if r.boolean() {
+		t := getWireTerm(&r)
+		resp.Term = &t
+	}
+	if err := r.done(); err != nil {
+		return VoteResponse{}, err
+	}
+	if err := resp.Validate(); err != nil {
+		return VoteResponse{}, err
+	}
+	return resp, nil
+}
+
+// --- LeaderStatus (FrameLeaderReq carries an empty payload) ---
+
+func appendLeaderStatusPayload(b []byte, st LeaderStatus) []byte {
+	w := wbuf{b: b}
+	w.str(st.ID)
+	w.str(st.LeaderID)
+	w.u64(st.Epoch)
+	w.boolean(st.Leader)
+	w.i64(int64(st.Failovers))
+	return w.b
+}
+
+func decodeLeaderStatusPayload(p []byte) (LeaderStatus, error) {
+	r := rbuf{b: p}
+	var st LeaderStatus
+	st.V = ProtocolV
+	st.ID = r.str()
+	st.LeaderID = r.str()
+	st.Epoch = r.u64()
+	st.Leader = r.boolean()
+	st.Failovers = r.integer()
+	if err := r.done(); err != nil {
+		return LeaderStatus{}, err
+	}
+	return st, nil
+}
+
+// --- FrameError payload: one error string ---
+
+func appendErrPayload(b []byte, msg string) []byte {
+	w := wbuf{b: b}
+	w.str(msg)
+	return w.b
+}
+
+func decodeErrPayload(p []byte) (string, error) {
+	r := rbuf{b: p}
+	msg := r.str()
+	if err := r.done(); err != nil {
+		return "", err
+	}
+	return msg, nil
+}
+
+// --- batch messages (binary-only; see docs/WIRE.md §5) ---
+
+// BatchScrapeRequest asks one endpoint for many agents' reports in a
+// single frame: the shared replay instant plus the fleet slice living
+// behind that listener.
+type BatchScrapeRequest struct {
+	V       int
+	T       float64
+	HasT    bool
+	Servers []int
+}
+
+// Validate enforces the batch-scrape invariants.
+func (r BatchScrapeRequest) Validate() error {
+	if r.V != ProtocolV {
+		return fmt.Errorf("ctrlplane: batch scrape protocol v%d, want v%d", r.V, ProtocolV)
+	}
+	if r.HasT && (!finite(r.T) || r.T < 0) {
+		return fmt.Errorf("ctrlplane: batch scrape time %g", r.T)
+	}
+	if !r.HasT && r.T != 0 {
+		return fmt.Errorf("ctrlplane: batch scrape time %g without hasT", r.T)
+	}
+	if len(r.Servers) == 0 || len(r.Servers) > maxBatchEntries {
+		return fmt.Errorf("ctrlplane: batch scrape of %d servers (want 1..%d)", len(r.Servers), maxBatchEntries)
+	}
+	for _, s := range r.Servers {
+		if s < 0 {
+			return fmt.Errorf("ctrlplane: batch scrape server %d", s)
+		}
+	}
+	return nil
+}
+
+// ScrapeResult is one agent's slot in a batch-scrape response: either
+// its report or the per-agent error, never both.
+type ScrapeResult struct {
+	Server int
+	Err    string
+	Report Report // valid when Err == ""
+}
+
+// BatchScrapeResponse answers a BatchScrapeRequest slot-for-slot.
+type BatchScrapeResponse struct {
+	V       int
+	Results []ScrapeResult
+}
+
+// BatchGrantRequest fans one interval's grants to every agent behind
+// an endpoint in a single frame. Entries marked Renew coalesce the
+// renewal round-trip: the server renews, checks the renewal held the
+// requested budget, and falls through to a fresh assign under this
+// frame's (Epoch, Seq) when it did not — exactly the coordinator's
+// unary renew-else-assign sequence, one hop shorter.
+type BatchGrantRequest struct {
+	V       int
+	Epoch   uint64
+	Seq     uint64
+	T       float64
+	LeaseS  float64
+	Entries []GrantEntry
+}
+
+// GrantEntry is one agent's budget in a batch grant.
+type GrantEntry struct {
+	Server int
+	CapW   float64
+	Renew  bool
+}
+
+// Validate enforces the batch-grant invariants (the per-entry fields
+// feed AssignRequest/LeaseRequest validation server-side, so the same
+// bounds apply here).
+func (r BatchGrantRequest) Validate() error {
+	if r.V != ProtocolV {
+		return fmt.Errorf("ctrlplane: batch grant protocol v%d, want v%d", r.V, ProtocolV)
+	}
+	if r.Epoch == 0 {
+		return fmt.Errorf("ctrlplane: batch grant epoch 0 (epochs start at 1)")
+	}
+	if r.Seq == 0 {
+		return fmt.Errorf("ctrlplane: batch grant seq 0 (sequence numbers start at 1)")
+	}
+	if !finite(r.T) || r.T < 0 {
+		return fmt.Errorf("ctrlplane: batch grant time %g", r.T)
+	}
+	if !finite(r.LeaseS) || r.LeaseS < 0 {
+		return fmt.Errorf("ctrlplane: batch grant lease %g s", r.LeaseS)
+	}
+	if len(r.Entries) == 0 || len(r.Entries) > maxBatchEntries {
+		return fmt.Errorf("ctrlplane: batch grant of %d entries (want 1..%d)", len(r.Entries), maxBatchEntries)
+	}
+	for _, e := range r.Entries {
+		if e.Server < 0 {
+			return fmt.Errorf("ctrlplane: batch grant server %d", e.Server)
+		}
+		if !finite(e.CapW) || e.CapW < 0 {
+			return fmt.Errorf("ctrlplane: batch grant cap %g W", e.CapW)
+		}
+	}
+	return nil
+}
+
+// GrantResult is one agent's slot in a batch-grant response. Renewed
+// reports that the coalesced renewal held (the lease moved and the
+// budget matched); otherwise Resp is the assign acknowledgement and
+// the coordinator applies its usual granted criterion.
+type GrantResult struct {
+	Server  int
+	Err     string
+	Renewed bool
+	Resp    AssignResponse // valid when Err == ""
+}
+
+// BatchGrantResponse answers a BatchGrantRequest slot-for-slot.
+type BatchGrantResponse struct {
+	V       int
+	Results []GrantResult
+}
+
+func appendBatchScrapeReq(b []byte, req BatchScrapeRequest) []byte {
+	w := wbuf{b: b}
+	w.f64(req.T)
+	w.boolean(req.HasT)
+	w.u32(uint32(len(req.Servers)))
+	for _, s := range req.Servers {
+		w.i64(int64(s))
+	}
+	return w.b
+}
+
+func decodeBatchScrapeReqPayload(p []byte) (BatchScrapeRequest, error) {
+	r := rbuf{b: p}
+	var req BatchScrapeRequest
+	req.V = ProtocolV
+	req.T = r.f64()
+	req.HasT = r.boolean()
+	n := int(r.u32())
+	if r.err == nil && n*8 > len(r.b)-r.off {
+		r.fail("batch scrape count %d exceeds payload", n)
+	}
+	if r.err == nil {
+		req.Servers = make([]int, n)
+		for i := range req.Servers {
+			req.Servers[i] = r.integer()
+		}
+	}
+	if err := r.done(); err != nil {
+		return BatchScrapeRequest{}, err
+	}
+	if err := req.Validate(); err != nil {
+		return BatchScrapeRequest{}, err
+	}
+	return req, nil
+}
+
+func appendBatchScrapeRespPayload(b []byte, resp BatchScrapeResponse) []byte {
+	w := wbuf{b: b}
+	w.u32(uint32(len(resp.Results)))
+	for _, res := range resp.Results {
+		w.i64(int64(res.Server))
+		w.str(res.Err)
+		if res.Err == "" {
+			putReport(&w, res.Report)
+		}
+	}
+	return w.b
+}
+
+func decodeBatchScrapeRespPayload(p []byte) (BatchScrapeResponse, error) {
+	r := rbuf{b: p}
+	var resp BatchScrapeResponse
+	resp.V = ProtocolV
+	n := int(r.u32())
+	if r.err == nil && n > maxBatchEntries {
+		r.fail("batch scrape response count %d exceeds %d", n, maxBatchEntries)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		var res ScrapeResult
+		res.Server = r.integer()
+		res.Err = r.str()
+		if res.Err == "" {
+			res.Report = getReport(&r)
+			if r.err == nil {
+				if err := res.Report.Validate(); err != nil {
+					return BatchScrapeResponse{}, err
+				}
+			}
+		}
+		resp.Results = append(resp.Results, res)
+	}
+	if err := r.done(); err != nil {
+		return BatchScrapeResponse{}, err
+	}
+	return resp, nil
+}
+
+func appendBatchGrantReq(b []byte, req BatchGrantRequest) []byte {
+	w := wbuf{b: b}
+	w.u64(req.Epoch)
+	w.u64(req.Seq)
+	w.f64(req.T)
+	w.f64(req.LeaseS)
+	w.u32(uint32(len(req.Entries)))
+	for _, e := range req.Entries {
+		w.i64(int64(e.Server))
+		w.f64(e.CapW)
+		w.boolean(e.Renew)
+	}
+	return w.b
+}
+
+func decodeBatchGrantReqPayload(p []byte) (BatchGrantRequest, error) {
+	r := rbuf{b: p}
+	var req BatchGrantRequest
+	req.V = ProtocolV
+	req.Epoch = r.u64()
+	req.Seq = r.u64()
+	req.T = r.f64()
+	req.LeaseS = r.f64()
+	n := int(r.u32())
+	if r.err == nil && n*17 > len(r.b)-r.off {
+		r.fail("batch grant count %d exceeds payload", n)
+	}
+	if r.err == nil {
+		req.Entries = make([]GrantEntry, n)
+		for i := range req.Entries {
+			req.Entries[i] = GrantEntry{Server: r.integer(), CapW: r.f64(), Renew: r.boolean()}
+		}
+	}
+	if err := r.done(); err != nil {
+		return BatchGrantRequest{}, err
+	}
+	if err := req.Validate(); err != nil {
+		return BatchGrantRequest{}, err
+	}
+	return req, nil
+}
+
+func appendBatchGrantRespPayload(b []byte, resp BatchGrantResponse) []byte {
+	w := wbuf{b: b}
+	w.u32(uint32(len(resp.Results)))
+	for _, res := range resp.Results {
+		w.i64(int64(res.Server))
+		w.str(res.Err)
+		if res.Err == "" {
+			w.boolean(res.Renewed)
+			putAssignResp(&w, res.Resp)
+		}
+	}
+	return w.b
+}
+
+func decodeBatchGrantRespPayload(p []byte) (BatchGrantResponse, error) {
+	r := rbuf{b: p}
+	var resp BatchGrantResponse
+	resp.V = ProtocolV
+	n := int(r.u32())
+	if r.err == nil && n > maxBatchEntries {
+		r.fail("batch grant response count %d exceeds %d", n, maxBatchEntries)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		var res GrantResult
+		res.Server = r.integer()
+		res.Err = r.str()
+		if res.Err == "" {
+			res.Renewed = r.boolean()
+			res.Resp = getAssignResp(&r)
+		}
+		resp.Results = append(resp.Results, res)
+	}
+	if err := r.done(); err != nil {
+		return BatchGrantResponse{}, err
+	}
+	return resp, nil
+}

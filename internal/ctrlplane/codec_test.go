@@ -1,0 +1,368 @@
+package ctrlplane
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"strings"
+	"testing"
+
+	"powerstruggle/internal/cluster"
+)
+
+// canonicalMessages returns one representative per frame type, each the
+// encoded payload plus its type — the round-trip and fuzz corpora share
+// them.
+func canonicalMessages() map[byte][]byte {
+	rep := Report{
+		V: ProtocolV, Server: 3, Epoch: 2, Seq: 17,
+		CapW: 85.5, PerfN: 0.92, GridW: 80.25, SoC: 0.5,
+		Fenced: false, SafeMode: true, IdleFloorW: 25, NameplateW: 120,
+		Version: "v1.2.3",
+		UtilityCurve: []cluster.CapPoint{
+			{CapW: 25, Perf: 0, GridW: 25},
+			{CapW: 60, Perf: 0.61, GridW: 55.5},
+			{CapW: 120, Perf: 1, GridW: 110},
+		},
+	}
+	term := WireTerm{Epoch: 4, Leader: "coord-a", ExpiresUnixNano: 1700000000000000000}
+	return map[byte][]byte{
+		FrameScrapeReq:  appendScrapeReq(nil, 3, 1200.5, true),
+		FrameReportResp: appendReportPayload(nil, rep),
+		FrameAssignReq: appendAssignReq(nil, AssignRequest{
+			V: ProtocolV, Epoch: 2, Seq: 9, Server: 3, T: 1200.5, CapW: 85.5, LeaseS: 150,
+		}),
+		FrameAssignResp: appendAssignRespPayload(nil, AssignResponse{
+			V: ProtocolV, Server: 3, Epoch: 2, Seq: 9, Applied: true,
+			CapW: 85.5, PerfN: 0.92, GridW: 80.25, SoC: 0.5, Fenced: false, SafeMode: false,
+		}),
+		FrameLeaseReq: appendLeaseReq(nil, LeaseRequest{
+			V: ProtocolV, Epoch: 2, Server: 3, T: 1200.5, LeaseS: 150,
+		}),
+		FrameLeaseResp: appendLeaseRespPayload(nil, LeaseResponse{
+			V: ProtocolV, Epoch: 2, Server: 3, CapW: 85.5, ExpiresT: 1350.5, Fenced: false,
+		}),
+		FrameRegisterReq: appendRegisterReq(nil, RegisterRequest{
+			V: ProtocolV, Server: 3, URL: "tcp://10.0.0.7:9000", NameplateW: 120,
+		}),
+		FrameRegisterResp: appendRegisterRespPayload(nil, RegisterResponse{
+			V: ProtocolV, Server: 3, Accepted: true, Epoch: 2, Leader: true, LeaderID: "coord-a",
+		}),
+		FrameVoteReq: appendVoteReq(nil, VoteRequest{
+			V: ProtocolV, Phase: VoteAccept, Ballot: 7, Term: &term,
+		}),
+		FrameVoteResp: appendVoteRespPayload(nil, VoteResponse{
+			V: ProtocolV, Granted: true, Promise: 7, AcceptedBallot: 7, Term: &term,
+		}),
+		FrameLeaderResp: appendLeaderStatusPayload(nil, LeaderStatus{
+			V: ProtocolV, ID: "coord-a", LeaderID: "coord-a", Epoch: 2, Leader: true, Failovers: 1,
+		}),
+		FrameBatchScrapeReq: appendBatchScrapeReq(nil, BatchScrapeRequest{
+			V: ProtocolV, T: 1200.5, HasT: true, Servers: []int{0, 1, 2},
+		}),
+		FrameBatchScrapeResp: appendBatchScrapeRespPayload(nil, BatchScrapeResponse{
+			V: ProtocolV, Results: []ScrapeResult{
+				{Server: 0, Report: rep2(rep, 0)},
+				{Server: 1, Err: "no agent 1 behind this listener"},
+			},
+		}),
+		FrameBatchGrantReq: appendBatchGrantReq(nil, BatchGrantRequest{
+			V: ProtocolV, Epoch: 2, Seq: 9, T: 1200.5, LeaseS: 150,
+			Entries: []GrantEntry{
+				{Server: 0, CapW: 80, Renew: true},
+				{Server: 1, CapW: 40.5, Renew: false},
+			},
+		}),
+		FrameBatchGrantResp: appendBatchGrantRespPayload(nil, BatchGrantResponse{
+			V: ProtocolV, Results: []GrantResult{
+				{Server: 0, Renewed: true, Resp: AssignResponse{V: ProtocolV, Server: 0, Epoch: 2, CapW: 80}},
+				{Server: 1, Err: "lost it"},
+			},
+		}),
+		FrameLeaderReq: nil,
+		FrameError:     appendErrPayload(nil, "agent 3: no such server"),
+	}
+}
+
+func rep2(r Report, server int) Report {
+	r.Server = server
+	return r
+}
+
+// reencodePayload decodes payload as ftype's message and re-encodes it;
+// ok is false when ftype has no decoder (never: all types covered) and
+// err is the decode error.
+func reencodePayload(ftype byte, payload []byte) ([]byte, error) {
+	switch ftype {
+	case FrameScrapeReq:
+		server, t, hasT, err := decodeScrapeReq(payload)
+		if err != nil {
+			return nil, err
+		}
+		return appendScrapeReq(nil, server, t, hasT), nil
+	case FrameReportResp:
+		rep, err := decodeReportPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		return appendReportPayload(nil, rep), nil
+	case FrameAssignReq:
+		req, err := decodeAssignReqPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		return appendAssignReq(nil, req), nil
+	case FrameAssignResp:
+		resp, err := decodeAssignRespPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		return appendAssignRespPayload(nil, resp), nil
+	case FrameLeaseReq:
+		req, err := decodeLeaseReqPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		return appendLeaseReq(nil, req), nil
+	case FrameLeaseResp:
+		resp, err := decodeLeaseRespPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		return appendLeaseRespPayload(nil, resp), nil
+	case FrameRegisterReq:
+		req, err := decodeRegisterReqPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		return appendRegisterReq(nil, req), nil
+	case FrameRegisterResp:
+		resp, err := decodeRegisterRespPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		return appendRegisterRespPayload(nil, resp), nil
+	case FrameVoteReq:
+		req, err := decodeVoteReqPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		return appendVoteReq(nil, req), nil
+	case FrameVoteResp:
+		resp, err := decodeVoteRespPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		return appendVoteRespPayload(nil, resp), nil
+	case FrameLeaderReq:
+		if len(payload) != 0 {
+			return nil, errTrailing
+		}
+		return nil, nil
+	case FrameLeaderResp:
+		st, err := decodeLeaderStatusPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		return appendLeaderStatusPayload(nil, st), nil
+	case FrameBatchScrapeReq:
+		req, err := decodeBatchScrapeReqPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		return appendBatchScrapeReq(nil, req), nil
+	case FrameBatchScrapeResp:
+		resp, err := decodeBatchScrapeRespPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		return appendBatchScrapeRespPayload(nil, resp), nil
+	case FrameBatchGrantReq:
+		req, err := decodeBatchGrantReqPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		return appendBatchGrantReq(nil, req), nil
+	case FrameBatchGrantResp:
+		resp, err := decodeBatchGrantRespPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		return appendBatchGrantRespPayload(nil, resp), nil
+	case FrameError:
+		msg, err := decodeErrPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		return appendErrPayload(nil, msg), nil
+	}
+	return nil, errUnknownFrame
+}
+
+var (
+	errTrailing     = &codecTestErr{"trailing payload"}
+	errUnknownFrame = &codecTestErr{"unknown frame type"}
+)
+
+type codecTestErr struct{ s string }
+
+func (e *codecTestErr) Error() string { return e.s }
+
+// TestFrameRoundTrip proves every message type survives encode → frame
+// → decode → re-encode byte-identically.
+func TestFrameRoundTrip(t *testing.T) {
+	for ftype, payload := range canonicalMessages() {
+		frame := EncodeFrame(ftype, payload)
+		gotType, gotPayload, rest, err := DecodeFrame(frame)
+		if err != nil {
+			t.Fatalf("frame %#02x: %v", ftype, err)
+		}
+		if gotType != ftype || len(rest) != 0 {
+			t.Fatalf("frame %#02x decoded as %#02x with %d rest bytes", ftype, gotType, len(rest))
+		}
+		re, err := reencodePayload(ftype, gotPayload)
+		if err != nil {
+			t.Fatalf("frame %#02x payload decode: %v", ftype, err)
+		}
+		if !bytes.Equal(re, payload) {
+			t.Fatalf("frame %#02x re-encoded %d bytes != original %d", ftype, len(re), len(payload))
+		}
+	}
+}
+
+// TestTypedRoundTrips checks decoded values match the originals
+// field-for-field (the byte identity above could in principle hide a
+// swap of two same-width fields).
+func TestTypedRoundTrips(t *testing.T) {
+	rep := Report{
+		V: ProtocolV, Server: 5, Epoch: 3, Seq: 21, CapW: 60, PerfN: 0.7,
+		GridW: 58, SoC: 0.25, Fenced: true, IdleFloorW: 25, NameplateW: 120,
+		Version:      "dev",
+		UtilityCurve: []cluster.CapPoint{{CapW: 25, Perf: 0, GridW: 25}, {CapW: 120, Perf: 1, GridW: 110}},
+	}
+	got, err := decodeReportPayload(appendReportPayload(nil, rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rep) {
+		t.Fatalf("report round trip:\n got %+v\nwant %+v", got, rep)
+	}
+
+	areq := AssignRequest{V: ProtocolV, Epoch: 1, Seq: 4, Server: 0, T: 300, CapW: 75, LeaseS: 150}
+	gotA, err := decodeAssignReqPayload(appendAssignReq(nil, areq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotA != areq {
+		t.Fatalf("assign round trip: got %+v want %+v", gotA, areq)
+	}
+
+	vreq := VoteRequest{V: ProtocolV, Phase: VotePrepare, Ballot: 3}
+	gotV, err := decodeVoteReqPayload(appendVoteReq(nil, vreq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotV, vreq) {
+		t.Fatalf("vote round trip: got %+v want %+v", gotV, vreq)
+	}
+
+	breq := BatchGrantRequest{
+		V: ProtocolV, Epoch: 2, Seq: 7, T: 600, LeaseS: 300,
+		Entries: []GrantEntry{{Server: 0, CapW: 50, Renew: true}, {Server: 9, CapW: 0}},
+	}
+	gotB, err := decodeBatchGrantReqPayload(appendBatchGrantReq(nil, breq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotB, breq) {
+		t.Fatalf("batch grant round trip: got %+v want %+v", gotB, breq)
+	}
+}
+
+// TestDecodeFrameErrors is the malformed-frame table: truncation,
+// garbage, oversize, and foreign versions must all be refused.
+func TestDecodeFrameErrors(t *testing.T) {
+	ok := EncodeFrame(FrameLeaseReq, appendLeaseReq(nil, LeaseRequest{
+		V: ProtocolV, Epoch: 1, Server: 0, T: 0, LeaseS: 0,
+	}))
+	oversize := make([]byte, frameHeaderLen)
+	oversize[0], oversize[1], oversize[2], oversize[3] = frameMagic0, frameMagic1, ProtocolV, FrameAssignReq
+	binary.BigEndian.PutUint32(oversize[4:8], maxBodyBytes+1)
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "truncated"},
+		{"short header", ok[:frameHeaderLen-1], "truncated"},
+		{"bad magic", append([]byte("XX"), ok[2:]...), "bad frame magic"},
+		{"garbage", []byte("GET /ctrl/report HTTP/1.1\r\n"), "bad frame magic"},
+		{"foreign version", mutate(ok, 2, ProtocolV+1), "protocol v3"},
+		{"zero version", mutate(ok, 2, 0), "protocol v0"},
+		{"unknown type 0x00", mutate(ok, 3, 0x00), "unknown frame type"},
+		{"unknown type 0x11", mutate(ok, 3, 0x11), "unknown frame type"},
+		{"unknown type 0x80", mutate(ok, 3, 0x80), "unknown frame type"},
+		{"oversize payload", oversize, "exceeds"},
+		{"truncated payload", ok[:len(ok)-4], "payload truncated"},
+	}
+	for _, tc := range cases {
+		_, _, _, err := DecodeFrame(tc.data)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+	// Trailing bytes after one frame are the next frame, not an error.
+	two := append(append([]byte{}, ok...), ok...)
+	_, _, rest, err := DecodeFrame(two)
+	if err != nil || len(rest) != len(ok) {
+		t.Fatalf("stacked frames: err=%v rest=%d want %d", err, len(rest), len(ok))
+	}
+}
+
+func mutate(frame []byte, i int, v byte) []byte {
+	out := append([]byte{}, frame...)
+	out[i] = v
+	return out
+}
+
+// TestPayloadStrictness: trailing bytes, non-0|1 bools, and lying
+// counts inside a well-formed frame must be refused by the message
+// decoders.
+func TestPayloadStrictness(t *testing.T) {
+	lease := appendLeaseReq(nil, LeaseRequest{V: ProtocolV, Epoch: 1, Server: 0, T: 0, LeaseS: 0})
+	if _, err := decodeLeaseReqPayload(append(lease, 0)); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Errorf("trailing byte: got %v", err)
+	}
+	if _, err := decodeLeaseReqPayload(lease[:len(lease)-1]); err == nil {
+		t.Error("truncated payload decoded")
+	}
+
+	// Bool byte 2 would decode true but re-encode as 1 — refused.
+	scrape := appendScrapeReq(nil, 1, 5, true)
+	scrape[8] = 2
+	if _, _, _, err := decodeScrapeReq(scrape); err == nil || !strings.Contains(err.Error(), "0|1") {
+		t.Errorf("bool byte 2: got %v", err)
+	}
+
+	// A curve count past the remaining payload must fail fast, not
+	// allocate.
+	rep := appendReportPayload(nil, Report{V: ProtocolV, Server: 0, SoC: 0.5, Version: ""})
+	binary.BigEndian.PutUint32(rep[len(rep)-4:], 1<<30)
+	if _, err := decodeReportPayload(rep); err == nil || !strings.Contains(err.Error(), "curve count") {
+		t.Errorf("lying curve count: got %v", err)
+	}
+
+	// Same for batch entry counts.
+	batch := appendBatchScrapeReq(nil, BatchScrapeRequest{V: ProtocolV, HasT: true, T: 1, Servers: []int{0}})
+	binary.BigEndian.PutUint32(batch[9:13], 1<<30)
+	if _, err := decodeBatchScrapeReqPayload(batch); err == nil || !strings.Contains(err.Error(), "exceeds payload") {
+		t.Errorf("lying batch count: got %v", err)
+	}
+
+	// Semantic validation runs behind structural decode: epoch 0 is a
+	// clean payload but an invalid request.
+	bad := appendAssignReq(nil, AssignRequest{V: ProtocolV, Epoch: 0, Seq: 1, Server: 0, T: 0, CapW: 1, LeaseS: 0})
+	if _, err := decodeAssignReqPayload(bad); err == nil || !strings.Contains(err.Error(), "epoch 0") {
+		t.Errorf("epoch 0 assign: got %v", err)
+	}
+}

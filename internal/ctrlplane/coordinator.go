@@ -199,6 +199,12 @@ type Stats struct {
 	// RPCs never sent because a breaker was open.
 	BreakerTrips int
 	BreakerSkips int
+	// BatchFrames counts batch frames exchanged on the binary
+	// transport; BatchedOps counts the per-agent operations they
+	// carried (a fleet of 1k behind one listener moves ~1k ops in 2
+	// frames per interval).
+	BatchFrames int
+	BatchedOps  int
 }
 
 // StepResult is one control interval's outcome.
@@ -439,36 +445,92 @@ func (c *Coordinator) step(ctx context.Context, t, capW float64, lead bool) (Ste
 	// the coordinator clock so agents can notice lapsed leases. A
 	// member behind an open circuit breaker is skipped outright (the
 	// skip still counts as a missed heartbeat); a half-open one gets a
-	// single retry-free probe.
+	// single retry-free probe. Closed-breaker members sharing one
+	// binary listener ride a single batch frame instead of unary RPCs;
+	// breaker states are snapshotted serially first (they only mutate
+	// in the accounting loops between fan-outs, so the snapshot equals
+	// what each goroutine would read) because grouping depends on them.
 	reports := make([]*Report, n)
 	errs := make([]error, n)
 	skipped := make([]bool, n)
-	fanOut(ctx, n, c.cfg.maxInFlight(), func(i int) {
-		m := c.members[i]
-		state := c.breakerState(m)
-		if state == breakerOpen {
-			skipped[i] = true
-			return
+	var batchFrames, batchOps atomic.Int64
+	states := make([]breakerState, n)
+	for i, m := range c.members {
+		states[i] = c.breakerState(m)
+	}
+	groups, grouped := c.batchGroups(states, nil)
+	work := make([]func(), 0, n)
+	for i := range c.members {
+		if grouped[i] {
+			continue
 		}
-		url := fmt.Sprintf("%s%s?t=%s", m.ref.URL, PathReport, strconv.FormatFloat(t, 'g', -1, 64))
-		var rep Report
-		var err error
-		if state == breakerHalfOpen {
-			err = c.client.getJSONOnce(ctx, "report", jitterKey("report", m.ref.ID), url, &rep)
-		} else {
-			err = c.client.getJSON(ctx, "report", jitterKey("report", m.ref.ID), url, &rep)
-		}
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		if rep.Server != m.ref.ID {
-			errs[i] = fmt.Errorf("ctrlplane: scrape of agent %d answered as %d", m.ref.ID, rep.Server)
-			return
-		}
-		c.noteEpoch(rep.Epoch)
-		reports[i] = &rep
-	})
+		i, m := i, c.members[i]
+		work = append(work, func() {
+			if states[i] == breakerOpen {
+				skipped[i] = true
+				return
+			}
+			retries := c.cfg.rpcRetries()
+			if states[i] == breakerHalfOpen {
+				retries = 0
+			}
+			rep, err := c.client.scrape(ctx, retries, m.ref.URL, m.ref.ID, t)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if rep.Server != m.ref.ID {
+				errs[i] = fmt.Errorf("ctrlplane: scrape of agent %d answered as %d", m.ref.ID, rep.Server)
+				return
+			}
+			c.noteEpoch(rep.Epoch)
+			reports[i] = &rep
+		})
+	}
+	for _, g := range groups {
+		g := g
+		work = append(work, func() {
+			req := BatchScrapeRequest{V: ProtocolV, T: t, HasT: true, Servers: make([]int, 0, len(g.idx))}
+			for _, i := range g.idx {
+				req.Servers = append(req.Servers, c.members[i].ref.ID)
+			}
+			resp, err := c.client.scrapeBatch(ctx, g.url, req)
+			if err != nil {
+				for _, i := range g.idx {
+					errs[i] = err
+				}
+				return
+			}
+			batchFrames.Add(1)
+			batchOps.Add(int64(len(g.idx)))
+			byID := make(map[int]int, len(g.idx))
+			for _, i := range g.idx {
+				byID[c.members[i].ref.ID] = i
+			}
+			for _, r := range resp.Results {
+				i, ok := byID[r.Server]
+				if !ok {
+					continue
+				}
+				delete(byID, r.Server)
+				if r.Err != "" {
+					errs[i] = fmt.Errorf("ctrlplane: agent %d: %s", r.Server, r.Err)
+					continue
+				}
+				rep := r.Report
+				if rep.Server != r.Server {
+					errs[i] = fmt.Errorf("ctrlplane: scrape of agent %d answered as %d", r.Server, rep.Server)
+					continue
+				}
+				c.noteEpoch(rep.Epoch)
+				reports[i] = &rep
+			}
+			for id, i := range byID {
+				errs[i] = fmt.Errorf("ctrlplane: batch scrape response missing agent %d", id)
+			}
+		})
+	}
+	fanOut(ctx, len(work), c.cfg.maxInFlight(), func(k int) { work[k]() })
 	for i, m := range c.members {
 		if rep := reports[i]; rep != nil {
 			if c.breakerNoteSuccess(m) {
@@ -566,6 +628,9 @@ func (c *Coordinator) step(ctx context.Context, t, capW float64, lead bool) (Ste
 		}
 		res.Deposed = c.seenEpoch.Load() > epoch
 		c.stats.Observes++
+		c.stats.BatchFrames += int(batchFrames.Load())
+		c.stats.BatchedOps += int(batchOps.Load())
+		c.tel.batchedOps.Add(uint64(batchOps.Load()))
 		c.tel.noteStep(res)
 		return res, nil
 	}
@@ -573,62 +638,124 @@ func (c *Coordinator) step(ctx context.Context, t, capW float64, lead bool) (Ste
 	seq := c.seq
 	renewFailed := make([]bool, n)
 	grantSkipped := make([]bool, n)
-	fanOut(ctx, n, c.cfg.maxInFlight(), func(i int) {
-		m := c.members[i]
-		if !m.alive {
-			return
+	// Recompute breaker states: the scrape accounting above moved them
+	// (a success closes a breaker, a failure may open one).
+	for i, m := range c.members {
+		states[i] = c.breakerState(m)
+	}
+	groups, grouped = c.batchGroups(states, res.Alive)
+	grantWork := make([]func(), 0, n)
+	for i := range c.members {
+		if grouped[i] {
+			continue
 		}
-		state := c.breakerState(m)
-		if state == breakerOpen {
-			// The scrape already paid this member's miss; don't burn
-			// the assign budget against the same black hole.
-			grantSkipped[i] = true
-			return
-		}
-		if m.granted && m.grantedW == res.Budgets[i] && m.scraped && !m.fenced {
-			req := LeaseRequest{V: ProtocolV, Epoch: epoch, Server: m.ref.ID, T: t, LeaseS: c.cfg.LeaseS}
-			var resp LeaseResponse
-			err := c.client.postJSON(ctx, "lease", jitterKey("lease", m.ref.ID), m.ref.URL+PathLease, req, &resp)
-			if err == nil {
-				c.noteEpoch(resp.Epoch)
-				if !resp.Fenced && resp.Epoch == epoch && resp.CapW == m.grantedW {
-					res.Granted[i] = true
-					return
-				}
+		i, m := i, c.members[i]
+		grantWork = append(grantWork, func() {
+			if !m.alive {
+				return
 			}
-			renewFailed[i] = err != nil
-			// Fall through to a full assignment: a failed renewal may
-			// leave the agent about to fence; a renewal answered
-			// fenced, from another epoch, or enforcing a cap other
-			// than the grant (the agent fenced and was re-assigned
-			// between the scrape and the renewal) means the budget is
-			// not in force; only an assign restores it and re-arms
-			// the lease.
-		}
-		req := AssignRequest{V: ProtocolV, Epoch: epoch, Seq: seq, Server: m.ref.ID, T: t,
-			CapW: res.Budgets[i], LeaseS: c.cfg.LeaseS}
-		var resp AssignResponse
-		var err error
-		if state == breakerHalfOpen {
-			err = c.client.postJSONOnce(ctx, "assign", jitterKey("assign", m.ref.ID), m.ref.URL+PathAssign, req, &resp)
-		} else {
-			err = c.client.postJSON(ctx, "assign", jitterKey("assign", m.ref.ID), m.ref.URL+PathAssign, req, &resp)
-		}
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		c.noteEpoch(resp.Epoch)
-		// Applied, or refused-as-duplicate with our own grant already
-		// in force, both mean this interval's budget holds. A refusal
-		// carrying a higher epoch means another leader owns the agent.
-		if resp.Applied || (resp.Epoch == epoch && resp.CapW == res.Budgets[i]) {
-			res.Granted[i] = true
-			return
-		}
-		errs[i] = fmt.Errorf("ctrlplane: agent %d refused epoch-%d grant (agent at epoch %d)",
-			m.ref.ID, epoch, resp.Epoch)
-	})
+			if states[i] == breakerOpen {
+				// The scrape already paid this member's miss; don't burn
+				// the assign budget against the same black hole.
+				grantSkipped[i] = true
+				return
+			}
+			if m.granted && m.grantedW == res.Budgets[i] && m.scraped && !m.fenced {
+				req := LeaseRequest{V: ProtocolV, Epoch: epoch, Server: m.ref.ID, T: t, LeaseS: c.cfg.LeaseS}
+				resp, err := c.client.renew(ctx, m.ref.URL, req)
+				if err == nil {
+					c.noteEpoch(resp.Epoch)
+					if !resp.Fenced && resp.Epoch == epoch && resp.CapW == m.grantedW {
+						res.Granted[i] = true
+						return
+					}
+				}
+				renewFailed[i] = err != nil
+				// Fall through to a full assignment: a failed renewal may
+				// leave the agent about to fence; a renewal answered
+				// fenced, from another epoch, or enforcing a cap other
+				// than the grant (the agent fenced and was re-assigned
+				// between the scrape and the renewal) means the budget is
+				// not in force; only an assign restores it and re-arms
+				// the lease.
+			}
+			req := AssignRequest{V: ProtocolV, Epoch: epoch, Seq: seq, Server: m.ref.ID, T: t,
+				CapW: res.Budgets[i], LeaseS: c.cfg.LeaseS}
+			retries := c.cfg.rpcRetries()
+			if states[i] == breakerHalfOpen {
+				retries = 0
+			}
+			resp, err := c.client.assign(ctx, retries, m.ref.URL, req)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			c.noteEpoch(resp.Epoch)
+			// Applied, or refused-as-duplicate with our own grant already
+			// in force, both mean this interval's budget holds. A refusal
+			// carrying a higher epoch means another leader owns the agent.
+			if resp.Applied || (resp.Epoch == epoch && resp.CapW == res.Budgets[i]) {
+				res.Granted[i] = true
+				return
+			}
+			errs[i] = fmt.Errorf("ctrlplane: agent %d refused epoch-%d grant (agent at epoch %d)",
+				m.ref.ID, epoch, resp.Epoch)
+		})
+	}
+	for _, g := range groups {
+		g := g
+		grantWork = append(grantWork, func() {
+			// One frame carries the whole group: coalesced renewals for
+			// members whose acknowledged budget already matches, fresh
+			// assigns for the rest. The server applies the same
+			// renew-else-assign sequence per entry that the unary path
+			// runs client-side, so semantics are transport-independent.
+			req := BatchGrantRequest{V: ProtocolV, Epoch: epoch, Seq: seq, T: t, LeaseS: c.cfg.LeaseS}
+			for _, i := range g.idx {
+				m := c.members[i]
+				req.Entries = append(req.Entries, GrantEntry{
+					Server: m.ref.ID,
+					CapW:   res.Budgets[i],
+					Renew:  m.granted && m.grantedW == res.Budgets[i] && m.scraped && !m.fenced,
+				})
+			}
+			resp, err := c.client.grantBatch(ctx, g.url, req)
+			if err != nil {
+				for _, i := range g.idx {
+					errs[i] = err
+				}
+				return
+			}
+			batchFrames.Add(1)
+			batchOps.Add(int64(len(g.idx)))
+			byID := make(map[int]int, len(g.idx))
+			for _, i := range g.idx {
+				byID[c.members[i].ref.ID] = i
+			}
+			for _, r := range resp.Results {
+				i, ok := byID[r.Server]
+				if !ok {
+					continue
+				}
+				delete(byID, r.Server)
+				if r.Err != "" {
+					errs[i] = fmt.Errorf("ctrlplane: agent %d: %s", r.Server, r.Err)
+					continue
+				}
+				c.noteEpoch(r.Resp.Epoch)
+				if r.Renewed || r.Resp.Applied || (r.Resp.Epoch == epoch && r.Resp.CapW == res.Budgets[i]) {
+					res.Granted[i] = true
+					continue
+				}
+				errs[i] = fmt.Errorf("ctrlplane: agent %d refused epoch-%d grant (agent at epoch %d)",
+					r.Server, epoch, r.Resp.Epoch)
+			}
+			for id, i := range byID {
+				errs[i] = fmt.Errorf("ctrlplane: batch grant response missing agent %d", id)
+			}
+		})
+	}
+	fanOut(ctx, len(grantWork), c.cfg.maxInFlight(), func(k int) { grantWork[k]() })
 	for i, m := range c.members {
 		if !m.alive {
 			continue
@@ -655,9 +782,82 @@ func (c *Coordinator) step(ctx context.Context, t, capW float64, lead bool) (Ste
 	res.Deposed = c.seenEpoch.Load() > epoch
 
 	c.stats.Steps++
+	c.stats.BatchFrames += int(batchFrames.Load())
+	c.stats.BatchedOps += int(batchOps.Load())
+	c.tel.batchedOps.Add(uint64(batchOps.Load()))
 	c.tel.noteStep(res)
 	return res, nil
 }
+
+// batchGroup is one batch frame's worth of members: fleet indices that
+// share a binary listener URL.
+type batchGroup struct {
+	url string
+	idx []int
+}
+
+// batchGroups partitions the members eligible for batch frames —
+// closed-breaker (open members are skipped, half-open ones probe
+// unary with no retries), alive when an alive mask is given, and
+// behind a tcp:// URL — into per-URL groups of at least two, chunked
+// at maxBatchEntries. Singleton members stay on the unary path: a
+// batch frame for one agent buys nothing over a unary frame on the
+// same pooled conn. Returns the groups and a mask of grouped indices.
+func (c *Coordinator) batchGroups(states []breakerState, alive []bool) ([]batchGroup, []bool) {
+	grouped := make([]bool, len(c.members))
+	byURL := make(map[string][]int)
+	order := make([]string, 0, 4)
+	for i, m := range c.members {
+		if states[i] != breakerClosed || !BinaryURL(m.ref.URL) {
+			continue
+		}
+		if alive != nil && !alive[i] {
+			continue
+		}
+		url := trimSlash(m.ref.URL)
+		if _, ok := byURL[url]; !ok {
+			order = append(order, url)
+		}
+		byURL[url] = append(byURL[url], i)
+	}
+	var groups []batchGroup
+	for _, url := range order {
+		idx := byURL[url]
+		if len(idx) < 2 {
+			continue
+		}
+		for len(idx) > 0 {
+			n := min(len(idx), maxBatchEntries)
+			g := batchGroup{url: url, idx: idx[:n]}
+			idx = idx[n:]
+			groups = append(groups, g)
+			for _, i := range g.idx {
+				grouped[i] = true
+			}
+		}
+	}
+	return groups, grouped
+}
+
+// WireStats is the client-side connection ledger for the binary
+// transport — the bench asserts dials stay bounded while reuses grow
+// with the interval count (i.e. the pool works).
+type WireStats struct {
+	BinaryDials  uint64
+	BinaryReuses uint64
+}
+
+// WireStats returns the coordinator's connection counters.
+func (c *Coordinator) WireStats() WireStats {
+	return WireStats{
+		BinaryDials:  c.client.dialer.bin.dials.Load(),
+		BinaryReuses: c.client.dialer.bin.reuses.Load(),
+	}
+}
+
+// Close releases pooled connections (both transports). The coordinator
+// must not be stepped afterwards.
+func (c *Coordinator) Close() { c.client.close() }
 
 // apportion fills budgets with the strategy's per-agent grants.
 func (c *Coordinator) apportion(capW float64, alive []bool, budgets []float64) error {

@@ -1,11 +1,8 @@
 package ctrlplane
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
-	"net/http"
 	"sync"
 	"time"
 )
@@ -245,11 +242,10 @@ func Announce(ctx context.Context, coordURLs []string, req RegisterRequest, time
 	if timeout <= 0 {
 		timeout = 2 * time.Second
 	}
-	payload, err := json.Marshal(req)
-	if err != nil {
-		return RegisterResponse{}, err
-	}
-	hc := &http.Client{Timeout: timeout}
+	// A coordinator URL's scheme picks the wire: http(s):// posts JSON,
+	// tcp:// sends a register frame.
+	dialer := newWireDialer(nil, nil)
+	defer dialer.Close()
 	var best RegisterResponse
 	var lastErr error
 	accepted, haveLeader := false, false
@@ -257,31 +253,12 @@ func Announce(ctx context.Context, coordURLs []string, req RegisterRequest, time
 	// the whole point of announcing to the full set is that a standby's
 	// membership view is warm before it ever wins a term.
 	for _, base := range coordURLs {
-		url := fmt.Sprintf("%s%s", trimSlash(base), PathRegister)
-		httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+		base = trimSlash(base)
+		callCtx, cancel := context.WithTimeout(ctx, timeout)
+		reg, err := dialer.forURL(base).Register(callCtx, base, req)
+		cancel()
 		if err != nil {
-			lastErr = err
-			continue
-		}
-		httpReq.Header.Set("Content-Type", "application/json")
-		resp, err := hc.Do(httpReq)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		body, err := readBody(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		if resp.StatusCode != http.StatusOK {
-			lastErr = fmt.Errorf("ctrlplane: register at %s: %s: %s", base, resp.Status, bytes.TrimSpace(body))
-			continue
-		}
-		var reg RegisterResponse
-		if err := json.Unmarshal(body, &reg); err != nil {
-			lastErr = fmt.Errorf("ctrlplane: register response from %s: %w", base, err)
+			lastErr = fmt.Errorf("ctrlplane: register at %s: %w", base, err)
 			continue
 		}
 		if !reg.Accepted {

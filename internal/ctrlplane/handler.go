@@ -45,18 +45,18 @@ func NewHandler(a *Agent) http.Handler {
 		}
 		// A scrape may carry the coordinator's clock; the agent uses it
 		// to notice a lapsed lease even without a local ticker.
+		var t float64
+		hasT := false
 		if ts := r.URL.Query().Get("t"); ts != "" {
-			t, err := strconv.ParseFloat(ts, 64)
+			var err error
+			t, err = strconv.ParseFloat(ts, 64)
 			if err != nil || !finite(t) || t < 0 {
 				http.Error(w, fmt.Sprintf("bad t %q", ts), http.StatusBadRequest)
 				return
 			}
-			if err := a.Tick(t); err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-				return
-			}
+			hasT = true
 		}
-		rep, err := a.Report()
+		rep, err := a.Scrape(t, hasT)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -104,24 +104,30 @@ type LeaderStatus struct {
 	Failovers int    `json:"failovers"`
 }
 
+// coordStatus builds the leadership view both transports serve: which
+// candidate this coordinator believes leads, under which epoch, and
+// whether it is that candidate itself. ha may be nil for a plain
+// single coordinator — it then reports itself leader of its own epoch
+// with no election behind it.
+func coordStatus(c *Coordinator, ha *HA) LeaderStatus {
+	st := LeaderStatus{V: ProtocolV, Epoch: c.Epoch(), Leader: true}
+	if ha != nil {
+		term, lead := ha.Leader()
+		st.ID = ha.ID()
+		st.LeaderID = term.Leader
+		st.Epoch = term.Epoch
+		st.Leader = lead
+		st.Failovers = ha.Failovers()
+	}
+	return st
+}
+
 // NewCoordinatorHandler serves a coordinator's /ctrl/* endpoints:
 // agent registration, the leadership probe, and — when voter is
 // non-nil — this pool member's /ctrl/vote quorum endpoint. ha may be
-// nil for a plain single coordinator — it then reports itself leader
-// of its own epoch with no election behind it.
+// nil (see coordStatus).
 func NewCoordinatorHandler(c *Coordinator, ha *HA, voter *QuorumVoter) http.Handler {
-	status := func() LeaderStatus {
-		st := LeaderStatus{V: ProtocolV, Epoch: c.Epoch(), Leader: true}
-		if ha != nil {
-			term, lead := ha.Leader()
-			st.ID = ha.ID()
-			st.LeaderID = term.Leader
-			st.Epoch = term.Epoch
-			st.Leader = lead
-			st.Failovers = ha.Failovers()
-		}
-		return st
-	}
+	status := func() LeaderStatus { return coordStatus(c, ha) }
 	mux := http.NewServeMux()
 	mux.HandleFunc(PathRegister, func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {

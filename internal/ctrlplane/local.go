@@ -22,6 +22,7 @@ type SimFleet struct {
 	refs []AgentRef
 	lns  []net.Listener
 	srvs []*http.Server
+	bin  *BinaryServer
 }
 
 // FleetOptions parameterizes a simulated fleet beyond the defaults.
@@ -33,6 +34,12 @@ type FleetOptions struct {
 	// SafeMode, when enabled, gives every agent graceful leaderless
 	// degradation instead of the fence cliff.
 	SafeMode SafeModeConfig
+	// Transport picks the fleet's wire. TransportJSON (the default)
+	// gives every agent its own loopback HTTP listener; TransportBinary
+	// hosts the whole fleet behind one BinaryServer listener, which is
+	// what lets the coordinator batch scrapes and grants into single
+	// frames.
+	Transport TransportKind
 }
 
 // StartSimFleet boots one agent per evaluator server on loopback
@@ -59,6 +66,32 @@ func StartSimFleetOpts(ev *cluster.Evaluator, opts FleetOptions) (*SimFleet, err
 			f.Close()
 			return nil, err
 		}
+		f.Agents = append(f.Agents, a)
+	}
+	if len(f.Agents) == 0 {
+		f.Close()
+		return nil, fmt.Errorf("ctrlplane: evaluator has no servers")
+	}
+	if opts.Transport == TransportBinary {
+		// One listener for the whole fleet: all agents answer behind a
+		// single tcp:// URL, so the coordinator's batch grouping can
+		// fold the fleet into single frames.
+		eps := make(map[int]CtrlEndpoint, len(f.Agents))
+		for i, a := range f.Agents {
+			eps[i] = a
+		}
+		srv, err := StartBinaryServer("127.0.0.1:0", BinaryServerConfig{Endpoints: eps})
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.bin = srv
+		for i := range f.Agents {
+			f.refs = append(f.refs, AgentRef{ID: i, URL: srv.URL()})
+		}
+		return f, nil
+	}
+	for i, a := range f.Agents {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			f.Close()
@@ -69,17 +102,16 @@ func StartSimFleetOpts(ev *cluster.Evaluator, opts FleetOptions) (*SimFleet, err
 			ReadHeaderTimeout: 5 * time.Second,
 		}
 		go func() { _ = srv.Serve(ln) }()
-		f.Agents = append(f.Agents, a)
 		f.lns = append(f.lns, ln)
 		f.srvs = append(f.srvs, srv)
 		f.refs = append(f.refs, AgentRef{ID: i, URL: "http://" + ln.Addr().String()})
 	}
-	if len(f.Agents) == 0 {
-		f.Close()
-		return nil, fmt.Errorf("ctrlplane: evaluator has no servers")
-	}
 	return f, nil
 }
+
+// BinaryServer returns the fleet's shared binary listener (nil on a
+// JSON fleet) — the chaos drills bounce its conns.
+func (f *SimFleet) BinaryServer() *BinaryServer { return f.bin }
 
 // Refs returns the fleet's agent references, in server-index order.
 func (f *SimFleet) Refs() []AgentRef {
@@ -116,5 +148,8 @@ func (f *SimFleet) Close() {
 	}
 	for _, ln := range f.lns {
 		_ = ln.Close()
+	}
+	if f.bin != nil {
+		f.bin.Close()
 	}
 }

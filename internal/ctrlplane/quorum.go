@@ -1,9 +1,7 @@
 package ctrlplane
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"net"
@@ -74,11 +72,13 @@ type QuorumConfig struct {
 
 // QuorumElection implements Election over a pool of voter endpoints.
 // Safe for concurrent use; each coordinator of the pool holds its own
-// QuorumElection over the same voter list.
+// QuorumElection over the same voter list. Voters may be addressed
+// over either wire encoding — http(s):// posts JSON to /ctrl/vote,
+// tcp:// sends binary vote frames.
 type QuorumElection struct {
 	voters  []string
 	quorum  int
-	hc      *http.Client
+	dialer  *wireDialer
 	timeout time.Duration
 	tel     *quorumTel
 
@@ -97,8 +97,8 @@ func NewQuorumElection(cfg QuorumConfig) (*QuorumElection, error) {
 		if err != nil {
 			return nil, fmt.Errorf("ctrlplane: quorum voter url: %w", err)
 		}
-		if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
-			return nil, fmt.Errorf("ctrlplane: quorum voter url %q (need http(s)://host[:port])", raw)
+		if (u.Scheme != "http" && u.Scheme != "https" && u.Scheme != "tcp") || u.Host == "" {
+			return nil, fmt.Errorf("ctrlplane: quorum voter url %q (need http(s):// or tcp:// host[:port])", raw)
 		}
 		voters[i] = trimSlash(raw)
 	}
@@ -111,11 +111,14 @@ func NewQuorumElection(cfg QuorumConfig) (*QuorumElection, error) {
 	return &QuorumElection{
 		voters:  voters,
 		quorum:  len(voters)/2 + 1,
-		hc:      &http.Client{Transport: cfg.Transport},
+		dialer:  newWireDialer(cfg.Transport, nil),
 		timeout: timeout,
 		tel:     tel,
 	}, nil
 }
+
+// Close releases the proposer's pooled voter connections.
+func (q *QuorumElection) Close() { q.dialer.Close() }
 
 // Quorum returns the majority size campaigns commit on.
 func (q *QuorumElection) Quorum() int { return q.quorum }
@@ -224,32 +227,15 @@ func (q *QuorumElection) ask(req VoteRequest) []voteOutcome {
 	return out
 }
 
-// vote posts one phase to one voter.
+// vote sends one phase to one voter over its URL's wire encoding.
 func (q *QuorumElection) vote(base string, req VoteRequest) (VoteResponse, error) {
-	payload, err := json.Marshal(req)
-	if err != nil {
-		return VoteResponse{}, err
-	}
 	ctx, cancel := context.WithTimeout(context.Background(), q.timeout)
 	defer cancel()
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+PathVote, bytes.NewReader(payload))
+	resp, err := q.dialer.forURL(base).Vote(ctx, base, req)
 	if err != nil {
-		return VoteResponse{}, err
+		return VoteResponse{}, fmt.Errorf("ctrlplane: voter %s: %w", base, err)
 	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	resp, err := q.hc.Do(httpReq)
-	if err != nil {
-		return VoteResponse{}, err
-	}
-	defer resp.Body.Close()
-	body, err := readBody(resp.Body)
-	if err != nil {
-		return VoteResponse{}, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return VoteResponse{}, fmt.Errorf("ctrlplane: voter %s: %s: %s", base, resp.Status, bytes.TrimSpace(body))
-	}
-	return DecodeVoteResponse(body)
+	return resp, nil
 }
 
 // nextBallot mints a fresh, pool-unique ballot: a per-proposer round

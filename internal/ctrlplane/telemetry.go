@@ -35,6 +35,13 @@ type ctrlTel struct {
 	leaderGauge   *telemetry.Gauge
 	failovers     *telemetry.Gauge
 	registrations *telemetry.Counter
+
+	// Per-transport wire accounting (transport ∈ {json, binary}).
+	wireFrames *telemetry.CounterVec // dir ∈ {tx, rx}; one HTTP message counts as one frame
+	wireBytes  *telemetry.CounterVec // dir ∈ {tx, rx}; payload bytes (JSON: bodies, binary: whole frames)
+	connDials  *telemetry.CounterVec
+	connReuses *telemetry.CounterVec
+	batchedOps *telemetry.Counter
 }
 
 func newCtrlTel(h *telemetry.Hub) *ctrlTel {
@@ -86,6 +93,16 @@ func newCtrlTel(h *telemetry.Hub) *ctrlTel {
 			"Leadership terms this coordinator took over from a lapsed or resigned predecessor."),
 		registrations: reg.Counter("ps_ctrl_registrations_total",
 			"Agent self-registrations admitted into the fleet."),
+		wireFrames: reg.CounterVec("ps_ctrl_wire_frames_total",
+			"Wire messages by transport and direction.", "transport", "dir"),
+		wireBytes: reg.CounterVec("ps_ctrl_wire_bytes_total",
+			"Wire bytes by transport and direction.", "transport", "dir"),
+		connDials: reg.CounterVec("ps_ctrl_conn_dials_total",
+			"Control-plane connections dialed, by transport.", "transport"),
+		connReuses: reg.CounterVec("ps_ctrl_conn_reuses_total",
+			"Pooled binary connections reused instead of re-dialed.", "transport"),
+		batchedOps: reg.Counter("ps_ctrl_batched_ops_total",
+			"Per-agent operations carried inside batch frames instead of unary RPCs."),
 	}
 }
 

@@ -1,0 +1,170 @@
+package ctrlplane
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// jsonIdleConnsPerHost sizes the HTTP keep-alive pool per agent host.
+// http.DefaultTransport caps idle conns at 2 per host and 100 total,
+// which silently re-dials on every interval once the fleet outgrows
+// the pool; the control plane's fan-out is bounded by MaxInFlight, so
+// a pool at least that deep keeps one persistent conn per in-flight
+// slot across intervals.
+const jsonIdleConnsPerHost = 64
+
+// jsonTransport is the HTTP/JSON encoding: the debug/curl surface and
+// the fuzz target. Each method is a single attempt.
+type jsonTransport struct {
+	hc  *http.Client
+	tel *ctrlTel
+}
+
+// newJSONTransport builds the JSON client. rt overrides the
+// round-tripper (the fault-injection shim path used by soak tests);
+// when nil, a keep-alive pooled transport with counted dials is used
+// so fan-out reuses conns across intervals instead of re-dialing.
+func newJSONTransport(rt http.RoundTripper, tel *ctrlTel) *jsonTransport {
+	t := &jsonTransport{tel: tel}
+	if rt == nil {
+		dialer := &net.Dialer{Timeout: 10 * time.Second, KeepAlive: 30 * time.Second}
+		rt = &http.Transport{
+			DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+				tel.connDials.With("json").Inc()
+				return dialer.DialContext(ctx, network, addr)
+			},
+			MaxIdleConns:        0, // unlimited total; per-host cap below governs
+			MaxIdleConnsPerHost: jsonIdleConnsPerHost,
+			IdleConnTimeout:     90 * time.Second,
+		}
+	}
+	t.hc = &http.Client{Transport: rt}
+	return t
+}
+
+func (t *jsonTransport) Name() string { return "json" }
+
+// Close drops idle keep-alive conns.
+func (t *jsonTransport) Close() {
+	t.hc.CloseIdleConnections()
+}
+
+// call performs one HTTP round trip and decodes the response into out.
+// Non-200 responses become errors carrying the trimmed body; *Report
+// outputs take the strict decode path (unknown-field and validation
+// rejection), everything else plain json.Unmarshal — responses are
+// from our own coordinator/agent, requests are what untrusted peers
+// send and stay strict on the handler side.
+func (t *jsonTransport) call(ctx context.Context, method, url string, payload []byte, out any) error {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+		t.tel.wireBytes.With("json", "tx").Add(uint64(len(payload)))
+	}
+	t.tel.wireFrames.With("json", "tx").Inc()
+	resp, err := t.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, maxBodyBytes))
+		resp.Body.Close()
+	}()
+	data, err := readBody(resp.Body)
+	if err != nil {
+		return err
+	}
+	t.tel.wireFrames.With("json", "rx").Inc()
+	t.tel.wireBytes.With("json", "rx").Add(uint64(len(data)))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("ctrlplane: %s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	if out == nil {
+		return nil
+	}
+	switch v := out.(type) {
+	case *Report:
+		rep, err := DecodeReport(data)
+		if err != nil {
+			return err
+		}
+		*v = rep
+	default:
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("ctrlplane: decode response: %w", err)
+		}
+	}
+	return nil
+}
+
+// get is one GET attempt; url is complete (base + path + query).
+func (t *jsonTransport) get(ctx context.Context, url string, out any) error {
+	return t.call(ctx, http.MethodGet, url, nil, out)
+}
+
+// post is one POST attempt of in marshaled as JSON.
+func (t *jsonTransport) post(ctx context.Context, url string, in, out any) error {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	return t.call(ctx, http.MethodPost, url, payload, out)
+}
+
+func (t *jsonTransport) Scrape(ctx context.Context, base string, server int, at float64, hasT bool) (Report, error) {
+	url := base + PathReport
+	if hasT {
+		url += "?t=" + strconv.FormatFloat(at, 'g', -1, 64)
+	}
+	var rep Report
+	err := t.get(ctx, url, &rep)
+	return rep, err
+}
+
+func (t *jsonTransport) Assign(ctx context.Context, base string, req AssignRequest) (AssignResponse, error) {
+	var resp AssignResponse
+	err := t.post(ctx, base+PathAssign, req, &resp)
+	return resp, err
+}
+
+func (t *jsonTransport) Renew(ctx context.Context, base string, req LeaseRequest) (LeaseResponse, error) {
+	var resp LeaseResponse
+	err := t.post(ctx, base+PathLease, req, &resp)
+	return resp, err
+}
+
+func (t *jsonTransport) Register(ctx context.Context, base string, req RegisterRequest) (RegisterResponse, error) {
+	var resp RegisterResponse
+	err := t.post(ctx, base+PathRegister, req, &resp)
+	return resp, err
+}
+
+func (t *jsonTransport) Vote(ctx context.Context, base string, req VoteRequest) (VoteResponse, error) {
+	var raw json.RawMessage
+	if err := t.post(ctx, base+PathVote, req, &raw); err != nil {
+		return VoteResponse{}, err
+	}
+	// Vote replies cross trust domains (coordinator pools); decode
+	// strictly like the voter decodes requests.
+	return DecodeVoteResponse(raw)
+}
+
+func (t *jsonTransport) Leader(ctx context.Context, base string) (LeaderStatus, error) {
+	var st LeaderStatus
+	err := t.get(ctx, base+PathLeader, &st)
+	return st, err
+}

@@ -271,8 +271,8 @@ func (r RegisterRequest) Validate() error {
 	if err != nil {
 		return fmt.Errorf("ctrlplane: register url: %w", err)
 	}
-	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
-		return fmt.Errorf("ctrlplane: register url %q (need http(s)://host[:port])", r.URL)
+	if (u.Scheme != "http" && u.Scheme != "https" && u.Scheme != "tcp") || u.Host == "" {
+		return fmt.Errorf("ctrlplane: register url %q (need http(s):// or tcp:// host[:port])", r.URL)
 	}
 	if !finite(r.NameplateW) || r.NameplateW < 0 {
 		return fmt.Errorf("ctrlplane: register nameplate %g W", r.NameplateW)

@@ -243,6 +243,41 @@ func (d *Daemon) ctrlRenew(req ctrlplane.LeaseRequest) ctrlplane.LeaseResponse {
 	}
 }
 
+// ctrlEndpoint adapts the daemon to ctrlplane.CtrlEndpoint so it can
+// sit behind a BinaryServer listener — same checks as the HTTP routes:
+// grants addressed to another server are refused, and the scrape
+// ignores the coordinator's trace clock (a daemon lives on the wall
+// clock).
+type ctrlEndpoint struct{ d *Daemon }
+
+func (e ctrlEndpoint) Assign(req ctrlplane.AssignRequest) (ctrlplane.AssignResponse, error) {
+	if req.Server != e.d.ctrl.cfg.ServerID {
+		return ctrlplane.AssignResponse{}, fmt.Errorf("assign for server %d reached daemon %d", req.Server, e.d.ctrl.cfg.ServerID)
+	}
+	return e.d.ctrlAssign(req)
+}
+
+func (e ctrlEndpoint) Renew(req ctrlplane.LeaseRequest) (ctrlplane.LeaseResponse, error) {
+	if req.Server != e.d.ctrl.cfg.ServerID {
+		return ctrlplane.LeaseResponse{}, fmt.Errorf("lease for server %d reached daemon %d", req.Server, e.d.ctrl.cfg.ServerID)
+	}
+	return e.d.ctrlRenew(req), nil
+}
+
+func (e ctrlEndpoint) Scrape(t float64, hasT bool) (ctrlplane.Report, error) {
+	return e.d.ctrlReport(), nil
+}
+
+// CtrlEndpoint returns the daemon's binary-transport surface, or an
+// error if EnableCtrl has not run. psd hosts it on a BinaryServer when
+// started with -transport binary.
+func (d *Daemon) CtrlEndpoint() (ctrlplane.CtrlEndpoint, error) {
+	if d.ctrl == nil {
+		return nil, fmt.Errorf("daemon: control plane not enabled")
+	}
+	return ctrlEndpoint{d: d}, nil
+}
+
 // ctrlRoutes mounts the control-plane endpoints on the daemon's mux.
 func (d *Daemon) ctrlRoutes(mux *http.ServeMux) {
 	c := d.ctrl
