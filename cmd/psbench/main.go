@@ -36,6 +36,9 @@ type baselineFile struct {
 	Policy    string                    `json:"policy"`
 	GoVersion string                    `json:"go_version"`
 	Cells     []ctrlplane.WireBenchCell `json:"cells"`
+	// Hier is the two-tier matrix: the whole hierarchical control loop
+	// (every shard step plus the global step) timed per interval.
+	Hier []ctrlplane.HierBenchCell `json:"hier_cells,omitempty"`
 }
 
 const scenarioDesc = "constant cap, steady-state renewals, constant-time backend, shared loopback listener"
@@ -47,6 +50,7 @@ func main() {
 	var (
 		fleets     = flag.String("fleets", "10,100,1000", "comma-separated fleet sizes to measure")
 		transports = flag.String("transports", "json,binary", "comma-separated transports to measure")
+		hier       = flag.String("hier", "1000x8", "two-tier cells to measure as AGENTSxSHARDS, comma-separated (empty: skip the binary-2tier matrix)")
 		runs       = flag.Int("runs", 5, "samples per cell (minimum is reported; policy floor is 5)")
 		intervals  = flag.Int("intervals", 10, "measured control intervals per sample")
 		inflight   = flag.Int("max-inflight", 64, "coordinator fan-out width (identical across cells)")
@@ -92,7 +96,23 @@ func main() {
 		}
 	}
 
+	hierSpecs, err := parseHier(*hier)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var hierCells []ctrlplane.HierBenchCell
+	for _, hc := range hierSpecs {
+		log.Printf("measuring binary-2tier/%d over %d shards (%d runs x %d intervals)...",
+			hc.agents, hc.shards, *runs, *intervals)
+		cell, err := ctrlplane.RunHierBench(hc.agents, hc.shards, *runs, *intervals)
+		if err != nil {
+			log.Fatalf("binary-2tier/%d: %v", hc.agents, err)
+		}
+		hierCells = append(hierCells, cell)
+	}
+
 	printTable(cells)
+	printHierTable(hierCells)
 	failed := false
 	if err := checkBinaryWins(cells); err != nil {
 		log.Printf("FAIL: %v", err)
@@ -104,7 +124,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if errs := compareBaseline(base, cells, *gate); len(errs) > 0 {
+		if errs := compareBaseline(base, cells, hierCells, *gate); len(errs) > 0 {
 			for _, e := range errs {
 				log.Printf("FAIL: %v", e)
 			}
@@ -124,6 +144,7 @@ func main() {
 			Policy:    policyDesc,
 			GoVersion: runtime.Version(),
 			Cells:     cells,
+			Hier:      hierCells,
 		}
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
@@ -151,6 +172,33 @@ func parseSizes(s string) ([]int, error) {
 	return sizes, nil
 }
 
+// hierSpec sizes one two-tier cell.
+type hierSpec struct {
+	agents, shards int
+}
+
+// parseHier accepts "AGENTSxSHARDS,..." (e.g. "1000x8,2000x16").
+func parseHier(s string) ([]hierSpec, error) {
+	var specs []hierSpec
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		a, sh, ok := strings.Cut(tok, "x")
+		if !ok {
+			return nil, fmt.Errorf("bad hier cell %q (want AGENTSxSHARDS)", tok)
+		}
+		agents, err1 := strconv.Atoi(strings.TrimSpace(a))
+		shards, err2 := strconv.Atoi(strings.TrimSpace(sh))
+		if err1 != nil || err2 != nil || agents <= 0 || shards <= 0 || agents%shards != 0 {
+			return nil, fmt.Errorf("bad hier cell %q (want AGENTSxSHARDS, agents divisible by shards)", tok)
+		}
+		specs = append(specs, hierSpec{agents: agents, shards: shards})
+	}
+	return specs, nil
+}
+
 func printTable(cells []ctrlplane.WireBenchCell) {
 	fmt.Printf("%-9s %7s %15s %14s %7s %8s %13s\n",
 		"transport", "agents", "ns/interval", "allocs/agent", "dials", "reuses", "batch frames")
@@ -159,6 +207,25 @@ func printTable(cells []ctrlplane.WireBenchCell) {
 			c.Transport, c.Agents, c.NsPerInterval, c.AllocsPerAgentInterval,
 			c.ConnDials, c.ConnReuses, c.BatchFrames)
 	}
+}
+
+func printHierTable(cells []ctrlplane.HierBenchCell) {
+	if len(cells) == 0 {
+		return
+	}
+	fmt.Printf("%-12s %7s %7s %15s\n", "transport", "agents", "shards", "ns/interval")
+	for _, c := range cells {
+		fmt.Printf("%-12s %7d %7d %15d\n", c.Transport, c.Agents, c.Shards, c.NsPerInterval)
+	}
+}
+
+func findHierCell(cells []ctrlplane.HierBenchCell, agents, shards int) *ctrlplane.HierBenchCell {
+	for i := range cells {
+		if cells[i].Agents == agents && cells[i].Shards == shards {
+			return &cells[i]
+		}
+	}
+	return nil
 }
 
 func findCell(cells []ctrlplane.WireBenchCell, transport string, agents int) *ctrlplane.WireBenchCell {
@@ -215,7 +282,7 @@ func readBaseline(path string) (baselineFile, error) {
 // ratio of the reference cell (json at the smallest common fleet size)
 // between this host and the baseline host — so only relative
 // regressions fail. Allocation counts compare directly.
-func compareBaseline(base baselineFile, cells []ctrlplane.WireBenchCell, gate float64) []error {
+func compareBaseline(base baselineFile, cells []ctrlplane.WireBenchCell, hier []ctrlplane.HierBenchCell, gate float64) []error {
 	refAgents := 0
 	for _, bc := range base.Cells {
 		if bc.Transport != "json" {
@@ -253,6 +320,24 @@ func compareBaseline(base baselineFile, cells []ctrlplane.WireBenchCell, gate fl
 			errs = append(errs, fmt.Errorf(
 				"%s/%d allocs/agent regressed: %.1f vs baseline %.1f (gate %.0f%%)",
 				bc.Transport, bc.Agents, cur.AllocsPerAgentInterval, bc.AllocsPerAgentInterval, gate*100))
+		}
+	}
+	// The two-tier cells gate the same way: the shared json reference
+	// host factor normalizes wall clock, so only a relative regression
+	// of the hierarchical loop fails.
+	for i := range base.Hier {
+		bc := &base.Hier[i]
+		cur := findHierCell(hier, bc.Agents, bc.Shards)
+		if cur == nil {
+			errs = append(errs, fmt.Errorf("baseline cell %s/%dx%d not measured in this run",
+				bc.Transport, bc.Agents, bc.Shards))
+			continue
+		}
+		normNs := float64(cur.NsPerInterval) / hostFactor
+		if normNs > float64(bc.NsPerInterval)*(1+gate) {
+			errs = append(errs, fmt.Errorf(
+				"%s/%dx%d interval latency regressed: %.0f ns normalized (host factor %.2f) vs baseline %d ns (gate %.0f%%)",
+				bc.Transport, bc.Agents, bc.Shards, normNs, hostFactor, bc.NsPerInterval, gate*100))
 		}
 	}
 	return errs

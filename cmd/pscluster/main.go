@@ -44,7 +44,18 @@ func main() {
 		transport = flag.String("transport", "json", "wire for -agents mode: json (per-agent HTTP listeners) or binary (one shared TCP frame listener, batched fan-out)")
 		haKill    = flag.Int("ha-kill-step", -1, "in -agents mode, replay through a leader-elected coordinator pool and kill the leader at this step; reports failover latency and post-recovery budget parity")
 		haMembers = flag.Int("ha-members", 2, "pool size for the -ha-kill-step drill; 3 or more members elect through an in-process quorum store (loopback voter endpoints) instead of the shared-memory term")
-		version   = flag.Bool("version", false, "print version and exit")
+
+		shards      = flag.Int("shards", 0, "run the two-tier hierarchy drill over this many shard coordinators (HA pairs under one global apportioner); 0 disables")
+		shardAgents = flag.Int("shard-agents", 125, "agents per shard in the -shards drill")
+		intervals   = flag.Int("intervals", 16, "control intervals in the -shards drill")
+		clusterCap  = flag.Float64("cluster-cap", 0, "cluster cap in watts for the -shards drill (0: 52 W per agent, between idle floor and nameplate)")
+		killLeader  = flag.Int("kill-leader-step", 0, "in the -shards drill, crash -kill-shard's leading coordinator at this 1-based interval (0: never); the warm standby promotes")
+		killWhole   = flag.Int("kill-shard-step", 0, "in the -shards drill, crash BOTH coordinator nodes of -kill-shard at this 1-based interval (0: never); the global reserves its budget until reclaim")
+		killShard   = flag.Int("kill-shard", 0, "shard index the kill steps target")
+		satStep     = flag.Int("saturate-step", 0, "in the -shards drill, raise -saturate-shard's demand to nameplate at this 1-based interval (0: never); headroom must flow to it")
+		satShard    = flag.Int("saturate-shard", 0, "shard index the saturation targets")
+
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
@@ -52,6 +63,25 @@ func main() {
 		return
 	}
 
+	if *shards > 0 {
+		err := runTwoTier(ctrlplane.TwoTierOptions{
+			Shards:         *shards,
+			AgentsPerShard: *shardAgents,
+			Intervals:      *intervals,
+			IntervalS:      *step,
+			ClusterCapW:    *clusterCap,
+			Seed:           *seed,
+			KillLeaderStep: *killLeader,
+			KillShardStep:  *killWhole,
+			KillShard:      *killShard,
+			SaturateStep:   *satStep,
+			SaturateShard:  *satShard,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *agents {
 		if err := runAgents(*servers, *strategy, *transport, *capFile, *shave, *step, *seed, *haKill, *haMembers); err != nil {
 			log.Fatal(err)
@@ -461,6 +491,55 @@ func runHADrill(ev *cluster.Evaluator, flt *ctrlplane.SimFleet, caps []trace.Poi
 	case capViolations > 0:
 		return fmt.Errorf("%d cap violations during the drill", capViolations)
 	}
+	return nil
+}
+
+// runTwoTier drives the hierarchical drill — per-shard coordinator HA
+// pairs over loopback binary trunks under one global apportioner — and
+// prints every interval's budget ledger. Any broken cap invariant is a
+// non-zero exit: the drill is the CLI face of the two-tier safety
+// argument, so a violation is a failure, not a statistic.
+func runTwoTier(opts ctrlplane.TwoTierOptions) error {
+	fmt.Printf("two-tier drill: %d shards x %d agents (%d total), %d intervals, seed %d\n",
+		opts.Shards, opts.AgentsPerShard, opts.Shards*opts.AgentsPerShard, opts.Intervals, opts.Seed)
+	switch {
+	case opts.KillLeaderStep > 0:
+		fmt.Printf("  chaos: shard %d leader killed at interval %d (warm standby promotes)\n",
+			opts.KillShard, opts.KillLeaderStep)
+	case opts.KillShardStep > 0:
+		fmt.Printf("  chaos: shard %d loses both coordinators at interval %d (budget reserved until reclaim)\n",
+			opts.KillShard, opts.KillShardStep)
+	}
+	if opts.SaturateStep > 0 {
+		fmt.Printf("  chaos: shard %d saturates to nameplate at interval %d\n",
+			opts.SaturateShard, opts.SaturateStep)
+	}
+	res, err := ctrlplane.RunTwoTierDrill(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %4s %9s %9s %9s %9s %9s %6s %9s\n",
+		"iv", "capW", "grantedW", "reservedW", "rebalW", "capsumW", "alive", "ms")
+	for i, iv := range res.Intervals {
+		fmt.Printf("  %4d %9.1f %9.1f %9.1f %9.1f %9.1f %6d %9.2f\n",
+			i+1, iv.CapW, iv.SumBudgetsW, iv.ReservedW, iv.RebalancedW, iv.AgentCapSumW,
+			iv.GlobalAlive, float64(iv.WallNs)/1e6)
+	}
+	fmt.Printf("  final shard budgets (W):")
+	for _, w := range res.ShardBudgetW {
+		fmt.Printf(" %.1f", w)
+	}
+	fmt.Println()
+	fmt.Printf("  failovers %d, shard expiries %d, rejoins %d, reclaims %d, scrape failures %d, grant failures %d\n",
+		res.Failovers, res.Stats.ShardExpiries, res.Stats.ShardRejoins, res.Stats.Reclaims,
+		res.Stats.ScrapeFailures, res.Stats.GrantFailures)
+	if len(res.Violations) > 0 {
+		for _, v := range res.Violations {
+			fmt.Printf("  VIOLATION %s\n", v)
+		}
+		return fmt.Errorf("two-tier drill broke %d invariant(s)", len(res.Violations))
+	}
+	fmt.Println("  all cap invariants held")
 	return nil
 }
 

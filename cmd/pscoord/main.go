@@ -82,6 +82,9 @@ func main() {
 		haPriority = flag.Int("ha-priority", 0, "takeover rank in the pool: 0 steals a lapsed term first, higher ranks hold off longer")
 		haID       = flag.String("ha-id", "", "candidate identity in the election (default hostname-pid)")
 		haTTL      = flag.Duration("ha-ttl", 0, "leadership term length (default 3x the control interval)")
+		shardID    = flag.Int("shard", -1, "run as shard coordinator <id> in a two-tier tree: serve the ShardReport/ShardBudget trunk on -binary-listen and enforce the budget the global grants; -cap only bootstraps the budget until the first grant")
+		globalSet  = flag.String("global", "", "run as the global apportioner over these shard trunks: comma-separated id=url[+url...] entries, the +-separated URLs one shard's coordinator set (leader plus standbys); -cap/-capfile drive the cluster cap")
+		reclaim    = flag.Float64("reclaim", 0, "in -global mode, seconds a silent shard's last budget stays reserved after its membership expires (0: the budget lease)")
 		verbose    = flag.Bool("v", false, "log every control interval, not just membership changes")
 		version    = flag.Bool("version", false, "print version and exit")
 	)
@@ -89,6 +92,25 @@ func main() {
 	if *version {
 		fmt.Println(buildinfo.Version())
 		return
+	}
+
+	if *globalSet != "" {
+		if *shardID >= 0 {
+			log.Fatal("-shard and -global are mutually exclusive (one tier per process)")
+		}
+		if err := runGlobal(*globalSet, *capW, *capFile, *interval, *lease, *reclaim, *missK,
+			*inflight, *timeout, *retries, *verbose); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *shardID >= 0 {
+		if *binListen == "" {
+			log.Fatal("-shard needs -binary-listen: the global scrapes the trunk over binary frames")
+		}
+		if *capFile != "" {
+			log.Fatal("-shard and -capfile are exclusive: a shard's budget comes from the global; -cap only bootstraps it")
+		}
 	}
 
 	kind, err := ctrlplane.ParseTransport(*transport)
@@ -195,6 +217,19 @@ func main() {
 			len(voters), id, store.Quorum(), ttl, *haPriority)
 	}
 
+	var sc *ctrlplane.ShardCoordinator
+	if *shardID >= 0 {
+		scfg := ctrlplane.ShardConfig{Shard: *shardID, InitialBudgetW: *capW}
+		if ha != nil {
+			sc, err = ctrlplane.NewShardCoordinatorHA(ha, scfg)
+		} else {
+			sc, err = ctrlplane.NewShardCoordinator(coord, scfg)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	if *listen != "" {
 		srv := &http.Server{
 			Addr:              *listen,
@@ -210,12 +245,20 @@ func main() {
 		log.Printf("serving /ctrl/register and /ctrl/leader on %s", *listen)
 	}
 	if *binListen != "" {
-		bsrv, err := ctrlplane.StartBinaryServer(*binListen, ctrlplane.NewCoordinatorBinaryConfig(coord, ha, voter))
+		bcfg := ctrlplane.NewCoordinatorBinaryConfig(coord, ha, voter)
+		if sc != nil {
+			bcfg = sc.ShardBinaryConfig(bcfg)
+		}
+		bsrv, err := ctrlplane.StartBinaryServer(*binListen, bcfg)
 		if err != nil {
 			log.Fatalf("binary listener: %v", err)
 		}
 		defer bsrv.Close()
-		log.Printf("serving register/vote/leader frames on %s", bsrv.URL())
+		if sc != nil {
+			log.Printf("serving register/vote/leader and shard-%d trunk frames on %s", *shardID, bsrv.URL())
+		} else {
+			log.Printf("serving register/vote/leader frames on %s", bsrv.URL())
+		}
 	}
 
 	var caps []trace.Point
@@ -230,6 +273,9 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("replaying %d cap steps over %d agents (%v, lease %.1fs)", len(caps), len(refs), strat, leaseS)
+	} else if sc != nil {
+		log.Printf("shard %d driving %d agents under the granted budget (bootstrap %.0f W) every %v (%v, lease %.1fs)",
+			*shardID, len(refs), *capW, *interval, strat, leaseS)
 	} else {
 		log.Printf("driving %d agents at %.0f W cluster cap every %v (%v, lease %.1fs)", len(refs), *capW, *interval, strat, leaseS)
 	}
@@ -252,9 +298,14 @@ func main() {
 		}
 		var res ctrlplane.StepResult
 		var err error
-		if ha != nil {
+		switch {
+		case sc != nil:
+			// Shard mode: the budget in force (granted over the trunk, or
+			// the -cap bootstrap) is the cap; the loop's cap math is idle.
+			res, err = sc.Step(ctx, t)
+		case ha != nil:
 			res, err = ha.Step(ctx, t, cap)
-		} else {
+		default:
 			res, err = coord.Step(ctx, t, cap)
 		}
 		if err != nil {
@@ -262,7 +313,7 @@ func main() {
 			// mid-fan-out), not a failure: resign and summarize instead
 			// of dying with the stats unreported.
 			if ctx.Err() != nil {
-				summarize(coord, ha)
+				summarize(coord, ha, sc)
 				return
 			}
 			log.Fatal(err)
@@ -301,12 +352,12 @@ func main() {
 		}
 		select {
 		case <-ctx.Done():
-			summarize(coord, ha)
+			summarize(coord, ha, sc)
 			return
 		case <-ticker.C:
 		}
 	}
-	summarize(coord, ha)
+	summarize(coord, ha, sc)
 }
 
 func reapNote(res ctrlplane.StepResult) string {
@@ -323,7 +374,10 @@ func deposedNote(res ctrlplane.StepResult) string {
 	return ", deposed: a newer leader owns the fleet"
 }
 
-func summarize(coord *ctrlplane.Coordinator, ha *ctrlplane.HA) {
+func summarize(coord *ctrlplane.Coordinator, ha *ctrlplane.HA, sc *ctrlplane.ShardCoordinator) {
+	if sc != nil {
+		log.Printf("shard budget in force at exit: %.1f W (starved=%v)", sc.BudgetW(), sc.Starved())
+	}
 	if ha != nil {
 		if err := ha.Resign(); err != nil {
 			log.Printf("resign: %v", err)
@@ -341,6 +395,154 @@ func summarize(coord *ctrlplane.Coordinator, ha *ctrlplane.HA) {
 	for _, ev := range coord.FaultEvents() {
 		log.Printf("  event t=%.0fs %s %s: %s", ev.T, ev.Kind, ev.Target, ev.Detail)
 	}
+}
+
+// runGlobal drives the apex of the two-tier budget tree: each interval
+// it scrapes every shard coordinator's report over the binary trunk,
+// splits the cluster cap across the live shards, rebalances unused
+// headroom, and fans the budgets out as epoch-fenced leased grants.
+func runGlobal(set string, capW float64, capFile string, interval time.Duration,
+	lease, reclaim float64, missK, inflight int, timeout time.Duration, retries int, verbose bool) error {
+
+	shards, err := parseShardRefs(set)
+	if err != nil {
+		return err
+	}
+	leaseS := lease
+	if leaseS == 0 {
+		// Same default as the flat coordinator: two intervals of lease,
+		// so one dropped trunk fan-out does not starve a shard.
+		leaseS = 2 * interval.Seconds()
+	}
+	hub := telemetry.New(0)
+	global, err := ctrlplane.NewGlobal(ctrlplane.GlobalConfig{
+		Shards:      shards,
+		LeaseS:      leaseS,
+		MissK:       missK,
+		ReclaimS:    reclaim,
+		MaxInFlight: inflight,
+		RPCTimeout:  timeout,
+		Retries:     retries,
+		Telemetry:   hub,
+	})
+	if err != nil {
+		return err
+	}
+	defer global.Close()
+
+	var caps []trace.Point
+	if capFile != "" {
+		f, err := os.Open(capFile)
+		if err != nil {
+			return err
+		}
+		caps, err = trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		log.Printf("global: replaying %d cap steps over %d shards (lease %.1fs)", len(caps), len(shards), leaseS)
+	} else {
+		log.Printf("global: driving %d shards at %.0f W cluster cap every %v (lease %.1fs)",
+			len(shards), capW, interval, leaseS)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	step := 0
+	t := 0.0
+	summarizeGlobal := func() {
+		st := global.Stats()
+		log.Printf("global done: %d steps, %d shard expiries, %d rejoins, %d reclaims, %d scrape failures, %d grant failures",
+			st.Steps, st.ShardExpiries, st.ShardRejoins, st.Reclaims, st.ScrapeFailures, st.GrantFailures)
+		for _, ev := range global.FaultEvents() {
+			log.Printf("  event t=%.0fs %s %s: %s", ev.T, ev.Kind, ev.Target, ev.Detail)
+		}
+	}
+	for {
+		cap := capW
+		if caps != nil {
+			if step >= len(caps) {
+				break
+			}
+			t, cap = caps[step].T, caps[step].V
+		}
+		res, err := global.Step(ctx, t, cap)
+		if err != nil {
+			if ctx.Err() != nil {
+				summarizeGlobal()
+				return nil
+			}
+			return err
+		}
+		alive := 0
+		var granted float64
+		for i, a := range res.Alive {
+			if a {
+				alive++
+			}
+			if res.Granted[i] {
+				granted += res.Budgets[i]
+			}
+		}
+		if res.ScrapeErrs > 0 || res.GrantErrs > 0 || res.ReservedW > 0 || verbose {
+			log.Printf("t=%8.0fs cap=%8.1fW granted=%8.1fW reserved=%7.1fW rebalanced=%6.1fW alive=%d/%d scrapeErrs=%d grantErrs=%d",
+				res.T, res.CapW, granted, res.ReservedW, res.RebalancedW, alive, len(shards),
+				res.ScrapeErrs, res.GrantErrs)
+		}
+		step++
+		if caps == nil {
+			t += interval.Seconds()
+		}
+		select {
+		case <-ctx.Done():
+			summarizeGlobal()
+			return nil
+		case <-ticker.C:
+		}
+	}
+	summarizeGlobal()
+	return nil
+}
+
+// parseShardRefs accepts "id=url[+url...],..." — one entry per shard,
+// the +-separated URLs its coordinator set in takeover order (leader
+// first). The trunk is binary-only, so scheme-less addresses become
+// tcp://.
+func parseShardRefs(s string) ([]ctrlplane.ShardRef, error) {
+	var refs []ctrlplane.ShardRef
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(tok, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad shard entry %q: want id=url[+url...]", tok)
+		}
+		id, err := strconv.Atoi(strings.TrimSpace(k))
+		if err != nil {
+			return nil, fmt.Errorf("bad shard id in %q: %v", tok, err)
+		}
+		var urls []string
+		for _, u := range strings.Split(v, "+") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			urls = append(urls, strings.TrimSuffix(ctrlplane.TransportBinary.DefaultScheme(u), "/"))
+		}
+		if len(urls) == 0 {
+			return nil, fmt.Errorf("shard %d has no trunk URLs", id)
+		}
+		refs = append(refs, ctrlplane.ShardRef{ID: id, URLs: urls})
+	}
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("no shards: pass -global id=url[+url...],...")
+	}
+	return refs, nil
 }
 
 // parseAgents accepts "url,url,..." (IDs follow list order) or

@@ -1,0 +1,256 @@
+package cluster
+
+import "math"
+
+// This file is the hierarchical tier of the Utility(Ours) apportioning
+// machinery: per-shard curve rollups, the cluster-level DP that splits
+// the cap across shards, and the headroom rebalancer that moves unused
+// watts between shards — CloudPowerCap's cluster-wide budget
+// redistribution (PAPERS.md) expressed over the same cap-utility
+// curves ApportionCurves consumes, so every tier of the budget tree
+// prices watts identically.
+
+// DefaultShardLevels bounds the grid the cluster-level DP runs on.
+// The flat DP's level count grows with the spare watts of the whole
+// fleet — O(fleet-watts) levels at 2 W per level — which is exactly
+// the per-interval cost the hierarchy exists to avoid; coarsening the
+// grid to at most this many levels keeps the global tier's work
+// O(shards × levels × curve points) regardless of fleet size (FastCap's
+// scalability argument applied to the DP itself).
+const DefaultShardLevels = 2048
+
+// RollupCurves aggregates a shard's member cap-utility curves into one
+// shard-level curve: point l is the best summed performance (and the
+// grid draw of the member split achieving it) the shard can deliver
+// when granted floorW per member plus l spare steps of ServerCapStepW.
+// It is the forward table of the ApportionCurves DP read out level by
+// level, so a cluster-level apportioner consuming the rollup prices the
+// shard's watts exactly as the shard's own coordinator will spend them.
+//
+// Every curve must be non-empty (curveless members have no utility to
+// roll up — the shard reports an empty aggregate and the tier above
+// falls back to its even-share path); nil is returned otherwise.
+func RollupCurves(floorW float64, curves [][]CapPoint) []CapPoint {
+	n := len(curves)
+	if n == 0 {
+		return nil
+	}
+	levels := 1
+	for _, c := range curves {
+		if len(c) == 0 {
+			return nil
+		}
+		levels += len(c) - 1
+	}
+	best := make([]float64, levels)
+	grid := make([]float64, levels)
+	for i := 0; i < n; i++ {
+		next := make([]float64, levels)
+		nextGrid := make([]float64, levels)
+		for l := 0; l < levels; l++ {
+			bestV, bestG := math.Inf(-1), 0.0
+			kMax := l
+			if kMax >= len(curves[i]) {
+				kMax = len(curves[i]) - 1
+			}
+			for k := 0; k <= kMax; k++ {
+				if v := best[l-k] + curves[i][k].Perf; v > bestV {
+					bestV = v
+					bestG = grid[l-k] + curves[i][k].GridW
+				}
+			}
+			next[l], nextGrid[l] = bestV, bestG
+		}
+		best, grid = next, nextGrid
+	}
+	out := make([]CapPoint, levels)
+	base := floorW * float64(n)
+	for l := range out {
+		out[l] = CapPoint{CapW: base + float64(l)*serverCapStepW, Perf: best[l], GridW: grid[l]}
+	}
+	return out
+}
+
+// DownsampleCurve thins a curve to at most maxPoints samples, always
+// keeping the first and last points so the floor and the saturation
+// cap survive. Budgets chosen off a thinned curve remain achievable —
+// every surviving point is a real (cap, perf) sample — the rollup just
+// loses intermediate resolution, which bounds the trunk payload.
+func DownsampleCurve(curve []CapPoint, maxPoints int) []CapPoint {
+	if maxPoints < 2 || len(curve) <= maxPoints {
+		return curve
+	}
+	out := make([]CapPoint, 0, maxPoints)
+	last := len(curve) - 1
+	for i := 0; i < maxPoints-1; i++ {
+		out = append(out, curve[i*last/(maxPoints-1)])
+	}
+	return append(out, curve[last])
+}
+
+// ShardCurve is one shard's aggregate offer to the cluster-level
+// apportioner: the minimum watts it must receive, and its rolled-up
+// cap-utility curve (empty when its members report no curves — the
+// shard then takes the documented even-share fallback).
+type ShardCurve struct {
+	// FloorW is the shard's idle-floor sum. With a non-empty curve the
+	// first point's CapW is authoritative; FloorW covers the curveless
+	// fallback.
+	FloorW float64
+	Points []CapPoint
+}
+
+// costSteps quantizes a watt delta up to whole grid steps. Rounding up
+// means the DP's accounting never undercounts real watts, so the sum
+// of chosen budgets cannot exceed the cap through quantization alone.
+func costSteps(deltaW, stepW float64) int {
+	if deltaW <= 0 {
+		return 0
+	}
+	return int(math.Ceil(deltaW/stepW - 1e-9))
+}
+
+// ApportionShards splits clusterCapW across shards to maximize summed
+// performance: the multiple-choice knapsack over each shard's rollup,
+// run on a grid coarsened to at most maxLevels levels (0 takes
+// DefaultShardLevels) so the global tier's work stays O(shards), not
+// O(fleet watts). Shards with empty curves take an even share of the
+// cap, mirroring the flat coordinator's curveless-member fallback; the
+// DP apportions the remainder across the curve-bearing shards, each
+// owed at least its own floor (heterogeneous floors are fine here —
+// every shard's curve already prices watts above its own first point).
+//
+// Guarantee: the returned budgets always sum to at most clusterCapW
+// (costs are quantized upward, never down), which is the invariant the
+// two-tier drills assert every interval.
+func ApportionShards(clusterCapW float64, shards []ShardCurve, maxLevels int) (budgets []float64, perf float64) {
+	n := len(shards)
+	budgets = make([]float64, n)
+	if n == 0 || clusterCapW <= 0 {
+		return budgets, 0
+	}
+	if maxLevels <= 0 {
+		maxLevels = DefaultShardLevels
+	}
+	per := clusterCapW / float64(n)
+	remainW := clusterCapW
+	var curved []int
+	for i, s := range shards {
+		if len(s.Points) == 0 {
+			budgets[i] = per
+			remainW -= per
+		} else {
+			curved = append(curved, i)
+		}
+	}
+	if len(curved) == 0 {
+		return budgets, 0
+	}
+	var baseSum float64
+	for _, i := range curved {
+		baseSum += shards[i].Points[0].CapW
+	}
+	capQ := math.Floor(remainW/serverCapStepW) * serverCapStepW
+	if capQ < baseSum {
+		// Not even the shard floors fit; pro-rate what there is.
+		for _, i := range curved {
+			if baseSum > 0 {
+				budgets[i] = capQ * shards[i].Points[0].CapW / baseSum
+			} else {
+				budgets[i] = capQ / float64(len(curved))
+			}
+		}
+		return budgets, 0
+	}
+	spare := capQ - baseSum
+	stepW := serverCapStepW
+	if int(spare/stepW)+1 > maxLevels {
+		stepW = spare / float64(maxLevels-1)
+	}
+	levels := int(spare/stepW+1e-9) + 1
+	best := make([]float64, levels)
+	choice := make([][]int, len(curved))
+	for j, i := range curved {
+		pts := shards[i].Points
+		choice[j] = make([]int, levels)
+		next := make([]float64, levels)
+		for l := 0; l < levels; l++ {
+			bestV, bestK := math.Inf(-1), 0
+			for k := range pts {
+				// Curve caps are strictly increasing, so costs are
+				// non-decreasing: past the level there is nothing left.
+				cost := costSteps(pts[k].CapW-pts[0].CapW, stepW)
+				if cost > l {
+					break
+				}
+				if v := best[l-cost] + pts[k].Perf; v > bestV {
+					bestV, bestK = v, k
+				}
+			}
+			next[l] = bestV
+			choice[j][l] = bestK
+		}
+		best = next
+	}
+	l := levels - 1
+	for j := len(curved) - 1; j >= 0; j-- {
+		i := curved[j]
+		pts := shards[i].Points
+		k := choice[j][l]
+		budgets[i] = pts[k].CapW
+		perf += pts[k].Perf
+		l -= costSteps(pts[k].CapW-pts[0].CapW, stepW)
+	}
+	return budgets, perf
+}
+
+// RebalanceHeadroom moves unused headroom between shards: a shard
+// whose budget exceeds both its measured draw and its estimated demand
+// (with a guard fraction of slack) donates the excess, and shards
+// whose demand exceeds their budget receive it in proportion to their
+// shortfall. The transfer is conservative — donors are never cut below
+// max(used, demand) × (1 + guardFrac), the total is preserved exactly
+// (what moves out moves in), and a shard can never be both donor and
+// receiver. Returns the adjusted budgets and the watts moved.
+//
+// Edge cases the tests pin down: an all-idle fleet (no shard wants
+// more) moves nothing; a single shard holding the whole cap donates to
+// starved siblings the moment they report demand; mismatched slice
+// lengths move nothing (a malformed report must not shift watts).
+func RebalanceHeadroom(budgets, usedW, demandW []float64, guardFrac float64) ([]float64, float64) {
+	out := append([]float64(nil), budgets...)
+	n := len(budgets)
+	if len(usedW) != n || len(demandW) != n {
+		return out, 0
+	}
+	if guardFrac < 0 {
+		guardFrac = 0
+	}
+	surplus := make([]float64, n)
+	need := make([]float64, n)
+	var pool, needTotal float64
+	for i := 0; i < n; i++ {
+		keep := math.Max(usedW[i], demandW[i]) * (1 + guardFrac)
+		if s := budgets[i] - keep; s > 0 {
+			surplus[i] = s
+			pool += s
+		}
+		if d := demandW[i] - budgets[i]; d > 0 {
+			need[i] = d
+			needTotal += d
+		}
+	}
+	if pool <= 0 || needTotal <= 0 {
+		return out, 0
+	}
+	moved := math.Min(pool, needTotal)
+	for i := 0; i < n; i++ {
+		if surplus[i] > 0 {
+			out[i] -= moved * surplus[i] / pool
+		}
+		if need[i] > 0 {
+			out[i] += moved * need[i] / needTotal
+		}
+	}
+	return out, moved
+}

@@ -289,6 +289,21 @@ func (a *Agent) applySafeCapLocked(t float64) error {
 	return nil
 }
 
+// Refresh re-applies the enforced cap so the reported perf and draw
+// reflect the backend's current workload — the control-plane twin of a
+// live daemon re-planning under an unchanged cap when its hosted mix
+// shifts. The budget, lease, and fencing ledger are untouched.
+func (a *Agent) Refresh() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	perf, grid, err := a.cfg.Backend.Apply(a.capW)
+	if err != nil {
+		return fmt.Errorf("ctrlplane: agent %d refresh: %w", a.cfg.ID, err)
+	}
+	a.perfN, a.gridW = perf, grid
+	return nil
+}
+
 // Report snapshots the agent for a telemetry scrape, building the
 // cap-utility curve lazily on first use (the curve is a property of the
 // hosted mix and does not change).

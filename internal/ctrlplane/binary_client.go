@@ -269,6 +269,28 @@ func (t *binaryTransport) Leader(ctx context.Context, base string) (LeaderStatus
 	return decodeLeaderStatusPayload(p)
 }
 
+func (t *binaryTransport) ShardScrape(ctx context.Context, base string, req ShardReportRequest) (ShardReport, error) {
+	if err := req.Validate(); err != nil {
+		return ShardReport{}, err
+	}
+	p, err := t.roundTrip(ctx, base, FrameShardReportReq, appendShardReportReq(nil, req), FrameShardReportResp)
+	if err != nil {
+		return ShardReport{}, err
+	}
+	return decodeShardReportPayload(p)
+}
+
+func (t *binaryTransport) ShardBudget(ctx context.Context, base string, req ShardBudgetRequest) (ShardBudgetResponse, error) {
+	if err := req.Validate(); err != nil {
+		return ShardBudgetResponse{}, err
+	}
+	p, err := t.roundTrip(ctx, base, FrameShardBudgetReq, appendShardBudgetReq(nil, req), FrameShardBudgetResp)
+	if err != nil {
+		return ShardBudgetResponse{}, err
+	}
+	return decodeShardBudgetRespPayload(p)
+}
+
 func (t *binaryTransport) ScrapeBatch(ctx context.Context, base string, req BatchScrapeRequest) (BatchScrapeResponse, error) {
 	if err := req.Validate(); err != nil {
 		return BatchScrapeResponse{}, err

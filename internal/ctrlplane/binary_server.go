@@ -27,6 +27,11 @@ type BinaryServerConfig struct {
 	Register  func(req RegisterRequest) RegisterResponse
 	Vote      func(req VoteRequest) VoteResponse
 	Leader    func() LeaderStatus
+	// ShardReport and ShardBudget are the trunk surface a shard
+	// coordinator exposes to the global apportioner; nil on servers that
+	// are not shard coordinators (the frames then answer FrameError).
+	ShardReport func(req ShardReportRequest) (ShardReport, error)
+	ShardBudget func(req ShardBudgetRequest) (ShardBudgetResponse, error)
 }
 
 // BinaryServer serves the binary framing of the v2 control protocol on
@@ -263,6 +268,34 @@ func (s *BinaryServer) dispatch(ftype byte, payload []byte) (byte, []byte) {
 			resp.Results = append(resp.Results, s.grantOne(req, e))
 		}
 		return FrameBatchGrantResp, appendBatchGrantRespPayload(nil, resp)
+
+	case FrameShardReportReq:
+		if s.cfg.ShardReport == nil {
+			return fail(fmt.Errorf("not a shard coordinator: no shard-report endpoint"))
+		}
+		req, err := decodeShardReportReqPayload(payload)
+		if err != nil {
+			return fail(err)
+		}
+		rep, err := s.cfg.ShardReport(req)
+		if err != nil {
+			return fail(err)
+		}
+		return FrameShardReportResp, appendShardReportPayload(nil, rep)
+
+	case FrameShardBudgetReq:
+		if s.cfg.ShardBudget == nil {
+			return fail(fmt.Errorf("not a shard coordinator: no shard-budget endpoint"))
+		}
+		req, err := decodeShardBudgetReqPayload(payload)
+		if err != nil {
+			return fail(err)
+		}
+		resp, err := s.cfg.ShardBudget(req)
+		if err != nil {
+			return fail(err)
+		}
+		return FrameShardBudgetResp, appendShardBudgetRespPayload(nil, resp)
 	}
 	return fail(fmt.Errorf("frame type %#02x is not a request", ftype))
 }

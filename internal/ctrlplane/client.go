@@ -205,6 +205,37 @@ func (c *rpcClient) grantBatch(ctx context.Context, base string, req BatchGrantR
 	return resp, err
 }
 
+// shardReport scrapes one shard coordinator's trunk summary (binary
+// endpoints only — the trunk has no JSON fallback).
+func (c *rpcClient) shardReport(ctx context.Context, retries int, base string, req ShardReportRequest) (ShardReport, error) {
+	var rep ShardReport
+	err := c.doN(ctx, "shard-report", jitterKey("shard-report", req.Shard), retries, func(ctx context.Context) error {
+		r, err := c.dialer.bin.ShardScrape(ctx, base, req)
+		if err != nil {
+			return err
+		}
+		rep = r
+		return nil
+	})
+	return rep, err
+}
+
+// shardBudget grants one shard its budget slice. Retries are safe: a
+// re-delivered grant under the same (Epoch, Seq) is acknowledged with
+// the in-force state, exactly like agent assigns.
+func (c *rpcClient) shardBudget(ctx context.Context, retries int, base string, req ShardBudgetRequest) (ShardBudgetResponse, error) {
+	var resp ShardBudgetResponse
+	err := c.doN(ctx, "shard-budget", jitterKey("shard-budget", req.Shard), retries, func(ctx context.Context) error {
+		r, err := c.dialer.bin.ShardBudget(ctx, base, req)
+		if err != nil {
+			return err
+		}
+		resp = r
+		return nil
+	})
+	return resp, err
+}
+
 // postJSON POSTs in as JSON to a complete URL and decodes the response
 // into out, with the full retry budget — the generic escape hatch for
 // JSON-only surfaces.

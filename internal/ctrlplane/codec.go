@@ -44,6 +44,13 @@ const (
 	FrameBatchScrapeResp byte = 0x0e
 	FrameBatchGrantReq   byte = 0x0f
 	FrameBatchGrantResp  byte = 0x10
+	// Shard↔global trunk frames of the two-tier budget tree (see
+	// docs/WIRE.md §6): the global apportioner scrapes shard summaries
+	// and grants shard budgets over the same framing.
+	FrameShardReportReq  byte = 0x11
+	FrameShardReportResp byte = 0x12
+	FrameShardBudgetReq  byte = 0x13
+	FrameShardBudgetResp byte = 0x14
 	FrameError           byte = 0x7f
 )
 
@@ -65,14 +72,17 @@ const maxBatchPayload = 16 << 20
 // framePayloadLimit returns the payload bound for a frame type.
 func framePayloadLimit(ftype byte) int {
 	switch ftype {
-	case FrameBatchScrapeReq, FrameBatchScrapeResp, FrameBatchGrantReq, FrameBatchGrantResp:
+	case FrameBatchScrapeReq, FrameBatchScrapeResp, FrameBatchGrantReq, FrameBatchGrantResp,
+		FrameShardReportResp:
+		// Shard report responses carry a whole shard's aggregate curve,
+		// so they take the batch bound, not the unary one.
 		return maxBatchPayload
 	}
 	return maxBodyBytes
 }
 
 func validFrameType(ftype byte) bool {
-	return (ftype >= FrameAssignReq && ftype <= FrameBatchGrantResp) || ftype == FrameError
+	return (ftype >= FrameAssignReq && ftype <= FrameShardBudgetResp) || ftype == FrameError
 }
 
 // EncodeFrame wraps payload in a length-prefixed frame of type ftype.
@@ -940,6 +950,145 @@ func decodeBatchGrantRespPayload(p []byte) (BatchGrantResponse, error) {
 	}
 	if err := r.done(); err != nil {
 		return BatchGrantResponse{}, err
+	}
+	return resp, nil
+}
+
+// --- shard↔global trunk messages (binary-only; see docs/WIRE.md §6) ---
+
+func appendShardReportReq(b []byte, req ShardReportRequest) []byte {
+	w := wbuf{b: b}
+	w.i64(int64(req.Shard))
+	w.boolean(req.HasT)
+	w.f64(req.T)
+	return w.b
+}
+
+func decodeShardReportReqPayload(p []byte) (ShardReportRequest, error) {
+	r := rbuf{b: p}
+	var req ShardReportRequest
+	req.V = ProtocolV
+	req.Shard = r.integer()
+	req.HasT = r.boolean()
+	req.T = r.f64()
+	if err := r.done(); err != nil {
+		return ShardReportRequest{}, err
+	}
+	if err := req.Validate(); err != nil {
+		return ShardReportRequest{}, err
+	}
+	return req, nil
+}
+
+func appendShardReportPayload(b []byte, rep ShardReport) []byte {
+	w := wbuf{b: b}
+	w.i64(int64(rep.Shard))
+	w.u64(rep.Epoch)
+	w.u64(rep.Seq)
+	w.f64(rep.T)
+	w.boolean(rep.Leading)
+	w.i64(int64(rep.Agents))
+	w.f64(rep.FloorW)
+	w.f64(rep.DemandW)
+	w.f64(rep.UsedW)
+	w.f64(rep.CapW)
+	w.f64(rep.BudgetW)
+	w.boolean(rep.Starved)
+	w.u32(uint32(len(rep.Curve)))
+	for _, p := range rep.Curve {
+		w.f64(p.CapW)
+		w.f64(p.Perf)
+		w.f64(p.GridW)
+	}
+	return w.b
+}
+
+func decodeShardReportPayload(p []byte) (ShardReport, error) {
+	r := rbuf{b: p}
+	var rep ShardReport
+	rep.V = ProtocolV
+	rep.Shard = r.integer()
+	rep.Epoch = r.u64()
+	rep.Seq = r.u64()
+	rep.T = r.f64()
+	rep.Leading = r.boolean()
+	rep.Agents = r.integer()
+	rep.FloorW = r.f64()
+	rep.DemandW = r.f64()
+	rep.UsedW = r.f64()
+	rep.CapW = r.f64()
+	rep.BudgetW = r.f64()
+	rep.Starved = r.boolean()
+	n := int(r.u32())
+	if r.err == nil && n*24 > len(r.b)-r.off {
+		r.fail("shard curve count %d exceeds payload", n)
+	}
+	if r.err == nil && n > 0 {
+		rep.Curve = make([]cluster.CapPoint, n)
+		for i := range rep.Curve {
+			rep.Curve[i] = cluster.CapPoint{CapW: r.f64(), Perf: r.f64(), GridW: r.f64()}
+		}
+	}
+	if err := r.done(); err != nil {
+		return ShardReport{}, err
+	}
+	if err := rep.Validate(); err != nil {
+		return ShardReport{}, err
+	}
+	return rep, nil
+}
+
+func appendShardBudgetReq(b []byte, req ShardBudgetRequest) []byte {
+	w := wbuf{b: b}
+	w.u64(req.Epoch)
+	w.u64(req.Seq)
+	w.i64(int64(req.Shard))
+	w.f64(req.T)
+	w.f64(req.CapW)
+	w.f64(req.LeaseS)
+	return w.b
+}
+
+func decodeShardBudgetReqPayload(p []byte) (ShardBudgetRequest, error) {
+	r := rbuf{b: p}
+	var req ShardBudgetRequest
+	req.V = ProtocolV
+	req.Epoch = r.u64()
+	req.Seq = r.u64()
+	req.Shard = r.integer()
+	req.T = r.f64()
+	req.CapW = r.f64()
+	req.LeaseS = r.f64()
+	if err := r.done(); err != nil {
+		return ShardBudgetRequest{}, err
+	}
+	if err := req.Validate(); err != nil {
+		return ShardBudgetRequest{}, err
+	}
+	return req, nil
+}
+
+func appendShardBudgetRespPayload(b []byte, resp ShardBudgetResponse) []byte {
+	w := wbuf{b: b}
+	w.i64(int64(resp.Shard))
+	w.u64(resp.Epoch)
+	w.u64(resp.Seq)
+	w.boolean(resp.Applied)
+	w.f64(resp.CapW)
+	return w.b
+}
+
+func decodeShardBudgetRespPayload(p []byte) (ShardBudgetResponse, error) {
+	r := rbuf{b: p}
+	var resp ShardBudgetResponse
+	resp.V = ProtocolV
+	resp.Shard = r.integer()
+	resp.Epoch = r.u64()
+	resp.Seq = r.u64()
+	resp.Applied = r.boolean()
+	resp.CapW = r.f64()
+	if err := r.done(); err != nil {
+		return ShardBudgetResponse{}, err
 	}
 	return resp, nil
 }

@@ -79,6 +79,25 @@ func canonicalMessages() map[byte][]byte {
 				{Server: 1, Err: "lost it"},
 			},
 		}),
+		FrameShardReportReq: appendShardReportReq(nil, ShardReportRequest{
+			V: ProtocolV, Shard: 2, T: 1200.5, HasT: true,
+		}),
+		FrameShardReportResp: appendShardReportPayload(nil, ShardReport{
+			V: ProtocolV, Shard: 2, Epoch: 3, Seq: 11, T: 1200.5, Leading: true,
+			Agents: 125, FloorW: 5625, DemandW: 7500, UsedW: 6200.5, CapW: 6450,
+			BudgetW: 6500, Starved: false,
+			Curve: []cluster.CapPoint{
+				{CapW: 5625, Perf: 0, GridW: 5625},
+				{CapW: 6500, Perf: 61.5, GridW: 6400},
+				{CapW: 7500, Perf: 125, GridW: 7400},
+			},
+		}),
+		FrameShardBudgetReq: appendShardBudgetReq(nil, ShardBudgetRequest{
+			V: ProtocolV, Epoch: 2, Seq: 9, Shard: 2, T: 1200.5, CapW: 6500, LeaseS: 900,
+		}),
+		FrameShardBudgetResp: appendShardBudgetRespPayload(nil, ShardBudgetResponse{
+			V: ProtocolV, Shard: 2, Epoch: 2, Seq: 9, Applied: true, CapW: 6500,
+		}),
 		FrameLeaderReq: nil,
 		FrameError:     appendErrPayload(nil, "agent 3: no such server"),
 	}
@@ -189,6 +208,30 @@ func reencodePayload(ftype byte, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		return appendBatchGrantRespPayload(nil, resp), nil
+	case FrameShardReportReq:
+		req, err := decodeShardReportReqPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		return appendShardReportReq(nil, req), nil
+	case FrameShardReportResp:
+		rep, err := decodeShardReportPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		return appendShardReportPayload(nil, rep), nil
+	case FrameShardBudgetReq:
+		req, err := decodeShardBudgetReqPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		return appendShardBudgetReq(nil, req), nil
+	case FrameShardBudgetResp:
+		resp, err := decodeShardBudgetRespPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		return appendShardBudgetRespPayload(nil, resp), nil
 	case FrameError:
 		msg, err := decodeErrPayload(payload)
 		if err != nil {
@@ -266,6 +309,29 @@ func TestTypedRoundTrips(t *testing.T) {
 		t.Fatalf("vote round trip: got %+v want %+v", gotV, vreq)
 	}
 
+	srep := ShardReport{
+		V: ProtocolV, Shard: 4, Epoch: 2, Seq: 33, T: 900, Leading: true,
+		Agents: 16, FloorW: 720, DemandW: 960, UsedW: 801.5, CapW: 850, BudgetW: 860,
+		Starved: true,
+		Curve:   []cluster.CapPoint{{CapW: 720, Perf: 0, GridW: 720}, {CapW: 960, Perf: 16, GridW: 950}},
+	}
+	gotS, err := decodeShardReportPayload(appendShardReportPayload(nil, srep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotS, srep) {
+		t.Fatalf("shard report round trip:\n got %+v\nwant %+v", gotS, srep)
+	}
+
+	sbud := ShardBudgetRequest{V: ProtocolV, Epoch: 3, Seq: 5, Shard: 1, T: 600, CapW: 512.5, LeaseS: 900}
+	gotSB, err := decodeShardBudgetReqPayload(appendShardBudgetReq(nil, sbud))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSB != sbud {
+		t.Fatalf("shard budget round trip: got %+v want %+v", gotSB, sbud)
+	}
+
 	breq := BatchGrantRequest{
 		V: ProtocolV, Epoch: 2, Seq: 7, T: 600, LeaseS: 300,
 		Entries: []GrantEntry{{Server: 0, CapW: 50, Renew: true}, {Server: 9, CapW: 0}},
@@ -300,7 +366,7 @@ func TestDecodeFrameErrors(t *testing.T) {
 		{"foreign version", mutate(ok, 2, ProtocolV+1), "protocol v3"},
 		{"zero version", mutate(ok, 2, 0), "protocol v0"},
 		{"unknown type 0x00", mutate(ok, 3, 0x00), "unknown frame type"},
-		{"unknown type 0x11", mutate(ok, 3, 0x11), "unknown frame type"},
+		{"unknown type 0x15", mutate(ok, 3, 0x15), "unknown frame type"},
 		{"unknown type 0x80", mutate(ok, 3, 0x80), "unknown frame type"},
 		{"oversize payload", oversize, "exceeds"},
 		{"truncated payload", ok[:len(ok)-4], "payload truncated"},

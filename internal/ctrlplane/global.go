@@ -1,0 +1,625 @@
+package ctrlplane
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"powerstruggle/internal/cluster"
+	"powerstruggle/internal/faults"
+	"powerstruggle/internal/telemetry"
+)
+
+// ShardRef addresses one shard coordinator: its id and the trunk URLs
+// of its coordinator set (leader plus standbys), tried in order until
+// a leading one answers.
+type ShardRef struct {
+	ID   int
+	URLs []string
+}
+
+// GlobalConfig parameterizes the global apportioner.
+type GlobalConfig struct {
+	// Shards is the static shard set.
+	Shards []ShardRef
+	// LeaseS is the budget lease granted with every ShardBudget, in
+	// trace seconds. It must be at least the shard's control interval;
+	// anything longer bounds how long a partitioned shard keeps its
+	// stale budget. Zero grants non-lapsing budgets.
+	LeaseS float64
+	// MissK is how many consecutive failed trunk scrapes expire a
+	// shard's membership (default 3).
+	MissK int
+	// ReclaimS is how long a silent shard's last budget stays reserved
+	// after its membership expires (default LeaseS). It must cover the
+	// shard's own agent-lease length: only after budget lease plus
+	// agent leases have all lapsed can the silent shard's fleet slice
+	// be drawing nothing above its floors, making the watts safe to
+	// re-apportion.
+	ReclaimS float64
+	// GuardFrac is the slack a donor shard keeps above its own
+	// max(used, demand) when headroom is rebalanced (default 0.05).
+	GuardFrac float64
+	// MaxLevels coarsens the global DP grid (default
+	// cluster.DefaultShardLevels).
+	MaxLevels int
+	// MaxInFlight bounds trunk fan-out concurrency (default 8).
+	MaxInFlight int
+	// RPCTimeout, Retries, BackoffBase, BackoffMax, Seed: as Config.
+	RPCTimeout  time.Duration
+	Retries     int
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	Seed        int64
+	// Telemetry, when non-nil, instruments the apportioner (shard
+	// budget gauges, headroom moved, trunk RPC counters).
+	Telemetry *telemetry.Hub
+}
+
+func (c GlobalConfig) missK() int {
+	if c.MissK > 0 {
+		return c.MissK
+	}
+	return 3
+}
+
+func (c GlobalConfig) reclaimS() float64 {
+	if c.ReclaimS > 0 {
+		return c.ReclaimS
+	}
+	return c.LeaseS
+}
+
+func (c GlobalConfig) guardFrac() float64 {
+	if c.GuardFrac > 0 {
+		return c.GuardFrac
+	}
+	return 0.05
+}
+
+// grantDeadbandW / grantDeadbandFrac bound the target jitter a grant
+// repaint ignores: a couple of curve-grid steps absolute, or 1% of
+// the shard's in-force budget, whichever is larger. Real demand
+// shifts move by at least a curve step per cap-limited member and
+// clear the band immediately.
+const (
+	grantDeadbandW    = 2 * cluster.ServerCapStepW
+	grantDeadbandFrac = 0.01
+)
+
+// grantSlackFrac holds a sliver of the available watts out of the
+// apportion target. Without it the DP spends everything, the granted
+// budgets sum to the full pool, and — under decrease-before-increase —
+// every increase stalls an interval waiting for a donor's acked
+// decrease. The slack keeps the increase allowance funded so a demand
+// shift is granted in the same interval it appears.
+const grantSlackFrac = 0.02
+
+func (c GlobalConfig) maxInFlight() int {
+	if c.MaxInFlight > 0 {
+		return c.MaxInFlight
+	}
+	return 8
+}
+
+// globalShard is the apportioner's view of one shard coordinator.
+type globalShard struct {
+	ref    ShardRef
+	alive  bool
+	misses int
+	// urlIdx remembers which trunk URL last answered as leader, so a
+	// stable shard costs one RPC per interval, not a URL walk.
+	urlIdx int
+	// grantedW is the last acknowledged budget — reserved against the
+	// cluster cap until reclaimT while the shard is silent, because its
+	// agents may legitimately draw against it until their leases lapse.
+	grantedW float64
+	granted  bool
+	scraped  bool
+	report   ShardReport
+	reclaimT float64
+}
+
+// GlobalStats accumulates apportioner lifetime counters.
+type GlobalStats struct {
+	Steps          int
+	Observes       int
+	ShardExpiries  int
+	ShardRejoins   int
+	Reclaims       int
+	ScrapeFailures int
+	GrantFailures  int
+}
+
+// GlobalStepResult is one global interval's outcome.
+type GlobalStepResult struct {
+	T    float64
+	CapW float64
+	// Epoch is the global leadership epoch grants fanned out under.
+	Epoch   uint64
+	Leading bool
+	// Deposed reports a ShardBudgetResponse carried a global epoch
+	// above this apportioner's — another global leads.
+	Deposed bool
+	// Budgets/Granted/Alive index GlobalConfig.Shards.
+	Budgets []float64
+	Granted []bool
+	Alive   []bool
+	// ReservedW is the summed last-granted budgets of silent shards not
+	// yet reclaimed — watts withheld from this interval's apportioning
+	// because the silent shards' fleets may still be drawing them.
+	ReservedW float64
+	// RebalancedW is the unused headroom moved between shards this
+	// interval (the ps_ctrl_shard_headroom_watts gauge).
+	RebalancedW float64
+	// PerfN is the DP's predicted summed performance of the grants.
+	PerfN float64
+	// ScrapeErrs/GrantErrs count shards whose trunk RPCs failed this
+	// interval (after the URL walk and retries).
+	ScrapeErrs int
+	GrantErrs  int
+}
+
+// Global is the apex of the two-tier budget tree: each interval it
+// scrapes every shard coordinator's ShardReport over the trunk (the
+// shard-tier membership heartbeat), splits the cluster cap across the
+// live shards with the cluster.ApportionShards DP over their rolled-up
+// curves, shifts unused headroom toward saturated shards, and fans the
+// budgets out as epoch-fenced ShardBudget grants.
+//
+// Safety is the same invariant at a coarser grain: the sum of granted
+// shard budgets plus the reserved budgets of silent shards never
+// exceeds the cluster cap, and every grant carries the global (Epoch,
+// Seq) pair, which shards fence exactly as agents fence assignments —
+// global epoch fencing composed with shard epoch fencing
+// (docs/CONTROL_PLANE.md §Hierarchy).
+type Global struct {
+	cfg    GlobalConfig
+	client *rpcClient
+	tel    *ctrlTel
+	flog   *faults.Log
+
+	shards    []*globalShard
+	seq       uint64
+	stats     GlobalStats
+	epoch     atomic.Uint64
+	seenEpoch atomic.Uint64
+}
+
+// NewGlobal builds a global apportioner over a static shard set.
+func NewGlobal(cfg GlobalConfig) (*Global, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("ctrlplane: global apportioner needs at least one shard")
+	}
+	seen := make(map[int]bool, len(cfg.Shards))
+	for _, ref := range cfg.Shards {
+		if ref.ID < 0 || len(ref.URLs) == 0 {
+			return nil, fmt.Errorf("ctrlplane: bad shard ref %+v", ref)
+		}
+		if seen[ref.ID] {
+			return nil, fmt.Errorf("ctrlplane: duplicate shard id %d", ref.ID)
+		}
+		seen[ref.ID] = true
+	}
+	if cfg.LeaseS < 0 || !finite(cfg.LeaseS) {
+		return nil, fmt.Errorf("ctrlplane: shard budget lease %g s", cfg.LeaseS)
+	}
+	tel := newCtrlTel(cfg.Telemetry)
+	g := &Global{
+		cfg: cfg,
+		tel: tel,
+		client: newRPCClient(Config{
+			RPCTimeout:  cfg.RPCTimeout,
+			Retries:     cfg.Retries,
+			BackoffBase: cfg.BackoffBase,
+			BackoffMax:  cfg.BackoffMax,
+			Seed:        cfg.Seed,
+		}, tel),
+		flog: faults.NewLog(0),
+	}
+	for _, ref := range cfg.Shards {
+		refCopy := ref
+		refCopy.URLs = append([]string(nil), ref.URLs...)
+		for i, u := range refCopy.URLs {
+			refCopy.URLs[i] = trimSlash(u)
+		}
+		// Shards start alive, like coordinator members: an unreachable
+		// one expires after MissK trunk scrapes.
+		g.shards = append(g.shards, &globalShard{ref: refCopy, alive: true})
+	}
+	g.epoch.Store(1)
+	return g, nil
+}
+
+// Epoch returns the global leadership epoch grants fan out under.
+func (g *Global) Epoch() uint64 { return g.epoch.Load() }
+
+// PeakEpoch returns the highest global epoch observed in any shard's
+// budget response.
+func (g *Global) PeakEpoch() uint64 { return g.seenEpoch.Load() }
+
+// SetEpoch moves the apportioner to a new global epoch, invalidating
+// the granted ledger so the next step grants every shard afresh. Call
+// between steps only.
+func (g *Global) SetEpoch(e uint64) {
+	if g.epoch.Swap(e) == e {
+		return
+	}
+	for _, s := range g.shards {
+		s.grantedW, s.granted = 0, false
+	}
+}
+
+func (g *Global) noteEpoch(e uint64) {
+	for {
+		cur := g.seenEpoch.Load()
+		if e <= cur || g.seenEpoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// Stats returns the apportioner's lifetime counters.
+func (g *Global) Stats() GlobalStats { return g.stats }
+
+// FaultEvents returns the shard membership event log in order.
+func (g *Global) FaultEvents() []faults.Event { return g.flog.Events() }
+
+// Close releases pooled trunk connections.
+func (g *Global) Close() { g.client.close() }
+
+// Step drives one global interval at trace time t under cluster cap
+// capW.
+func (g *Global) Step(ctx context.Context, t, capW float64) (GlobalStepResult, error) {
+	return g.step(ctx, t, capW, true)
+}
+
+// Observe runs one global interval without granting: scrape the
+// shards and compute what this apportioner would grant — the standby's
+// warm-takeover path, mirroring Coordinator.Observe.
+func (g *Global) Observe(ctx context.Context, t, capW float64) (GlobalStepResult, error) {
+	return g.step(ctx, t, capW, false)
+}
+
+// scrapeShard walks one shard's trunk URLs from its last-good index
+// until a leading coordinator answers.
+func (g *Global) scrapeShard(ctx context.Context, s *globalShard, t float64) (ShardReport, int, error) {
+	req := ShardReportRequest{V: ProtocolV, Shard: s.ref.ID, T: t, HasT: true}
+	var lastErr error
+	n := len(s.ref.URLs)
+	for k := 0; k < n; k++ {
+		idx := (s.urlIdx + k) % n
+		rep, err := g.client.shardReport(ctx, g.cfg.Retries, s.ref.URLs[idx], req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if rep.Shard != s.ref.ID {
+			lastErr = fmt.Errorf("ctrlplane: trunk scrape of shard %d answered as %d", s.ref.ID, rep.Shard)
+			continue
+		}
+		if !rep.Leading {
+			lastErr = fmt.Errorf("ctrlplane: shard %d coordinator at %s is a standby", s.ref.ID, s.ref.URLs[idx])
+			continue
+		}
+		return rep, idx, nil
+	}
+	return ShardReport{}, s.urlIdx, lastErr
+}
+
+func (g *Global) step(ctx context.Context, t, capW float64, lead bool) (GlobalStepResult, error) {
+	if !finite(t) || !finite(capW) || capW < 0 {
+		return GlobalStepResult{}, fmt.Errorf("ctrlplane: global step t=%g cap=%g", t, capW)
+	}
+	epoch := g.epoch.Load()
+	n := len(g.shards)
+	res := GlobalStepResult{
+		T: t, CapW: capW, Epoch: epoch, Leading: lead,
+		Budgets: make([]float64, n),
+		Granted: make([]bool, n),
+		Alive:   make([]bool, n),
+	}
+
+	// Phase 1 — trunk scrape, doubling as the shard-tier membership
+	// heartbeat.
+	reports := make([]*ShardReport, n)
+	urlIdx := make([]int, n)
+	errs := make([]error, n)
+	fanOut(ctx, n, g.cfg.maxInFlight(), func(i int) {
+		rep, idx, err := g.scrapeShard(ctx, g.shards[i], t)
+		urlIdx[i] = idx
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		reports[i] = &rep
+	})
+	for i, s := range g.shards {
+		s.urlIdx = urlIdx[i]
+		if rep := reports[i]; rep != nil {
+			s.misses = 0
+			s.scraped = true
+			s.report = *rep
+		} else {
+			s.misses++
+			s.scraped = false
+			res.ScrapeErrs++
+			g.stats.ScrapeFailures++
+		}
+	}
+
+	// Phase 2 — shard membership: expire after MissK consecutive
+	// misses, reserving the expired shard's last budget until its
+	// reclaim window passes (its agents hold leases against it);
+	// readmit on the first successful scrape.
+	for i, s := range g.shards {
+		switch {
+		case s.alive && s.misses >= g.cfg.missK():
+			s.alive = false
+			s.reclaimT = t + g.cfg.reclaimS()
+			g.stats.ShardExpiries++
+			g.flog.Append(faults.Event{T: t, Kind: "shard-expiry", Target: fmt.Sprintf("shard-%d", s.ref.ID),
+				Detail: fmt.Sprintf("%d consecutive missed trunk scrapes; reserving %g W until t=%g", s.misses, s.grantedW, s.reclaimT)})
+		case !s.alive && s.scraped:
+			s.alive = true
+			g.stats.ShardRejoins++
+			g.flog.Append(faults.Event{T: t, Kind: "shard-rejoin", Target: fmt.Sprintf("shard-%d", s.ref.ID),
+				Detail: "shard coordinator back; re-apportioning cluster budget"})
+		}
+		if !s.alive && s.granted && t >= s.reclaimT {
+			g.stats.Reclaims++
+			g.flog.Append(faults.Event{T: t, Kind: "shard-reclaim", Target: fmt.Sprintf("shard-%d", s.ref.ID),
+				Detail: fmt.Sprintf("budget lease and agent leases lapsed; %g W returned to the pool", s.grantedW)})
+			s.grantedW, s.granted = 0, false
+		}
+		res.Alive[i] = s.alive
+	}
+
+	// Phase 3 — reserve silent shards' budgets, then apportion the
+	// remainder across the live shards and shift unused headroom toward
+	// saturated ones. sum(budgets) ≤ available and available + reserved
+	// ≤ capW give the tree's cap invariant.
+	for _, s := range g.shards {
+		if !s.alive && s.granted {
+			res.ReservedW += s.grantedW
+		}
+	}
+	available := capW - res.ReservedW
+	if available < 0 {
+		available = 0
+	}
+	var aliveIdx []int
+	for i, s := range g.shards {
+		if s.alive {
+			aliveIdx = append(aliveIdx, i)
+		}
+	}
+	if len(aliveIdx) > 0 {
+		curves := make([]cluster.ShardCurve, len(aliveIdx))
+		usedW := make([]float64, len(aliveIdx))
+		demandW := make([]float64, len(aliveIdx))
+		for j, i := range aliveIdx {
+			rep := g.shards[i].report
+			curves[j] = cluster.ShardCurve{FloorW: rep.FloorW, Points: rep.Curve}
+			usedW[j], demandW[j] = rep.UsedW, rep.DemandW
+		}
+		budgets, perf := cluster.ApportionShards(available*(1-grantSlackFrac), curves, g.cfg.MaxLevels)
+		budgets, res.RebalancedW = cluster.RebalanceHeadroom(budgets, usedW, demandW, g.cfg.guardFrac())
+		res.PerfN = perf
+		// Decrease-before-increase: a granted decrease takes effect at
+		// the shard's next step, but a shard that misses a grant (a
+		// coordinator mid-failover, a silent shard inside its MissK
+		// grace) keeps enforcing its OLD budget — so an interval's caps
+		// must stay safe under ANY mix of old and new budgets. Grant
+		// decreases in full; scale increases so that the sum of every
+		// shard's max(old, new) fits the available watts. The freed
+		// watts of a decrease become grantable one interval later, when
+		// the donor's report confirms the lower budget in force.
+		oldW := make([]float64, len(aliveIdx))
+		var sumOld, totalInc float64
+		for j, i := range aliveIdx {
+			s := g.shards[i]
+			oldW[j] = s.grantedW
+			if s.report.V != 0 {
+				// The shard's own report of the budget it enforces —
+				// which also covers its bootstrap budget, granted by
+				// nobody.
+				oldW[j] = s.report.BudgetW
+			}
+			// Deadband: hold the grant steady when the target only
+			// jittered (DP tie-breaks and demand over-asks wander by a
+			// curve step as member splits shift). Sub-noise decreases
+			// would otherwise consume the increase allowance below
+			// every interval, starving real demand shifts — which clear
+			// the deadband easily, at a curve step per member.
+			db := grantDeadbandW
+			if r := grantDeadbandFrac * oldW[j]; r > db {
+				db = r
+			}
+			if d := budgets[j] - oldW[j]; d > -db && d < db {
+				budgets[j] = oldW[j]
+			}
+			sumOld += oldW[j]
+			if inc := budgets[j] - oldW[j]; inc > 0 {
+				totalInc += inc
+			}
+		}
+		if allowedInc := available - sumOld; totalInc > allowedInc {
+			scale := 0.0
+			if allowedInc > 0 {
+				scale = allowedInc / totalInc
+			}
+			for j := range budgets {
+				if inc := budgets[j] - oldW[j]; inc > 0 {
+					budgets[j] = oldW[j] + inc*scale
+				}
+			}
+		}
+		for j, i := range aliveIdx {
+			res.Budgets[i] = budgets[j]
+		}
+	}
+
+	// Phase 4 — fan the grants out (leader only).
+	if !lead {
+		res.Deposed = g.seenEpoch.Load() > epoch
+		g.stats.Observes++
+		g.tel.noteGlobalStep(res)
+		return res, nil
+	}
+	g.seq++
+	seq := g.seq
+	fanOut(ctx, len(aliveIdx), g.cfg.maxInFlight(), func(k int) {
+		i := aliveIdx[k]
+		s := g.shards[i]
+		req := ShardBudgetRequest{V: ProtocolV, Epoch: epoch, Seq: seq, Shard: s.ref.ID,
+			T: t, CapW: res.Budgets[i], LeaseS: g.cfg.LeaseS}
+		// Grant to the whole coordinator set, not just the leader —
+		// the trunk mirror of agents announcing to every coordinator. A
+		// standby that applies each budget to its own fenced ledger is
+		// warm on promotion: it enforces the budget the global last
+		// granted, not its bootstrap share, which is what keeps the sum
+		// of shard budgets capped through a shard-leader failover.
+		var grantErr error
+		for k2 := 0; k2 < len(s.ref.URLs); k2++ {
+			idx := (s.urlIdx + k2) % len(s.ref.URLs)
+			resp, err := g.client.shardBudget(ctx, g.cfg.Retries, s.ref.URLs[idx], req)
+			if err != nil {
+				if grantErr == nil {
+					grantErr = err
+				}
+				continue
+			}
+			g.noteEpoch(resp.Epoch)
+			// Applied, or refused-as-duplicate with our own grant in
+			// force, both mean the budget holds; a refusal at a higher
+			// epoch means another apportioner owns the shard.
+			if resp.Applied || (resp.Epoch == epoch && resp.CapW == res.Budgets[i]) {
+				res.Granted[i] = true
+			} else if grantErr == nil {
+				grantErr = fmt.Errorf("ctrlplane: shard %d refused epoch-%d budget (shard at global epoch %d)",
+					s.ref.ID, epoch, resp.Epoch)
+			}
+		}
+		if !res.Granted[i] {
+			errs[i] = grantErr
+		}
+	})
+	for _, i := range aliveIdx {
+		s := g.shards[i]
+		if res.Granted[i] {
+			s.grantedW, s.granted = res.Budgets[i], true
+		} else {
+			res.GrantErrs++
+			g.stats.GrantFailures++
+		}
+	}
+	res.Deposed = g.seenEpoch.Load() > epoch
+	g.stats.Steps++
+	g.tel.noteGlobalStep(res)
+	return res, nil
+}
+
+// GrantedShardW returns the last acknowledged budget of the shard at
+// config index i (0 when none).
+func (g *Global) GrantedShardW(i int) float64 {
+	if i < 0 || i >= len(g.shards) {
+		return 0
+	}
+	return g.shards[i].grantedW
+}
+
+// GlobalHAConfig parameterizes a global apportioner's leader election
+// — the subset of HAConfig the apex tier needs.
+type GlobalHAConfig struct {
+	ID       string
+	Election Election
+	TermTTL  time.Duration
+	Clock    func() time.Time
+}
+
+// GlobalHA runs a global apportioner as a member of a leader-elected
+// pair: campaign each interval on the shared store, lead under the
+// term's epoch or observe to stay warm. The same two safety nets as
+// the shard tier apply — elections order takeovers, epoch fencing at
+// the shards makes even a deposed-but-unaware global harmless.
+type GlobalHA struct {
+	g   *Global
+	cfg GlobalHAConfig
+
+	mu        sync.Mutex
+	leader    bool
+	term      Term
+	failovers int
+}
+
+// NewGlobalHA wraps a global apportioner with leader election.
+func NewGlobalHA(g *Global, cfg GlobalHAConfig) (*GlobalHA, error) {
+	if g == nil {
+		return nil, fmt.Errorf("ctrlplane: global HA needs an apportioner")
+	}
+	if cfg.Election == nil {
+		return nil, fmt.Errorf("ctrlplane: global HA needs an election store")
+	}
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("ctrlplane: global HA needs a candidate id")
+	}
+	if cfg.TermTTL <= 0 {
+		return nil, fmt.Errorf("ctrlplane: global HA term ttl %v", cfg.TermTTL)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &GlobalHA{g: g, cfg: cfg}, nil
+}
+
+// Global returns the wrapped apportioner.
+func (h *GlobalHA) Global() *Global { return h.g }
+
+// Step campaigns, then leads or observes one global interval.
+func (h *GlobalHA) Step(ctx context.Context, t, capW float64) (GlobalStepResult, error) {
+	term, err := h.cfg.Election.Campaign(h.cfg.ID, h.cfg.Clock(), h.cfg.TermTTL)
+	if err != nil {
+		// Same stance as HA.Step: an unreachable store proves nothing,
+		// so only observe; shard budget leases lapse on their own.
+		h.mu.Lock()
+		h.leader = false
+		h.mu.Unlock()
+		return h.g.Observe(ctx, t, capW)
+	}
+	lead := term.Leader == h.cfg.ID
+	h.mu.Lock()
+	if lead && term.Epoch > h.term.Epoch && term.Epoch > 1 {
+		h.failovers++
+	}
+	h.leader, h.term = lead, term
+	h.mu.Unlock()
+	if !lead {
+		return h.g.Observe(ctx, t, capW)
+	}
+	h.g.SetEpoch(term.Epoch)
+	res, err := h.g.Step(ctx, t, capW)
+	if err == nil && res.Deposed {
+		h.mu.Lock()
+		h.leader = false
+		h.mu.Unlock()
+	}
+	return res, err
+}
+
+// Leader reports the last campaign's term and whether this node leads.
+func (h *GlobalHA) Leader() (Term, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.term, h.leader
+}
+
+// Failovers counts leadership acquisitions past the bootstrap
+// election.
+func (h *GlobalHA) Failovers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.failovers
+}

@@ -42,6 +42,12 @@ type ctrlTel struct {
 	connDials  *telemetry.CounterVec
 	connReuses *telemetry.CounterVec
 	batchedOps *telemetry.Counter
+
+	// Shard-tier gauges (docs/METRICS.md §Hierarchy): set by the global
+	// apportioner each interval.
+	shardBudgetW   *telemetry.GaugeVec
+	shardHeadroomW *telemetry.Gauge
+	treeDepth      *telemetry.Gauge
 }
 
 func newCtrlTel(h *telemetry.Hub) *ctrlTel {
@@ -103,6 +109,12 @@ func newCtrlTel(h *telemetry.Hub) *ctrlTel {
 			"Pooled binary connections reused instead of re-dialed.", "transport"),
 		batchedOps: reg.Counter("ps_ctrl_batched_ops_total",
 			"Per-agent operations carried inside batch frames instead of unary RPCs."),
+		shardBudgetW: reg.GaugeVec("ps_ctrl_shard_budget_watts",
+			"Per-shard budget granted by the global apportioner at the last interval.", "shard"),
+		shardHeadroomW: reg.Gauge("ps_ctrl_shard_headroom_watts",
+			"Unused headroom moved between shards at the last global interval."),
+		treeDepth: reg.Gauge("ps_ctrl_tree_depth",
+			"Depth of the coordination tree (1 flat, 2 sharded)."),
 	}
 }
 
@@ -218,6 +230,24 @@ func (t *ctrlTel) noteStep(res StepResult) {
 	t.tracer.Instant("ctrl-step", telemetry.CatCtrl, telemetry.TidCoord, res.T,
 		telemetry.A("capW", res.CapW), telemetry.A("gridW", res.FleetGridW),
 		telemetry.A("alive", alive))
+}
+
+// noteGlobalStep records one global interval's shard budgets, the
+// headroom moved, and the tree depth.
+func (t *ctrlTel) noteGlobalStep(res GlobalStepResult) {
+	if !t.enabled {
+		return
+	}
+	t.steps.Inc()
+	t.fleetCapW.Set(res.CapW)
+	for i, b := range res.Budgets {
+		t.shardBudgetW.With(strconv.Itoa(i)).Set(b)
+	}
+	t.shardHeadroomW.Set(res.RebalancedW)
+	t.treeDepth.Set(2)
+	t.tracer.Instant("global-step", telemetry.CatCtrl, telemetry.TidCoord, res.T,
+		telemetry.A("capW", res.CapW), telemetry.A("reservedW", res.ReservedW),
+		telemetry.A("movedW", res.RebalancedW))
 }
 
 // noteMembership mirrors a lease expiry or rejoin into the trace.

@@ -33,6 +33,12 @@ type Result struct {
 	Rejoins       int
 	// FinalEpoch is the leadership epoch the run ended under.
 	FinalEpoch uint64
+	// Failovers, ShardExpiries, and ShardReclaims count the hierarchy
+	// family's shard-tier leadership takeovers, global-membership
+	// expiries, and reservation reclaims.
+	Failovers     int
+	ShardExpiries int
+	ShardReclaims int
 	// ShortfallJ, DischargedJ, ChargedJ total the ESD families' energy
 	// movement over the run.
 	ShortfallJ  float64

@@ -29,10 +29,51 @@ func RunCampaign(c Campaign) (*Result, error) {
 	if len(c.Caps) != c.Config.Steps {
 		return nil, fmt.Errorf("scenario: %d cap points for %d steps", len(c.Caps), c.Config.Steps)
 	}
+	if c.Config.Family == FamilyHierarchyShardLoss {
+		return runHier(c)
+	}
 	if c.Config.Family.controlPlane() {
 		return runCtrl(c)
 	}
 	return runESD(c)
+}
+
+// runHier drives a two-tier campaign through the hierarchical drill:
+// per-shard coordinator pairs over loopback trunks under the global
+// apportioner, with the scripted shard loss and saturation the
+// generator sized. The drill audits the cap invariants itself; the
+// runner renders its per-interval outcomes as the canonical log. Wall
+// time is deliberately excluded from the log — replay is a byte
+// comparison.
+func runHier(c Campaign) (*Result, error) {
+	if c.TwoTier == nil {
+		return nil, fmt.Errorf("scenario: family %s has no two-tier setup", c.Config.Family)
+	}
+	r := &Result{Campaign: c, LeaderlessMinCapW: math.Inf(1)}
+	res, err := ctrlplane.RunTwoTierDrill(*c.TwoTier)
+	if err != nil {
+		return r, err
+	}
+	eventsAt := make(map[int][]Event)
+	for _, ev := range c.Events {
+		eventsAt[ev.Step] = append(eventsAt[ev.Step], ev)
+	}
+	for s, iv := range res.Intervals {
+		for _, ev := range eventsAt[s] {
+			r.logf("event step=%03d kind=%s agent=%d %s", ev.Step, ev.Kind, ev.Agent, ev.Detail)
+		}
+		r.logf("step=%03d t=%.0f cap=%.3f granted=%.3f reserved=%.3f rebalanced=%.3f capsum=%.3f alive=%d",
+			s, iv.T, iv.CapW, iv.SumBudgetsW, iv.ReservedW, iv.RebalancedW, iv.AgentCapSumW, iv.GlobalAlive)
+	}
+	for _, v := range res.Violations {
+		r.violatef("%s", v)
+	}
+	r.Failovers = res.Failovers
+	r.ShardExpiries = res.Stats.ShardExpiries
+	r.ShardReclaims = res.Stats.Reclaims
+	r.logf("summary steps=%d failovers=%d shardExpiries=%d reclaims=%d",
+		c.Config.Steps, r.Failovers, r.ShardExpiries, r.ShardReclaims)
+	return r, nil
 }
 
 // evaluator builds the shared cluster simulation the control-plane

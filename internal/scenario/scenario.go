@@ -64,6 +64,12 @@ const (
 	// while the cluster cap drops — the compound failure where
 	// re-apportioning and lease fencing must both hold the line.
 	FamilyPartitionEmergency Family = "partition-emergency"
+	// FamilyHierarchyShardLoss drives the two-tier budget tree through
+	// a shard-coordinator loss — a leader kill with a warm standby, or
+	// a whole shard going dark — while another shard saturates. The
+	// invariant: the cluster cap is never exceeded, not even during the
+	// failover or the dead shard's reservation window.
+	FamilyHierarchyShardLoss Family = "hierarchy-shard-loss"
 )
 
 // Description summarizes what the family stresses, for -list output
@@ -82,6 +88,8 @@ func (f Family) Description() string {
 		return "coordinator restarts mid-traffic; agents ride the gap in safe mode"
 	case FamilyPartitionEmergency:
 		return "network partition during a cap emergency; fencing holds the line"
+	case FamilyHierarchyShardLoss:
+		return "two-tier budget tree loses a shard coordinator; the cap holds through failover"
 	default:
 		return ""
 	}
@@ -92,6 +100,7 @@ func Families() []Family {
 	return []Family{
 		FamilyCapDrop, FamilyFlashCrowd, FamilyPriceSchedule,
 		FamilyBatteryFleet, FamilyRollingRestart, FamilyPartitionEmergency,
+		FamilyHierarchyShardLoss,
 	}
 }
 
@@ -198,6 +207,8 @@ type Campaign struct {
 	// SafeMode configures leaderless degradation for the fleet's agents
 	// (zero: agents fence to 0 W on lease lapse).
 	SafeMode ctrlplane.SafeModeConfig
+	// TwoTier sizes the hierarchical drill (hierarchy families only).
+	TwoTier *ctrlplane.TwoTierOptions
 }
 
 // Generate expands a config into a campaign. Same config, same
@@ -223,6 +234,8 @@ func Generate(cfg Config) (Campaign, error) {
 		genRollingRestart(&c, rng)
 	case FamilyPartitionEmergency:
 		genPartitionEmergency(&c, rng)
+	case FamilyHierarchyShardLoss:
+		genHierarchyShardLoss(&c, rng)
 	default:
 		return Campaign{}, fmt.Errorf("scenario: unknown family %q", cfg.Family)
 	}

@@ -146,6 +146,27 @@ func TestCampaignPartitionEmergency(t *testing.T) {
 	}
 }
 
+// Two-tier shard loss: the budget tree rides a shard-coordinator
+// death — warm standby promotion or a whole-shard reservation — with
+// the cluster cap invariant held every interval, and headroom still
+// flows to the saturating survivor over the trunk.
+func TestCampaignHierarchyShardLoss(t *testing.T) {
+	r := mustRun(t, Config{Family: FamilyHierarchyShardLoss, Seed: 7})
+	if r.Failovers == 0 && r.ShardExpiries == 0 {
+		t.Fatal("the scripted shard loss left no failover and no expiry")
+	}
+	if r.ShardExpiries > 0 && r.ShardReclaims == 0 {
+		t.Fatal("dead shard expired but its reserved budget was never reclaimed")
+	}
+	tt := r.Campaign.TwoTier
+	if tt == nil {
+		t.Fatal("campaign carries no two-tier setup")
+	}
+	if tt.KillLeaderStep == 0 && tt.KillShardStep == 0 {
+		t.Fatal("no shard loss was scripted")
+	}
+}
+
 // The replay guarantee: running the same campaign twice produces the
 // same invariant log, byte for byte — including the control-plane
 // families, whose faults are scripted rather than rolled.
@@ -154,6 +175,7 @@ func TestReplayDeterminism(t *testing.T) {
 		{Family: FamilyPartitionEmergency, Seed: 7},
 		{Family: FamilyRollingRestart, Seed: 11},
 		{Family: FamilyFlashCrowd, Seed: 7},
+		{Family: FamilyHierarchyShardLoss, Seed: 7},
 	} {
 		cfg := cfg
 		t.Run(string(cfg.Family), func(t *testing.T) {
