@@ -54,6 +54,8 @@ func main() {
 		killShard   = flag.Int("kill-shard", 0, "shard index the kill steps target")
 		satStep     = flag.Int("saturate-step", 0, "in the -shards drill, raise -saturate-shard's demand to nameplate at this 1-based interval (0: never); headroom must flow to it")
 		satShard    = flag.Int("saturate-shard", 0, "shard index the saturation targets")
+		leaseIv     = flag.Int("lease-iv", 0, "in the -shards drill, run the whole tree on protocol-clock leases: shard coordinators grant this many own-interval agent leases and the global grants one interval longer to the shards (0: seconds-based leases)")
+		restartG    = flag.Int("restart-global-step", 0, "in the -shards drill, crash-restart the global apportioner at this 1-based interval (0: never); with -lease-iv the replacement rehydrates its interval counter from shard scrapes and the drill flags any duplicate interval number")
 
 		version = flag.Bool("version", false, "print version and exit")
 	)
@@ -65,17 +67,19 @@ func main() {
 
 	if *shards > 0 {
 		err := runTwoTier(ctrlplane.TwoTierOptions{
-			Shards:         *shards,
-			AgentsPerShard: *shardAgents,
-			Intervals:      *intervals,
-			IntervalS:      *step,
-			ClusterCapW:    *clusterCap,
-			Seed:           *seed,
-			KillLeaderStep: *killLeader,
-			KillShardStep:  *killWhole,
-			KillShard:      *killShard,
-			SaturateStep:   *satStep,
-			SaturateShard:  *satShard,
+			Shards:            *shards,
+			AgentsPerShard:    *shardAgents,
+			Intervals:         *intervals,
+			IntervalS:         *step,
+			ClusterCapW:       *clusterCap,
+			Seed:              *seed,
+			KillLeaderStep:    *killLeader,
+			KillShardStep:     *killWhole,
+			KillShard:         *killShard,
+			SaturateStep:      *satStep,
+			SaturateShard:     *satShard,
+			LeaseIv:           *leaseIv,
+			RestartGlobalStep: *restartG,
 		})
 		if err != nil {
 			log.Fatal(err)

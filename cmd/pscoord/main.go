@@ -67,6 +67,7 @@ func main() {
 		capFile    = flag.String("capfile", "", "replay a cluster cap schedule from this CSV (seconds,value) instead of a constant cap")
 		interval   = flag.Duration("interval", 2*time.Second, "control interval between fan-outs")
 		lease      = flag.Float64("lease", 0, "draw lease granted with each assignment, in trace seconds (0: 2x the control interval)")
+		leaseIv    = flag.Int("lease-iv", 0, "grant protocol-clock leases valid this many control intervals instead of -lease seconds; every grant carries the minting interval counter and the -interval length, and a restarted coordinator rehydrates the counter from fleet scrapes before granting (0: seconds-based leases)")
 		missK      = flag.Int("missk", 3, "consecutive failed scrapes before an agent's membership lease expires")
 		inflight   = flag.Int("max-inflight", 8, "fan-out concurrency bound")
 		timeout    = flag.Duration("timeout", 2*time.Second, "per-RPC attempt timeout")
@@ -98,7 +99,7 @@ func main() {
 		if *shardID >= 0 {
 			log.Fatal("-shard and -global are mutually exclusive (one tier per process)")
 		}
-		if err := runGlobal(*globalSet, *capW, *capFile, *interval, *lease, *reclaim, *missK,
+		if err := runGlobal(*globalSet, *capW, *capFile, *interval, *lease, *leaseIv, *reclaim, *missK,
 			*inflight, *timeout, *retries, *verbose); err != nil {
 			log.Fatal(err)
 		}
@@ -139,7 +140,7 @@ func main() {
 		leaseS = 2 * interval.Seconds()
 	}
 	hub := telemetry.New(0)
-	coord, err := ctrlplane.New(ctrlplane.Config{
+	ccfg := ctrlplane.Config{
 		Agents:               refs,
 		Dynamic:              *listen != "" || *binListen != "",
 		Strategy:             strat,
@@ -152,7 +153,12 @@ func main() {
 		BreakerOpenIntervals: *brkOpen,
 		FloorW:               *floorW,
 		Telemetry:            hub,
-	})
+	}
+	if *leaseIv > 0 {
+		ccfg.LeaseIv = *leaseIv
+		ccfg.IntervalS = interval.Seconds()
+	}
+	coord, err := ctrlplane.New(ccfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -402,7 +408,8 @@ func summarize(coord *ctrlplane.Coordinator, ha *ctrlplane.HA, sc *ctrlplane.Sha
 // splits the cluster cap across the live shards, rebalances unused
 // headroom, and fans the budgets out as epoch-fenced leased grants.
 func runGlobal(set string, capW float64, capFile string, interval time.Duration,
-	lease, reclaim float64, missK, inflight int, timeout time.Duration, retries int, verbose bool) error {
+	lease float64, leaseIv int, reclaim float64, missK, inflight int,
+	timeout time.Duration, retries int, verbose bool) error {
 
 	shards, err := parseShardRefs(set)
 	if err != nil {
@@ -415,7 +422,7 @@ func runGlobal(set string, capW float64, capFile string, interval time.Duration,
 		leaseS = 2 * interval.Seconds()
 	}
 	hub := telemetry.New(0)
-	global, err := ctrlplane.NewGlobal(ctrlplane.GlobalConfig{
+	gcfg := ctrlplane.GlobalConfig{
 		Shards:      shards,
 		LeaseS:      leaseS,
 		MissK:       missK,
@@ -424,7 +431,12 @@ func runGlobal(set string, capW float64, capFile string, interval time.Duration,
 		RPCTimeout:  timeout,
 		Retries:     retries,
 		Telemetry:   hub,
-	})
+	}
+	if leaseIv > 0 {
+		gcfg.LeaseIv = leaseIv
+		gcfg.IntervalS = interval.Seconds()
+	}
+	global, err := ctrlplane.NewGlobal(gcfg)
 	if err != nil {
 		return err
 	}

@@ -87,6 +87,9 @@ func main() {
 		log.Printf("  %d membership lease expiries, %d rejoins, final epoch %d",
 			res.LeaseExpiries, res.Rejoins, res.FinalEpoch)
 	}
+	if res.Rehydrations > 0 {
+		log.Printf("  %d interval-counter rehydrations across coordinator restarts", res.Rehydrations)
+	}
 	if res.DischargedJ+res.ChargedJ > 0 {
 		log.Printf("  fleet moved %.0f J out, %.0f J in; %.0f J shortfall",
 			res.DischargedJ, res.ChargedJ, res.ShortfallJ)

@@ -118,7 +118,25 @@ type Agent struct {
 	lastSeq    uint64
 	lastGrantT float64
 	leaseS     float64
-	fenced     bool
+	// Protocol-clock state (docs/CONTROL_PLANE.md "Protocol clock").
+	// grantIv/leaseIv/ivS are the in-force grant's clock triple: the
+	// lease lapses once the effective interval reaches grantIv+leaseIv.
+	// lastSeenIv is the highest interval observed from any grant or
+	// renewal; lastSeenT anchors it on the local clock so the effective
+	// interval keeps counting at ivS when the coordinator stalls.
+	grantIv    uint64
+	leaseIv    uint64
+	ivS        float64
+	lastSeenIv uint64
+	lastSeenT  float64
+	// localT is the agent's own clock high-water mark (trace time for
+	// replay agents, injected wall seconds for daemons).
+	localT float64
+	// skewIv is the last measured coordinator skew in intervals:
+	// locally elapsed intervals minus coordinator-minted intervals over
+	// the same span (positive = the coordinator runs slow).
+	skewIv float64
+	fenced bool
 	// safeMode is a flavor of fenced: the lease lapsed, but instead of
 	// the fence cap the agent enforces heldW decaying per SafeMode.
 	// Only a fresh Assign clears it.
@@ -198,6 +216,13 @@ func (a *Agent) Assign(req AssignRequest) (AssignResponse, error) {
 	a.lastSeq = req.Seq
 	a.lastGrantT = req.T
 	a.leaseS = req.LeaseS
+	if req.T > a.localT {
+		a.localT = req.T
+	}
+	a.noteIvLocked(req.Iv, req.IvS)
+	a.grantIv = req.Iv
+	a.leaseIv = req.LeaseIv
+	a.ivS = req.IvS
 	a.fenced = false
 	a.safeMode = false
 	a.assigns++
@@ -219,19 +244,66 @@ func (a *Agent) Renew(req LeaseRequest) (LeaseResponse, error) {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if req.Epoch != a.lastEpoch {
-		if req.Epoch < a.lastEpoch {
-			a.epochDrops++
+	if req.Epoch < a.lastEpoch {
+		a.epochDrops++
+	} else {
+		// Any renewal from the current (or a newer) epoch is a protocol-
+		// clock observation, even when it cannot move the lease: a fenced
+		// or safe-mode agent keeps counting the coordinator's intervals,
+		// which is what ages its decay correctly.
+		if req.T > a.localT {
+			a.localT = req.T
 		}
-	} else if !a.fenced && req.T >= a.lastGrantT {
-		a.lastGrantT = req.T
-		a.leaseS = req.LeaseS
+		a.noteIvLocked(req.Iv, req.IvS)
+		if req.Epoch == a.lastEpoch && !a.fenced && req.T >= a.lastGrantT {
+			a.lastGrantT = req.T
+			a.leaseS = req.LeaseS
+			a.grantIv = req.Iv
+			a.leaseIv = req.LeaseIv
+			a.ivS = req.IvS
+		}
 	}
-	resp := LeaseResponse{V: ProtocolV, Epoch: a.lastEpoch, Server: a.cfg.ID, CapW: a.capW, Fenced: a.fenced}
+	resp := LeaseResponse{V: ProtocolV, Epoch: a.lastEpoch, Server: a.cfg.ID, CapW: a.capW, Fenced: a.fenced, Iv: a.lastSeenIv}
 	if !a.fenced && a.leaseS > 0 {
 		resp.ExpiresT = a.lastGrantT + a.leaseS
 	}
 	return resp, nil
+}
+
+// noteIvLocked folds one observed coordinator interval into the
+// protocol clock: measure skew against the locally elapsed span, then
+// advance the high-water mark. Zero ivs (clockless peers) are ignored.
+func (a *Agent) noteIvLocked(iv uint64, ivS float64) {
+	if iv == 0 || iv <= a.lastSeenIv {
+		return
+	}
+	if a.lastSeenIv > 0 && ivS > 0 {
+		a.skewIv = (a.localT-a.lastSeenT)/ivS - float64(iv-a.lastSeenIv)
+	}
+	a.lastSeenIv = iv
+	a.lastSeenT = a.localT
+}
+
+// clockModeLocked reports whether the in-force grant carries an
+// interval lease — the protocol clock then replaces seconds-based
+// lease aging entirely.
+func (a *Agent) clockModeLocked() bool { return a.leaseIv > 0 && a.ivS > 0 }
+
+// effectiveIvLocked is the agent's protocol-clock reading: the highest
+// observed interval, advanced by whole nominal intervals of local time
+// elapsed since that observation. While the coordinator mints on
+// schedule the local extrapolation stays at zero; when it stalls, the
+// effective interval keeps counting at ivS — which is exactly what
+// lapses the lease on time without wall-vs-trace ambiguity.
+func (a *Agent) effectiveIvLocked() uint64 {
+	if a.ivS <= 0 {
+		return a.lastSeenIv
+	}
+	dt := a.localT - a.lastSeenT
+	if dt <= 0 {
+		return a.lastSeenIv
+	}
+	return a.lastSeenIv + uint64(dt/a.ivS)
 }
 
 // Tick advances the agent's clock to trace time t and fences the server
@@ -245,11 +317,23 @@ func (a *Agent) Tick(t float64) error {
 }
 
 func (a *Agent) tickLocked(t float64) error {
+	if t > a.localT {
+		a.localT = t
+	}
 	if a.safeMode {
 		// Already degrading leaderless: continue the decay.
 		return a.applySafeCapLocked(t)
 	}
-	if a.fenced || a.leaseS <= 0 || t < a.lastGrantT+a.leaseS {
+	if a.fenced {
+		return nil
+	}
+	if a.clockModeLocked() {
+		// Interval lease: lapse once the effective interval reaches the
+		// grant's boundary — seconds play no part.
+		if a.effectiveIvLocked() < a.grantIv+a.leaseIv {
+			return nil
+		}
+	} else if a.leaseS <= 0 || t < a.lastGrantT+a.leaseS {
 		return nil
 	}
 	if a.cfg.SafeMode.Enabled() {
@@ -275,9 +359,23 @@ func (a *Agent) tickLocked(t float64) error {
 	return nil
 }
 
-// applySafeCapLocked enforces the safe-mode cap for trace time t.
+// applySafeCapLocked enforces the safe-mode cap for trace time t. In
+// clock mode the decay ages by whole protocol intervals past the lapse
+// boundary — an integer count times the nominal interval length — so a
+// trace-replay fleet and a wall-clock fleet walking the same interval
+// sequence enforce bit-identical caps.
 func (a *Agent) applySafeCapLocked(t float64) error {
-	target := a.cfg.SafeMode.CapAt(t, a.expireT, a.heldW)
+	var target float64
+	if a.clockModeLocked() {
+		boundary := a.grantIv + a.leaseIv
+		var over uint64
+		if eff := a.effectiveIvLocked(); eff > boundary {
+			over = eff - boundary
+		}
+		target = a.cfg.SafeMode.CapAt(float64(over)*a.ivS, 0, a.heldW)
+	} else {
+		target = a.cfg.SafeMode.CapAt(t, a.expireT, a.heldW)
+	}
 	if target == a.capW {
 		return nil
 	}
@@ -334,6 +432,7 @@ func (a *Agent) Report() (Report, error) {
 		NameplateW:   a.cfg.Backend.NameplateW(),
 		UtilityCurve: a.curve,
 		Version:      a.cfg.Version,
+		Iv:           a.lastSeenIv,
 	}, nil
 }
 
@@ -356,6 +455,7 @@ func (a *Agent) stateLocked(applied bool) AssignResponse {
 		V: ProtocolV, Server: a.cfg.ID, Epoch: a.lastEpoch, Seq: a.lastSeq, Applied: applied,
 		CapW: a.capW, PerfN: a.perfN, GridW: a.gridW,
 		SoC: a.cfg.Backend.SoC(), Fenced: a.fenced, SafeMode: a.safeMode,
+		Iv: a.lastSeenIv,
 	}
 }
 
@@ -441,4 +541,22 @@ func (a *Agent) LastEpoch() uint64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.lastEpoch
+}
+
+// LastIv is the highest protocol-clock interval the agent has observed
+// from any grant or renewal (0 while clockless).
+func (a *Agent) LastIv() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastSeenIv
+}
+
+// ClockSkewIv is the last measured coordinator skew in intervals:
+// positive when the coordinator minted fewer intervals than the
+// agent's local clock counted over the same span (the coordinator runs
+// slow or stalls), negative when it minted faster.
+func (a *Agent) ClockSkewIv() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.skewIv
 }

@@ -327,6 +327,7 @@ func putReport(w *wbuf, rep Report) {
 		w.f64(p.Perf)
 		w.f64(p.GridW)
 	}
+	w.u64(rep.Iv)
 }
 
 func getReport(r *rbuf) Report {
@@ -354,6 +355,7 @@ func getReport(r *rbuf) Report {
 			rep.UtilityCurve[i] = cluster.CapPoint{CapW: r.f64(), Perf: r.f64(), GridW: r.f64()}
 		}
 	}
+	rep.Iv = r.u64()
 	return rep
 }
 
@@ -385,6 +387,9 @@ func appendAssignReq(b []byte, req AssignRequest) []byte {
 	w.f64(req.T)
 	w.f64(req.CapW)
 	w.f64(req.LeaseS)
+	w.u64(req.Iv)
+	w.u64(req.LeaseIv)
+	w.f64(req.IvS)
 	return w.b
 }
 
@@ -398,6 +403,9 @@ func decodeAssignReqPayload(p []byte) (AssignRequest, error) {
 	req.T = r.f64()
 	req.CapW = r.f64()
 	req.LeaseS = r.f64()
+	req.Iv = r.u64()
+	req.LeaseIv = r.u64()
+	req.IvS = r.f64()
 	if err := r.done(); err != nil {
 		return AssignRequest{}, err
 	}
@@ -418,6 +426,7 @@ func putAssignResp(w *wbuf, resp AssignResponse) {
 	w.f64(resp.SoC)
 	w.boolean(resp.Fenced)
 	w.boolean(resp.SafeMode)
+	w.u64(resp.Iv)
 }
 
 func getAssignResp(r *rbuf) AssignResponse {
@@ -433,6 +442,7 @@ func getAssignResp(r *rbuf) AssignResponse {
 	resp.SoC = r.f64()
 	resp.Fenced = r.boolean()
 	resp.SafeMode = r.boolean()
+	resp.Iv = r.u64()
 	return resp
 }
 
@@ -459,6 +469,9 @@ func appendLeaseReq(b []byte, req LeaseRequest) []byte {
 	w.i64(int64(req.Server))
 	w.f64(req.T)
 	w.f64(req.LeaseS)
+	w.u64(req.Iv)
+	w.u64(req.LeaseIv)
+	w.f64(req.IvS)
 	return w.b
 }
 
@@ -470,6 +483,9 @@ func decodeLeaseReqPayload(p []byte) (LeaseRequest, error) {
 	req.Server = r.integer()
 	req.T = r.f64()
 	req.LeaseS = r.f64()
+	req.Iv = r.u64()
+	req.LeaseIv = r.u64()
+	req.IvS = r.f64()
 	if err := r.done(); err != nil {
 		return LeaseRequest{}, err
 	}
@@ -486,6 +502,7 @@ func appendLeaseRespPayload(b []byte, resp LeaseResponse) []byte {
 	w.f64(resp.CapW)
 	w.f64(resp.ExpiresT)
 	w.boolean(resp.Fenced)
+	w.u64(resp.Iv)
 	return w.b
 }
 
@@ -498,6 +515,7 @@ func decodeLeaseRespPayload(p []byte) (LeaseResponse, error) {
 	resp.CapW = r.f64()
 	resp.ExpiresT = r.f64()
 	resp.Fenced = r.boolean()
+	resp.Iv = r.u64()
 	if err := r.done(); err != nil {
 		return LeaseResponse{}, err
 	}
@@ -732,11 +750,17 @@ type BatchScrapeResponse struct {
 // frame's (Epoch, Seq) when it did not — exactly the coordinator's
 // unary renew-else-assign sequence, one hop shorter.
 type BatchGrantRequest struct {
-	V       int
-	Epoch   uint64
-	Seq     uint64
-	T       float64
-	LeaseS  float64
+	V      int
+	Epoch  uint64
+	Seq    uint64
+	T      float64
+	LeaseS float64
+	// Iv/LeaseIv/IvS carry the protocol-clock triple shared by every
+	// entry in the frame (one mint interval per fan-out); all zero when
+	// the coordinator runs clockless.
+	Iv      uint64
+	LeaseIv uint64
+	IvS     float64
 	Entries []GrantEntry
 }
 
@@ -765,6 +789,9 @@ func (r BatchGrantRequest) Validate() error {
 	}
 	if !finite(r.LeaseS) || r.LeaseS < 0 {
 		return fmt.Errorf("ctrlplane: batch grant lease %g s", r.LeaseS)
+	}
+	if err := validateClockFields(r.Iv, r.LeaseIv, r.IvS); err != nil {
+		return fmt.Errorf("ctrlplane: batch grant %w", err)
 	}
 	if len(r.Entries) == 0 || len(r.Entries) > maxBatchEntries {
 		return fmt.Errorf("ctrlplane: batch grant of %d entries (want 1..%d)", len(r.Entries), maxBatchEntries)
@@ -880,6 +907,9 @@ func appendBatchGrantReq(b []byte, req BatchGrantRequest) []byte {
 	w.u64(req.Seq)
 	w.f64(req.T)
 	w.f64(req.LeaseS)
+	w.u64(req.Iv)
+	w.u64(req.LeaseIv)
+	w.f64(req.IvS)
 	w.u32(uint32(len(req.Entries)))
 	for _, e := range req.Entries {
 		w.i64(int64(e.Server))
@@ -897,6 +927,9 @@ func decodeBatchGrantReqPayload(p []byte) (BatchGrantRequest, error) {
 	req.Seq = r.u64()
 	req.T = r.f64()
 	req.LeaseS = r.f64()
+	req.Iv = r.u64()
+	req.LeaseIv = r.u64()
+	req.IvS = r.f64()
 	n := int(r.u32())
 	if r.err == nil && n*17 > len(r.b)-r.off {
 		r.fail("batch grant count %d exceeds payload", n)
@@ -961,6 +994,7 @@ func appendShardReportReq(b []byte, req ShardReportRequest) []byte {
 	w.i64(int64(req.Shard))
 	w.boolean(req.HasT)
 	w.f64(req.T)
+	w.u64(req.Iv)
 	return w.b
 }
 
@@ -971,6 +1005,7 @@ func decodeShardReportReqPayload(p []byte) (ShardReportRequest, error) {
 	req.Shard = r.integer()
 	req.HasT = r.boolean()
 	req.T = r.f64()
+	req.Iv = r.u64()
 	if err := r.done(); err != nil {
 		return ShardReportRequest{}, err
 	}
@@ -1000,6 +1035,9 @@ func appendShardReportPayload(b []byte, rep ShardReport) []byte {
 		w.f64(p.Perf)
 		w.f64(p.GridW)
 	}
+	w.u64(rep.GEpoch)
+	w.u64(rep.GSeq)
+	w.u64(rep.GIv)
 	return w.b
 }
 
@@ -1029,6 +1067,9 @@ func decodeShardReportPayload(p []byte) (ShardReport, error) {
 			rep.Curve[i] = cluster.CapPoint{CapW: r.f64(), Perf: r.f64(), GridW: r.f64()}
 		}
 	}
+	rep.GEpoch = r.u64()
+	rep.GSeq = r.u64()
+	rep.GIv = r.u64()
 	if err := r.done(); err != nil {
 		return ShardReport{}, err
 	}
@@ -1046,6 +1087,9 @@ func appendShardBudgetReq(b []byte, req ShardBudgetRequest) []byte {
 	w.f64(req.T)
 	w.f64(req.CapW)
 	w.f64(req.LeaseS)
+	w.u64(req.Iv)
+	w.u64(req.LeaseIv)
+	w.f64(req.IvS)
 	return w.b
 }
 
@@ -1059,6 +1103,9 @@ func decodeShardBudgetReqPayload(p []byte) (ShardBudgetRequest, error) {
 	req.T = r.f64()
 	req.CapW = r.f64()
 	req.LeaseS = r.f64()
+	req.Iv = r.u64()
+	req.LeaseIv = r.u64()
+	req.IvS = r.f64()
 	if err := r.done(); err != nil {
 		return ShardBudgetRequest{}, err
 	}
@@ -1075,6 +1122,7 @@ func appendShardBudgetRespPayload(b []byte, resp ShardBudgetResponse) []byte {
 	w.u64(resp.Seq)
 	w.boolean(resp.Applied)
 	w.f64(resp.CapW)
+	w.u64(resp.Iv)
 	return w.b
 }
 
@@ -1087,6 +1135,7 @@ func decodeShardBudgetRespPayload(p []byte) (ShardBudgetResponse, error) {
 	resp.Seq = r.u64()
 	resp.Applied = r.boolean()
 	resp.CapW = r.f64()
+	resp.Iv = r.u64()
 	if err := r.done(); err != nil {
 		return ShardBudgetResponse{}, err
 	}

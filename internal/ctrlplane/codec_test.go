@@ -18,7 +18,7 @@ func canonicalMessages() map[byte][]byte {
 		V: ProtocolV, Server: 3, Epoch: 2, Seq: 17,
 		CapW: 85.5, PerfN: 0.92, GridW: 80.25, SoC: 0.5,
 		Fenced: false, SafeMode: true, IdleFloorW: 25, NameplateW: 120,
-		Version: "v1.2.3",
+		Version: "v1.2.3", Iv: 42,
 		UtilityCurve: []cluster.CapPoint{
 			{CapW: 25, Perf: 0, GridW: 25},
 			{CapW: 60, Perf: 0.61, GridW: 55.5},
@@ -31,16 +31,20 @@ func canonicalMessages() map[byte][]byte {
 		FrameReportResp: appendReportPayload(nil, rep),
 		FrameAssignReq: appendAssignReq(nil, AssignRequest{
 			V: ProtocolV, Epoch: 2, Seq: 9, Server: 3, T: 1200.5, CapW: 85.5, LeaseS: 150,
+			Iv: 42, LeaseIv: 3, IvS: 1.5,
 		}),
 		FrameAssignResp: appendAssignRespPayload(nil, AssignResponse{
 			V: ProtocolV, Server: 3, Epoch: 2, Seq: 9, Applied: true,
 			CapW: 85.5, PerfN: 0.92, GridW: 80.25, SoC: 0.5, Fenced: false, SafeMode: false,
+			Iv: 42,
 		}),
 		FrameLeaseReq: appendLeaseReq(nil, LeaseRequest{
 			V: ProtocolV, Epoch: 2, Server: 3, T: 1200.5, LeaseS: 150,
+			Iv: 42, LeaseIv: 3, IvS: 1.5,
 		}),
 		FrameLeaseResp: appendLeaseRespPayload(nil, LeaseResponse{
 			V: ProtocolV, Epoch: 2, Server: 3, CapW: 85.5, ExpiresT: 1350.5, Fenced: false,
+			Iv: 42,
 		}),
 		FrameRegisterReq: appendRegisterReq(nil, RegisterRequest{
 			V: ProtocolV, Server: 3, URL: "tcp://10.0.0.7:9000", NameplateW: 120,
@@ -68,6 +72,7 @@ func canonicalMessages() map[byte][]byte {
 		}),
 		FrameBatchGrantReq: appendBatchGrantReq(nil, BatchGrantRequest{
 			V: ProtocolV, Epoch: 2, Seq: 9, T: 1200.5, LeaseS: 150,
+			Iv: 42, LeaseIv: 3, IvS: 1.5,
 			Entries: []GrantEntry{
 				{Server: 0, CapW: 80, Renew: true},
 				{Server: 1, CapW: 40.5, Renew: false},
@@ -75,12 +80,12 @@ func canonicalMessages() map[byte][]byte {
 		}),
 		FrameBatchGrantResp: appendBatchGrantRespPayload(nil, BatchGrantResponse{
 			V: ProtocolV, Results: []GrantResult{
-				{Server: 0, Renewed: true, Resp: AssignResponse{V: ProtocolV, Server: 0, Epoch: 2, CapW: 80}},
+				{Server: 0, Renewed: true, Resp: AssignResponse{V: ProtocolV, Server: 0, Epoch: 2, CapW: 80, Iv: 42}},
 				{Server: 1, Err: "lost it"},
 			},
 		}),
 		FrameShardReportReq: appendShardReportReq(nil, ShardReportRequest{
-			V: ProtocolV, Shard: 2, T: 1200.5, HasT: true,
+			V: ProtocolV, Shard: 2, T: 1200.5, HasT: true, Iv: 42,
 		}),
 		FrameShardReportResp: appendShardReportPayload(nil, ShardReport{
 			V: ProtocolV, Shard: 2, Epoch: 3, Seq: 11, T: 1200.5, Leading: true,
@@ -91,12 +96,14 @@ func canonicalMessages() map[byte][]byte {
 				{CapW: 6500, Perf: 61.5, GridW: 6400},
 				{CapW: 7500, Perf: 125, GridW: 7400},
 			},
+			GEpoch: 3, GSeq: 11, GIv: 42,
 		}),
 		FrameShardBudgetReq: appendShardBudgetReq(nil, ShardBudgetRequest{
 			V: ProtocolV, Epoch: 2, Seq: 9, Shard: 2, T: 1200.5, CapW: 6500, LeaseS: 900,
+			Iv: 42, LeaseIv: 3, IvS: 1.5,
 		}),
 		FrameShardBudgetResp: appendShardBudgetRespPayload(nil, ShardBudgetResponse{
-			V: ProtocolV, Shard: 2, Epoch: 2, Seq: 9, Applied: true, CapW: 6500,
+			V: ProtocolV, Shard: 2, Epoch: 2, Seq: 9, Applied: true, CapW: 6500, Iv: 42,
 		}),
 		FrameLeaderReq: nil,
 		FrameError:     appendErrPayload(nil, "agent 3: no such server"),
@@ -291,7 +298,8 @@ func TestTypedRoundTrips(t *testing.T) {
 		t.Fatalf("report round trip:\n got %+v\nwant %+v", got, rep)
 	}
 
-	areq := AssignRequest{V: ProtocolV, Epoch: 1, Seq: 4, Server: 0, T: 300, CapW: 75, LeaseS: 150}
+	areq := AssignRequest{V: ProtocolV, Epoch: 1, Seq: 4, Server: 0, T: 300, CapW: 75, LeaseS: 150,
+		Iv: 7, LeaseIv: 2, IvS: 0.5}
 	gotA, err := decodeAssignReqPayload(appendAssignReq(nil, areq))
 	if err != nil {
 		t.Fatal(err)
@@ -314,6 +322,7 @@ func TestTypedRoundTrips(t *testing.T) {
 		Agents: 16, FloorW: 720, DemandW: 960, UsedW: 801.5, CapW: 850, BudgetW: 860,
 		Starved: true,
 		Curve:   []cluster.CapPoint{{CapW: 720, Perf: 0, GridW: 720}, {CapW: 960, Perf: 16, GridW: 950}},
+		GEpoch:  1, GSeq: 8, GIv: 7,
 	}
 	gotS, err := decodeShardReportPayload(appendShardReportPayload(nil, srep))
 	if err != nil {
@@ -323,7 +332,8 @@ func TestTypedRoundTrips(t *testing.T) {
 		t.Fatalf("shard report round trip:\n got %+v\nwant %+v", gotS, srep)
 	}
 
-	sbud := ShardBudgetRequest{V: ProtocolV, Epoch: 3, Seq: 5, Shard: 1, T: 600, CapW: 512.5, LeaseS: 900}
+	sbud := ShardBudgetRequest{V: ProtocolV, Epoch: 3, Seq: 5, Shard: 1, T: 600, CapW: 512.5, LeaseS: 900,
+		Iv: 7, LeaseIv: 2, IvS: 0.5}
 	gotSB, err := decodeShardBudgetReqPayload(appendShardBudgetReq(nil, sbud))
 	if err != nil {
 		t.Fatal(err)
@@ -334,6 +344,7 @@ func TestTypedRoundTrips(t *testing.T) {
 
 	breq := BatchGrantRequest{
 		V: ProtocolV, Epoch: 2, Seq: 7, T: 600, LeaseS: 300,
+		Iv: 7, LeaseIv: 2, IvS: 0.5,
 		Entries: []GrantEntry{{Server: 0, CapW: 50, Renew: true}, {Server: 9, CapW: 0}},
 	}
 	gotB, err := decodeBatchGrantReqPayload(appendBatchGrantReq(nil, breq))
@@ -411,9 +422,10 @@ func TestPayloadStrictness(t *testing.T) {
 	}
 
 	// A curve count past the remaining payload must fail fast, not
-	// allocate.
+	// allocate. With an empty curve the count u32 sits just before the
+	// trailing interval-counter u64.
 	rep := appendReportPayload(nil, Report{V: ProtocolV, Server: 0, SoC: 0.5, Version: ""})
-	binary.BigEndian.PutUint32(rep[len(rep)-4:], 1<<30)
+	binary.BigEndian.PutUint32(rep[len(rep)-12:len(rep)-8], 1<<30)
 	if _, err := decodeReportPayload(rep); err == nil || !strings.Contains(err.Error(), "curve count") {
 		t.Errorf("lying curve count: got %v", err)
 	}

@@ -29,6 +29,15 @@ type GlobalConfig struct {
 	// anything longer bounds how long a partitioned shard keeps its
 	// stale budget. Zero grants non-lapsing budgets.
 	LeaseS float64
+	// LeaseIv, when positive, switches shard budget leases to
+	// protocol-clock units: each grant is valid for LeaseIv global
+	// intervals and carries the global interval counter, which shards
+	// age by IntervalS regardless of their local clock rate. Zero keeps
+	// LeaseS wall/trace-second semantics.
+	LeaseIv int
+	// IntervalS is the nominal length of one global interval in trace
+	// seconds. Required (positive) when LeaseIv > 0.
+	IntervalS float64
 	// MissK is how many consecutive failed trunk scrapes expire a
 	// shard's membership (default 3).
 	MissK int
@@ -131,6 +140,9 @@ type GlobalStats struct {
 	Reclaims       int
 	ScrapeFailures int
 	GrantFailures  int
+	// Rehydrations counts interval-counter recoveries from a majority
+	// of shard scrapes (one per clock-mode apportioner (re)start).
+	Rehydrations int
 }
 
 // GlobalStepResult is one global interval's outcome.
@@ -160,6 +172,13 @@ type GlobalStepResult struct {
 	// interval (after the URL walk and retries).
 	ScrapeErrs int
 	GrantErrs  int
+	// Iv is the global protocol-clock interval this step's grants were
+	// minted under (0 in wall/trace-second lease mode).
+	Iv uint64
+	// Rehydrating reports that a leading clock-mode apportioner skipped
+	// granting because its interval counter is not yet recovered from a
+	// majority of shard scrapes.
+	Rehydrating bool
 }
 
 // Global is the apex of the two-tier budget tree: each interval it
@@ -186,6 +205,19 @@ type Global struct {
 	stats     GlobalStats
 	epoch     atomic.Uint64
 	seenEpoch atomic.Uint64
+
+	// iv is the global protocol-clock interval counter, monotonic
+	// across elections: SetEpoch clears the granted ledger but never
+	// rewinds iv, which is what keeps interval numbers unique for the
+	// apportioner's lifetime.
+	iv atomic.Uint64
+	// rehydrated gates granting in clock mode: a restarted apportioner
+	// refuses to mint intervals until a majority of shard scrapes have
+	// answered, so it adopts an interval counter at least as high as
+	// any its predecessor's grants reached.
+	rehydrated bool
+	maxSeenIv  uint64
+	maxSeenSeq uint64
 }
 
 // NewGlobal builds a global apportioner over a static shard set.
@@ -206,10 +238,17 @@ func NewGlobal(cfg GlobalConfig) (*Global, error) {
 	if cfg.LeaseS < 0 || !finite(cfg.LeaseS) {
 		return nil, fmt.Errorf("ctrlplane: shard budget lease %g s", cfg.LeaseS)
 	}
+	if cfg.LeaseIv < 0 {
+		return nil, fmt.Errorf("ctrlplane: shard budget lease %d intervals", cfg.LeaseIv)
+	}
+	if cfg.LeaseIv > 0 && (!finite(cfg.IntervalS) || cfg.IntervalS <= 0) {
+		return nil, fmt.Errorf("ctrlplane: interval leases need a positive interval length, got %g s", cfg.IntervalS)
+	}
 	tel := newCtrlTel(cfg.Telemetry)
 	g := &Global{
-		cfg: cfg,
-		tel: tel,
+		cfg:        cfg,
+		tel:        tel,
+		rehydrated: cfg.LeaseIv == 0,
 		client: newRPCClient(Config{
 			RPCTimeout:  cfg.RPCTimeout,
 			Retries:     cfg.Retries,
@@ -239,6 +278,10 @@ func (g *Global) Epoch() uint64 { return g.epoch.Load() }
 // PeakEpoch returns the highest global epoch observed in any shard's
 // budget response.
 func (g *Global) PeakEpoch() uint64 { return g.seenEpoch.Load() }
+
+// Iv returns the global protocol-clock interval counter — monotonic
+// across elections; SetEpoch does not reset it.
+func (g *Global) Iv() uint64 { return g.iv.Load() }
 
 // SetEpoch moves the apportioner to a new global epoch, invalidating
 // the granted ledger so the next step grants every shard afresh. Call
@@ -286,7 +329,9 @@ func (g *Global) Observe(ctx context.Context, t, capW float64) (GlobalStepResult
 // scrapeShard walks one shard's trunk URLs from its last-good index
 // until a leading coordinator answers.
 func (g *Global) scrapeShard(ctx context.Context, s *globalShard, t float64) (ShardReport, int, error) {
-	req := ShardReportRequest{V: ProtocolV, Shard: s.ref.ID, T: t, HasT: true}
+	// The trunk scrape carries the global interval counter so shards
+	// keep aging their budgets even across deadband-skipped re-grants.
+	req := ShardReportRequest{V: ProtocolV, Shard: s.ref.ID, T: t, HasT: true, Iv: g.iv.Load()}
 	var lastErr error
 	n := len(s.ref.URLs)
 	for k := 0; k < n; k++ {
@@ -347,6 +392,53 @@ func (g *Global) step(ctx context.Context, t, capW float64, lead bool) (GlobalSt
 			s.scraped = false
 			res.ScrapeErrs++
 			g.stats.ScrapeFailures++
+		}
+	}
+
+	// Protocol-clock harvest: track the highest interval and same-epoch
+	// sequence any shard has seen, and rehydrate the counter from a
+	// majority of scrapes after a restart. Runs while observing too, so
+	// a warm standby is already rehydrated when promoted.
+	if g.cfg.LeaseIv > 0 {
+		scrapedOK := 0
+		var maxLagIv float64
+		cur := g.iv.Load()
+		for i := range g.shards {
+			rep := reports[i]
+			if rep == nil {
+				continue
+			}
+			scrapedOK++
+			if rep.GIv > g.maxSeenIv {
+				g.maxSeenIv = rep.GIv
+			}
+			if rep.GEpoch == epoch && rep.GSeq > g.maxSeenSeq {
+				g.maxSeenSeq = rep.GSeq
+			}
+			if cur > rep.GIv {
+				if lag := float64(cur - rep.GIv); lag > maxLagIv {
+					maxLagIv = lag
+				}
+			}
+		}
+		if g.tel.enabled {
+			g.tel.clockSkewIv.Set(maxLagIv)
+		}
+		// Track the fleet's echo continuously (see Coordinator.step): a
+		// warm standby apportioner follows the leader's mints interval
+		// by interval, so promotion never re-issues one.
+		if g.maxSeenIv > g.iv.Load() {
+			g.iv.Store(g.maxSeenIv)
+		}
+		if !g.rehydrated && scrapedOK >= len(g.shards)/2+1 {
+			if g.maxSeenSeq > g.seq {
+				g.seq = g.maxSeenSeq
+			}
+			g.rehydrated = true
+			g.stats.Rehydrations++
+			g.tel.rehydrations.Inc()
+			g.flog.Append(faults.Event{T: t, Kind: "clock-rehydrate", Target: "global",
+				Detail: fmt.Sprintf("interval counter recovered from %d/%d shards: iv=%d seq=%d", scrapedOK, len(g.shards), g.iv.Load(), g.seq)})
 		}
 	}
 
@@ -469,13 +561,34 @@ func (g *Global) step(ctx context.Context, t, capW float64, lead bool) (GlobalSt
 		g.tel.noteGlobalStep(res)
 		return res, nil
 	}
+	if !g.rehydrated {
+		// A leading clock-mode apportioner that has not recovered its
+		// interval counter from a shard majority must not mint: a lower
+		// counter would duplicate interval numbers its predecessor's
+		// grants already carry. Shards keep enforcing (and aging) their
+		// last budgets, so skipping the grant round is safe.
+		res.Rehydrating = true
+		res.Deposed = g.seenEpoch.Load() > epoch
+		g.stats.Observes++
+		g.tel.noteGlobalStep(res)
+		return res, nil
+	}
 	g.seq++
 	seq := g.seq
+	var mintIv, leaseIv uint64
+	var ivS float64
+	if g.cfg.LeaseIv > 0 {
+		mintIv = g.iv.Add(1)
+		leaseIv = uint64(g.cfg.LeaseIv)
+		ivS = g.cfg.IntervalS
+		res.Iv = mintIv
+	}
 	fanOut(ctx, len(aliveIdx), g.cfg.maxInFlight(), func(k int) {
 		i := aliveIdx[k]
 		s := g.shards[i]
 		req := ShardBudgetRequest{V: ProtocolV, Epoch: epoch, Seq: seq, Shard: s.ref.ID,
-			T: t, CapW: res.Budgets[i], LeaseS: g.cfg.LeaseS}
+			T: t, CapW: res.Budgets[i], LeaseS: g.cfg.LeaseS,
+			Iv: mintIv, LeaseIv: leaseIv, IvS: ivS}
 		// Grant to the whole coordinator set, not just the leader —
 		// the trunk mirror of agents announcing to every coordinator. A
 		// standby that applies each budget to its own fenced ledger is

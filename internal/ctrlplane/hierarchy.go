@@ -147,6 +147,17 @@ type TwoTierOptions struct {
 	// must move headroom toward it.
 	SaturateStep  int
 	SaturateShard int
+	// LeaseIv, when > 0, switches both tiers to protocol-clock leases:
+	// shard coordinators grant agent leases of LeaseIv of their own
+	// intervals, the global grants shard budget leases of LeaseIv+1
+	// global intervals, and everything ages at IntervalS.
+	LeaseIv int
+	// RestartGlobalStep, when > 0, discards the global apportioner at
+	// the start of that interval (1-based) and boots a fresh one with a
+	// zero interval counter: in clock mode it must rehydrate from a
+	// shard majority before it may grant again, and the intervals it
+	// then mints must never duplicate its predecessor's.
+	RestartGlobalStep int
 }
 
 func (o *TwoTierOptions) defaults() error {
@@ -267,11 +278,13 @@ func RunTwoTierDrill(opts TwoTierOptions) (*TwoTierResult, error) {
 		ref := ShardRef{ID: s}
 		for r := 0; r < 2; r++ {
 			coord, err := New(Config{
-				Agents:   agentRefs,
-				Strategy: StrategyUtility,
-				FloorW:   45,
-				LeaseS:   opts.AgentLeaseS,
-				Seed:     opts.Seed + int64(s*2+r),
+				Agents:    agentRefs,
+				Strategy:  StrategyUtility,
+				FloorW:    45,
+				LeaseS:    opts.AgentLeaseS,
+				LeaseIv:   opts.LeaseIv,
+				IntervalS: opts.IntervalS,
+				Seed:      opts.Seed + int64(s*2+r),
 			})
 			if err != nil {
 				return nil, err
@@ -300,26 +313,40 @@ func RunTwoTierDrill(opts TwoTierOptions) (*TwoTierResult, error) {
 		refs[s] = ref
 	}
 
-	global, err := NewGlobal(GlobalConfig{
+	gcfg := GlobalConfig{
 		Shards:   refs,
 		LeaseS:   3 * opts.IntervalS,
 		ReclaimS: opts.AgentLeaseS + opts.IntervalS,
 		Seed:     opts.Seed,
-	})
+	}
+	if opts.LeaseIv > 0 {
+		gcfg.LeaseIv = opts.LeaseIv + 1
+		gcfg.IntervalS = opts.IntervalS
+	}
+	global, err := NewGlobal(gcfg)
 	if err != nil {
 		return nil, err
 	}
-	defer global.Close()
+	defer func() { global.Close() }()
 
 	res := &TwoTierResult{}
 	violate := func(format string, args ...any) {
 		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
 	}
 	now := 0.0
+	var lastGIv uint64
 	for iv := 1; iv <= opts.Intervals; iv++ {
 		now += opts.IntervalS
 		clock.advance(time.Duration(opts.IntervalS * float64(time.Second)))
 
+		if iv == opts.RestartGlobalStep {
+			// Crash-restart the apex: the replacement boots with a zero
+			// interval counter and must recover it from the shards.
+			global.Close()
+			if global, err = NewGlobal(gcfg); err != nil {
+				return nil, err
+			}
+		}
 		if iv == opts.KillLeaderStep {
 			sh := shards[opts.KillShard]
 			for _, nd := range sh.nodes {
@@ -364,6 +391,15 @@ func RunTwoTierDrill(opts TwoTierOptions) (*TwoTierResult, error) {
 			return nil, fmt.Errorf("global step at t=%g: %w", now, err)
 		}
 		wall := time.Since(start)
+		if gres.Iv > 0 {
+			// Interval-number uniqueness across the restart: a duplicate
+			// would let two different budget fan-outs share one lease
+			// window.
+			if gres.Iv <= lastGIv {
+				violate("t=%g: global minted interval %d, already used through %d", now, gres.Iv, lastGIv)
+			}
+			lastGIv = gres.Iv
+		}
 
 		// Dead shards' agents tick on their own wall clocks (the daemon
 		// loop); live ones were ticked by their coordinator's scrapes.

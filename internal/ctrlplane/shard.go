@@ -66,8 +66,20 @@ type ShardCoordinator struct {
 	// Agent.Assign's (epoch, seq) ledger, holding the GLOBAL epoch.
 	lastEpoch uint64
 	lastSeq   uint64
-	stepped   bool
-	report    ShardReport
+	// Global protocol-clock state, the shard's mirror of the agent's:
+	// gGrantIv/gLeaseIv/gIvS are the in-force budget grant's clock
+	// triple (the budget starves once the effective global interval
+	// reaches gGrantIv+gLeaseIv); lastGIv/lastGIvT track the highest
+	// global interval observed from any trunk scrape or grant, anchored
+	// on the shard clock so the effective interval keeps counting when
+	// the global stalls.
+	gGrantIv uint64
+	gLeaseIv uint64
+	gIvS     float64
+	lastGIv  uint64
+	lastGIvT float64
+	stepped  bool
+	report   ShardReport
 }
 
 // NewShardCoordinator wraps a coordinator as one shard of the tree.
@@ -122,7 +134,18 @@ func (s *ShardCoordinator) Starved() bool {
 // refresh the trunk report snapshot from the post-step member state.
 func (s *ShardCoordinator) Step(ctx context.Context, t float64) (StepResult, error) {
 	s.mu.Lock()
-	if s.budgetExpiry > 0 && t > s.budgetExpiry && !s.starved {
+	if s.gLeaseIv > 0 && s.gIvS > 0 {
+		// Interval budget lease: starve once the effective global
+		// interval — last observed, aged by the shard clock at the
+		// nominal interval length — reaches the grant's boundary.
+		eff := s.lastGIv
+		if dt := t - s.lastGIvT; dt > 0 {
+			eff += uint64(dt / s.gIvS)
+		}
+		if eff >= s.gGrantIv+s.gLeaseIv && !s.starved {
+			s.starved = true
+		}
+	} else if s.budgetExpiry > 0 && t > s.budgetExpiry && !s.starved {
 		// The budget lease lapsed without a fresh grant: hold the last
 		// budget (never grow it) and say so in the next report.
 		s.starved = true
@@ -215,9 +238,21 @@ func (s *ShardCoordinator) refreshReport(t, budget float64) {
 	}
 	s.mu.Lock()
 	rep.Starved = s.starved
+	rep.GEpoch = s.lastEpoch
+	rep.GSeq = s.lastSeq
+	rep.GIv = s.lastGIv
 	s.report = rep
 	s.stepped = true
 	s.mu.Unlock()
+}
+
+// noteGIvLocked folds one observed global interval into the shard's
+// protocol clock, anchored at shard time t.
+func (s *ShardCoordinator) noteGIvLocked(iv uint64, t float64) {
+	if iv > s.lastGIv {
+		s.lastGIv = iv
+		s.lastGIvT = t
+	}
 }
 
 // Report answers the global apportioner's trunk scrape with the last
@@ -232,10 +267,17 @@ func (s *ShardCoordinator) Report(req ShardReportRequest) (ShardReport, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// The trunk scrape broadcasts the global clock even when the grant
+	// deadband skips a re-grant, so the shard keeps counting intervals.
+	if req.Iv > 0 && req.HasT {
+		s.noteGIvLocked(req.Iv, req.T)
+	}
 	if !s.stepped {
 		return ShardReport{}, fmt.Errorf("ctrlplane: shard %d has not completed a control interval yet", s.cfg.Shard)
 	}
-	return s.report, nil
+	rep := s.report
+	rep.GIv = s.lastGIv
+	return rep, nil
 }
 
 // ApplyBudget applies (or fences) one ShardBudget grant — the shard's
@@ -254,7 +296,7 @@ func (s *ShardCoordinator) ApplyBudget(req ShardBudgetRequest) (ShardBudgetRespo
 	defer s.mu.Unlock()
 	resp := ShardBudgetResponse{V: ProtocolV, Shard: s.cfg.Shard}
 	if req.Epoch < s.lastEpoch || (req.Epoch == s.lastEpoch && req.Seq <= s.lastSeq) {
-		resp.Epoch, resp.Seq, resp.CapW = s.lastEpoch, s.lastSeq, s.budgetW
+		resp.Epoch, resp.Seq, resp.CapW, resp.Iv = s.lastEpoch, s.lastSeq, s.budgetW, s.lastGIv
 		return resp, nil
 	}
 	s.lastEpoch, s.lastSeq = req.Epoch, req.Seq
@@ -263,8 +305,10 @@ func (s *ShardCoordinator) ApplyBudget(req ShardBudgetRequest) (ShardBudgetRespo
 	if req.LeaseS > 0 {
 		s.budgetExpiry = req.T + req.LeaseS
 	}
+	s.noteGIvLocked(req.Iv, req.T)
+	s.gGrantIv, s.gLeaseIv, s.gIvS = req.Iv, req.LeaseIv, req.IvS
 	s.starved = false
-	resp.Epoch, resp.Seq, resp.Applied, resp.CapW = req.Epoch, req.Seq, true, req.CapW
+	resp.Epoch, resp.Seq, resp.Applied, resp.CapW, resp.Iv = req.Epoch, req.Seq, true, req.CapW, s.lastGIv
 	return resp, nil
 }
 

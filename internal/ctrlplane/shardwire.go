@@ -54,6 +54,14 @@ type ShardReport struct {
 	// (cluster.RollupCurves); empty when any live member is curveless,
 	// which sends the global to its even-share fallback for this shard.
 	Curve []cluster.CapPoint `json:"curve,omitempty"`
+	// GEpoch/GSeq/GIv are the global-tier fencing epoch, sequence, and
+	// protocol-clock interval of the last applied budget grant (all 0
+	// before the first). A restarting global apportioner rehydrates its
+	// sequence and interval counters from a majority of these, so a
+	// crash–restart cannot re-issue interval numbers down the trunk.
+	GEpoch uint64 `json:"gEpoch,omitempty"`
+	GSeq   uint64 `json:"gSeq,omitempty"`
+	GIv    uint64 `json:"gIv,omitempty"`
 }
 
 // Validate enforces the shard-report invariants.
@@ -100,6 +108,11 @@ type ShardReportRequest struct {
 	Shard int     `json:"shard"`
 	T     float64 `json:"t"`
 	HasT  bool    `json:"hasT,omitempty"`
+	// Iv broadcasts the global protocol clock on every trunk scrape (0
+	// when the global runs clockless). Scrapes reach every shard each
+	// interval even when the grant deadband skips a re-grant, so the
+	// shard's clock keeps advancing.
+	Iv uint64 `json:"iv,omitempty"`
 }
 
 // Validate enforces the request invariants.
@@ -133,6 +146,12 @@ type ShardBudgetRequest struct {
 	// budget and reports itself starved. Zero grants a non-lapsing
 	// budget.
 	LeaseS float64 `json:"leaseS"`
+	// Iv/LeaseIv/IvS mirror AssignRequest's protocol-clock triple: the
+	// shard's budget lease lapses once its effective global interval
+	// reaches Iv+LeaseIv, instead of at T+LeaseS.
+	Iv      uint64  `json:"iv,omitempty"`
+	LeaseIv uint64  `json:"leaseIv,omitempty"`
+	IvS     float64 `json:"ivS,omitempty"`
 }
 
 // Validate enforces the budget-grant invariants.
@@ -158,6 +177,9 @@ func (r ShardBudgetRequest) Validate() error {
 	if !finite(r.LeaseS) || r.LeaseS < 0 {
 		return fmt.Errorf("ctrlplane: shard budget lease %g s", r.LeaseS)
 	}
+	if err := validateClockFields(r.Iv, r.LeaseIv, r.IvS); err != nil {
+		return fmt.Errorf("ctrlplane: shard budget %w", err)
+	}
 	return nil
 }
 
@@ -173,4 +195,7 @@ type ShardBudgetResponse struct {
 	Seq     uint64  `json:"seq"`
 	Applied bool    `json:"applied"`
 	CapW    float64 `json:"capW"`
+	// Iv is the highest global protocol-clock interval the shard has
+	// observed (0 while clockless).
+	Iv uint64 `json:"iv,omitempty"`
 }

@@ -36,6 +36,10 @@ type ctrlTel struct {
 	failovers     *telemetry.Gauge
 	registrations *telemetry.Counter
 
+	// Protocol-clock instruments (docs/METRICS.md §Protocol clock).
+	clockSkewIv  *telemetry.Gauge
+	rehydrations *telemetry.Counter
+
 	// Per-transport wire accounting (transport ∈ {json, binary}).
 	wireFrames *telemetry.CounterVec // dir ∈ {tx, rx}; one HTTP message counts as one frame
 	wireBytes  *telemetry.CounterVec // dir ∈ {tx, rx}; payload bytes (JSON: bodies, binary: whole frames)
@@ -99,6 +103,10 @@ func newCtrlTel(h *telemetry.Hub) *ctrlTel {
 			"Leadership terms this coordinator took over from a lapsed or resigned predecessor."),
 		registrations: reg.Counter("ps_ctrl_registrations_total",
 			"Agent self-registrations admitted into the fleet."),
+		clockSkewIv: reg.Gauge("ps_ctrl_clock_skew_intervals",
+			"Largest protocol-clock lag observed across the last scrape: coordinator interval counter minus the slowest agent's observed interval."),
+		rehydrations: reg.Counter("ps_ctrl_restart_rehydrations_total",
+			"Interval-counter rehydrations from a majority of agent scrapes (one per clock-mode coordinator (re)start)."),
 		wireFrames: reg.CounterVec("ps_ctrl_wire_frames_total",
 			"Wire messages by transport and direction.", "transport", "dir"),
 		wireBytes: reg.CounterVec("ps_ctrl_wire_bytes_total",

@@ -72,6 +72,19 @@ type AssignRequest struct {
 	// means the lease never lapses (a daemon configured with its own
 	// wall-clock TTL still applies that).
 	LeaseS float64 `json:"leaseS"`
+	// Iv is the protocol-clock interval this grant was minted in —
+	// the coordinator's (epoch, interval-counter) clock, monotonic
+	// across epochs (docs/WIRE.md §8). Zero means the coordinator runs
+	// without a protocol clock and the lease ages in seconds above.
+	Iv uint64 `json:"iv,omitempty"`
+	// LeaseIv is the lease length in protocol intervals: the lease
+	// lapses once the agent's effective interval reaches Iv+LeaseIv —
+	// identically for trace-replay agents and wall-clock daemons.
+	LeaseIv uint64 `json:"leaseIv,omitempty"`
+	// IvS is the nominal interval length in seconds, which agents use
+	// to age the protocol clock locally when the coordinator stalls
+	// (no new interval observed ⇒ the clock keeps counting at IvS).
+	IvS float64 `json:"ivS,omitempty"`
 }
 
 // Validate enforces the assign invariants the replay depends on.
@@ -96,6 +109,26 @@ func (r AssignRequest) Validate() error {
 	}
 	if !finite(r.LeaseS) || r.LeaseS < 0 {
 		return fmt.Errorf("ctrlplane: assign lease %g s", r.LeaseS)
+	}
+	if err := validateClockFields(r.Iv, r.LeaseIv, r.IvS); err != nil {
+		return fmt.Errorf("ctrlplane: assign %w", err)
+	}
+	return nil
+}
+
+// validateClockFields enforces the protocol-clock triple carried by
+// grants and renewals: the fields travel together (an interval lease
+// needs a mint interval and a nominal interval length to age against),
+// and a clockless message carries all zeros.
+func validateClockFields(iv, leaseIv uint64, ivS float64) error {
+	if !finite(ivS) || ivS < 0 {
+		return fmt.Errorf("interval length %g s", ivS)
+	}
+	if leaseIv > 0 && (iv == 0 || ivS <= 0) {
+		return fmt.Errorf("interval lease %d with iv=%d ivS=%g (a protocol-clock lease needs iv >= 1 and ivS > 0)", leaseIv, iv, ivS)
+	}
+	if leaseIv == 0 && (iv != 0 || ivS != 0) {
+		return fmt.Errorf("clock fields iv=%d ivS=%g without an interval lease", iv, ivS)
 	}
 	return nil
 }
@@ -123,6 +156,9 @@ type AssignResponse struct {
 	// fenced but holding/decaying its last granted cap instead of
 	// cliffing to the fence cap.
 	SafeMode bool `json:"safeMode,omitempty"`
+	// Iv is the highest protocol-clock interval the agent has observed
+	// (0 while clockless).
+	Iv uint64 `json:"iv,omitempty"`
 }
 
 // Report is one telemetry scrape: the agent's enforced cap, draw,
@@ -154,6 +190,11 @@ type Report struct {
 	// Version is the agent's build version, surfaced so a fleet
 	// upgrade can be audited from the coordinator.
 	Version string `json:"version,omitempty"`
+	// Iv is the highest protocol-clock interval the agent has observed
+	// (0 while clockless). A restarting coordinator rehydrates its
+	// interval counter from a majority of these before granting, so a
+	// crash–restart cannot re-issue interval numbers.
+	Iv uint64 `json:"iv,omitempty"`
 }
 
 // Validate enforces the report invariants the apportioning DP depends
@@ -204,6 +245,11 @@ type LeaseRequest struct {
 	Server int     `json:"server"`
 	T      float64 `json:"t"`
 	LeaseS float64 `json:"leaseS"`
+	// Iv/LeaseIv/IvS mirror AssignRequest's protocol-clock triple: a
+	// renewal re-anchors the interval lease at the renewing interval.
+	Iv      uint64  `json:"iv,omitempty"`
+	LeaseIv uint64  `json:"leaseIv,omitempty"`
+	IvS     float64 `json:"ivS,omitempty"`
 }
 
 // Validate enforces the lease-renewal invariants.
@@ -223,6 +269,9 @@ func (r LeaseRequest) Validate() error {
 	if !finite(r.LeaseS) || r.LeaseS < 0 {
 		return fmt.Errorf("ctrlplane: lease length %g s", r.LeaseS)
 	}
+	if err := validateClockFields(r.Iv, r.LeaseIv, r.IvS); err != nil {
+		return fmt.Errorf("ctrlplane: lease %w", err)
+	}
 	return nil
 }
 
@@ -238,6 +287,9 @@ type LeaseResponse struct {
 	// lease never lapses).
 	ExpiresT float64 `json:"expiresT"`
 	Fenced   bool    `json:"fenced"`
+	// Iv is the highest protocol-clock interval the agent has observed
+	// (0 while clockless).
+	Iv uint64 `json:"iv,omitempty"`
 }
 
 // RegisterRequest announces one agent to the coordinator: its fleet

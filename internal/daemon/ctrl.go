@@ -34,8 +34,15 @@ type CtrlConfig struct {
 	// with graceful leaderless degradation: hold the cap in force at
 	// lease lapse, then decay it toward FloorW (default: the fence
 	// cap). Hold and decay run on the daemon's wall clock, like its
-	// lease TTL.
+	// lease TTL — unless the grants carry a protocol-clock lease, in
+	// which case both lapse and decay age by observed coordinator
+	// intervals (the nominal interval length stands in for wall time
+	// while the coordinator is stalled), bit-identical with the replay
+	// agent's aging.
 	SafeMode ctrlplane.SafeModeConfig
+	// Clock is the daemon's wall-clock source (default time.Now) —
+	// injectable so mixed trace+wall drills run deterministically.
+	Clock func() time.Time
 }
 
 // safeModeQuantumW batches wall-clock decay into steps the event log
@@ -67,6 +74,46 @@ type ctrlState struct {
 	heldW       float64
 	lapsedAt    time.Time
 	safeCapW    float64
+	// Protocol-clock mirror of ctrlplane.Agent: the grant's interval
+	// stamp and interval lease, the highest interval observed with the
+	// wall instant it arrived, and the skew between the coordinator's
+	// interval cadence and this daemon's clock.
+	grantIv    uint64
+	leaseIv    uint64
+	ivS        float64
+	lastSeenIv uint64
+	lastSeenAt time.Time
+	skewIv     float64
+}
+
+func (c *ctrlState) clockModeLocked() bool { return c.leaseIv > 0 && c.ivS > 0 }
+
+// noteIvLocked records a higher observed coordinator interval and the
+// skew of the local clock against the coordinator's cadence.
+func (c *ctrlState) noteIvLocked(iv uint64, ivS float64) {
+	if iv == 0 || iv <= c.lastSeenIv {
+		return
+	}
+	now := c.cfg.Clock()
+	if c.lastSeenIv > 0 && ivS > 0 {
+		c.skewIv = now.Sub(c.lastSeenAt).Seconds()/ivS - float64(iv-c.lastSeenIv)
+	}
+	c.lastSeenIv = iv
+	c.lastSeenAt = now
+}
+
+// effectiveIvLocked extrapolates the coordinator's interval counter
+// from the last observed value at the nominal interval length — a
+// stalled coordinator's leases keep aging at the rate it advertised.
+func (c *ctrlState) effectiveIvLocked() uint64 {
+	if c.ivS <= 0 {
+		return c.lastSeenIv
+	}
+	dt := c.cfg.Clock().Sub(c.lastSeenAt).Seconds()
+	if dt <= 0 {
+		return c.lastSeenIv
+	}
+	return c.lastSeenIv + uint64(dt/c.ivS)
 }
 
 // EnableCtrl attaches control-plane state to the daemon. Call before
@@ -86,6 +133,9 @@ func (d *Daemon) EnableCtrl(cfg CtrlConfig) error {
 	if cfg.SafeMode.Enabled() && cfg.SafeMode.FloorW == 0 {
 		cfg.SafeMode.FloorW = fence
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
 	d.ctrl = &ctrlState{cfg: cfg, fenceCapW: fence}
 	return nil
 }
@@ -100,9 +150,29 @@ func (d *Daemon) ctrlFenceCheck() error {
 	}
 	c.mu.Lock()
 	if c.safeMode {
+		if c.clockModeLocked() {
+			// Protocol-clock decay: age by whole coordinator intervals
+			// past the lease boundary. The targets move in interval-sized
+			// steps already, so every change is worth clamping — no
+			// wall-quantum batching, and the step sequence is
+			// bit-identical with a replay agent decaying the same lease.
+			boundary := c.grantIv + c.leaseIv
+			var over uint64
+			if eff := c.effectiveIvLocked(); eff > boundary {
+				over = eff - boundary
+			}
+			target := c.cfg.SafeMode.CapAt(float64(over)*c.ivS, 0, c.heldW)
+			if c.safeCapW != target {
+				c.safeCapW = target
+				c.mu.Unlock()
+				return d.sim.AddCapChange(d.simTime, target)
+			}
+			c.mu.Unlock()
+			return nil
+		}
 		// Leaderless degradation in progress: walk the cap down on the
 		// wall clock, re-clamping only in quantum-sized steps.
-		target := c.cfg.SafeMode.CapAt(time.Since(c.lapsedAt).Seconds(), 0, c.heldW)
+		target := c.cfg.SafeMode.CapAt(c.cfg.Clock().Sub(c.lapsedAt).Seconds(), 0, c.heldW)
 		if c.safeCapW-target >= safeModeQuantumW ||
 			(target <= c.cfg.SafeMode.FloorW && c.safeCapW != target) {
 			c.safeCapW = target
@@ -112,8 +182,13 @@ func (d *Daemon) ctrlFenceCheck() error {
 		c.mu.Unlock()
 		return nil
 	}
-	lapse := c.leased && !c.fenced && c.leaseS > 0 &&
-		time.Since(c.leaseStart).Seconds() >= c.leaseS
+	var lapse bool
+	if c.clockModeLocked() {
+		lapse = c.leased && !c.fenced && c.effectiveIvLocked() >= c.grantIv+c.leaseIv
+	} else {
+		lapse = c.leased && !c.fenced && c.leaseS > 0 &&
+			c.cfg.Clock().Sub(c.leaseStart).Seconds() >= c.leaseS
+	}
 	if !lapse {
 		c.mu.Unlock()
 		return nil
@@ -172,8 +247,10 @@ func (d *Daemon) ctrlAssign(req ctrlplane.AssignRequest) (ctrlplane.AssignRespon
 	c.lastEpoch = req.Epoch
 	c.lastSeq = req.Seq
 	c.leaseS = req.LeaseS
-	c.leaseStart = time.Now()
-	c.leased = req.LeaseS > 0
+	c.leaseStart = c.cfg.Clock()
+	c.noteIvLocked(req.Iv, req.IvS)
+	c.grantIv, c.leaseIv, c.ivS = req.Iv, req.LeaseIv, req.IvS
+	c.leased = req.LeaseS > 0 || req.LeaseIv > 0
 	c.fenced = false
 	c.safeMode = false
 	c.mu.Unlock()
@@ -191,7 +268,7 @@ func (d *Daemon) ctrlAck(applied bool) ctrlplane.AssignResponse {
 		V: ctrlplane.ProtocolV, Server: c.cfg.ServerID,
 		Epoch: c.lastEpoch, Seq: c.lastSeq, Applied: applied,
 		CapW: st.CapW, GridW: st.GridW, SoC: st.SoC,
-		Fenced: c.fenced, SafeMode: c.safeMode,
+		Fenced: c.fenced, SafeMode: c.safeMode, Iv: c.lastSeenIv,
 	}
 }
 
@@ -212,6 +289,7 @@ func (d *Daemon) ctrlReport() ctrlplane.Report {
 		// No UtilityCurve: see CtrlConfig — live mixes are not
 		// pre-characterizable.
 		Version: d.version,
+		Iv:      c.lastSeenIv,
 	}
 }
 
@@ -224,14 +302,16 @@ func (d *Daemon) ctrlRenew(req ctrlplane.LeaseRequest) ctrlplane.LeaseResponse {
 	st := d.status()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if req.Epoch != c.lastEpoch {
-		if req.Epoch < c.lastEpoch {
-			c.epochDrops++
+	if req.Epoch < c.lastEpoch {
+		c.epochDrops++
+	} else {
+		c.noteIvLocked(req.Iv, req.IvS)
+		if req.Epoch == c.lastEpoch && !c.fenced {
+			c.leaseS = req.LeaseS
+			c.leaseStart = c.cfg.Clock()
+			c.leased = req.LeaseS > 0 || req.LeaseIv > 0
+			c.grantIv, c.leaseIv, c.ivS = req.Iv, req.LeaseIv, req.IvS
 		}
-	} else if !c.fenced {
-		c.leaseS = req.LeaseS
-		c.leaseStart = time.Now()
-		c.leased = req.LeaseS > 0
 	}
 	var expires float64
 	if c.leased {
@@ -239,7 +319,7 @@ func (d *Daemon) ctrlRenew(req ctrlplane.LeaseRequest) ctrlplane.LeaseResponse {
 	}
 	return ctrlplane.LeaseResponse{
 		V: ctrlplane.ProtocolV, Epoch: c.lastEpoch, Server: c.cfg.ServerID,
-		CapW: st.CapW, ExpiresT: expires, Fenced: c.fenced,
+		CapW: st.CapW, ExpiresT: expires, Fenced: c.fenced, Iv: c.lastSeenIv,
 	}
 }
 

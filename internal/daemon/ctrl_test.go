@@ -291,8 +291,8 @@ func TestDaemonCtrlSafeModeDecay(t *testing.T) {
 	if h.CapW != 90 {
 		t.Fatalf("held cap %g W right after lapse, want 90", h.CapW)
 	}
-	if h.CtrlLeaseExpiresInS >= 0 {
-		t.Fatalf("lease reported fresh (%g s) after lapsing", h.CtrlLeaseExpiresInS)
+	if !h.CtrlLeaseExpired || h.CtrlLeaseExpiresInS != 0 {
+		t.Fatalf("lease reported fresh (expired=%v expiresIn=%g) after lapsing", h.CtrlLeaseExpired, h.CtrlLeaseExpiresInS)
 	}
 
 	// Past the hold window the decay walks the cap to the floor (200

@@ -237,11 +237,20 @@ type Health struct {
 	CtrlEpoch      uint64 `json:"ctrlEpoch"`
 	CtrlEpochDrops int    `json:"ctrlEpochDrops"`
 	// Lease freshness, so external drills can assert degradation
-	// without scraping /ctrl: CtrlLeased reports a live draw lease and
+	// without scraping /ctrl: CtrlLeased reports a live draw lease,
 	// CtrlLeaseExpiresInS the wall-clock seconds until it lapses
-	// (negative once lapsed, 0 when no lease is held).
+	// (clamped to 0 once lapsed; 0 when no lease is held), and
+	// CtrlLeaseExpired distinguishes a lapsed lease from a fresh or
+	// absent one — the old negative-seconds encoding conflated "just
+	// granted" rounding with "long expired".
 	CtrlLeased          bool    `json:"ctrlLeased"`
 	CtrlLeaseExpiresInS float64 `json:"ctrlLeaseExpiresInS"`
+	CtrlLeaseExpired    bool    `json:"ctrlLeaseExpired"`
+	// Protocol-clock state, present when grants carry interval leases:
+	// the highest coordinator interval observed and the skew between
+	// the coordinator's cadence and this daemon's clock, in intervals.
+	CtrlIv          uint64  `json:"ctrlIv,omitempty"`
+	CtrlClockSkewIv float64 `json:"ctrlClockSkewIv,omitempty"`
 	// Safe-mode degradation state: CtrlSafeMode reports the leaderless
 	// hold-and-decay in progress, CtrlSafeModeEntries counts lapses
 	// that entered it, and CtrlSafeModeCapW is the cap the decay last
@@ -287,10 +296,30 @@ func (d *Daemon) health() Health {
 		h.CtrlEpoch = c.lastEpoch
 		h.CtrlEpochDrops = c.epochDrops
 		h.CtrlLeased = c.leased
-		if c.leased && c.leaseS > 0 {
+		switch {
+		case c.leased && c.clockModeLocked():
+			// Interval lease: remaining wall time at the coordinator's
+			// nominal cadence.
+			boundary := c.grantIv + c.leaseIv
+			var remaining float64
+			if boundary > c.lastSeenIv {
+				remaining = float64(boundary-c.lastSeenIv)*c.ivS - c.cfg.Clock().Sub(c.lastSeenAt).Seconds()
+			}
+			if remaining <= 0 {
+				remaining = 0
+				h.CtrlLeaseExpired = true
+			}
+			h.CtrlLeaseExpiresInS = remaining
+		case c.leased && c.leaseS > 0:
 			expiry := c.leaseStart.Add(time.Duration(c.leaseS * float64(time.Second)))
-			h.CtrlLeaseExpiresInS = time.Until(expiry).Seconds()
+			if rem := c.cfg.Clock().Sub(expiry).Seconds(); rem >= 0 {
+				h.CtrlLeaseExpired = true
+			} else {
+				h.CtrlLeaseExpiresInS = -rem
+			}
 		}
+		h.CtrlIv = c.lastSeenIv
+		h.CtrlClockSkewIv = c.skewIv
 		h.CtrlSafeMode = c.safeMode
 		h.CtrlSafeModeEntries = c.safeEntries
 		if c.safeMode {

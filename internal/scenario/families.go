@@ -144,6 +144,60 @@ func genHierarchyShardLoss(c *Campaign, rng *rand.Rand) {
 	c.TwoTier = tt
 }
 
+// genClockChaos builds a protocol-clock campaign: part of the fleet
+// runs on fast local clocks, the coordinator stalls for several
+// intervals exactly while the cluster cap collapses (leases must age
+// out on the agents' own interval extrapolation, and the held budgets
+// must decay on interval boundaries), and later the coordinator
+// crash-restarts mid-run — the replacement has to rehydrate its
+// interval counter from fleet scrapes before it may mint.
+func genClockChaos(c *Campaign, rng *rand.Rand) {
+	cfg := c.Config
+	base := float64(cfg.Servers) * uniform(rng, 150, 180)
+	c.Caps = capSchedule(cfg, base)
+	perShare := base / float64(cfg.Servers)
+	c.LeaseIv = 2
+	c.SafeMode = ctrlplane.SafeModeConfig{
+		HoldS:      cfg.StepS,
+		DecayWPerS: uniform(rng, 0.01, 0.05),
+		FloorW:     math.Min(20, perShare/2),
+	}
+	// Skewed clocks: up to half the fleet runs fast by a fixed rate —
+	// under half an interval of drift per interval, so a skewed agent
+	// ages leases early but never spuriously inside a healthy cadence.
+	k := 1 + rng.Intn(cfg.Servers/2)
+	for _, v := range rng.Perm(cfg.Servers)[:k] {
+		rate := uniform(rng, 0.02, 0.10)
+		c.Events = append(c.Events, Event{Step: 0, Kind: "skew", Agent: v, Value: rate,
+			Detail: fmt.Sprintf("local clock runs %.1f%% fast", rate*100)})
+	}
+	// The stall: the coordinator goes silent past the two-interval
+	// lease, and the cap drops while nobody can re-apportion it — the
+	// fleet must ride on held grants decaying along interval
+	// boundaries, not on wall-second guesses.
+	at := 3 + rng.Intn(cfg.Steps/3)
+	dur := 3 + rng.Intn(2)
+	depth := uniform(rng, 0.50, 0.70)
+	for s := at + 1; s < at+dur && s < cfg.Steps; s++ {
+		c.Caps[s].V = base * depth
+	}
+	c.Events = append(c.Events,
+		Event{Step: at, Kind: "clock-pause", Agent: -1,
+			Detail: fmt.Sprintf("coordinator stalls for %d steps; cap drops to %.0f%% mid-stall", dur, depth*100)},
+		Event{Step: at + dur, Kind: "clock-resume", Agent: -1,
+			Detail: "coordinator resumes minting on its own counter"})
+	// The restart: a fresh coordinator under the same epoch. It owns no
+	// interval history — granting before rehydrating from a majority of
+	// scrapes could re-issue interval numbers, which the duplicate-mint
+	// invariant would catch.
+	rAt := at + dur + 2 + rng.Intn(2)
+	if rAt > cfg.Steps-3 {
+		rAt = cfg.Steps - 3
+	}
+	c.Events = append(c.Events, Event{Step: rAt, Kind: "coord-restart", Agent: -1,
+		Detail: "coordinator crash-restarts; interval counter rehydrates from fleet scrapes"})
+}
+
 // genFlashCrowd builds demand surge waves over a battery fleet under a
 // constant cap: every wave pushes fleet demand past the cap, and the
 // batteries peak-shave it.

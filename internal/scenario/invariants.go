@@ -28,9 +28,13 @@ type Result struct {
 	// the "did the fleet cliff to zero?" witness.
 	LeaderlessMinCapW float64
 	// LeaseExpiries and Rejoins mirror the coordinator's membership
-	// counters (control-plane families).
+	// counters (control-plane families), accumulated across coordinator
+	// restarts.
 	LeaseExpiries int
 	Rejoins       int
+	// Rehydrations counts interval-counter rehydrations from fleet
+	// scrapes (protocol-clock campaigns with coordinator restarts).
+	Rehydrations int
 	// FinalEpoch is the leadership epoch the run ended under.
 	FinalEpoch uint64
 	// Failovers, ShardExpiries, and ShardReclaims count the hierarchy
@@ -72,6 +76,12 @@ type ctrlChecker struct {
 	prevCapW     float64
 	lastLeadCapW float64
 	lastEpoch    uint64
+	// clock marks a protocol-clock campaign; lastIv is then the highest
+	// interval any coordinator incarnation has minted — a mint at or
+	// below it means a restarted coordinator re-issued an interval
+	// number, the exact duplication rehydration exists to prevent.
+	clock  bool
+	lastIv uint64
 }
 
 // check audits one control interval after the agents ticked. The cap
@@ -133,8 +143,20 @@ func (ck *ctrlChecker) check(r *Result, step int, t, capW float64, led bool,
 			r.LeaderlessMinCapW = capSum
 		}
 	}
-	r.logf("step=%03d t=%.0f cap=%.3f capsum=%.3f grid=%.3f granted=%d safe=%d fenced=%d epoch=%d led=%d",
-		step, t, capW, capSum, gridSum, granted, safe, fenced, epoch, b2i(led))
+	if ck.clock {
+		if led && res.Iv > 0 {
+			if res.Iv <= ck.lastIv {
+				r.violatef("step=%03d coordinator minted interval %d, already used through %d",
+					step, res.Iv, ck.lastIv)
+			}
+			ck.lastIv = res.Iv
+		}
+		r.logf("step=%03d t=%.0f cap=%.3f capsum=%.3f grid=%.3f granted=%d safe=%d fenced=%d epoch=%d led=%d iv=%d rehydrating=%d",
+			step, t, capW, capSum, gridSum, granted, safe, fenced, epoch, b2i(led), res.Iv, b2i(res.Rehydrating))
+	} else {
+		r.logf("step=%03d t=%.0f cap=%.3f capsum=%.3f grid=%.3f granted=%d safe=%d fenced=%d epoch=%d led=%d",
+			step, t, capW, capSum, gridSum, granted, safe, fenced, epoch, b2i(led))
+	}
 	ck.prevCapW = capW
 	ck.lastEpoch = epoch
 }

@@ -114,7 +114,7 @@ func runCtrl(c Campaign) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	coord, err := ctrlplane.New(ctrlplane.Config{
+	ccfg := ctrlplane.Config{
 		Agents: flt.Refs(),
 		// One step of lease: a partitioned agent fences (or enters safe
 		// mode) within the interval after its last grant, and MissK=1
@@ -125,10 +125,18 @@ func runCtrl(c Campaign) (*Result, error) {
 		RPCTimeout: 5 * time.Second,
 		Transport:  inj,
 		Seed:       c.Config.Seed,
-	})
+	}
+	if c.LeaseIv > 0 {
+		// Protocol-clock leases: LeaseIv intervals at the nominal step
+		// length replace LeaseS seconds for every member.
+		ccfg.LeaseIv = c.LeaseIv
+		ccfg.IntervalS = c.Config.StepS
+	}
+	coord, err := ctrlplane.New(ccfg)
 	if err != nil {
 		return nil, err
 	}
+	defer func() { coord.Close() }()
 	hosts := make([]string, 0, len(flt.Refs()))
 	for _, ref := range flt.Refs() {
 		hosts = append(hosts, strings.TrimPrefix(ref.URL, "http://"))
@@ -139,9 +147,11 @@ func runCtrl(c Campaign) (*Result, error) {
 	}
 
 	r := &Result{Campaign: c, LeaderlessMinCapW: math.Inf(1)}
-	ck := ctrlChecker{}
+	ck := ctrlChecker{clock: c.LeaseIv > 0}
 	ctx := context.Background()
 	leaderDown := false
+	skew := make([]float64, c.Config.Servers)
+	var accExpiries, accRejoins, accRehyd int
 	for s := 0; s < c.Config.Steps; s++ {
 		for _, ev := range eventsAt[s] {
 			r.logf("event step=%03d kind=%s agent=%d %s", ev.Step, ev.Kind, ev.Agent, ev.Detail)
@@ -159,6 +169,28 @@ func runCtrl(c Campaign) (*Result, error) {
 				// afresh — no lease from the old epoch is renewed.
 				leaderDown = false
 				coord.SetEpoch(coord.Epoch() + 1)
+			case "skew":
+				// The victim's local clock runs fast by this rate for
+				// the rest of the run.
+				skew[ev.Agent] = ev.Value
+			case "clock-pause":
+				// A stall, not a crash: the same coordinator resumes
+				// later on its own counter, no epoch bump.
+				leaderDown = true
+			case "clock-resume":
+				leaderDown = false
+			case "coord-restart":
+				// Crash-restart under the same epoch: the replacement
+				// owns no interval history and must rehydrate it from
+				// fleet scrapes before minting.
+				st := coord.Stats()
+				accExpiries += st.LeaseExpiries
+				accRejoins += st.Rejoins
+				accRehyd += st.Rehydrations
+				coord.Close()
+				if coord, err = ctrlplane.New(ccfg); err != nil {
+					return r, err
+				}
 			}
 		}
 		t, capW := c.Caps[s].T, c.Caps[s].V
@@ -171,17 +203,31 @@ func runCtrl(c Campaign) (*Result, error) {
 		}
 		// The agents' own clocks advance regardless of the leader — the
 		// daemon-side ticker is exactly what fences a stale lease when
-		// the coordinator is gone.
-		if err := flt.Tick(t); err != nil {
-			return r, err
+		// the coordinator is gone. A skewed agent's clock reads ahead of
+		// trace time by its rate error.
+		for i, a := range flt.Agents {
+			if err := a.Tick(t * (1 + skew[i])); err != nil {
+				return r, err
+			}
 		}
 		ck.check(r, s, t, capW, led, res, flt.Agents, coord.Epoch())
 	}
 	st := coord.Stats()
-	r.LeaseExpiries, r.Rejoins = st.LeaseExpiries, st.Rejoins
+	r.LeaseExpiries, r.Rejoins = accExpiries+st.LeaseExpiries, accRejoins+st.Rejoins
+	r.Rehydrations = accRehyd + st.Rehydrations
 	r.FinalEpoch = coord.Epoch()
+	if ck.clock {
+		maxSkew := 0.0
+		for _, a := range flt.Agents {
+			if sk := math.Abs(a.ClockSkewIv()); sk > maxSkew {
+				maxSkew = sk
+			}
+		}
+		r.logf("clock summary lastIv=%d rehydrations=%d maxSkewIv=%.3f",
+			ck.lastIv, r.Rehydrations, maxSkew)
+	}
 	r.logf("summary steps=%d expiries=%d rejoins=%d epoch=%d safeModeSteps=%d",
-		c.Config.Steps, st.LeaseExpiries, st.Rejoins, r.FinalEpoch, r.SafeModeSteps)
+		c.Config.Steps, r.LeaseExpiries, r.Rejoins, r.FinalEpoch, r.SafeModeSteps)
 	return r, nil
 }
 

@@ -70,6 +70,13 @@ const (
 	// invariant: the cluster cap is never exceeded, not even during the
 	// failover or the dead shard's reservation window.
 	FamilyHierarchyShardLoss Family = "hierarchy-shard-loss"
+	// FamilyClockChaos drives a protocol-clock fleet through clock
+	// trouble: agents whose local clocks run fast, a coordinator stall
+	// spanning a cap emergency (leases age out on the agents' own
+	// interval extrapolation), and a coordinator crash-restart that
+	// must rehydrate its interval counter from fleet scrapes instead of
+	// re-issuing interval numbers.
+	FamilyClockChaos Family = "clock-chaos"
 )
 
 // Description summarizes what the family stresses, for -list output
@@ -90,6 +97,8 @@ func (f Family) Description() string {
 		return "network partition during a cap emergency; fencing holds the line"
 	case FamilyHierarchyShardLoss:
 		return "two-tier budget tree loses a shard coordinator; the cap holds through failover"
+	case FamilyClockChaos:
+		return "skewed agent clocks, a coordinator stall, and a crash-restart under protocol-clock leases"
 	default:
 		return ""
 	}
@@ -100,7 +109,7 @@ func Families() []Family {
 	return []Family{
 		FamilyCapDrop, FamilyFlashCrowd, FamilyPriceSchedule,
 		FamilyBatteryFleet, FamilyRollingRestart, FamilyPartitionEmergency,
-		FamilyHierarchyShardLoss,
+		FamilyHierarchyShardLoss, FamilyClockChaos,
 	}
 }
 
@@ -118,7 +127,7 @@ func ParseFamily(name string) (Family, error) {
 // plane (as opposed to the pure ESD fleet planner).
 func (f Family) controlPlane() bool {
 	switch f {
-	case FamilyCapDrop, FamilyRollingRestart, FamilyPartitionEmergency:
+	case FamilyCapDrop, FamilyRollingRestart, FamilyPartitionEmergency, FamilyClockChaos:
 		return true
 	}
 	return false
@@ -178,6 +187,9 @@ type Event struct {
 	Kind string
 	// Agent is the target fleet index, or -1 for a cluster-wide event.
 	Agent int
+	// Value carries the event's numeric parameter — a skew event's
+	// clock-rate error, for example. Zero for events that need none.
+	Value float64
 	// Detail is a human-readable note, stable across runs.
 	Detail string
 }
@@ -207,6 +219,10 @@ type Campaign struct {
 	// SafeMode configures leaderless degradation for the fleet's agents
 	// (zero: agents fence to 0 W on lease lapse).
 	SafeMode ctrlplane.SafeModeConfig
+	// LeaseIv, when positive, runs the control plane on protocol-clock
+	// leases: grants are valid LeaseIv coordinator intervals (aged at
+	// StepS per interval) instead of LeaseS seconds.
+	LeaseIv int
 	// TwoTier sizes the hierarchical drill (hierarchy families only).
 	TwoTier *ctrlplane.TwoTierOptions
 }
@@ -236,6 +252,8 @@ func Generate(cfg Config) (Campaign, error) {
 		genPartitionEmergency(&c, rng)
 	case FamilyHierarchyShardLoss:
 		genHierarchyShardLoss(&c, rng)
+	case FamilyClockChaos:
+		genClockChaos(&c, rng)
 	default:
 		return Campaign{}, fmt.Errorf("scenario: unknown family %q", cfg.Family)
 	}

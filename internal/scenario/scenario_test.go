@@ -167,6 +167,48 @@ func TestCampaignHierarchyShardLoss(t *testing.T) {
 	}
 }
 
+// Clock chaos: skewed agent clocks, a coordinator stall across a cap
+// emergency, and a crash-restart — all under protocol-clock leases.
+// The stall must put the fleet through interval-aged safe mode, the
+// restarted coordinator must rehydrate its counter from fleet scrapes
+// (the duplicate-mint invariant runs every leading step), and the run
+// must end with everyone re-granted under the original epoch.
+func TestCampaignClockChaos(t *testing.T) {
+	r := mustRun(t, Config{Family: FamilyClockChaos, Seed: 7})
+	if r.Campaign.LeaseIv == 0 {
+		t.Fatal("campaign did not select protocol-clock leases")
+	}
+	if r.SafeModeSteps == 0 {
+		t.Fatal("no step rode the stall in safe mode")
+	}
+	if math.IsInf(r.LeaderlessMinCapW, 1) {
+		t.Fatal("never observed a leaderless interval")
+	}
+	floorSum := float64(r.Campaign.Config.Servers) * r.Campaign.SafeMode.FloorW
+	if r.LeaderlessMinCapW < floorSum-1e-6 {
+		t.Fatalf("stalled fleet cap sum fell to %.1f W, below the %.1f W floor sum",
+			r.LeaderlessMinCapW, floorSum)
+	}
+	if r.Rehydrations == 0 {
+		t.Fatal("the scripted crash-restart never rehydrated the interval counter")
+	}
+	if r.FinalEpoch != 1 {
+		t.Fatalf("final epoch %d: a stall and a same-epoch restart must not elect anyone", r.FinalEpoch)
+	}
+	skewed := false
+	for _, ev := range r.Campaign.Events {
+		if ev.Kind == "skew" {
+			skewed = true
+			if ev.Value <= 0 || ev.Value >= 0.5 {
+				t.Fatalf("skew rate %g outside the scripted band", ev.Value)
+			}
+		}
+	}
+	if !skewed {
+		t.Fatal("no agent clock was skewed")
+	}
+}
+
 // The replay guarantee: running the same campaign twice produces the
 // same invariant log, byte for byte — including the control-plane
 // families, whose faults are scripted rather than rolled.
@@ -176,6 +218,7 @@ func TestReplayDeterminism(t *testing.T) {
 		{Family: FamilyRollingRestart, Seed: 11},
 		{Family: FamilyFlashCrowd, Seed: 7},
 		{Family: FamilyHierarchyShardLoss, Seed: 7},
+		{Family: FamilyClockChaos, Seed: 7},
 	} {
 		cfg := cfg
 		t.Run(string(cfg.Family), func(t *testing.T) {
