@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"powerstruggle/internal/buildinfo"
+	"powerstruggle/internal/cluster"
 	"powerstruggle/internal/ctrlplane"
 )
 
@@ -39,6 +40,11 @@ type baselineFile struct {
 	// Hier is the two-tier matrix: the whole hierarchical control loop
 	// (every shard step plus the global step) timed per interval.
 	Hier []ctrlplane.HierBenchCell `json:"hier_cells,omitempty"`
+	// DP is the apportioning-DP matrix: the full ApportionCurves
+	// recompute against the incremental fast path when k of n member
+	// curves change per interval — the hot path once a learning fleet's
+	// curves move between intervals.
+	DP []cluster.DPBenchCell `json:"dp_cells,omitempty"`
 }
 
 const scenarioDesc = "constant cap, steady-state renewals, constant-time backend, shared loopback listener"
@@ -51,6 +57,7 @@ func main() {
 		fleets     = flag.String("fleets", "10,100,1000", "comma-separated fleet sizes to measure")
 		transports = flag.String("transports", "json,binary", "comma-separated transports to measure")
 		hier       = flag.String("hier", "1000x8", "two-tier cells to measure as AGENTSxSHARDS, comma-separated (empty: skip the binary-2tier matrix)")
+		dp         = flag.String("dp", "128x0,128x1,128x4", "apportioning-DP cells to measure as MEMBERSxCHANGED, comma-separated (empty: skip the DP matrix)")
 		runs       = flag.Int("runs", 5, "samples per cell (minimum is reported; policy floor is 5)")
 		intervals  = flag.Int("intervals", 10, "measured control intervals per sample")
 		inflight   = flag.Int("max-inflight", 64, "coordinator fan-out width (identical across cells)")
@@ -111,11 +118,31 @@ func main() {
 		hierCells = append(hierCells, cell)
 	}
 
+	dpSpecs, err := parseDP(*dp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var dpCells []cluster.DPBenchCell
+	for _, dc := range dpSpecs {
+		log.Printf("measuring dp/%d with %d curves changing per interval (%d runs x %d intervals)...",
+			dc.members, dc.changed, *runs, *intervals)
+		cell, err := cluster.RunDPBench(dc.members, dc.changed, *runs, *intervals)
+		if err != nil {
+			log.Fatalf("dp/%dx%d: %v", dc.members, dc.changed, err)
+		}
+		dpCells = append(dpCells, cell)
+	}
+
 	printTable(cells)
 	printHierTable(hierCells)
+	printDPTable(dpCells)
 	failed := false
 	if err := checkBinaryWins(cells); err != nil {
 		log.Printf("FAIL: %v", err)
+		failed = true
+	}
+	for _, e := range checkDPWins(dpCells) {
+		log.Printf("FAIL: %v", e)
 		failed = true
 	}
 
@@ -124,7 +151,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if errs := compareBaseline(base, cells, hierCells, *gate); len(errs) > 0 {
+		if errs := compareBaseline(base, cells, hierCells, dpCells, *gate); len(errs) > 0 {
 			for _, e := range errs {
 				log.Printf("FAIL: %v", e)
 			}
@@ -145,6 +172,7 @@ func main() {
 			GoVersion: runtime.Version(),
 			Cells:     cells,
 			Hier:      hierCells,
+			DP:        dpCells,
 		}
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
@@ -199,6 +227,33 @@ func parseHier(s string) ([]hierSpec, error) {
 	return specs, nil
 }
 
+// dpSpec sizes one apportioning-DP cell.
+type dpSpec struct {
+	members, changed int
+}
+
+// parseDP accepts "MEMBERSxCHANGED,..." (e.g. "128x0,128x1,128x4").
+func parseDP(s string) ([]dpSpec, error) {
+	var specs []dpSpec
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		m, ch, ok := strings.Cut(tok, "x")
+		if !ok {
+			return nil, fmt.Errorf("bad dp cell %q (want MEMBERSxCHANGED)", tok)
+		}
+		members, err1 := strconv.Atoi(strings.TrimSpace(m))
+		changed, err2 := strconv.Atoi(strings.TrimSpace(ch))
+		if err1 != nil || err2 != nil || members <= 0 || changed < 0 || changed > members {
+			return nil, fmt.Errorf("bad dp cell %q (want MEMBERSxCHANGED, 0 <= changed <= members)", tok)
+		}
+		specs = append(specs, dpSpec{members: members, changed: changed})
+	}
+	return specs, nil
+}
+
 func printTable(cells []ctrlplane.WireBenchCell) {
 	fmt.Printf("%-9s %7s %15s %14s %7s %8s %13s\n",
 		"transport", "agents", "ns/interval", "allocs/agent", "dials", "reuses", "batch frames")
@@ -217,6 +272,64 @@ func printHierTable(cells []ctrlplane.HierBenchCell) {
 	for _, c := range cells {
 		fmt.Printf("%-12s %7d %7d %15d\n", c.Transport, c.Agents, c.Shards, c.NsPerInterval)
 	}
+}
+
+func printDPTable(cells []cluster.DPBenchCell) {
+	if len(cells) == 0 {
+		return
+	}
+	fmt.Printf("%-8s %8s %15s %15s %9s %13s\n",
+		"members", "changed", "full ns/iv", "inc ns/iv", "speedup", "layers/iv")
+	for _, c := range cells {
+		fmt.Printf("%-8d %8d %15d %15d %9.1f %13.1f\n",
+			c.Members, c.Changed, c.FullNsPerInterval, c.IncNsPerInterval,
+			c.Speedup, c.MeanLayersRecomputed)
+	}
+}
+
+// checkDPWins enforces the incremental apportioner's structural claim
+// on every measured cell: it rebuilds strictly fewer member layers than
+// the full DP whenever some curves held still, rebuilds none at all
+// when only the cap moved, and turns the saved layers into wall-clock
+// wins when few curves change.
+func checkDPWins(cells []cluster.DPBenchCell) []error {
+	var errs []error
+	for _, c := range cells {
+		if c.Changed == 0 {
+			if c.MeanLayersRecomputed != 0 {
+				errs = append(errs, fmt.Errorf(
+					"dp/%dx0 rebuilt %.1f layers/interval on cap-only changes, want 0",
+					c.Members, c.MeanLayersRecomputed))
+			}
+			if c.Speedup < 3 {
+				errs = append(errs, fmt.Errorf(
+					"dp/%dx0 cap-only speedup %.1fx under the 3x floor", c.Members, c.Speedup))
+			}
+			continue
+		}
+		if c.Changed*8 <= c.Members { // k << n: the sublinear regime
+			if c.MeanLayersRecomputed >= 0.9*float64(c.Members) {
+				errs = append(errs, fmt.Errorf(
+					"dp/%dx%d rebuilt %.1f layers/interval, not sublinear in %d members",
+					c.Members, c.Changed, c.MeanLayersRecomputed, c.Members))
+			}
+			if c.IncNsPerInterval >= c.FullNsPerInterval {
+				errs = append(errs, fmt.Errorf(
+					"dp/%dx%d incremental %d ns does not beat full %d ns",
+					c.Members, c.Changed, c.IncNsPerInterval, c.FullNsPerInterval))
+			}
+		}
+	}
+	return errs
+}
+
+func findDPCell(cells []cluster.DPBenchCell, members, changed int) *cluster.DPBenchCell {
+	for i := range cells {
+		if cells[i].Members == members && cells[i].Changed == changed {
+			return &cells[i]
+		}
+	}
+	return nil
 }
 
 func findHierCell(cells []ctrlplane.HierBenchCell, agents, shards int) *ctrlplane.HierBenchCell {
@@ -282,7 +395,7 @@ func readBaseline(path string) (baselineFile, error) {
 // ratio of the reference cell (json at the smallest common fleet size)
 // between this host and the baseline host — so only relative
 // regressions fail. Allocation counts compare directly.
-func compareBaseline(base baselineFile, cells []ctrlplane.WireBenchCell, hier []ctrlplane.HierBenchCell, gate float64) []error {
+func compareBaseline(base baselineFile, cells []ctrlplane.WireBenchCell, hier []ctrlplane.HierBenchCell, dp []cluster.DPBenchCell, gate float64) []error {
 	refAgents := 0
 	for _, bc := range base.Cells {
 		if bc.Transport != "json" {
@@ -338,6 +451,36 @@ func compareBaseline(base baselineFile, cells []ctrlplane.WireBenchCell, hier []
 			errs = append(errs, fmt.Errorf(
 				"%s/%dx%d interval latency regressed: %.0f ns normalized (host factor %.2f) vs baseline %d ns (gate %.0f%%)",
 				bc.Transport, bc.Agents, bc.Shards, normNs, hostFactor, bc.NsPerInterval, gate*100))
+		}
+	}
+	// The DP cells gate on the incremental path's latency (host-factor
+	// normalized like every wall-clock number) and on the structural
+	// metric directly: mean layers rebuilt per interval is seeded and
+	// host-independent, so it compares exactly.
+	for i := range base.DP {
+		bc := &base.DP[i]
+		cur := findDPCell(dp, bc.Members, bc.Changed)
+		if cur == nil {
+			errs = append(errs, fmt.Errorf("baseline cell dp/%dx%d not measured in this run", bc.Members, bc.Changed))
+			continue
+		}
+		if cur.Runs != bc.Runs || cur.Intervals != bc.Intervals {
+			// A different sampling plan walks a different prefix of the
+			// seeded mutation stream: neither the layer counts nor the
+			// per-interval minima are comparable. The structural gate
+			// (checkDPWins) still ran on this run's own numbers.
+			continue
+		}
+		normNs := float64(cur.IncNsPerInterval) / hostFactor
+		if normNs > float64(bc.IncNsPerInterval)*(1+gate) {
+			errs = append(errs, fmt.Errorf(
+				"dp/%dx%d incremental latency regressed: %.0f ns normalized (host factor %.2f) vs baseline %d ns (gate %.0f%%)",
+				bc.Members, bc.Changed, normNs, hostFactor, bc.IncNsPerInterval, gate*100))
+		}
+		if cur.MeanLayersRecomputed > bc.MeanLayersRecomputed {
+			errs = append(errs, fmt.Errorf(
+				"dp/%dx%d rebuilt %.1f layers/interval vs baseline %.1f: the incremental cache lost reuse",
+				bc.Members, bc.Changed, cur.MeanLayersRecomputed, bc.MeanLayersRecomputed))
 		}
 	}
 	return errs

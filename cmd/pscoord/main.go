@@ -75,6 +75,7 @@ func main() {
 		brkFails   = flag.Int("breaker-fails", 0, "consecutive failed scrapes before an agent's circuit breaker opens (0: disabled)")
 		brkOpen    = flag.Int("breaker-open", 0, "control intervals an open breaker skips before a half-open probe (0: default 4)")
 		floorW     = flag.Float64("floor", 0, "per-server idle floor for the utility DP (0: learn from agent reports)")
+		confFloor  = flag.Float64("curve-conf-floor", 0, "confidence floor for learned utility curves: a member reporting lower coverage takes the curveless even share instead of entering the utility DP (0: default 0.75; negative: admit any learned curve)")
 		transport  = flag.String("transport", "json", "default wire for scheme-less addresses: json (HTTP) or binary (pooled TCP frames); explicit http:// or tcp:// URLs override per agent")
 		listen     = flag.String("listen", "", "serve /ctrl/register (agent self-registration; the fleet may then start empty) and /ctrl/leader on this address")
 		binListen  = flag.String("binary-listen", "", "serve the register/vote/leader surface as binary frames on this TCP address (agents announce to tcp://<addr>)")
@@ -152,6 +153,7 @@ func main() {
 		BreakerFails:         *brkFails,
 		BreakerOpenIntervals: *brkOpen,
 		FloorW:               *floorW,
+		CurveConfFloor:       *confFloor,
 		Telemetry:            hub,
 	}
 	if *leaseIv > 0 {

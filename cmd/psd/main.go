@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"powerstruggle/internal/buildinfo"
+	"powerstruggle/internal/cf"
 	"powerstruggle/internal/ctrlplane"
 	"powerstruggle/internal/daemon"
 	"powerstruggle/internal/faults"
@@ -61,15 +62,17 @@ func main() {
 		telemRing   = flag.Int("telemetry-ring", 0, "span ring size in events (0: 65536)")
 		pprofOn     = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 
-		ctrlServer   = flag.Int("ctrl-server", -1, "join a pscoord control plane as this fleet index (-1: standalone); serves /ctrl/assign, /ctrl/report, /ctrl/lease")
-		ctrlFence    = flag.Float64("ctrl-fence", 0, "cap to clamp to when the coordinator's draw lease lapses (0: the platform idle floor)")
-		ctrlDecay    = flag.Float64("ctrl-safemode-decay", 0, "leaderless safe mode: watts per second to decay the held cap after lease lapse (0: cliff straight to the fence cap)")
-		ctrlHold     = flag.Float64("ctrl-safemode-hold", 0, "leaderless safe mode: seconds to hold the last granted cap before decaying")
-		ctrlFloor    = flag.Float64("ctrl-safemode-floor", 0, "leaderless safe mode: decay target in watts (0: the fence cap)")
-		ctrlAnnounce = flag.String("ctrl-announce", "", "comma-separated coordinator base URLs to register with at boot (every one, so standbys are warm too); scheme-less addresses get the -transport scheme")
-		ctrlAdvert   = flag.String("ctrl-advertise", "", "base URL coordinators should dial back (default: the -transport scheme on the matching listen address)")
-		ctrlBinary   = flag.String("ctrl-binary-listen", "", "serve the control plane as binary frames on this TCP address besides the HTTP routes")
-		transport    = flag.String("transport", "json", "default wire for scheme-less -ctrl-announce addresses and the advertised URL: json (HTTP) or binary (TCP frames)")
+		ctrlServer    = flag.Int("ctrl-server", -1, "join a pscoord control plane as this fleet index (-1: standalone); serves /ctrl/assign, /ctrl/report, /ctrl/lease")
+		ctrlFence     = flag.Float64("ctrl-fence", 0, "cap to clamp to when the coordinator's draw lease lapses (0: the platform idle floor)")
+		ctrlDecay     = flag.Float64("ctrl-safemode-decay", 0, "leaderless safe mode: watts per second to decay the held cap after lease lapse (0: cliff straight to the fence cap)")
+		ctrlHold      = flag.Float64("ctrl-safemode-hold", 0, "leaderless safe mode: seconds to hold the last granted cap before decaying")
+		ctrlFloor     = flag.Float64("ctrl-safemode-floor", 0, "leaderless safe mode: decay target in watts (0: the fence cap)")
+		ctrlLearn     = flag.Float64("ctrl-learn", 0, "online utility learning: epsilon-greedy probe fraction in (0,1]; the daemon joins curveless, self-caps at or below its grants to sample its cap-utility curve, and reports the learned curve with its coverage (0: report the pre-characterized curve)")
+		ctrlLearnSeed = flag.Int64("ctrl-learn-seed", 1, "probe-sequence seed for -ctrl-learn: the same seed replays the same probe order")
+		ctrlAnnounce  = flag.String("ctrl-announce", "", "comma-separated coordinator base URLs to register with at boot (every one, so standbys are warm too); scheme-less addresses get the -transport scheme")
+		ctrlAdvert    = flag.String("ctrl-advertise", "", "base URL coordinators should dial back (default: the -transport scheme on the matching listen address)")
+		ctrlBinary    = flag.String("ctrl-binary-listen", "", "serve the control plane as binary frames on this TCP address besides the HTTP routes")
+		transport     = flag.String("transport", "json", "default wire for scheme-less -ctrl-announce addresses and the advertised URL: json (HTTP) or binary (TCP frames)")
 
 		version = flag.Bool("version", false, "print version and exit")
 	)
@@ -114,8 +117,14 @@ func main() {
 				HoldS: *ctrlHold, DecayWPerS: *ctrlDecay, FloorW: *ctrlFloor,
 			},
 		}
+		if *ctrlLearn > 0 {
+			cfg.Learn = &cf.OnlineConfig{Epsilon: *ctrlLearn, Seed: *ctrlLearnSeed}
+		}
 		if err := d.EnableCtrl(cfg); err != nil {
 			log.Fatal(err)
+		}
+		if cfg.Learn != nil {
+			log.Printf("online utility learning enabled: epsilon %.2f, seed %d", *ctrlLearn, *ctrlLearnSeed)
 		}
 		if cfg.SafeMode.Enabled() {
 			log.Printf("control plane enabled: fleet index %d, safe-mode decay on lease lapse", *ctrlServer)

@@ -1,0 +1,395 @@
+// Online utility learning: a live server cannot be profiled offline
+// like a trace mix, so the estimator here learns its cap→heartbeat-rate
+// curve from the samples the control loop produces anyway — one
+// (enforced cap, observed rate) pair per interval — and fills the cells
+// the loop has not yet visited with recursive least-squares over a
+// small basis plus the package's matrix factorization over reference
+// rows, as the paper's CF learner prescribes for new applications.
+package cf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"powerstruggle/internal/cluster"
+)
+
+// DefaultProbeEpsilon is the exploration rate of the epsilon-greedy
+// probe: the fraction of intervals an unconverged estimator self-caps
+// to an unsampled cell instead of exploiting the full grant.
+const DefaultProbeEpsilon = 0.2
+
+// CapGrid samples the learnable cap levels: floorW upward in stepW
+// strides, with the nameplate as the final cell. The grid is strictly
+// increasing, so curves built on it pass wire validation.
+func CapGrid(floorW, nameplateW, stepW float64) []float64 {
+	if stepW <= 0 || nameplateW < floorW || floorW < 0 {
+		return nil
+	}
+	var out []float64
+	for c := floorW; c < nameplateW; c += stepW {
+		out = append(out, c)
+	}
+	return append(out, nameplateW)
+}
+
+// CurveFromRates builds the cap-utility curve a fully-converged
+// estimator reports: performance normalized to the rate at the top
+// cell, grid draw taken as the cap itself (the estimator observes
+// heartbeats, not meters). Tests construct oracle curves through this
+// same helper so a converged learner matches them bit for bit.
+func CurveFromRates(grid, rates []float64) []cluster.CapPoint {
+	if len(grid) != len(rates) || len(grid) == 0 {
+		return nil
+	}
+	anchor := rates[len(rates)-1]
+	if !(anchor > 0) {
+		return nil
+	}
+	out := make([]cluster.CapPoint, len(grid))
+	for j := range grid {
+		out[j] = cluster.CapPoint{CapW: grid[j], Perf: rates[j] / anchor, GridW: grid[j]}
+	}
+	return out
+}
+
+// OnlineConfig parameterizes an OnlineEstimator.
+type OnlineConfig struct {
+	// FloorW and NameplateW bound the cap grid (the server's idle floor
+	// and nameplate draw).
+	FloorW, NameplateW float64
+	// StepW is the grid stride; 0 means cluster.ServerCapStepW, which
+	// keeps learned curves on the apportioning DP's own grid.
+	StepW float64
+	// Epsilon is the probe's exploration rate; 0 means
+	// DefaultProbeEpsilon.
+	Epsilon float64
+	// MinSamples is how often every cell must be observed before the
+	// estimator declares convergence and stops probing; 0 means 1.
+	MinSamples int
+	// Seed fixes the probe's random source.
+	Seed int64
+	// Reference optionally carries heartbeat-rate rows of previously
+	// characterized servers on this same grid; when present, unsampled
+	// cells are filled by matrix factorization over them (EstimateApp's
+	// online path for whole servers). Without references the RLS basis
+	// fit extrapolates alone.
+	Reference [][]float64
+	// Model configures the factorization; zero means
+	// DefaultModelConfig().
+	Model ModelConfig
+}
+
+// rlsDim is the basis size: [1, x, x^2, sqrt(x)] over the normalized
+// cap position — enough to bend like a cap-utility curve, small enough
+// to converge from a handful of intervals.
+const rlsDim = 4
+
+// OnlineEstimator learns one server's cap→rate curve online. Not safe
+// for concurrent use; callers (agent tick, daemon control state) hold
+// their own locks.
+type OnlineEstimator struct {
+	cfg  OnlineConfig
+	grid []float64
+	// Per-cell empirical state. mean is a running mean, which for a
+	// deterministic workload repeatedly observed at the same cell stays
+	// bitwise equal to the observed value — the property the mixed
+	// fleet parity drill leans on.
+	mean  []float64
+	count []int
+	rng   *rand.Rand
+
+	// Recursive least squares over the basis, in log-rate space.
+	w   [rlsDim]float64
+	p   [rlsDim][rlsDim]float64
+	nrm float64 // 1/(nameplate-floor), 0 when the grid is a single cell
+	obs int     // total accepted observations
+
+	// Curve cache: the CF/RLS fill is only recomputed after new
+	// observations arrive.
+	dirty bool
+	curve []cluster.CapPoint
+}
+
+// NewOnlineEstimator validates the config and builds the estimator.
+func NewOnlineEstimator(cfg OnlineConfig) (*OnlineEstimator, error) {
+	if cfg.StepW == 0 {
+		cfg.StepW = cluster.ServerCapStepW
+	}
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = DefaultProbeEpsilon
+	}
+	if cfg.Epsilon < 0 || cfg.Epsilon > 1 {
+		return nil, fmt.Errorf("cf: probe epsilon %g outside [0, 1]", cfg.Epsilon)
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = 1
+	}
+	if cfg.Model.Factors == 0 {
+		cfg.Model = DefaultModelConfig()
+	}
+	grid := CapGrid(cfg.FloorW, cfg.NameplateW, cfg.StepW)
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("cf: unlearnable cap grid [%g, %g] step %g", cfg.FloorW, cfg.NameplateW, cfg.StepW)
+	}
+	for _, row := range cfg.Reference {
+		if len(row) != len(grid) {
+			return nil, fmt.Errorf("cf: reference row has %d cells, grid has %d", len(row), len(grid))
+		}
+	}
+	e := &OnlineEstimator{
+		cfg:   cfg,
+		grid:  grid,
+		mean:  make([]float64, len(grid)),
+		count: make([]int, len(grid)),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if span := cfg.NameplateW - cfg.FloorW; span > 0 {
+		e.nrm = 1 / span
+	}
+	for i := 0; i < rlsDim; i++ {
+		e.p[i][i] = 1e3 // diffuse prior
+	}
+	return e, nil
+}
+
+// Grid returns the cap levels the estimator samples.
+func (e *OnlineEstimator) Grid() []float64 { return e.grid }
+
+// cellOf maps an enforced cap to its grid cell, or -1 when the cap is
+// off-grid (an even-share split, say) and the sample would smear a
+// neighboring cell's statistics.
+func (e *OnlineEstimator) cellOf(capW float64) int {
+	for j, c := range e.grid {
+		if math.Abs(capW-c) < 1e-9 {
+			return j
+		}
+	}
+	return -1
+}
+
+// basis evaluates the RLS features at a cap.
+func (e *OnlineEstimator) basis(capW float64) [rlsDim]float64 {
+	x := (capW - e.cfg.FloorW) * e.nrm
+	return [rlsDim]float64{1, x, x * x, math.Sqrt(math.Max(0, x))}
+}
+
+// Observe records one (enforced cap, heartbeat rate) sample. Samples
+// off the grid or with non-positive rates are dropped; the return
+// reports whether the sample was accepted.
+func (e *OnlineEstimator) Observe(capW, rateHz float64) bool {
+	j := e.cellOf(capW)
+	if j < 0 || !(rateHz > 0) || math.IsInf(rateHz, 0) {
+		return false
+	}
+	e.count[j]++
+	e.mean[j] += (rateHz - e.mean[j]) / float64(e.count[j])
+	// RLS update in log space (rates vary multiplicatively).
+	phi := e.basis(capW)
+	y := math.Log(rateHz)
+	var pphi [rlsDim]float64
+	for i := 0; i < rlsDim; i++ {
+		for k := 0; k < rlsDim; k++ {
+			pphi[i] += e.p[i][k] * phi[k]
+		}
+	}
+	denom := 1.0
+	for i := 0; i < rlsDim; i++ {
+		denom += phi[i] * pphi[i]
+	}
+	pred := 0.0
+	for i := 0; i < rlsDim; i++ {
+		pred += e.w[i] * phi[i]
+	}
+	err := y - pred
+	for i := 0; i < rlsDim; i++ {
+		e.w[i] += pphi[i] / denom * err
+	}
+	var newP [rlsDim][rlsDim]float64
+	for i := 0; i < rlsDim; i++ {
+		for k := 0; k < rlsDim; k++ {
+			newP[i][k] = e.p[i][k] - pphi[i]*pphi[k]/denom
+		}
+	}
+	e.p = newP
+	e.obs++
+	e.dirty = true
+	return true
+}
+
+// ObservedCells counts grid cells with at least one sample.
+func (e *OnlineEstimator) ObservedCells() int {
+	n := 0
+	for _, c := range e.count {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Confidence is the coverage fraction the daemon reports with its
+// learned curve: observed cells over total cells, 1.0 exactly at full
+// coverage.
+func (e *OnlineEstimator) Confidence() float64 {
+	if len(e.grid) == 0 {
+		return 0
+	}
+	if e.Converged() {
+		return 1
+	}
+	return float64(e.ObservedCells()) / float64(len(e.grid))
+}
+
+// Converged reports whether every cell has MinSamples samples; a
+// converged estimator stops probing and reports the empirical table
+// verbatim.
+func (e *OnlineEstimator) Converged() bool {
+	for _, c := range e.count {
+		if c < e.cfg.MinSamples {
+			return false
+		}
+	}
+	return true
+}
+
+// ProbeCap chooses the cap to actually enforce this interval given a
+// grant: converged estimators exploit the full grant; learning ones
+// self-cap with probability epsilon to the least-sampled reachable
+// cell, and otherwise to the highest grid cell the grant covers so the
+// exploiting interval still yields a usable sample. A probe never
+// exceeds the grant, so the cluster cap holds while curves are
+// partial.
+func (e *OnlineEstimator) ProbeCap(grantedW float64) float64 {
+	if e.Converged() || grantedW < e.grid[0] {
+		return grantedW
+	}
+	hi := 0
+	for j, c := range e.grid {
+		if c <= grantedW+1e-9 {
+			hi = j
+		}
+	}
+	if e.rng.Float64() < e.cfg.Epsilon {
+		// Least-sampled reachable cell, lowest index on ties.
+		best := 0
+		for j := 1; j <= hi; j++ {
+			if e.count[j] < e.count[best] {
+				best = j
+			}
+		}
+		return e.grid[best]
+	}
+	return e.grid[hi]
+}
+
+// Curve returns the learned cap-utility curve and whether one exists
+// yet (at least one observed cell). Observed cells carry their
+// empirical means; unobserved ones are filled by matrix factorization
+// over the reference rows when available, by the RLS fit once it has
+// seen enough samples, and by the nearest observed neighbor before
+// that. Predicted cells are clamped monotone so a noisy fill cannot
+// fake a utility cliff.
+func (e *OnlineEstimator) Curve() ([]cluster.CapPoint, bool) {
+	if e.ObservedCells() == 0 {
+		return nil, false
+	}
+	if !e.dirty && e.curve != nil {
+		return e.curve, true
+	}
+	rates := make([]float64, len(e.grid))
+	predicted := make([]bool, len(e.grid))
+	fill := e.cfFill() // one factorization per rebuild, nil without references
+	for j := range e.grid {
+		if e.count[j] > 0 {
+			rates[j] = e.mean[j]
+		} else {
+			rates[j] = e.fillCell(j, fill)
+			predicted[j] = true
+		}
+	}
+	// Monotone clamp on predicted cells only: measurements are truth,
+	// predictions may not undercut the best measured/predicted rate at
+	// a lower cap.
+	run := math.Inf(-1)
+	for j := range rates {
+		if predicted[j] && rates[j] < run {
+			rates[j] = run
+		}
+		run = rates[j]
+	}
+	e.curve = CurveFromRates(e.grid, rates)
+	e.dirty = false
+	return e.curve, e.curve != nil
+}
+
+// fillCell predicts one unobserved cell's rate, preferring the
+// factorization fill, then the RLS fit, then the nearest observed
+// neighbor.
+func (e *OnlineEstimator) fillCell(j int, fill []float64) float64 {
+	if fill != nil {
+		return fill[j]
+	}
+	if e.obs >= rlsDim {
+		phi := e.basis(e.grid[j])
+		y := 0.0
+		for i := 0; i < rlsDim; i++ {
+			y += e.w[i] * phi[i]
+		}
+		return math.Exp(y)
+	}
+	// Too few samples for either model: nearest observed neighbor.
+	bestD, bestV := math.MaxInt, 0.0
+	for k := range e.grid {
+		if e.count[k] == 0 {
+			continue
+		}
+		if d := abs(k - j); d < bestD {
+			bestD, bestV = d, e.mean[k]
+		}
+	}
+	return bestV
+}
+
+// cfFill completes the whole row by matrix factorization — reference
+// rows plus this server's observed cells, in log space, exactly as
+// EstimateApp fills a new application's row — and returns the
+// predicted rate per cell, or nil when no references are configured or
+// the factorization cannot run.
+func (e *OnlineEstimator) cfFill() []float64 {
+	nRef := len(e.cfg.Reference)
+	if nRef == 0 {
+		return nil
+	}
+	var obs []Observation
+	for r, row := range e.cfg.Reference {
+		for c, v := range row {
+			if !(v > 0) {
+				return nil
+			}
+			obs = append(obs, Observation{Row: r, Col: c, Value: math.Log(v)})
+		}
+	}
+	for c := range e.grid {
+		if e.count[c] > 0 && e.mean[c] > 0 {
+			obs = append(obs, Observation{Row: nRef, Col: c, Value: math.Log(e.mean[c])})
+		}
+	}
+	m, err := Fit(nRef+1, len(e.grid), obs, e.cfg.Model)
+	if err != nil {
+		return nil
+	}
+	out := make([]float64, len(e.grid))
+	for j := range out {
+		out[j] = math.Exp(m.Predict(nRef, j))
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

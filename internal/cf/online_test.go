@@ -1,0 +1,170 @@
+package cf
+
+import (
+	"math"
+	"testing"
+)
+
+// testRate is a deterministic saturating cap→rate law shaped like a
+// real server's utility curve.
+func testRate(capW float64) float64 {
+	return 120 * (1 - math.Exp(-capW/150))
+}
+
+func testEstimator(t *testing.T, cfg OnlineConfig) *OnlineEstimator {
+	t.Helper()
+	e, err := NewOnlineEstimator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestOnlineEstimatorConvergesToTable drives the probe loop to full
+// coverage and checks the converged curve is bit-identical to the
+// oracle built from the same observations — the property the mixed
+// fleet parity drill depends on.
+func TestOnlineEstimatorConvergesToTable(t *testing.T) {
+	cfg := OnlineConfig{FloorW: 45, NameplateW: 95, StepW: 10, Seed: 3}
+	e := testEstimator(t, cfg)
+	grid := e.Grid()
+	if len(grid) != 6 || grid[len(grid)-1] != 95 {
+		t.Fatalf("grid %v, want 6 cells ending at the nameplate", grid)
+	}
+	const grant = 95.0
+	for i := 0; i < 200 && !e.Converged(); i++ {
+		cap := e.ProbeCap(grant)
+		if cap > grant {
+			t.Fatalf("probe %g W exceeds grant %g W", cap, grant)
+		}
+		if !e.Observe(cap, testRate(cap)) {
+			t.Fatalf("on-grid observation at %g W rejected", cap)
+		}
+	}
+	if !e.Converged() {
+		t.Fatal("estimator did not converge in 200 probed intervals")
+	}
+	if c := e.Confidence(); c != 1 {
+		t.Fatalf("converged confidence %g, want exactly 1", c)
+	}
+	if got := e.ProbeCap(grant); got != grant {
+		t.Fatalf("converged probe self-capped to %g W, want the full grant", got)
+	}
+	rates := make([]float64, len(grid))
+	for j, c := range grid {
+		rates[j] = testRate(c)
+	}
+	want := CurveFromRates(grid, rates)
+	got, ok := e.Curve()
+	if !ok || len(got) != len(want) {
+		t.Fatalf("curve %v, want %d points", got, len(want))
+	}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("point %d: %+v, oracle %+v", j, got[j], want[j])
+		}
+	}
+}
+
+// TestOnlineEstimatorFill checks both fill paths on a half-observed
+// grid: the RLS basis fit alone, and the factorization fill with a
+// reference row, must both land within a loose relative error of the
+// true rates — close enough for the DP to rank caps sensibly.
+func TestOnlineEstimatorFill(t *testing.T) {
+	grid := CapGrid(45, 305, 20)
+	ref := make([]float64, len(grid))
+	for j, c := range grid {
+		ref[j] = 0.9 * testRate(c) // a similar, previously-seen server
+	}
+	for _, tc := range []struct {
+		name string
+		refs [][]float64
+		tol  float64
+	}{
+		{"rls-only", nil, 0.25},
+		{"cf-fill", [][]float64{ref}, 0.25},
+	} {
+		e := testEstimator(t, OnlineConfig{FloorW: 45, NameplateW: 305, StepW: 20, Seed: 9, Reference: tc.refs})
+		// Every other cell plus the anchor, as SampleCols would pick.
+		for j, c := range grid {
+			if j%2 == 0 || j == len(grid)-1 {
+				e.Observe(c, testRate(c))
+			}
+		}
+		curve, ok := e.Curve()
+		if !ok {
+			t.Fatalf("%s: no curve from a half-observed grid", tc.name)
+		}
+		for j, c := range grid {
+			wantPerf := testRate(c) / testRate(grid[len(grid)-1])
+			if relErr := math.Abs(curve[j].Perf-wantPerf) / wantPerf; relErr > tc.tol {
+				t.Errorf("%s: cell %d (%g W): perf %.4f, true %.4f (rel err %.2f)",
+					tc.name, j, c, curve[j].Perf, wantPerf, relErr)
+			}
+		}
+		// Observed cells stay exact regardless of the fill (the anchor
+		// is measured, so normalization divides by a true rate).
+		for j := 0; j < len(grid); j += 2 {
+			want := testRate(grid[j]) / testRate(grid[len(grid)-1])
+			if curve[j].Perf != want {
+				t.Errorf("%s: measured cell %d perf %v, want exact %v", tc.name, j, curve[j].Perf, want)
+			}
+		}
+	}
+}
+
+// TestOnlineEstimatorRejectsOffGrid pins the sampling discipline: only
+// on-grid caps and positive finite rates become cells.
+func TestOnlineEstimatorRejectsOffGrid(t *testing.T) {
+	e := testEstimator(t, OnlineConfig{FloorW: 45, NameplateW: 95, StepW: 10})
+	for _, bad := range []struct{ cap, rate float64 }{
+		{50.7, 10}, {55, 0}, {55, -1}, {55, math.Inf(1)}, {55, math.NaN()},
+	} {
+		if e.Observe(bad.cap, bad.rate) {
+			t.Fatalf("observation (%g W, %g Hz) accepted", bad.cap, bad.rate)
+		}
+	}
+	if e.ObservedCells() != 0 {
+		t.Fatalf("%d cells observed after only rejected samples", e.ObservedCells())
+	}
+	if _, ok := e.Curve(); ok {
+		t.Fatal("curve produced with zero observations")
+	}
+	// A grant below the grid floor is enforced as granted, never raised.
+	if got := e.ProbeCap(30); got != 30 {
+		t.Fatalf("sub-floor grant probed to %g W, want 30", got)
+	}
+}
+
+// TestOnlineEstimatorDeterministic: same seed, same observation
+// schedule, same probes and curve — the scenario engine's replay
+// guarantee extends through the learner.
+func TestOnlineEstimatorDeterministic(t *testing.T) {
+	run := func() ([]float64, []float64) {
+		e := testEstimator(t, OnlineConfig{FloorW: 45, NameplateW: 205, StepW: 20, Seed: 11})
+		var probes []float64
+		for i := 0; i < 40; i++ {
+			c := e.ProbeCap(180)
+			probes = append(probes, c)
+			e.Observe(c, testRate(c))
+		}
+		curve, _ := e.Curve()
+		var perfs []float64
+		for _, p := range curve {
+			perfs = append(perfs, p.Perf)
+		}
+		return probes, perfs
+	}
+	p1, c1 := run()
+	p2, c2 := run()
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("probe %d differs across identical runs: %g vs %g", i, p1[i], p2[i])
+		}
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("curve point %d differs across identical runs: %g vs %g", i, c1[i], c2[i])
+		}
+	}
+}

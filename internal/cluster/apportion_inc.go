@@ -1,0 +1,161 @@
+package cluster
+
+import "math"
+
+// Apportioner is the incremental fast path for ApportionCurves: it
+// caches the DP's per-member prefix layers between calls and replays
+// only the layers at and after the first member whose curve changed.
+//
+// The cache exploits a structural property of the DP: the value table
+// best[l] after processing members 0..i depends only on those members'
+// curves and on lower budget indices — never on the level bound the
+// call happened to run with. Layers are therefore kept at a high-water
+// level count; a cap change alone (different reconstruction start
+// index) costs zero recompute, and when k of n member curves change
+// between intervals only the layers from the first change onward are
+// rebuilt. Because every retained column was produced by the exact
+// arithmetic ApportionCurves would run, the budgets, perf, and grid
+// draw returned are bit-identical to the full DP by construction —
+// TestApportionerMatchesFullDP holds the two together.
+//
+// The zero value is ready to use. Not safe for concurrent use.
+type Apportioner struct {
+	floorW float64
+	// curves holds a defensive snapshot of each member's curve as of
+	// the last DP run, for change detection.
+	curves [][]CapPoint
+	// layers[i] is the DP value vector after processing member i, and
+	// choices[i][l] the curve index member i takes at budget level l;
+	// both span [0, hiLevels).
+	layers   [][]float64
+	choices  [][]int
+	hiLevels int
+	// recomputed counts the member layers rebuilt by the last call.
+	recomputed int
+}
+
+// LastRecomputed reports how many member layers the last Apportion
+// call had to rebuild (0 when only the cap moved).
+func (a *Apportioner) LastRecomputed() int { return a.recomputed }
+
+// curveChanged reports whether cur differs from the cached snapshot.
+func curveChanged(snap, cur []CapPoint) bool {
+	if len(snap) != len(cur) {
+		return true
+	}
+	for i := range cur {
+		if snap[i] != cur[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Apportion is ApportionCurves with the incremental cache. Same
+// contract, bit-identical results.
+func (a *Apportioner) Apportion(clusterCapW, floorW float64, curves [][]CapPoint) (budgets []float64, perf, gridW float64) {
+	n := len(curves)
+	a.recomputed = 0
+	budgets = make([]float64, n)
+	if n == 0 {
+		return budgets, 0, 0
+	}
+	capQ := math.Floor(clusterCapW/serverCapStepW) * serverCapStepW
+	if capQ < floorW*float64(n) {
+		// Not even the idle floors fit; no DP ran, so the cache keeps
+		// whatever validity it had.
+		per := capQ / float64(n)
+		for i := range budgets {
+			budgets[i] = per
+		}
+		return budgets, 0, capQ
+	}
+	spare := capQ - floorW*float64(n)
+	levels := int(spare/serverCapStepW) + 1
+
+	// A floor change reprices every curve point; drop the whole cache.
+	if floorW != a.floorW {
+		a.curves = a.curves[:0]
+		a.floorW = floorW
+	}
+	// firstDirty is the first member whose cached layer cannot be
+	// reused: its curve changed, or it was never computed. Members past
+	// a dirty one are rebuilt too (their layers chain off its output).
+	firstDirty := n
+	for i := 0; i < n; i++ {
+		if i >= len(a.curves) || curveChanged(a.curves[i], curves[i]) {
+			firstDirty = i
+			break
+		}
+	}
+	for len(a.curves) < n {
+		a.curves = append(a.curves, nil)
+		a.layers = append(a.layers, nil)
+		a.choices = append(a.choices, nil)
+	}
+	a.curves = a.curves[:n]
+	a.layers = a.layers[:n]
+	a.choices = a.choices[:n]
+
+	// Grow the high-water level count first: the clean prefix extends
+	// its columns in place (each new column of layer i reads only
+	// layer i-1, which is extended by the time we get there), so a cap
+	// increase never invalidates unchanged members.
+	if levels > a.hiLevels {
+		zero := make([]float64, levels)
+		prev := zero
+		for i := 0; i < firstDirty; i++ {
+			a.layers[i] = append(a.layers[i], make([]float64, levels-a.hiLevels)...)
+			a.choices[i] = append(a.choices[i], make([]int, levels-a.hiLevels)...)
+			a.dpColumns(i, curves[i], prev, a.hiLevels, levels)
+			prev = a.layers[i]
+		}
+		a.hiLevels = levels
+	}
+	// Rebuild the dirty suffix over the full high-water range.
+	prev := make([]float64, a.hiLevels)
+	if firstDirty > 0 {
+		prev = a.layers[firstDirty-1]
+	}
+	for i := firstDirty; i < n; i++ {
+		a.recomputed++
+		a.curves[i] = append(a.curves[i][:0], curves[i]...)
+		a.layers[i] = append(a.layers[i][:0], make([]float64, a.hiLevels)...)
+		a.choices[i] = append(a.choices[i][:0], make([]int, a.hiLevels)...)
+		a.dpColumns(i, curves[i], prev, 0, a.hiLevels)
+		prev = a.layers[i]
+	}
+
+	// Reconstruction: identical to ApportionCurves, starting at this
+	// call's level bound.
+	l := levels - 1
+	for i := n - 1; i >= 0; i-- {
+		k := a.choices[i][l]
+		budgets[i] = curves[i][k].CapW
+		perf += curves[i][k].Perf
+		gridW += curves[i][k].GridW
+		l -= k
+	}
+	return budgets, perf, gridW
+}
+
+// dpColumns fills member i's value and choice columns [lo, hi) from
+// the previous member's layer — the inner loop of ApportionCurves,
+// verbatim, so retained columns are bit-identical to the full DP's.
+func (a *Apportioner) dpColumns(i int, curve []CapPoint, prev []float64, lo, hi int) {
+	layer, cho := a.layers[i], a.choices[i]
+	for l := lo; l < hi; l++ {
+		bestV, bestK := math.Inf(-1), 0
+		kMax := l
+		if kMax >= len(curve) {
+			kMax = len(curve) - 1
+		}
+		for k := 0; k <= kMax; k++ {
+			if v := prev[l-k] + curve[k].Perf; v > bestV {
+				bestV, bestK = v, k
+			}
+		}
+		layer[l] = bestV
+		cho[l] = bestK
+	}
+}

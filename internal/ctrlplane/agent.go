@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"powerstruggle/internal/cf"
 	"powerstruggle/internal/cluster"
 )
 
@@ -44,6 +45,13 @@ type AgentConfig struct {
 	// leaderless degradation: hold the last granted cap, then walk it
 	// down toward a floor. Zero value keeps the cliff semantics.
 	SafeMode SafeModeConfig
+	// Learn, when non-nil, replaces the backend's pre-characterized
+	// utility curve with an online estimator: the agent self-caps to
+	// probe unsampled cap levels (never above its grant), learns the
+	// cap→utility curve from what it enforces, and reports the learned
+	// curve with CurveConf/CurveCells meta so the coordinator can weigh
+	// its confidence. FloorW and NameplateW default to the backend's.
+	Learn *cf.OnlineConfig
 	// Version is reported to the coordinator (build audit).
 	Version string
 }
@@ -146,6 +154,14 @@ type Agent struct {
 	expireT     float64
 	curve       []cluster.CapPoint
 	curveBuilt  bool
+	// Online-learning state (cfg.Learn): est learns the cap→utility
+	// curve from enforced caps, grantW remembers the full grant so a
+	// probing agent can restore it, and lastProbeIv rate-limits probe
+	// moves to one per protocol interval — the cap never flaps within
+	// an interval.
+	est         *cf.OnlineEstimator
+	grantW      float64
+	lastProbeIv uint64
 	// assigns/fences/staleDrops/epochDrops count protocol activity for
 	// the local operator (the coordinator has its own fleet-wide
 	// counters).
@@ -175,6 +191,20 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 		cfg.SafeMode.FloorW = cfg.FenceCapW
 	}
 	a := &Agent{cfg: cfg, fenced: true, capW: cfg.FenceCapW}
+	if cfg.Learn != nil {
+		lc := *cfg.Learn
+		if lc.FloorW == 0 {
+			lc.FloorW = cfg.Backend.IdleFloorW()
+		}
+		if lc.NameplateW == 0 {
+			lc.NameplateW = cfg.Backend.NameplateW()
+		}
+		est, err := cf.NewOnlineEstimator(lc)
+		if err != nil {
+			return nil, fmt.Errorf("ctrlplane: agent %d learner: %w", cfg.ID, err)
+		}
+		a.est = est
+	}
 	perf, grid, err := cfg.Backend.Apply(cfg.FenceCapW)
 	if err != nil {
 		return nil, fmt.Errorf("ctrlplane: agent %d boot fence: %w", cfg.ID, err)
@@ -207,11 +237,20 @@ func (a *Agent) Assign(req AssignRequest) (AssignResponse, error) {
 		a.staleDrops++
 		return a.stateLocked(false), nil
 	}
-	perf, grid, err := a.cfg.Backend.Apply(req.CapW)
+	capW := req.CapW
+	if a.est != nil {
+		// A learning agent may self-cap below its grant to probe an
+		// unsampled cell; a probe never exceeds the grant, so the
+		// cluster cap holds while the curve is partial.
+		a.grantW = req.CapW
+		capW = a.est.ProbeCap(req.CapW)
+		a.lastProbeIv = req.Iv
+	}
+	perf, grid, err := a.cfg.Backend.Apply(capW)
 	if err != nil {
 		return AssignResponse{}, err
 	}
-	a.capW, a.perfN, a.gridW = req.CapW, perf, grid
+	a.capW, a.perfN, a.gridW = capW, perf, grid
 	a.lastEpoch = req.Epoch
 	a.lastSeq = req.Seq
 	a.lastGrantT = req.T
@@ -226,6 +265,9 @@ func (a *Agent) Assign(req AssignRequest) (AssignResponse, error) {
 	a.fenced = false
 	a.safeMode = false
 	a.assigns++
+	if a.est != nil {
+		a.est.Observe(a.capW, a.perfN)
+	}
 	return a.stateLocked(true), nil
 }
 
@@ -331,10 +373,10 @@ func (a *Agent) tickLocked(t float64) error {
 		// Interval lease: lapse once the effective interval reaches the
 		// grant's boundary — seconds play no part.
 		if a.effectiveIvLocked() < a.grantIv+a.leaseIv {
-			return nil
+			return a.learnTickLocked()
 		}
 	} else if a.leaseS <= 0 || t < a.lastGrantT+a.leaseS {
-		return nil
+		return a.learnTickLocked()
 	}
 	if a.cfg.SafeMode.Enabled() {
 		// Lease lapsed with safe mode on: hold the last granted cap
@@ -356,6 +398,35 @@ func (a *Agent) tickLocked(t float64) error {
 	a.capW, a.perfN, a.gridW = a.cfg.FenceCapW, perf, grid
 	a.fenced = true
 	a.fences++
+	return nil
+}
+
+// learnTickLocked runs one online-learning step under a live lease:
+// observe the cell the enforced cap lands on, then — at most once per
+// protocol interval — move the probe to the estimator's next choice.
+// Rate-limiting probe moves to interval boundaries keeps the cap from
+// flapping within an interval; a converged estimator's probe is the
+// full grant, so learning agents settle back onto their grants. In
+// clockless (seconds-lease) deployments the interval counter never
+// advances, so probes move only on fresh assigns.
+func (a *Agent) learnTickLocked() error {
+	if a.est == nil || a.fenced {
+		return nil
+	}
+	a.est.Observe(a.capW, a.perfN)
+	target := a.capW
+	if iv := a.effectiveIvLocked(); iv > a.lastProbeIv {
+		a.lastProbeIv = iv
+		target = a.est.ProbeCap(a.grantW)
+	}
+	if target == a.capW {
+		return nil
+	}
+	perf, grid, err := a.cfg.Backend.Apply(target)
+	if err != nil {
+		return fmt.Errorf("ctrlplane: agent %d probe: %w", a.cfg.ID, err)
+	}
+	a.capW, a.perfN, a.gridW = target, perf, grid
 	return nil
 }
 
@@ -402,12 +473,23 @@ func (a *Agent) Refresh() error {
 	return nil
 }
 
-// Report snapshots the agent for a telemetry scrape, building the
-// cap-utility curve lazily on first use (the curve is a property of the
-// hosted mix and does not change).
+// Report snapshots the agent for a telemetry scrape. A pre-characterized
+// agent builds its cap-utility curve lazily on first use (the curve is a
+// property of the hosted mix and does not change); a learning agent
+// reports its current learned curve with CurveConf/CurveCells meta
+// instead, or no curve at all before the first accepted observation.
 func (a *Agent) Report() (Report, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.est != nil {
+		rep := a.reportLocked()
+		if curve, ok := a.est.Curve(); ok {
+			rep.UtilityCurve = curve
+			rep.CurveConf = a.est.Confidence()
+			rep.CurveCells = a.est.ObservedCells()
+		}
+		return rep, nil
+	}
 	if !a.curveBuilt {
 		curve, err := a.cfg.Backend.UtilityCurve()
 		if err != nil {
@@ -416,6 +498,13 @@ func (a *Agent) Report() (Report, error) {
 		a.curve = curve
 		a.curveBuilt = true
 	}
+	rep := a.reportLocked()
+	rep.UtilityCurve = a.curve
+	return rep, nil
+}
+
+// reportLocked builds the curveless part of a scrape report.
+func (a *Agent) reportLocked() Report {
 	return Report{
 		V:        ProtocolV,
 		Server:   a.cfg.ID,
@@ -428,12 +517,11 @@ func (a *Agent) Report() (Report, error) {
 		Fenced:   a.fenced,
 		SafeMode: a.safeMode,
 
-		IdleFloorW:   a.cfg.Backend.IdleFloorW(),
-		NameplateW:   a.cfg.Backend.NameplateW(),
-		UtilityCurve: a.curve,
-		Version:      a.cfg.Version,
-		Iv:           a.lastSeenIv,
-	}, nil
+		IdleFloorW: a.cfg.Backend.IdleFloorW(),
+		NameplateW: a.cfg.Backend.NameplateW(),
+		Version:    a.cfg.Version,
+		Iv:         a.lastSeenIv,
+	}
 }
 
 // Scrape is Tick-then-Report in one call: the server side of a
@@ -549,6 +637,29 @@ func (a *Agent) LastIv() uint64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.lastSeenIv
+}
+
+// Learning reports whether the agent characterizes its utility curve
+// online instead of trusting a pre-characterized backend curve.
+func (a *Agent) Learning() bool { return a.est != nil }
+
+// LearnConverged reports whether the online estimator has sampled every
+// cap cell often enough to stop probing (false when not learning).
+func (a *Agent) LearnConverged() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.est != nil && a.est.Converged()
+}
+
+// LearnConfidence is the learned curve's coverage fraction (0 when not
+// learning).
+func (a *Agent) LearnConfidence() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.est == nil {
+		return 0
+	}
+	return a.est.Confidence()
 }
 
 // ClockSkewIv is the last measured coordinator skew in intervals:

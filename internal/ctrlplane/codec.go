@@ -308,6 +308,15 @@ func decodeScrapeReq(p []byte) (server int, t float64, hasT bool, err error) {
 
 // --- Report ---
 
+// curveMetaFlag is the high bit of the report's curve-count u32: set
+// when the curve carries learning metadata (confidence + observed
+// cells), which then follows the curve points. Legacy encoders never
+// set the bit, so frames without meta decode unchanged; the canonical
+// rule — bit set if and only if the meta is non-zero, enforced both
+// ways — keeps one byte representation per value even for reports
+// embedded mid-stream in batch responses.
+const curveMetaFlag = uint32(1) << 31
+
 func putReport(w *wbuf, rep Report) {
 	w.i64(int64(rep.Server))
 	w.u64(rep.Epoch)
@@ -321,11 +330,20 @@ func putReport(w *wbuf, rep Report) {
 	w.f64(rep.IdleFloorW)
 	w.f64(rep.NameplateW)
 	w.str(rep.Version)
-	w.u32(uint32(len(rep.UtilityCurve)))
+	hasMeta := rep.CurveConf != 0 || rep.CurveCells != 0
+	cnt := uint32(len(rep.UtilityCurve))
+	if hasMeta {
+		cnt |= curveMetaFlag
+	}
+	w.u32(cnt)
 	for _, p := range rep.UtilityCurve {
 		w.f64(p.CapW)
 		w.f64(p.Perf)
 		w.f64(p.GridW)
+	}
+	if hasMeta {
+		w.f64(rep.CurveConf)
+		w.u32(uint32(rep.CurveCells))
 	}
 	w.u64(rep.Iv)
 }
@@ -345,7 +363,9 @@ func getReport(r *rbuf) Report {
 	rep.IdleFloorW = r.f64()
 	rep.NameplateW = r.f64()
 	rep.Version = r.str()
-	n := int(r.u32())
+	cw := r.u32()
+	hasMeta := cw&curveMetaFlag != 0
+	n := int(cw &^ curveMetaFlag)
 	if r.err == nil && n*24 > len(r.b)-r.off {
 		r.fail("curve count %d exceeds payload", n)
 	}
@@ -353,6 +373,15 @@ func getReport(r *rbuf) Report {
 		rep.UtilityCurve = make([]cluster.CapPoint, n)
 		for i := range rep.UtilityCurve {
 			rep.UtilityCurve[i] = cluster.CapPoint{CapW: r.f64(), Perf: r.f64(), GridW: r.f64()}
+		}
+	}
+	if hasMeta {
+		rep.CurveConf = r.f64()
+		rep.CurveCells = int(r.u32())
+		if r.err == nil && rep.CurveConf == 0 && rep.CurveCells == 0 {
+			// A set flag over all-zero meta would re-encode without the
+			// flag; reject the non-canonical form.
+			r.fail("curve meta flag set over zero meta")
 		}
 	}
 	rep.Iv = r.u64()

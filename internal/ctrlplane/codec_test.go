@@ -25,6 +25,12 @@ func canonicalMessages() map[byte][]byte {
 			{CapW: 120, Perf: 1, GridW: 110},
 		},
 	}
+	// learned is a live daemon's report: the curve came from the online
+	// estimator, so the count u32's meta flag is set and confidence +
+	// observed cells trail the points.
+	learned := rep2(rep, 5)
+	learned.CurveConf = 0.75
+	learned.CurveCells = 9
 	term := WireTerm{Epoch: 4, Leader: "coord-a", ExpiresUnixNano: 1700000000000000000}
 	return map[byte][]byte{
 		FrameScrapeReq:  appendScrapeReq(nil, 3, 1200.5, true),
@@ -68,6 +74,7 @@ func canonicalMessages() map[byte][]byte {
 			V: ProtocolV, Results: []ScrapeResult{
 				{Server: 0, Report: rep2(rep, 0)},
 				{Server: 1, Err: "no agent 1 behind this listener"},
+				{Server: 5, Report: learned},
 			},
 		}),
 		FrameBatchGrantReq: appendBatchGrantReq(nil, BatchGrantRequest{
@@ -298,6 +305,17 @@ func TestTypedRoundTrips(t *testing.T) {
 		t.Fatalf("report round trip:\n got %+v\nwant %+v", got, rep)
 	}
 
+	// A learned curve's meta fields survive the flag-bit encoding.
+	rep.CurveConf = 0.375
+	rep.CurveCells = 3
+	got, err = decodeReportPayload(appendReportPayload(nil, rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rep) {
+		t.Fatalf("learned report round trip:\n got %+v\nwant %+v", got, rep)
+	}
+
 	areq := AssignRequest{V: ProtocolV, Epoch: 1, Seq: 4, Server: 0, T: 300, CapW: 75, LeaseS: 150,
 		Iv: 7, LeaseIv: 2, IvS: 0.5}
 	gotA, err := decodeAssignReqPayload(appendAssignReq(nil, areq))
@@ -435,6 +453,32 @@ func TestPayloadStrictness(t *testing.T) {
 	binary.BigEndian.PutUint32(batch[9:13], 1<<30)
 	if _, err := decodeBatchScrapeReqPayload(batch); err == nil || !strings.Contains(err.Error(), "exceeds payload") {
 		t.Errorf("lying batch count: got %v", err)
+	}
+
+	// The curve-meta flag over all-zero meta would re-encode without
+	// the flag; the non-canonical form is refused.
+	withCurve := appendReportPayload(nil, Report{
+		V: ProtocolV, Server: 0, SoC: 0.5,
+		UtilityCurve: []cluster.CapPoint{{CapW: 25, Perf: 1, GridW: 25}},
+	})
+	// Count u32 sits 12 bytes (f64 conf + u32 cells... absent here) —
+	// for a one-point meta-less curve it sits before 24 point bytes and
+	// the trailing u64. Rebuild with the flag set and zero meta spliced
+	// in after the points.
+	cntOff := len(withCurve) - 8 - 24 - 4
+	flagged := append([]byte{}, withCurve[:cntOff]...)
+	flagged = binary.BigEndian.AppendUint32(flagged, 1|curveMetaFlag)
+	flagged = append(flagged, withCurve[cntOff+4:len(withCurve)-8]...)
+	flagged = binary.BigEndian.AppendUint64(flagged, 0) // zero conf f64
+	flagged = binary.BigEndian.AppendUint32(flagged, 0) // zero cells u32
+	flagged = append(flagged, withCurve[len(withCurve)-8:]...)
+	if _, err := decodeReportPayload(flagged); err == nil || !strings.Contains(err.Error(), "zero meta") {
+		t.Errorf("flagged zero curve meta: got %v", err)
+	}
+
+	// And a legacy frame — flag never set — still decodes.
+	if _, err := decodeReportPayload(withCurve); err != nil {
+		t.Errorf("legacy meta-less report: %v", err)
 	}
 
 	// Semantic validation runs behind structural decode: epoch 0 is a

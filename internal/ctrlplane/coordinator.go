@@ -122,6 +122,13 @@ type Config struct {
 	// FloorW overrides the idle floor fed to the utility DP; zero
 	// learns it from agent reports.
 	FloorW float64
+	// CurveConfFloor is the minimum confidence at which a learned
+	// member curve (one reported with CurveConf/CurveCells meta) enters
+	// the utility DP; below it the member takes the curveless even-share
+	// fallback. Pre-characterized curves, reported without meta, are
+	// always trusted. Zero means DefaultCurveConfFloor; negative admits
+	// every learned curve.
+	CurveConfFloor float64
 	// Transport lets callers wrap the HTTP transport — the fault
 	// injector's drop/delay/duplicate shim in the soak tests (nil:
 	// http.DefaultTransport).
@@ -129,6 +136,19 @@ type Config struct {
 	// Telemetry, when non-nil, instruments the coordinator (fleet
 	// gauges, RPC counters and latency, membership trace instants).
 	Telemetry *telemetry.Hub
+}
+
+// DefaultCurveConfFloor is the coverage confidence a learned curve
+// must reach before the utility DP trusts it: three quarters of the
+// cap grid observed or filled-and-verified. Below it the even-share
+// fallback is safer than a curve that is mostly extrapolation.
+const DefaultCurveConfFloor = 0.75
+
+func (c Config) curveConfFloor() float64 {
+	if c.CurveConfFloor != 0 {
+		return c.CurveConfFloor
+	}
+	return DefaultCurveConfFloor
 }
 
 func (c Config) missK() int {
@@ -182,15 +202,20 @@ type member struct {
 	// enforces until its lease lapses).
 	grantedW float64
 	granted  bool
-	// Scraped state.
-	scraped bool
-	floorW  float64
-	curve   []cluster.CapPoint
-	gridW   float64
-	perfN   float64
-	soc     float64
-	fenced  bool
-	version string
+	// Scraped state. curveConf/curveCells mirror the report's curve
+	// meta: both zero for a pre-characterized (fully trusted) curve,
+	// non-zero for a learned one the apportioner weighs against the
+	// confidence floor.
+	scraped    bool
+	floorW     float64
+	curve      []cluster.CapPoint
+	curveConf  float64
+	curveCells int
+	gridW      float64
+	perfN      float64
+	soc        float64
+	fenced     bool
+	version    string
 	// Circuit-breaker ledger (see breaker.go): consecutive failed
 	// scrapes, and open-window intervals left to skip.
 	breakerFails    int
@@ -280,6 +305,11 @@ type Coordinator struct {
 	prevAlive []bool
 	stats     Stats
 	flog      *faults.Log
+	// dp is the incremental apportioning cache: between intervals most
+	// member curves are unchanged (pre-characterized ones never change,
+	// learned ones only while probing), so the utility DP replays only
+	// the layers after the first changed curve.
+	dp cluster.Apportioner
 
 	// epoch is the leadership epoch grants fan out under (1 for a
 	// plain coordinator; the HA wrapper moves it on election wins).
@@ -598,6 +628,8 @@ func (c *Coordinator) step(ctx context.Context, t, capW float64, lead bool) (Ste
 			m.version = rep.Version
 			if len(rep.UtilityCurve) > 0 {
 				m.curve = rep.UtilityCurve
+				m.curveConf = rep.CurveConf
+				m.curveCells = rep.CurveCells
 			}
 			if c.tel.enabled {
 				c.tel.agentSoC.With(strconv.Itoa(i)).Set(rep.SoC)
@@ -627,7 +659,6 @@ func (c *Coordinator) step(ctx context.Context, t, capW float64, lead bool) (Ste
 	// already rehydrated when it wins an election.
 	if c.cfg.LeaseIv > 0 {
 		scrapedOK := 0
-		var maxLagIv float64
 		cur := c.iv.Load()
 		for i := range c.members {
 			rep := reports[i]
@@ -641,14 +672,15 @@ func (c *Coordinator) step(ctx context.Context, t, capW float64, lead bool) (Ste
 			if rep.Epoch == epoch && rep.Seq > c.maxSeenSeq {
 				c.maxSeenSeq = rep.Seq
 			}
-			if cur > rep.Iv {
-				if lag := float64(cur - rep.Iv); lag > maxLagIv {
-					maxLagIv = lag
+			if c.tel.enabled {
+				// Per-member lag series; the fleet max the old scalar gauge
+				// carried is max() over these.
+				var lag float64
+				if cur > rep.Iv {
+					lag = float64(cur - rep.Iv)
 				}
+				c.tel.clockSkewIv.With(strconv.Itoa(i)).Set(lag)
 			}
-		}
-		if c.tel.enabled {
-			c.tel.clockSkewIv.Set(maxLagIv)
 		}
 		// Keep the counter at least as high as anything the fleet has
 		// echoed — for the active leader this is a no-op (reports echo
@@ -1019,16 +1051,19 @@ func (c *Coordinator) apportion(capW float64, alive []bool, budgets []float64) e
 			budgets[i] = per
 		}
 	case StrategyUtility:
-		// Members that report no cap-utility curve — live daemons
-		// cannot pre-characterize their churning mix, and a member on
-		// MissK grace may not have reported yet — get the documented
-		// fallback of an even share; the DP apportions the remaining
-		// budget across the curve-bearing members.
+		// Members whose report yields no usable cap-utility curve — a
+		// curveless live daemon, a learner below the confidence floor,
+		// or a member on MissK grace that has not reported yet — get the
+		// documented fallback of an even share; the DP apportions the
+		// remaining budget across the curve-bearing members. The
+		// effective-curve decision is made once here, per interval, so a
+		// curve crossing the floor cannot flap a member's treatment
+		// within one apportion.
 		per := capW / float64(len(idxs))
 		remainW := capW
 		var curved []int
 		for _, i := range idxs {
-			if c.members[i].curve == nil {
+			if c.effectiveCurve(c.members[i]) == nil {
 				budgets[i] = per
 				remainW -= per
 			} else {
@@ -1054,9 +1089,12 @@ func (c *Coordinator) apportion(capW float64, alive []bool, budgets []float64) e
 		}
 		curves := make([][]cluster.CapPoint, len(curved))
 		for j, i := range curved {
-			curves[j] = c.members[i].curve
+			curves[j] = c.effectiveCurve(c.members[i])
 		}
-		b, _, _ := cluster.ApportionCurves(remainW, floor, curves)
+		// The incremental apportioner is bit-identical to ApportionCurves
+		// and only recomputes the DP layers after the first member whose
+		// curve changed since the last interval.
+		b, _, _ := c.dp.Apportion(remainW, floor, curves)
 		for j, i := range curved {
 			budgets[i] = b[j]
 		}
@@ -1064,6 +1102,21 @@ func (c *Coordinator) apportion(capW float64, alive []bool, budgets []float64) e
 		return fmt.Errorf("ctrlplane: unknown strategy %v", c.cfg.Strategy)
 	}
 	return nil
+}
+
+// effectiveCurve returns the cap-utility curve the apportioner may use
+// for a member, or nil for the even-share fallback: pre-characterized
+// curves (reported without meta) are trusted outright; learned curves
+// (meta present) count only once their confidence clears the configured
+// floor.
+func (c *Coordinator) effectiveCurve(m *member) []cluster.CapPoint {
+	if m.curve == nil {
+		return nil
+	}
+	if (m.curveConf != 0 || m.curveCells != 0) && m.curveConf < c.cfg.curveConfFloor() {
+		return nil
+	}
+	return m.curve
 }
 
 // Replay drives the coordinator through a cap schedule, one control

@@ -3,6 +3,7 @@ package ctrlplane
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -401,7 +402,6 @@ func (g *Global) step(ctx context.Context, t, capW float64, lead bool) (GlobalSt
 	// a warm standby is already rehydrated when promoted.
 	if g.cfg.LeaseIv > 0 {
 		scrapedOK := 0
-		var maxLagIv float64
 		cur := g.iv.Load()
 		for i := range g.shards {
 			rep := reports[i]
@@ -415,14 +415,13 @@ func (g *Global) step(ctx context.Context, t, capW float64, lead bool) (GlobalSt
 			if rep.GEpoch == epoch && rep.GSeq > g.maxSeenSeq {
 				g.maxSeenSeq = rep.GSeq
 			}
-			if cur > rep.GIv {
-				if lag := float64(cur - rep.GIv); lag > maxLagIv {
-					maxLagIv = lag
+			if g.tel.enabled {
+				var lag float64
+				if cur > rep.GIv {
+					lag = float64(cur - rep.GIv)
 				}
+				g.tel.clockSkewIv.With("shard-" + strconv.Itoa(i)).Set(lag)
 			}
-		}
-		if g.tel.enabled {
-			g.tel.clockSkewIv.Set(maxLagIv)
 		}
 		// Track the fleet's echo continuously (see Coordinator.step): a
 		// warm standby apportioner follows the leader's mints interval

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"powerstruggle/internal/cf"
 	"powerstruggle/internal/cluster"
 )
 
@@ -40,6 +41,11 @@ type FleetOptions struct {
 	// what lets the coordinator batch scrapes and grants into single
 	// frames.
 	Transport TransportKind
+	// Learn, when non-nil, makes every agent characterize its utility
+	// curve online instead of trusting the evaluator's pre-computed one
+	// — the cold-start scenario's fleet. Each agent learns from its own
+	// seed (Learn.Seed + server index) so replays stay deterministic.
+	Learn *cf.OnlineConfig
 }
 
 // StartSimFleet boots one agent per evaluator server on loopback
@@ -55,11 +61,18 @@ func StartSimFleet(ev *cluster.Evaluator, version string) (*SimFleet, error) {
 func StartSimFleetOpts(ev *cluster.Evaluator, opts FleetOptions) (*SimFleet, error) {
 	f := &SimFleet{}
 	for i := 0; i < ev.Servers(); i++ {
+		var learn *cf.OnlineConfig
+		if opts.Learn != nil {
+			lc := *opts.Learn
+			lc.Seed = opts.Learn.Seed + int64(i)
+			learn = &lc
+		}
 		a, err := NewAgent(AgentConfig{
 			ID:        i,
 			Backend:   NewSimBackend(ev, i),
 			FenceCapW: opts.FenceCapW,
 			SafeMode:  opts.SafeMode,
+			Learn:     learn,
 			Version:   opts.Version,
 		})
 		if err != nil {

@@ -201,12 +201,18 @@ func (s *ShardCoordinator) refreshReport(t, budget float64) {
 		// demand to saturation made the tier above oscillate), while a
 		// genuinely saturated member keeps ratcheting up interval after
 		// interval until its draw detaches from its grant.
+		// The rollup applies the flat coordinator's effective-curve rule:
+		// a learned curve below the confidence floor is treated as
+		// curveless here too, so a half-learned member can neither steer
+		// the shard's demand hill-climb nor leak extrapolated cells into
+		// the trunk aggregate the global DP prices.
+		curve := s.c.effectiveCurve(m)
 		demand := m.gridW
 		if m.granted && m.grantedW > 0 && m.gridW >= saturationFrac*m.grantedW {
 			demand = m.grantedW
-			if n := len(m.curve); n > 0 {
-				demand = m.curve[n-1].CapW
-				for _, p := range m.curve {
+			if n := len(curve); n > 0 {
+				demand = curve[n-1].CapW
+				for _, p := range curve {
 					if p.CapW > m.grantedW {
 						demand = p.CapW
 						break
@@ -218,11 +224,11 @@ func (s *ShardCoordinator) refreshReport(t, budget float64) {
 			}
 		}
 		rep.DemandW += demand
-		if len(m.curve) == 0 {
+		if len(curve) == 0 {
 			allCurved = false
 			continue
 		}
-		curves = append(curves, m.curve)
+		curves = append(curves, curve)
 		if !floorKnown {
 			floor, floorKnown = m.floorW, true
 		} else if s.c.cfg.FloorW == 0 && m.floorW != floor {

@@ -37,7 +37,7 @@ type ctrlTel struct {
 	registrations *telemetry.Counter
 
 	// Protocol-clock instruments (docs/METRICS.md §Protocol clock).
-	clockSkewIv  *telemetry.Gauge
+	clockSkewIv  *telemetry.GaugeVec
 	rehydrations *telemetry.Counter
 
 	// Per-transport wire accounting (transport ∈ {json, binary}).
@@ -103,8 +103,8 @@ func newCtrlTel(h *telemetry.Hub) *ctrlTel {
 			"Leadership terms this coordinator took over from a lapsed or resigned predecessor."),
 		registrations: reg.Counter("ps_ctrl_registrations_total",
 			"Agent self-registrations admitted into the fleet."),
-		clockSkewIv: reg.Gauge("ps_ctrl_clock_skew_intervals",
-			"Largest protocol-clock lag observed across the last scrape: coordinator interval counter minus the slowest agent's observed interval."),
+		clockSkewIv: reg.GaugeVec("ps_ctrl_clock_skew_intervals",
+			"Per-member protocol-clock lag at the last scrape: coordinator interval counter minus the member's observed interval (the old fleet max is max() over the series; shard members are labeled shard-N).", "member"),
 		rehydrations: reg.Counter("ps_ctrl_restart_rehydrations_total",
 			"Interval-counter rehydrations from a majority of agent scrapes (one per clock-mode coordinator (re)start)."),
 		wireFrames: reg.CounterVec("ps_ctrl_wire_frames_total",

@@ -184,9 +184,18 @@ type Report struct {
 	NameplateW float64 `json:"nameplateW"`
 	// UtilityCurve samples cap → (perf, grid) on the shared
 	// ServerCapStepW grid. Agents that cannot characterize themselves
-	// (a live daemon with a churning mix) omit it; the coordinator
-	// then falls back to even apportioning for them.
+	// yet (a live daemon still learning its mix) omit it; the
+	// coordinator then falls back to even apportioning for them.
 	UtilityCurve []cluster.CapPoint `json:"utilityCurve,omitempty"`
+	// CurveConf and CurveCells qualify an online-learned UtilityCurve:
+	// the estimator's coverage confidence in [0, 1] and the number of
+	// cap cells actually observed. Pre-characterized curves (trace
+	// replay agents) omit both — absence means full trust. The
+	// coordinator treats a learned curve below its confidence floor as
+	// no curve at all (docs/CONTROL_PLANE.md "Online utility
+	// learning").
+	CurveConf  float64 `json:"curveConf,omitempty"`
+	CurveCells int     `json:"curveCells,omitempty"`
 	// Version is the agent's build version, surfaced so a fleet
 	// upgrade can be audited from the coordinator.
 	Version string `json:"version,omitempty"`
@@ -231,6 +240,15 @@ func (r Report) Validate() error {
 			return fmt.Errorf("ctrlplane: report curve caps must increase (%g after %g)", p.CapW, prev)
 		}
 		prev = p.CapW
+	}
+	if !finite(r.CurveConf) || r.CurveConf < 0 || r.CurveConf > 1 {
+		return fmt.Errorf("ctrlplane: report curveConf = %g outside [0, 1]", r.CurveConf)
+	}
+	if r.CurveCells < 0 {
+		return fmt.Errorf("ctrlplane: report curveCells = %d", r.CurveCells)
+	}
+	if (r.CurveConf != 0 || r.CurveCells != 0) && len(r.UtilityCurve) == 0 {
+		return fmt.Errorf("ctrlplane: report curve meta (conf %g, %d cells) without a curve", r.CurveConf, r.CurveCells)
 	}
 	return nil
 }

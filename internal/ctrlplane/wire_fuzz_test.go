@@ -60,6 +60,12 @@ func FuzzDecodeReport(f *testing.F) {
 	f.Add([]byte(`{"v":1,"server":0,"seq":1,"capW":1,"perfN":1,"gridW":1,"soc":0.5,"idleFloorW":1,"nameplateW":2,"utilityCurve":[{"capW":4,"perf":0.1,"gridW":1},{"capW":2,"perf":0.2,"gridW":3}]}`))
 	f.Add([]byte(`{"v":1,"server":0,"seq":1,"capW":1,"perfN":1,"gridW":1,"soc":1.5,"idleFloorW":1,"nameplateW":2}`))
 	f.Add([]byte(`{"v":1,"server":0,"soc":-0.1}`))
+	// Learned-curve meta: valid coverage, out-of-range confidence, and
+	// meta dangling without a curve.
+	f.Add([]byte(`{"v":2,"server":0,"seq":1,"capW":1,"perfN":1,"gridW":1,"soc":0.5,"idleFloorW":1,"nameplateW":2,"utilityCurve":[{"capW":2,"perf":0.1,"gridW":1}],"curveConf":0.5,"curveCells":3}`))
+	f.Add([]byte(`{"v":2,"server":0,"seq":1,"capW":1,"perfN":1,"gridW":1,"soc":0.5,"idleFloorW":1,"nameplateW":2,"utilityCurve":[{"capW":2,"perf":0.1,"gridW":1}],"curveConf":1.5,"curveCells":3}`))
+	f.Add([]byte(`{"v":2,"server":0,"seq":1,"capW":1,"perfN":1,"gridW":1,"soc":0.5,"idleFloorW":1,"nameplateW":2,"curveConf":0.5,"curveCells":3}`))
+	f.Add([]byte(`{"v":2,"server":0,"soc":0.5,"curveCells":-1}`))
 	f.Add([]byte(`[]`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rep, err := DecodeReport(data)
@@ -71,6 +77,12 @@ func FuzzDecodeReport(f *testing.F) {
 		}
 		if rep.SoC < 0 || rep.SoC > 1 {
 			t.Fatalf("accepted report with soc %g", rep.SoC)
+		}
+		if rep.CurveConf < 0 || rep.CurveConf > 1 {
+			t.Fatalf("accepted report with curveConf %g", rep.CurveConf)
+		}
+		if (rep.CurveConf != 0 || rep.CurveCells != 0) && len(rep.UtilityCurve) == 0 {
+			t.Fatalf("accepted curve meta without a curve: conf %g cells %d", rep.CurveConf, rep.CurveCells)
 		}
 		prev := -1.0
 		for _, p := range rep.UtilityCurve {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"powerstruggle/internal/cf"
 	"powerstruggle/internal/ctrlplane"
 )
 
@@ -16,11 +17,13 @@ import (
 //
 // The daemon runs in wall-clock time, so unlike the replay agent its
 // lease TTL is measured against time.Now at each ticker advance, not
-// against the coordinator's trace clock. It also reports no utility
-// curve — a live daemon's mix churns as jobs arrive and finish, so it
-// cannot pre-characterize cap → utility the way the replay evaluator
-// can (characterizing the running mix online is a roadmap item); the
-// coordinator apportions evenly for curveless members.
+// against the coordinator's trace clock. A live daemon's mix churns as
+// jobs arrive and finish, so it cannot pre-characterize cap → utility
+// the way the replay evaluator can; by default it reports no utility
+// curve and the coordinator apportions evenly for curveless members.
+// With Learn set it characterizes the running mix online instead,
+// reporting the learned curve with confidence meta — the coordinator
+// still treats it as curveless until the confidence clears its floor.
 type CtrlConfig struct {
 	// ServerID is the daemon's fleet index; assigns addressed to any
 	// other ID are rejected.
@@ -43,6 +46,18 @@ type CtrlConfig struct {
 	// Clock is the daemon's wall-clock source (default time.Now) —
 	// injectable so mixed trace+wall drills run deterministically.
 	Clock func() time.Time
+	// Learn, when non-nil, turns on online utility learning: the daemon
+	// self-caps to probe unsampled cap levels (never above its grant),
+	// learns cap → heartbeat-rate from the samples the control loop
+	// produces anyway, and reports the learned curve with
+	// CurveConf/CurveCells meta. FloorW and NameplateW default to the
+	// platform idle floor and nameplate.
+	Learn *cf.OnlineConfig
+	// LearnRateHz overrides the learning observable (default: the summed
+	// heartbeat rate of hosted apps in the latest accountant sample). The
+	// callback runs with the daemon's simulation lock held — it must not
+	// call back into daemon methods.
+	LearnRateHz func() float64
 }
 
 // safeModeQuantumW batches wall-clock decay into steps the event log
@@ -84,6 +99,13 @@ type ctrlState struct {
 	lastSeenIv uint64
 	lastSeenAt time.Time
 	skewIv     float64
+	// Online-learning state (cfg.Learn): est learns the cap→rate curve,
+	// grantW remembers the full grant so a probing daemon can restore
+	// it, and lastProbeIv rate-limits probe moves to one per coordinator
+	// interval — the cap never flaps within an interval.
+	est         *cf.OnlineEstimator
+	grantW      float64
+	lastProbeIv uint64
 }
 
 func (c *ctrlState) clockModeLocked() bool { return c.leaseIv > 0 && c.ivS > 0 }
@@ -136,7 +158,22 @@ func (d *Daemon) EnableCtrl(cfg CtrlConfig) error {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
-	d.ctrl = &ctrlState{cfg: cfg, fenceCapW: fence}
+	st := &ctrlState{cfg: cfg, fenceCapW: fence}
+	if cfg.Learn != nil {
+		lc := *cfg.Learn
+		if lc.FloorW == 0 {
+			lc.FloorW = d.hw.PIdleWatts
+		}
+		if lc.NameplateW == 0 {
+			lc.NameplateW = d.hw.MaxServerWatts()
+		}
+		est, err := cf.NewOnlineEstimator(lc)
+		if err != nil {
+			return fmt.Errorf("daemon: %w", err)
+		}
+		st.est = est
+	}
+	d.ctrl = st
 	return nil
 }
 
@@ -213,6 +250,58 @@ func (d *Daemon) ctrlFenceCheck() error {
 	return d.sim.AddCapChange(d.simTime, fence)
 }
 
+// ctrlLearnStep feeds the online estimator one (enforced cap, observed
+// heartbeat rate) sample and — at most once per coordinator interval —
+// moves the probe to the estimator's next choice. Rate-limiting probe
+// moves to interval boundaries keeps the cap from flapping within an
+// interval; a converged estimator's probe is the full grant, so a
+// learned-out daemon settles back onto its grants. Called from Advance
+// under d.mu, after the fence check.
+func (d *Daemon) ctrlLearnStep() error {
+	c := d.ctrl
+	if c == nil || c.est == nil {
+		return nil
+	}
+	c.mu.Lock()
+	if c.fenced || c.safeMode || !c.leased {
+		c.mu.Unlock()
+		return nil
+	}
+	capW := d.sim.Executor().Cap()
+	var rate float64
+	if c.cfg.LearnRateHz != nil {
+		rate = c.cfg.LearnRateHz()
+	} else {
+		rate = d.rateHzLocked()
+	}
+	c.est.Observe(capW, rate)
+	target := capW
+	if iv := c.effectiveIvLocked(); iv > c.lastProbeIv {
+		c.lastProbeIv = iv
+		target = c.est.ProbeCap(c.grantW)
+	}
+	c.mu.Unlock()
+	if target == capW {
+		return nil
+	}
+	return d.sim.AddCapChange(d.simTime, target)
+}
+
+// rateHzLocked sums the hosted applications' heartbeat rates from the
+// latest accountant sample — the learning observable. Called under
+// d.mu.
+func (d *Daemon) rateHzLocked() float64 {
+	samples := d.sim.Samples()
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, a := range samples[len(samples)-1].Apps {
+		sum += a.RateHz
+	}
+	return sum
+}
+
 // ctrlAssign applies a budget grant from the coordinator. The sequence
 // check, the cap application, and the ledger update are one atomic
 // section under d.mu then c.mu (the lock order Advance establishes,
@@ -239,7 +328,16 @@ func (d *Daemon) ctrlAssign(req ctrlplane.AssignRequest) (ctrlplane.AssignRespon
 		d.mu.Unlock()
 		return d.ctrlAck(false), nil
 	}
-	if err := d.sim.AddCapChange(d.simTime, req.CapW); err != nil {
+	capW := req.CapW
+	if c.est != nil {
+		// A learning daemon may self-cap below its grant to probe an
+		// unsampled cell; a probe never exceeds the grant, so the
+		// cluster cap holds while the curve is partial.
+		c.grantW = req.CapW
+		capW = c.est.ProbeCap(req.CapW)
+		c.lastProbeIv = req.Iv
+	}
+	if err := d.sim.AddCapChange(d.simTime, capW); err != nil {
 		c.mu.Unlock()
 		d.mu.Unlock()
 		return ctrlplane.AssignResponse{}, err
@@ -278,7 +376,7 @@ func (d *Daemon) ctrlReport() ctrlplane.Report {
 	st := d.status()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return ctrlplane.Report{
+	rep := ctrlplane.Report{
 		V: ctrlplane.ProtocolV, Server: c.cfg.ServerID,
 		Epoch: c.lastEpoch, Seq: c.lastSeq,
 		CapW: st.CapW, GridW: st.GridW, SoC: st.SoC,
@@ -286,11 +384,20 @@ func (d *Daemon) ctrlReport() ctrlplane.Report {
 		SafeMode:   c.safeMode,
 		IdleFloorW: d.hw.PIdleWatts,
 		NameplateW: d.hw.MaxServerWatts(),
-		// No UtilityCurve: see CtrlConfig — live mixes are not
-		// pre-characterizable.
-		Version: d.version,
-		Iv:      c.lastSeenIv,
+		Version:    d.version,
+		Iv:         c.lastSeenIv,
 	}
+	// A live mix is not pre-characterizable, so without a learner the
+	// report stays curveless and the coordinator apportions evenly.
+	// With one, the learned curve ships with its confidence meta.
+	if c.est != nil {
+		if curve, ok := c.est.Curve(); ok {
+			rep.UtilityCurve = curve
+			rep.CurveConf = c.est.Confidence()
+			rep.CurveCells = c.est.ObservedCells()
+		}
+	}
+	return rep
 }
 
 // ctrlRenew extends the draw lease without changing the budget. A

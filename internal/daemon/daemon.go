@@ -134,7 +134,10 @@ func (d *Daemon) Advance(dt float64) error {
 	}
 	d.simTime += dt
 	d.lastAdvance = time.Now()
-	return d.ctrlFenceCheck()
+	if err := d.ctrlFenceCheck(); err != nil {
+		return err
+	}
+	return d.ctrlLearnStep()
 }
 
 // AdmitRequest is the POST /admit body.
@@ -258,6 +261,13 @@ type Health struct {
 	CtrlSafeMode        bool    `json:"ctrlSafeMode"`
 	CtrlSafeModeEntries int     `json:"ctrlSafeModeEntries"`
 	CtrlSafeModeCapW    float64 `json:"ctrlSafeModeCapW"`
+	// Online utility learning state, present when CtrlConfig.Learn is
+	// set: CtrlLearning flags the mode, CtrlCurveConf the learned
+	// curve's coverage confidence (exactly 1 once converged), and
+	// CtrlCurveCells its observed cell count.
+	CtrlLearning   bool    `json:"ctrlLearning,omitempty"`
+	CtrlCurveConf  float64 `json:"ctrlCurveConf,omitempty"`
+	CtrlCurveCells int     `json:"ctrlCurveCells,omitempty"`
 }
 
 // health snapshots liveness and robustness state.
@@ -324,6 +334,11 @@ func (d *Daemon) health() Health {
 		h.CtrlSafeModeEntries = c.safeEntries
 		if c.safeMode {
 			h.CtrlSafeModeCapW = c.safeCapW
+		}
+		if c.est != nil {
+			h.CtrlLearning = true
+			h.CtrlCurveConf = c.est.Confidence()
+			h.CtrlCurveCells = c.est.ObservedCells()
 		}
 		c.mu.Unlock()
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"powerstruggle/internal/cf"
 	"powerstruggle/internal/ctrlplane"
 	"powerstruggle/internal/esd"
 )
@@ -196,6 +197,59 @@ func genClockChaos(c *Campaign, rng *rand.Rand) {
 	}
 	c.Events = append(c.Events, Event{Step: rAt, Kind: "coord-restart", Agent: -1,
 		Detail: "coordinator crash-restarts; interval counter rehydrates from fleet scrapes"})
+}
+
+// genLearningColdStart builds the online-learning campaign: a
+// protocol-clock fleet joins curveless under a deliberately tight cap
+// (the even split a curveless fleet starts on leaves performance on the
+// table, so the learned curves have watts to move once admitted), the
+// coordinator crash-restarts mid-learning, and the cap drops with the
+// curves still partial. The confidence floor is drawn low enough that
+// half-learned curves get admitted mid-run — the window the cap
+// invariant must survive. A curve admitted early may stall below full
+// coverage (probes never exceed the grant, so cells above a modest
+// grant can stay unsampled); that is allowed — the invariant is about
+// the cap, not about convergence.
+func genLearningColdStart(c *Campaign, rng *rand.Rand) {
+	cfg := c.Config
+	base := float64(cfg.Servers) * uniform(rng, 95, 120)
+	c.Caps = capSchedule(cfg, base)
+	perShare := base / float64(cfg.Servers)
+	c.LeaseIv = 2
+	c.SafeMode = ctrlplane.SafeModeConfig{
+		HoldS:      cfg.StepS,
+		DecayWPerS: uniform(rng, 0.01, 0.05),
+		FloorW:     math.Min(20, perShare/2),
+	}
+	c.Learn = &cf.OnlineConfig{Epsilon: uniform(rng, 0.3, 0.6), Seed: cfg.Seed}
+	c.LearnConfFloor = uniform(rng, 0.2, 0.45)
+	c.Events = append(c.Events, Event{Step: 0, Kind: "cold-start", Agent: -1,
+		Detail: fmt.Sprintf("fleet joins curveless; epsilon %.2f probes, curves admitted at %.0f%% coverage",
+			c.Learn.Epsilon, c.LearnConfFloor*100)})
+	// The crash-restart lands mid-learning: the replacement coordinator
+	// must rehydrate its interval counter and re-scrape the half-learned
+	// curves — the fleet's estimator state lives on the agents, so the
+	// restart must not reset it.
+	rAt := 2 + rng.Intn(max(1, cfg.Steps/2))
+	if rAt > cfg.Steps-2 {
+		rAt = cfg.Steps - 2
+	}
+	c.Events = append(c.Events, Event{Step: rAt, Kind: "coord-restart", Agent: -1,
+		Detail: "coordinator crash-restarts mid-learning; curves re-scraped after rehydration"})
+	// The cap drop lands after the restart, while curves are still
+	// partial: probing members self-cap at or below the shrunken grants,
+	// so the tightened budget holds through the learning window.
+	dAt := rAt + 1 + rng.Intn(2)
+	if dAt > cfg.Steps-2 {
+		dAt = cfg.Steps - 2
+	}
+	dur := 2 + rng.Intn(2)
+	depth := uniform(rng, 0.60, 0.80)
+	for s := dAt; s < dAt+dur && s < cfg.Steps; s++ {
+		c.Caps[s].V = base * depth
+	}
+	c.Events = append(c.Events, Event{Step: dAt, Kind: "cap-drop", Agent: -1,
+		Detail: fmt.Sprintf("cap to %.0f%% of base for %d steps with curves still partial", depth*100, dur)})
 }
 
 // genFlashCrowd builds demand surge waves over a battery fleet under a

@@ -35,6 +35,11 @@ type Result struct {
 	// Rehydrations counts interval-counter rehydrations from fleet
 	// scrapes (protocol-clock campaigns with coordinator restarts).
 	Rehydrations int
+	// LearnUnconverged counts fleet members whose learned curve was
+	// still partial at run end, and LearnMinConfidence is the smallest
+	// coverage fraction any member reached (learning campaigns only).
+	LearnUnconverged   int
+	LearnMinConfidence float64
 	// FinalEpoch is the leadership epoch the run ended under.
 	FinalEpoch uint64
 	// Failovers, ShardExpiries, and ShardReclaims count the hierarchy
@@ -82,6 +87,10 @@ type ctrlChecker struct {
 	// number, the exact duplication rehydration exists to prevent.
 	clock  bool
 	lastIv uint64
+	// learn marks an online-learning campaign: the checker then audits
+	// that no probing member enforces more than its granted budget while
+	// its curve is partial, and the log carries the fleet's coverage.
+	learn bool
 }
 
 // check audits one control interval after the agents ticked. The cap
@@ -143,6 +152,32 @@ func (ck *ctrlChecker) check(r *Result, step int, t, capW float64, led bool,
 			r.LeaderlessMinCapW = capSum
 		}
 	}
+	// Learning campaigns carry the fleet's coverage in the log and pin
+	// the local half of the cap invariant: a probing member self-caps,
+	// so while its curve is partial it may only undershoot this
+	// interval's granted budget, never overshoot it.
+	learn := ""
+	if ck.learn {
+		unconv := 0
+		minConf := 1.0
+		for i, a := range agents {
+			if !a.Learning() {
+				continue
+			}
+			if v := a.LearnConfidence(); v < minConf {
+				minConf = v
+			}
+			if a.LearnConverged() {
+				continue
+			}
+			unconv++
+			if led && i < len(res.Budgets) && res.Granted[i] && a.CapW() > res.Budgets[i]+1e-9 {
+				r.violatef("step=%03d learning agent %d enforces %.3f W over its %.3f W grant with a partial curve",
+					step, i, a.CapW(), res.Budgets[i])
+			}
+		}
+		learn = fmt.Sprintf(" unconv=%d minconf=%.3f", unconv, minConf)
+	}
 	if ck.clock {
 		if led && res.Iv > 0 {
 			if res.Iv <= ck.lastIv {
@@ -151,11 +186,11 @@ func (ck *ctrlChecker) check(r *Result, step int, t, capW float64, led bool,
 			}
 			ck.lastIv = res.Iv
 		}
-		r.logf("step=%03d t=%.0f cap=%.3f capsum=%.3f grid=%.3f granted=%d safe=%d fenced=%d epoch=%d led=%d iv=%d rehydrating=%d",
-			step, t, capW, capSum, gridSum, granted, safe, fenced, epoch, b2i(led), res.Iv, b2i(res.Rehydrating))
+		r.logf("step=%03d t=%.0f cap=%.3f capsum=%.3f grid=%.3f granted=%d safe=%d fenced=%d epoch=%d led=%d iv=%d rehydrating=%d%s",
+			step, t, capW, capSum, gridSum, granted, safe, fenced, epoch, b2i(led), res.Iv, b2i(res.Rehydrating), learn)
 	} else {
-		r.logf("step=%03d t=%.0f cap=%.3f capsum=%.3f grid=%.3f granted=%d safe=%d fenced=%d epoch=%d led=%d",
-			step, t, capW, capSum, gridSum, granted, safe, fenced, epoch, b2i(led))
+		r.logf("step=%03d t=%.0f cap=%.3f capsum=%.3f grid=%.3f granted=%d safe=%d fenced=%d epoch=%d led=%d%s",
+			step, t, capW, capSum, gridSum, granted, safe, fenced, epoch, b2i(led), learn)
 	}
 	ck.prevCapW = capW
 	ck.lastEpoch = epoch

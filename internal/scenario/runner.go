@@ -105,6 +105,7 @@ func runCtrl(c Campaign) (*Result, error) {
 	flt, err := ctrlplane.StartSimFleetOpts(ev, ctrlplane.FleetOptions{
 		Version:  "scenario",
 		SafeMode: c.SafeMode,
+		Learn:    c.Learn,
 	})
 	if err != nil {
 		return nil, err
@@ -132,6 +133,15 @@ func runCtrl(c Campaign) (*Result, error) {
 		ccfg.LeaseIv = c.LeaseIv
 		ccfg.IntervalS = c.Config.StepS
 	}
+	if c.Learn != nil {
+		// A learning fleet is apportioned by utility: learned curves
+		// enter the DP once past the campaign's confidence floor, and
+		// members still below it take the curveless even-share fallback.
+		// A coord-restart rebuilds from this same ccfg, so the
+		// replacement coordinator inherits the strategy and floor.
+		ccfg.Strategy = ctrlplane.StrategyUtility
+		ccfg.CurveConfFloor = c.LearnConfFloor
+	}
 	coord, err := ctrlplane.New(ccfg)
 	if err != nil {
 		return nil, err
@@ -147,7 +157,7 @@ func runCtrl(c Campaign) (*Result, error) {
 	}
 
 	r := &Result{Campaign: c, LeaderlessMinCapW: math.Inf(1)}
-	ck := ctrlChecker{clock: c.LeaseIv > 0}
+	ck := ctrlChecker{clock: c.LeaseIv > 0, learn: c.Learn != nil}
 	ctx := context.Background()
 	leaderDown := false
 	skew := make([]float64, c.Config.Servers)
@@ -225,6 +235,21 @@ func runCtrl(c Campaign) (*Result, error) {
 		}
 		r.logf("clock summary lastIv=%d rehydrations=%d maxSkewIv=%.3f",
 			ck.lastIv, r.Rehydrations, maxSkew)
+	}
+	if c.Learn != nil {
+		unconv := 0
+		minConf := 1.0
+		for _, a := range flt.Agents {
+			if !a.LearnConverged() {
+				unconv++
+			}
+			if v := a.LearnConfidence(); v < minConf {
+				minConf = v
+			}
+		}
+		r.LearnUnconverged, r.LearnMinConfidence = unconv, minConf
+		r.logf("learning summary unconverged=%d minconf=%.3f confFloor=%.2f epsilon=%.2f",
+			unconv, minConf, c.LearnConfFloor, c.Learn.Epsilon)
 	}
 	r.logf("summary steps=%d expiries=%d rejoins=%d epoch=%d safeModeSteps=%d",
 		c.Config.Steps, r.LeaseExpiries, r.Rejoins, r.FinalEpoch, r.SafeModeSteps)

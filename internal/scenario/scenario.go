@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"powerstruggle/internal/cf"
 	"powerstruggle/internal/ctrlplane"
 	"powerstruggle/internal/esd"
 	"powerstruggle/internal/trace"
@@ -77,6 +78,15 @@ const (
 	// must rehydrate its interval counter from fleet scrapes instead of
 	// re-issuing interval numbers.
 	FamilyClockChaos Family = "clock-chaos"
+	// FamilyLearningColdStart boots a fleet that joins curveless and
+	// characterizes its cap→utility curves online: epsilon-greedy probes
+	// under live grants, learned curves admitted to the utility DP once
+	// past a confidence floor, a coordinator crash-restart mid-learning,
+	// and a cap drop with the curves still partial. The invariant: the
+	// cluster cap is never exceeded while the curves are partial —
+	// probes self-cap at or below grants, so a learning fleet can only
+	// undershoot its budget, never overshoot it.
+	FamilyLearningColdStart Family = "learning-cold-start"
 )
 
 // Description summarizes what the family stresses, for -list output
@@ -99,6 +109,8 @@ func (f Family) Description() string {
 		return "two-tier budget tree loses a shard coordinator; the cap holds through failover"
 	case FamilyClockChaos:
 		return "skewed agent clocks, a coordinator stall, and a crash-restart under protocol-clock leases"
+	case FamilyLearningColdStart:
+		return "fleet joins curveless and learns its utility curves online; the cap holds while curves are partial"
 	default:
 		return ""
 	}
@@ -109,7 +121,7 @@ func Families() []Family {
 	return []Family{
 		FamilyCapDrop, FamilyFlashCrowd, FamilyPriceSchedule,
 		FamilyBatteryFleet, FamilyRollingRestart, FamilyPartitionEmergency,
-		FamilyHierarchyShardLoss, FamilyClockChaos,
+		FamilyHierarchyShardLoss, FamilyClockChaos, FamilyLearningColdStart,
 	}
 }
 
@@ -127,7 +139,8 @@ func ParseFamily(name string) (Family, error) {
 // plane (as opposed to the pure ESD fleet planner).
 func (f Family) controlPlane() bool {
 	switch f {
-	case FamilyCapDrop, FamilyRollingRestart, FamilyPartitionEmergency, FamilyClockChaos:
+	case FamilyCapDrop, FamilyRollingRestart, FamilyPartitionEmergency,
+		FamilyClockChaos, FamilyLearningColdStart:
 		return true
 	}
 	return false
@@ -223,6 +236,16 @@ type Campaign struct {
 	// leases: grants are valid LeaseIv coordinator intervals (aged at
 	// StepS per interval) instead of LeaseS seconds.
 	LeaseIv int
+	// Learn, when non-nil, boots every fleet member curveless: agents
+	// characterize their cap→utility curves online from this config
+	// (the fleet harness derives per-agent seeds, Seed + server index),
+	// and the coordinator apportions by utility with learned curves
+	// gated on LearnConfFloor. Learning campaigns only.
+	Learn *cf.OnlineConfig
+	// LearnConfFloor is the coordinator's confidence floor for learned
+	// curves: a member reporting coverage below it takes the curveless
+	// even-share fallback instead of entering the utility DP.
+	LearnConfFloor float64
 	// TwoTier sizes the hierarchical drill (hierarchy families only).
 	TwoTier *ctrlplane.TwoTierOptions
 }
@@ -254,6 +277,8 @@ func Generate(cfg Config) (Campaign, error) {
 		genHierarchyShardLoss(&c, rng)
 	case FamilyClockChaos:
 		genClockChaos(&c, rng)
+	case FamilyLearningColdStart:
+		genLearningColdStart(&c, rng)
 	default:
 		return Campaign{}, fmt.Errorf("scenario: unknown family %q", cfg.Family)
 	}

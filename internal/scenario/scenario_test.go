@@ -209,6 +209,47 @@ func TestCampaignClockChaos(t *testing.T) {
 	}
 }
 
+// Learning cold start: the fleet joins curveless, learns its utility
+// curves online under live grants, and rides a coordinator
+// crash-restart plus a cap drop with the curves still partial. The
+// headline invariant — the cluster cap is never exceeded while curves
+// are partial — is checked every step by the runner (probes self-cap
+// at or below grants); this test asserts the campaign actually
+// exercised that window.
+func TestCampaignLearningColdStart(t *testing.T) {
+	r := mustRun(t, Config{Family: FamilyLearningColdStart, Seed: 7})
+	if r.Campaign.Learn == nil {
+		t.Fatal("campaign carries no learning config")
+	}
+	if r.Campaign.LeaseIv == 0 {
+		t.Fatal("campaign did not select protocol-clock leases")
+	}
+	if f := r.Campaign.LearnConfFloor; f <= 0 || f >= 1 {
+		t.Fatalf("confidence floor %.3f outside the partial-admission band", f)
+	}
+	if r.LearnMinConfidence <= 0 {
+		t.Fatalf("fleet never observed a sample: min coverage %.3f", r.LearnMinConfidence)
+	}
+	if r.LearnUnconverged == 0 {
+		t.Fatal("every curve converged: the run never witnessed the partial-curve window")
+	}
+	if r.Rehydrations == 0 {
+		t.Fatal("the scripted crash-restart never rehydrated the interval counter")
+	}
+	if r.FinalEpoch != 1 {
+		t.Fatalf("final epoch %d: a same-epoch restart must not elect anyone", r.FinalEpoch)
+	}
+	kinds := map[string]bool{}
+	for _, ev := range r.Campaign.Events {
+		kinds[ev.Kind] = true
+	}
+	for _, k := range []string{"cold-start", "coord-restart", "cap-drop"} {
+		if !kinds[k] {
+			t.Fatalf("campaign scripted no %s event", k)
+		}
+	}
+}
+
 // The replay guarantee: running the same campaign twice produces the
 // same invariant log, byte for byte — including the control-plane
 // families, whose faults are scripted rather than rolled.
@@ -219,6 +260,7 @@ func TestReplayDeterminism(t *testing.T) {
 		{Family: FamilyFlashCrowd, Seed: 7},
 		{Family: FamilyHierarchyShardLoss, Seed: 7},
 		{Family: FamilyClockChaos, Seed: 7},
+		{Family: FamilyLearningColdStart, Seed: 7},
 	} {
 		cfg := cfg
 		t.Run(string(cfg.Family), func(t *testing.T) {
